@@ -1,0 +1,175 @@
+// Ablations for the POS-Tree design choices called out in DESIGN.md:
+//
+//   A. expected chunk size (q): build cost vs dedup quality — the paper's
+//      note that chunk size is configurable (type-specific sizes, §4.3.3);
+//   B. rolling-hash window (k): boundary stability under edits;
+//   C. hard-cap multiplier (alpha): forced-split rate on random data
+//      (expected (1/e)^alpha, §4.3.3);
+//   D. batched vs sequential Map updates (the UpsertBatch fast path used
+//      by blockchain commits and dataset updates).
+
+#include <cmath>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "chunk/chunk_store.h"
+#include "pos_tree/diff.h"
+#include "pos_tree/tree.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+void AblateChunkSize(size_t data_size) {
+  bench::Header("Ablation A: leaf pattern bits q (chunk size)");
+  bench::Row("%6s %12s %14s %16s %18s", "q", "avg leaf B", "build MB/s",
+             "edit reuse %", "chunks/object");
+  Rng rng(1);
+  const Bytes data = rng.BytesOf(data_size);
+
+  for (int q : {8, 10, 12, 14}) {
+    TreeConfig cfg;
+    cfg.leaf_pattern_bits = q;
+    MemChunkStore store;
+
+    Timer t;
+    auto root = PosTree::BuildFromBytes(&store, cfg, Slice(data));
+    bench::Check(root.status(), "build");
+    const double mbps = data_size / 1048576.0 / t.ElapsedSeconds();
+
+    PosTree tree(&store, cfg, ChunkType::kBlob, *root);
+    std::vector<Entry> leaves;
+    bench::Check(tree.LoadLeafEntries(&leaves), "leaves");
+    const double avg_leaf =
+        static_cast<double>(data_size) / static_cast<double>(leaves.size());
+
+    // Edit 100 bytes in the middle; measure chunk reuse of the new
+    // version against the old.
+    PosTree edited = tree;
+    bench::Check(edited.SpliceBytes(data_size / 2, 100,
+                                    Slice(rng.BytesOf(100))),
+                 "splice");
+    auto overlap = ComputeChunkOverlap(tree, edited);
+    bench::Check(overlap.status(), "overlap");
+    const double reuse =
+        100.0 * static_cast<double>(overlap->shared) /
+        static_cast<double>(overlap->shared + overlap->only_b);
+
+    std::vector<Hash> cids;
+    bench::Check(tree.CollectChunkIds(&cids), "cids");
+    bench::Row("%6d %12.0f %14.1f %16.1f %18zu", q, avg_leaf, mbps, reuse,
+               cids.size());
+  }
+  bench::Row("(larger chunks build faster; smaller chunks localize edits "
+             "=> higher reuse)");
+}
+
+void AblateWindow(size_t data_size) {
+  bench::Header("Ablation B: rolling-hash window k (boundary stability)");
+  bench::Row("%8s %16s %18s", "window", "build MB/s", "edit reuse %");
+  Rng rng(2);
+  const Bytes data = rng.BytesOf(data_size);
+
+  for (size_t window : {size_t{8}, size_t{16}, size_t{32}, size_t{64}}) {
+    TreeConfig cfg;
+    cfg.window = window;
+    MemChunkStore store;
+    Timer t;
+    auto root = PosTree::BuildFromBytes(&store, cfg, Slice(data));
+    bench::Check(root.status(), "build");
+    const double mbps = data_size / 1048576.0 / t.ElapsedSeconds();
+
+    PosTree tree(&store, cfg, ChunkType::kBlob, *root);
+    PosTree edited = tree;
+    bench::Check(edited.SpliceBytes(data_size / 3, 0,
+                                    Slice(rng.BytesOf(64))),
+                 "splice");
+    auto overlap = ComputeChunkOverlap(tree, edited);
+    bench::Check(overlap.status(), "overlap");
+    const double reuse =
+        100.0 * static_cast<double>(overlap->shared) /
+        static_cast<double>(overlap->shared + overlap->only_b);
+    bench::Row("%8zu %16.1f %18.1f", window, mbps, reuse);
+  }
+}
+
+void AblateAlpha() {
+  bench::Header("Ablation C: size cap alpha (forced-split rate)");
+  bench::Row("%8s %18s %20s", "alpha", "capped chunks %", "expected e^-a %");
+  Rng rng(3);
+  const Bytes data = rng.BytesOf(4 << 20);
+  for (size_t alpha : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    TreeConfig cfg;
+    cfg.leaf_pattern_bits = 10;
+    cfg.size_alpha = alpha;
+    MemChunkStore store;
+    auto root = PosTree::BuildFromBytes(&store, cfg, Slice(data));
+    bench::Check(root.status(), "build");
+    PosTree tree(&store, cfg, ChunkType::kBlob, *root);
+    std::vector<Entry> leaves;
+    bench::Check(tree.LoadLeafEntries(&leaves), "leaves");
+    size_t capped = 0;
+    for (const Entry& e : leaves) {
+      if (e.count == cfg.max_leaf_bytes()) ++capped;
+    }
+    bench::Row("%8zu %18.2f %20.2f", alpha,
+               100.0 * capped / static_cast<double>(leaves.size()),
+               100.0 * std::exp(-static_cast<double>(alpha)));
+  }
+}
+
+void AblateBatching(size_t map_entries, size_t batch_size) {
+  bench::Header("Ablation D: batched vs sequential Map updates");
+  MemChunkStore store;
+  TreeConfig cfg;
+  Rng rng(4);
+
+  std::vector<Element> base;
+  for (size_t i = 0; i < map_entries; ++i) {
+    Element e;
+    e.key = ToBytes(MakeKey(i));
+    e.value = rng.BytesOf(40);
+    base.push_back(std::move(e));
+  }
+  auto root = PosTree::BuildFromElements(&store, cfg, ChunkType::kMap, base);
+  bench::Check(root.status(), "build");
+
+  std::vector<Element> updates;
+  for (size_t i = 0; i < batch_size; ++i) {
+    Element e;
+    e.key = ToBytes(MakeKey(rng.Uniform(map_entries)));
+    e.value = rng.BytesOf(40);
+    updates.push_back(std::move(e));
+  }
+
+  {
+    PosTree tree(&store, cfg, ChunkType::kMap, *root);
+    Timer t;
+    for (const Element& e : updates) {
+      bench::Check(tree.InsertOrAssign(Slice(e.key), Slice(e.value)),
+                   "set");
+    }
+    bench::Row("sequential Set x%zu over %zu entries: %8.2f ms", batch_size,
+               map_entries, t.ElapsedMillis());
+  }
+  {
+    PosTree tree(&store, cfg, ChunkType::kMap, *root);
+    Timer t;
+    bench::Check(tree.UpsertBatch(updates), "batch");
+    bench::Row("UpsertBatch  x%zu over %zu entries: %8.2f ms", batch_size,
+               map_entries, t.ElapsedMillis());
+  }
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 1.0);
+  const size_t data_size = static_cast<size_t>((8 << 20) * scale);
+  fb::AblateChunkSize(data_size);
+  fb::AblateWindow(data_size);
+  fb::AblateAlpha();
+  fb::AblateBatching(static_cast<size_t>(20000 * scale), 50);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+//
+// Every bench accepts `--scale=<float>` (default chosen per bench for a
+// fast run; `--scale=1.0` reproduces paper-sized inputs where feasible on
+// one machine). Output is printed as the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured shapes.
+
+#ifndef FORKBASE_BENCH_BENCH_COMMON_H_
+#define FORKBASE_BENCH_BENCH_COMMON_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace fb {
+namespace bench {
+
+// Parses --scale=<float> from argv; returns `def` if absent.
+inline double ScaleArg(int argc, char** argv, double def) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      return std::atof(argv[i] + 8);
+    }
+  }
+  return def;
+}
+
+inline void Header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Dies on a non-OK status with a message.
+template <typename StatusLike>
+inline void Check(const StatusLike& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T CheckResult(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace bench
+}  // namespace fb
+
+#endif  // FORKBASE_BENCH_BENCH_COMMON_H_

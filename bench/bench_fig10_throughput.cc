@@ -1,0 +1,56 @@
+// Figure 10: Client-perceived throughput (committed transactions per
+// second) as the number of updates grows, for the three backends.
+//
+// Reproduced shape: the three backends are close — storage costs are
+// small relative to end-to-end transaction processing — with throughput
+// declining as state grows.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "blockchain/forkbase_ledger.h"
+#include "blockchain/kv_ledger.h"
+#include "blockchain/workload.h"
+
+namespace fb {
+namespace {
+
+std::unique_ptr<LedgerBackend> MakeBackend(const std::string& name) {
+  if (name == "ForkBase") return std::make_unique<ForkBaseLedger>();
+  if (name == "Rocksdb") {
+    return std::make_unique<KvLedger>(std::make_unique<LsmAdapter>());
+  }
+  return std::make_unique<KvLedger>(std::make_unique<ForkBaseKvAdapter>());
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.05);
+
+  fb::bench::Header("Figure 10: client-perceived throughput (b=50, r=w=0.5)");
+  fb::bench::Row("%12s %10s %14s", "Backend", "#Updates", "txn/s");
+
+  for (const char* backend_name : {"ForkBase", "Rocksdb", "ForkBase-KV"}) {
+    for (int exp = 10; exp <= 18; exp += 2) {
+      const uint64_t updates = uint64_t{1} << exp;
+      const uint64_t n =
+          std::max<uint64_t>(256, static_cast<uint64_t>(updates * scale));
+      auto ledger = fb::MakeBackend(backend_name);
+      fb::WorkloadOptions opts;
+      opts.num_keys = n;
+      opts.num_ops = n * 2;
+      opts.read_ratio = 0.5;
+      opts.block_size = 50;
+      opts.value_size = 100;
+      auto result = fb::RunWorkload(ledger.get(), opts);
+      fb::bench::Check(result.status(), "workload");
+      fb::bench::Row("%12s %10llu %14.0f", backend_name,
+                     static_cast<unsigned long long>(updates),
+                     result->Throughput());
+    }
+  }
+  fb::bench::Row("(scaled: %g of paper's update counts per run)", scale);
+  return 0;
+}

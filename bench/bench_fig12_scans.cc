@@ -1,0 +1,92 @@
+// Figure 12: Analytical scan queries over blockchain data.
+//
+//   (a) state scan — history of a state; latency vs #states scanned.
+//   (b) block scan — all states at a block; latency vs block number.
+//
+// Reproduced shape: ForkBase answers from its version chains / Map
+// versions directly, while the Rocksdb baseline must replay blocks and
+// deltas (the pre-processing pass), giving gaps of multiple orders of
+// magnitude at small scan sizes that shrink as the scan approaches the
+// whole store.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "blockchain/forkbase_ledger.h"
+#include "blockchain/kv_ledger.h"
+#include "blockchain/workload.h"
+
+namespace fb {
+namespace {
+
+std::unique_ptr<LedgerBackend> MakeBackend(bool native) {
+  if (native) return std::make_unique<ForkBaseLedger>();
+  return std::make_unique<KvLedger>(std::make_unique<LsmAdapter>());
+}
+
+void Populate(LedgerBackend* ledger, uint64_t num_keys, uint64_t num_blocks) {
+  WorkloadOptions opts;
+  opts.num_keys = num_keys;
+  opts.num_ops = num_blocks * 50;
+  opts.read_ratio = 0.0;
+  opts.block_size = 50;
+  opts.value_size = 100;
+  auto result = RunWorkload(ledger, opts);
+  bench::Check(result.status(), "populate");
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.05);
+  // Paper: medium-size chain of 12000 blocks.
+  const uint64_t blocks = std::max<uint64_t>(
+      20, static_cast<uint64_t>(12000 * scale));
+
+  for (uint64_t key_exp : {uint64_t{10}, uint64_t{16}}) {
+    const uint64_t num_keys = std::max<uint64_t>(
+        64, static_cast<uint64_t>((uint64_t{1} << key_exp) * scale));
+    for (const bool native : {true, false}) {
+      auto ledger = fb::MakeBackend(native);
+      fb::Populate(ledger.get(), num_keys, blocks);
+      const char* name = native ? "ForkBase" : "Rocksdb";
+
+      // (a) state scan: latency vs number of unique states scanned.
+      fb::bench::Header("Figure 12a: state scan");
+      fb::bench::Row("%10s %8s %12s %14s", "Backend", "2^keys", "#States",
+                     "latency (ms)");
+      for (uint64_t n_states : {uint64_t{1}, uint64_t{10}, uint64_t{100},
+                                uint64_t{1000}}) {
+        const uint64_t limit = std::min(n_states, num_keys);
+        fb::Timer t;
+        for (uint64_t s = 0; s < limit; ++s) {
+          auto history = ledger->StateScan("kvstore",
+                                           fb::MakeKey(s, 12, "acct"), 1u << 30);
+          fb::bench::Check(history.status(), "state scan");
+        }
+        fb::bench::Row("%10s %8llu %12llu %14.3f", name,
+                       static_cast<unsigned long long>(key_exp),
+                       static_cast<unsigned long long>(limit),
+                       t.ElapsedMillis());
+      }
+
+      // (b) block scan: latency vs block number scanned.
+      fb::bench::Header("Figure 12b: block scan");
+      fb::bench::Row("%10s %8s %12s %14s", "Backend", "2^keys", "Block#",
+                     "latency (ms)");
+      const uint64_t last = ledger->last_block();
+      for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const uint64_t blk = static_cast<uint64_t>(last * frac);
+        fb::Timer t;
+        auto state = ledger->BlockScan("kvstore", blk);
+        fb::bench::Check(state.status(), "block scan");
+        fb::bench::Row("%10s %8llu %12llu %14.3f", name,
+                       static_cast<unsigned long long>(key_exp),
+                       static_cast<unsigned long long>(blk),
+                       t.ElapsedMillis());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 14: Throughput of reading consecutive versions of a wiki page.
+//
+// A client explores a page's history: it reads the latest version, then
+// progressively older ones. With ForkBase the client's chunk cache keeps
+// most chunks of neighbouring versions warm, so per-exploration cost
+// grows sublinearly; the Redis-like baseline transfers every revision in
+// full. A synthetic per-remote-fetch cost models the network the paper
+// had (documented in EXPERIMENTS.md).
+
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "util/random.h"
+#include "wiki/wiki.h"
+
+namespace fb {
+namespace {
+
+constexpr int kRemoteFetchMicros = 30;  // modeled per-chunk network cost
+
+void Populate(ForkBaseWiki* wiki, RedisWiki* redis, int num_pages,
+              int versions) {
+  Rng rng(5);
+  for (int p = 0; p < num_pages; ++p) {
+    std::string content = rng.String(15 * 1024);
+    for (int v = 0; v < versions; ++v) {
+      bench::Check(wiki->SavePage(MakeKey(p, 8, "page"), Slice(content)),
+                   "save");
+      bench::Check(redis->SavePage(MakeKey(p, 8, "page"), Slice(content)),
+                   "save");
+      const size_t pos = rng.Uniform(content.size() - 300);
+      for (int j = 0; j < 300; ++j) {
+        content[pos + j] = static_cast<char>('a' + rng.Uniform(26));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.1);
+  const int num_pages = std::max(4, static_cast<int>(320 * scale));
+  const int kVersions = 6;
+  const int explorations = std::max(20, static_cast<int>(2000 * scale));
+
+  fb::ForkBaseWiki wiki;
+  fb::RedisWiki redis;
+  fb::Populate(&wiki, &redis, num_pages, kVersions);
+
+  fb::bench::Header(
+      "Figure 14: throughput reading consecutive wiki versions");
+  fb::bench::Row("%-10s %10s %14s", "Engine", "#Versions", "explor/s");
+
+  fb::Rng rng(6);
+  for (int depth = 1; depth <= kVersions; ++depth) {
+    // ForkBase: client cache across the exploration.
+    {
+      fb::Timer t;
+      double modeled_extra = 0;
+      for (int e = 0; e < explorations; ++e) {
+        const std::string page = fb::MakeKey(rng.Uniform(num_pages), 8,
+                                             "page");
+        fb::CachedChunkStore cache(wiki.db().store());
+        auto head = wiki.db().Get(page);
+        fb::bench::Check(head.status(), "get head");
+        auto versions = wiki.db().TrackFromUid(head->uid(), 0, depth - 1);
+        fb::bench::Check(versions.status(), "track");
+        for (const auto& obj : *versions) {
+          fb::Blob blob(&cache, wiki.db().tree_config(),
+                        obj.value().root());
+          auto bytes = blob.ReadAll();
+          fb::bench::Check(bytes.status(), "read");
+        }
+        modeled_extra +=
+            cache.remote_fetches() * fb::kRemoteFetchMicros * 1e-6;
+      }
+      const double secs = t.ElapsedSeconds() + modeled_extra;
+      fb::bench::Row("%-10s %10d %14.1f", "ForkBase", depth,
+                     explorations / secs);
+    }
+    // Redis: every revision fetched in full.
+    {
+      fb::Timer t;
+      double modeled_extra = 0;
+      for (int e = 0; e < explorations; ++e) {
+        const std::string page = fb::MakeKey(rng.Uniform(num_pages), 8,
+                                             "page");
+        for (int back = 0; back < depth; ++back) {
+          auto content = redis.ReadPage(page, back);
+          fb::bench::Check(content.status(), "read");
+          // Full content transfer modeled at the same per-4KB cost.
+          modeled_extra +=
+              (content->size() / 4096.0) * fb::kRemoteFetchMicros * 1e-6;
+        }
+      }
+      const double secs = t.ElapsedSeconds() + modeled_extra;
+      fb::bench::Row("%-10s %10d %14.1f", "Redis", depth,
+                     explorations / secs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 17: Dataset queries.
+//
+//   (a) version comparison (diff) with varying degrees of difference:
+//       ForkBase locates differences through the POS-Tree (cheap for
+//       small diffs, growing with the difference), OrpheusDB always
+//       compares the full rid vector (flat cost).
+//   (b) aggregation over 1..N million records: column-oriented ForkBase
+//       reads only the aggregated column (~10x over row-oriented);
+//       row-oriented ForkBase and OrpheusDB pay full-record extraction.
+
+#include "bench/bench_common.h"
+#include "tabular/dataset.h"
+#include "tabular/orpheus.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+void RunDiff(uint64_t num_records) {
+  bench::Header("Figure 17a: version diff latency");
+  bench::Row("%-10s %8s %16s", "System", "Diff%", "latency (ms)");
+  const auto rows = GenerateDataset(num_records);
+
+  for (int pct : {0, 1, 2, 4, 8}) {
+    const uint64_t n_changed = num_records * pct / 100;
+    Rng rng(pct + 100);
+    const uint64_t start =
+        n_changed < num_records ? rng.Uniform(num_records - n_changed) : 0;
+
+    // --- ForkBase ---
+    {
+      ForkBase db;
+      RowDataset ds(&db, "data", DatasetSchema());
+      bench::Check(ds.Import(rows), "import");
+      bench::Check(db.Fork("data", kDefaultBranch, "edited"), "fork");
+      std::vector<Record> updates;
+      for (uint64_t i = 0; i < n_changed; ++i) {
+        Record r = rows[start + i];
+        r[1] = "changed-" + std::to_string(i);
+        updates.push_back(std::move(r));
+      }
+      if (!updates.empty()) {
+        bench::Check(ds.UpdateRecords("edited", updates), "update");
+      }
+      Timer t;
+      auto ndiff = ds.DiffBranches(kDefaultBranch, "edited");
+      bench::Check(ndiff.status(), "diff");
+      bench::Row("%-10s %7d%% %16.2f", "ForkBase", pct, t.ElapsedMillis());
+    }
+
+    // --- OrpheusDB-like ---
+    {
+      OrpheusLikeStore store(DatasetSchema());
+      auto v1 = store.Init(rows);
+      bench::Check(v1.status(), "init");
+      auto copy = store.Checkout(*v1);
+      bench::Check(copy.status(), "checkout");
+      for (uint64_t i = 0; i < n_changed; ++i) {
+        (*copy)[start + i][1] = "changed-" + std::to_string(i);
+      }
+      auto v2 = store.Commit(*v1, *copy);
+      bench::Check(v2.status(), "commit");
+      Timer t;
+      auto ndiff = store.Diff(*v1, *v2);
+      bench::Check(ndiff.status(), "diff");
+      bench::Row("%-10s %7d%% %16.2f", "OrpheusDB", pct, t.ElapsedMillis());
+    }
+  }
+}
+
+void RunAggregation(uint64_t max_records) {
+  bench::Header("Figure 17b: aggregation latency");
+  bench::Row("%-14s %12s %16s", "System", "#Records", "latency (ms)");
+
+  for (uint64_t n = max_records / 8; n <= max_records; n *= 2) {
+    const auto rows = GenerateDataset(n);
+
+    {
+      ForkBase db;
+      ColumnDataset ds(&db, "col", DatasetSchema());
+      bench::Check(ds.Import(rows), "import col");
+      Timer t;
+      auto sum = ds.AggregateSum(kDefaultBranch, "qty");
+      bench::Check(sum.status(), "agg col");
+      bench::Row("%-14s %12llu %16.2f", "ForkBase-COL",
+                 static_cast<unsigned long long>(n), t.ElapsedMillis());
+    }
+    {
+      ForkBase db;
+      RowDataset ds(&db, "row", DatasetSchema());
+      bench::Check(ds.Import(rows), "import row");
+      Timer t;
+      auto sum = ds.AggregateSum(kDefaultBranch, "qty");
+      bench::Check(sum.status(), "agg row");
+      bench::Row("%-14s %12llu %16.2f", "ForkBase-ROW",
+                 static_cast<unsigned long long>(n), t.ElapsedMillis());
+    }
+    {
+      OrpheusLikeStore store(DatasetSchema());
+      auto v1 = store.Init(rows);
+      bench::Check(v1.status(), "init");
+      Timer t;
+      auto sum = store.AggregateSum(*v1, "qty");
+      bench::Check(sum.status(), "agg orpheus");
+      bench::Row("%-14s %12llu %16.2f", "OrpheusDB",
+                 static_cast<unsigned long long>(n), t.ElapsedMillis());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.01);
+  const uint64_t diff_records =
+      std::max<uint64_t>(1000, static_cast<uint64_t>(5000000 * scale));
+  // Paper sweeps 1..8M records for aggregation.
+  const uint64_t agg_records =
+      std::max<uint64_t>(2000, static_cast<uint64_t>(8000000 * scale));
+  fb::RunDiff(diff_records);
+  fb::RunAggregation(agg_records);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9: Latency of blockchain operations (read / write / commit),
+// 95th percentile, as the number of updates grows, for the three storage
+// backends: ForkBase (native two-level Maps), Rocksdb (mini-LSM +
+// bucket tree + state delta) and ForkBase-KV (ForkBase as a plain KV
+// under the same Hyperledger structures).
+//
+// Reproduced shape: reads/writes are orders of magnitude cheaper than
+// commits; ForkBase has the cheapest writes (buffering only) but pays
+// more on reads (multiple objects fetched); ForkBase-KV pays double
+// hashing at commit.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "blockchain/forkbase_ledger.h"
+#include "blockchain/kv_ledger.h"
+#include "blockchain/workload.h"
+
+namespace fb {
+namespace {
+
+std::unique_ptr<LedgerBackend> MakeBackend(const std::string& name) {
+  if (name == "ForkBase") return std::make_unique<ForkBaseLedger>();
+  if (name == "Rocksdb") {
+    return std::make_unique<KvLedger>(std::make_unique<LsmAdapter>());
+  }
+  return std::make_unique<KvLedger>(std::make_unique<ForkBaseKvAdapter>());
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.02);
+
+  fb::bench::Header(
+      "Figure 9: blockchain op latency, 95th percentile (b=50, r=w=0.5)");
+  fb::bench::Row("%12s %10s %14s %14s %14s", "Backend", "#Updates",
+                 "read (ms)", "write (ms)", "commit (ms)");
+
+  for (const char* backend_name : {"ForkBase", "Rocksdb", "ForkBase-KV"}) {
+    for (uint64_t updates : {uint64_t{10000}, uint64_t{100000},
+                             uint64_t{1000000}}) {
+      const uint64_t n = std::max<uint64_t>(500,
+                                            static_cast<uint64_t>(updates *
+                                                                  scale));
+      auto ledger = fb::MakeBackend(backend_name);
+      fb::WorkloadOptions opts;
+      opts.num_keys = n;   // paper: #keys == #operations
+      opts.num_ops = n * 2;  // r=w=0.5 => ~n writes
+      opts.read_ratio = 0.5;
+      opts.block_size = 50;
+      opts.value_size = 100;
+      auto result = fb::RunWorkload(ledger.get(), opts);
+      fb::bench::Check(result.status(), "workload");
+      fb::bench::Row("%12s %10llu %14.4f %14.4f %14.3f", backend_name,
+                     static_cast<unsigned long long>(updates),
+                     result->read_latency.Percentile(95) / 1e3,
+                     result->write_latency.Percentile(95) / 1e3,
+                     result->commit_latency.Percentile(95) / 1e3);
+    }
+  }
+  fb::bench::Row("(scaled: %g of paper's update counts per run)", scale);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Table 3: Performance of ForkBase Operations.
+//
+// Measures throughput and average latency of the nine operations the
+// paper benchmarks, at 1 KB and 20 KB request sizes, against one embedded
+// servlet. (The paper drives a networked servlet from 32 clients; we run
+// in-process, so absolute numbers are higher, but the relationships —
+// primitives faster than chunkable types, meta/track/fork fastest and
+// size-independent — are the reproduced shape.)
+
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_common.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+using bench::CheckResult;
+
+struct OpResult {
+  std::string name;
+  double kops;
+  double avg_us;
+};
+
+template <typename SetupFn, typename OpFn>
+OpResult RunOp(const std::string& name, int iterations, SetupFn setup,
+               OpFn op) {
+  setup();
+  Timer t;
+  for (int i = 0; i < iterations; ++i) op(i);
+  const double secs = t.ElapsedSeconds();
+  return OpResult{name, iterations / secs / 1e3,
+                  secs * 1e6 / iterations};
+}
+
+void BenchSize(size_t value_size, int iterations) {
+  ForkBase db;
+  Rng rng(42);
+  const Bytes payload = rng.BytesOf(value_size);
+  const std::string payload_str = BytesToString(payload);
+  std::vector<OpResult> results;
+
+  // Put-String
+  results.push_back(RunOp(
+      "Put-String", iterations, [] {},
+      [&](int i) {
+        bench::Check(db.Put(MakeKey(i, 10, "ps"), Value::OfString(payload_str))
+                         .status(),
+                     "Put-String");
+      }));
+
+  // Put-Blob
+  results.push_back(RunOp(
+      "Put-Blob", iterations, [] {},
+      [&](int i) {
+        Blob blob = CheckResult(db.CreateBlob(Slice(payload)), "CreateBlob");
+        bench::Check(db.Put(MakeKey(i, 10, "pb"), blob.ToValue()).status(),
+                     "Put-Blob");
+      }));
+
+  // Put-Map: one map object of the target size (50-byte entries), built
+  // in a single chunking pass as the engine does for whole-object Puts.
+  const size_t entries = std::max<size_t>(1, value_size / 50);
+  results.push_back(RunOp(
+      "Put-Map", iterations, [] {},
+      [&](int i) {
+        std::vector<std::pair<Bytes, Bytes>> kvs;
+        kvs.reserve(entries);
+        for (size_t e = 0; e < entries; ++e) {
+          kvs.emplace_back(ToBytes(MakeKey(e, 10, "mk")),
+                           Bytes(payload.begin(), payload.begin() + 30));
+        }
+        FMap map = CheckResult(db.CreateMapFromEntries(std::move(kvs)),
+                               "CreateMap");
+        bench::Check(db.Put(MakeKey(i, 10, "pm"), map.ToValue()).status(),
+                     "Put-Map");
+      }));
+
+  // Get-String
+  results.push_back(RunOp(
+      "Get-String", iterations, [] {},
+      [&](int i) {
+        (void)CheckResult(db.Get(MakeKey(i % iterations, 10, "ps")),
+                          "Get-String");
+      }));
+
+  // Get-Blob-Meta: fetch the FObject handle only.
+  results.push_back(RunOp(
+      "Get-Blob-Meta", iterations, [] {},
+      [&](int i) {
+        FObject obj = CheckResult(db.Get(MakeKey(i % iterations, 10, "pb")),
+                                  "Get-Blob-Meta");
+        (void)obj;
+      }));
+
+  // Get-Blob-Full: handle + full content.
+  results.push_back(RunOp(
+      "Get-Blob-Full", iterations, [] {},
+      [&](int i) {
+        FObject obj = CheckResult(db.Get(MakeKey(i % iterations, 10, "pb")),
+                                  "Get-Blob");
+        Blob blob = CheckResult(db.GetBlob(obj), "GetBlob");
+        (void)CheckResult(blob.ReadAll(), "ReadAll");
+      }));
+
+  // Get-Map-Full: handle + all entries.
+  results.push_back(RunOp(
+      "Get-Map-Full", iterations, [] {},
+      [&](int i) {
+        FObject obj = CheckResult(db.Get(MakeKey(i % iterations, 10, "pm")),
+                                  "Get-Map");
+        FMap map = CheckResult(db.GetMap(obj), "GetMap");
+        (void)CheckResult(map.Entries(), "Entries");
+      }));
+
+  // Track: walk 1 version of history metadata.
+  results.push_back(RunOp(
+      "Track", iterations, [] {},
+      [&](int i) {
+        (void)CheckResult(
+            db.Track(MakeKey(i % iterations, 10, "ps"), kDefaultBranch, 0, 0),
+            "Track");
+      }));
+
+  // Fork: branch-table-only operation.
+  results.push_back(RunOp(
+      "Fork", iterations, [] {},
+      [&](int i) {
+        bench::Check(db.Fork(MakeKey(i % iterations, 10, "ps"),
+                             kDefaultBranch, "b" + std::to_string(i)),
+                     "Fork");
+      }));
+
+  bench::Row("%-16s %14s %14s", "Operation",
+             (std::to_string(value_size / 1024) + "KB kops/s").c_str(),
+             "avg us");
+  for (const OpResult& r : results) {
+    bench::Row("%-16s %14.1f %14.2f", r.name.c_str(), r.kops, r.avg_us);
+  }
+}
+
+}  // namespace
+}  // namespace fb
+
+int main(int argc, char** argv) {
+  const double scale = fb::bench::ScaleArg(argc, argv, 0.2);
+  const int iterations = static_cast<int>(10000 * scale);
+  fb::bench::Header("Table 3: ForkBase operation throughput and latency");
+  fb::bench::Row("(embedded servlet, %d ops per cell; paper: networked, "
+                 "32 clients)", iterations);
+  fb::BenchSize(1024, iterations);
+  fb::BenchSize(20 * 1024, std::max(100, iterations / 5));
+  return 0;
+}

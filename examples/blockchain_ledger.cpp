@@ -1,0 +1,79 @@
+// Blockchain example (Section 5.1): run a small mini-Hyperledger chain
+// on the ForkBase-native backend, execute transactions in blocks, verify
+// the hash chain, and answer the two analytical queries — state scan and
+// block scan — without replaying the chain.
+
+#include <cstdio>
+
+#include "blockchain/forkbase_ledger.h"
+#include "blockchain/workload.h"
+
+int main() {
+  fb::ForkBaseLedger ledger;
+
+  // A tiny token contract: accounts with balances, updated over blocks.
+  const char* kContract = "token";
+  uint64_t block = 0;
+
+  auto commit = [&](std::initializer_list<std::pair<const char*, const char*>>
+                        writes) {
+    for (const auto& [k, v] : writes) {
+      auto s = ledger.Write(kContract, k, v);
+      if (!s.ok()) std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+    }
+    auto s = ledger.Commit(block++, {});
+    if (!s.ok()) std::fprintf(stderr, "commit: %s\n", s.ToString().c_str());
+  };
+
+  commit({{"alice", "100"}, {"bob", "50"}});
+  commit({{"alice", "80"}, {"bob", "70"}});   // alice -> bob 20
+  commit({{"alice", "90"}, {"carol", "10"}}); // bob mints? no — demo data
+  commit({{"bob", "65"}, {"carol", "15"}});
+
+  std::printf("chain height: %llu blocks\n",
+              static_cast<unsigned long long>(ledger.last_block() + 1));
+
+  // --- Tamper evidence: verify the hash chain from genesis ---
+  auto verify = fb::VerifyChain(ledger.last_block(), [&](uint64_t n) {
+    return ledger.LoadBlock(n);
+  });
+  std::printf("chain verification: %s\n", verify.ToString().c_str());
+
+  // --- State scan: how alice's balance came about ---
+  auto history = ledger.StateScan(kContract, "alice", 100);
+  if (history.ok()) {
+    std::printf("alice history (newest first):\n");
+    for (const auto& v : *history) {
+      std::printf("  block %llu: %s\n",
+                  static_cast<unsigned long long>(v.block), v.value.c_str());
+    }
+  }
+
+  // --- Block scan: all balances as of block 1 ---
+  auto at1 = ledger.BlockScan(kContract, 1);
+  if (at1.ok()) {
+    std::printf("state at block 1:\n");
+    for (const auto& [k, v] : *at1) {
+      std::printf("  %s = %s\n", k.c_str(), v.c_str());
+    }
+  }
+
+  // --- YCSB-style smart-contract workload, as in the evaluation ---
+  fb::WorkloadOptions opts;
+  opts.num_keys = 256;
+  opts.num_ops = 2000;
+  opts.read_ratio = 0.5;
+  opts.block_size = 50;
+  auto result = fb::RunWorkload(&ledger, opts);
+  if (result.ok()) {
+    std::printf("workload: %llu txns in %llu blocks, %.0f txn/s, "
+                "commit p95 %.2f ms\n",
+                static_cast<unsigned long long>(result->committed_txns),
+                static_cast<unsigned long long>(result->blocks),
+                result->Throughput(),
+                result->commit_latency.Percentile(95) / 1e3);
+  }
+  std::printf("ledger storage: %.2f MB\n",
+              ledger.StorageBytes() / 1048576.0);
+  return 0;
+}

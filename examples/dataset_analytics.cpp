@@ -1,0 +1,79 @@
+// Collaborative analytics example (Section 5.3): a relational dataset
+// versioned in ForkBase. Analysts fork the dataset, clean records on
+// their own branch, diff against master, and run aggregations on the
+// row- and column-oriented layouts.
+
+#include <cstdio>
+
+#include "tabular/dataset.h"
+#include "util/random.h"
+
+int main() {
+  fb::ForkBase db;
+  const fb::Schema schema = fb::DatasetSchema();
+  const auto rows = fb::GenerateDataset(20000);
+
+  // --- Import as a row-layout dataset (Map of pk -> Tuple) ---
+  fb::RowDataset sales(&db, "sales", schema);
+  if (auto s = sales.Import(rows); !s.ok()) {
+    std::fprintf(stderr, "import: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("imported %llu records (%zu columns)\n",
+              static_cast<unsigned long long>(
+                  sales.NumRecords(fb::kDefaultBranch).ValueOr(0)),
+              schema.columns.size());
+
+  const uint64_t bytes_before_branch = db.store()->stats().stored_bytes;
+
+  // --- An analyst forks and cleans data on a private branch ---
+  if (auto s = db.Fork("sales", fb::kDefaultBranch, "cleaning"); !s.ok()) {
+    std::fprintf(stderr, "fork: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<fb::Record> fixes;
+  fb::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    fb::Record r = rows[rng.Uniform(rows.size())];
+    r[1] = "0";  // null out a bad quantity
+    fixes.push_back(std::move(r));
+  }
+  if (auto s = sales.UpdateRecords("cleaning", fixes); !s.ok()) {
+    std::fprintf(stderr, "update: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const uint64_t bytes_after_branch = db.store()->stats().stored_bytes;
+
+  // --- Version comparison via the POS-Tree diff ---
+  auto ndiff = sales.DiffBranches(fb::kDefaultBranch, "cleaning");
+  std::printf("cleaning branch differs from master in %zu records\n",
+              ndiff.ValueOr(0));
+
+  // --- Aggregations: row layout vs column layout ---
+  auto row_sum = sales.AggregateSum(fb::kDefaultBranch, "qty");
+  std::printf("row-layout    SUM(qty) = %lld\n",
+              static_cast<long long>(row_sum.ValueOr(-1)));
+
+  fb::ColumnDataset sales_col(&db, "sales_col", schema);
+  if (auto s = sales_col.Import(rows); !s.ok()) {
+    std::fprintf(stderr, "column import: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto col_sum = sales_col.AggregateSum(fb::kDefaultBranch, "qty");
+  std::printf("column-layout SUM(qty) = %lld\n",
+              static_cast<long long>(col_sum.ValueOr(-1)));
+
+  // --- Storage: the branch version shares almost all chunks with
+  //     master (copy-on-write), so committing 200 fixed records costs a
+  //     tiny fraction of a full dataset copy. ---
+  const uint64_t branch_cost = bytes_after_branch - bytes_before_branch;
+  std::printf("branch version added %.2f MB on top of a %.2f MB dataset "
+              "(%.1f%% of a full copy)\n",
+              branch_cost / 1048576.0, bytes_before_branch / 1048576.0,
+              100.0 * static_cast<double>(branch_cost) /
+                  static_cast<double>(bytes_before_branch));
+
+  // --- CSV round-trip for interchange ---
+  std::printf("csv sample: %s\n", fb::RecordToCsv(rows[0]).c_str());
+  return 0;
+}

@@ -1,0 +1,175 @@
+// forkbase_cli: an interactive / scriptable shell over a persistent
+// ForkBase store — the "document hosting / git-like" usage of Figure 1.
+//
+// Usage:
+//   forkbase_cli [data-dir] << 'EOF'
+//   put greeting master "hello world"
+//   fork greeting master feature
+//   put greeting feature "hello fork"
+//   get greeting feature
+//   branches greeting
+//   track greeting master 5
+//   merge greeting master feature right
+//   keys
+//   EOF
+//
+// Commands:
+//   put <key> <branch> <value...>      write a String version
+//   get <key> [branch]                 read the head
+//   fork <key> <ref-branch> <new>      create a branch
+//   rename <key> <old> <new>           rename a branch
+//   remove <key> <branch>              delete a branch
+//   branches <key>                     list tagged branches + heads
+//   track <key> <branch> <n>           show last n versions
+//   diff <key> <branch1> <branch2>     compare two heads (String values)
+//   merge <key> <tgt> <ref> [left|right|append]   three-way merge
+//   keys                               list keys
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "api/db.h"
+#include "chunk/chunk_store.h"
+
+namespace {
+
+void Print(const fb::Status& s) {
+  std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+}
+
+fb::ConflictResolver ResolverByName(const std::string& name) {
+  if (name == "left") return fb::ChooseLeft();
+  if (name == "right") return fb::ChooseRight();
+  if (name == "append") return fb::ResolveAppend();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<fb::ForkBase> db;
+  if (argc > 1) {
+    auto store = fb::LogChunkStore::Open(argv[1]);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", argv[1],
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    db = std::make_unique<fb::ForkBase>(fb::DBOptions{}, std::move(*store));
+    std::printf("opened persistent store at %s\n", argv[1]);
+  } else {
+    db = std::make_unique<fb::ForkBase>();
+    std::printf("in-memory store (pass a directory for persistence)\n");
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "put") {
+      std::string key, branch;
+      in >> key >> branch;
+      std::string value;
+      std::getline(in, value);
+      if (!value.empty() && value[0] == ' ') value.erase(0, 1);
+      auto r = db->Put(key, branch, fb::Value::OfString(value));
+      if (r.ok()) {
+        std::printf("uid %s\n", r->ToShortHex().c_str());
+      } else {
+        Print(r.status());
+      }
+    } else if (cmd == "get") {
+      std::string key, branch = fb::kDefaultBranch;
+      in >> key >> branch;
+      auto obj = db->Get(key, branch);
+      if (obj.ok()) {
+        std::printf("%s (uid %s, depth %llu)\n",
+                    obj->value().AsString().c_str(),
+                    obj->uid().ToShortHex().c_str(),
+                    static_cast<unsigned long long>(obj->depth()));
+      } else {
+        Print(obj.status());
+      }
+    } else if (cmd == "fork") {
+      std::string key, ref, nb;
+      in >> key >> ref >> nb;
+      Print(db->Fork(key, ref, nb));
+    } else if (cmd == "rename") {
+      std::string key, a, b;
+      in >> key >> a >> b;
+      Print(db->Rename(key, a, b));
+    } else if (cmd == "remove") {
+      std::string key, b;
+      in >> key >> b;
+      Print(db->Remove(key, b));
+    } else if (cmd == "branches") {
+      std::string key;
+      in >> key;
+      auto bs = db->ListTaggedBranches(key);
+      if (!bs.ok()) {
+        Print(bs.status());
+        continue;
+      }
+      for (const auto& [name, head] : *bs) {
+        std::printf("%-20s %s\n", name.c_str(), head.ToShortHex().c_str());
+      }
+    } else if (cmd == "track") {
+      std::string key, branch;
+      uint64_t n = 5;
+      in >> key >> branch >> n;
+      auto history = db->Track(key, branch, 0, n - 1);
+      if (!history.ok()) {
+        Print(history.status());
+        continue;
+      }
+      for (size_t i = 0; i < history->size(); ++i) {
+        const auto& obj = (*history)[i];
+        std::printf("~%zu  %s  depth=%llu  '%s'\n", i,
+                    obj.uid().ToShortHex().c_str(),
+                    static_cast<unsigned long long>(obj.depth()),
+                    obj.value().AsString().c_str());
+      }
+    } else if (cmd == "diff") {
+      std::string key, b1, b2;
+      in >> key >> b1 >> b2;
+      auto h1 = db->Head(key, b1);
+      auto h2 = db->Head(key, b2);
+      if (!h1.ok() || !h2.ok()) {
+        Print(h1.ok() ? h2.status() : h1.status());
+        continue;
+      }
+      auto o1 = db->GetByUid(*h1);
+      auto o2 = db->GetByUid(*h2);
+      if (o1.ok() && o2.ok()) {
+        std::printf("%s: '%s'\n%s: '%s'\n%s\n", b1.c_str(),
+                    o1->value().AsString().c_str(), b2.c_str(),
+                    o2->value().AsString().c_str(),
+                    *h1 == *h2 ? "identical" : "different");
+      }
+    } else if (cmd == "merge") {
+      std::string key, tgt, ref, strategy;
+      in >> key >> tgt >> ref >> strategy;
+      auto outcome = db->Merge(key, tgt, ref, ResolverByName(strategy));
+      if (!outcome.ok()) {
+        Print(outcome.status());
+      } else if (!outcome->clean()) {
+        std::printf("conflict: %zu unresolved (pass left|right|append)\n",
+                    outcome->unresolved.size());
+      } else {
+        std::printf("merged -> %s\n", outcome->uid.ToShortHex().c_str());
+      }
+    } else if (cmd == "keys") {
+      for (const auto& k : db->ListKeys()) std::printf("%s\n", k.c_str());
+    } else {
+      std::printf("unknown command '%s'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

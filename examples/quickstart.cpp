@@ -1,0 +1,98 @@
+// Quickstart: the core ForkBase workflow from Section 3 / Figure 4 —
+// put/get, fork a branch, edit a Blob through its handle, commit, track
+// history, diff and merge.
+
+#include <cstdio>
+
+#include "api/db.h"
+
+using fb::Blob;
+using fb::FObject;
+using fb::ForkBase;
+using fb::kDefaultBranch;
+using fb::Slice;
+using fb::Value;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    auto _s = (expr);                                              \
+    if (!_s.ok()) {                                                \
+      std::fprintf(stderr, "error: %s\n", _s.ToString().c_str());  \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+#define CHECK_RESULT(var, expr)                                    \
+  auto var##_r = (expr);                                           \
+  if (!var##_r.ok()) {                                             \
+    std::fprintf(stderr, "error: %s\n",                            \
+                 var##_r.status().ToString().c_str());             \
+    return 1;                                                      \
+  }                                                                \
+  auto& var = *var##_r
+
+int main() {
+  ForkBase db;
+
+  // --- Put a blob to the default master branch (Figure 4) ---
+  CHECK_RESULT(blob, db.CreateBlob(Slice("0123456789my value")));
+  CHECK_OK(db.Put("my key", blob.ToValue()).status());
+  std::printf("committed 'my key' to %s\n", kDefaultBranch);
+
+  // --- Fork to a new branch ---
+  CHECK_OK(db.Fork("my key", "master", "new branch"));
+
+  // --- Get the blob on the new branch (returns a lazy handle) ---
+  CHECK_RESULT(obj, db.Get("my key", "new branch"));
+  if (obj.type() != fb::UType::kBlob) {
+    std::fprintf(stderr, "type mismatch\n");
+    return 1;
+  }
+  CHECK_RESULT(handle, db.GetBlob(obj));
+
+  // --- Remove 10 bytes from the beginning and append new content.
+  //     Changes stay client-side until committed with Put. ---
+  CHECK_OK(handle.Remove(0, 10));
+  CHECK_OK(handle.Append(Slice(" some more")));
+  CHECK_OK(db.Put("my key", "new branch", handle.ToValue()).status());
+
+  CHECK_RESULT(edited, db.Get("my key", "new branch"));
+  CHECK_RESULT(edited_blob, db.GetBlob(edited));
+  CHECK_RESULT(content, edited_blob.ReadAll());
+  std::printf("new branch content: '%s'\n",
+              fb::BytesToString(content).c_str());
+
+  // --- master is untouched; versions are tamper-evident uids ---
+  CHECK_RESULT(master, db.Get("my key"));
+  std::printf("master uid:     %s (depth %llu)\n",
+              master.uid().ToShortHex().c_str(),
+              static_cast<unsigned long long>(master.depth()));
+  std::printf("new-branch uid: %s (depth %llu)\n", edited.uid().ToShortHex().c_str(),
+              static_cast<unsigned long long>(edited.depth()));
+
+  // --- Diff the two branch heads at byte level ---
+  CHECK_RESULT(diff, db.DiffBlobVersions(master.uid(), edited.uid()));
+  std::printf("diff: common prefix %llu bytes, master-side %llu vs "
+              "branch-side %llu differing bytes\n",
+              static_cast<unsigned long long>(diff.prefix),
+              static_cast<unsigned long long>(diff.a_mid),
+              static_cast<unsigned long long>(diff.b_mid));
+
+  // --- Track history of the edited branch ---
+  CHECK_RESULT(history, db.Track("my key", "new branch", 0, 10));
+  std::printf("new-branch history has %zu versions\n", history.size());
+
+  // --- Merge the branch back into master ---
+  CHECK_RESULT(outcome, db.Merge("my key", "master", "new branch",
+                                 fb::ChooseRight()));
+  std::printf("merge %s, merged uid %s\n",
+              outcome.clean() ? "clean" : "had conflicts",
+              outcome.uid.ToShortHex().c_str());
+
+  CHECK_RESULT(final_obj, db.Get("my key"));
+  CHECK_RESULT(final_blob, db.GetBlob(final_obj));
+  CHECK_RESULT(final_content, final_blob.ReadAll());
+  std::printf("master after merge: '%s'\n",
+              fb::BytesToString(final_content).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Wiki example (Section 5.2): a multi-versioned wiki on ForkBase —
+// every revision is a Blob version; history, diffs and storage dedup
+// come from the engine.
+
+#include <cstdio>
+
+#include "util/random.h"
+#include "wiki/wiki.h"
+
+int main() {
+  fb::ForkBaseWiki wiki;
+
+  // Author a page through several revisions.
+  std::string content =
+      "ForkBase is a storage engine for blockchain and forkable "
+      "applications. ";
+  fb::Rng rng(1);
+  content += rng.String(4000);  // body text
+
+  for (int rev = 0; rev < 5; ++rev) {
+    auto s = wiki.SavePage("Main_Page", fb::Slice(content),
+                           fb::Slice("editor=user" + std::to_string(rev)));
+    if (!s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Edit a small region in place — typical wiki behaviour.
+    const size_t pos = 100 + rng.Uniform(3000);
+    content.replace(pos, 20, "[edited rev " + std::to_string(rev + 1) + "] ");
+  }
+
+  auto revisions = wiki.NumRevisions("Main_Page");
+  std::printf("Main_Page has %llu revisions\n",
+              static_cast<unsigned long long>(revisions.ValueOr(0)));
+
+  // Read current and historical revisions.
+  for (uint64_t back : {uint64_t{0}, uint64_t{2}, uint64_t{4}}) {
+    auto text = wiki.ReadPage("Main_Page", back);
+    if (text.ok()) {
+      std::printf("revision -%llu starts: '%.40s...'\n",
+                  static_cast<unsigned long long>(back),
+                  text->c_str());
+    }
+  }
+
+  // Diff two consecutive revisions: the POS-Tree localizes the edit.
+  auto diff = wiki.DiffRevisions("Main_Page", 1, 0);
+  if (diff.ok()) {
+    std::printf("diff(prev, latest): %llu-byte common prefix, %llu vs %llu "
+                "differing bytes\n",
+                static_cast<unsigned long long>(diff->prefix),
+                static_cast<unsigned long long>(diff->a_mid),
+                static_cast<unsigned long long>(diff->b_mid));
+  }
+
+  // Storage: five ~4 KB revisions share most chunks.
+  std::printf("engine stores %.1f KB for %llu x ~%.1f KB of revisions\n",
+              wiki.StorageBytes() / 1024.0,
+              static_cast<unsigned long long>(revisions.ValueOr(0)),
+              content.size() / 1024.0);
+  return 0;
+}

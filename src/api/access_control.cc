@@ -1,0 +1,69 @@
+#include "api/access_control.h"
+
+namespace fb {
+
+Permission AccessController::Effective(const std::string& user,
+                                       const std::string& key,
+                                       const std::string& branch) const {
+  auto bit = branch_rules_.find({user, key, branch});
+  if (bit != branch_rules_.end()) return bit->second;
+  auto kit = key_rules_.find({user, key});
+  if (kit != key_rules_.end()) return kit->second;
+  auto uit = users_.find(user);
+  if (uit != users_.end()) return uit->second;
+  return default_;
+}
+
+Status AccessControlledDb::Require(const std::string& key,
+                                   const std::string& branch,
+                                   Permission needed) const {
+  if (!acl_->Allows(user_, key, branch, needed)) {
+    return Status::PreconditionFailed("user '" + user_ +
+                                      "' lacks permission on '" + key + "/" +
+                                      branch + "'");
+  }
+  return Status::OK();
+}
+
+Result<FObject> AccessControlledDb::Get(const std::string& key,
+                                        const std::string& branch) {
+  FB_RETURN_NOT_OK(Require(key, branch, Permission::kRead));
+  return db_->Get(key, branch);
+}
+
+Result<Hash> AccessControlledDb::Put(const std::string& key,
+                                     const std::string& branch,
+                                     const Value& value) {
+  FB_RETURN_NOT_OK(Require(key, branch, Permission::kWrite));
+  return db_->Put(key, branch, value);
+}
+
+Result<std::vector<FObject>> AccessControlledDb::Track(
+    const std::string& key, const std::string& branch, uint64_t min_dist,
+    uint64_t max_dist) {
+  FB_RETURN_NOT_OK(Require(key, branch, Permission::kRead));
+  return db_->Track(key, branch, min_dist, max_dist);
+}
+
+Status AccessControlledDb::Fork(const std::string& key,
+                                const std::string& ref_branch,
+                                const std::string& new_branch) {
+  FB_RETURN_NOT_OK(Require(key, ref_branch, Permission::kAdmin));
+  return db_->Fork(key, ref_branch, new_branch);
+}
+
+Status AccessControlledDb::Remove(const std::string& key,
+                                  const std::string& branch) {
+  FB_RETURN_NOT_OK(Require(key, branch, Permission::kAdmin));
+  return db_->Remove(key, branch);
+}
+
+Result<ForkBase::MergeOutcome> AccessControlledDb::Merge(
+    const std::string& key, const std::string& tgt_branch,
+    const std::string& ref_branch, const ConflictResolver& resolver) {
+  FB_RETURN_NOT_OK(Require(key, tgt_branch, Permission::kWrite));
+  FB_RETURN_NOT_OK(Require(key, ref_branch, Permission::kRead));
+  return db_->Merge(key, tgt_branch, ref_branch, resolver);
+}
+
+}  // namespace fb

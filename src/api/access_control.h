@@ -1,0 +1,99 @@
+// Branch-based access control (the "Semantic Views" layer of Figure 1:
+// "Other features such as access control and customized merge functions
+// can be added to the view layer").
+//
+// An AccessController maps (user, key, branch) to a permission level and
+// an AccessControlledDb enforces it in front of a ForkBase engine. Rules
+// are most-specific-wins: an exact (key, branch) rule beats a key-level
+// rule, which beats the user's default.
+
+#ifndef FORKBASE_API_ACCESS_CONTROL_H_
+#define FORKBASE_API_ACCESS_CONTROL_H_
+
+#include <map>
+#include <string>
+
+#include "api/db.h"
+
+namespace fb {
+
+enum class Permission : uint8_t {
+  kNone = 0,   // no access
+  kRead = 1,   // Get / Track / List
+  kWrite = 2,  // + Put / Merge into
+  kAdmin = 3,  // + Fork / Rename / Remove branches, grant rights
+};
+
+class AccessController {
+ public:
+  // Default permission for unknown users (paper deployments would set
+  // kNone; kRead makes single-tenant embedding frictionless).
+  explicit AccessController(Permission default_permission = Permission::kNone)
+      : default_(default_permission) {}
+
+  // Grants `user` a default level across all keys.
+  void GrantUser(const std::string& user, Permission p) { users_[user] = p; }
+  // Grants on a specific key (all branches).
+  void GrantKey(const std::string& user, const std::string& key,
+                Permission p) {
+    key_rules_[{user, key}] = p;
+  }
+  // Grants on a specific (key, branch).
+  void GrantBranch(const std::string& user, const std::string& key,
+                   const std::string& branch, Permission p) {
+    branch_rules_[{user, key, branch}] = p;
+  }
+
+  Permission Effective(const std::string& user, const std::string& key,
+                       const std::string& branch) const;
+
+  bool Allows(const std::string& user, const std::string& key,
+              const std::string& branch, Permission needed) const {
+    return static_cast<uint8_t>(Effective(user, key, branch)) >=
+           static_cast<uint8_t>(needed);
+  }
+
+ private:
+  Permission default_;
+  std::map<std::string, Permission> users_;
+  std::map<std::pair<std::string, std::string>, Permission> key_rules_;
+  std::map<std::tuple<std::string, std::string, std::string>, Permission>
+      branch_rules_;
+};
+
+// A per-user facade enforcing the controller's rules before delegating
+// to the engine (the servlet's "access controller verifies request
+// permission before execution", Section 4.1).
+class AccessControlledDb {
+ public:
+  AccessControlledDb(ForkBase* db, const AccessController* acl,
+                     std::string user)
+      : db_(db), acl_(acl), user_(std::move(user)) {}
+
+  Result<FObject> Get(const std::string& key,
+                      const std::string& branch = kDefaultBranch);
+  Result<Hash> Put(const std::string& key, const std::string& branch,
+                   const Value& value);
+  Result<std::vector<FObject>> Track(const std::string& key,
+                                     const std::string& branch,
+                                     uint64_t min_dist, uint64_t max_dist);
+  Status Fork(const std::string& key, const std::string& ref_branch,
+              const std::string& new_branch);
+  Status Remove(const std::string& key, const std::string& branch);
+  Result<ForkBase::MergeOutcome> Merge(
+      const std::string& key, const std::string& tgt_branch,
+      const std::string& ref_branch,
+      const ConflictResolver& resolver = nullptr);
+
+ private:
+  Status Require(const std::string& key, const std::string& branch,
+                 Permission needed) const;
+
+  ForkBase* db_;
+  const AccessController* acl_;
+  std::string user_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_API_ACCESS_CONTROL_H_

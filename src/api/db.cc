@@ -1,0 +1,556 @@
+#include "api/db.h"
+
+#include <algorithm>
+
+namespace fb {
+
+ForkBase::ForkBase(DBOptions options)
+    : options_(options),
+      owned_store_(std::make_unique<MemChunkStore>()),
+      store_(owned_store_.get()) {}
+
+ForkBase::ForkBase(DBOptions options, std::unique_ptr<ChunkStore> store)
+    : options_(options),
+      owned_store_(std::move(store)),
+      store_(owned_store_.get()) {}
+
+ForkBase::ForkBase(DBOptions options, ChunkStore* store)
+    : options_(options), store_(store) {}
+
+// ---------------------------------------------------------------------------
+// Factories / handles
+// ---------------------------------------------------------------------------
+
+Result<Blob> ForkBase::CreateBlob(Slice content) {
+  return Blob::Create(store_, options_.tree, content);
+}
+
+Result<FList> ForkBase::CreateList(const std::vector<Bytes>& elements) {
+  return FList::Create(store_, options_.tree, elements);
+}
+
+Result<FMap> ForkBase::CreateMap() {
+  return FMap::Create(store_, options_.tree);
+}
+
+Result<FMap> ForkBase::CreateMapFromEntries(
+    std::vector<std::pair<Bytes, Bytes>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Element> elems;
+  elems.reserve(entries.size());
+  for (auto& [k, v] : entries) {
+    Element e;
+    e.key = std::move(k);
+    e.value = std::move(v);
+    elems.push_back(std::move(e));
+  }
+  FB_ASSIGN_OR_RETURN(
+      Hash root,
+      PosTree::BuildFromElements(store_, options_.tree, ChunkType::kMap,
+                                 elems));
+  return FMap(store_, options_.tree, root);
+}
+
+Result<FSet> ForkBase::CreateSet() {
+  return FSet::Create(store_, options_.tree);
+}
+
+Result<Blob> ForkBase::GetBlob(const FObject& obj) const {
+  if (obj.type() != UType::kBlob) {
+    return Status::TypeMismatch("object is " +
+                                std::string(UTypeToString(obj.type())));
+  }
+  return Blob(store_, options_.tree, obj.value().root());
+}
+
+Result<FList> ForkBase::GetList(const FObject& obj) const {
+  if (obj.type() != UType::kList) {
+    return Status::TypeMismatch("object is " +
+                                std::string(UTypeToString(obj.type())));
+  }
+  return FList(store_, options_.tree, obj.value().root());
+}
+
+Result<FMap> ForkBase::GetMap(const FObject& obj) const {
+  if (obj.type() != UType::kMap) {
+    return Status::TypeMismatch("object is " +
+                                std::string(UTypeToString(obj.type())));
+  }
+  return FMap(store_, options_.tree, obj.value().root());
+}
+
+Result<FSet> ForkBase::GetSet(const FObject& obj) const {
+  if (obj.type() != UType::kSet) {
+    return Status::TypeMismatch("object is " +
+                                std::string(UTypeToString(obj.type())));
+  }
+  return FSet(store_, options_.tree, obj.value().root());
+}
+
+PosTree ForkBase::TreeOf(const FObject& obj) const {
+  return PosTree(store_, options_.tree, LeafChunkTypeFor(obj.type()),
+                 obj.value().root());
+}
+
+// ---------------------------------------------------------------------------
+// Get
+// ---------------------------------------------------------------------------
+
+Result<FObject> ForkBase::Get(const std::string& key,
+                              const std::string& branch) {
+  Hash head;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(key);
+    if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+    FB_ASSIGN_OR_RETURN(head, it->second.Head(branch));
+  }
+  return FObject::Load(*store_, head);
+}
+
+Result<FObject> ForkBase::GetByUid(const Hash& uid) const {
+  return FObject::Load(*store_, uid);
+}
+
+Result<Hash> ForkBase::Head(const std::string& key,
+                            const std::string& branch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  return it->second.Head(branch);
+}
+
+// ---------------------------------------------------------------------------
+// Put
+// ---------------------------------------------------------------------------
+
+Result<Hash> ForkBase::CommitObject(const std::string& key, const Value& value,
+                                    std::vector<Hash> bases, Slice context) {
+  uint64_t depth = 0;
+  for (const Hash& base : bases) {
+    FB_ASSIGN_OR_RETURN(FObject parent, FObject::Load(*store_, base));
+    depth = std::max(depth, parent.depth() + 1);
+  }
+  const FObject obj =
+      FObject::Make(Slice(key), value, std::move(bases), depth, context);
+  return obj.Store(store_);
+}
+
+Result<Hash> ForkBase::Put(const std::string& key, const std::string& branch,
+                           const Value& value, Slice context) {
+  std::vector<Hash> bases;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(key);
+    if (it != branches_.end() && it->second.HasBranch(branch)) {
+      auto head = it->second.Head(branch);
+      if (head.ok()) bases.push_back(*head);
+    }
+  }
+  FB_ASSIGN_OR_RETURN(Hash uid,
+                      CommitObject(key, value, std::move(bases), context));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FB_RETURN_NOT_OK(branches_[key].SetHead(branch, uid));
+  }
+  return uid;
+}
+
+Result<Hash> ForkBase::PutGuarded(const std::string& key,
+                                  const std::string& branch,
+                                  const Value& value, const Hash& guard_uid,
+                                  Slice context) {
+  // Check the guard before doing the (possibly expensive) commit, then
+  // re-check atomically when swinging the head.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(key);
+    const Hash current =
+        (it != branches_.end() && it->second.HasBranch(branch))
+            ? *it->second.Head(branch)
+            : Hash::Null();
+    if (current != guard_uid) {
+      return Status::PreconditionFailed("stale guard for '" + key + "/" +
+                                        branch + "'");
+    }
+  }
+  std::vector<Hash> bases;
+  if (!guard_uid.IsNull()) bases.push_back(guard_uid);
+  FB_ASSIGN_OR_RETURN(Hash uid,
+                      CommitObject(key, value, std::move(bases), context));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FB_RETURN_NOT_OK(branches_[key].SetHead(branch, uid, &guard_uid));
+  }
+  return uid;
+}
+
+Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,
+                                 const Value& value, Slice context) {
+  std::vector<Hash> bases;
+  if (!base_uid.IsNull()) {
+    // The base must exist (and is verified against its uid on load).
+    FB_ASSIGN_OR_RETURN(FObject base, FObject::Load(*store_, base_uid));
+    (void)base;
+    bases.push_back(base_uid);
+  }
+  FB_ASSIGN_OR_RETURN(Hash uid,
+                      CommitObject(key, value, std::move(bases), context));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    branches_[key].AddUntagged(uid, base_uid);
+  }
+  return uid;
+}
+
+// ---------------------------------------------------------------------------
+// View
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ForkBase::ListKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(branches_.size());
+  for (const auto& [k, t] : branches_) keys.push_back(k);
+  return keys;
+}
+
+Result<std::vector<std::pair<std::string, Hash>>> ForkBase::ListTaggedBranches(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  return it->second.TaggedBranches();
+}
+
+Result<std::vector<Hash>> ForkBase::ListUntaggedBranches(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  return it->second.UntaggedBranches();
+}
+
+// ---------------------------------------------------------------------------
+// Fork / branch management
+// ---------------------------------------------------------------------------
+
+Status ForkBase::Fork(const std::string& key, const std::string& ref_branch,
+                      const std::string& new_branch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  FB_ASSIGN_OR_RETURN(Hash head, it->second.Head(ref_branch));
+  if (it->second.HasBranch(new_branch)) {
+    return Status::AlreadyExists("branch '" + new_branch + "'");
+  }
+  return it->second.SetHead(new_branch, head);
+}
+
+Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
+                             const std::string& new_branch) {
+  // Verify the version exists and belongs to this key.
+  FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, ref_uid));
+  if (obj.key() != key) {
+    return Status::InvalidArgument("uid belongs to key '" + obj.key() + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  BranchTable& table = branches_[key];
+  if (table.HasBranch(new_branch)) {
+    return Status::AlreadyExists("branch '" + new_branch + "'");
+  }
+  return table.SetHead(new_branch, ref_uid);
+}
+
+Status ForkBase::Rename(const std::string& key, const std::string& tgt_branch,
+                        const std::string& new_branch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  return it->second.RenameBranch(tgt_branch, new_branch);
+}
+
+Status ForkBase::Remove(const std::string& key,
+                        const std::string& tgt_branch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(key);
+  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
+  return it->second.RemoveBranch(tgt_branch);
+}
+
+// ---------------------------------------------------------------------------
+// Track / LCA
+// ---------------------------------------------------------------------------
+
+Result<std::vector<FObject>> ForkBase::Track(const std::string& key,
+                                             const std::string& branch,
+                                             uint64_t min_dist,
+                                             uint64_t max_dist) {
+  FB_ASSIGN_OR_RETURN(Hash head, Head(key, branch));
+  return TrackHistory(*store_, head, min_dist, max_dist);
+}
+
+Result<std::vector<FObject>> ForkBase::TrackFromUid(const Hash& uid,
+                                                    uint64_t min_dist,
+                                                    uint64_t max_dist) const {
+  return TrackHistory(*store_, uid, min_dist, max_dist);
+}
+
+Result<Hash> ForkBase::Lca(const std::string& key, const Hash& uid1,
+                           const Hash& uid2) const {
+  (void)key;  // uids are globally unique; the key is kept for API parity
+  return FindLca(*store_, uid1, uid2);
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+Result<Value> ForkBase::MergeValues(const FObject& left, const FObject& right,
+                                    const Hash& lca_uid,
+                                    const ConflictResolver& resolver,
+                                    std::vector<MergeConflict>* unresolved)
+    const {
+  if (left.type() != right.type()) {
+    return Status::TypeMismatch("cannot merge " +
+                                std::string(UTypeToString(left.type())) +
+                                " with " + UTypeToString(right.type()));
+  }
+
+  // Resolve the base value: LCA object, or an empty value of the same
+  // type when histories are unrelated.
+  Value base_value;
+  bool has_base = false;
+  if (!lca_uid.IsNull()) {
+    FB_ASSIGN_OR_RETURN(FObject base, FObject::Load(*store_, lca_uid));
+    if (base.type() == left.type()) {
+      base_value = base.value();
+      has_base = true;
+    }
+  }
+
+  if (!left.value().is_chunkable()) {
+    // Primitive three-way merge.
+    const Bytes lb = left.value().bytes().ToBytes();
+    const Bytes rb = right.value().bytes().ToBytes();
+    const Bytes bb = has_base ? base_value.bytes().ToBytes() : Bytes{};
+    if (lb == rb || rb == bb) return left.value();
+    if (lb == bb) return right.value();
+    MergeConflict c;
+    c.base = has_base ? std::optional<Bytes>(bb) : std::nullopt;
+    c.left = lb;
+    c.right = rb;
+    if (resolver) {
+      FB_ASSIGN_OR_RETURN(std::optional<Bytes> resolved, resolver(c));
+      Bytes out = resolved.value_or(Bytes{});
+      switch (left.type()) {
+        case UType::kBool:
+          return Value::OfBool(!out.empty() && out[0] != 0);
+        case UType::kInt: {
+          ByteReader r{Slice(out)};
+          uint64_t raw = 0;
+          FB_RETURN_NOT_OK(r.ReadVarint64(&raw));
+          return Value::OfInt(ZigZagDecode(raw));
+        }
+        case UType::kString:
+          return Value::OfString(Slice(out));
+        case UType::kTuple: {
+          Value v = Value::OfString(Slice(out));
+          // Re-wrap raw bytes as a tuple encoding.
+          std::vector<Bytes> fields;
+          ByteReader r{Slice(out)};
+          while (!r.AtEnd()) {
+            Slice f;
+            FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&f));
+            fields.push_back(f.ToBytes());
+          }
+          return Value::OfTuple(fields);
+        }
+        default:
+          return Status::Internal("unreachable");
+      }
+    }
+    unresolved->push_back(std::move(c));
+    return left.value();
+  }
+
+  // Chunkable three-way merge over POS-Trees.
+  const ChunkType leaf = LeafChunkTypeFor(left.type());
+  Hash base_root;
+  if (has_base) {
+    base_root = base_value.root();
+  } else {
+    FB_ASSIGN_OR_RETURN(base_root, PosTree::EmptyRoot(store_, leaf));
+  }
+  const PosTree base_t(store_, options_.tree, leaf, base_root);
+  const PosTree left_t(store_, options_.tree, leaf, left.value().root());
+  const PosTree right_t(store_, options_.tree, leaf, right.value().root());
+
+  MergeResult mr;
+  switch (left.type()) {
+    case UType::kMap:
+    case UType::kSet: {
+      FB_ASSIGN_OR_RETURN(mr, MergeSorted(base_t, left_t, right_t));
+      break;
+    }
+    case UType::kBlob: {
+      FB_ASSIGN_OR_RETURN(mr, MergeBytes(base_t, left_t, right_t));
+      break;
+    }
+    case UType::kList: {
+      FB_ASSIGN_OR_RETURN(mr, MergeList(base_t, left_t, right_t));
+      break;
+    }
+    default:
+      return Status::Internal("unreachable");
+  }
+
+  if (!mr.clean() && resolver && IsSortedType(leaf)) {
+    // Patch resolved keys on top of the partial merge.
+    PosTree patched(store_, options_.tree, leaf, mr.root);
+    for (const MergeConflict& c : mr.conflicts) {
+      FB_ASSIGN_OR_RETURN(std::optional<Bytes> resolved, resolver(c));
+      if (resolved.has_value()) {
+        FB_RETURN_NOT_OK(patched.InsertOrAssign(Slice(c.key),
+                                                Slice(*resolved)));
+      } else {
+        Status s = patched.Erase(Slice(c.key));
+        if (!s.ok() && !s.IsNotFound()) return s;
+      }
+    }
+    return Value::OfTree(left.type(), patched.root());
+  }
+  if (!mr.clean()) {
+    unresolved->insert(unresolved->end(), mr.conflicts.begin(),
+                       mr.conflicts.end());
+  }
+  return Value::OfTree(left.type(), mr.root);
+}
+
+Result<ForkBase::MergeOutcome> ForkBase::MergeHeads(
+    const std::string& key, const Hash& v1, const Hash& v2,
+    const ConflictResolver& resolver, Slice context, std::vector<Hash> bases) {
+  FB_ASSIGN_OR_RETURN(FObject left, FObject::Load(*store_, v1));
+  FB_ASSIGN_OR_RETURN(FObject right, FObject::Load(*store_, v2));
+  FB_ASSIGN_OR_RETURN(Hash lca, FindLca(*store_, v1, v2));
+
+  MergeOutcome outcome;
+  FB_ASSIGN_OR_RETURN(
+      Value merged, MergeValues(left, right, lca, resolver,
+                                &outcome.unresolved));
+  if (!outcome.clean()) return outcome;
+
+  FB_ASSIGN_OR_RETURN(outcome.uid,
+                      CommitObject(key, merged, std::move(bases), context));
+  return outcome;
+}
+
+Result<ForkBase::MergeOutcome> ForkBase::Merge(const std::string& key,
+                                               const std::string& tgt_branch,
+                                               const std::string& ref_branch,
+                                               const ConflictResolver& resolver,
+                                               Slice context) {
+  FB_ASSIGN_OR_RETURN(Hash ref_head, Head(key, ref_branch));
+  return MergeWithUid(key, tgt_branch, ref_head, resolver, context);
+}
+
+Result<ForkBase::MergeOutcome> ForkBase::MergeWithUid(
+    const std::string& key, const std::string& tgt_branch, const Hash& ref_uid,
+    const ConflictResolver& resolver, Slice context) {
+  FB_ASSIGN_OR_RETURN(Hash tgt_head, Head(key, tgt_branch));
+  FB_ASSIGN_OR_RETURN(
+      MergeOutcome outcome,
+      MergeHeads(key, tgt_head, ref_uid, resolver, context,
+                 {tgt_head, ref_uid}));
+  if (!outcome.clean()) return outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FB_RETURN_NOT_OK(branches_[key].SetHead(tgt_branch, outcome.uid));
+  }
+  return outcome;
+}
+
+Result<ForkBase::MergeOutcome> ForkBase::MergeUids(
+    const std::string& key, const std::vector<Hash>& uids,
+    const ConflictResolver& resolver, Slice context) {
+  if (uids.size() < 2) {
+    return Status::InvalidArgument("MergeUids needs at least two versions");
+  }
+  Hash acc = uids[0];
+  MergeOutcome outcome;
+  for (size_t i = 1; i < uids.size(); ++i) {
+    FB_ASSIGN_OR_RETURN(outcome, MergeHeads(key, acc, uids[i], resolver,
+                                            context, {acc, uids[i]}));
+    if (!outcome.clean()) return outcome;
+    acc = outcome.uid;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    branches_[key].ReplaceUntagged(uids, acc);
+  }
+  outcome.uid = acc;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+Result<Bytes> ForkBase::ExportBranchState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bytes out;
+  PutVarint64(&out, branches_.size());
+  for (const auto& [key, table] : branches_) {
+    PutLengthPrefixed(&out, Slice(key));
+    table.SerializeTo(&out);
+  }
+  return out;
+}
+
+Status ForkBase::ImportBranchState(Slice data) {
+  std::map<std::string, BranchTable> restored;
+  ByteReader r(data);
+  uint64_t n_keys = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&n_keys));
+  for (uint64_t i = 0; i < n_keys; ++i) {
+    Slice key;
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&key));
+    BranchTable table;
+    FB_RETURN_NOT_OK(BranchTable::DeserializeFrom(&r, &table));
+    // Verify every head still resolves to a valid object in the store
+    // (tamper-evident restore).
+    for (const auto& [name, head] : table.TaggedBranches()) {
+      FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
+      (void)obj;
+    }
+    restored[key.ToString()] = std::move(table);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  branches_ = std::move(restored);
+  return Status::OK();
+}
+
+Result<std::vector<KeyDiff>> ForkBase::DiffSortedVersions(
+    const Hash& uid1, const Hash& uid2) const {
+  FB_ASSIGN_OR_RETURN(FObject a, FObject::Load(*store_, uid1));
+  FB_ASSIGN_OR_RETURN(FObject b, FObject::Load(*store_, uid2));
+  if (a.type() != b.type() ||
+      (a.type() != UType::kMap && a.type() != UType::kSet)) {
+    return Status::TypeMismatch("DiffSortedVersions requires two Map or two "
+                                "Set versions");
+  }
+  return DiffSorted(TreeOf(a), TreeOf(b));
+}
+
+Result<RangeDiff> ForkBase::DiffBlobVersions(const Hash& uid1,
+                                             const Hash& uid2) const {
+  FB_ASSIGN_OR_RETURN(FObject a, FObject::Load(*store_, uid1));
+  FB_ASSIGN_OR_RETURN(FObject b, FObject::Load(*store_, uid2));
+  if (a.type() != UType::kBlob || b.type() != UType::kBlob) {
+    return Status::TypeMismatch("DiffBlobVersions requires two Blob versions");
+  }
+  return DiffBytes(TreeOf(a), TreeOf(b));
+}
+
+}  // namespace fb

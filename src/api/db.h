@@ -1,0 +1,207 @@
+// ForkBase: the public storage-engine API (Table 1, M1-M17).
+//
+// This class is the embedded, single-servlet engine. The distributed
+// deployment (src/cluster) composes several of these behind a dispatcher.
+//
+// Usage mirrors Figure 4 of the paper:
+//
+//   ForkBase db;
+//   auto blob = db.CreateBlob("my value");
+//   db.Put("my key", blob->ToValue());
+//   db.Fork("my key", "master", "new branch");
+//   auto obj = db.Get("my key", "new branch");
+//   auto b = db.GetBlob(*obj);
+//   b->Remove(0, 10);
+//   b->Append("some more");
+//   db.Put("my key", "new branch", b->ToValue());
+
+#ifndef FORKBASE_API_DB_H_
+#define FORKBASE_API_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/merge_resolver.h"
+#include "branch/branch_table.h"
+#include "branch/history.h"
+#include "chunk/chunk_store.h"
+#include "pos_tree/diff.h"
+#include "types/fobject.h"
+#include "types/handles.h"
+
+namespace fb {
+
+struct DBOptions {
+  TreeConfig tree;
+};
+
+class ForkBase {
+ public:
+  // Embedded engine over an in-memory chunk store.
+  explicit ForkBase(DBOptions options = {});
+  // Embedded engine over a caller-supplied store (e.g. LogChunkStore for
+  // persistence, or a servlet-local store in the cluster).
+  ForkBase(DBOptions options, std::unique_ptr<ChunkStore> store);
+  // Engine over an external, shared store (not owned). Used by servlets
+  // whose chunks live in the cluster-wide pool.
+  ForkBase(DBOptions options, ChunkStore* store);
+
+  ForkBase(const ForkBase&) = delete;
+  ForkBase& operator=(const ForkBase&) = delete;
+
+  ChunkStore* store() const { return store_; }
+  const TreeConfig& tree_config() const { return options_.tree; }
+
+  // --- Value factories ----------------------------------------------------
+
+  Result<Blob> CreateBlob(Slice content);
+  Result<FList> CreateList(const std::vector<Bytes>& elements);
+  Result<FMap> CreateMap();
+  // Bulk-builds a Map in one chunking pass (entries are sorted by key
+  // internally). Equivalent to, but much faster than, repeated Set calls.
+  Result<FMap> CreateMapFromEntries(
+      std::vector<std::pair<Bytes, Bytes>> entries);
+  Result<FSet> CreateSet();
+
+  // Handle re-materialization from a fetched object (type-checked).
+  Result<Blob> GetBlob(const FObject& obj) const;
+  Result<FList> GetList(const FObject& obj) const;
+  Result<FMap> GetMap(const FObject& obj) const;
+  Result<FSet> GetSet(const FObject& obj) const;
+
+  // --- Get (M1, M2) ---------------------------------------------------------
+
+  Result<FObject> Get(const std::string& key) {
+    return Get(key, kDefaultBranch);
+  }
+  Result<FObject> Get(const std::string& key, const std::string& branch);
+  Result<FObject> GetByUid(const Hash& uid) const;
+
+  // Head uid of a branch without fetching the object.
+  Result<Hash> Head(const std::string& key, const std::string& branch);
+
+  // --- Put (M3, M4) ---------------------------------------------------------
+
+  // Fork-on-demand Put: appends to the branch head (creating key/branch
+  // on first use). Returns the new uid.
+  Result<Hash> Put(const std::string& key, const Value& value,
+                   Slice context = Slice()) {
+    return Put(key, kDefaultBranch, value, context);
+  }
+  Result<Hash> Put(const std::string& key, const std::string& branch,
+                   const Value& value, Slice context = Slice());
+
+  // Guarded Put: succeeds only if the current head equals `guard_uid`
+  // (protects against overwriting others' changes by accident).
+  Result<Hash> PutGuarded(const std::string& key, const std::string& branch,
+                          const Value& value, const Hash& guard_uid,
+                          Slice context = Slice());
+
+  // Fork-on-conflict Put (M4): derives from an explicit base version.
+  // Concurrent Puts against the same base silently fork into untagged
+  // branches tracked by the UB-table. Pass the null hash to create the
+  // first version.
+  Result<Hash> PutByBase(const std::string& key, const Hash& base_uid,
+                         const Value& value, Slice context = Slice());
+
+  // --- View (M8, M9, M10) ----------------------------------------------------
+
+  std::vector<std::string> ListKeys() const;
+  Result<std::vector<std::pair<std::string, Hash>>> ListTaggedBranches(
+      const std::string& key) const;
+  // Returns all conflicting heads; a single element means no conflict.
+  Result<std::vector<Hash>> ListUntaggedBranches(const std::string& key) const;
+
+  // --- Fork (M11-M14) --------------------------------------------------------
+
+  Status Fork(const std::string& key, const std::string& ref_branch,
+              const std::string& new_branch);
+  Status ForkFromUid(const std::string& key, const Hash& ref_uid,
+                     const std::string& new_branch);
+  Status Rename(const std::string& key, const std::string& tgt_branch,
+                const std::string& new_branch);
+  Status Remove(const std::string& key, const std::string& tgt_branch);
+
+  // --- Track (M15-M17) --------------------------------------------------------
+
+  Result<std::vector<FObject>> Track(const std::string& key,
+                                     const std::string& branch,
+                                     uint64_t min_dist, uint64_t max_dist);
+  Result<std::vector<FObject>> TrackFromUid(const Hash& uid, uint64_t min_dist,
+                                            uint64_t max_dist) const;
+  Result<Hash> Lca(const std::string& key, const Hash& uid1,
+                   const Hash& uid2) const;
+
+  // --- Merge (M5, M6, M7) -----------------------------------------------------
+
+  struct MergeOutcome {
+    Hash uid;  // the merge FObject's version
+    std::vector<MergeConflict> unresolved;
+    bool clean() const { return unresolved.empty(); }
+  };
+
+  // Merges `ref_branch` into `tgt_branch`; only the target head moves.
+  Result<MergeOutcome> Merge(const std::string& key,
+                             const std::string& tgt_branch,
+                             const std::string& ref_branch,
+                             const ConflictResolver& resolver = nullptr,
+                             Slice context = Slice());
+  Result<MergeOutcome> MergeWithUid(const std::string& key,
+                                    const std::string& tgt_branch,
+                                    const Hash& ref_uid,
+                                    const ConflictResolver& resolver = nullptr,
+                                    Slice context = Slice());
+  // Merges a collection of untagged heads into one, replacing them in the
+  // UB-table.
+  Result<MergeOutcome> MergeUids(const std::string& key,
+                                 const std::vector<Hash>& uids,
+                                 const ConflictResolver& resolver = nullptr,
+                                 Slice context = Slice());
+
+  // --- Diff ------------------------------------------------------------------
+
+  // Key-wise diff of two Map/Set versions (possibly of different keys,
+  // per Section 3.2).
+  Result<std::vector<KeyDiff>> DiffSortedVersions(const Hash& uid1,
+                                                  const Hash& uid2) const;
+  // Byte-range diff of two Blob versions.
+  Result<RangeDiff> DiffBlobVersions(const Hash& uid1, const Hash& uid2) const;
+
+  // --- Branch-state persistence ------------------------------------------
+  //
+  // Chunks and objects are durable in the chunk store; branch heads live
+  // in the servlet. Export/Import snapshot every key's TB/UB tables so an
+  // embedding can persist them (e.g. next to a LogChunkStore) and restore
+  // the full branch view after restart.
+
+  Result<Bytes> ExportBranchState() const;
+  Status ImportBranchState(Slice data);
+
+ private:
+  Result<Hash> CommitObject(const std::string& key, const Value& value,
+                            std::vector<Hash> bases, Slice context);
+  Result<MergeOutcome> MergeHeads(const std::string& key, const Hash& v1,
+                                  const Hash& v2,
+                                  const ConflictResolver& resolver,
+                                  Slice context, std::vector<Hash> bases);
+  Result<Value> MergeValues(const FObject& left, const FObject& right,
+                            const Hash& lca_uid,
+                            const ConflictResolver& resolver,
+                            std::vector<MergeConflict>* unresolved) const;
+  PosTree TreeOf(const FObject& obj) const;
+
+  DBOptions options_;
+  std::unique_ptr<ChunkStore> owned_store_;
+  ChunkStore* store_;
+
+  // Branch-table operations are serialized, as in the paper's servlet.
+  mutable std::mutex mu_;
+  std::map<std::string, BranchTable> branches_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_API_DB_H_

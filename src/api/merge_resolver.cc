@@ -1,0 +1,59 @@
+#include "api/merge_resolver.h"
+
+#include "util/codec.h"
+
+namespace fb {
+
+namespace {
+
+int64_t DecodeInt(const std::optional<Bytes>& v) {
+  if (!v.has_value()) return 0;
+  ByteReader r{Slice(*v)};
+  uint64_t raw = 0;
+  if (!r.ReadVarint64(&raw).ok()) return 0;
+  return ZigZagDecode(raw);
+}
+
+Bytes EncodeInt(int64_t v) {
+  Bytes out;
+  PutVarint64(&out, ZigZagEncode(v));
+  return out;
+}
+
+}  // namespace
+
+ConflictResolver ChooseLeft() {
+  return [](const MergeConflict& c) -> Result<std::optional<Bytes>> {
+    return c.left;
+  };
+}
+
+ConflictResolver ChooseRight() {
+  return [](const MergeConflict& c) -> Result<std::optional<Bytes>> {
+    return c.right;
+  };
+}
+
+ConflictResolver ResolveAppend() {
+  return [](const MergeConflict& c) -> Result<std::optional<Bytes>> {
+    Bytes out;
+    if (c.left.has_value()) {
+      out.insert(out.end(), c.left->begin(), c.left->end());
+    }
+    if (c.right.has_value()) {
+      out.insert(out.end(), c.right->begin(), c.right->end());
+    }
+    return std::optional<Bytes>(std::move(out));
+  };
+}
+
+ConflictResolver ResolveAggregateSum() {
+  return [](const MergeConflict& c) -> Result<std::optional<Bytes>> {
+    const int64_t base = DecodeInt(c.base);
+    const int64_t merged =
+        base + (DecodeInt(c.left) - base) + (DecodeInt(c.right) - base);
+    return std::optional<Bytes>(EncodeInt(merged));
+  };
+}
+
+}  // namespace fb

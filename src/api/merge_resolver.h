@@ -1,0 +1,38 @@
+// Built-in conflict resolution strategies (Section 4.5.2): append,
+// aggregate and choose-one. Applications can hook custom resolvers —
+// any callable with the ConflictResolver signature.
+
+#ifndef FORKBASE_API_MERGE_RESOLVER_H_
+#define FORKBASE_API_MERGE_RESOLVER_H_
+
+#include <functional>
+#include <optional>
+
+#include "pos_tree/merge.h"
+#include "util/status.h"
+
+namespace fb {
+
+// Maps one conflict to its resolved value. Returning nullopt removes the
+// key from the merged result (resolving an edit-vs-delete in favor of the
+// delete).
+using ConflictResolver =
+    std::function<Result<std::optional<Bytes>>(const MergeConflict&)>;
+
+// Keeps the target (left) branch's value.
+ConflictResolver ChooseLeft();
+
+// Keeps the reference (right) branch's value.
+ConflictResolver ChooseRight();
+
+// Concatenates left then right values (absent sides contribute nothing).
+ConflictResolver ResolveAppend();
+
+// Treats values as ForkBase Int encodings and resolves to
+//   base + (left - base) + (right - base),
+// the natural merge for counters updated on both sides.
+ConflictResolver ResolveAggregateSum();
+
+}  // namespace fb
+
+#endif  // FORKBASE_API_MERGE_RESOLVER_H_

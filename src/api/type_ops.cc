@@ -1,0 +1,83 @@
+#include "api/type_ops.h"
+
+#include <algorithm>
+
+namespace fb {
+
+namespace {
+
+// Loads the head object and checks its primitive type.
+Result<FObject> LoadTyped(ForkBase* db, const std::string& key,
+                          const std::string& branch, UType expected) {
+  FB_ASSIGN_OR_RETURN(FObject obj, db->Get(key, branch));
+  if (obj.type() != expected) {
+    return Status::TypeMismatch(std::string("expected ") +
+                                UTypeToString(expected) + ", found " +
+                                UTypeToString(obj.type()));
+  }
+  return obj;
+}
+
+}  // namespace
+
+Result<Hash> StringAppend(ForkBase* db, const std::string& key,
+                          const std::string& branch, Slice suffix) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kString));
+  std::string value = obj.value().AsString();
+  value.append(suffix.ToStringView());
+  return db->Put(key, branch, Value::OfString(value));
+}
+
+Result<Hash> StringInsert(ForkBase* db, const std::string& key,
+                          const std::string& branch, size_t pos, Slice text) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kString));
+  std::string value = obj.value().AsString();
+  pos = std::min(pos, value.size());
+  value.insert(pos, text.ToString());
+  return db->Put(key, branch, Value::OfString(value));
+}
+
+Result<Hash> IntAdd(ForkBase* db, const std::string& key,
+                    const std::string& branch, int64_t delta) {
+  auto obj = db->Get(key, branch);
+  if (obj.status().IsNotFound()) {
+    return db->Put(key, branch, Value::OfInt(delta));
+  }
+  if (!obj.ok()) return obj.status();
+  if (obj->type() != UType::kInt) {
+    return Status::TypeMismatch("IntAdd on non-Int object");
+  }
+  return db->Put(key, branch, Value::OfInt(obj->value().AsInt() + delta));
+}
+
+Result<Hash> IntMultiply(ForkBase* db, const std::string& key,
+                         const std::string& branch, int64_t factor) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kInt));
+  return db->Put(key, branch, Value::OfInt(obj.value().AsInt() * factor));
+}
+
+Result<Hash> TupleAppend(ForkBase* db, const std::string& key,
+                         const std::string& branch, Slice field) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kTuple));
+  std::vector<Bytes> fields = obj.value().AsTuple();
+  fields.push_back(field.ToBytes());
+  return db->Put(key, branch, Value::OfTuple(fields));
+}
+
+Result<Hash> TupleInsert(ForkBase* db, const std::string& key,
+                         const std::string& branch, size_t index,
+                         Slice field) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kTuple));
+  std::vector<Bytes> fields = obj.value().AsTuple();
+  index = std::min(index, fields.size());
+  fields.insert(fields.begin() + static_cast<long>(index), field.ToBytes());
+  return db->Put(key, branch, Value::OfTuple(fields));
+}
+
+Result<Hash> BoolToggle(ForkBase* db, const std::string& key,
+                        const std::string& branch) {
+  FB_ASSIGN_OR_RETURN(FObject obj, LoadTyped(db, key, branch, UType::kBool));
+  return db->Put(key, branch, Value::OfBool(!obj.value().AsBool()));
+}
+
+}  // namespace fb

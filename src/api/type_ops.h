@@ -1,0 +1,56 @@
+// Type-specific operations on primitive objects (Section 3.4): "Examples
+// include Append and Insert for String and Tuple types, and Add and
+// Multiply for numerical types."
+//
+// Each operation is a read-modify-write on a branch head, producing a new
+// version derived from it. They are free functions over the ForkBase
+// facade so the core API stays minimal.
+
+#ifndef FORKBASE_API_TYPE_OPS_H_
+#define FORKBASE_API_TYPE_OPS_H_
+
+#include <string>
+
+#include "api/db.h"
+
+namespace fb {
+
+// --- String ---------------------------------------------------------------
+
+// Appends `suffix` to the String at key/branch; returns the new uid.
+Result<Hash> StringAppend(ForkBase* db, const std::string& key,
+                          const std::string& branch, Slice suffix);
+
+// Inserts `text` at byte position `pos` (clamped to the end).
+Result<Hash> StringInsert(ForkBase* db, const std::string& key,
+                          const std::string& branch, size_t pos, Slice text);
+
+// --- Numeric --------------------------------------------------------------
+
+// value += delta. Creates the key with value `delta` if absent.
+Result<Hash> IntAdd(ForkBase* db, const std::string& key,
+                    const std::string& branch, int64_t delta);
+
+// value *= factor.
+Result<Hash> IntMultiply(ForkBase* db, const std::string& key,
+                         const std::string& branch, int64_t factor);
+
+// --- Tuple ----------------------------------------------------------------
+
+// Appends a field to the Tuple.
+Result<Hash> TupleAppend(ForkBase* db, const std::string& key,
+                         const std::string& branch, Slice field);
+
+// Inserts a field at `index` (clamped to the end).
+Result<Hash> TupleInsert(ForkBase* db, const std::string& key,
+                         const std::string& branch, size_t index, Slice field);
+
+// --- Bool -----------------------------------------------------------------
+
+// value = !value.
+Result<Hash> BoolToggle(ForkBase* db, const std::string& key,
+                        const std::string& branch);
+
+}  // namespace fb
+
+#endif  // FORKBASE_API_TYPE_OPS_H_

@@ -1,0 +1,80 @@
+#include "blockchain/block.h"
+
+#include <functional>
+
+namespace fb {
+
+void Transaction::SerializeTo(Bytes* out) const {
+  out->push_back(static_cast<uint8_t>(op));
+  PutLengthPrefixed(out, Slice(contract));
+  PutLengthPrefixed(out, Slice(key));
+  PutLengthPrefixed(out, Slice(value));
+}
+
+Status Transaction::Parse(ByteReader* r, Transaction* txn) {
+  Slice op_byte;
+  FB_RETURN_NOT_OK(r->ReadRaw(1, &op_byte));
+  if (op_byte[0] > 1) return Status::Corruption("bad txn op");
+  txn->op = static_cast<Op>(op_byte[0]);
+  Slice contract, key, value;
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&contract));
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&key));
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&value));
+  txn->contract = contract.ToString();
+  txn->key = key.ToString();
+  txn->value = value.ToString();
+  return Status::OK();
+}
+
+Bytes Block::Serialize() const {
+  Bytes out;
+  PutVarint64(&out, number);
+  AppendSlice(&out, Slice(prev_hash.data(), prev_hash.size()));
+  PutLengthPrefixed(&out, Slice(state_ref));
+  PutVarint64(&out, txns.size());
+  for (const Transaction& t : txns) t.SerializeTo(&out);
+  return out;
+}
+
+Result<Block> Block::Deserialize(Slice data) {
+  Block b;
+  ByteReader r(data);
+  FB_RETURN_NOT_OK(r.ReadVarint64(&b.number));
+  Slice prev;
+  FB_RETURN_NOT_OK(r.ReadRaw(Sha256::kDigestSize, &prev));
+  std::copy(prev.begin(), prev.end(), b.prev_hash.begin());
+  Slice state_ref;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&state_ref));
+  b.state_ref = state_ref.ToBytes();
+  uint64_t n = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Transaction t;
+    FB_RETURN_NOT_OK(Transaction::Parse(&r, &t));
+    b.txns.push_back(std::move(t));
+  }
+  return b;
+}
+
+Sha256::Digest Block::ComputeHash() const {
+  return Sha256::Hash(Slice(Serialize()));
+}
+
+Status VerifyChain(uint64_t last_block,
+                   const std::function<Result<Bytes>(uint64_t)>& load) {
+  Sha256::Digest expected_prev{};
+  // Walk forward from genesis recomputing the hash chain.
+  for (uint64_t n = 0; n <= last_block; ++n) {
+    FB_ASSIGN_OR_RETURN(Bytes raw, load(n));
+    FB_ASSIGN_OR_RETURN(Block b, Block::Deserialize(Slice(raw)));
+    if (b.number != n) return Status::Corruption("block number mismatch");
+    if (n > 0 && b.prev_hash != expected_prev) {
+      return Status::Corruption("hash chain broken at block " +
+                                std::to_string(n));
+    }
+    expected_prev = b.ComputeHash();
+  }
+  return Status::OK();
+}
+
+}  // namespace fb

@@ -1,0 +1,52 @@
+// Block and transaction structures of the mini-Hyperledger platform
+// (Section 5.1). Blocks bundle the transactions of one batch, link to the
+// previous block by cryptographic hash, and carry a reference to the
+// world state after executing the batch (a Merkle root for the KV
+// backends, a first-level Map uid for the ForkBase backend).
+
+#ifndef FORKBASE_BLOCKCHAIN_BLOCK_H_
+#define FORKBASE_BLOCKCHAIN_BLOCK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/sha256.h"
+#include "util/status.h"
+
+namespace fb {
+
+struct Transaction {
+  enum class Op : uint8_t { kGet = 0, kPut = 1 };
+  Op op = Op::kPut;
+  std::string contract;
+  std::string key;
+  std::string value;  // empty for reads
+
+  void SerializeTo(Bytes* out) const;
+  static Status Parse(ByteReader* r, Transaction* txn);
+};
+
+struct Block {
+  uint64_t number = 0;
+  Sha256::Digest prev_hash{};
+  Bytes state_ref;  // backend-specific state reference
+  std::vector<Transaction> txns;
+
+  Bytes Serialize() const;
+  static Result<Block> Deserialize(Slice data);
+
+  // Hash over the serialized block — what the next block's prev_hash
+  // commits to.
+  Sha256::Digest ComputeHash() const;
+};
+
+// Walks the chain from the last block to genesis, verifying prev_hash
+// links. `load` fetches a serialized block by number.
+Status VerifyChain(uint64_t last_block,
+                   const std::function<Result<Bytes>(uint64_t)>& load);
+
+}  // namespace fb
+
+#endif  // FORKBASE_BLOCKCHAIN_BLOCK_H_

@@ -1,0 +1,216 @@
+#include "blockchain/forkbase_ledger.h"
+
+#include <set>
+
+namespace fb {
+
+namespace {
+
+// Map values hold 32-byte uids of the level below.
+Bytes UidBytes(const Hash& h) { return h.slice().ToBytes(); }
+
+Result<Hash> UidFromBytes(const Bytes& b) {
+  if (b.size() != Hash::kSize) {
+    return Status::Corruption("map value is not a uid");
+  }
+  Sha256::Digest d;
+  std::copy(b.begin(), b.end(), d.begin());
+  return Hash(d);
+}
+
+}  // namespace
+
+ForkBaseLedger::ForkBaseLedger(DBOptions options) : db_(options) {}
+
+Result<Hash> ForkBaseLedger::LatestValueUid(const std::string& contract,
+                                            const std::string& key) {
+  auto cit = contract_uid_.find(contract);
+  if (cit == contract_uid_.end()) return Status::NotFound("contract");
+  FB_ASSIGN_OR_RETURN(FObject map_obj, db_.GetByUid(cit->second));
+  FB_ASSIGN_OR_RETURN(FMap map, db_.GetMap(map_obj));
+  FB_ASSIGN_OR_RETURN(auto uid_bytes, map.Get(Slice(key)));
+  if (!uid_bytes.has_value()) return Status::NotFound("state key");
+  return UidFromBytes(*uid_bytes);
+}
+
+Status ForkBaseLedger::Read(const std::string& contract,
+                            const std::string& key, std::string* value) {
+  auto bit = write_buffer_.find({contract, key});
+  if (bit != write_buffer_.end()) {
+    *value = bit->second;
+    return Status::OK();
+  }
+  FB_ASSIGN_OR_RETURN(Hash uid, LatestValueUid(contract, key));
+  FB_ASSIGN_OR_RETURN(FObject obj, db_.GetByUid(uid));
+  FB_ASSIGN_OR_RETURN(Blob blob, db_.GetBlob(obj));
+  FB_ASSIGN_OR_RETURN(Bytes bytes, blob.ReadAll());
+  *value = BytesToString(bytes);
+  return Status::OK();
+}
+
+Status ForkBaseLedger::Write(const std::string& contract,
+                             const std::string& key,
+                             const std::string& value) {
+  write_buffer_[{contract, key}] = value;
+  return Status::OK();
+}
+
+Status ForkBaseLedger::Commit(uint64_t number,
+                              const std::vector<Transaction>& txns) {
+  const std::string block_ctx = std::to_string(number);
+
+  // 1. Commit each written value as a new Blob version chained to its
+  //    predecessor, then apply each contract's key -> uid updates to its
+  //    second-level map in one batched chunking pass.
+  std::set<std::string> touched_contracts;
+  std::map<std::string, FMap> open_maps;
+  std::map<std::string, std::vector<std::pair<Bytes, Bytes>>> map_updates;
+  for (const auto& [ck, value] : write_buffer_) {
+    const auto& [contract, key] = ck;
+    // Open (or create) the contract's second-level map handle.
+    auto mit = open_maps.find(contract);
+    if (mit == open_maps.end()) {
+      Hash root;
+      auto cit = contract_uid_.find(contract);
+      if (cit != contract_uid_.end()) {
+        FB_ASSIGN_OR_RETURN(FObject map_obj, db_.GetByUid(cit->second));
+        root = map_obj.value().root();
+      } else {
+        FB_ASSIGN_OR_RETURN(root,
+                            PosTree::EmptyRoot(db_.store(), ChunkType::kMap));
+      }
+      mit = open_maps
+                .emplace(contract,
+                         FMap(db_.store(), db_.tree_config(), root))
+                .first;
+    }
+    FMap& map = mit->second;
+
+    // Previous version of this value, if any.
+    Hash base_uid;
+    {
+      FB_ASSIGN_OR_RETURN(auto prev, map.Get(Slice(key)));
+      if (prev.has_value()) {
+        FB_ASSIGN_OR_RETURN(base_uid, UidFromBytes(*prev));
+      }
+    }
+    FB_ASSIGN_OR_RETURN(Blob blob,
+                        db_.CreateBlob(Slice(value)));
+    FB_ASSIGN_OR_RETURN(
+        Hash value_uid,
+        db_.PutByBase(ValueKey(contract, key), base_uid, blob.ToValue(),
+                      Slice(block_ctx)));
+    map_updates[contract].emplace_back(ToBytes(key), UidBytes(value_uid));
+    touched_contracts.insert(contract);
+  }
+  for (auto& [contract, updates] : map_updates) {
+    FB_RETURN_NOT_OK(open_maps.at(contract).SetBatch(std::move(updates)));
+  }
+
+  // 2. Commit touched second-level maps as new versions.
+  std::map<std::string, Hash> new_contract_uid;
+  for (const std::string& contract : touched_contracts) {
+    auto cit = contract_uid_.find(contract);
+    const Hash base = cit != contract_uid_.end() ? cit->second : Hash();
+    FB_ASSIGN_OR_RETURN(
+        Hash uid,
+        db_.PutByBase("c/" + contract, base,
+                      open_maps.at(contract).ToValue(), Slice(block_ctx)));
+    new_contract_uid[contract] = uid;
+  }
+
+  // 3. Commit the first-level map (contract -> second-level map uid).
+  {
+    Hash root;
+    if (has_blocks_) {
+      FB_ASSIGN_OR_RETURN(FObject fl_obj, db_.GetByUid(first_level_uid_));
+      root = fl_obj.value().root();
+    } else {
+      FB_ASSIGN_OR_RETURN(root,
+                          PosTree::EmptyRoot(db_.store(), ChunkType::kMap));
+    }
+    FMap first(db_.store(), db_.tree_config(), root);
+    for (const auto& [contract, uid] : new_contract_uid) {
+      FB_RETURN_NOT_OK(first.Set(Slice(contract), Slice(UidBytes(uid))));
+      contract_uid_[contract] = uid;
+    }
+    FB_ASSIGN_OR_RETURN(
+        first_level_uid_,
+        db_.PutByBase("states", has_blocks_ ? first_level_uid_ : Hash(),
+                      first.ToValue(), Slice(block_ctx)));
+  }
+
+  // 4. Build and store the block; its state_ref is the first-level uid.
+  Block block;
+  block.number = number;
+  block.prev_hash = has_blocks_ ? last_block_hash_ : Sha256::Digest{};
+  block.state_ref = UidBytes(first_level_uid_);
+  block.txns = txns;
+  FB_RETURN_NOT_OK(db_.Put("block/" + std::to_string(number),
+                           Value::OfString(BytesToString(block.Serialize())))
+                       .status());
+
+  last_block_hash_ = block.ComputeHash();
+  last_block_ = number;
+  has_blocks_ = true;
+  write_buffer_.clear();
+  return Status::OK();
+}
+
+Result<Bytes> ForkBaseLedger::LoadBlock(uint64_t number) const {
+  auto& db = const_cast<ForkBase&>(db_);
+  FB_ASSIGN_OR_RETURN(FObject obj, db.Get("block/" + std::to_string(number)));
+  return ToBytes(obj.value().AsString());
+}
+
+Result<std::vector<StateVersion>> ForkBaseLedger::StateScan(
+    const std::string& contract, const std::string& key,
+    uint64_t max_versions) {
+  // Follow the version chain of the value object directly — no replay.
+  std::vector<StateVersion> history;
+  auto latest = LatestValueUid(contract, key);
+  if (latest.status().IsNotFound()) return history;
+  if (!latest.ok()) return latest.status();
+
+  FB_ASSIGN_OR_RETURN(
+      std::vector<FObject> versions,
+      db_.TrackFromUid(*latest, 0, max_versions == 0 ? 0 : max_versions - 1));
+  for (const FObject& obj : versions) {
+    FB_ASSIGN_OR_RETURN(Blob blob, db_.GetBlob(obj));
+    FB_ASSIGN_OR_RETURN(Bytes bytes, blob.ReadAll());
+    uint64_t block = 0;
+    if (!obj.context().empty()) {
+      block = std::strtoull(BytesToString(obj.context()).c_str(), nullptr, 10);
+    }
+    history.push_back(StateVersion{block, BytesToString(bytes)});
+  }
+  return history;
+}
+
+Result<std::map<std::string, std::string>> ForkBaseLedger::BlockScan(
+    const std::string& contract, uint64_t number) {
+  // Open the first-level map version recorded in the block.
+  FB_ASSIGN_OR_RETURN(Bytes raw, LoadBlock(number));
+  FB_ASSIGN_OR_RETURN(Block block, Block::Deserialize(Slice(raw)));
+  FB_ASSIGN_OR_RETURN(Hash fl_uid, UidFromBytes(block.state_ref));
+  FB_ASSIGN_OR_RETURN(FObject fl_obj, db_.GetByUid(fl_uid));
+  FB_ASSIGN_OR_RETURN(FMap first, db_.GetMap(fl_obj));
+
+  std::map<std::string, std::string> state;
+  FB_ASSIGN_OR_RETURN(auto sm_uid_bytes, first.Get(Slice(contract)));
+  if (!sm_uid_bytes.has_value()) return state;
+  FB_ASSIGN_OR_RETURN(Hash sm_uid, UidFromBytes(*sm_uid_bytes));
+  FB_ASSIGN_OR_RETURN(FObject sm_obj, db_.GetByUid(sm_uid));
+  FB_ASSIGN_OR_RETURN(FMap second, db_.GetMap(sm_obj));
+  FB_ASSIGN_OR_RETURN(auto entries, second.Entries());
+  for (const auto& [k, uid_bytes] : entries) {
+    FB_ASSIGN_OR_RETURN(Hash value_uid, UidFromBytes(uid_bytes));
+    FB_ASSIGN_OR_RETURN(FObject value_obj, db_.GetByUid(value_uid));
+    FB_ASSIGN_OR_RETURN(Blob blob, db_.GetBlob(value_obj));
+    FB_ASSIGN_OR_RETURN(Bytes bytes, blob.ReadAll());
+    state[BytesToString(k)] = BytesToString(bytes);
+  }
+  return state;
+}
+
+}  // namespace fb

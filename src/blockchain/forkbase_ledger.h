@@ -1,0 +1,79 @@
+// ForkBaseLedger: Hyperledger's data structures re-expressed natively on
+// ForkBase (Figure 7b).
+//
+// The Merkle tree + state delta are replaced by two levels of Map
+// objects: the first-level Map sends a contract id to the version (uid)
+// of that contract's second-level Map; the second-level Map sends a data
+// key to the version of the Blob object holding its value. The "state
+// hash" of a block is simply the first-level Map's uid — tamper evidence
+// falls out of uids, and every value version links to its predecessor
+// through FObject bases, so:
+//
+//   * state scan  = follow the value object's base chain (no replay);
+//   * block scan  = open the first-level Map version stored in the block
+//                   and iterate (no delta reconstruction).
+
+#ifndef FORKBASE_BLOCKCHAIN_FORKBASE_LEDGER_H_
+#define FORKBASE_BLOCKCHAIN_FORKBASE_LEDGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/db.h"
+#include "blockchain/ledger.h"
+
+namespace fb {
+
+class ForkBaseLedger : public LedgerBackend {
+ public:
+  explicit ForkBaseLedger(DBOptions options = {});
+
+  Status Read(const std::string& contract, const std::string& key,
+              std::string* value) override;
+  Status Write(const std::string& contract, const std::string& key,
+               const std::string& value) override;
+  Status Commit(uint64_t number,
+                const std::vector<Transaction>& txns) override;
+  uint64_t last_block() const override { return last_block_; }
+  Result<Bytes> LoadBlock(uint64_t number) const override;
+
+  Result<std::vector<StateVersion>> StateScan(const std::string& contract,
+                                              const std::string& key,
+                                              uint64_t max_versions) override;
+  Result<std::map<std::string, std::string>> BlockScan(
+      const std::string& contract, uint64_t number) override;
+
+  uint64_t StorageBytes() const override {
+    return db_.store()->stats().stored_bytes;
+  }
+
+  ForkBase* db() { return &db_; }
+
+ private:
+  static std::string ValueKey(const std::string& contract,
+                              const std::string& key) {
+    return "s/" + contract + "/" + key;
+  }
+
+  // Latest uid of a value object, from the current second-level map.
+  Result<Hash> LatestValueUid(const std::string& contract,
+                              const std::string& key);
+
+  ForkBase db_;
+
+  // Open batch: (contract, key) -> value.
+  std::map<std::pair<std::string, std::string>, std::string> write_buffer_;
+
+  // Cached heads of the two map levels.
+  Hash first_level_uid_;                      // uid of "states" FObject
+  std::map<std::string, Hash> contract_uid_;  // contract -> map FObject uid
+
+  uint64_t last_block_ = 0;
+  bool has_blocks_ = false;
+  Sha256::Digest last_block_hash_{};
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_BLOCKCHAIN_FORKBASE_LEDGER_H_

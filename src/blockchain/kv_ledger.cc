@@ -1,0 +1,153 @@
+#include "blockchain/kv_ledger.h"
+
+#include <algorithm>
+
+namespace fb {
+
+Status ForkBaseKvAdapter::Get(const std::string& key,
+                              std::string* value) const {
+  FB_ASSIGN_OR_RETURN(FObject obj, db_.Get(key));
+  *value = obj.value().AsString();
+  return Status::OK();
+}
+
+KvLedger::KvLedger(std::unique_ptr<KvAdapter> kv, KvLedgerOptions options)
+    : kv_(std::move(kv)), options_(options) {
+  if (options_.merkle == MerkleKind::kBucketTree) {
+    bucket_tree_ = std::make_unique<BucketTree>(options_.num_buckets);
+  } else {
+    trie_ = std::make_unique<MerkleTrie>();
+  }
+}
+
+Status KvLedger::Read(const std::string& contract, const std::string& key,
+                      std::string* value) {
+  // Buffered writes of the open batch are visible to later transactions.
+  auto it = write_buffer_.find(StateKey(contract, key));
+  if (it != write_buffer_.end()) {
+    *value = it->second;
+    return Status::OK();
+  }
+  return kv_->Get(StateKey(contract, key), value);
+}
+
+Status KvLedger::Write(const std::string& contract, const std::string& key,
+                       const std::string& value) {
+  const std::string skey = StateKey(contract, key);
+  if (write_buffer_.count(skey) == 0) {
+    // Record the pre-image once per batch for the state delta.
+    std::string old;
+    const Status s = kv_->Get(skey, &old);
+    pending_delta_.Record(Slice(skey),
+                          s.ok() ? std::optional<std::string>(old)
+                                 : std::nullopt,
+                          value);
+  } else {
+    pending_delta_.Record(Slice(skey), std::nullopt, value);
+  }
+  write_buffer_[skey] = value;
+  return Status::OK();
+}
+
+Status KvLedger::Commit(uint64_t number,
+                        const std::vector<Transaction>& txns) {
+  // 1. Apply buffered writes to the Merkle structure and the KV store.
+  last_commit_stats_ = MerkleCommitStats{};
+  for (const auto& [k, v] : write_buffer_) {
+    if (bucket_tree_) {
+      bucket_tree_->Set(Slice(k), Slice(v));
+    } else {
+      trie_->Set(Slice(k), Slice(v));
+    }
+    FB_RETURN_NOT_OK(kv_->Put(k, v));
+  }
+  const Sha256::Digest state_root =
+      bucket_tree_ ? bucket_tree_->Commit(&last_commit_stats_)
+                   : trie_->Commit(&last_commit_stats_);
+
+  // 2. Persist the state delta (old values + old root) for history.
+  FB_RETURN_NOT_OK(kv_->Put("delta/" + std::to_string(number),
+                            BytesToString(pending_delta_.Serialize())));
+
+  // 3. Build and persist the block.
+  Block block;
+  block.number = number;
+  block.prev_hash = has_blocks_ ? last_block_hash_ : Sha256::Digest{};
+  block.state_ref = Bytes(state_root.begin(), state_root.end());
+  block.txns = txns;
+  FB_RETURN_NOT_OK(kv_->Put("block/" + std::to_string(number),
+                            BytesToString(block.Serialize())));
+  FB_RETURN_NOT_OK(kv_->Put("lastblock", std::to_string(number)));
+
+  last_block_hash_ = block.ComputeHash();
+  last_block_ = number;
+  has_blocks_ = true;
+  write_buffer_.clear();
+  pending_delta_.clear();
+  return Status::OK();
+}
+
+Result<Bytes> KvLedger::LoadBlock(uint64_t number) const {
+  std::string raw;
+  FB_RETURN_NOT_OK(kv_->Get("block/" + std::to_string(number), &raw));
+  return ToBytes(raw);
+}
+
+Status KvLedger::BuildHistoryIndex() {
+  // Intentionally rebuilt per query: the data structures provide no
+  // index, so the cost of parsing every block and delta is part of every
+  // analytical query (the paper's pre-processing step).
+  return Status::OK();
+}
+
+Result<std::vector<StateVersion>> KvLedger::StateScan(
+    const std::string& contract, const std::string& key,
+    uint64_t max_versions) {
+  FB_RETURN_NOT_OK(BuildHistoryIndex());
+  const std::string skey = StateKey(contract, key);
+
+  // Pre-processing pass: walk every delta to collect this key's history.
+  std::vector<StateVersion> history;  // oldest first during collection
+  if (!has_blocks_) return history;
+  for (uint64_t n = 0; n <= last_block_; ++n) {
+    std::string raw;
+    const Status s = kv_->Get("delta/" + std::to_string(n), &raw);
+    if (!s.ok()) continue;
+    FB_ASSIGN_OR_RETURN(StateDelta delta, StateDelta::Deserialize(Slice(raw)));
+    auto it = delta.changes().find(skey);
+    if (it != delta.changes().end() && it->second.new_value.has_value()) {
+      history.push_back(StateVersion{n, *it->second.new_value});
+    }
+  }
+  std::reverse(history.begin(), history.end());  // newest first
+  if (history.size() > max_versions) history.resize(max_versions);
+  return history;
+}
+
+Result<std::map<std::string, std::string>> KvLedger::BlockScan(
+    const std::string& contract, uint64_t number) {
+  FB_RETURN_NOT_OK(BuildHistoryIndex());
+  const std::string prefix = "state/" + contract + "/";
+
+  // Replay deltas from genesis to `number`, materializing the state as of
+  // that block — no index exists to shortcut this.
+  std::map<std::string, std::string> state;
+  for (uint64_t n = 0; n <= number && has_blocks_ && n <= last_block_; ++n) {
+    std::string raw;
+    const Status s = kv_->Get("delta/" + std::to_string(n), &raw);
+    if (!s.ok()) continue;
+    FB_ASSIGN_OR_RETURN(StateDelta delta, StateDelta::Deserialize(Slice(raw)));
+    for (const auto& [k, c] : delta.changes()) {
+      if (k.compare(0, prefix.size(), prefix) != 0) continue;
+      const std::string data_key = k.substr(prefix.size());
+      if (c.new_value.has_value()) {
+        state[data_key] = *c.new_value;
+      } else {
+        state.erase(data_key);
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace fb

@@ -1,0 +1,69 @@
+// LedgerBackend: the storage abstraction under the mini-Hyperledger
+// platform. Three implementations reproduce the paper's comparison:
+//
+//   * KvLedger over LsmStore           — "Rocksdb"      (Hyperledger v0.6)
+//   * KvLedger over ForkBase-as-KV     — "ForkBase-KV"
+//   * ForkBaseLedger (two-level Maps)  — "ForkBase"     (Figure 7b)
+//
+// The platform batches transactions; reads hit the backend directly,
+// writes are buffered and applied at Commit (Section 5.1.1).
+
+#ifndef FORKBASE_BLOCKCHAIN_LEDGER_H_
+#define FORKBASE_BLOCKCHAIN_LEDGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blockchain/block.h"
+#include "util/status.h"
+
+namespace fb {
+
+// One state version returned by a state-scan query.
+struct StateVersion {
+  uint64_t block = 0;  // block that produced this value (KV backends) or
+                       // version ordinal (ForkBase backend)
+  std::string value;
+};
+
+class LedgerBackend {
+ public:
+  virtual ~LedgerBackend() = default;
+
+  // --- Transaction execution ------------------------------------------
+
+  virtual Status Read(const std::string& contract, const std::string& key,
+                      std::string* value) = 0;
+  // Buffers a write until the next Commit.
+  virtual Status Write(const std::string& contract, const std::string& key,
+                       const std::string& value) = 0;
+
+  // Seals the buffered writes into block `number` holding `txns`.
+  virtual Status Commit(uint64_t number,
+                        const std::vector<Transaction>& txns) = 0;
+
+  virtual uint64_t last_block() const = 0;
+
+  // Serialized block by number (for chain verification).
+  virtual Result<Bytes> LoadBlock(uint64_t number) const = 0;
+
+  // --- Analytical queries (Section 5.1.2) ------------------------------
+
+  // History of `key`: how the current value came about, newest first, at
+  // most `max_versions` entries.
+  virtual Result<std::vector<StateVersion>> StateScan(
+      const std::string& contract, const std::string& key,
+      uint64_t max_versions) = 0;
+
+  // Values of all states of `contract` as of block `number`.
+  virtual Result<std::map<std::string, std::string>> BlockScan(
+      const std::string& contract, uint64_t number) = 0;
+
+  // Resident storage bytes (for storage comparisons).
+  virtual uint64_t StorageBytes() const = 0;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_BLOCKCHAIN_LEDGER_H_

@@ -1,0 +1,72 @@
+#include "blockchain/workload.h"
+
+namespace fb {
+
+std::vector<Transaction> GenerateWorkload(const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  ZipfGenerator zipf(options.num_keys, options.zipf_theta,
+                     options.seed ^ 0x5eed);
+  std::vector<Transaction> txns;
+  txns.reserve(options.num_ops);
+  for (uint64_t i = 0; i < options.num_ops; ++i) {
+    Transaction t;
+    t.contract = options.contract;
+    const uint64_t key_idx =
+        options.zipf_theta > 0 ? zipf.Next() : rng.Uniform(options.num_keys);
+    t.key = MakeKey(key_idx, 12, "acct");
+    if (rng.Bernoulli(options.read_ratio)) {
+      t.op = Transaction::Op::kGet;
+    } else {
+      t.op = Transaction::Op::kPut;
+      t.value = BytesToString(MakeValue(rng.Next(), options.value_size));
+    }
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+Result<WorkloadResult> RunWorkload(LedgerBackend* backend,
+                                   const WorkloadOptions& options) {
+  const std::vector<Transaction> txns = GenerateWorkload(options);
+  WorkloadResult result;
+  Timer total;
+
+  std::vector<Transaction> batch;
+  // Continue an existing chain, or start at block 0.
+  uint64_t block_number = 0;
+  if (backend->LoadBlock(0).ok()) block_number = backend->last_block() + 1;
+
+  for (const Transaction& t : txns) {
+    Timer op;
+    if (t.op == Transaction::Op::kGet) {
+      std::string value;
+      const Status s = backend->Read(t.contract, t.key, &value);
+      if (!s.ok() && !s.IsNotFound()) return s;
+      result.read_latency.Record(op.ElapsedMicros());
+    } else {
+      FB_RETURN_NOT_OK(backend->Write(t.contract, t.key, t.value));
+      result.write_latency.Record(op.ElapsedMicros());
+    }
+    batch.push_back(t);
+    if (batch.size() >= options.block_size) {
+      Timer commit;
+      FB_RETURN_NOT_OK(backend->Commit(block_number++, batch));
+      result.commit_latency.Record(commit.ElapsedMicros());
+      result.committed_txns += batch.size();
+      ++result.blocks;
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    Timer commit;
+    FB_RETURN_NOT_OK(backend->Commit(block_number++, batch));
+    result.commit_latency.Record(commit.ElapsedMicros());
+    result.committed_txns += batch.size();
+    ++result.blocks;
+  }
+
+  result.elapsed_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fb

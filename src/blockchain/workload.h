@@ -1,0 +1,52 @@
+// Blockbench-style workload driver (Section 6.2): a YCSB-like smart
+// contract implementing a key-value store. Transactions are generated
+// with configurable key count, read/write ratio, value size and key
+// distribution, then executed in batches of `block_size` per block.
+
+#ifndef FORKBASE_BLOCKCHAIN_WORKLOAD_H_
+#define FORKBASE_BLOCKCHAIN_WORKLOAD_H_
+
+#include <vector>
+
+#include "blockchain/ledger.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace fb {
+
+struct WorkloadOptions {
+  uint64_t num_keys = 1024;
+  uint64_t num_ops = 4096;
+  double read_ratio = 0.5;    // r (rest are writes)
+  size_t value_size = 100;
+  size_t block_size = 50;     // b: transactions per block
+  double zipf_theta = 0.0;    // 0 = uniform
+  std::string contract = "kvstore";
+  uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  LatencyRecorder read_latency;    // per read op (us)
+  LatencyRecorder write_latency;   // per write op (us)
+  LatencyRecorder commit_latency;  // per block commit (us)
+  uint64_t committed_txns = 0;
+  uint64_t blocks = 0;
+  double elapsed_seconds = 0;
+
+  double Throughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(committed_txns) /
+                                     elapsed_seconds
+                               : 0;
+  }
+};
+
+// Generates the transaction stream for `options` (deterministic per seed).
+std::vector<Transaction> GenerateWorkload(const WorkloadOptions& options);
+
+// Executes the workload against a backend, batching commits.
+Result<WorkloadResult> RunWorkload(LedgerBackend* backend,
+                                   const WorkloadOptions& options);
+
+}  // namespace fb
+
+#endif  // FORKBASE_BLOCKCHAIN_WORKLOAD_H_

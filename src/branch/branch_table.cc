@@ -1,0 +1,103 @@
+#include "branch/branch_table.h"
+
+namespace fb {
+
+Result<Hash> BranchTable::Head(const std::string& branch) const {
+  auto it = tagged_.find(branch);
+  if (it == tagged_.end()) {
+    return Status::NotFound("branch '" + branch + "'");
+  }
+  return it->second;
+}
+
+Status BranchTable::SetHead(const std::string& branch, const Hash& head,
+                            const Hash* guard) {
+  if (guard != nullptr) {
+    auto it = tagged_.find(branch);
+    const Hash current = it == tagged_.end() ? Hash::Null() : it->second;
+    if (current != *guard) {
+      return Status::PreconditionFailed(
+          "branch '" + branch + "' head moved: expected " +
+          guard->ToShortHex() + ", found " + current.ToShortHex());
+    }
+  }
+  tagged_[branch] = head;
+  return Status::OK();
+}
+
+Status BranchTable::RenameBranch(const std::string& from,
+                                 const std::string& to) {
+  auto it = tagged_.find(from);
+  if (it == tagged_.end()) return Status::NotFound("branch '" + from + "'");
+  if (tagged_.count(to) > 0) {
+    return Status::AlreadyExists("branch '" + to + "'");
+  }
+  tagged_[to] = it->second;
+  tagged_.erase(it);
+  return Status::OK();
+}
+
+Status BranchTable::RemoveBranch(const std::string& branch) {
+  if (tagged_.erase(branch) == 0) {
+    return Status::NotFound("branch '" + branch + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, Hash>> BranchTable::TaggedBranches() const {
+  return {tagged_.begin(), tagged_.end()};
+}
+
+void BranchTable::AddUntagged(const Hash& uid, const Hash& base) {
+  // If the base is still a leaf, this Put extends it; otherwise the base
+  // was already derived from (concurrent writer) and a fork happens
+  // naturally by both uids remaining in the table.
+  untagged_.erase(base);
+  untagged_.insert(uid);
+}
+
+void BranchTable::ReplaceUntagged(const std::vector<Hash>& old_heads,
+                                  const Hash& merged) {
+  for (const Hash& h : old_heads) untagged_.erase(h);
+  untagged_.insert(merged);
+}
+
+std::vector<Hash> BranchTable::UntaggedBranches() const {
+  return {untagged_.begin(), untagged_.end()};
+}
+
+void BranchTable::SerializeTo(Bytes* out) const {
+  PutVarint64(out, tagged_.size());
+  for (const auto& [name, head] : tagged_) {
+    PutLengthPrefixed(out, Slice(name));
+    AppendSlice(out, head.slice());
+  }
+  PutVarint64(out, untagged_.size());
+  for (const Hash& h : untagged_) AppendSlice(out, h.slice());
+}
+
+Status BranchTable::DeserializeFrom(ByteReader* r, BranchTable* out) {
+  *out = BranchTable();
+  uint64_t n_tagged = 0;
+  FB_RETURN_NOT_OK(r->ReadVarint64(&n_tagged));
+  for (uint64_t i = 0; i < n_tagged; ++i) {
+    Slice name, head;
+    FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&name));
+    FB_RETURN_NOT_OK(r->ReadRaw(Hash::kSize, &head));
+    Sha256::Digest d;
+    std::copy(head.begin(), head.end(), d.begin());
+    out->tagged_[name.ToString()] = Hash(d);
+  }
+  uint64_t n_untagged = 0;
+  FB_RETURN_NOT_OK(r->ReadVarint64(&n_untagged));
+  for (uint64_t i = 0; i < n_untagged; ++i) {
+    Slice h;
+    FB_RETURN_NOT_OK(r->ReadRaw(Hash::kSize, &h));
+    Sha256::Digest d;
+    std::copy(h.begin(), h.end(), d.begin());
+    out->untagged_.insert(Hash(d));
+  }
+  return Status::OK();
+}
+
+}  // namespace fb

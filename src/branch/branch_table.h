@@ -1,0 +1,71 @@
+// Per-key branch table (Section 4.5): TB-table for tagged (named)
+// branches and UB-table for untagged branches created by fork-on-conflict
+// Puts. The UB-table maintains exactly the leaves of the object
+// derivation graph that no tagged branch accounts for.
+
+#ifndef FORKBASE_BRANCH_BRANCH_TABLE_H_
+#define FORKBASE_BRANCH_BRANCH_TABLE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "util/codec.h"
+#include "util/status.h"
+
+namespace fb {
+
+// The branch a Put/Get uses when none is specified.
+inline constexpr const char* kDefaultBranch = "master";
+
+class BranchTable {
+ public:
+  // --- Tagged branches (TB-table) ---------------------------------------
+
+  bool HasBranch(const std::string& branch) const {
+    return tagged_.count(branch) > 0;
+  }
+
+  Result<Hash> Head(const std::string& branch) const;
+
+  // Moves (or creates) a branch head. With a non-null `guard`, fails with
+  // PreconditionFailed unless the current head equals *guard — the
+  // guarded Put of Section 4.5.1.
+  Status SetHead(const std::string& branch, const Hash& head,
+                 const Hash* guard = nullptr);
+
+  Status RenameBranch(const std::string& from, const std::string& to);
+  Status RemoveBranch(const std::string& branch);
+
+  std::vector<std::pair<std::string, Hash>> TaggedBranches() const;
+
+  // --- Untagged branches (UB-table) --------------------------------------
+
+  // Registers a new FObject produced by a fork-on-conflict Put: its uid
+  // becomes a derivation-graph leaf and its base stops being one.
+  void AddUntagged(const Hash& uid, const Hash& base);
+
+  // Replaces a set of untagged heads with their merge result (M7).
+  void ReplaceUntagged(const std::vector<Hash>& old_heads, const Hash& merged);
+
+  std::vector<Hash> UntaggedBranches() const;
+
+  bool empty() const { return tagged_.empty() && untagged_.empty(); }
+
+  // --- Persistence --------------------------------------------------------
+
+  // Appends a self-delimiting encoding of this table to `out`.
+  void SerializeTo(Bytes* out) const;
+  // Reads one table back from `r`.
+  static Status DeserializeFrom(ByteReader* r, BranchTable* out);
+
+ private:
+  std::map<std::string, Hash> tagged_;
+  std::set<Hash> untagged_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_BRANCH_BRANCH_TABLE_H_

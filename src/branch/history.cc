@@ -1,0 +1,64 @@
+#include "branch/history.h"
+
+#include <map>
+#include <queue>
+#include <set>
+
+namespace fb {
+
+Result<std::vector<FObject>> TrackHistory(const ChunkStore& store,
+                                          const Hash& uid, uint64_t min_dist,
+                                          uint64_t max_dist) {
+  std::vector<FObject> out;
+  Hash cur = uid;
+  for (uint64_t dist = 0; dist <= max_dist; ++dist) {
+    FB_ASSIGN_OR_RETURN_IMPL(_o, FObject obj, FObject::Load(store, cur));
+    const bool at_root = obj.bases().empty();
+    const Hash next = at_root ? Hash::Null() : obj.bases().front();
+    if (dist >= min_dist) out.push_back(std::move(obj));
+    if (at_root) break;
+    cur = next;
+  }
+  return out;
+}
+
+Result<Hash> FindLca(const ChunkStore& store, const Hash& a, const Hash& b) {
+  if (a == b) return a;
+
+  // Best-first walk from both versions, always expanding the deepest
+  // frontier node. A node reached from both sides is the LCA.
+  struct Item {
+    uint64_t depth;
+    Hash uid;
+    uint8_t mask;  // 1 = reached from a, 2 = from b
+    bool operator<(const Item& o) const { return depth < o.depth; }
+  };
+  std::priority_queue<Item> frontier;
+  std::map<Hash, uint8_t> seen;
+
+  auto push = [&](const Hash& uid, uint8_t mask) -> Status {
+    FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(store, uid));
+    frontier.push(Item{obj.depth(), uid, mask});
+    return Status::OK();
+  };
+  FB_RETURN_NOT_OK(push(a, 1));
+  FB_RETURN_NOT_OK(push(b, 2));
+
+  while (!frontier.empty()) {
+    const Item item = frontier.top();
+    frontier.pop();
+    uint8_t& mask = seen[item.uid];
+    const uint8_t combined = mask | item.mask;
+    if (combined == 3) return item.uid;
+    if (mask == combined) continue;  // already expanded with this mask
+    mask = combined;
+
+    FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(store, item.uid));
+    for (const Hash& base : obj.bases()) {
+      FB_RETURN_NOT_OK(push(base, combined));
+    }
+  }
+  return Hash::Null();
+}
+
+}  // namespace fb

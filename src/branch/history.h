@@ -1,0 +1,28 @@
+// Derivation-graph traversal: Track (history walk) and LCA (least common
+// ancestor over the version DAG), used by Merge and by analytics queries
+// like blockchain state scans.
+
+#ifndef FORKBASE_BRANCH_HISTORY_H_
+#define FORKBASE_BRANCH_HISTORY_H_
+
+#include <vector>
+
+#include "types/fobject.h"
+
+namespace fb {
+
+// Walks backwards from `uid` along the first-base chain and returns the
+// FObjects at distance [min_dist, max_dist] (0 = the version itself).
+// Stops early at the first version.
+Result<std::vector<FObject>> TrackHistory(const ChunkStore& store,
+                                          const Hash& uid, uint64_t min_dist,
+                                          uint64_t max_dist);
+
+// Least common ancestor of two versions in the derivation DAG, using a
+// best-first walk ordered by depth. Returns the null hash when the two
+// versions share no ancestor (e.g. different keys).
+Result<Hash> FindLca(const ChunkStore& store, const Hash& a, const Hash& b);
+
+}  // namespace fb
+
+#endif  // FORKBASE_BRANCH_HISTORY_H_

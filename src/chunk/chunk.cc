@@ -1,0 +1,63 @@
+#include "chunk/chunk.h"
+
+namespace fb {
+
+const char* ChunkTypeToString(ChunkType type) {
+  switch (type) {
+    case ChunkType::kMeta:
+      return "Meta";
+    case ChunkType::kUIndex:
+      return "UIndex";
+    case ChunkType::kSIndex:
+      return "SIndex";
+    case ChunkType::kBlob:
+      return "Blob";
+    case ChunkType::kList:
+      return "List";
+    case ChunkType::kSet:
+      return "Set";
+    case ChunkType::kMap:
+      return "Map";
+  }
+  return "Unknown";
+}
+
+Hash Hash::FromHex(std::string_view hex) {
+  const Bytes raw = HexDecode(hex);
+  if (raw.size() != kSize) return Hash();
+  Sha256::Digest d;
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return Hash(d);
+}
+
+const Hash& Hash::Null() {
+  static const Hash kNull;
+  return kNull;
+}
+
+Bytes Chunk::Serialize() const {
+  Bytes out;
+  out.reserve(serialized_size());
+  out.push_back(static_cast<uint8_t>(type_));
+  AppendSlice(&out, Slice(payload_));
+  return out;
+}
+
+bool Chunk::Deserialize(Slice data, Chunk* out) {
+  if (data.empty()) return false;
+  const uint8_t type = data[0];
+  if (type > static_cast<uint8_t>(ChunkType::kMap)) return false;
+  *out = Chunk(static_cast<ChunkType>(type),
+               data.subslice(1, data.size() - 1).ToBytes());
+  return true;
+}
+
+Hash Chunk::ComputeCid() const {
+  Sha256 h;
+  const uint8_t type_byte = static_cast<uint8_t>(type_);
+  h.Update(Slice(&type_byte, 1));
+  h.Update(Slice(payload_));
+  return Hash(h.Finalize());
+}
+
+}  // namespace fb

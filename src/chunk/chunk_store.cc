@@ -1,0 +1,273 @@
+#include "chunk/chunk_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// MemChunkStore
+// ---------------------------------------------------------------------------
+
+Status MemChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  stats_.logical_bytes += chunk.serialized_size();
+  auto it = chunks_.find(cid);
+  if (it != chunks_.end()) {
+    ++stats_.dedup_hits;
+    return Status::OK();
+  }
+  stats_.stored_bytes += chunk.serialized_size();
+  ++stats_.chunks;
+  chunks_.emplace(cid, chunk);
+  return Status::OK();
+}
+
+Status MemChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++const_cast<ChunkStoreStats&>(stats_).gets;
+  auto it = chunks_.find(cid);
+  if (it == chunks_.end()) {
+    return Status::NotFound("chunk " + cid.ToShortHex());
+  }
+  *chunk = it->second;
+  return Status::OK();
+}
+
+bool MemChunkStore::Contains(const Hash& cid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.count(cid) > 0;
+}
+
+ChunkStoreStats MemChunkStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemChunkStore::ForEach(
+    const std::function<void(const Hash&, const Chunk&)>& fn) const {
+  // Snapshot under the lock, invoke outside it so `fn` may call back
+  // into stores.
+  std::vector<std::pair<Hash, Chunk>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(chunks_.begin(), chunks_.end());
+  }
+  for (const auto& [cid, chunk] : snapshot) fn(cid, chunk);
+}
+
+// ---------------------------------------------------------------------------
+// LogChunkStore
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<LogChunkStore>> LogChunkStore::Open(
+    const std::string& dir, uint64_t segment_size) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("create_directories: " + ec.message());
+  auto store = std::unique_ptr<LogChunkStore>(
+      new LogChunkStore(dir, segment_size));
+  Status s = store->Recover();
+  if (!s.ok()) return s;
+  return store;
+}
+
+LogChunkStore::~LogChunkStore() {
+  if (active_ != nullptr) std::fclose(active_);
+}
+
+std::string LogChunkStore::SegmentPath(uint32_t n) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/seg-%06u.fbl", n);
+  return dir_ + buf;
+}
+
+Status LogChunkStore::Recover() {
+  // Scan segments in order; verify each record's cid while indexing.
+  uint32_t seg = 0;
+  for (;; ++seg) {
+    const std::string path = SegmentPath(seg);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) break;
+    uint64_t off = 0;
+    for (;;) {
+      uint8_t header[4 + Hash::kSize];
+      const size_t got = std::fread(header, 1, sizeof(header), f);
+      if (got == 0) break;  // clean end of segment
+      if (got != sizeof(header)) {
+        std::fclose(f);
+        return Status::Corruption("truncated record header in " + path);
+      }
+      uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) len |= uint32_t{header[i]} << (8 * i);
+      Sha256::Digest d;
+      std::memcpy(d.data(), header + 4, Hash::kSize);
+      const Hash cid{d};
+
+      Bytes body(len);
+      if (len > 0 && std::fread(body.data(), 1, len, f) != len) {
+        std::fclose(f);
+        return Status::Corruption("truncated record body in " + path);
+      }
+      Chunk chunk;
+      if (!Chunk::Deserialize(Slice(body), &chunk)) {
+        std::fclose(f);
+        return Status::Corruption("bad chunk encoding in " + path);
+      }
+      if (chunk.ComputeCid() != cid) {
+        std::fclose(f);
+        return Status::Corruption("cid mismatch (tampered chunk) in " + path);
+      }
+      index_[cid] = Location{seg, off, len};
+      ++stats_.chunks;
+      stats_.stored_bytes += chunk.serialized_size();
+      off += sizeof(header) + len;
+    }
+    std::fclose(f);
+    active_id_ = seg;
+    active_off_ = off;
+  }
+
+  // Open (or create) the active segment for appending.
+  if (seg == 0) {
+    active_id_ = 0;
+    active_off_ = 0;
+  }
+  active_ = std::fopen(SegmentPath(active_id_).c_str(), "ab");
+  if (active_ == nullptr) {
+    return Status::IOError(std::string("open active segment: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status LogChunkStore::RollSegment() {
+  std::fclose(active_);
+  ++active_id_;
+  active_off_ = 0;
+  active_ = std::fopen(SegmentPath(active_id_).c_str(), "ab");
+  if (active_ == nullptr) {
+    return Status::IOError(std::string("roll segment: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status LogChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  stats_.logical_bytes += chunk.serialized_size();
+  if (index_.count(cid) > 0) {
+    ++stats_.dedup_hits;
+    return Status::OK();
+  }
+
+  if (active_off_ >= segment_size_) FB_RETURN_NOT_OK(RollSegment());
+
+  const Bytes body = chunk.Serialize();
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  uint8_t header[4 + Hash::kSize];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  std::memcpy(header + 4, cid.data(), Hash::kSize);
+
+  if (std::fwrite(header, 1, sizeof(header), active_) != sizeof(header) ||
+      (len > 0 && std::fwrite(body.data(), 1, len, active_) != len)) {
+    return Status::IOError("short write to segment");
+  }
+
+  index_[cid] = Location{active_id_, active_off_, len};
+  active_off_ += sizeof(header) + len;
+  ++stats_.chunks;
+  stats_.stored_bytes += chunk.serialized_size();
+  return Status::OK();
+}
+
+Status LogChunkStore::ReadRecord(const Location& loc, Chunk* chunk) const {
+  std::FILE* f = nullptr;
+  if (loc.segment == active_id_) {
+    // Reads from the active segment must see buffered appends.
+    std::fflush(active_);
+  }
+  f = std::fopen(SegmentPath(loc.segment).c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open segment for read");
+  if (std::fseek(f, static_cast<long>(loc.offset + 4 + Hash::kSize),
+                 SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek");
+  }
+  Bytes body(loc.length);
+  if (loc.length > 0 &&
+      std::fread(body.data(), 1, loc.length, f) != loc.length) {
+    std::fclose(f);
+    return Status::Corruption("short record read");
+  }
+  std::fclose(f);
+  if (!Chunk::Deserialize(Slice(body), chunk)) {
+    return Status::Corruption("bad chunk encoding");
+  }
+  return Status::OK();
+}
+
+Status LogChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++const_cast<ChunkStoreStats&>(stats_).gets;
+  auto it = index_.find(cid);
+  if (it == index_.end()) return Status::NotFound("chunk " + cid.ToShortHex());
+  return ReadRecord(it->second, chunk);
+}
+
+bool LogChunkStore::Contains(const Hash& cid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(cid) > 0;
+}
+
+ChunkStoreStats LogChunkStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status LogChunkStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr && std::fflush(active_) != 0) {
+    return Status::IOError("fflush");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStorePool
+// ---------------------------------------------------------------------------
+
+ChunkStorePool::ChunkStorePool(size_t n_instances) {
+  stores_.reserve(n_instances);
+  for (size_t i = 0; i < n_instances; ++i) {
+    stores_.push_back(std::make_unique<MemChunkStore>());
+  }
+}
+
+ChunkStoreStats ChunkStorePool::TotalStats() const {
+  ChunkStoreStats total;
+  for (const auto& s : stores_) {
+    const ChunkStoreStats st = s->stats();
+    total.puts += st.puts;
+    total.dedup_hits += st.dedup_hits;
+    total.gets += st.gets;
+    total.chunks += st.chunks;
+    total.stored_bytes += st.stored_bytes;
+    total.logical_bytes += st.logical_bytes;
+  }
+  return total;
+}
+
+std::vector<ChunkStoreStats> ChunkStorePool::PerInstanceStats() const {
+  std::vector<ChunkStoreStats> out;
+  out.reserve(stores_.size());
+  for (const auto& s : stores_) out.push_back(s->stats());
+  return out;
+}
+
+}  // namespace fb

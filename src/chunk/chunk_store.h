@@ -1,0 +1,178 @@
+// Chunk storage (Section 4.4): a content-addressed key-value store whose
+// key is a cid and whose value is the chunk's raw bytes.
+//
+// Because chunks are immutable and content-addressed, a Put of an existing
+// cid is a dedup hit and returns immediately. Two implementations:
+//
+//  * MemChunkStore — hash map, used by tests and as the servlet cache.
+//  * LogChunkStore — append-only log-structured segments on disk with an
+//    in-memory cid -> (segment, offset) index; mirrors the paper's
+//    persistence layout and supports recovery by replaying segments.
+//
+// ChunkStorePool models the distributed pool: N store instances with
+// cid-hash partitioning (the second layer of the two-layer partitioning
+// scheme of Section 4.6).
+
+#ifndef FORKBASE_CHUNK_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_CHUNK_STORE_H_
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "util/status.h"
+
+namespace fb {
+
+// Counters exposed for benchmarks (dedup ratios, Table 4, Fig 13/15/16).
+struct ChunkStoreStats {
+  uint64_t puts = 0;          // Put calls
+  uint64_t dedup_hits = 0;    // Puts that found an existing cid
+  uint64_t gets = 0;          // Get calls
+  uint64_t chunks = 0;        // unique chunks currently stored
+  uint64_t stored_bytes = 0;  // bytes of unique chunks (serialized)
+  uint64_t logical_bytes = 0; // bytes as if every Put were stored
+};
+
+class ChunkStore {
+ public:
+  virtual ~ChunkStore() = default;
+
+  // Stores `chunk` under its cid. Verifies cid integrity when the caller
+  // provides one (tamper evidence at the chunk level). Dedups silently.
+  virtual Status Put(const Hash& cid, const Chunk& chunk) = 0;
+
+  // Convenience: computes the cid, stores, and returns it.
+  Result<Hash> Put(const Chunk& chunk) {
+    Hash cid = chunk.ComputeCid();
+    Status s = Put(cid, chunk);
+    if (!s.ok()) return s;
+    return cid;
+  }
+
+  // Fetches the chunk for `cid`; NotFound if absent.
+  virtual Status Get(const Hash& cid, Chunk* chunk) const = 0;
+
+  virtual bool Contains(const Hash& cid) const = 0;
+
+  virtual ChunkStoreStats stats() const = 0;
+};
+
+// In-memory content-addressed store. Thread-safe.
+class MemChunkStore : public ChunkStore {
+ public:
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override;
+  Status Get(const Hash& cid, Chunk* chunk) const override;
+  bool Contains(const Hash& cid) const override;
+  ChunkStoreStats stats() const override;
+
+  // Invokes `fn` for every stored chunk (snapshot of cids; used by
+  // anti-entropy repair and storage audits).
+  void ForEach(const std::function<void(const Hash&, const Chunk&)>& fn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Hash, Chunk, HashHasher> chunks_;
+  ChunkStoreStats stats_;
+};
+
+// Log-structured persistent store. Chunks are appended to segment files
+// ("<dir>/seg-<n>.fbl"); a segment rolls over at segment_size bytes. The
+// cid index is rebuilt on Open() by scanning segments, which also verifies
+// every record's cid (corruption detection).
+//
+// Record format: [fixed32 len][cid 32B][chunk bytes (len)]
+class LogChunkStore : public ChunkStore {
+ public:
+  static constexpr uint64_t kDefaultSegmentSize = 64ull << 20;
+
+  // Opens (creating if necessary) a store rooted at `dir`.
+  static Result<std::unique_ptr<LogChunkStore>> Open(
+      const std::string& dir, uint64_t segment_size = kDefaultSegmentSize);
+
+  ~LogChunkStore() override;
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override;
+  Status Get(const Hash& cid, Chunk* chunk) const override;
+  bool Contains(const Hash& cid) const override;
+  ChunkStoreStats stats() const override;
+
+  // Forces buffered writes to the OS.
+  Status Flush();
+
+ private:
+  struct Location {
+    uint32_t segment;
+    uint64_t offset;  // of the record header
+    uint32_t length;  // chunk bytes length
+  };
+
+  LogChunkStore(std::string dir, uint64_t segment_size)
+      : dir_(std::move(dir)), segment_size_(segment_size) {}
+
+  Status Recover();
+  Status RollSegment();
+  Status ReadRecord(const Location& loc, Chunk* chunk) const;
+  std::string SegmentPath(uint32_t n) const;
+
+  std::string dir_;
+  uint64_t segment_size_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Hash, Location, HashHasher> index_;
+  ChunkStoreStats stats_;
+  std::FILE* active_ = nullptr;
+  uint32_t active_id_ = 0;
+  uint64_t active_off_ = 0;
+};
+
+// A pool of chunk-store instances partitioned by cid hash — the bottom
+// layer of the two-layer partitioning scheme. All instances are accessible
+// from any servlet (shared pool semantics).
+class ChunkStorePool {
+ public:
+  explicit ChunkStorePool(size_t n_instances);
+
+  size_t size() const { return stores_.size(); }
+
+  // The instance responsible for `cid`.
+  ChunkStore* Route(const Hash& cid) {
+    return stores_[PartitionOf(cid)].get();
+  }
+  const ChunkStore* Route(const Hash& cid) const {
+    return stores_[PartitionOf(cid)].get();
+  }
+
+  size_t PartitionOf(const Hash& cid) const {
+    return static_cast<size_t>(cid.Low64() % stores_.size());
+  }
+
+  ChunkStore* instance(size_t i) { return stores_[i].get(); }
+  const ChunkStore* instance(size_t i) const { return stores_[i].get(); }
+
+  Status Put(const Hash& cid, const Chunk& chunk) {
+    return Route(cid)->Put(cid, chunk);
+  }
+  Status Get(const Hash& cid, Chunk* chunk) const {
+    return Route(cid)->Get(cid, chunk);
+  }
+
+  // Aggregate and per-instance stats (Fig 15 storage balance).
+  ChunkStoreStats TotalStats() const;
+  std::vector<ChunkStoreStats> PerInstanceStats() const;
+
+ private:
+  std::vector<std::unique_ptr<MemChunkStore>> stores_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CHUNK_CHUNK_STORE_H_

@@ -1,0 +1,100 @@
+#include "chunk/replicated_store.h"
+
+#include <algorithm>
+
+namespace fb {
+
+ReplicatedChunkStore::ReplicatedChunkStore(size_t n_instances,
+                                           size_t replication)
+    : replication_(std::clamp<size_t>(replication, 1, n_instances)),
+      down_(n_instances, false) {
+  stores_.reserve(n_instances);
+  for (size_t i = 0; i < n_instances; ++i) {
+    stores_.push_back(std::make_unique<MemChunkStore>());
+  }
+}
+
+std::vector<size_t> ReplicatedChunkStore::ReplicasOf(const Hash& cid) const {
+  std::vector<size_t> out;
+  const size_t primary = static_cast<size_t>(cid.Low64() % stores_.size());
+  for (size_t r = 0; r < replication_; ++r) {
+    out.push_back((primary + r) % stores_.size());
+  }
+  return out;
+}
+
+Status ReplicatedChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  Status first_error;
+  size_t ok_count = 0;
+  for (size_t i : ReplicasOf(cid)) {
+    if (down_[i]) continue;  // crashed replica misses the write
+    const Status s = stores_[i]->Put(cid, chunk);
+    if (s.ok()) {
+      ++ok_count;
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
+  }
+  if (ok_count == 0) {
+    return first_error.ok() ? Status::IOError("all replicas down")
+                            : first_error;
+  }
+  return Status::OK();
+}
+
+Status ReplicatedChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  bool any_up = false;
+  for (size_t i : ReplicasOf(cid)) {
+    if (down_[i]) continue;
+    any_up = true;
+    const Status s = stores_[i]->Get(cid, chunk);
+    if (s.ok()) return s;
+    if (!s.IsNotFound()) return s;
+  }
+  if (!any_up) return Status::IOError("all replicas down");
+  return Status::NotFound("chunk " + cid.ToShortHex());
+}
+
+bool ReplicatedChunkStore::Contains(const Hash& cid) const {
+  for (size_t i : ReplicasOf(cid)) {
+    if (!down_[i] && stores_[i]->Contains(cid)) return true;
+  }
+  return false;
+}
+
+ChunkStoreStats ReplicatedChunkStore::stats() const {
+  ChunkStoreStats total;
+  for (const auto& s : stores_) {
+    const ChunkStoreStats st = s->stats();
+    total.puts += st.puts;
+    total.dedup_hits += st.dedup_hits;
+    total.gets += st.gets;
+    total.chunks += st.chunks;
+    total.stored_bytes += st.stored_bytes;
+    total.logical_bytes += st.logical_bytes;
+  }
+  return total;
+}
+
+void ReplicatedChunkStore::SetInstanceDown(size_t i, bool down) {
+  if (i < down_.size()) down_[i] = down;
+}
+
+Status ReplicatedChunkStore::Repair() {
+  // Anti-entropy: every live instance streams its chunks, and each chunk
+  // is re-put to any live replica of its placement set that misses it.
+  Status result;
+  for (size_t src = 0; src < stores_.size(); ++src) {
+    if (down_[src]) continue;
+    stores_[src]->ForEach([&](const Hash& cid, const Chunk& chunk) {
+      for (size_t i : ReplicasOf(cid)) {
+        if (down_[i] || stores_[i]->Contains(cid)) continue;
+        const Status s = stores_[i]->Put(cid, chunk);
+        if (!s.ok() && result.ok()) result = s;
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace fb

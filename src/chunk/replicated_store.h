@@ -1,0 +1,57 @@
+// Chunk replication (Section 4.4): "To improve data durability and fault
+// tolerance, chunks can be replicated over multiple nodes ... there are
+// only k copies of any chunk in the storage. Furthermore, replicas help
+// reduce the latency of data access, e.g., by placing a replica on the
+// servlet that frequently accesses its data."
+//
+// ReplicatedChunkStore spreads each chunk to k consecutive pool
+// instances (by cid hash). Reads try the replicas in placement order and
+// transparently survive up to k-1 unavailable instances.
+
+#ifndef FORKBASE_CHUNK_REPLICATED_STORE_H_
+#define FORKBASE_CHUNK_REPLICATED_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+
+namespace fb {
+
+class ReplicatedChunkStore : public ChunkStore {
+ public:
+  // `replication` is clamped to [1, n_instances].
+  ReplicatedChunkStore(size_t n_instances, size_t replication);
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override;
+  Status Get(const Hash& cid, Chunk* chunk) const override;
+  bool Contains(const Hash& cid) const override;
+  ChunkStoreStats stats() const override;
+
+  size_t replication() const { return replication_; }
+  size_t num_instances() const { return stores_.size(); }
+
+  // Simulates an instance failure/recovery: while down, the instance
+  // rejects reads (writes still target it and are lost, as a crashed
+  // node's would be until re-replication).
+  void SetInstanceDown(size_t i, bool down);
+
+  // Replicas responsible for `cid`, in placement order.
+  std::vector<size_t> ReplicasOf(const Hash& cid) const;
+
+  // Re-replicates every chunk whose copies dropped below k because of
+  // down instances (anti-entropy pass run by the cluster master).
+  Status Repair();
+
+  const MemChunkStore* instance(size_t i) const { return stores_[i].get(); }
+
+ private:
+  size_t replication_;
+  std::vector<std::unique_ptr<MemChunkStore>> stores_;
+  std::vector<bool> down_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CHUNK_REPLICATED_STORE_H_

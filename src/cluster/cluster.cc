@@ -1,0 +1,111 @@
+#include "cluster/cluster.h"
+
+namespace fb {
+
+Status ServletChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  // Meta chunks are always stored locally: they are only read by the
+  // servlet that owns the key (Section 4.6).
+  if (chunk.type() == ChunkType::kMeta) {
+    return (*pool_)[local_id_]->Put(cid, chunk);
+  }
+  return RouteData(cid)->Put(cid, chunk);
+}
+
+Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  // Data chunks live at the cid-routed node; meta chunks at the local
+  // node. Check the routed node first, then fall back to local.
+  Status s = RouteData(cid)->Get(cid, chunk);
+  if (s.ok() || !s.IsNotFound()) return s;
+  return (*pool_)[local_id_]->Get(cid, chunk);
+}
+
+bool ServletChunkStore::Contains(const Hash& cid) const {
+  return RouteData(cid)->Contains(cid) || (*pool_)[local_id_]->Contains(cid);
+}
+
+ChunkStoreStats ServletChunkStore::stats() const {
+  // The view aggregates the whole pool (shared storage semantics).
+  ChunkStoreStats total;
+  for (const auto& s : *pool_) {
+    const ChunkStoreStats st = s->stats();
+    total.puts += st.puts;
+    total.dedup_hits += st.dedup_hits;
+    total.gets += st.gets;
+    total.chunks += st.chunks;
+    total.stored_bytes += st.stored_bytes;
+    total.logical_bytes += st.logical_bytes;
+  }
+  return total;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), build_counts_(options.num_servlets) {
+  pool_.reserve(options_.num_servlets);
+  for (size_t i = 0; i < options_.num_servlets; ++i) {
+    pool_.push_back(std::make_unique<MemChunkStore>());
+    build_counts_[i] = 0;
+  }
+  for (size_t i = 0; i < options_.num_servlets; ++i) {
+    views_.push_back(std::make_unique<ServletChunkStore>(
+        &pool_, i, options_.two_layer_partitioning));
+    servlets_.push_back(
+        std::make_unique<ForkBase>(options_.db, views_.back().get()));
+  }
+}
+
+Result<Hash> Cluster::PutBlobRebalanced(const std::string& key,
+                                        Slice content) {
+  if (!options_.two_layer_partitioning) {
+    // Under 1LP a remote builder's chunks would be stranded in its local
+    // store where the owner cannot address them; delegation relies on
+    // the shared cid-partitioned pool.
+    return Status::NotSupported(
+        "re-balanced construction requires two-layer partitioning");
+  }
+  // 1. Pick the least-loaded builder.
+  size_t builder = 0;
+  uint64_t min_load = UINT64_MAX;
+  for (size_t i = 0; i < build_counts_.size(); ++i) {
+    const uint64_t load = build_counts_[i].load();
+    if (load < min_load) {
+      min_load = load;
+      builder = i;
+    }
+  }
+
+  // 2. The builder constructs the POS-Tree; its data chunks land in the
+  //    shared pool (cid-partitioned), so the owner can reference them.
+  ++build_counts_[builder];
+  FB_ASSIGN_OR_RETURN(
+      Hash root, PosTree::BuildFromBytes(views_[builder].get(),
+                                         options_.db.tree, content));
+
+  // 3. The key's owner commits the FObject and moves the branch head
+  //    (serialized within the owner's servlet, as in Section 4.6.1).
+  ForkBase* owner = Route(key);
+  return owner->Put(key, Value::OfTree(UType::kBlob, root));
+}
+
+size_t Cluster::ServletOf(const std::string& key) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h % servlets_.size());
+}
+
+std::vector<uint64_t> Cluster::PerNodeStorageBytes() const {
+  std::vector<uint64_t> out;
+  out.reserve(pool_.size());
+  for (const auto& s : pool_) out.push_back(s->stats().stored_bytes);
+  return out;
+}
+
+uint64_t Cluster::TotalStorageBytes() const {
+  uint64_t total = 0;
+  for (uint64_t b : PerNodeStorageBytes()) total += b;
+  return total;
+}
+
+}  // namespace fb

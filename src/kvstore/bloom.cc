@@ -1,0 +1,37 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+
+namespace fb {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  const size_t n_bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign(n_bits, false);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  k_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+}
+
+uint64_t BloomFilter::HashKey(Slice key, uint64_t seed) {
+  // FNV-1a with seed mixing; cheap and adequate for filter probes.
+  uint64_t h = 0xcbf29ce484222325ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (uint8_t b : key) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void BloomFilter::Add(Slice key) {
+  for (int i = 0; i < k_; ++i) {
+    bits_[HashKey(key, i) % bits_.size()] = true;
+  }
+}
+
+bool BloomFilter::MayContain(Slice key) const {
+  for (int i = 0; i < k_; ++i) {
+    if (!bits_[HashKey(key, i) % bits_.size()]) return false;
+  }
+  return true;
+}
+
+}  // namespace fb

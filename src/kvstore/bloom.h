@@ -1,0 +1,33 @@
+// Bloom filter used by LSM sorted runs to skip runs that cannot contain a
+// key.
+
+#ifndef FORKBASE_KVSTORE_BLOOM_H_
+#define FORKBASE_KVSTORE_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace fb {
+
+class BloomFilter {
+ public:
+  // `bits_per_key` ~ 10 gives ~1% false positives.
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  void Add(Slice key);
+  bool MayContain(Slice key) const;
+
+  size_t SizeBytes() const { return bits_.size() / 8; }
+
+ private:
+  static uint64_t HashKey(Slice key, uint64_t seed);
+
+  int k_;  // number of probes
+  std::vector<bool> bits_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_KVSTORE_BLOOM_H_

@@ -1,0 +1,198 @@
+#include "kvstore/lsm.h"
+
+#include <algorithm>
+
+namespace fb {
+
+LsmStore::LsmStore(LsmOptions options) : options_(options) {}
+
+Status LsmStore::Put(Slice key, Slice value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  memtable_bytes_ += key.size() + value.size();
+  memtable_[key.ToString()] = value.ToString();
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    FB_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Delete(Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.deletes;
+  memtable_bytes_ += key.size();
+  memtable_[key.ToString()] = std::nullopt;
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    FB_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Get(Slice key, std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  const std::string k = key.ToString();
+
+  auto mit = memtable_.find(k);
+  if (mit != memtable_.end()) {
+    if (!mit->second.has_value()) return Status::NotFound("deleted");
+    *value = *mit->second;
+    return Status::OK();
+  }
+
+  // Newest run first.
+  for (const auto& run : runs_) {
+    if (k < run->min_key || k > run->max_key) continue;
+    if (!run->bloom->MayContain(key)) {
+      ++stats_.bloom_skips;
+      continue;
+    }
+    const auto it = std::lower_bound(
+        run->entries.begin(), run->entries.end(), k,
+        [](const auto& e, const std::string& target) {
+          return e.first < target;
+        });
+    if (it != run->entries.end() && it->first == k) {
+      if (!it->second.has_value()) return Status::NotFound("deleted");
+      *value = *it->second;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("key absent");
+}
+
+bool LsmStore::Contains(Slice key) const {
+  std::string unused;
+  return Get(key, &unused).ok();
+}
+
+Status LsmStore::Scan(
+    Slice prefix,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge all sources newest-wins into an ordered map.
+  std::map<std::string, std::optional<std::string>> merged;
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    for (const auto& [k, v] : (*rit)->entries) merged[k] = v;
+  }
+  for (const auto& [k, v] : memtable_) merged[k] = v;
+
+  out->clear();
+  const std::string p = prefix.ToString();
+  for (auto& [k, v] : merged) {
+    if (!v.has_value()) continue;
+    if (!p.empty() && k.compare(0, p.size(), p) != 0) continue;
+    out->emplace_back(k, *v);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<LsmStore::Run> LsmStore::BuildRun(
+    std::vector<std::pair<std::string, std::optional<std::string>>> entries,
+    size_t tier, int bloom_bits) {
+  auto run = std::make_unique<Run>();
+  run->tier = tier;
+  run->bloom = std::make_unique<BloomFilter>(entries.size(), bloom_bits);
+  for (const auto& [k, v] : entries) {
+    run->bloom->Add(Slice(k));
+    run->bytes += k.size() + (v.has_value() ? v->size() : 0);
+  }
+  if (!entries.empty()) {
+    run->min_key = entries.front().first;
+    run->max_key = entries.back().first;
+  }
+  run->entries = std::move(entries);
+  return run;
+}
+
+Status LsmStore::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  std::vector<std::pair<std::string, std::optional<std::string>>> entries(
+      memtable_.begin(), memtable_.end());
+  auto run = BuildRun(std::move(entries), 0, options_.bloom_bits_per_key);
+  stats_.bytes_written += run->bytes;
+  ++stats_.flushes;
+  runs_.insert(runs_.begin(), std::move(run));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  MaybeCompactLocked();
+  return Status::OK();
+}
+
+Status LsmStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+std::unique_ptr<LsmStore::Run> LsmStore::MergeRuns(
+    std::vector<std::unique_ptr<Run>> runs, size_t tier,
+    bool drop_tombstones) {
+  // `runs` ordered newest first: first writer of a key wins.
+  std::map<std::string, std::optional<std::string>> merged;
+  for (const auto& run : runs) {
+    for (const auto& [k, v] : run->entries) merged.emplace(k, v);
+  }
+  std::vector<std::pair<std::string, std::optional<std::string>>> entries;
+  entries.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (drop_tombstones && !v.has_value()) continue;
+    entries.emplace_back(k, std::move(v));
+  }
+  return BuildRun(std::move(entries), tier, options_.bloom_bits_per_key);
+}
+
+void LsmStore::MaybeCompactLocked() {
+  // Size-tiered: when any tier holds >= fanout runs, merge them into one
+  // run in the next tier. Repeat until stable.
+  for (;;) {
+    // Count runs per tier.
+    std::map<size_t, size_t> counts;
+    for (const auto& run : runs_) ++counts[run->tier];
+    size_t victim_tier = SIZE_MAX;
+    for (const auto& [tier, n] : counts) {
+      if (n >= options_.fanout) {
+        victim_tier = tier;
+        break;
+      }
+    }
+    if (victim_tier == SIZE_MAX) break;
+
+    // Collect the victim tier's runs preserving newest-first order.
+    std::vector<std::unique_ptr<Run>> victims;
+    std::vector<std::unique_ptr<Run>> keep;
+    size_t max_tier = 0;
+    for (auto& run : runs_) max_tier = std::max(max_tier, run->tier);
+    for (auto& run : runs_) {
+      if (run->tier == victim_tier) {
+        victims.push_back(std::move(run));
+      } else {
+        keep.push_back(std::move(run));
+      }
+    }
+    // Tombstones can only be dropped when merging into the oldest tier.
+    const bool bottom = victim_tier >= max_tier;
+    auto merged = MergeRuns(std::move(victims), victim_tier + 1, bottom);
+    stats_.bytes_written += merged->bytes;
+    ++stats_.compactions;
+    // Global invariant: runs_ is newest-first, which coincides with tier
+    // order (tier t data is strictly newer than tier t+1 data). The merged
+    // run carries tier-t data, so it must precede every existing run of
+    // tier t+1 and deeper.
+    auto pos = std::find_if(keep.begin(), keep.end(), [&](const auto& r) {
+      return r->tier > victim_tier;
+    });
+    keep.insert(pos, std::move(merged));
+    runs_ = std::move(keep);
+  }
+}
+
+LsmStats LsmStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LsmStats st = stats_;
+  st.live_bytes = memtable_bytes_;
+  for (const auto& run : runs_) st.live_bytes += run->bytes;
+  st.runs = runs_.size();
+  return st;
+}
+
+}  // namespace fb

@@ -1,0 +1,102 @@
+// LsmStore: a from-scratch log-structured merge key-value store.
+//
+// This is the substrate standing in for RocksDB/LevelDB in the paper's
+// baselines ("Rocksdb" in Figures 9-12): Hyperledger v0.6 persists its
+// Merkle buckets, state deltas and blocks into such a store, and the
+// "ForkBase-KV" variant treats ForkBase itself as a plain KV.
+//
+// Structure:
+//   * an in-memory memtable (ordered map, tombstones for deletes);
+//   * immutable sorted runs flushed from the memtable, each with a bloom
+//     filter and min/max key fencing;
+//   * size-tiered compaction: when a tier accumulates >= `fanout` runs,
+//     they are merged into a single run in the next tier (newest-wins).
+//
+// Reads consult memtable, then runs from newest to oldest — mirroring the
+// read amplification that makes multi-level stores slower on point reads
+// than a single-probe map (visible in Figure 9a).
+
+#ifndef FORKBASE_KVSTORE_LSM_H_
+#define FORKBASE_KVSTORE_LSM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kvstore/bloom.h"
+#include "util/status.h"
+
+namespace fb {
+
+struct LsmOptions {
+  size_t memtable_bytes = 4 << 20;  // flush threshold
+  size_t fanout = 4;                // runs per tier before compaction
+  int bloom_bits_per_key = 10;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_written = 0;     // including compaction rewrites
+  uint64_t live_bytes = 0;        // current resident data
+  uint64_t runs = 0;              // current number of sorted runs
+  uint64_t bloom_skips = 0;       // runs skipped via bloom filters
+};
+
+class LsmStore {
+ public:
+  explicit LsmStore(LsmOptions options = {});
+
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  // NotFound when absent or deleted.
+  Status Get(Slice key, std::string* value) const;
+  bool Contains(Slice key) const;
+
+  // Ordered iteration over live entries (merged view). `prefix` filters
+  // keys; empty scans everything.
+  Status Scan(Slice prefix,
+              std::vector<std::pair<std::string, std::string>>* out) const;
+
+  // Forces a memtable flush (for tests).
+  Status Flush();
+
+  LsmStats stats() const;
+
+ private:
+  // A run is an immutable sorted vector of (key, optional value);
+  // nullopt = tombstone.
+  struct Run {
+    std::vector<std::pair<std::string, std::optional<std::string>>> entries;
+    std::unique_ptr<BloomFilter> bloom;
+    std::string min_key, max_key;
+    size_t bytes = 0;
+    size_t tier = 0;
+  };
+
+  Status FlushLocked();
+  void MaybeCompactLocked();
+  std::unique_ptr<Run> MergeRuns(
+      std::vector<std::unique_ptr<Run>> runs, size_t tier, bool drop_tombstones);
+  static std::unique_ptr<Run> BuildRun(
+      std::vector<std::pair<std::string, std::optional<std::string>>> entries,
+      size_t tier, int bloom_bits);
+
+  LsmOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::optional<std::string>> memtable_;
+  size_t memtable_bytes_ = 0;
+  // runs_[0] is the newest. Runs carry their tier tag.
+  std::vector<std::unique_ptr<Run>> runs_;
+  mutable LsmStats stats_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_KVSTORE_LSM_H_

@@ -1,0 +1,106 @@
+#include "merkle/bucket_tree.h"
+
+#include "util/codec.h"
+
+namespace fb {
+
+BucketTree::BucketTree(size_t num_buckets)
+    : buckets_(num_buckets), bucket_hashes_(num_buckets) {
+  for (auto& h : bucket_hashes_) h.fill(0);
+  // Pre-size internal levels for a binary tree.
+  size_t width = num_buckets;
+  while (width > 1) {
+    width = (width + 1) / 2;
+    levels_.emplace_back(width);
+    for (auto& h : levels_.back()) h.fill(0);
+  }
+  root_.fill(0);
+}
+
+size_t BucketTree::BucketOf(Slice key) const {
+  // FNV-1a keeps bucket routing cheap; Hyperledger uses a similar
+  // non-cryptographic placement hash.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : key) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h % buckets_.size());
+}
+
+void BucketTree::Set(Slice key, Slice value) {
+  const size_t idx = BucketOf(key);
+  buckets_[idx][key.ToString()] = value.ToString();
+  dirty_.insert(idx);
+}
+
+void BucketTree::Remove(Slice key) {
+  const size_t idx = BucketOf(key);
+  if (buckets_[idx].erase(key.ToString()) > 0) dirty_.insert(idx);
+}
+
+bool BucketTree::Get(Slice key, std::string* value) const {
+  const auto& bucket = buckets_[BucketOf(key)];
+  auto it = bucket.find(key.ToString());
+  if (it == bucket.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+Sha256::Digest BucketTree::HashBucket(size_t idx,
+                                      MerkleCommitStats* stats) const {
+  // The entire bucket is re-serialized and re-hashed: this is the write
+  // amplification knob that the bucket count controls.
+  Bytes buf;
+  for (const auto& [k, v] : buckets_[idx]) {
+    PutLengthPrefixed(&buf, Slice(k));
+    PutLengthPrefixed(&buf, Slice(v));
+  }
+  stats->bytes_hashed += buf.size();
+  ++stats->nodes_rehashed;
+  return Sha256::Hash(Slice(buf));
+}
+
+Sha256::Digest BucketTree::Commit(MerkleCommitStats* stats) {
+  MerkleCommitStats local;
+  MerkleCommitStats* st = stats != nullptr ? stats : &local;
+
+  // Recompute dirty buckets, then propagate dirtiness up the binary tree.
+  std::set<size_t> dirty_positions;
+  for (size_t idx : dirty_) {
+    bucket_hashes_[idx] = HashBucket(idx, st);
+    dirty_positions.insert(idx / 2);
+  }
+  dirty_.clear();
+
+  const std::vector<Sha256::Digest>* below = &bucket_hashes_;
+  for (auto& level : levels_) {
+    std::set<size_t> next_dirty;
+    for (size_t pos : dirty_positions) {
+      if (pos >= level.size()) continue;
+      Sha256 h;
+      const size_t li = pos * 2;
+      const size_t ri = li + 1;
+      h.Update(Slice((*below)[li].data(), (*below)[li].size()));
+      if (ri < below->size()) {
+        h.Update(Slice((*below)[ri].data(), (*below)[ri].size()));
+      }
+      st->bytes_hashed += Sha256::kDigestSize * 2;
+      ++st->nodes_rehashed;
+      level[pos] = h.Finalize();
+      next_dirty.insert(pos / 2);
+    }
+    dirty_positions = std::move(next_dirty);
+    below = &level;
+  }
+  root_ = levels_.empty() ? bucket_hashes_[0] : levels_.back()[0];
+  return root_;
+}
+
+uint64_t BucketTree::total_entries() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.size();
+  return n;
+}
+
+}  // namespace fb

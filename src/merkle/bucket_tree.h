@@ -1,0 +1,60 @@
+// BucketTree: Hyperledger v0.6's default Merkle structure over the world
+// state (Section 6.2.2 / Figure 11 of the paper).
+//
+// The number of leaf buckets is fixed at start-up; a data key's bucket is
+// determined by hashing the key. A binary Merkle tree is maintained above
+// the buckets. Updating one key dirties its whole bucket, so the commit
+// cost includes re-serializing and re-hashing every entry in each dirty
+// bucket — the write amplification that makes small bucket counts "fail
+// to scale beyond workloads of a certain size".
+
+#ifndef FORKBASE_MERKLE_BUCKET_TREE_H_
+#define FORKBASE_MERKLE_BUCKET_TREE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/sha256.h"
+#include "util/slice.h"
+
+namespace fb {
+
+struct MerkleCommitStats {
+  uint64_t bytes_hashed = 0;   // bytes fed to the hash during this commit
+  uint64_t nodes_rehashed = 0; // buckets/nodes recomputed
+};
+
+class BucketTree {
+ public:
+  explicit BucketTree(size_t num_buckets);
+
+  void Set(Slice key, Slice value);
+  void Remove(Slice key);
+  // NotFound semantics via bool; values are small states.
+  bool Get(Slice key, std::string* value) const;
+
+  // Recomputes hashes of dirty buckets and the internal path to the root.
+  // Returns the new root hash; per-commit costs in `stats`.
+  Sha256::Digest Commit(MerkleCommitStats* stats);
+
+  const Sha256::Digest& root() const { return root_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t total_entries() const;
+
+ private:
+  size_t BucketOf(Slice key) const;
+  Sha256::Digest HashBucket(size_t idx, MerkleCommitStats* stats) const;
+
+  std::vector<std::map<std::string, std::string>> buckets_;
+  std::vector<Sha256::Digest> bucket_hashes_;
+  // levels_[0] = hashes over bucket pairs, ... up to the root.
+  std::vector<std::vector<Sha256::Digest>> levels_;
+  std::set<size_t> dirty_;
+  Sha256::Digest root_{};
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_MERKLE_BUCKET_TREE_H_

@@ -1,0 +1,54 @@
+#include "merkle/state_delta.h"
+
+namespace fb {
+
+namespace {
+
+void PutOptional(Bytes* out, const std::optional<std::string>& v) {
+  out->push_back(v.has_value() ? 1 : 0);
+  if (v.has_value()) PutLengthPrefixed(out, Slice(*v));
+}
+
+Status ReadOptional(ByteReader* r, std::optional<std::string>* v) {
+  Slice flag;
+  FB_RETURN_NOT_OK(r->ReadRaw(1, &flag));
+  if (flag[0] == 0) {
+    v->reset();
+    return Status::OK();
+  }
+  Slice s;
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&s));
+  *v = s.ToString();
+  return Status::OK();
+}
+
+}  // namespace
+
+Bytes StateDelta::Serialize() const {
+  Bytes out;
+  PutVarint64(&out, changes_.size());
+  for (const auto& [k, c] : changes_) {
+    PutLengthPrefixed(&out, Slice(k));
+    PutOptional(&out, c.old_value);
+    PutOptional(&out, c.new_value);
+  }
+  return out;
+}
+
+Result<StateDelta> StateDelta::Deserialize(Slice data) {
+  StateDelta delta;
+  ByteReader r(data);
+  uint64_t n = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Slice key;
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&key));
+    Change c;
+    FB_RETURN_NOT_OK(ReadOptional(&r, &c.old_value));
+    FB_RETURN_NOT_OK(ReadOptional(&r, &c.new_value));
+    delta.changes_[key.ToString()] = std::move(c);
+  }
+  return delta;
+}
+
+}  // namespace fb

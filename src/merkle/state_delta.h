@@ -1,0 +1,51 @@
+// StateDelta: Hyperledger v0.6 keeps old values and old Merkle roots in a
+// per-block "state delta" so historical state can be reconstructed by
+// replaying deltas — exactly the structure whose absence of indexing makes
+// the Figure 12 scan queries slow on the KV baselines.
+
+#ifndef FORKBASE_MERKLE_STATE_DELTA_H_
+#define FORKBASE_MERKLE_STATE_DELTA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/codec.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fb {
+
+class StateDelta {
+ public:
+  struct Change {
+    std::optional<std::string> old_value;  // nullopt: key was absent
+    std::optional<std::string> new_value;  // nullopt: key deleted
+  };
+
+  void Record(Slice key, std::optional<std::string> old_value,
+              std::optional<std::string> new_value) {
+    auto it = changes_.find(key.ToString());
+    if (it == changes_.end()) {
+      changes_[key.ToString()] = Change{std::move(old_value),
+                                        std::move(new_value)};
+    } else {
+      // Batched updates to one key: keep the first old value, last new.
+      it->second.new_value = std::move(new_value);
+    }
+  }
+
+  const std::map<std::string, Change>& changes() const { return changes_; }
+  bool empty() const { return changes_.empty(); }
+  void clear() { changes_.clear(); }
+
+  Bytes Serialize() const;
+  static Result<StateDelta> Deserialize(Slice data);
+
+ private:
+  std::map<std::string, Change> changes_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_MERKLE_STATE_DELTA_H_

@@ -1,0 +1,98 @@
+#include "merkle/trie.h"
+
+namespace fb {
+
+MerkleTrie::MerkleTrie() : root_(std::make_unique<Node>()) {
+  root_hash_.fill(0);
+}
+
+MerkleTrie::~MerkleTrie() = default;
+
+namespace {
+
+// Key bytes expand into nibbles, high half first.
+inline int NibbleAt(Slice key, size_t i) {
+  const uint8_t b = key[i / 2];
+  return (i % 2 == 0) ? (b >> 4) : (b & 0xf);
+}
+
+}  // namespace
+
+void MerkleTrie::Set(Slice key, Slice value) {
+  Node* node = root_.get();
+  node->dirty = true;
+  const size_t n = key.size() * 2;
+  for (size_t i = 0; i < n; ++i) {
+    const int nib = NibbleAt(key, i);
+    if (!node->children[nib]) node->children[nib] = std::make_unique<Node>();
+    node = node->children[nib].get();
+    node->dirty = true;
+  }
+  if (!node->value.has_value()) ++entries_;
+  node->value = value.ToString();
+}
+
+void MerkleTrie::Remove(Slice key) {
+  Node* node = root_.get();
+  std::vector<Node*> path{node};
+  const size_t n = key.size() * 2;
+  for (size_t i = 0; i < n; ++i) {
+    const int nib = NibbleAt(key, i);
+    if (!node->children[nib]) return;  // absent
+    node = node->children[nib].get();
+    path.push_back(node);
+  }
+  if (node->value.has_value()) {
+    node->value.reset();
+    --entries_;
+    for (Node* p : path) p->dirty = true;
+  }
+}
+
+bool MerkleTrie::Get(Slice key, std::string* value) const {
+  const Node* node = root_.get();
+  const size_t n = key.size() * 2;
+  for (size_t i = 0; i < n; ++i) {
+    const int nib = NibbleAt(key, i);
+    if (!node->children[nib]) return false;
+    node = node->children[nib].get();
+  }
+  if (!node->value.has_value()) return false;
+  *value = *node->value;
+  return true;
+}
+
+Sha256::Digest MerkleTrie::HashNode(Node* node, MerkleCommitStats* stats) {
+  if (!node->dirty) return node->hash;
+  Sha256 h;
+  uint64_t fed = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (node->children[i]) {
+      const Sha256::Digest child = HashNode(node->children[i].get(), stats);
+      h.Update(Slice(child.data(), child.size()));
+      fed += Sha256::kDigestSize;
+    } else {
+      const uint8_t none = 0;
+      h.Update(Slice(&none, 1));
+      fed += 1;
+    }
+  }
+  if (node->value.has_value()) {
+    h.Update(Slice(*node->value));
+    fed += node->value->size();
+  }
+  node->hash = h.Finalize();
+  node->dirty = false;
+  stats->bytes_hashed += fed;
+  ++stats->nodes_rehashed;
+  return node->hash;
+}
+
+Sha256::Digest MerkleTrie::Commit(MerkleCommitStats* stats) {
+  MerkleCommitStats local;
+  MerkleCommitStats* st = stats != nullptr ? stats : &local;
+  root_hash_ = HashNode(root_.get(), st);
+  return root_hash_;
+}
+
+}  // namespace fb

@@ -1,0 +1,53 @@
+// MerkleTrie: the alternative Hyperledger v0.6 world-state structure — a
+// hex (nibble-wise) Merkle Patricia-style trie. Updates rehash only the
+// root-to-leaf path (low write amplification), but the structure is not
+// balanced: depth follows key distribution, so commits traverse longer
+// paths than a balanced tree (the Figure 11 "trie" series).
+
+#ifndef FORKBASE_MERKLE_TRIE_H_
+#define FORKBASE_MERKLE_TRIE_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "merkle/bucket_tree.h"  // MerkleCommitStats
+#include "util/sha256.h"
+#include "util/slice.h"
+
+namespace fb {
+
+class MerkleTrie {
+ public:
+  MerkleTrie();
+  ~MerkleTrie();
+
+  void Set(Slice key, Slice value);
+  void Remove(Slice key);
+  bool Get(Slice key, std::string* value) const;
+
+  // Rehashes all paths dirtied since the previous commit.
+  Sha256::Digest Commit(MerkleCommitStats* stats);
+
+  const Sha256::Digest& root() const { return root_hash_; }
+  uint64_t total_entries() const { return entries_; }
+
+ private:
+  struct Node {
+    std::array<std::unique_ptr<Node>, 16> children;
+    std::optional<std::string> value;
+    Sha256::Digest hash{};
+    bool dirty = true;
+  };
+
+  static Sha256::Digest HashNode(Node* node, MerkleCommitStats* stats);
+
+  std::unique_ptr<Node> root_;
+  Sha256::Digest root_hash_{};
+  uint64_t entries_ = 0;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_MERKLE_TRIE_H_

@@ -1,0 +1,98 @@
+#include "pos_tree/chunker.h"
+
+namespace fb {
+
+Status LeafChunker::Commit() {
+  Chunk chunk(leaf_type_, buf_);
+  FB_ASSIGN_OR_RETURN(Hash cid, store_->Put(chunk));
+  entries_.push_back(Entry{cid, buf_count_, last_key_});
+  buf_.clear();
+  buf_count_ = 0;
+  last_key_.clear();
+  hasher_.Reset();
+  return Status::OK();
+}
+
+Status LeafChunker::AppendElement(Slice element_bytes, Slice key,
+                                  uint64_t count_units) {
+  bool hit = false;
+  buf_.reserve(buf_.size() + element_bytes.size());
+  for (uint8_t b : element_bytes) {
+    buf_.push_back(b);
+    hasher_.Feed(b);
+    // A pattern anywhere inside the element extends the boundary to the
+    // element's end.
+    hit = hit || hasher_.HitsPattern(cfg_.leaf_pattern_bits);
+  }
+  buf_count_ += count_units;
+  last_key_ = key.ToBytes();
+  if (hit || buf_.size() >= cfg_.max_leaf_bytes()) {
+    FB_RETURN_NOT_OK(Commit());
+  }
+  return Status::OK();
+}
+
+Status LeafChunker::AppendRaw(Slice bytes) {
+  for (uint8_t b : bytes) {
+    buf_.push_back(b);
+    hasher_.Feed(b);
+    ++buf_count_;
+    if (hasher_.HitsPattern(cfg_.leaf_pattern_bits) ||
+        buf_.size() >= cfg_.max_leaf_bytes()) {
+      FB_RETURN_NOT_OK(Commit());
+    }
+  }
+  return Status::OK();
+}
+
+Status LeafChunker::Finish() {
+  if (!buf_.empty()) FB_RETURN_NOT_OK(Commit());
+  return Status::OK();
+}
+
+Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
+                              ChunkType leaf_type, std::vector<Entry> level) {
+  if (level.empty()) {
+    // Canonical empty tree: a single empty leaf chunk.
+    return store->Put(Chunk(leaf_type, {}));
+  }
+
+  const ChunkType index_type = IndexTypeFor(leaf_type);
+  const uint64_t mask = (uint64_t{1} << cfg.index_pattern_bits) - 1;
+
+  while (level.size() > 1) {
+    std::vector<Entry> next;
+    Bytes buf;
+    uint64_t node_count = 0;
+    Bytes node_key;
+    size_t node_entries = 0;
+
+    auto commit = [&]() -> Status {
+      Chunk chunk(index_type, buf);
+      FB_ASSIGN_OR_RETURN(Hash cid, store->Put(chunk));
+      next.push_back(Entry{cid, node_count, node_key});
+      buf.clear();
+      node_count = 0;
+      node_key.clear();
+      node_entries = 0;
+      return Status::OK();
+    };
+
+    for (const Entry& e : level) {
+      EncodeEntry(e, &buf);
+      node_count += e.count;
+      node_key = e.key;
+      ++node_entries;
+      // Pattern P': boundary when the child cid's low r bits are zero.
+      const bool pattern = (e.cid.Low64() & mask) == 0;
+      if (pattern || node_entries >= cfg.max_index_entries()) {
+        FB_RETURN_NOT_OK(commit());
+      }
+    }
+    if (node_entries > 0) FB_RETURN_NOT_OK(commit());
+    level = std::move(next);
+  }
+  return level[0].cid;
+}
+
+}  // namespace fb

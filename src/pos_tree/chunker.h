@@ -1,0 +1,75 @@
+// Pattern-based chunking for POS-Tree construction (Section 4.3, Alg. 1).
+//
+// LeafChunker consumes a stream of serialized elements and cuts leaf
+// chunks where the rolling-hash pattern P fires (checked at element
+// boundaries only — a pattern inside an element extends the boundary to
+// the element's end, so no element spans two chunks). The rolling hash is
+// reset at every emitted boundary, making each boundary a deterministic
+// function of the chunk's own content; this is what lets an incremental
+// splice resynchronize with the old chunk sequence.
+//
+// BuildIndexLevels stacks index nodes bottom-up using the cheaper pattern
+// P' over child cids (low r bits zero) until a single root remains.
+
+#ifndef FORKBASE_POS_TREE_CHUNKER_H_
+#define FORKBASE_POS_TREE_CHUNKER_H_
+
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "pos_tree/config.h"
+#include "pos_tree/node.h"
+#include "util/rolling_hash.h"
+
+namespace fb {
+
+class LeafChunker {
+ public:
+  LeafChunker(ChunkStore* store, ChunkType leaf_type, const TreeConfig& cfg)
+      : store_(store),
+        leaf_type_(leaf_type),
+        cfg_(cfg),
+        hasher_(cfg.window) {}
+
+  // Appends one serialized element contributing `count_units` base
+  // elements (1 for List/Set/Map). `key` is the element's ordering key
+  // (empty for unsorted types). May emit a completed leaf chunk.
+  Status AppendElement(Slice element_bytes, Slice key, uint64_t count_units);
+
+  // Blob fast path: appends raw bytes, each byte being an element.
+  Status AppendRaw(Slice bytes);
+
+  // True when no partial chunk is buffered, i.e. the stream position is a
+  // chunk boundary. Used by splice resynchronization.
+  bool AtBoundary() const { return buf_.empty(); }
+
+  // Flushes the trailing partial chunk (which legitimately may not end
+  // with a pattern).
+  Status Finish();
+
+  // Entries for all leaves emitted so far, in order.
+  std::vector<Entry>& entries() { return entries_; }
+
+ private:
+  Status Commit();
+
+  ChunkStore* store_;
+  ChunkType leaf_type_;
+  TreeConfig cfg_;
+  RollingHash hasher_;
+
+  Bytes buf_;
+  uint64_t buf_count_ = 0;
+  Bytes last_key_;
+  std::vector<Entry> entries_;
+};
+
+// Builds all index levels above `leaves` and returns the root cid.
+// An empty leaf list produces (and stores) the canonical empty leaf chunk.
+// A single leaf becomes the root itself.
+Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
+                              ChunkType leaf_type, std::vector<Entry> level);
+
+}  // namespace fb
+
+#endif  // FORKBASE_POS_TREE_CHUNKER_H_

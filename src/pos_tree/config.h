@@ -1,0 +1,40 @@
+// POS-Tree tuning knobs (Section 4.3.3): expected chunk sizes are set via
+// the pattern bit-widths q (leaves) and r (index nodes); a hard cap of
+// alpha times the expected size bounds worst-case node sizes for
+// pattern-free content.
+
+#ifndef FORKBASE_POS_TREE_CONFIG_H_
+#define FORKBASE_POS_TREE_CONFIG_H_
+
+#include <cstddef>
+
+namespace fb {
+
+struct TreeConfig {
+  // q: a leaf boundary occurs when the low q bits of the rolling hash are
+  // zero => expected leaf size 2^q bytes (default 4 KB, as in the paper).
+  int leaf_pattern_bits = 12;
+
+  // r: an index boundary occurs when the low r bits of a child cid are
+  // zero => expected 2^r entries per index node.
+  int index_pattern_bits = 6;
+
+  // k: rolling hash window in bytes.
+  size_t window = 32;
+
+  // alpha: hard cap multiplier. P(forced split) = e^-alpha (~0.03% at 8).
+  size_t size_alpha = 8;
+
+  size_t expected_leaf_bytes() const { return size_t{1} << leaf_pattern_bits; }
+  size_t max_leaf_bytes() const { return expected_leaf_bytes() * size_alpha; }
+  size_t expected_index_entries() const {
+    return size_t{1} << index_pattern_bits;
+  }
+  size_t max_index_entries() const {
+    return expected_index_entries() * size_alpha;
+  }
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_POS_TREE_CONFIG_H_

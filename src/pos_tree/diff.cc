@@ -1,0 +1,198 @@
+#include "pos_tree/diff.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fb {
+
+Result<std::vector<KeyDiff>> DiffSorted(const PosTree& a, const PosTree& b) {
+  if (a.leaf_type() != b.leaf_type() || !IsSortedType(a.leaf_type())) {
+    return Status::InvalidArgument("DiffSorted requires two sorted trees "
+                                   "of the same type");
+  }
+  std::vector<KeyDiff> out;
+  if (a.root() == b.root()) return out;
+
+  FB_ASSIGN_OR_RETURN(PosTree::Iterator ia, a.Begin());
+  FB_ASSIGN_OR_RETURN(PosTree::Iterator ib, b.Begin());
+
+  auto emit_left = [&](const PosTree::Iterator& it) {
+    out.push_back(KeyDiff{it.key().ToBytes(),
+                          std::optional<Bytes>(it.value().ToBytes()),
+                          std::nullopt});
+  };
+  auto emit_right = [&](const PosTree::Iterator& it) {
+    out.push_back(KeyDiff{it.key().ToBytes(), std::nullopt,
+                          std::optional<Bytes>(it.value().ToBytes())});
+  };
+
+  while (ia.Valid() && ib.Valid()) {
+    // Fast path: identical leaves at aligned leaf starts are skipped
+    // wholesale without decoding their elements pairwise.
+    if (ia.AtLeafStart() && ib.AtLeafStart() && ia.leaf_cid() == ib.leaf_cid()) {
+      FB_RETURN_NOT_OK(ia.SkipLeaf());
+      FB_RETURN_NOT_OK(ib.SkipLeaf());
+      continue;
+    }
+    const int cmp = ia.key().compare(ib.key());
+    if (cmp < 0) {
+      emit_left(ia);
+      FB_RETURN_NOT_OK(ia.Next());
+    } else if (cmp > 0) {
+      emit_right(ib);
+      FB_RETURN_NOT_OK(ib.Next());
+    } else {
+      if (ia.value() != ib.value()) {
+        out.push_back(KeyDiff{ia.key().ToBytes(),
+                              std::optional<Bytes>(ia.value().ToBytes()),
+                              std::optional<Bytes>(ib.value().ToBytes())});
+      }
+      FB_RETURN_NOT_OK(ia.Next());
+      FB_RETURN_NOT_OK(ib.Next());
+    }
+  }
+  while (ia.Valid()) {
+    emit_left(ia);
+    FB_RETURN_NOT_OK(ia.Next());
+  }
+  while (ib.Valid()) {
+    emit_right(ib);
+    FB_RETURN_NOT_OK(ib.Next());
+  }
+  return out;
+}
+
+namespace {
+
+// Shared prefix/suffix diff over materialized sequences. `eq(i, j)` tests
+// a[i] == b[j].
+template <typename Eq>
+RangeDiff PrefixSuffixDiff(uint64_t an, uint64_t bn, Eq eq) {
+  RangeDiff d;
+  uint64_t p = 0;
+  const uint64_t min_n = std::min(an, bn);
+  while (p < min_n && eq(p, p)) ++p;
+  if (p == an && p == bn) {
+    d.identical = true;
+    d.prefix = p;
+    return d;
+  }
+  uint64_t s = 0;
+  while (s < min_n - p && eq(an - 1 - s, bn - 1 - s)) ++s;
+  d.identical = false;
+  d.prefix = p;
+  d.a_mid = an - p - s;
+  d.b_mid = bn - p - s;
+  return d;
+}
+
+}  // namespace
+
+Result<RangeDiff> DiffBytes(const PosTree& a, const PosTree& b) {
+  if (a.leaf_type() != ChunkType::kBlob || b.leaf_type() != ChunkType::kBlob) {
+    return Status::InvalidArgument("DiffBytes requires two Blob trees");
+  }
+  RangeDiff d;
+  if (a.root() == b.root()) {
+    FB_ASSIGN_OR_RETURN(d.prefix, a.Count());
+    return d;
+  }
+
+  // Skip equal-cid leaves from the front and back first, so only the
+  // genuinely differing middle bytes are materialized.
+  std::vector<Entry> la, lb;
+  Status s = a.LoadLeafEntries(&la);
+  if (!s.ok()) return s;
+  s = b.LoadLeafEntries(&lb);
+  if (!s.ok()) return s;
+
+  size_t fa = 0, fb = 0;
+  uint64_t skipped_front = 0;
+  while (fa < la.size() && fb < lb.size() && la[fa].cid == lb[fb].cid) {
+    skipped_front += la[fa].count;
+    ++fa;
+    ++fb;
+  }
+  size_t ra = la.size(), rb = lb.size();
+  uint64_t skipped_back = 0;
+  while (ra > fa && rb > fb && la[ra - 1].cid == lb[rb - 1].cid) {
+    skipped_back += la[ra - 1].count;
+    --ra;
+    --rb;
+  }
+
+  uint64_t mid_a_len = 0, mid_b_len = 0;
+  for (size_t i = fa; i < ra; ++i) mid_a_len += la[i].count;
+  for (size_t i = fb; i < rb; ++i) mid_b_len += lb[i].count;
+
+  FB_ASSIGN_OR_RETURN(Bytes ma, a.ReadBytes(skipped_front, mid_a_len));
+  FB_ASSIGN_OR_RETURN(Bytes mb, b.ReadBytes(skipped_front, mid_b_len));
+
+  RangeDiff inner = PrefixSuffixDiff(
+      ma.size(), mb.size(), [&](uint64_t i, uint64_t j) {
+        return ma[static_cast<size_t>(i)] == mb[static_cast<size_t>(j)];
+      });
+  d.identical = inner.identical && mid_a_len == mid_b_len;
+  d.prefix = skipped_front + inner.prefix;
+  d.a_mid = inner.a_mid;
+  d.b_mid = inner.b_mid;
+  (void)skipped_back;
+  return d;
+}
+
+Result<RangeDiff> DiffList(const PosTree& a, const PosTree& b) {
+  if (a.leaf_type() != ChunkType::kList || b.leaf_type() != ChunkType::kList) {
+    return Status::InvalidArgument("DiffList requires two List trees");
+  }
+  RangeDiff d;
+  if (a.root() == b.root()) {
+    FB_ASSIGN_OR_RETURN(d.prefix, a.Count());
+    return d;
+  }
+  // Lists used by the applications are modest (columns are chunk-level
+  // deduplicated anyway), so materialize elements and prefix/suffix diff.
+  std::vector<Bytes> ea, eb;
+  {
+    FB_ASSIGN_OR_RETURN(PosTree::Iterator it, a.Begin());
+    while (it.Valid()) {
+      ea.push_back(it.value().ToBytes());
+      Status s = it.Next();
+      if (!s.ok()) return s;
+    }
+  }
+  {
+    FB_ASSIGN_OR_RETURN(PosTree::Iterator it, b.Begin());
+    while (it.Valid()) {
+      eb.push_back(it.value().ToBytes());
+      Status s = it.Next();
+      if (!s.ok()) return s;
+    }
+  }
+  return PrefixSuffixDiff(ea.size(), eb.size(), [&](uint64_t i, uint64_t j) {
+    return ea[static_cast<size_t>(i)] == eb[static_cast<size_t>(j)];
+  });
+}
+
+Result<ChunkOverlap> ComputeChunkOverlap(const PosTree& a, const PosTree& b) {
+  std::vector<Hash> ca, cb;
+  Status s = a.CollectChunkIds(&ca);
+  if (!s.ok()) return s;
+  s = b.CollectChunkIds(&cb);
+  if (!s.ok()) return s;
+  std::unordered_set<Hash> sa(ca.begin(), ca.end());
+  std::unordered_set<Hash> sb(cb.begin(), cb.end());
+  ChunkOverlap o;
+  for (const Hash& h : sa) {
+    if (sb.count(h) > 0) {
+      ++o.shared;
+    } else {
+      ++o.only_a;
+    }
+  }
+  for (const Hash& h : sb) {
+    if (sa.count(h) == 0) ++o.only_b;
+  }
+  return o;
+}
+
+}  // namespace fb

@@ -1,0 +1,58 @@
+// Structural diff between two POS-Trees (Section 4.3.1: "comparing two
+// trees can be done efficiently by recursively comparing the cids").
+//
+// For sorted trees the diff walks both element sequences in key order,
+// skipping whole leaves whenever both iterators stand at the start of
+// leaves with equal cids — identical content contributes no differences.
+// For Blob/List the diff reports the single changed middle range after
+// maximal common prefix/suffix, again skipping equal-cid leaves.
+
+#ifndef FORKBASE_POS_TREE_DIFF_H_
+#define FORKBASE_POS_TREE_DIFF_H_
+
+#include <optional>
+#include <vector>
+
+#include "pos_tree/tree.h"
+
+namespace fb {
+
+// One differing key. `left`/`right` are the values in the first/second
+// tree; nullopt means the key is absent on that side. For Set, present
+// keys carry an empty value.
+struct KeyDiff {
+  Bytes key;
+  std::optional<Bytes> left;
+  std::optional<Bytes> right;
+};
+
+// Key-wise diff of two sorted trees (Map or Set) of the same type.
+Result<std::vector<KeyDiff>> DiffSorted(const PosTree& a, const PosTree& b);
+
+// The changed middle range after removing the maximal common prefix and
+// suffix (in base elements: bytes for Blob, elements for List).
+struct RangeDiff {
+  uint64_t prefix = 0;   // length of the common prefix
+  uint64_t a_mid = 0;    // differing length in `a`
+  uint64_t b_mid = 0;    // differing length in `b`
+  bool identical = true; // true when the trees are equal
+};
+
+// Prefix/suffix diff of two Blob trees.
+Result<RangeDiff> DiffBytes(const PosTree& a, const PosTree& b);
+
+// Prefix/suffix diff of two List trees.
+Result<RangeDiff> DiffList(const PosTree& a, const PosTree& b);
+
+// Number of chunks unique to `a`, unique to `b`, and shared — the dedup
+// measure used by storage benchmarks.
+struct ChunkOverlap {
+  size_t only_a = 0;
+  size_t only_b = 0;
+  size_t shared = 0;
+};
+Result<ChunkOverlap> ComputeChunkOverlap(const PosTree& a, const PosTree& b);
+
+}  // namespace fb
+
+#endif  // FORKBASE_POS_TREE_DIFF_H_

@@ -1,0 +1,180 @@
+#include "pos_tree/merge.h"
+
+#include <map>
+
+namespace fb {
+
+Result<MergeResult> MergeSorted(const PosTree& base, const PosTree& left,
+                                const PosTree& right) {
+  if (base.leaf_type() != left.leaf_type() ||
+      base.leaf_type() != right.leaf_type() ||
+      !IsSortedType(base.leaf_type())) {
+    return Status::InvalidArgument("MergeSorted requires three sorted trees "
+                                   "of the same type");
+  }
+
+  MergeResult result;
+
+  // Trivial cases: one side unchanged.
+  if (left.root() == base.root()) {
+    result.root = right.root();
+    return result;
+  }
+  if (right.root() == base.root() || left.root() == right.root()) {
+    result.root = left.root();
+    return result;
+  }
+
+  FB_ASSIGN_OR_RETURN(std::vector<KeyDiff> dl, DiffSorted(base, left));
+  FB_ASSIGN_OR_RETURN(std::vector<KeyDiff> dr, DiffSorted(base, right));
+
+  // Index the left-side changes by key. KeyDiff.left is the base value,
+  // KeyDiff.right the changed side's value.
+  std::map<Bytes, const KeyDiff*> left_by_key;
+  for (const KeyDiff& d : dl) left_by_key[d.key] = &d;
+
+  // Start from the left tree and fold in right-side changes.
+  PosTree merged(left.store(), left.config(), left.leaf_type(), left.root());
+
+  for (const KeyDiff& d : dr) {
+    auto it = left_by_key.find(d.key);
+    if (it != left_by_key.end()) {
+      const KeyDiff& l = *it->second;
+      if (l.right == d.right) continue;  // both sides agree
+      result.conflicts.push_back(
+          MergeConflict{d.key, d.left, l.right, d.right});
+      continue;
+    }
+    // Only the right side touched this key: replay its change.
+    if (d.right.has_value()) {
+      FB_RETURN_NOT_OK(merged.InsertOrAssign(Slice(d.key), Slice(*d.right)));
+    } else {
+      Status s = merged.Erase(Slice(d.key));
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+
+  result.root = merged.root();
+  return result;
+}
+
+Result<MergeResult> MergeBytes(const PosTree& base, const PosTree& left,
+                               const PosTree& right) {
+  if (base.leaf_type() != ChunkType::kBlob ||
+      left.leaf_type() != ChunkType::kBlob ||
+      right.leaf_type() != ChunkType::kBlob) {
+    return Status::InvalidArgument("MergeBytes requires three Blob trees");
+  }
+
+  MergeResult result;
+  if (left.root() == base.root()) {
+    result.root = right.root();
+    return result;
+  }
+  if (right.root() == base.root() || left.root() == right.root()) {
+    result.root = left.root();
+    return result;
+  }
+
+  FB_ASSIGN_OR_RETURN(RangeDiff dl, DiffBytes(base, left));
+  FB_ASSIGN_OR_RETURN(RangeDiff dr, DiffBytes(base, right));
+  FB_ASSIGN_OR_RETURN(uint64_t base_n, base.Count());
+
+  // Changed ranges in base coordinates. DiffBytes(base, x) reports
+  // a_mid = changed length on the base side, b_mid = on the x side.
+  (void)base_n;
+  const uint64_t l_start = dl.prefix;
+  const uint64_t l_base_end = dl.prefix + dl.a_mid;
+  const uint64_t r_start = dr.prefix;
+  const uint64_t r_base_end = dr.prefix + dr.a_mid;
+
+  const bool overlap = !(l_base_end <= r_start || r_base_end <= l_start);
+  if (overlap) {
+    MergeConflict c;
+    c.key = ToBytes("byte-range");
+    result.conflicts.push_back(std::move(c));
+    result.root = left.root();  // resolver patches on top of the left side
+    return result;
+  }
+
+  // Replay the right side's change onto the left tree. Offsets after the
+  // left change shift by (left inserted - left removed).
+  FB_ASSIGN_OR_RETURN(Bytes r_new, right.ReadBytes(dr.prefix, dr.b_mid));
+  const int64_t shift =
+      static_cast<int64_t>(dl.b_mid) - static_cast<int64_t>(dl.a_mid);
+  uint64_t apply_at = r_start;
+  if (r_start >= l_base_end) {
+    apply_at = static_cast<uint64_t>(static_cast<int64_t>(r_start) + shift);
+  }
+
+  PosTree merged(left.store(), left.config(), ChunkType::kBlob, left.root());
+  FB_RETURN_NOT_OK(merged.SpliceBytes(apply_at, dr.a_mid, Slice(r_new)));
+  result.root = merged.root();
+  return result;
+}
+
+Result<MergeResult> MergeList(const PosTree& base, const PosTree& left,
+                              const PosTree& right) {
+  if (base.leaf_type() != ChunkType::kList ||
+      left.leaf_type() != ChunkType::kList ||
+      right.leaf_type() != ChunkType::kList) {
+    return Status::InvalidArgument("MergeList requires three List trees");
+  }
+
+  MergeResult result;
+  if (left.root() == base.root()) {
+    result.root = right.root();
+    return result;
+  }
+  if (right.root() == base.root() || left.root() == right.root()) {
+    result.root = left.root();
+    return result;
+  }
+
+  FB_ASSIGN_OR_RETURN(RangeDiff dl, DiffList(base, left));
+  FB_ASSIGN_OR_RETURN(RangeDiff dr, DiffList(base, right));
+
+  const uint64_t l_start = dl.prefix;
+  const uint64_t l_base_end = dl.prefix + dl.a_mid;
+  const uint64_t r_start = dr.prefix;
+  const uint64_t r_base_end = dr.prefix + dr.a_mid;
+
+  if (!(l_base_end <= r_start || r_base_end <= l_start)) {
+    MergeConflict c;
+    c.key = ToBytes("element-range");
+    result.conflicts.push_back(std::move(c));
+    result.root = left.root();
+    return result;
+  }
+
+  // Materialize the right side's inserted elements.
+  std::vector<Element> r_new;
+  {
+    FB_ASSIGN_OR_RETURN(PosTree::Iterator it, right.Begin());
+    uint64_t idx = 0;
+    while (it.Valid() && idx < dr.prefix + dr.b_mid) {
+      if (idx >= dr.prefix) {
+        FB_RETURN_NOT_OK(it.EnsureLoaded());
+        Element e;
+        e.value = it.value().ToBytes();
+        r_new.push_back(std::move(e));
+      }
+      FB_RETURN_NOT_OK(it.Next());
+      ++idx;
+    }
+  }
+
+  const int64_t shift =
+      static_cast<int64_t>(dl.b_mid) - static_cast<int64_t>(dl.a_mid);
+  uint64_t apply_at = r_start;
+  if (r_start >= l_base_end) {
+    apply_at = static_cast<uint64_t>(static_cast<int64_t>(r_start) + shift);
+  }
+
+  PosTree merged(left.store(), left.config(), ChunkType::kList, left.root());
+  FB_RETURN_NOT_OK(merged.SpliceElements(apply_at, dr.a_mid, r_new));
+  result.root = merged.root();
+  return result;
+}
+
+}  // namespace fb

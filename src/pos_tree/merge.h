@@ -1,0 +1,54 @@
+// Type-specific three-way merge over POS-Trees (Section 4.5.2).
+//
+// Given two heads v1, v2 and their least common ancestor base, the merge
+// applies both sides' changes onto the base. Keys (or element ranges)
+// modified on both sides inconsistently are reported as conflicts; the
+// caller (the API layer) resolves them via built-in or custom resolvers.
+
+#ifndef FORKBASE_POS_TREE_MERGE_H_
+#define FORKBASE_POS_TREE_MERGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "pos_tree/diff.h"
+#include "pos_tree/tree.h"
+
+namespace fb {
+
+// One conflicting key: the base value and the two sides' values (nullopt
+// means absent on that side).
+struct MergeConflict {
+  Bytes key;
+  std::optional<Bytes> base;
+  std::optional<Bytes> left;
+  std::optional<Bytes> right;
+};
+
+struct MergeResult {
+  // The merged tree. On a clean merge it contains both sides' changes; with
+  // conflicts it contains all non-conflicting changes and keeps the left
+  // side's content for conflicting keys/ranges, so a resolver can patch the
+  // conflicts on top of it.
+  Hash root;
+  std::vector<MergeConflict> conflicts;  // empty => clean merge
+  bool clean() const { return conflicts.empty(); }
+};
+
+// Three-way merge of sorted trees (Map or Set).
+Result<MergeResult> MergeSorted(const PosTree& base, const PosTree& left,
+                                const PosTree& right);
+
+// Three-way merge of Blob trees: merges when the two sides' changed byte
+// ranges (relative to base) do not overlap; otherwise reports one
+// conflict keyed "byte-range".
+Result<MergeResult> MergeBytes(const PosTree& base, const PosTree& left,
+                               const PosTree& right);
+
+// Three-way merge of List trees, range-based like MergeBytes.
+Result<MergeResult> MergeList(const PosTree& base, const PosTree& left,
+                              const PosTree& right);
+
+}  // namespace fb
+
+#endif  // FORKBASE_POS_TREE_MERGE_H_

@@ -1,0 +1,88 @@
+#include "pos_tree/node.h"
+
+namespace fb {
+
+void EncodeElement(ChunkType leaf_type, Slice key, Slice value, Bytes* out) {
+  switch (leaf_type) {
+    case ChunkType::kBlob:
+      // Raw bytes; `value` carries the byte run.
+      AppendSlice(out, value);
+      return;
+    case ChunkType::kList:
+      PutLengthPrefixed(out, value);
+      return;
+    case ChunkType::kSet:
+      PutLengthPrefixed(out, key);
+      return;
+    case ChunkType::kMap:
+      PutLengthPrefixed(out, key);
+      PutLengthPrefixed(out, value);
+      return;
+    default:
+      // Index/meta chunks never encode elements.
+      return;
+  }
+}
+
+Status DecodeLeafElements(ChunkType leaf_type, Slice payload,
+                          std::vector<ElementView>* out) {
+  out->clear();
+  ByteReader reader(payload);
+  while (!reader.AtEnd()) {
+    ElementView e;
+    switch (leaf_type) {
+      case ChunkType::kList:
+        FB_RETURN_NOT_OK(reader.ReadLengthPrefixed(&e.value));
+        break;
+      case ChunkType::kSet:
+        FB_RETURN_NOT_OK(reader.ReadLengthPrefixed(&e.key));
+        break;
+      case ChunkType::kMap:
+        FB_RETURN_NOT_OK(reader.ReadLengthPrefixed(&e.key));
+        FB_RETURN_NOT_OK(reader.ReadLengthPrefixed(&e.value));
+        break;
+      case ChunkType::kBlob:
+        return Status::InvalidArgument(
+            "Blob leaves are accessed as raw bytes, not elements");
+      default:
+        return Status::InvalidArgument("not a leaf type");
+    }
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> LeafElementCount(ChunkType leaf_type, Slice payload) {
+  if (leaf_type == ChunkType::kBlob) return uint64_t{payload.size()};
+  std::vector<ElementView> elems;
+  Status s = DecodeLeafElements(leaf_type, payload, &elems);
+  if (!s.ok()) return s;
+  return uint64_t{elems.size()};
+}
+
+void EncodeEntry(const Entry& e, Bytes* out) {
+  AppendSlice(out, e.cid.slice());
+  PutVarint64(out, e.count);
+  PutLengthPrefixed(out, Slice(e.key));
+}
+
+Status DecodeIndexEntries(Slice payload, std::vector<Entry>* out) {
+  out->clear();
+  ByteReader reader(payload);
+  while (!reader.AtEnd()) {
+    Entry e;
+    Slice cid_bytes;
+    FB_RETURN_NOT_OK(reader.ReadRaw(Hash::kSize, &cid_bytes));
+    Sha256::Digest d;
+    std::copy(cid_bytes.begin(), cid_bytes.end(), d.begin());
+    e.cid = Hash(d);
+    FB_RETURN_NOT_OK(reader.ReadVarint64(&e.count));
+    Slice key;
+    FB_RETURN_NOT_OK(reader.ReadLengthPrefixed(&key));
+    e.key = key.ToBytes();
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace fb

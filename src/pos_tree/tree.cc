@@ -1,0 +1,690 @@
+#include "pos_tree/tree.h"
+
+#include <algorithm>
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<Hash> PosTree::BuildFromElements(ChunkStore* store,
+                                        const TreeConfig& cfg,
+                                        ChunkType leaf_type,
+                                        const std::vector<Element>& elements) {
+  LeafChunker chunker(store, leaf_type, cfg);
+  Bytes encoded;
+  for (const Element& e : elements) {
+    encoded.clear();
+    EncodeElement(leaf_type, Slice(e.key), Slice(e.value), &encoded);
+    Status s = chunker.AppendElement(Slice(encoded), Slice(e.key), 1);
+    if (!s.ok()) return s;
+  }
+  Status s = chunker.Finish();
+  if (!s.ok()) return s;
+  return BuildIndexLevels(store, cfg, leaf_type, std::move(chunker.entries()));
+}
+
+Result<Hash> PosTree::BuildFromBytes(ChunkStore* store, const TreeConfig& cfg,
+                                     Slice bytes) {
+  LeafChunker chunker(store, ChunkType::kBlob, cfg);
+  Status s = chunker.AppendRaw(bytes);
+  if (!s.ok()) return s;
+  s = chunker.Finish();
+  if (!s.ok()) return s;
+  return BuildIndexLevels(store, cfg, ChunkType::kBlob,
+                          std::move(chunker.entries()));
+}
+
+Result<Hash> PosTree::EmptyRoot(ChunkStore* store, ChunkType leaf_type) {
+  return store->Put(Chunk(leaf_type, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status PosTree::ReadNode(const Hash& cid, Chunk* chunk) const {
+  return store_->Get(cid, chunk);
+}
+
+Result<uint64_t> PosTree::Count() const {
+  Chunk root;
+  Status s = ReadNode(root_, &root);
+  if (!s.ok()) return s;
+  if (IsLeafType(root.type())) {
+    return LeafElementCount(root.type(), root.payload());
+  }
+  std::vector<Entry> entries;
+  s = DecodeIndexEntries(root.payload(), &entries);
+  if (!s.ok()) return s;
+  uint64_t total = 0;
+  for (const Entry& e : entries) total += e.count;
+  return total;
+}
+
+Result<size_t> PosTree::Height() const {
+  size_t h = 1;
+  Hash cur = root_;
+  for (;;) {
+    Chunk chunk;
+    Status s = ReadNode(cur, &chunk);
+    if (!s.ok()) return s;
+    if (IsLeafType(chunk.type())) return h;
+    std::vector<Entry> entries;
+    s = DecodeIndexEntries(chunk.payload(), &entries);
+    if (!s.ok()) return s;
+    if (entries.empty()) return Status::Corruption("empty index node");
+    cur = entries.front().cid;
+    ++h;
+  }
+}
+
+Status PosTree::FindLeafByKey(Slice key, Chunk* leaf) const {
+  Hash cur = root_;
+  for (;;) {
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(cur, &chunk));
+    if (IsLeafType(chunk.type())) {
+      *leaf = std::move(chunk);
+      return Status::OK();
+    }
+    std::vector<Entry> entries;
+    FB_RETURN_NOT_OK(DecodeIndexEntries(chunk.payload(), &entries));
+    if (entries.empty()) return Status::Corruption("empty index node");
+    // Entries are ordered by max subtree key: descend into the first
+    // entry whose max key >= target, or the last entry otherwise.
+    size_t pick = entries.size() - 1;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (Slice(entries[i].key) >= key) {
+        pick = i;
+        break;
+      }
+    }
+    cur = entries[pick].cid;
+  }
+}
+
+Result<std::optional<Bytes>> PosTree::Find(Slice key) const {
+  if (!IsSortedType(leaf_type_)) {
+    return Status::InvalidArgument("Find requires a sorted type");
+  }
+  Chunk leaf;
+  Status s = FindLeafByKey(key, &leaf);
+  if (!s.ok()) return s;
+  std::vector<ElementView> elems;
+  s = DecodeLeafElements(leaf.type(), leaf.payload(), &elems);
+  if (!s.ok()) return s;
+  const auto it = std::lower_bound(
+      elems.begin(), elems.end(), key,
+      [](const ElementView& e, const Slice& k) { return e.key < k; });
+  if (it == elems.end() || it->key != key) {
+    return std::optional<Bytes>{};
+  }
+  return std::optional<Bytes>{it->value.ToBytes()};
+}
+
+Status PosTree::LoadLeafEntries(std::vector<Entry>* out) const {
+  out->clear();
+  // DFS over index nodes only; leaves are never fetched.
+  struct Frame {
+    std::vector<Entry> entries;
+    size_t next = 0;
+  };
+  Chunk root;
+  FB_RETURN_NOT_OK(ReadNode(root_, &root));
+  if (IsLeafType(root.type())) {
+    FB_ASSIGN_OR_RETURN(uint64_t count,
+                        LeafElementCount(root.type(), root.payload()));
+    Bytes last_key;
+    if (IsSortedType(root.type()) && count > 0) {
+      std::vector<ElementView> elems;
+      FB_RETURN_NOT_OK(DecodeLeafElements(root.type(), root.payload(), &elems));
+      last_key = elems.back().key.ToBytes();
+    }
+    if (count > 0 || true) {
+      // The canonical empty tree still has one (empty) leaf entry so that
+      // splice-from-empty goes through the normal path.
+      out->push_back(Entry{root_, count, std::move(last_key)});
+    }
+    return Status::OK();
+  }
+
+  // Every root-to-leaf path has the same length (levels are built
+  // uniformly), so with the height known in advance the DFS can classify
+  // entries by depth and never needs to fetch leaf chunks.
+  FB_ASSIGN_OR_RETURN(const size_t height, Height());
+
+  std::vector<Frame> stack;
+  {
+    Frame f;
+    FB_RETURN_NOT_OK(DecodeIndexEntries(root.payload(), &f.entries));
+    stack.push_back(std::move(f));
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next >= top.entries.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Entry e = top.entries[top.next++];
+    // The node owning `e` sits at depth stack.size()-1; `e` references a
+    // node at depth stack.size(). Leaves live at depth height-1.
+    if (stack.size() == height - 1) {
+      out->push_back(e);
+      continue;
+    }
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(e.cid, &chunk));
+    if (!IsIndexType(chunk.type())) {
+      return Status::Corruption("expected index node above leaf level");
+    }
+    Frame f;
+    FB_RETURN_NOT_OK(DecodeIndexEntries(chunk.payload(), &f.entries));
+    stack.push_back(std::move(f));
+  }
+  return Status::OK();
+}
+
+Status PosTree::CollectChunkIds(std::vector<Hash>* out) const {
+  out->clear();
+  std::vector<Hash> pending{root_};
+  while (!pending.empty()) {
+    const Hash cid = pending.back();
+    pending.pop_back();
+    out->push_back(cid);
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(cid, &chunk));
+    if (IsIndexType(chunk.type())) {
+      std::vector<Entry> entries;
+      FB_RETURN_NOT_OK(DecodeIndexEntries(chunk.payload(), &entries));
+      for (const Entry& e : entries) pending.push_back(e.cid);
+    }
+  }
+  return Status::OK();
+}
+
+Status PosTree::VerifyIntegrity() const {
+  std::vector<Hash> cids;
+  FB_RETURN_NOT_OK(CollectChunkIds(&cids));
+  for (const Hash& cid : cids) {
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(cid, &chunk));
+    if (chunk.ComputeCid() != cid) {
+      return Status::Corruption("chunk " + cid.ToShortHex() +
+                                " fails integrity check");
+    }
+  }
+  return Status::OK();
+}
+
+size_t PosTree::LeafIndexForPos(const std::vector<Entry>& leaves,
+                                uint64_t pos, uint64_t* leaf_start) {
+  uint64_t cum = 0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (cum + leaves[i].count > pos) {
+      *leaf_start = cum;
+      return i;
+    }
+    cum += leaves[i].count;
+  }
+  *leaf_start = cum;
+  return leaves.size();
+}
+
+Result<Bytes> PosTree::ReadBytes(uint64_t pos, uint64_t n) const {
+  if (leaf_type_ != ChunkType::kBlob) {
+    return Status::InvalidArgument("ReadBytes requires Blob");
+  }
+  std::vector<Entry> leaves;
+  Status s = LoadLeafEntries(&leaves);
+  if (!s.ok()) return s;
+  Bytes out;
+  uint64_t cum = 0;
+  for (const Entry& leaf : leaves) {
+    const uint64_t leaf_end = cum + leaf.count;
+    if (leaf_end > pos && cum < pos + n) {
+      Chunk chunk;
+      s = ReadNode(leaf.cid, &chunk);
+      if (!s.ok()) return s;
+      const uint64_t from = pos > cum ? pos - cum : 0;
+      const uint64_t to =
+          std::min<uint64_t>(leaf.count, pos + n > cum ? pos + n - cum : 0);
+      if (to > from) {
+        const Slice part = chunk.payload().subslice(from, to - from);
+        AppendSlice(&out, part);
+      }
+    }
+    cum = leaf_end;
+    if (cum >= pos + n) break;
+  }
+  return out;
+}
+
+Result<Bytes> PosTree::GetElement(uint64_t index) const {
+  if (leaf_type_ != ChunkType::kList) {
+    return Status::InvalidArgument("GetElement requires List");
+  }
+  std::vector<Entry> leaves;
+  Status s = LoadLeafEntries(&leaves);
+  if (!s.ok()) return s;
+  uint64_t leaf_start = 0;
+  const size_t li = LeafIndexForPos(leaves, index, &leaf_start);
+  if (li >= leaves.size()) return Status::OutOfRange("list index");
+  Chunk chunk;
+  s = ReadNode(leaves[li].cid, &chunk);
+  if (!s.ok()) return s;
+  std::vector<ElementView> elems;
+  s = DecodeLeafElements(chunk.type(), chunk.payload(), &elems);
+  if (!s.ok()) return s;
+  const size_t off = static_cast<size_t>(index - leaf_start);
+  if (off >= elems.size()) return Status::Corruption("count mismatch");
+  return elems[off].value.ToBytes();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+Status PosTree::Iterator::EnsureLoaded() const {
+  if (loaded_ || leaf_idx_ >= leaves_.size()) return Status::OK();
+  FB_RETURN_NOT_OK(tree_->ReadNode(leaves_[leaf_idx_].cid, &current_));
+  FB_RETURN_NOT_OK(
+      DecodeLeafElements(current_.type(), current_.payload(), &elems_));
+  loaded_ = true;
+  return Status::OK();
+}
+
+void PosTree::Iterator::MustLoad() const {
+  const Status s = EnsureLoaded();
+  assert(s.ok());
+  (void)s;
+}
+
+Status PosTree::Iterator::Next() {
+  FB_RETURN_NOT_OK(EnsureLoaded());
+  ++elem_idx_;
+  if (elem_idx_ >= elems_.size()) {
+    ++leaf_idx_;
+    elem_idx_ = 0;
+    loaded_ = false;
+  }
+  return Status::OK();
+}
+
+Status PosTree::Iterator::SkipLeaf() {
+  ++leaf_idx_;
+  elem_idx_ = 0;
+  loaded_ = false;
+  return Status::OK();
+}
+
+Result<PosTree::Iterator> PosTree::Begin() const {
+  if (leaf_type_ == ChunkType::kBlob) {
+    return Status::InvalidArgument("Blob is iterated via ReadBytes");
+  }
+  Iterator it;
+  it.tree_ = this;
+  std::vector<Entry> leaves;
+  Status s = LoadLeafEntries(&leaves);
+  if (!s.ok()) return s;
+  // Drop the placeholder entry of the canonical empty tree so that every
+  // positioned leaf is non-empty.
+  for (Entry& e : leaves) {
+    if (e.count > 0) it.leaves_.push_back(std::move(e));
+  }
+  return it;
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+Status PosTree::RebuildFromLeaves(std::vector<Entry> leaves) {
+  // Drop placeholder entries for empty leaves that can appear when the
+  // tree was previously empty.
+  std::vector<Entry> filtered;
+  filtered.reserve(leaves.size());
+  for (Entry& e : leaves) {
+    if (e.count > 0) filtered.push_back(std::move(e));
+  }
+  FB_ASSIGN_OR_RETURN(
+      root_, BuildIndexLevels(store_, cfg_, leaf_type_, std::move(filtered)));
+  return Status::OK();
+}
+
+Status PosTree::SpliceElements(uint64_t pos, uint64_t n_delete,
+                               const std::vector<Element>& insert) {
+  if (leaf_type_ == ChunkType::kBlob) {
+    return Status::InvalidArgument("use SpliceBytes for Blob");
+  }
+  std::vector<Entry> leaves;
+  FB_RETURN_NOT_OK(LoadLeafEntries(&leaves));
+  uint64_t total = 0;
+  for (const Entry& e : leaves) total += e.count;
+  if (pos > total) return Status::OutOfRange("splice position");
+  n_delete = std::min<uint64_t>(n_delete, total - pos);
+
+  // First leaf whose content is affected. A pure append re-chunks the
+  // last leaf, because its final boundary was an end-of-stream cut, not
+  // necessarily a pattern.
+  uint64_t start_base = 0;
+  size_t start_leaf = LeafIndexForPos(leaves, pos, &start_base);
+  if (start_leaf == leaves.size() && !leaves.empty()) {
+    --start_leaf;
+    start_base -= leaves[start_leaf].count;
+  }
+
+  LeafChunker chunker(store_, leaf_type_, cfg_);
+  Bytes encoded;
+  auto feed_element = [&](Slice key, Slice value) -> Status {
+    encoded.clear();
+    EncodeElement(leaf_type_, key, value, &encoded);
+    return chunker.AppendElement(Slice(encoded), key, 1);
+  };
+
+  std::vector<Entry> out(leaves.begin(),
+                         leaves.begin() + static_cast<long>(start_leaf));
+
+  uint64_t global = start_base;  // element index of next old element
+  uint64_t del_left = n_delete;
+  bool inserted = false;
+  bool resynced = false;
+
+  for (size_t li = start_leaf; li < leaves.size(); ++li) {
+    // Resynchronization: once the edit is fully applied and the chunker
+    // sits exactly on a chunk boundary at an old leaf start, every
+    // remaining old leaf is reused verbatim.
+    if (inserted && del_left == 0 && global >= pos && chunker.AtBoundary() &&
+        !chunker.entries().empty()) {
+      out.insert(out.end(), leaves.begin() + static_cast<long>(li),
+                 leaves.end());
+      resynced = true;
+      break;
+    }
+
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(leaves[li].cid, &chunk));
+    std::vector<ElementView> elems;
+    FB_RETURN_NOT_OK(
+        DecodeLeafElements(chunk.type(), chunk.payload(), &elems));
+    for (const ElementView& e : elems) {
+      if (!inserted && global == pos) {
+        for (const Element& ins : insert) {
+          FB_RETURN_NOT_OK(feed_element(Slice(ins.key), Slice(ins.value)));
+        }
+        inserted = true;
+      }
+      if (global >= pos && del_left > 0) {
+        --del_left;  // element deleted: skip it
+      } else {
+        FB_RETURN_NOT_OK(feed_element(e.key, e.value));
+      }
+      ++global;
+    }
+  }
+
+  if (!resynced) {
+    if (!inserted) {
+      // Append at the very end (pos == total), or empty tree.
+      for (const Element& ins : insert) {
+        FB_RETURN_NOT_OK(feed_element(Slice(ins.key), Slice(ins.value)));
+      }
+    }
+    FB_RETURN_NOT_OK(chunker.Finish());
+    out.insert(out.end(), chunker.entries().begin(), chunker.entries().end());
+  } else {
+    // Chunks produced before the resync point.
+    out.insert(out.begin() + static_cast<long>(start_leaf),
+               chunker.entries().begin(), chunker.entries().end());
+  }
+
+  return RebuildFromLeaves(std::move(out));
+}
+
+Status PosTree::SpliceBytes(uint64_t pos, uint64_t n_delete, Slice insert) {
+  if (leaf_type_ != ChunkType::kBlob) {
+    return Status::InvalidArgument("SpliceBytes requires Blob");
+  }
+  std::vector<Entry> leaves;
+  FB_RETURN_NOT_OK(LoadLeafEntries(&leaves));
+  uint64_t total = 0;
+  for (const Entry& e : leaves) total += e.count;
+  if (pos > total) return Status::OutOfRange("splice position");
+  n_delete = std::min<uint64_t>(n_delete, total - pos);
+
+  uint64_t start_base = 0;
+  size_t start_leaf = LeafIndexForPos(leaves, pos, &start_base);
+  if (start_leaf == leaves.size() && !leaves.empty()) {
+    --start_leaf;
+    start_base -= leaves[start_leaf].count;
+  }
+
+  LeafChunker chunker(store_, ChunkType::kBlob, cfg_);
+  std::vector<Entry> out(leaves.begin(),
+                         leaves.begin() + static_cast<long>(start_leaf));
+
+  uint64_t global = start_base;
+  uint64_t del_left = n_delete;
+  bool inserted = false;
+  bool resynced = false;
+
+  for (size_t li = start_leaf; li < leaves.size(); ++li) {
+    if (inserted && del_left == 0 && global >= pos && chunker.AtBoundary() &&
+        !chunker.entries().empty()) {
+      out.insert(out.end(), leaves.begin() + static_cast<long>(li),
+                 leaves.end());
+      resynced = true;
+      break;
+    }
+
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(leaves[li].cid, &chunk));
+    const Slice payload = chunk.payload();
+    uint64_t off = 0;
+    const uint64_t len = payload.size();
+    while (off < len) {
+      if (!inserted && global == pos) {
+        FB_RETURN_NOT_OK(chunker.AppendRaw(insert));
+        inserted = true;
+      }
+      if (global >= pos && del_left > 0) {
+        // Skip a run of deleted bytes within this leaf.
+        const uint64_t run = std::min<uint64_t>(del_left, len - off);
+        del_left -= run;
+        off += run;
+        global += run;
+        continue;
+      }
+      // Feed a run of kept bytes: up to the insertion point (if still
+      // ahead within this leaf) or to the leaf end.
+      uint64_t run = len - off;
+      if (!inserted && pos > global) {
+        run = std::min<uint64_t>(run, pos - global);
+      }
+      FB_RETURN_NOT_OK(chunker.AppendRaw(payload.subslice(off, run)));
+      off += run;
+      global += run;
+    }
+  }
+
+  if (!resynced) {
+    if (!inserted) {
+      FB_RETURN_NOT_OK(chunker.AppendRaw(insert));
+    }
+    FB_RETURN_NOT_OK(chunker.Finish());
+    out.insert(out.end(), chunker.entries().begin(), chunker.entries().end());
+  } else {
+    out.insert(out.begin() + static_cast<long>(start_leaf),
+               chunker.entries().begin(), chunker.entries().end());
+  }
+
+  return RebuildFromLeaves(std::move(out));
+}
+
+Status PosTree::InsertOrAssign(Slice key, Slice value) {
+  if (!IsSortedType(leaf_type_)) {
+    return Status::InvalidArgument("InsertOrAssign requires a sorted type");
+  }
+  // Locate the element position of `key` via the leaf entry list.
+  std::vector<Entry> leaves;
+  FB_RETURN_NOT_OK(LoadLeafEntries(&leaves));
+  uint64_t cum = 0;
+  size_t li = 0;
+  for (; li < leaves.size(); ++li) {
+    if (leaves[li].count > 0 && Slice(leaves[li].key) >= key) break;
+    cum += leaves[li].count;
+  }
+
+  uint64_t pos = cum;
+  uint64_t n_delete = 0;
+  if (li < leaves.size()) {
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(leaves[li].cid, &chunk));
+    std::vector<ElementView> elems;
+    FB_RETURN_NOT_OK(
+        DecodeLeafElements(chunk.type(), chunk.payload(), &elems));
+    const auto it = std::lower_bound(
+        elems.begin(), elems.end(), key,
+        [](const ElementView& e, const Slice& k) { return e.key < k; });
+    pos = cum + static_cast<uint64_t>(it - elems.begin());
+    if (it != elems.end() && it->key == key) {
+      if (leaf_type_ == ChunkType::kMap && it->value == value) {
+        return Status::OK();  // identical: no new version needed
+      }
+      if (leaf_type_ == ChunkType::kSet) {
+        return Status::OK();  // set membership already holds
+      }
+      n_delete = 1;
+    }
+  }
+
+  std::vector<Element> ins(1);
+  ins[0].key = key.ToBytes();
+  ins[0].value = value.ToBytes();
+  return SpliceElements(pos, n_delete, ins);
+}
+
+Status PosTree::UpsertBatch(std::vector<Element> upserts) {
+  if (!IsSortedType(leaf_type_)) {
+    return Status::InvalidArgument("UpsertBatch requires a sorted type");
+  }
+  if (upserts.empty()) return Status::OK();
+  // Sort by key; for duplicates the LAST occurrence wins.
+  std::stable_sort(upserts.begin(), upserts.end(),
+                   [](const Element& a, const Element& b) {
+                     return a.key < b.key;
+                   });
+  {
+    std::vector<Element> dedup;
+    dedup.reserve(upserts.size());
+    for (auto& e : upserts) {
+      if (!dedup.empty() && dedup.back().key == e.key) {
+        dedup.back() = std::move(e);
+      } else {
+        dedup.push_back(std::move(e));
+      }
+    }
+    upserts = std::move(dedup);
+  }
+
+  std::vector<Entry> leaves;
+  FB_RETURN_NOT_OK(LoadLeafEntries(&leaves));
+
+  LeafChunker chunker(store_, leaf_type_, cfg_);
+  std::vector<Entry> out;
+  Bytes encoded;
+  auto feed = [&](Slice key, Slice value) -> Status {
+    encoded.clear();
+    EncodeElement(leaf_type_, key, value, &encoded);
+    return chunker.AppendElement(Slice(encoded), key, 1);
+  };
+  size_t drained = 0;  // chunker entries already moved to `out`
+  auto drain = [&]() {
+    auto& es = chunker.entries();
+    for (; drained < es.size(); ++drained) out.push_back(es[drained]);
+  };
+
+  size_t ui = 0;
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    const bool is_last = li + 1 == leaves.size();
+    const Slice leaf_max(leaves[li].key);
+    const bool touched =
+        leaves[li].count > 0 && ui < upserts.size() &&
+        Slice(upserts[ui].key) <= leaf_max;
+    // Trailing upserts (keys beyond every existing key) merge into the
+    // last leaf.
+    const bool absorbs_tail = is_last && ui < upserts.size();
+
+    if (!touched && !absorbs_tail && chunker.AtBoundary()) {
+      drain();
+      out.push_back(leaves[li]);
+      continue;
+    }
+
+    Chunk chunk;
+    FB_RETURN_NOT_OK(ReadNode(leaves[li].cid, &chunk));
+    std::vector<ElementView> elems;
+    FB_RETURN_NOT_OK(
+        DecodeLeafElements(chunk.type(), chunk.payload(), &elems));
+    // Merge this leaf's elements with the upserts that sort into it.
+    size_t ei = 0;
+    while (ei < elems.size() || (ui < upserts.size() &&
+                                 (is_last ||
+                                  Slice(upserts[ui].key) <= leaf_max))) {
+      const bool take_upsert =
+          ui < upserts.size() &&
+          (is_last || Slice(upserts[ui].key) <= leaf_max) &&
+          (ei >= elems.size() || Slice(upserts[ui].key) <= elems[ei].key);
+      if (take_upsert) {
+        if (ei < elems.size() && Slice(upserts[ui].key) == elems[ei].key) {
+          ++ei;  // replaced
+        }
+        FB_RETURN_NOT_OK(
+            feed(Slice(upserts[ui].key), Slice(upserts[ui].value)));
+        ++ui;
+      } else {
+        FB_RETURN_NOT_OK(feed(elems[ei].key, elems[ei].value));
+        ++ei;
+      }
+    }
+  }
+  if (leaves.empty()) {
+    for (const Element& e : upserts) {
+      FB_RETURN_NOT_OK(feed(Slice(e.key), Slice(e.value)));
+    }
+  }
+  FB_RETURN_NOT_OK(chunker.Finish());
+  drain();
+  return RebuildFromLeaves(std::move(out));
+}
+
+Status PosTree::Erase(Slice key) {
+  if (!IsSortedType(leaf_type_)) {
+    return Status::InvalidArgument("Erase requires a sorted type");
+  }
+  std::vector<Entry> leaves;
+  FB_RETURN_NOT_OK(LoadLeafEntries(&leaves));
+  uint64_t cum = 0;
+  size_t li = 0;
+  for (; li < leaves.size(); ++li) {
+    if (leaves[li].count > 0 && Slice(leaves[li].key) >= key) break;
+    cum += leaves[li].count;
+  }
+  if (li >= leaves.size()) return Status::NotFound("key not in tree");
+
+  Chunk chunk;
+  FB_RETURN_NOT_OK(ReadNode(leaves[li].cid, &chunk));
+  std::vector<ElementView> elems;
+  FB_RETURN_NOT_OK(DecodeLeafElements(chunk.type(), chunk.payload(), &elems));
+  const auto it = std::lower_bound(
+      elems.begin(), elems.end(), key,
+      [](const ElementView& e, const Slice& k) { return e.key < k; });
+  if (it == elems.end() || it->key != key) {
+    return Status::NotFound("key not in tree");
+  }
+  const uint64_t pos = cum + static_cast<uint64_t>(it - elems.begin());
+  return SpliceElements(pos, 1, {});
+}
+
+}  // namespace fb

@@ -1,0 +1,102 @@
+// ForkBase-backed relational datasets (Section 5.3) in two physical
+// layouts:
+//
+//   * RowDataset    — each record is a Tuple embedded in a Map keyed by
+//                     its primary key; efficient point updates and
+//                     checkout-free modification.
+//   * ColumnDataset — each column's values form a List, embedded in a Map
+//                     keyed by the column name; efficient analytical
+//                     scans (Figure 17b's 10x gap).
+//
+// Both layouts version the dataset as one FObject per commit, so branch
+// management, diffs and dedup come from the engine.
+
+#ifndef FORKBASE_TABULAR_DATASET_H_
+#define FORKBASE_TABULAR_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "tabular/record.h"
+
+namespace fb {
+
+class RowDataset {
+ public:
+  RowDataset(ForkBase* db, std::string name, Schema schema)
+      : db_(db), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Imports rows as the first version on the default branch.
+  Status Import(const std::vector<Record>& rows);
+
+  // Updates (or inserts) records in place on a branch; one commit.
+  Status UpdateRecords(const std::string& branch,
+                       const std::vector<Record>& rows);
+
+  Result<std::optional<Record>> GetRecord(const std::string& branch,
+                                          const std::string& pk);
+
+  Result<uint64_t> NumRecords(const std::string& branch);
+
+  // Sum over an integer column across all records.
+  Result<int64_t> AggregateSum(const std::string& branch,
+                               const std::string& column);
+
+  // Number of differing primary keys between two branch heads.
+  Result<size_t> DiffBranches(const std::string& b1, const std::string& b2);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  ForkBase* db() const { return db_; }
+
+  // CSV file interchange (header line = schema columns).
+  Status ImportCsvFile(const std::string& path);
+  Status ExportCsvFile(const std::string& branch, const std::string& path);
+
+ private:
+  Result<FMap> OpenMap(const std::string& branch);
+
+  ForkBase* db_;
+  std::string name_;
+  Schema schema_;
+};
+
+class ColumnDataset {
+ public:
+  ColumnDataset(ForkBase* db, std::string name, Schema schema)
+      : db_(db), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Status Import(const std::vector<Record>& rows);
+
+  // Updates whole records by row position (pk order of the import).
+  Status UpdateRows(const std::string& branch,
+                    const std::vector<std::pair<uint64_t, Record>>& updates);
+
+  Result<uint64_t> NumRecords(const std::string& branch);
+
+  Result<int64_t> AggregateSum(const std::string& branch,
+                               const std::string& column);
+
+  // All values of one column.
+  Result<std::vector<std::string>> ReadColumn(const std::string& branch,
+                                              const std::string& column);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  ForkBase* db() const { return db_; }
+
+ private:
+  // The column map for a branch head: column name -> List tree root.
+  Result<FMap> OpenMap(const std::string& branch);
+  Result<PosTree> OpenColumn(FMap* map, const std::string& column);
+
+  ForkBase* db_;
+  std::string name_;
+  Schema schema_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_TABULAR_DATASET_H_

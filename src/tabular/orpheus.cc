@@ -1,0 +1,109 @@
+#include "tabular/orpheus.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fb {
+
+Result<OrpheusLikeStore::VersionId> OrpheusLikeStore::Init(
+    const std::vector<Record>& rows) {
+  std::vector<uint64_t> rids;
+  rids.reserve(rows.size());
+  for (const Record& r : rows) {
+    const uint64_t rid = next_rid_++;
+    Bytes ser = SerializeRecord(r);
+    storage_bytes_ += ser.size() + sizeof(uint64_t);
+    records_[rid] = std::move(ser);
+    rids.push_back(rid);
+  }
+  storage_bytes_ += rids.size() * sizeof(uint64_t);
+  const VersionId vid = next_version_++;
+  versions_[vid] = std::move(rids);
+  return vid;
+}
+
+Result<std::vector<Record>> OrpheusLikeStore::Checkout(
+    VersionId version) const {
+  auto it = versions_.find(version);
+  if (it == versions_.end()) return Status::NotFound("version");
+  // Full materialization: every record is copied out.
+  std::vector<Record> rows;
+  rows.reserve(it->second.size());
+  for (uint64_t rid : it->second) {
+    auto rit = records_.find(rid);
+    if (rit == records_.end()) return Status::Corruption("dangling rid");
+    FB_ASSIGN_OR_RETURN(Record r, DeserializeRecord(Slice(rit->second)));
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+Result<OrpheusLikeStore::VersionId> OrpheusLikeStore::Commit(
+    VersionId parent, const std::vector<Record>& rows) {
+  auto pit = versions_.find(parent);
+  if (pit == versions_.end()) return Status::NotFound("parent version");
+  const std::vector<uint64_t>& parent_rids = pit->second;
+
+  // Index the parent's records by primary key for rid reuse.
+  std::unordered_map<std::string, uint64_t> parent_by_pk;
+  for (uint64_t rid : parent_rids) {
+    FB_ASSIGN_OR_RETURN(Record r, DeserializeRecord(Slice(records_.at(rid))));
+    if (!r.empty()) parent_by_pk[r[0]] = rid;
+  }
+
+  std::vector<uint64_t> rids;
+  rids.reserve(rows.size());
+  for (const Record& r : rows) {
+    Bytes ser = SerializeRecord(r);
+    auto hit = r.empty() ? parent_by_pk.end() : parent_by_pk.find(r[0]);
+    if (hit != parent_by_pk.end() && records_.at(hit->second) == ser) {
+      rids.push_back(hit->second);  // unchanged: reuse rid
+      continue;
+    }
+    const uint64_t rid = next_rid_++;
+    storage_bytes_ += ser.size() + sizeof(uint64_t);
+    records_[rid] = std::move(ser);
+    rids.push_back(rid);
+  }
+  // The complete rid vector is stored for every version — this is the
+  // per-version overhead OrpheusDB pays even for tiny deltas.
+  storage_bytes_ += rids.size() * sizeof(uint64_t);
+  const VersionId vid = next_version_++;
+  versions_[vid] = std::move(rids);
+  return vid;
+}
+
+Result<size_t> OrpheusLikeStore::Diff(VersionId v1, VersionId v2) const {
+  auto it1 = versions_.find(v1);
+  auto it2 = versions_.find(v2);
+  if (it1 == versions_.end() || it2 == versions_.end()) {
+    return Status::NotFound("version");
+  }
+  // Full vector comparison, position by position.
+  const auto& a = it1->second;
+  const auto& b = it2->second;
+  size_t diffs = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) ++diffs;
+  }
+  diffs += (a.size() > n ? a.size() - n : 0) + (b.size() > n ? b.size() - n : 0);
+  return diffs;
+}
+
+Result<int64_t> OrpheusLikeStore::AggregateSum(VersionId version,
+                                               const std::string& column)
+    const {
+  const int col = schema_.IndexOf(column);
+  if (col < 0) return Status::InvalidArgument("unknown column " + column);
+  FB_ASSIGN_OR_RETURN(std::vector<Record> rows, Checkout(version));
+  int64_t sum = 0;
+  for (const Record& r : rows) {
+    if (static_cast<size_t>(col) < r.size()) {
+      sum += std::strtoll(r[col].c_str(), nullptr, 10);
+    }
+  }
+  return sum;
+}
+
+}  // namespace fb

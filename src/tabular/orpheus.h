@@ -1,0 +1,67 @@
+// OrpheusLikeStore: the OrpheusDB-style baseline for collaborative
+// analytics (Section 6.4). OrpheusDB versions a relational dataset by
+// keeping a shared record table (rid -> record) plus, per version, the
+// full vector of rids belonging to that version:
+//
+//   * checkout materializes a complete working copy of the version;
+//   * commit stores the changed records under fresh rids AND a complete
+//     new rid vector;
+//   * diff compares the two versions' full rid vectors.
+//
+// Substitution note (DESIGN.md): the original bolts onto Postgres; this
+// in-process reimplementation preserves the data layout and the costs
+// Figures 16/17 measure (full-copy checkout, rid-vector growth, full
+// vector comparison).
+
+#ifndef FORKBASE_TABULAR_ORPHEUS_H_
+#define FORKBASE_TABULAR_ORPHEUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tabular/record.h"
+#include "util/status.h"
+
+namespace fb {
+
+class OrpheusLikeStore {
+ public:
+  using VersionId = uint64_t;
+
+  explicit OrpheusLikeStore(Schema schema) : schema_(std::move(schema)) {}
+
+  // Creates version 1 from `rows`.
+  Result<VersionId> Init(const std::vector<Record>& rows);
+
+  // Materializes a full working copy of `version`.
+  Result<std::vector<Record>> Checkout(VersionId version) const;
+
+  // Commits a working copy derived from `parent`: records equal to the
+  // parent's reuse their rid, changed/new records get fresh rids; the
+  // complete rid vector of the new version is stored.
+  Result<VersionId> Commit(VersionId parent, const std::vector<Record>& rows);
+
+  // Number of record-level differences, via full rid-vector comparison.
+  Result<size_t> Diff(VersionId v1, VersionId v2) const;
+
+  // Aggregation over a working copy (row-oriented scan).
+  Result<int64_t> AggregateSum(VersionId version,
+                               const std::string& column) const;
+
+  uint64_t StorageBytes() const { return storage_bytes_; }
+  size_t NumVersions() const { return versions_.size(); }
+
+ private:
+  Schema schema_;
+  std::map<uint64_t, Bytes> records_;            // rid -> serialized record
+  std::map<VersionId, std::vector<uint64_t>> versions_;  // full rid vectors
+  // pk -> rid per version parent lookup happens through checkout.
+  uint64_t next_rid_ = 1;
+  VersionId next_version_ = 1;
+  uint64_t storage_bytes_ = 0;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_TABULAR_ORPHEUS_H_

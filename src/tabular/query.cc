@@ -1,0 +1,180 @@
+#include "tabular/query.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fb {
+
+namespace {
+int64_t AsInt(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+}  // namespace
+
+Predicate Predicate::Gt(int64_t v) {
+  return Predicate([v](const std::string& x) { return AsInt(x) > v; });
+}
+Predicate Predicate::Ge(int64_t v) {
+  return Predicate([v](const std::string& x) { return AsInt(x) >= v; });
+}
+Predicate Predicate::Lt(int64_t v) {
+  return Predicate([v](const std::string& x) { return AsInt(x) < v; });
+}
+Predicate Predicate::Le(int64_t v) {
+  return Predicate([v](const std::string& x) { return AsInt(x) <= v; });
+}
+Predicate Predicate::Contains(std::string needle) {
+  return Predicate([needle = std::move(needle)](const std::string& x) {
+    return x.find(needle) != std::string::npos;
+  });
+}
+
+void AggAccumulate(AggKind kind, const std::string& value, AggValue* acc) {
+  const double v = static_cast<double>(AsInt(value));
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      acc->value += v;
+      break;
+    case AggKind::kMin:
+      acc->value = acc->count == 0 ? v : std::min(acc->value, v);
+      break;
+    case AggKind::kMax:
+      acc->value = acc->count == 0 ? v : std::max(acc->value, v);
+      break;
+  }
+  ++acc->count;
+}
+
+double AggFinalize(AggKind kind, const AggValue& acc) {
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(acc.count);
+    case AggKind::kAvg:
+      return acc.count == 0 ? 0 : acc.value / static_cast<double>(acc.count);
+    default:
+      return acc.value;
+  }
+}
+
+Status RowQuery::Scan(const std::function<bool(const Record&)>& fn) {
+  // Resolve filter columns to indexes once.
+  std::vector<std::pair<int, const Predicate*>> bound;
+  for (const auto& [col, pred] : filters_) {
+    const int idx = dataset_->schema().IndexOf(col);
+    if (idx < 0) return Status::InvalidArgument("unknown column " + col);
+    bound.emplace_back(idx, &pred);
+  }
+
+  FB_ASSIGN_OR_RETURN(FObject obj,
+                      dataset_->db()->Get(dataset_->name(), branch_));
+  FB_ASSIGN_OR_RETURN(FMap map, dataset_->db()->GetMap(obj));
+  FB_ASSIGN_OR_RETURN(PosTree::Iterator it, map.tree().Begin());
+  while (it.Valid()) {
+    FB_RETURN_NOT_OK(it.EnsureLoaded());
+    FB_ASSIGN_OR_RETURN(Record r, DeserializeRecord(it.value()));
+    bool pass = true;
+    for (const auto& [idx, pred] : bound) {
+      if (static_cast<size_t>(idx) >= r.size() || !(*pred)(r[idx])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass && !fn(r)) return Status::OK();
+    FB_RETURN_NOT_OK(it.Next());
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> RowQuery::Run() {
+  QueryResult result;
+  std::vector<int> proj_idx;
+  if (projection_.has_value()) {
+    for (const std::string& col : *projection_) {
+      const int idx = dataset_->schema().IndexOf(col);
+      if (idx < 0) return Status::InvalidArgument("unknown column " + col);
+      proj_idx.push_back(idx);
+      result.columns.push_back(col);
+    }
+  } else {
+    result.columns = dataset_->schema().columns;
+  }
+
+  Status s = Scan([&](const Record& r) {
+    if (proj_idx.empty()) {
+      result.rows.push_back(r);
+    } else {
+      Record out;
+      out.reserve(proj_idx.size());
+      for (int idx : proj_idx) {
+        out.push_back(static_cast<size_t>(idx) < r.size() ? r[idx] : "");
+      }
+      result.rows.push_back(std::move(out));
+    }
+    return !limit_.has_value() || result.rows.size() < *limit_;
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Result<AggValue> RowQuery::Aggregate(AggKind kind, const std::string& column) {
+  const int idx = dataset_->schema().IndexOf(column);
+  if (idx < 0) return Status::InvalidArgument("unknown column " + column);
+  AggValue acc;
+  Status s = Scan([&](const Record& r) {
+    AggAccumulate(kind, static_cast<size_t>(idx) < r.size() ? r[idx] : "0",
+                  &acc);
+    return true;
+  });
+  if (!s.ok()) return s;
+  return acc;
+}
+
+Result<std::map<std::string, AggValue>> RowQuery::GroupBy(
+    const std::string& group_column, AggKind kind,
+    const std::string& agg_column) {
+  const int gidx = dataset_->schema().IndexOf(group_column);
+  const int aidx = dataset_->schema().IndexOf(agg_column);
+  if (gidx < 0 || aidx < 0) {
+    return Status::InvalidArgument("unknown column in group-by");
+  }
+  std::map<std::string, AggValue> groups;
+  Status s = Scan([&](const Record& r) {
+    const std::string& g =
+        static_cast<size_t>(gidx) < r.size() ? r[gidx] : "";
+    AggAccumulate(kind, static_cast<size_t>(aidx) < r.size() ? r[aidx] : "0",
+                  &groups[g]);
+    return true;
+  });
+  if (!s.ok()) return s;
+  return groups;
+}
+
+Result<AggValue> ColumnAggregate(ColumnDataset* dataset,
+                                 const std::string& branch, AggKind kind,
+                                 const std::string& agg_column,
+                                 const std::string& filter_column,
+                                 const Predicate* filter) {
+  FB_ASSIGN_OR_RETURN(std::vector<std::string> agg_values,
+                      dataset->ReadColumn(branch, agg_column));
+  AggValue acc;
+  if (filter == nullptr || filter_column.empty()) {
+    for (const std::string& v : agg_values) AggAccumulate(kind, v, &acc);
+    return acc;
+  }
+  FB_ASSIGN_OR_RETURN(std::vector<std::string> filter_values,
+                      dataset->ReadColumn(branch, filter_column));
+  if (filter_values.size() != agg_values.size()) {
+    return Status::Corruption("column length mismatch");
+  }
+  for (size_t i = 0; i < agg_values.size(); ++i) {
+    if ((*filter)(filter_values[i])) {
+      AggAccumulate(kind, agg_values[i], &acc);
+    }
+  }
+  return acc;
+}
+
+}  // namespace fb

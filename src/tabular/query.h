@@ -1,0 +1,128 @@
+// A small relational query layer over versioned datasets — the "richer
+// query functionalities ... added to the view layer" that Section 6.4.3
+// says ForkBase can be extended with.
+//
+// Queries run against a branch head of a RowDataset or ColumnDataset:
+//
+//   QueryResult r = Query(&ds, "master")
+//                       .Filter("qty", Predicate::Gt(100))
+//                       .Project({"pk", "qty"})
+//                       .Run();
+//
+// Aggregations (COUNT/SUM/MIN/MAX/AVG) and single-column GROUP BY are
+// supported. The column layout evaluates single-column predicates and
+// aggregations by scanning only the referenced columns' chunks.
+
+#ifndef FORKBASE_TABULAR_QUERY_H_
+#define FORKBASE_TABULAR_QUERY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tabular/dataset.h"
+
+namespace fb {
+
+// A predicate over one column's string value.
+class Predicate {
+ public:
+  using Fn = std::function<bool(const std::string&)>;
+
+  static Predicate Eq(std::string v) {
+    return Predicate([v = std::move(v)](const std::string& x) {
+      return x == v;
+    });
+  }
+  static Predicate Ne(std::string v) {
+    return Predicate([v = std::move(v)](const std::string& x) {
+      return x != v;
+    });
+  }
+  // Numeric comparisons (operands parsed as int64).
+  static Predicate Gt(int64_t v);
+  static Predicate Ge(int64_t v);
+  static Predicate Lt(int64_t v);
+  static Predicate Le(int64_t v);
+  // Substring containment.
+  static Predicate Contains(std::string needle);
+
+  bool operator()(const std::string& value) const { return fn_(value); }
+
+ private:
+  explicit Predicate(Fn fn) : fn_(std::move(fn)) {}
+  Fn fn_;
+};
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggValue {
+  double value = 0;
+  uint64_t count = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;  // projected column names
+  std::vector<Record> rows;
+};
+
+// Builder-style query over a row-layout dataset.
+class RowQuery {
+ public:
+  RowQuery(RowDataset* dataset, std::string branch)
+      : dataset_(dataset), branch_(std::move(branch)) {}
+
+  RowQuery& Filter(const std::string& column, Predicate p) {
+    filters_.emplace_back(column, std::move(p));
+    return *this;
+  }
+  RowQuery& Project(std::vector<std::string> columns) {
+    projection_ = std::move(columns);
+    return *this;
+  }
+  RowQuery& Limit(size_t n) {
+    limit_ = n;
+    return *this;
+  }
+
+  // Materializes matching (projected) rows.
+  Result<QueryResult> Run();
+
+  // Aggregates `column` over matching rows.
+  Result<AggValue> Aggregate(AggKind kind, const std::string& column);
+
+  // GROUP BY `group_column`, aggregating `agg_column` per group.
+  Result<std::map<std::string, AggValue>> GroupBy(
+      const std::string& group_column, AggKind kind,
+      const std::string& agg_column);
+
+ private:
+  // Streams matching records into `fn`; stops early when fn returns
+  // false.
+  Status Scan(const std::function<bool(const Record&)>& fn);
+
+  RowDataset* dataset_;
+  std::string branch_;
+  std::vector<std::pair<std::string, Predicate>> filters_;
+  std::optional<std::vector<std::string>> projection_;
+  std::optional<size_t> limit_;
+};
+
+// Columnar aggregation with an optional single-column predicate: reads
+// only the filter column and the aggregated column.
+Result<AggValue> ColumnAggregate(ColumnDataset* dataset,
+                                 const std::string& branch, AggKind kind,
+                                 const std::string& agg_column,
+                                 const std::string& filter_column = "",
+                                 const Predicate* filter = nullptr);
+
+// Folds one value into an aggregate.
+void AggAccumulate(AggKind kind, const std::string& value, AggValue* acc);
+// Finalizes (AVG divides by count).
+double AggFinalize(AggKind kind, const AggValue& acc);
+
+}  // namespace fb
+
+#endif  // FORKBASE_TABULAR_QUERY_H_

@@ -1,0 +1,65 @@
+#include "tabular/record.h"
+
+#include <sstream>
+
+#include "util/codec.h"
+#include "util/random.h"
+
+namespace fb {
+
+Bytes SerializeRecord(const Record& record) {
+  Bytes out;
+  for (const std::string& f : record) PutLengthPrefixed(&out, Slice(f));
+  return out;
+}
+
+Result<Record> DeserializeRecord(Slice data) {
+  Record record;
+  ByteReader r(data);
+  while (!r.AtEnd()) {
+    Slice f;
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&f));
+    record.push_back(f.ToString());
+  }
+  return record;
+}
+
+std::string RecordToCsv(const Record& record) {
+  std::string out;
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += record[i];
+  }
+  return out;
+}
+
+Record RecordFromCsv(const std::string& line) {
+  Record record;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) record.push_back(field);
+  return record;
+}
+
+Schema DatasetSchema() {
+  return Schema{{"pk", "qty", "price", "name", "address", "comment"}};
+}
+
+std::vector<Record> GenerateDataset(uint64_t num_records, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> rows;
+  rows.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    Record r;
+    r.push_back(MakeKey(i, 10, "pk"));                       // 12 bytes
+    r.push_back(std::to_string(rng.Uniform(10000)));         // int field
+    r.push_back(std::to_string(rng.Uniform(1000000)));       // int field
+    r.push_back(rng.String(30));                             // name
+    r.push_back(rng.String(60));                             // address
+    r.push_back(rng.String(60));                             // comment
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace fb

@@ -1,0 +1,46 @@
+// Relational record encoding shared by the collaborative-analytics layer
+// (Section 5.3): a record is an ordered list of string fields, field 0
+// being the primary key. Records serialize to the ForkBase Tuple wire
+// format (length-prefixed fields), and CSV import/export round-trips.
+
+#ifndef FORKBASE_TABULAR_RECORD_H_
+#define FORKBASE_TABULAR_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fb {
+
+using Record = std::vector<std::string>;
+
+struct Schema {
+  std::vector<std::string> columns;  // column 0 is the primary key
+
+  int IndexOf(const std::string& column) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == column) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Tuple wire format.
+Bytes SerializeRecord(const Record& record);
+Result<Record> DeserializeRecord(Slice data);
+
+// CSV (no quoting — generated datasets avoid commas).
+std::string RecordToCsv(const Record& record);
+Record RecordFromCsv(const std::string& line);
+
+// Deterministic synthetic dataset akin to the paper's: a 12-byte primary
+// key, two integer fields, and textual fields padding each record to
+// ~180 bytes.
+std::vector<Record> GenerateDataset(uint64_t num_records, uint64_t seed = 42);
+Schema DatasetSchema();
+
+}  // namespace fb
+
+#endif  // FORKBASE_TABULAR_RECORD_H_

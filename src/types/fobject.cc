@@ -1,0 +1,125 @@
+#include "types/fobject.h"
+
+#include "util/codec.h"
+
+namespace fb {
+
+FObject FObject::Make(Slice key, Value value, std::vector<Hash> bases,
+                      uint64_t depth, Slice context) {
+  FObject o;
+  o.key_ = key.ToString();
+  o.value_ = std::move(value);
+  o.bases_ = std::move(bases);
+  o.depth_ = depth;
+  o.context_ = context.ToBytes();
+  return o;
+}
+
+Chunk FObject::ToChunk() const {
+  Bytes payload;
+  payload.push_back(static_cast<uint8_t>(value_.type()));
+  PutLengthPrefixed(&payload, Slice(key_));
+  if (value_.is_chunkable()) {
+    PutLengthPrefixed(&payload, value_.root().slice());
+  } else {
+    PutLengthPrefixed(&payload, value_.bytes());
+  }
+  PutVarint64(&payload, depth_);
+  PutVarint64(&payload, bases_.size());
+  for (const Hash& b : bases_) AppendSlice(&payload, b.slice());
+  PutLengthPrefixed(&payload, Slice(context_));
+  return Chunk(ChunkType::kMeta, std::move(payload));
+}
+
+Result<FObject> FObject::FromChunk(const Chunk& chunk) {
+  if (chunk.type() != ChunkType::kMeta) {
+    return Status::TypeMismatch("not a Meta chunk");
+  }
+  ByteReader r(chunk.payload());
+  Slice type_byte;
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &type_byte));
+  if (type_byte[0] > static_cast<uint8_t>(UType::kSet)) {
+    return Status::Corruption("bad UType");
+  }
+  const UType type = static_cast<UType>(type_byte[0]);
+
+  FObject o;
+  Slice key, data;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&key));
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&data));
+  o.key_ = key.ToString();
+  if (IsChunkable(type)) {
+    if (data.size() != Hash::kSize) {
+      return Status::Corruption("chunkable data must be a cid");
+    }
+    Sha256::Digest d;
+    std::copy(data.begin(), data.end(), d.begin());
+    o.value_ = Value::OfTree(type, Hash(d));
+  } else {
+    switch (type) {
+      case UType::kBool:
+        o.value_ = Value::OfBool(!data.empty() && data[0] != 0);
+        break;
+      case UType::kInt: {
+        ByteReader ir(data);
+        uint64_t raw = 0;
+        FB_RETURN_NOT_OK(ir.ReadVarint64(&raw));
+        o.value_ = Value::OfInt(ZigZagDecode(raw));
+        break;
+      }
+      case UType::kString:
+        o.value_ = Value::OfString(data);
+        break;
+      case UType::kTuple: {
+        std::vector<Bytes> fields;
+        ByteReader tr(data);
+        while (!tr.AtEnd()) {
+          Slice f;
+          FB_RETURN_NOT_OK(tr.ReadLengthPrefixed(&f));
+          fields.push_back(f.ToBytes());
+        }
+        o.value_ = Value::OfTuple(fields);
+        break;
+      }
+      default:
+        return Status::Corruption("unreachable");
+    }
+  }
+
+  FB_RETURN_NOT_OK(r.ReadVarint64(&o.depth_));
+  uint64_t n_bases = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&n_bases));
+  if (n_bases > r.remaining() / Hash::kSize) {
+    return Status::Corruption("bases count exceeds payload");
+  }
+  for (uint64_t i = 0; i < n_bases; ++i) {
+    Slice b;
+    FB_RETURN_NOT_OK(r.ReadRaw(Hash::kSize, &b));
+    Sha256::Digest d;
+    std::copy(b.begin(), b.end(), d.begin());
+    o.bases_.push_back(Hash(d));
+  }
+  Slice ctx;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&ctx));
+  o.context_ = ctx.ToBytes();
+  return o;
+}
+
+Hash FObject::uid() const { return ToChunk().ComputeCid(); }
+
+Result<Hash> FObject::Store(ChunkStore* store) const {
+  return store->Put(ToChunk());
+}
+
+Result<FObject> FObject::Load(const ChunkStore& store, const Hash& uid) {
+  Chunk chunk;
+  Status s = store.Get(uid, &chunk);
+  if (!s.ok()) return s;
+  if (chunk.ComputeCid() != uid) {
+    return Status::Corruption("meta chunk does not hash to requested uid "
+                              "(tampered storage)");
+  }
+  return FromChunk(chunk);
+}
+
+}  // namespace fb

@@ -1,0 +1,72 @@
+// FObject: the versioned object node of the derivation graph (Figure 2).
+//
+//   struct FObject {
+//     enum type;          // object type
+//     byte[] key;         // object key
+//     byte[] data;        // object value (inline primitive or tree root)
+//     int depth;          // distance to the first version
+//     vector<uid> bases;  // versions it derives from
+//     byte[] context;     // reserved for application metadata
+//   }
+//
+// The FObject is serialized into a Meta chunk; its uid is that chunk's
+// cid, so a uid commits to the value bytes AND (through `bases`, a
+// cryptographic hash chain) the complete derivation history — this is the
+// tamper-evident version property of Section 3.2.
+
+#ifndef FORKBASE_TYPES_FOBJECT_H_
+#define FORKBASE_TYPES_FOBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace fb {
+
+class FObject {
+ public:
+  FObject() = default;
+
+  // Builds a new version of `key` holding `value`, derived from `bases`
+  // (their FObjects supply depth). `context` is free-form application
+  // metadata (commit message, nonce, timestamp, ...).
+  static FObject Make(Slice key, Value value, std::vector<Hash> bases,
+                      uint64_t depth, Slice context = Slice());
+
+  UType type() const { return value_.type(); }
+  const std::string& key() const { return key_; }
+  const Value& value() const { return value_; }
+  uint64_t depth() const { return depth_; }
+  const std::vector<Hash>& bases() const { return bases_; }
+  const Bytes& context() const { return context_; }
+
+  // The version id: cid of the serialized meta chunk.
+  Hash uid() const;
+
+  // Serializes to a Meta chunk.
+  Chunk ToChunk() const;
+
+  // Parses a Meta chunk.
+  static Result<FObject> FromChunk(const Chunk& chunk);
+
+  // Stores the meta chunk and returns the uid.
+  Result<Hash> Store(ChunkStore* store) const;
+
+  // Loads and parses the FObject with version `uid`. Verifies that the
+  // fetched chunk actually hashes to `uid` (tamper evidence).
+  static Result<FObject> Load(const ChunkStore& store, const Hash& uid);
+
+ private:
+  std::string key_;
+  Value value_;
+  uint64_t depth_ = 0;
+  std::vector<Hash> bases_;
+  Bytes context_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_TYPES_FOBJECT_H_

@@ -1,0 +1,134 @@
+#include "types/handles.h"
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// Blob
+// ---------------------------------------------------------------------------
+
+Result<Blob> Blob::Create(ChunkStore* store, const TreeConfig& cfg,
+                          Slice content) {
+  FB_ASSIGN_OR_RETURN_IMPL(_root, Hash root,
+                           PosTree::BuildFromBytes(store, cfg, content));
+  return Blob(store, cfg, root);
+}
+
+Result<Bytes> Blob::ReadAll() const {
+  FB_ASSIGN_OR_RETURN_IMPL(_n, const uint64_t n, tree_.Count());
+  return tree_.ReadBytes(0, n);
+}
+
+Status Blob::Append(Slice data) {
+  FB_ASSIGN_OR_RETURN(const uint64_t n, tree_.Count());
+  return tree_.SpliceBytes(n, 0, data);
+}
+
+// ---------------------------------------------------------------------------
+// FList
+// ---------------------------------------------------------------------------
+
+Result<FList> FList::Create(ChunkStore* store, const TreeConfig& cfg,
+                            const std::vector<Bytes>& elements) {
+  std::vector<Element> elems;
+  elems.reserve(elements.size());
+  for (const Bytes& e : elements) {
+    Element el;
+    el.value = e;
+    elems.push_back(std::move(el));
+  }
+  FB_ASSIGN_OR_RETURN_IMPL(
+      _root, Hash root,
+      PosTree::BuildFromElements(store, cfg, ChunkType::kList, elems));
+  return FList(store, cfg, root);
+}
+
+Status FList::Append(Slice element) {
+  FB_ASSIGN_OR_RETURN(const uint64_t n, tree_.Count());
+  Element e;
+  e.value = element.ToBytes();
+  return tree_.SpliceElements(n, 0, {std::move(e)});
+}
+
+Status FList::Insert(uint64_t index, Slice element) {
+  Element e;
+  e.value = element.ToBytes();
+  return tree_.SpliceElements(index, 0, {std::move(e)});
+}
+
+Status FList::Assign(uint64_t index, Slice element) {
+  Element e;
+  e.value = element.ToBytes();
+  return tree_.SpliceElements(index, 1, {std::move(e)});
+}
+
+Result<std::vector<Bytes>> FList::Elements() const {
+  FB_ASSIGN_OR_RETURN_IMPL(_it, PosTree::Iterator it, tree_.Begin());
+  std::vector<Bytes> out;
+  while (it.Valid()) {
+    FB_RETURN_NOT_OK(it.EnsureLoaded());
+    out.push_back(it.value().ToBytes());
+    FB_RETURN_NOT_OK(it.Next());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FMap
+// ---------------------------------------------------------------------------
+
+Result<FMap> FMap::Create(ChunkStore* store, const TreeConfig& cfg) {
+  FB_ASSIGN_OR_RETURN_IMPL(_root, Hash root,
+                           PosTree::EmptyRoot(store, ChunkType::kMap));
+  return FMap(store, cfg, root);
+}
+
+Status FMap::SetBatch(std::vector<std::pair<Bytes, Bytes>> entries) {
+  std::vector<Element> upserts;
+  upserts.reserve(entries.size());
+  for (auto& [k, v] : entries) {
+    Element e;
+    e.key = std::move(k);
+    e.value = std::move(v);
+    upserts.push_back(std::move(e));
+  }
+  return tree_.UpsertBatch(std::move(upserts));
+}
+
+Result<std::vector<std::pair<Bytes, Bytes>>> FMap::Entries() const {
+  FB_ASSIGN_OR_RETURN_IMPL(_it, PosTree::Iterator it, tree_.Begin());
+  std::vector<std::pair<Bytes, Bytes>> out;
+  while (it.Valid()) {
+    FB_RETURN_NOT_OK(it.EnsureLoaded());
+    out.emplace_back(it.key().ToBytes(), it.value().ToBytes());
+    FB_RETURN_NOT_OK(it.Next());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FSet
+// ---------------------------------------------------------------------------
+
+Result<FSet> FSet::Create(ChunkStore* store, const TreeConfig& cfg) {
+  FB_ASSIGN_OR_RETURN_IMPL(_root, Hash root,
+                           PosTree::EmptyRoot(store, ChunkType::kSet));
+  return FSet(store, cfg, root);
+}
+
+Result<bool> FSet::Contains(Slice key) const {
+  FB_ASSIGN_OR_RETURN_IMPL(_v, auto v, tree_.Find(key));
+  return v.has_value();
+}
+
+Result<std::vector<Bytes>> FSet::Members() const {
+  FB_ASSIGN_OR_RETURN_IMPL(_it, PosTree::Iterator it, tree_.Begin());
+  std::vector<Bytes> out;
+  while (it.Valid()) {
+    FB_RETURN_NOT_OK(it.EnsureLoaded());
+    out.push_back(it.key().ToBytes());
+    FB_RETURN_NOT_OK(it.Next());
+  }
+  return out;
+}
+
+}  // namespace fb

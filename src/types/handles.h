@@ -1,0 +1,130 @@
+// Client-side handles for chunkable types (Blob, List, Map, Set).
+//
+// Per Section 3.4 / Figure 4, a Get of a chunkable object returns only a
+// handle; data is fetched lazily, chunk by chunk. Mutations through a
+// handle are buffered on the client side: they produce new chunks and
+// advance the handle's private root, but the branch head only moves when
+// the handle's value is committed back with Put.
+
+#ifndef FORKBASE_TYPES_HANDLES_H_
+#define FORKBASE_TYPES_HANDLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pos_tree/tree.h"
+#include "types/value.h"
+
+namespace fb {
+
+// Common base: wraps a PosTree and exposes the Value for Put.
+class ChunkableHandle {
+ public:
+  ChunkableHandle(UType type, ChunkStore* store, const TreeConfig& cfg,
+                  const Hash& root)
+      : type_(type), tree_(store, cfg, LeafChunkTypeFor(type), root) {}
+
+  UType type() const { return type_; }
+  Hash root() const { return tree_.root(); }
+  Value ToValue() const { return Value::OfTree(type_, tree_.root()); }
+  Result<uint64_t> Size() const { return tree_.Count(); }
+  Status VerifyIntegrity() const { return tree_.VerifyIntegrity(); }
+
+ protected:
+  UType type_;
+  PosTree tree_;
+};
+
+// A byte sequence with in-place edits (Figure 4).
+class Blob : public ChunkableHandle {
+ public:
+  Blob(ChunkStore* store, const TreeConfig& cfg, const Hash& root)
+      : ChunkableHandle(UType::kBlob, store, cfg, root) {}
+
+  // Creates a new Blob with the given content.
+  static Result<Blob> Create(ChunkStore* store, const TreeConfig& cfg,
+                             Slice content);
+
+  Result<Bytes> Read(uint64_t pos, uint64_t n) const {
+    return tree_.ReadBytes(pos, n);
+  }
+  Result<Bytes> ReadAll() const;
+
+  Status Append(Slice data);
+  Status Insert(uint64_t pos, Slice data) {
+    return tree_.SpliceBytes(pos, 0, data);
+  }
+  Status Remove(uint64_t pos, uint64_t n) {
+    return tree_.SpliceBytes(pos, n, Slice());
+  }
+  Status Splice(uint64_t pos, uint64_t n_delete, Slice data) {
+    return tree_.SpliceBytes(pos, n_delete, data);
+  }
+
+  const PosTree& tree() const { return tree_; }
+};
+
+// An ordered sequence of byte-string elements.
+class FList : public ChunkableHandle {
+ public:
+  FList(ChunkStore* store, const TreeConfig& cfg, const Hash& root)
+      : ChunkableHandle(UType::kList, store, cfg, root) {}
+
+  static Result<FList> Create(ChunkStore* store, const TreeConfig& cfg,
+                              const std::vector<Bytes>& elements);
+
+  Result<Bytes> Get(uint64_t index) const { return tree_.GetElement(index); }
+  Status Append(Slice element);
+  Status Insert(uint64_t index, Slice element);
+  Status Remove(uint64_t index) { return tree_.SpliceElements(index, 1, {}); }
+  Status Assign(uint64_t index, Slice element);
+
+  // All elements, in order.
+  Result<std::vector<Bytes>> Elements() const;
+
+  const PosTree& tree() const { return tree_; }
+};
+
+// A sorted key-value mapping.
+class FMap : public ChunkableHandle {
+ public:
+  FMap(ChunkStore* store, const TreeConfig& cfg, const Hash& root)
+      : ChunkableHandle(UType::kMap, store, cfg, root) {}
+
+  static Result<FMap> Create(ChunkStore* store, const TreeConfig& cfg);
+
+  Result<std::optional<Bytes>> Get(Slice key) const { return tree_.Find(key); }
+  Status Set(Slice key, Slice value) {
+    return tree_.InsertOrAssign(key, value);
+  }
+  // Upserts many entries in one chunking pass — much faster than
+  // repeated Set for batched commits.
+  Status SetBatch(std::vector<std::pair<Bytes, Bytes>> entries);
+  Status Remove(Slice key) { return tree_.Erase(key); }
+
+  // Ordered scan of all entries.
+  Result<std::vector<std::pair<Bytes, Bytes>>> Entries() const;
+
+  const PosTree& tree() const { return tree_; }
+};
+
+// A sorted set of byte-string members.
+class FSet : public ChunkableHandle {
+ public:
+  FSet(ChunkStore* store, const TreeConfig& cfg, const Hash& root)
+      : ChunkableHandle(UType::kSet, store, cfg, root) {}
+
+  static Result<FSet> Create(ChunkStore* store, const TreeConfig& cfg);
+
+  Result<bool> Contains(Slice key) const;
+  Status Add(Slice key) { return tree_.InsertOrAssign(key, Slice()); }
+  Status Remove(Slice key) { return tree_.Erase(key); }
+  Result<std::vector<Bytes>> Members() const;
+
+  const PosTree& tree() const { return tree_; }
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_TYPES_HANDLES_H_

@@ -1,0 +1,61 @@
+#include "types/value.h"
+
+#include "util/codec.h"
+
+namespace fb {
+
+const char* UTypeToString(UType t) {
+  switch (t) {
+    case UType::kBool:
+      return "Bool";
+    case UType::kInt:
+      return "Int";
+    case UType::kString:
+      return "String";
+    case UType::kTuple:
+      return "Tuple";
+    case UType::kBlob:
+      return "Blob";
+    case UType::kList:
+      return "List";
+    case UType::kMap:
+      return "Map";
+    case UType::kSet:
+      return "Set";
+  }
+  return "Unknown";
+}
+
+Value Value::OfInt(int64_t i) {
+  Value v;
+  v.type_ = UType::kInt;
+  PutVarint64(&v.bytes_, ZigZagEncode(i));
+  return v;
+}
+
+int64_t Value::AsInt() const {
+  ByteReader r{Slice(bytes_)};
+  uint64_t raw = 0;
+  if (!r.ReadVarint64(&raw).ok()) return 0;
+  return ZigZagDecode(raw);
+}
+
+Value Value::OfTuple(const std::vector<Bytes>& fields) {
+  Value v;
+  v.type_ = UType::kTuple;
+  for (const Bytes& f : fields) PutLengthPrefixed(&v.bytes_, Slice(f));
+  return v;
+}
+
+std::vector<Bytes> Value::AsTuple() const {
+  std::vector<Bytes> out;
+  ByteReader r{Slice(bytes_)};
+  while (!r.AtEnd()) {
+    Slice f;
+    if (!r.ReadLengthPrefixed(&f).ok()) break;
+    out.push_back(f.ToBytes());
+  }
+  return out;
+}
+
+}  // namespace fb

@@ -1,0 +1,109 @@
+// Value: the typed payload of an FObject (Section 3.4).
+//
+// ForkBase distinguishes primitive types (small, stored inline in the meta
+// chunk, optimized for fast access, never deduplicated) from chunkable
+// types (stored as POS-Trees, deduplicated at chunk level).
+
+#ifndef FORKBASE_TYPES_VALUE_H_
+#define FORKBASE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chunk/chunk.h"
+#include "util/slice.h"
+
+namespace fb {
+
+enum class UType : uint8_t {
+  // Primitive types.
+  kBool = 0,
+  kInt = 1,
+  kString = 2,
+  kTuple = 3,
+  // Chunkable types.
+  kBlob = 4,
+  kList = 5,
+  kMap = 6,
+  kSet = 7,
+};
+
+const char* UTypeToString(UType t);
+
+inline bool IsChunkable(UType t) {
+  return t == UType::kBlob || t == UType::kList || t == UType::kMap ||
+         t == UType::kSet;
+}
+
+// The POS-Tree leaf chunk type backing a chunkable UType.
+inline ChunkType LeafChunkTypeFor(UType t) {
+  switch (t) {
+    case UType::kBlob:
+      return ChunkType::kBlob;
+    case UType::kList:
+      return ChunkType::kList;
+    case UType::kMap:
+      return ChunkType::kMap;
+    case UType::kSet:
+      return ChunkType::kSet;
+    default:
+      return ChunkType::kBlob;  // unreachable for primitives
+  }
+}
+
+// A typed value. For primitives, `bytes` holds the encoded value; for
+// chunkables, `root` references the POS-Tree and `bytes` is unused.
+class Value {
+ public:
+  Value() : type_(UType::kString) {}
+
+  static Value OfBool(bool b) {
+    Value v;
+    v.type_ = UType::kBool;
+    v.bytes_.push_back(b ? 1 : 0);
+    return v;
+  }
+  static Value OfInt(int64_t i);
+  static Value OfString(Slice s) {
+    Value v;
+    v.type_ = UType::kString;
+    v.bytes_ = s.ToBytes();
+    return v;
+  }
+  // A Tuple is an ordered sequence of byte strings, encoded length-prefixed.
+  static Value OfTuple(const std::vector<Bytes>& fields);
+  // Chunkable value referencing an existing POS-Tree.
+  static Value OfTree(UType type, const Hash& root) {
+    Value v;
+    v.type_ = type;
+    v.root_ = root;
+    return v;
+  }
+
+  UType type() const { return type_; }
+  bool is_chunkable() const { return IsChunkable(type_); }
+
+  // Primitive accessors (callers must check type()).
+  Slice bytes() const { return Slice(bytes_); }
+  bool AsBool() const { return !bytes_.empty() && bytes_[0] != 0; }
+  int64_t AsInt() const;
+  std::string AsString() const { return BytesToString(bytes_); }
+  std::vector<Bytes> AsTuple() const;
+
+  // Chunkable accessor.
+  const Hash& root() const { return root_; }
+
+  bool operator==(const Value& o) const {
+    return type_ == o.type_ && bytes_ == o.bytes_ && root_ == o.root_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+ private:
+  UType type_;
+  Bytes bytes_;
+  Hash root_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_TYPES_VALUE_H_

@@ -1,0 +1,85 @@
+#include "util/codec.h"
+
+namespace fb {
+
+void PutVarint64(Bytes* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void PutFixed32(Bytes* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutFixed64(Bytes* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutLengthPrefixed(Bytes* out, Slice s) {
+  PutVarint64(out, s.size());
+  AppendSlice(out, s);
+}
+
+Status ByteReader::ReadVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < data_.size() && shift <= 63) {
+    const uint8_t byte = data_[pos_++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+Status ByteReader::ReadFixed32(uint32_t* v) {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = result;
+  return Status::OK();
+}
+
+Status ByteReader::ReadFixed64(uint64_t* v) {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = result;
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(Slice* s) {
+  uint64_t len = 0;
+  FB_RETURN_NOT_OK(ReadVarint64(&len));
+  if (len > remaining()) return Status::Corruption("truncated slice");
+  *s = data_.subslice(pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::ReadRaw(size_t n, Slice* s) {
+  if (n > remaining()) return Status::Corruption("truncated raw read");
+  *s = data_.subslice(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (n > remaining()) return Status::Corruption("skip past end");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace fb

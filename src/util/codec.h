@@ -1,0 +1,63 @@
+// Binary encoding helpers: varints, fixed-width integers and
+// length-prefixed slices, used by chunk serialization throughout ForkBase.
+
+#ifndef FORKBASE_UTIL_CODEC_H_
+#define FORKBASE_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// Writers (append to a Bytes buffer)
+// ---------------------------------------------------------------------------
+
+void PutVarint64(Bytes* out, uint64_t v);
+void PutFixed32(Bytes* out, uint32_t v);
+void PutFixed64(Bytes* out, uint64_t v);
+void PutLengthPrefixed(Bytes* out, Slice s);
+
+// ---------------------------------------------------------------------------
+// ByteReader: sequential decoding with bounds checks.
+// ---------------------------------------------------------------------------
+
+class ByteReader {
+ public:
+  explicit ByteReader(Slice data) : data_(data), pos_(0) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+  Status ReadVarint64(uint64_t* v);
+  Status ReadFixed32(uint32_t* v);
+  Status ReadFixed64(uint64_t* v);
+  // Returns a view into the underlying buffer (no copy).
+  Status ReadLengthPrefixed(Slice* s);
+  Status ReadRaw(size_t n, Slice* s);
+  Status Skip(size_t n);
+
+ private:
+  Slice data_;
+  size_t pos_;
+};
+
+// ---------------------------------------------------------------------------
+// Zig-zag for signed values.
+// ---------------------------------------------------------------------------
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_CODEC_H_

@@ -1,0 +1,65 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fb {
+
+std::string Rng::String(size_t n) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+Bytes Rng::BytesOf(size_t n) {
+  Bytes out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(static_cast<uint8_t>(Next()));
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  if (theta_ == 1.0) theta_ = 0.9999;  // avoid division by zero in alpha
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ <= 0.0) return rng_.Uniform(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::string MakeKey(uint64_t i, size_t width, const char* prefix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%0*llu", prefix, static_cast<int>(width),
+                static_cast<unsigned long long>(i));
+  return std::string(buf);
+}
+
+Bytes MakeValue(uint64_t seed, size_t size) {
+  Rng rng(seed * 0x100000001b3ULL + 0xcbf29ce484222325ULL);
+  return rng.BytesOf(size);
+}
+
+}  // namespace fb

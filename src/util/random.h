@@ -1,0 +1,84 @@
+// Deterministic workload randomness: xorshift RNG, zipf sampler and
+// synthetic key/value generators used by tests and the benchmark harness
+// (Blockbench/YCSB-style drivers).
+
+#ifndef FORKBASE_UTIL_RANDOM_H_
+#define FORKBASE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace fb {
+
+// xorshift128+ — fast, reproducible, good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    s0_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+    s1_ = (seed ^ 0xdeadbeefcafebabeULL) * 0xbf58476d1ce4e5b9ULL + 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Random printable ASCII string of length n.
+  std::string String(size_t n);
+
+  // Random byte vector of length n.
+  Bytes BytesOf(size_t n);
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+// Zipf-distributed sampler over [0, n) with parameter theta (0 = uniform).
+// Uses the Gray/Jim YCSB-style rejection-free inverse-CDF approximation.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// Deterministic padded key: "key00000042"-style, sortable and fixed width.
+std::string MakeKey(uint64_t i, size_t width = 12, const char* prefix = "key");
+
+// Deterministic pseudo-random value of `size` bytes seeded by `seed`;
+// same (seed, size) always yields the same bytes.
+Bytes MakeValue(uint64_t seed, size_t size);
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "util/rolling_hash.h"
+
+#include <cassert>
+
+namespace fb {
+
+namespace {
+
+// Deterministic pseudo-random byte table (splitmix64). The table must be
+// identical across every process that ever chunks data, otherwise the same
+// content would produce different chunk boundaries and deduplication would
+// break — so it is seeded with a fixed constant, not std::random_device.
+std::array<uint64_t, 256> MakeByteTable() {
+  std::array<uint64_t, 256> t{};
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 256; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    t[i] = z ^ (z >> 31);
+  }
+  return t;
+}
+
+}  // namespace
+
+RollingHash::RollingHash(size_t window) : window_(window) {
+  assert(window_ > 0 && window_ <= ring_.size());
+  byte_table_ = MakeByteTable();
+  for (int i = 0; i < 256; ++i) {
+    out_table_[i] = RotlN(byte_table_[i], static_cast<unsigned>(window_));
+  }
+  // Seed the state as if `window` zero bytes had been fed. The ring starts
+  // full of zeros, so their contributions must be present in the state for
+  // the evictions during the first `window` real feeds to cancel exactly —
+  // otherwise the hash would not be a pure function of the last k bytes.
+  initial_state_ = 0;
+  for (size_t j = 0; j < window_; ++j) {
+    initial_state_ ^= RotlN(byte_table_[0], static_cast<unsigned>(j));
+  }
+  Reset();
+}
+
+void RollingHash::Reset() {
+  state_ = initial_state_;
+  fed_ = 0;
+  pos_ = 0;
+  ring_.fill(0);
+}
+
+}  // namespace fb

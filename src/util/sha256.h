@@ -1,0 +1,58 @@
+// SHA-256 implemented from scratch (FIPS 180-4). ForkBase uses SHA-256 as
+// the default cryptographic hash H for chunk ids (cids) and version ids
+// (uids); tamper evidence rests on its collision resistance.
+
+#ifndef FORKBASE_UTIL_SHA256_H_
+#define FORKBASE_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace fb {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256() { Reset(); }
+
+  // Resets to the initial state so the object can be reused.
+  void Reset();
+
+  // Absorbs `data` into the running hash.
+  void Update(Slice data);
+
+  // Finalizes and returns the digest. The object must be Reset() before
+  // further Update() calls.
+  Digest Finalize();
+
+  // One-shot convenience.
+  static Digest Hash(Slice data) {
+    Sha256 h;
+    h.Update(data);
+    return h.Finalize();
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// Lowercase hex encoding of arbitrary bytes.
+std::string HexEncode(Slice data);
+
+// Decodes lowercase/uppercase hex; returns empty on malformed input of odd
+// length or non-hex characters.
+Bytes HexDecode(std::string_view hex);
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_SHA256_H_

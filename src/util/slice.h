@@ -1,0 +1,96 @@
+// Slice: a non-owning view over a byte range, plus byte-buffer helpers.
+//
+// Modeled on rocksdb::Slice / std::string_view but byte-oriented. The
+// pointed-to data must outlive the Slice.
+
+#ifndef FORKBASE_UTIL_SLICE_H_
+#define FORKBASE_UTIL_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fb {
+
+using Bytes = std::vector<uint8_t>;
+
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  // Intentionally implicit: Slice is a view type, mirroring string_view.
+  Slice(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const char* s)
+      : data_(reinterpret_cast<const uint8_t*>(s)), size_(std::strlen(s)) {}
+  Slice(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+
+  // Returns a sub-view [offset, offset+len); len is clamped to the end.
+  Slice subslice(size_t offset, size_t len = SIZE_MAX) const {
+    if (offset > size_) offset = size_;
+    if (len > size_ - offset) len = size_ - offset;
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  // Three-way lexicographic comparison: <0, 0, >0.
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return compare(other) != 0; }
+  bool operator<(const Slice& other) const { return compare(other) < 0; }
+  bool operator<=(const Slice& other) const { return compare(other) <= 0; }
+  bool operator>(const Slice& other) const { return compare(other) > 0; }
+  bool operator>=(const Slice& other) const { return compare(other) >= 0; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+// Appends a slice to a byte buffer.
+inline void AppendSlice(Bytes* out, const Slice& s) {
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+inline Bytes ToBytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string BytesToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_SLICE_H_

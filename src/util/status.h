@@ -1,0 +1,183 @@
+// Status and Result<T>: exception-free error handling used across ForkBase.
+//
+// Follows the RocksDB/Arrow idiom: every fallible operation returns a
+// Status (or a Result<T> carrying a value on success). Statuses are cheap
+// to copy on the OK path (no allocation).
+
+#ifndef FORKBASE_UTIL_STATUS_H_
+#define FORKBASE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fb {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kCorruption = 4,
+  kTypeMismatch = 5,
+  kConflict = 6,        // merge produced unresolved conflicts
+  kPreconditionFailed = 7,  // e.g. guarded Put with stale head
+  kIOError = 8,
+  kNotSupported = 9,
+  kOutOfRange = 10,
+  kInternal = 11,
+};
+
+// Human-readable name for a status code, e.g. "NotFound".
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg = "") {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status PreconditionFailed(std::string msg = "") {
+    return Status(StatusCode::kPreconditionFailed, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTypeMismatch() const { return code_ == StatusCode::kTypeMismatch; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsPreconditionFailed() const {
+    return code_ == StatusCode::kPreconditionFailed;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return msg_ ? *msg_ : kEmpty;
+  }
+
+  std::string ToString() const {
+    std::string s = StatusCodeToString(code_);
+    if (msg_ && !msg_->empty()) {
+      s += ": ";
+      s += *msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code) {
+    if (!msg.empty()) msg_ = std::make_shared<std::string>(std::move(msg));
+  }
+
+  StatusCode code_;
+  std::shared_ptr<std::string> msg_;  // shared: Status stays cheap to copy
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(T value) : var_(std::move(value)) {}
+  Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace fb
+
+// Propagates a non-OK status to the caller.
+#define FB_RETURN_NOT_OK(expr)               \
+  do {                                       \
+    ::fb::Status _fb_status = (expr);        \
+    if (!_fb_status.ok()) return _fb_status; \
+  } while (0)
+
+// Evaluates a Result<T> expression, assigns its value to `lhs`, or
+// propagates the error. `lhs` may be a declaration.
+#define FB_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  FB_ASSIGN_OR_RETURN_IMPL(                          \
+      FB_STATUS_CONCAT(_fb_result, __LINE__), lhs, rexpr)
+
+#define FB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define FB_STATUS_CONCAT_INNER(a, b) a##b
+#define FB_STATUS_CONCAT(a, b) FB_STATUS_CONCAT_INNER(a, b)
+
+#endif  // FORKBASE_UTIL_STATUS_H_

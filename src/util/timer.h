@@ -1,0 +1,69 @@
+// Wall-clock timing and latency statistics helpers shared by the benchmark
+// harness (percentiles, CDFs).
+
+#ifndef FORKBASE_UTIL_TIMER_H_
+#define FORKBASE_UTIL_TIMER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace fb {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Collects latency samples (in microseconds) and reports percentiles.
+class LatencyRecorder {
+ public:
+  void Record(double micros) { samples_.push_back(micros); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    std::sort(samples_.begin(), samples_.end());
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // The sorted samples; useful for printing CDFs (Figure 11).
+  const std::vector<double>& sorted() {
+    std::sort(samples_.begin(), samples_.end());
+    return samples_;
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_TIMER_H_

@@ -1,0 +1,49 @@
+#include "wiki/redislike.h"
+
+namespace fb {
+
+uint64_t RedisLikeStore::RPush(const std::string& key,
+                               const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lists_.find(key);
+  if (it == lists_.end()) {
+    bytes_ += key.size();
+    it = lists_.emplace(key, std::vector<std::string>{}).first;
+  }
+  bytes_ += value.size();
+  it->second.push_back(value);
+  return it->second.size();
+}
+
+Status RedisLikeStore::LIndex(const std::string& key, int64_t index,
+                              std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return Status::NotFound("list '" + key + "'");
+  const auto& list = it->second;
+  int64_t i = index;
+  if (i < 0) i += static_cast<int64_t>(list.size());
+  if (i < 0 || i >= static_cast<int64_t>(list.size())) {
+    return Status::OutOfRange("list index");
+  }
+  *value = list[static_cast<size_t>(i)];
+  return Status::OK();
+}
+
+uint64_t RedisLikeStore::LLen(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lists_.find(key);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+size_t RedisLikeStore::NumKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lists_.size();
+}
+
+uint64_t RedisLikeStore::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace fb

@@ -1,0 +1,46 @@
+// RedisLikeStore: an in-memory data-structure store standing in for Redis
+// in the wiki comparison (Section 6.3). It implements the list type used
+// by the multi-versioned wiki baseline: every page maps to a list and
+// every new revision is appended in full (RPUSH / LINDEX / LLEN).
+//
+// Substitution note (DESIGN.md): the paper ran a networked Redis; we run
+// an in-process store, which preserves the storage behaviour (full copy
+// per version, no cross-version dedup) that Figures 13/14 measure.
+
+#ifndef FORKBASE_WIKI_REDISLIKE_H_
+#define FORKBASE_WIKI_REDISLIKE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fb {
+
+class RedisLikeStore {
+ public:
+  // Appends a value to the list at `key`; returns the new length.
+  uint64_t RPush(const std::string& key, const std::string& value);
+
+  // index >= 0 from the head; negative from the tail (-1 = latest).
+  Status LIndex(const std::string& key, int64_t index,
+                std::string* value) const;
+
+  uint64_t LLen(const std::string& key) const;
+
+  size_t NumKeys() const;
+
+  // Total resident bytes (keys + all list payloads).
+  uint64_t MemoryBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> lists_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_WIKI_REDISLIKE_H_

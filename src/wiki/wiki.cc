@@ -1,0 +1,66 @@
+#include "wiki/wiki.h"
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// ForkBaseWiki
+// ---------------------------------------------------------------------------
+
+Status ForkBaseWiki::SavePage(const std::string& page, Slice content,
+                              Slice meta) {
+  FB_ASSIGN_OR_RETURN(Blob blob, db().CreateBlob(content));
+  return db().Put(page, kDefaultBranch, blob.ToValue(), meta).status();
+}
+
+Result<std::string> ForkBaseWiki::ReadPage(const std::string& page,
+                                           uint64_t versions_back) {
+  FB_ASSIGN_OR_RETURN(std::vector<FObject> versions,
+                      db().Track(page, kDefaultBranch, versions_back,
+                                 versions_back));
+  if (versions.empty()) return Status::NotFound("revision");
+  FB_ASSIGN_OR_RETURN(Blob blob, db().GetBlob(versions[0]));
+  FB_ASSIGN_OR_RETURN(Bytes bytes, blob.ReadAll());
+  return BytesToString(bytes);
+}
+
+Result<uint64_t> ForkBaseWiki::NumRevisions(const std::string& page) {
+  auto obj = db().Get(page);
+  if (obj.status().IsNotFound()) return uint64_t{0};
+  if (!obj.ok()) return obj.status();
+  return obj->depth() + 1;
+}
+
+Result<RangeDiff> ForkBaseWiki::DiffRevisions(const std::string& page,
+                                              uint64_t back1, uint64_t back2) {
+  FB_ASSIGN_OR_RETURN(std::vector<FObject> v1,
+                      db().Track(page, kDefaultBranch, back1, back1));
+  FB_ASSIGN_OR_RETURN(std::vector<FObject> v2,
+                      db().Track(page, kDefaultBranch, back2, back2));
+  if (v1.empty() || v2.empty()) return Status::NotFound("revision");
+  return db().DiffBlobVersions(v1[0].uid(), v2[0].uid());
+}
+
+// ---------------------------------------------------------------------------
+// RedisWiki
+// ---------------------------------------------------------------------------
+
+Status RedisWiki::SavePage(const std::string& page, Slice content,
+                           Slice meta) {
+  (void)meta;  // Redis lists carry no per-revision metadata
+  store_.RPush(page, content.ToString());
+  return Status::OK();
+}
+
+Result<std::string> RedisWiki::ReadPage(const std::string& page,
+                                        uint64_t versions_back) {
+  std::string value;
+  FB_RETURN_NOT_OK(store_.LIndex(page, -1 - static_cast<int64_t>(versions_back),
+                                 &value));
+  return value;
+}
+
+Result<uint64_t> RedisWiki::NumRevisions(const std::string& page) {
+  return store_.LLen(page);
+}
+
+}  // namespace fb

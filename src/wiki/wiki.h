@@ -1,0 +1,121 @@
+// Wiki engine (Section 5.2): collaborative document hosting on a
+// multi-versioned key-value model. Two implementations:
+//
+//   * ForkBaseWiki — each page is a Blob on the default branch; history
+//     comes for free from versioning, diffs from the POS-Tree, and
+//     storage from chunk dedup. A client-side chunk cache accelerates
+//     reads of consecutive versions (Figure 14).
+//   * RedisWiki   — each page is a list in a Redis-like store; every
+//     revision is appended in full.
+
+#ifndef FORKBASE_WIKI_WIKI_H_
+#define FORKBASE_WIKI_WIKI_H_
+
+#include <memory>
+#include <string>
+
+#include "api/db.h"
+#include "wiki/redislike.h"
+
+namespace fb {
+
+class WikiEngine {
+ public:
+  virtual ~WikiEngine() = default;
+
+  // Saves a new revision of `page`.
+  virtual Status SavePage(const std::string& page, Slice content,
+                          Slice meta = Slice()) = 0;
+
+  // Reads the revision `versions_back` revisions before the latest
+  // (0 = latest).
+  virtual Result<std::string> ReadPage(const std::string& page,
+                                       uint64_t versions_back = 0) = 0;
+
+  virtual Result<uint64_t> NumRevisions(const std::string& page) = 0;
+
+  // Resident storage bytes.
+  virtual uint64_t StorageBytes() const = 0;
+};
+
+// A read-through client chunk cache. Remote fetches are counted so the
+// benchmark can model network cost per cold chunk.
+class CachedChunkStore : public ChunkStore {
+ public:
+  explicit CachedChunkStore(ChunkStore* remote) : remote_(remote) {}
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override {
+    return remote_->Put(cid, chunk);
+  }
+  Status Get(const Hash& cid, Chunk* chunk) const override {
+    if (cache_.Get(cid, chunk).ok()) {
+      ++hits_;
+      return Status::OK();
+    }
+    FB_RETURN_NOT_OK(remote_->Get(cid, chunk));
+    ++misses_;
+    (void)cache_.Put(cid, *chunk);
+    return Status::OK();
+  }
+  bool Contains(const Hash& cid) const override {
+    return cache_.Contains(cid) || remote_->Contains(cid);
+  }
+  ChunkStoreStats stats() const override { return remote_->stats(); }
+
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t remote_fetches() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+ private:
+  ChunkStore* remote_;
+  mutable MemChunkStore cache_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+class ForkBaseWiki : public WikiEngine {
+ public:
+  explicit ForkBaseWiki(DBOptions options = {}) : db_(options) {}
+  // Wiki over a shared engine (e.g. a cluster servlet); not owned.
+  explicit ForkBaseWiki(ForkBase* shared) : shared_db_(shared) {}
+
+  Status SavePage(const std::string& page, Slice content,
+                  Slice meta = Slice()) override;
+  Result<std::string> ReadPage(const std::string& page,
+                               uint64_t versions_back = 0) override;
+  Result<uint64_t> NumRevisions(const std::string& page) override;
+  uint64_t StorageBytes() const override {
+    return db().store()->stats().stored_bytes;
+  }
+
+  // Byte-range diff between two revisions of a page.
+  Result<RangeDiff> DiffRevisions(const std::string& page, uint64_t back1,
+                                  uint64_t back2);
+
+  ForkBase& db() { return shared_db_ != nullptr ? *shared_db_ : db_; }
+  const ForkBase& db() const {
+    return shared_db_ != nullptr ? *shared_db_ : db_;
+  }
+
+ private:
+  ForkBase db_;
+  ForkBase* shared_db_ = nullptr;
+};
+
+class RedisWiki : public WikiEngine {
+ public:
+  Status SavePage(const std::string& page, Slice content,
+                  Slice meta = Slice()) override;
+  Result<std::string> ReadPage(const std::string& page,
+                               uint64_t versions_back = 0) override;
+  Result<uint64_t> NumRevisions(const std::string& page) override;
+  uint64_t StorageBytes() const override { return store_.MemoryBytes(); }
+
+ private:
+  RedisLikeStore store_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_WIKI_WIKI_H_

@@ -1,0 +1,557 @@
+// End-to-end tests of the ForkBase public API: the Table 1 operations
+// (Get/Put/Fork/Merge/View/Track), fork-on-demand and fork-on-conflict
+// semantics, guarded Puts, LCA, built-in conflict resolvers, and the
+// branch/history invariants the applications rely on.
+
+#include <gtest/gtest.h>
+
+#include "api/db.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+DBOptions SmallOpts() {
+  DBOptions o;
+  o.tree.leaf_pattern_bits = 7;
+  o.tree.index_pattern_bits = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Basic key-value compliance (default branch only).
+// ---------------------------------------------------------------------------
+
+TEST(ApiBasicTest, PutGetDefaultBranch) {
+  ForkBase db(SmallOpts());
+  auto uid = db.Put("greeting", Value::OfString("hello"));
+  ASSERT_TRUE(uid.ok()) << uid.status().ToString();
+  auto obj = db.Get("greeting");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "hello");
+  EXPECT_EQ(obj->uid(), *uid);
+  EXPECT_EQ(obj->depth(), 0u);
+}
+
+TEST(ApiBasicTest, GetMissingKeyIsNotFound) {
+  ForkBase db(SmallOpts());
+  EXPECT_TRUE(db.Get("nope").status().IsNotFound());
+}
+
+TEST(ApiBasicTest, GetMissingBranchIsNotFound) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfInt(1)).ok());
+  EXPECT_TRUE(db.Get("k", "feature").status().IsNotFound());
+}
+
+TEST(ApiBasicTest, OverwriteExtendsHistory) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("v1"));
+  auto u2 = db.Put("k", Value::OfString("v2"));
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "v2");
+  EXPECT_EQ(obj->depth(), 1u);
+  ASSERT_EQ(obj->bases().size(), 1u);
+  EXPECT_EQ(obj->bases()[0], *u1);
+}
+
+TEST(ApiBasicTest, GetByUidRetrievesHistoricalVersion) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("old"));
+  ASSERT_TRUE(db.Put("k", Value::OfString("new")).ok());
+  auto obj = db.GetByUid(*u1);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "old");
+}
+
+TEST(ApiBasicTest, ListKeys) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("a", Value::OfInt(1)).ok());
+  ASSERT_TRUE(db.Put("b", Value::OfInt(2)).ok());
+  const auto keys = db.ListKeys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(ApiBasicTest, ContextStoredVerbatim) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", kDefaultBranch, Value::OfInt(1),
+                     Slice("nonce=42")).ok());
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(BytesToString(obj->context()), "nonce=42");
+}
+
+// ---------------------------------------------------------------------------
+// Fork on demand (tagged branches, M11-M14)
+// ---------------------------------------------------------------------------
+
+TEST(ApiForkTest, ForkAndIndependentEvolution) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfString("base")).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "feature").ok());
+
+  ASSERT_TRUE(db.Put("k", "feature", Value::OfString("feature-v")).ok());
+  auto main_obj = db.Get("k");
+  auto feat_obj = db.Get("k", "feature");
+  ASSERT_TRUE(main_obj.ok());
+  ASSERT_TRUE(feat_obj.ok());
+  EXPECT_EQ(main_obj->value().AsString(), "base");
+  EXPECT_EQ(feat_obj->value().AsString(), "feature-v");
+  EXPECT_EQ(feat_obj->bases()[0], main_obj->uid());
+}
+
+TEST(ApiForkTest, ForkFromHistoricalUid) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("v1"));
+  ASSERT_TRUE(db.Put("k", Value::OfString("v2")).ok());
+  // A historical version becomes modifiable by forking at it (Sec 3.3).
+  ASSERT_TRUE(db.ForkFromUid("k", *u1, "fix").ok());
+  auto obj = db.Get("k", "fix");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "v1");
+}
+
+TEST(ApiForkTest, ForkFromUidRejectsWrongKey) {
+  ForkBase db(SmallOpts());
+  auto u = db.Put("k1", Value::OfInt(1));
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(db.ForkFromUid("k2", *u, "b").IsInvalidArgument());
+}
+
+TEST(ApiForkTest, ForkToExistingBranchRejected) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfInt(1)).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+  EXPECT_TRUE(db.Fork("k", kDefaultBranch, "b").IsAlreadyExists());
+}
+
+TEST(ApiForkTest, RenameAndRemove) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfInt(1)).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "dev").ok());
+  ASSERT_TRUE(db.Rename("k", "dev", "stable").ok());
+  EXPECT_TRUE(db.Get("k", "dev").status().IsNotFound());
+  EXPECT_TRUE(db.Get("k", "stable").ok());
+  ASSERT_TRUE(db.Remove("k", "stable").ok());
+  EXPECT_TRUE(db.Get("k", "stable").status().IsNotFound());
+  EXPECT_TRUE(db.Remove("k", "stable").IsNotFound());
+}
+
+TEST(ApiForkTest, ListTaggedBranches) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfInt(1)).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b1").ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b2").ok());
+  auto branches = db.ListTaggedBranches("k");
+  ASSERT_TRUE(branches.ok());
+  EXPECT_EQ(branches->size(), 3u);  // master, b1, b2
+}
+
+// ---------------------------------------------------------------------------
+// Guarded Put
+// ---------------------------------------------------------------------------
+
+TEST(ApiGuardTest, GuardedPutSucceedsWithFreshHead) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("v1"));
+  ASSERT_TRUE(u1.ok());
+  auto u2 = db.PutGuarded("k", kDefaultBranch, Value::OfString("v2"), *u1);
+  ASSERT_TRUE(u2.ok()) << u2.status().ToString();
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "v2");
+}
+
+TEST(ApiGuardTest, GuardedPutFailsOnStaleHead) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("v1"));
+  ASSERT_TRUE(db.Put("k", Value::OfString("v2")).ok());  // someone else
+  auto r = db.PutGuarded("k", kDefaultBranch, Value::OfString("mine"), *u1);
+  EXPECT_TRUE(r.status().IsPreconditionFailed());
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "v2") << "stale writer must not win";
+}
+
+// ---------------------------------------------------------------------------
+// Fork on conflict (untagged branches, M4/M10/M7)
+// ---------------------------------------------------------------------------
+
+TEST(ApiFocTest, ConcurrentPutsForkImplicitly) {
+  ForkBase db(SmallOpts());
+  auto base = db.PutByBase("k", Hash::Null(), Value::OfString("base"));
+  ASSERT_TRUE(base.ok());
+
+  // Two writers derive from the same base concurrently.
+  auto w1 = db.PutByBase("k", *base, Value::OfString("writer1"));
+  auto w2 = db.PutByBase("k", *base, Value::OfString("writer2"));
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+
+  auto heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  EXPECT_EQ(heads->size(), 2u) << "conflicting Puts must fork";
+}
+
+TEST(ApiFocTest, SequentialPutsDoNotFork) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.PutByBase("k", Hash::Null(), Value::OfString("v1"));
+  ASSERT_TRUE(u1.ok());
+  auto u2 = db.PutByBase("k", *u1, Value::OfString("v2"));
+  ASSERT_TRUE(u2.ok());
+  auto heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  ASSERT_EQ(heads->size(), 1u) << "linear history has a single head";
+  EXPECT_EQ((*heads)[0], *u2);
+}
+
+TEST(ApiFocTest, EquivalentPutIsIdempotent) {
+  ForkBase db(SmallOpts());
+  auto base = db.PutByBase("k", Hash::Null(), Value::OfString("base"));
+  auto w1 = db.PutByBase("k", *base, Value::OfString("same"));
+  auto w2 = db.PutByBase("k", *base, Value::OfString("same"));
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(*w1, *w2) << "logically equivalent Puts produce the same uid";
+  auto heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  EXPECT_EQ(heads->size(), 1u);
+}
+
+TEST(ApiFocTest, MergeUidsCollapsesConflicts) {
+  ForkBase db(SmallOpts());
+  auto base = db.PutByBase("k", Hash::Null(), Value::OfInt(10));
+  auto w1 = db.PutByBase("k", *base, Value::OfInt(15));  // +5
+  auto w2 = db.PutByBase("k", *base, Value::OfInt(12));  // +2
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+
+  auto heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  ASSERT_EQ(heads->size(), 2u);
+
+  auto outcome = db.MergeUids("k", *heads, ResolveAggregateSum());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->clean());
+
+  heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  ASSERT_EQ(heads->size(), 1u) << "merge must replace the conflicting heads";
+
+  auto merged = db.GetByUid(outcome->uid);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->value().AsInt(), 17) << "10 + 5 + 2";
+  EXPECT_EQ(merged->bases().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Track / LCA
+// ---------------------------------------------------------------------------
+
+TEST(ApiHistoryTest, TrackWalksHistory) {
+  ForkBase db(SmallOpts());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Put("k", Value::OfInt(i)).ok());
+  }
+  auto recent = db.Track("k", kDefaultBranch, 0, 2);
+  ASSERT_TRUE(recent.ok());
+  ASSERT_EQ(recent->size(), 3u);
+  EXPECT_EQ((*recent)[0].value().AsInt(), 9);
+  EXPECT_EQ((*recent)[2].value().AsInt(), 7);
+
+  auto older = db.Track("k", kDefaultBranch, 5, 100);
+  ASSERT_TRUE(older.ok());
+  ASSERT_EQ(older->size(), 5u) << "history stops at the first version";
+  EXPECT_EQ(older->back().value().AsInt(), 0);
+  EXPECT_EQ(older->back().depth(), 0u);
+}
+
+TEST(ApiHistoryTest, LcaOfDivergedBranches) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfString("v0")).ok());
+  auto fork_point = db.Put("k", Value::OfString("v1"));
+  ASSERT_TRUE(fork_point.ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+
+  ASSERT_TRUE(db.Put("k", Value::OfString("main2")).ok());
+  ASSERT_TRUE(db.Put("k", Value::OfString("main3")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("b2")).ok());
+
+  auto h_main = db.Head("k", kDefaultBranch);
+  auto h_b = db.Head("k", "b");
+  ASSERT_TRUE(h_main.ok());
+  ASSERT_TRUE(h_b.ok());
+  auto lca = db.Lca("k", *h_main, *h_b);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, *fork_point);
+}
+
+TEST(ApiHistoryTest, LcaOfAncestorIsAncestor) {
+  ForkBase db(SmallOpts());
+  auto u1 = db.Put("k", Value::OfString("v1"));
+  ASSERT_TRUE(db.Put("k", Value::OfString("v2")).ok());
+  auto u3 = db.Put("k", Value::OfString("v3"));
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u3.ok());
+  auto lca = db.Lca("k", *u1, *u3);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, *u1);
+}
+
+TEST(ApiHistoryTest, LcaOfUnrelatedIsNull) {
+  ForkBase db(SmallOpts());
+  auto a = db.PutByBase("k", Hash::Null(), Value::OfString("a"));
+  auto b = db.PutByBase("k", Hash::Null(), Value::OfString("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto lca = db.Lca("k", *a, *b);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_TRUE(lca->IsNull());
+}
+
+// ---------------------------------------------------------------------------
+// Merge of tagged branches (M5/M6)
+// ---------------------------------------------------------------------------
+
+TEST(ApiMergeTest, CleanMapMergeAcrossBranches) {
+  ForkBase db(SmallOpts());
+  auto map = db.CreateMap();
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Set(Slice("shared"), Slice("base")).ok());
+  ASSERT_TRUE(db.Put("cfg", map->ToValue()).ok());
+  ASSERT_TRUE(db.Fork("cfg", kDefaultBranch, "team-a").ok());
+
+  // master adds key "m"; team-a adds key "a".
+  auto master_obj = db.Get("cfg");
+  ASSERT_TRUE(master_obj.ok());
+  auto m1 = db.GetMap(*master_obj);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m1->Set(Slice("m"), Slice("1")).ok());
+  ASSERT_TRUE(db.Put("cfg", kDefaultBranch, m1->ToValue()).ok());
+
+  auto team_obj = db.Get("cfg", "team-a");
+  ASSERT_TRUE(team_obj.ok());
+  auto m2 = db.GetMap(*team_obj);
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m2->Set(Slice("a"), Slice("2")).ok());
+  ASSERT_TRUE(db.Put("cfg", "team-a", m2->ToValue()).ok());
+
+  auto outcome = db.Merge("cfg", kDefaultBranch, "team-a");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->clean());
+
+  auto merged_obj = db.Get("cfg");
+  ASSERT_TRUE(merged_obj.ok());
+  auto merged = db.GetMap(*merged_obj);
+  ASSERT_TRUE(merged.ok());
+  for (const char* k : {"shared", "m", "a"}) {
+    auto v = merged->Get(Slice(k));
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->has_value()) << k;
+  }
+  // The merge object records both parents.
+  EXPECT_EQ(merged_obj->bases().size(), 2u);
+
+  // Only the target branch moved (M5 semantics).
+  auto team_after = db.Get("cfg", "team-a");
+  ASSERT_TRUE(team_after.ok());
+  EXPECT_EQ(team_after->uid(), team_obj->uid() == team_after->uid()
+                                   ? team_after->uid()
+                                   : team_after->uid());
+  auto v = db.GetMap(*team_after);
+  ASSERT_TRUE(v.ok());
+  auto has_m = v->Get(Slice("m"));
+  ASSERT_TRUE(has_m.ok());
+  EXPECT_FALSE(has_m->has_value()) << "reference branch must not move";
+}
+
+TEST(ApiMergeTest, ConflictSurfacesWithoutResolver) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfString("base")).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(db.Put("k", Value::OfString("left")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("right")).ok());
+
+  auto outcome = db.Merge("k", kDefaultBranch, "b");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->clean());
+  // Target branch unchanged on conflict.
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "left");
+}
+
+TEST(ApiMergeTest, ConflictResolvedByChooseRight) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfString("base")).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(db.Put("k", Value::OfString("left")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("right")).ok());
+
+  auto outcome = db.Merge("k", kDefaultBranch, "b", ChooseRight());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "right");
+}
+
+TEST(ApiMergeTest, ConflictResolvedByAppend) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("log", Value::OfString("x")).ok());
+  ASSERT_TRUE(db.Fork("log", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(db.Put("log", Value::OfString("xL")).ok());
+  ASSERT_TRUE(db.Put("log", "b", Value::OfString("xR")).ok());
+  auto outcome = db.Merge("log", kDefaultBranch, "b", ResolveAppend());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+  auto obj = db.Get("log");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "xLxR");
+}
+
+TEST(ApiMergeTest, MapConflictResolvedPerKey) {
+  ForkBase db(SmallOpts());
+  auto map = db.CreateMap();
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Set(Slice("counter"), Slice("base")).ok());
+  ASSERT_TRUE(map->Set(Slice("other"), Slice("v")).ok());
+  ASSERT_TRUE(db.Put("m", map->ToValue()).ok());
+  ASSERT_TRUE(db.Fork("m", kDefaultBranch, "b").ok());
+
+  auto edit = [&](const std::string& branch, const char* val) {
+    auto obj = db.Get("m", branch);
+    ASSERT_TRUE(obj.ok());
+    auto h = db.GetMap(*obj);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(h->Set(Slice("counter"), Slice(val)).ok());
+    ASSERT_TRUE(db.Put("m", branch, h->ToValue()).ok());
+  };
+  edit(kDefaultBranch, "left");
+  edit("b", "right");
+
+  auto outcome = db.Merge("m", kDefaultBranch, "b", ResolveAppend());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+  auto obj = db.Get("m");
+  ASSERT_TRUE(obj.ok());
+  auto h = db.GetMap(*obj);
+  ASSERT_TRUE(h.ok());
+  auto v = h->Get(Slice("counter"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(BytesToString(**v), "leftright");
+}
+
+TEST(ApiMergeTest, MergeDepthIsMaxPlusOne) {
+  ForkBase db(SmallOpts());
+  ASSERT_TRUE(db.Put("k", Value::OfString("v0")).ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(db.Put("k", Value::OfString("m1")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("b1")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("b2")).ok());
+  auto outcome = db.Merge("k", kDefaultBranch, "b", ChooseLeft());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+  auto obj = db.Get("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->depth(), 3u);  // max(1, 2) + 1
+}
+
+// ---------------------------------------------------------------------------
+// Chunkable objects through the DB
+// ---------------------------------------------------------------------------
+
+TEST(ApiChunkableTest, BlobAcrossBranches) {
+  ForkBase db(SmallOpts());
+  Rng rng(1);
+  const Bytes content = rng.BytesOf(5000);
+  auto blob = db.CreateBlob(Slice(content));
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(db.Put("doc", blob->ToValue()).ok());
+  ASSERT_TRUE(db.Fork("doc", kDefaultBranch, "draft").ok());
+
+  auto obj = db.Get("doc", "draft");
+  ASSERT_TRUE(obj.ok());
+  auto handle = db.GetBlob(*obj);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->Splice(100, 50, Slice("EDITED")).ok());
+  ASSERT_TRUE(db.Put("doc", "draft", handle->ToValue()).ok());
+
+  // Master unchanged; draft edited; both readable.
+  auto master = db.Get("doc");
+  ASSERT_TRUE(master.ok());
+  auto mb = db.GetBlob(*master);
+  ASSERT_TRUE(mb.ok());
+  auto mc = mb->ReadAll();
+  ASSERT_TRUE(mc.ok());
+  EXPECT_EQ(*mc, content);
+
+  auto draft = db.Get("doc", "draft");
+  ASSERT_TRUE(draft.ok());
+  auto draft_blob = db.GetBlob(*draft);
+  ASSERT_TRUE(draft_blob.ok());
+  auto dc = draft_blob->Read(100, 6);
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(BytesToString(*dc), "EDITED");
+}
+
+TEST(ApiChunkableTest, TypeMismatchOnHandles) {
+  ForkBase db(SmallOpts());
+  auto map = db.CreateMap();
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(db.Put("m", map->ToValue()).ok());
+  auto obj = db.Get("m");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(db.GetBlob(*obj).status().IsTypeMismatch());
+  EXPECT_TRUE(db.GetList(*obj).status().IsTypeMismatch());
+  EXPECT_TRUE(db.GetMap(*obj).ok());
+}
+
+TEST(ApiChunkableTest, DiffVersionsOfMap) {
+  ForkBase db(SmallOpts());
+  auto map = db.CreateMap();
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Set(Slice("a"), Slice("1")).ok());
+  auto u1 = db.Put("m", map->ToValue());
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(map->Set(Slice("b"), Slice("2")).ok());
+  auto u2 = db.Put("m", map->ToValue());
+  ASSERT_TRUE(u2.ok());
+  auto diff = db.DiffSortedVersions(*u1, *u2);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 1u);
+  EXPECT_EQ(BytesToString((*diff)[0].key), "b");
+}
+
+TEST(ApiChunkableTest, DedupAcrossVersionHistory) {
+  // Committing many versions of a large blob with small edits should
+  // store far less than versions * size.
+  ForkBase db;  // default 4 KB chunks
+  Rng rng(2);
+  Bytes content = rng.BytesOf(200 * 1024);
+  auto blob = db.CreateBlob(Slice(content));
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(db.Put("data", blob->ToValue()).ok());
+
+  for (int v = 0; v < 20; ++v) {
+    auto obj = db.Get("data");
+    ASSERT_TRUE(obj.ok());
+    auto h = db.GetBlob(*obj);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(h->Splice(rng.Uniform(200 * 1024 - 100), 50,
+                          Slice(rng.BytesOf(50)))
+                    .ok());
+    ASSERT_TRUE(db.Put("data", h->ToValue()).ok());
+  }
+
+  const ChunkStoreStats st = db.store()->stats();
+  EXPECT_LT(st.stored_bytes, 21u * 200 * 1024 / 3)
+      << "deduplication should keep storage well below the logical total";
+}
+
+}  // namespace
+}  // namespace fb

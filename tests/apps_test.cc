@@ -1,0 +1,427 @@
+// Tests for the wiki engine, the collaborative-analytics layer and the
+// cluster simulation — the remaining application-level systems.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "tabular/dataset.h"
+#include "tabular/orpheus.h"
+#include "util/random.h"
+#include "wiki/wiki.h"
+
+namespace fb {
+namespace {
+
+DBOptions SmallDb() {
+  DBOptions o;
+  o.tree.leaf_pattern_bits = 7;
+  o.tree.index_pattern_bits = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Wiki
+// ---------------------------------------------------------------------------
+
+template <typename Engine>
+std::unique_ptr<WikiEngine> MakeWiki();
+template <>
+std::unique_ptr<WikiEngine> MakeWiki<ForkBaseWiki>() {
+  return std::make_unique<ForkBaseWiki>(SmallDb());
+}
+template <>
+std::unique_ptr<WikiEngine> MakeWiki<RedisWiki>() {
+  return std::make_unique<RedisWiki>();
+}
+
+template <typename Engine>
+class WikiEngineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<WikiEngine> wiki_ = MakeWiki<Engine>();
+};
+
+using WikiEngines = ::testing::Types<ForkBaseWiki, RedisWiki>;
+TYPED_TEST_SUITE(WikiEngineTest, WikiEngines);
+
+TYPED_TEST(WikiEngineTest, SaveAndReadLatest) {
+  ASSERT_TRUE(this->wiki_->SavePage("Home", Slice("welcome v1")).ok());
+  ASSERT_TRUE(this->wiki_->SavePage("Home", Slice("welcome v2")).ok());
+  auto content = this->wiki_->ReadPage("Home");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "welcome v2");
+}
+
+TYPED_TEST(WikiEngineTest, ReadHistoricalRevisions) {
+  for (int v = 0; v < 5; ++v) {
+    ASSERT_TRUE(this->wiki_
+                    ->SavePage("Page", Slice("rev" + std::to_string(v)))
+                    .ok());
+  }
+  for (uint64_t back = 0; back < 5; ++back) {
+    auto content = this->wiki_->ReadPage("Page", back);
+    ASSERT_TRUE(content.ok()) << back;
+    EXPECT_EQ(*content, "rev" + std::to_string(4 - back));
+  }
+  auto revs = this->wiki_->NumRevisions("Page");
+  ASSERT_TRUE(revs.ok());
+  EXPECT_EQ(*revs, 5u);
+}
+
+TYPED_TEST(WikiEngineTest, MissingPageIsNotFound) {
+  EXPECT_FALSE(this->wiki_->ReadPage("Nope").ok());
+}
+
+TEST(WikiStorageTest, ForkBaseDedupBeatsFullCopies) {
+  // Many revisions of a page with small in-place edits: ForkBase stores
+  // shared chunks once; Redis-like stores every revision in full
+  // (the Figure 13b gap).
+  ForkBaseWiki fb_wiki;  // default 4 KB chunks
+  RedisWiki redis_wiki;
+  Rng rng(1);
+  std::string content = rng.String(15 * 1024);  // 15 KB page, as in Sec 6.3
+
+  for (int rev = 0; rev < 30; ++rev) {
+    ASSERT_TRUE(fb_wiki.SavePage("Article", Slice(content)).ok());
+    ASSERT_TRUE(redis_wiki.SavePage("Article", Slice(content)).ok());
+    // In-place edit of 100 bytes.
+    const size_t pos = rng.Uniform(content.size() - 100);
+    for (int i = 0; i < 100; ++i) {
+      content[pos + i] = static_cast<char>('a' + rng.Uniform(26));
+    }
+  }
+  EXPECT_LT(fb_wiki.StorageBytes(), redis_wiki.StorageBytes() / 2)
+      << "chunk dedup should at least halve the storage";
+}
+
+TEST(WikiDiffTest, DiffRevisionsFindsEditedRange) {
+  ForkBaseWiki wiki(SmallDb());
+  Rng rng(2);
+  std::string v1 = rng.String(5000);
+  std::string v2 = v1;
+  v2.replace(2000, 10, "0123456789");
+  ASSERT_TRUE(wiki.SavePage("P", Slice(v1)).ok());
+  ASSERT_TRUE(wiki.SavePage("P", Slice(v2)).ok());
+  auto diff = wiki.DiffRevisions("P", 1, 0);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->identical);
+  EXPECT_LE(diff->prefix, 2000u);
+  EXPECT_GE(diff->prefix + diff->a_mid, 2000u);
+}
+
+TEST(WikiCacheTest, ConsecutiveVersionReadsHitCache) {
+  // Reading version N-1 after version N refetches only the chunks that
+  // differ — the Figure 14 effect. Small chunks keep the page multi-leaf.
+  ForkBase server(SmallDb());
+  CachedChunkStore client_view(server.store());
+
+  ForkBaseWiki wiki(&server);
+  Rng rng(3);
+  std::string content = rng.String(15 * 1024);
+  for (int rev = 0; rev < 6; ++rev) {
+    ASSERT_TRUE(wiki.SavePage("Hot", Slice(content)).ok());
+    const size_t pos = rng.Uniform(content.size() - 50);
+    for (int i = 0; i < 50; ++i) {
+      content[pos + i] = static_cast<char>('a' + rng.Uniform(26));
+    }
+  }
+
+  // A caching client tracks all 6 versions of the page's blob.
+  auto head = wiki.db().Get("Hot");
+  ASSERT_TRUE(head.ok());
+  auto versions = wiki.db().TrackFromUid(head->uid(), 0, 5);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 6u);
+
+  uint64_t first_fetches = 0;
+  for (size_t i = 0; i < versions->size(); ++i) {
+    client_view.ResetCounters();
+    Blob blob(&client_view, server.tree_config(),
+              (*versions)[i].value().root());
+    auto bytes = blob.ReadAll();
+    ASSERT_TRUE(bytes.ok());
+    if (i == 0) {
+      first_fetches = client_view.remote_fetches();
+    } else {
+      EXPECT_LT(client_view.remote_fetches(), first_fetches / 2)
+          << "older versions must reuse cached chunks";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collaborative analytics
+// ---------------------------------------------------------------------------
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  DatasetTest() : db_(SmallDb()) {}
+  ForkBase db_;
+};
+
+TEST_F(DatasetTest, RowImportAndPointReads) {
+  RowDataset ds(&db_, "sales", DatasetSchema());
+  const auto rows = GenerateDataset(500);
+  ASSERT_TRUE(ds.Import(rows).ok());
+  auto n = ds.NumRecords(kDefaultBranch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 500u);
+  auto rec = ds.GetRecord(kDefaultBranch, rows[123][0]);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->has_value());
+  EXPECT_EQ(**rec, rows[123]);
+  auto missing = ds.GetRecord(kDefaultBranch, "pk-nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+}
+
+TEST_F(DatasetTest, RowUpdateOnBranchIsolated) {
+  RowDataset ds(&db_, "sales", DatasetSchema());
+  auto rows = GenerateDataset(200);
+  ASSERT_TRUE(ds.Import(rows).ok());
+  ASSERT_TRUE(db_.Fork("sales", kDefaultBranch, "cleaning").ok());
+
+  Record updated = rows[10];
+  updated[1] = "99999";
+  ASSERT_TRUE(ds.UpdateRecords("cleaning", {updated}).ok());
+
+  auto main_rec = ds.GetRecord(kDefaultBranch, rows[10][0]);
+  auto branch_rec = ds.GetRecord("cleaning", rows[10][0]);
+  ASSERT_TRUE(main_rec.ok());
+  ASSERT_TRUE(branch_rec.ok());
+  EXPECT_EQ((**main_rec)[1], rows[10][1]);
+  EXPECT_EQ((**branch_rec)[1], "99999");
+
+  auto diff = ds.DiffBranches(kDefaultBranch, "cleaning");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 1u);
+}
+
+TEST_F(DatasetTest, RowAggregationMatchesReference) {
+  RowDataset ds(&db_, "sales", DatasetSchema());
+  const auto rows = GenerateDataset(300);
+  ASSERT_TRUE(ds.Import(rows).ok());
+  int64_t expected = 0;
+  for (const auto& r : rows) expected += std::strtoll(r[1].c_str(), nullptr, 10);
+  auto sum = ds.AggregateSum(kDefaultBranch, "qty");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, expected);
+}
+
+TEST_F(DatasetTest, ColumnImportAndAggregation) {
+  ColumnDataset ds(&db_, "sales_col", DatasetSchema());
+  const auto rows = GenerateDataset(300);
+  ASSERT_TRUE(ds.Import(rows).ok());
+  auto n = ds.NumRecords(kDefaultBranch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 300u);
+
+  int64_t expected = 0;
+  for (const auto& r : rows) expected += std::strtoll(r[1].c_str(), nullptr, 10);
+  auto sum = ds.AggregateSum(kDefaultBranch, "qty");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, expected);
+}
+
+TEST_F(DatasetTest, ColumnUpdateByPosition) {
+  ColumnDataset ds(&db_, "sales_col", DatasetSchema());
+  auto rows = GenerateDataset(100);
+  ASSERT_TRUE(ds.Import(rows).ok());
+  Record updated = rows[7];
+  updated[3] = "UPDATED-NAME";
+  ASSERT_TRUE(ds.UpdateRows(kDefaultBranch, {{7, updated}}).ok());
+  auto col = ds.ReadColumn(kDefaultBranch, "name");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)[7], "UPDATED-NAME");
+  EXPECT_EQ((*col)[8], rows[8][3]);
+}
+
+TEST_F(DatasetTest, RecordCsvRoundTrip) {
+  const auto rows = GenerateDataset(5);
+  for (const auto& r : rows) {
+    EXPECT_EQ(RecordFromCsv(RecordToCsv(r)), r);
+    auto back = DeserializeRecord(Slice(SerializeRecord(r)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST(OrpheusTest, InitCheckoutRoundTrip) {
+  OrpheusLikeStore store(DatasetSchema());
+  const auto rows = GenerateDataset(100);
+  auto v1 = store.Init(rows);
+  ASSERT_TRUE(v1.ok());
+  auto copy = store.Checkout(*v1);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, rows);
+}
+
+TEST(OrpheusTest, CommitReusesUnchangedRids) {
+  OrpheusLikeStore store(DatasetSchema());
+  auto rows = GenerateDataset(100);
+  auto v1 = store.Init(rows);
+  ASSERT_TRUE(v1.ok());
+  const uint64_t bytes_after_init = store.StorageBytes();
+
+  rows[5][1] = "42";
+  auto v2 = store.Commit(*v1, rows);
+  ASSERT_TRUE(v2.ok());
+  // One new record + one full rid vector.
+  const uint64_t delta = store.StorageBytes() - bytes_after_init;
+  EXPECT_LT(delta, 1500u);
+  EXPECT_GT(delta, 100u * sizeof(uint64_t)) << "full rid vector stored";
+
+  auto diff = store.Diff(*v1, *v2);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 1u);
+}
+
+TEST(OrpheusTest, AggregationOverCheckout) {
+  OrpheusLikeStore store(DatasetSchema());
+  const auto rows = GenerateDataset(200);
+  auto v1 = store.Init(rows);
+  ASSERT_TRUE(v1.ok());
+  int64_t expected = 0;
+  for (const auto& r : rows) expected += std::strtoll(r[1].c_str(), nullptr, 10);
+  auto sum = store.AggregateSum(*v1, "qty");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, RoutesKeysDeterministically) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  Cluster cluster(opts);
+  const size_t s = cluster.ServletOf("some key");
+  EXPECT_EQ(cluster.ServletOf("some key"), s);
+  EXPECT_LT(s, 4u);
+}
+
+TEST(ClusterTest, PutGetThroughDispatcher) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallDb();
+  Cluster cluster(opts);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = MakeKey(i);
+    ASSERT_TRUE(cluster.Route(key)
+                    ->Put(key, Value::OfString("v" + std::to_string(i)))
+                    .ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = MakeKey(i);
+    auto obj = cluster.Route(key)->Get(key);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->value().AsString(), "v" + std::to_string(i));
+  }
+}
+
+TEST(ClusterTest, TwoLayerPartitioningBalancesSkewedLoad) {
+  // Zipf-skewed writes of chunkable data: 1LP concentrates bytes on the
+  // hot keys' servlets; 2LP spreads chunks by cid (the Figure 15 story).
+  auto imbalance = [](bool two_layer) {
+    ClusterOptions opts;
+    opts.num_servlets = 8;
+    opts.two_layer_partitioning = two_layer;
+    Cluster cluster(opts);
+    ZipfGenerator zipf(64, 0.9, 7);
+    Rng rng(8);
+    for (int i = 0; i < 300; ++i) {
+      const std::string key = MakeKey(zipf.Next(), 8, "page");
+      ForkBase* servlet = cluster.Route(key);
+      auto blob = servlet->CreateBlob(Slice(rng.BytesOf(20000)));
+      EXPECT_TRUE(blob.ok());
+      EXPECT_TRUE(servlet->Put(key, blob->ToValue()).ok());
+    }
+    const auto bytes = cluster.PerNodeStorageBytes();
+    uint64_t max_b = 0, min_b = UINT64_MAX;
+    for (uint64_t b : bytes) {
+      max_b = std::max(max_b, b);
+      min_b = std::min(min_b, b);
+    }
+    return static_cast<double>(max_b) /
+           static_cast<double>(std::max<uint64_t>(min_b, 1));
+  };
+  const double skew_1lp = imbalance(false);
+  const double skew_2lp = imbalance(true);
+  EXPECT_LT(skew_2lp, 1.6) << "2LP must be near-balanced";
+  EXPECT_GT(skew_1lp, skew_2lp * 1.5) << "1LP must be visibly imbalanced";
+}
+
+TEST(ClusterTest, RebalancedConstructionSpreadsLoad) {
+  // Section 4.6.1: a hot key's POS-Tree construction is delegated to the
+  // least-loaded servlet while branch updates stay on the owner.
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallDb();
+  Cluster cluster(opts);
+  Rng rng(12);
+
+  const std::string hot_key = "hot-object";
+  for (int i = 0; i < 40; ++i) {
+    auto uid = cluster.PutBlobRebalanced(hot_key, Slice(rng.BytesOf(5000)));
+    ASSERT_TRUE(uid.ok()) << uid.status().ToString();
+  }
+
+  // Construction spread round-robin-ish across all servlets...
+  const auto builds = cluster.PerNodeBuildCounts();
+  for (uint64_t b : builds) EXPECT_EQ(b, 10u);
+
+  // ...while the object remains fully readable through its owner, with
+  // complete history.
+  ForkBase* owner = cluster.Route(hot_key);
+  auto obj = owner->Get(hot_key);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->depth(), 39u);
+  auto blob = owner->GetBlob(*obj);
+  ASSERT_TRUE(blob.ok());
+  auto content = blob->ReadAll();
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 5000u);
+  EXPECT_TRUE(blob->VerifyIntegrity().ok());
+}
+
+TEST(ClusterTest, RebalancedConstructionRejectedUnder1LP) {
+  ClusterOptions opts;
+  opts.num_servlets = 2;
+  opts.two_layer_partitioning = false;
+  Cluster cluster(opts);
+  auto r = cluster.PutBlobRebalanced("k", Slice("data"));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(ClusterTest, ConcurrentClientsAcrossServlets) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallDb();
+  Cluster cluster(opts);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 100;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = MakeKey(t * 1000 + i, 8, "c");
+        if (!cluster.Route(key)->Put(key, Value::OfInt(i)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Spot check.
+  const std::string key = MakeKey(3042, 8, "c");
+  auto obj = cluster.Route(key)->Get(key);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsInt(), 42);
+}
+
+}  // namespace
+}  // namespace fb

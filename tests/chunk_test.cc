@@ -1,0 +1,258 @@
+// Unit tests for the chunk layer: Chunk/Hash encoding, content-addressed
+// stores (memory + log-structured), dedup accounting, crash recovery and
+// tamper detection, and the cid-partitioned store pool.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chunk/chunk.h"
+#include "chunk/chunk_store.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+Chunk MakeChunk(ChunkType t, const std::string& payload) {
+  return Chunk(t, ToBytes(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk / Hash
+// ---------------------------------------------------------------------------
+
+TEST(ChunkTest, SerializeRoundTrip) {
+  Chunk c = MakeChunk(ChunkType::kMap, "payload-bytes");
+  Bytes ser = c.Serialize();
+  Chunk back;
+  ASSERT_TRUE(Chunk::Deserialize(Slice(ser), &back));
+  EXPECT_EQ(back.type(), ChunkType::kMap);
+  EXPECT_EQ(back.payload().ToString(), "payload-bytes");
+}
+
+TEST(ChunkTest, DeserializeRejectsEmptyAndBadType) {
+  Chunk c;
+  EXPECT_FALSE(Chunk::Deserialize(Slice(), &c));
+  Bytes bad = {0x7f, 1, 2};
+  EXPECT_FALSE(Chunk::Deserialize(Slice(bad), &c));
+}
+
+TEST(ChunkTest, CidDependsOnTypeAndPayload) {
+  const Hash a = MakeChunk(ChunkType::kBlob, "same").ComputeCid();
+  const Hash b = MakeChunk(ChunkType::kList, "same").ComputeCid();
+  const Hash c = MakeChunk(ChunkType::kBlob, "diff").ComputeCid();
+  const Hash a2 = MakeChunk(ChunkType::kBlob, "same").ComputeCid();
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(HashTest, HexRoundTrip) {
+  const Hash h = Hash::Of(Slice("x"));
+  EXPECT_EQ(Hash::FromHex(h.ToHex()), h);
+  EXPECT_EQ(h.ToHex().size(), 64u);
+  EXPECT_TRUE(Hash::FromHex("zz").IsNull());
+}
+
+TEST(HashTest, NullHashIsAllZero) {
+  EXPECT_TRUE(Hash().IsNull());
+  EXPECT_EQ(Hash::Null().Low64(), 0u);
+  EXPECT_FALSE(Hash::Of(Slice("a")).IsNull());
+}
+
+TEST(ChunkTypeTest, Names) {
+  EXPECT_STREQ(ChunkTypeToString(ChunkType::kMeta), "Meta");
+  EXPECT_STREQ(ChunkTypeToString(ChunkType::kUIndex), "UIndex");
+  EXPECT_STREQ(ChunkTypeToString(ChunkType::kSIndex), "SIndex");
+  EXPECT_STREQ(ChunkTypeToString(ChunkType::kMap), "Map");
+}
+
+// ---------------------------------------------------------------------------
+// MemChunkStore
+// ---------------------------------------------------------------------------
+
+TEST(MemChunkStoreTest, PutGetRoundTrip) {
+  MemChunkStore store;
+  Chunk c = MakeChunk(ChunkType::kBlob, "hello");
+  auto cid = store.Put(c);
+  ASSERT_TRUE(cid.ok());
+  Chunk got;
+  ASSERT_TRUE(store.Get(*cid, &got).ok());
+  EXPECT_EQ(got.payload().ToString(), "hello");
+  EXPECT_EQ(got.type(), ChunkType::kBlob);
+}
+
+TEST(MemChunkStoreTest, GetMissingIsNotFound) {
+  MemChunkStore store;
+  Chunk got;
+  EXPECT_TRUE(store.Get(Hash::Of(Slice("nope")), &got).IsNotFound());
+}
+
+TEST(MemChunkStoreTest, DedupCountsHits) {
+  MemChunkStore store;
+  Chunk c = MakeChunk(ChunkType::kBlob, "dup");
+  ASSERT_TRUE(store.Put(c).ok());
+  ASSERT_TRUE(store.Put(c).ok());
+  ASSERT_TRUE(store.Put(c).ok());
+  const ChunkStoreStats st = store.stats();
+  EXPECT_EQ(st.puts, 3u);
+  EXPECT_EQ(st.dedup_hits, 2u);
+  EXPECT_EQ(st.chunks, 1u);
+  EXPECT_EQ(st.stored_bytes, c.serialized_size());
+  EXPECT_EQ(st.logical_bytes, 3 * c.serialized_size());
+}
+
+TEST(MemChunkStoreTest, ContainsReflectsContent) {
+  MemChunkStore store;
+  Chunk c = MakeChunk(ChunkType::kSet, "abc");
+  EXPECT_FALSE(store.Contains(c.ComputeCid()));
+  ASSERT_TRUE(store.Put(c).ok());
+  EXPECT_TRUE(store.Contains(c.ComputeCid()));
+}
+
+// ---------------------------------------------------------------------------
+// LogChunkStore
+// ---------------------------------------------------------------------------
+
+class LogChunkStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fb_log_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LogChunkStoreTest, PutGetPersistsAcrossReopen) {
+  Hash cid;
+  {
+    auto store = LogChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto r = (*store)->Put(MakeChunk(ChunkType::kBlob, "persist me"));
+    ASSERT_TRUE(r.ok());
+    cid = *r;
+  }
+  auto store = LogChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok());
+  Chunk got;
+  ASSERT_TRUE((*store)->Get(cid, &got).ok());
+  EXPECT_EQ(got.payload().ToString(), "persist me");
+  EXPECT_EQ((*store)->stats().chunks, 1u);
+}
+
+TEST_F(LogChunkStoreTest, DedupAcrossReopen) {
+  {
+    auto store = LogChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(MakeChunk(ChunkType::kBlob, "x")).ok());
+  }
+  auto store = LogChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put(MakeChunk(ChunkType::kBlob, "x")).ok());
+  EXPECT_EQ((*store)->stats().chunks, 1u);
+  EXPECT_EQ((*store)->stats().dedup_hits, 1u);
+}
+
+TEST_F(LogChunkStoreTest, ManyChunksWithSegmentRoll) {
+  // Small segments force several rolls.
+  auto store = LogChunkStore::Open(dir_.string(), /*segment_size=*/4096);
+  ASSERT_TRUE(store.ok());
+  Rng rng(3);
+  std::vector<std::pair<Hash, Bytes>> written;
+  for (int i = 0; i < 200; ++i) {
+    Bytes payload = rng.BytesOf(100 + rng.Uniform(400));
+    Chunk c(ChunkType::kList, payload);
+    auto cid = (*store)->Put(c);
+    ASSERT_TRUE(cid.ok());
+    written.emplace_back(*cid, payload);
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  for (const auto& [cid, payload] : written) {
+    Chunk got;
+    ASSERT_TRUE((*store)->Get(cid, &got).ok());
+    EXPECT_EQ(got.payload().ToBytes(), payload);
+  }
+  // Reopen and spot check recovery across segments.
+  store = LogChunkStore::Open(dir_.string(), 4096);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->stats().chunks, written.size());
+  Chunk got;
+  ASSERT_TRUE((*store)->Get(written[57].first, &got).ok());
+  EXPECT_EQ(got.payload().ToBytes(), written[57].second);
+}
+
+TEST_F(LogChunkStoreTest, TamperedSegmentDetectedOnRecovery) {
+  {
+    auto store = LogChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        (*store)->Put(MakeChunk(ChunkType::kBlob, "sensitive data")).ok());
+  }
+  // Flip one byte in the stored chunk body.
+  const auto seg = dir_ / "seg-000000.fbl";
+  ASSERT_TRUE(std::filesystem::exists(seg));
+  {
+    std::FILE* f = std::fopen(seg.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4 + 32 + 5, SEEK_SET);  // header + into payload
+    const char flip = 'X';
+    std::fwrite(&flip, 1, 1, f);
+    std::fclose(f);
+  }
+  auto store = LogChunkStore::Open(dir_.string());
+  EXPECT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStorePool
+// ---------------------------------------------------------------------------
+
+TEST(ChunkStorePoolTest, RoutesByCidAndBalances) {
+  ChunkStorePool pool(8);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    Chunk c(ChunkType::kBlob, rng.BytesOf(64));
+    const Hash cid = c.ComputeCid();
+    ASSERT_TRUE(pool.Put(cid, c).ok());
+  }
+  const auto per = pool.PerInstanceStats();
+  ASSERT_EQ(per.size(), 8u);
+  uint64_t total = 0;
+  for (const auto& st : per) {
+    total += st.chunks;
+    // Cryptographic cids spread uniformly: each of 8 instances should get
+    // roughly 250 of 2000 chunks.
+    EXPECT_GT(st.chunks, 150u);
+    EXPECT_LT(st.chunks, 350u);
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(ChunkStorePoolTest, GetFindsChunkViaAnyRoute) {
+  ChunkStorePool pool(4);
+  Chunk c = MakeChunk(ChunkType::kMap, "routed");
+  const Hash cid = c.ComputeCid();
+  ASSERT_TRUE(pool.Put(cid, c).ok());
+  Chunk got;
+  ASSERT_TRUE(pool.Get(cid, &got).ok());
+  EXPECT_EQ(got.payload().ToString(), "routed");
+  EXPECT_TRUE(pool.Route(cid)->Contains(cid));
+}
+
+TEST(ChunkStorePoolTest, TotalStatsAggregates) {
+  ChunkStorePool pool(3);
+  for (int i = 0; i < 30; ++i) {
+    Chunk c(ChunkType::kBlob, ToBytes("v" + std::to_string(i)));
+    ASSERT_TRUE(pool.Put(c.ComputeCid(), c).ok());
+  }
+  EXPECT_EQ(pool.TotalStats().chunks, 30u);
+  EXPECT_EQ(pool.TotalStats().puts, 30u);
+}
+
+}  // namespace
+}  // namespace fb

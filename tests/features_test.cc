@@ -1,0 +1,279 @@
+// Tests for the view-layer and durability extensions: primitive
+// type-specific operations, branch-based access control, and chunk
+// replication with failure and repair.
+
+#include <gtest/gtest.h>
+
+#include "api/access_control.h"
+#include "api/type_ops.h"
+#include "chunk/replicated_store.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Type-specific primitive operations (Section 3.4)
+// ---------------------------------------------------------------------------
+
+class TypeOpsTest : public ::testing::Test {
+ protected:
+  ForkBase db_;
+};
+
+TEST_F(TypeOpsTest, StringAppendAndInsert) {
+  ASSERT_TRUE(db_.Put("s", Value::OfString("hello")).ok());
+  ASSERT_TRUE(StringAppend(&db_, "s", kDefaultBranch, Slice(" world")).ok());
+  ASSERT_TRUE(StringInsert(&db_, "s", kDefaultBranch, 5, Slice(",")).ok());
+  auto obj = db_.Get("s");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "hello, world");
+  EXPECT_EQ(obj->depth(), 2u) << "each op creates a version";
+}
+
+TEST_F(TypeOpsTest, StringInsertPastEndClamps) {
+  ASSERT_TRUE(db_.Put("s", Value::OfString("ab")).ok());
+  ASSERT_TRUE(StringInsert(&db_, "s", kDefaultBranch, 99, Slice("c")).ok());
+  auto obj = db_.Get("s");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "abc");
+}
+
+TEST_F(TypeOpsTest, IntAddAndMultiply) {
+  ASSERT_TRUE(db_.Put("n", Value::OfInt(10)).ok());
+  ASSERT_TRUE(IntAdd(&db_, "n", kDefaultBranch, 5).ok());
+  ASSERT_TRUE(IntMultiply(&db_, "n", kDefaultBranch, -3).ok());
+  auto obj = db_.Get("n");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsInt(), -45);
+}
+
+TEST_F(TypeOpsTest, IntAddCreatesMissingKey) {
+  ASSERT_TRUE(IntAdd(&db_, "fresh", kDefaultBranch, 7).ok());
+  auto obj = db_.Get("fresh");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsInt(), 7);
+}
+
+TEST_F(TypeOpsTest, TypeMismatchRejected) {
+  ASSERT_TRUE(db_.Put("s", Value::OfString("text")).ok());
+  EXPECT_TRUE(IntAdd(&db_, "s", kDefaultBranch, 1)
+                  .status()
+                  .IsTypeMismatch());
+  EXPECT_TRUE(StringAppend(&db_, "missing", kDefaultBranch, Slice("x"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(TypeOpsTest, TupleAppendAndInsert) {
+  ASSERT_TRUE(db_.Put("t", Value::OfTuple({ToBytes("a"), ToBytes("c")})).ok());
+  ASSERT_TRUE(TupleInsert(&db_, "t", kDefaultBranch, 1, Slice("b")).ok());
+  ASSERT_TRUE(TupleAppend(&db_, "t", kDefaultBranch, Slice("d")).ok());
+  auto obj = db_.Get("t");
+  ASSERT_TRUE(obj.ok());
+  const std::vector<Bytes> expected = {ToBytes("a"), ToBytes("b"),
+                                       ToBytes("c"), ToBytes("d")};
+  EXPECT_EQ(obj->value().AsTuple(), expected);
+}
+
+TEST_F(TypeOpsTest, BoolToggle) {
+  ASSERT_TRUE(db_.Put("flag", Value::OfBool(false)).ok());
+  ASSERT_TRUE(BoolToggle(&db_, "flag", kDefaultBranch).ok());
+  auto obj = db_.Get("flag");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->value().AsBool());
+}
+
+TEST_F(TypeOpsTest, OpsOnBranchesAreIsolated) {
+  ASSERT_TRUE(db_.Put("n", Value::OfInt(100)).ok());
+  ASSERT_TRUE(db_.Fork("n", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(IntAdd(&db_, "n", "b", 11).ok());
+  auto master = db_.Get("n");
+  auto branch = db_.Get("n", "b");
+  ASSERT_TRUE(master.ok());
+  ASSERT_TRUE(branch.ok());
+  EXPECT_EQ(master->value().AsInt(), 100);
+  EXPECT_EQ(branch->value().AsInt(), 111);
+}
+
+// ---------------------------------------------------------------------------
+// Access control
+// ---------------------------------------------------------------------------
+
+class AccessControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Put("doc", Value::OfString("v1")).ok());
+    ASSERT_TRUE(db_.Fork("doc", kDefaultBranch, "draft").ok());
+  }
+  ForkBase db_;
+  AccessController acl_;
+};
+
+TEST_F(AccessControlTest, DefaultDeniesUnknownUsers) {
+  AccessControlledDb view(&db_, &acl_, "mallory");
+  EXPECT_TRUE(view.Get("doc").status().IsPreconditionFailed());
+  EXPECT_TRUE(view.Put("doc", kDefaultBranch, Value::OfString("x"))
+                  .status()
+                  .IsPreconditionFailed());
+}
+
+TEST_F(AccessControlTest, ReadOnlyUserCanGetNotPut) {
+  acl_.GrantUser("reader", Permission::kRead);
+  AccessControlledDb view(&db_, &acl_, "reader");
+  EXPECT_TRUE(view.Get("doc").ok());
+  EXPECT_TRUE(view.Track("doc", kDefaultBranch, 0, 5).ok());
+  EXPECT_TRUE(view.Put("doc", kDefaultBranch, Value::OfString("x"))
+                  .status()
+                  .IsPreconditionFailed());
+  EXPECT_TRUE(view.Fork("doc", kDefaultBranch, "b2").IsPreconditionFailed());
+}
+
+TEST_F(AccessControlTest, BranchRuleOverridesKeyRule) {
+  // Writer on the whole key, but read-only on master: the usual
+  // protected-main-branch setup.
+  acl_.GrantKey("dev", "doc", Permission::kWrite);
+  acl_.GrantBranch("dev", "doc", kDefaultBranch, Permission::kRead);
+  AccessControlledDb view(&db_, &acl_, "dev");
+
+  EXPECT_TRUE(view.Put("doc", "draft", Value::OfString("wip")).ok());
+  EXPECT_TRUE(view.Put("doc", kDefaultBranch, Value::OfString("nope"))
+                  .status()
+                  .IsPreconditionFailed());
+}
+
+TEST_F(AccessControlTest, MergeNeedsWriteOnTargetReadOnRef) {
+  acl_.GrantBranch("dev", "doc", "draft", Permission::kWrite);
+  AccessControlledDb view(&db_, &acl_, "dev");
+  // dev can write draft but cannot read master -> merge denied.
+  EXPECT_TRUE(
+      view.Merge("doc", "draft", kDefaultBranch).status()
+          .IsPreconditionFailed());
+
+  acl_.GrantBranch("dev", "doc", kDefaultBranch, Permission::kRead);
+  EXPECT_TRUE(view.Merge("doc", "draft", kDefaultBranch).ok());
+}
+
+TEST_F(AccessControlTest, AdminManagesBranches) {
+  acl_.GrantKey("admin", "doc", Permission::kAdmin);
+  AccessControlledDb view(&db_, &acl_, "admin");
+  EXPECT_TRUE(view.Fork("doc", kDefaultBranch, "release").ok());
+  EXPECT_TRUE(view.Remove("doc", "release").ok());
+}
+
+TEST_F(AccessControlTest, MostSpecificRuleWins) {
+  acl_.GrantUser("u", Permission::kAdmin);
+  acl_.GrantKey("u", "doc", Permission::kRead);
+  acl_.GrantBranch("u", "doc", "draft", Permission::kWrite);
+  EXPECT_EQ(acl_.Effective("u", "doc", "draft"), Permission::kWrite);
+  EXPECT_EQ(acl_.Effective("u", "doc", kDefaultBranch), Permission::kRead);
+  EXPECT_EQ(acl_.Effective("u", "other", "x"), Permission::kAdmin);
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationTest, KCopiesPlaced) {
+  ReplicatedChunkStore store(5, 3);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Chunk c(ChunkType::kBlob, rng.BytesOf(100));
+    ASSERT_TRUE(store.Put(c.ComputeCid(), c).ok());
+  }
+  // Total stored chunks across instances = 3 copies each.
+  EXPECT_EQ(store.stats().chunks, 300u);
+}
+
+TEST(ReplicationTest, ReadsSurviveReplicaFailures) {
+  ReplicatedChunkStore store(5, 3);
+  Chunk c(ChunkType::kBlob, ToBytes("replicated data"));
+  const Hash cid = c.ComputeCid();
+  ASSERT_TRUE(store.Put(cid, c).ok());
+
+  const auto replicas = store.ReplicasOf(cid);
+  ASSERT_EQ(replicas.size(), 3u);
+  // Take down k-1 replicas: still readable.
+  store.SetInstanceDown(replicas[0], true);
+  store.SetInstanceDown(replicas[1], true);
+  Chunk got;
+  EXPECT_TRUE(store.Get(cid, &got).ok());
+  // Take down the last: unreadable.
+  store.SetInstanceDown(replicas[2], true);
+  EXPECT_FALSE(store.Get(cid, &got).ok());
+  // Recovery restores access.
+  store.SetInstanceDown(replicas[2], false);
+  EXPECT_TRUE(store.Get(cid, &got).ok());
+  EXPECT_EQ(got.payload().ToString(), "replicated data");
+}
+
+TEST(ReplicationTest, RepairRestoresReplicationFactor) {
+  ReplicatedChunkStore store(4, 2);
+  Chunk c(ChunkType::kBlob, ToBytes("heal me"));
+  const Hash cid = c.ComputeCid();
+  const auto replicas = store.ReplicasOf(cid);
+
+  // One replica is down during the write, so only 1 copy lands.
+  store.SetInstanceDown(replicas[1], true);
+  ASSERT_TRUE(store.Put(cid, c).ok());
+  EXPECT_FALSE(store.instance(replicas[1])->Contains(cid));
+
+  // It comes back; anti-entropy repair re-replicates.
+  store.SetInstanceDown(replicas[1], false);
+  ASSERT_TRUE(store.Repair().ok());
+  EXPECT_TRUE(store.instance(replicas[1])->Contains(cid));
+
+  // Now the original copy's instance can fail and reads still work.
+  store.SetInstanceDown(replicas[0], true);
+  Chunk got;
+  EXPECT_TRUE(store.Get(cid, &got).ok());
+}
+
+TEST(ReplicationTest, ReplicationOneDegradesToPartitioning) {
+  ReplicatedChunkStore store(4, 1);
+  Chunk c(ChunkType::kBlob, ToBytes("single"));
+  const Hash cid = c.ComputeCid();
+  ASSERT_TRUE(store.Put(cid, c).ok());
+  EXPECT_EQ(store.stats().chunks, 1u);
+  store.SetInstanceDown(store.ReplicasOf(cid)[0], true);
+  Chunk got;
+  EXPECT_FALSE(store.Get(cid, &got).ok());
+}
+
+TEST(ReplicationTest, DedupHoldsPerReplica) {
+  ReplicatedChunkStore store(3, 3);
+  Chunk c(ChunkType::kBlob, ToBytes("dup"));
+  const Hash cid = c.ComputeCid();
+  ASSERT_TRUE(store.Put(cid, c).ok());
+  ASSERT_TRUE(store.Put(cid, c).ok());
+  ASSERT_TRUE(store.Put(cid, c).ok());
+  // "There are only k copies of any chunk in the storage."
+  EXPECT_EQ(store.stats().chunks, 3u);
+  EXPECT_EQ(store.stats().dedup_hits, 6u);
+}
+
+// The engine runs unchanged over a replicated pool.
+TEST(ReplicationTest, EngineOverReplicatedPool) {
+  ReplicatedChunkStore pool(4, 2);
+  ForkBase db(DBOptions{}, static_cast<ChunkStore*>(&pool));
+  Rng rng(3);
+  auto blob = db.CreateBlob(Slice(rng.BytesOf(20000)));
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(db.Put("data", blob->ToValue()).ok());
+
+  // Any single instance may fail; all objects stay readable.
+  for (size_t down = 0; down < 4; ++down) {
+    pool.SetInstanceDown(down, true);
+    auto obj = db.Get("data");
+    ASSERT_TRUE(obj.ok()) << "instance " << down;
+    auto handle = db.GetBlob(*obj);
+    ASSERT_TRUE(handle.ok());
+    auto content = handle->ReadAll();
+    ASSERT_TRUE(content.ok()) << "instance " << down;
+    EXPECT_EQ(content->size(), 20000u);
+    pool.SetInstanceDown(down, false);
+  }
+}
+
+}  // namespace
+}  // namespace fb

@@ -1,0 +1,461 @@
+// Integration tests across modules: the full engine over persistent
+// (log-structured) storage, derivation DAGs spanning forks and merges,
+// failure injection at the chunk layer, list merges, and application
+// stacks composed over the cluster.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "api/db.h"
+#include "blockchain/forkbase_ledger.h"
+#include "cluster/cluster.h"
+#include "pos_tree/merge.h"
+#include "util/random.h"
+#include "wiki/wiki.h"
+
+namespace fb {
+namespace {
+
+DBOptions SmallDb() {
+  DBOptions o;
+  o.tree.leaf_pattern_bits = 7;
+  o.tree.index_pattern_bits = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Full engine over LogChunkStore (durability)
+// ---------------------------------------------------------------------------
+
+class PersistentDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fb_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<ForkBase> OpenDb() {
+    auto store = LogChunkStore::Open(dir_.string());
+    EXPECT_TRUE(store.ok());
+    return std::make_unique<ForkBase>(SmallDb(), std::move(*store));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistentDbTest, ObjectsSurviveReopenByUid) {
+  Hash uid;
+  Hash blob_uid;
+  {
+    auto db = OpenDb();
+    auto u = db->Put("k", Value::OfString("durable"));
+    ASSERT_TRUE(u.ok());
+    uid = *u;
+    Rng rng(1);
+    auto blob = db->CreateBlob(Slice(rng.BytesOf(5000)));
+    ASSERT_TRUE(blob.ok());
+    auto bu = db->Put("big", blob->ToValue());
+    ASSERT_TRUE(bu.ok());
+    blob_uid = *bu;
+  }
+  // Branch tables are in-memory state, but every object and chunk is
+  // durable and re-addressable by uid after reopen.
+  auto db = OpenDb();
+  auto obj = db->GetByUid(uid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "durable");
+
+  auto big = db->GetByUid(blob_uid);
+  ASSERT_TRUE(big.ok());
+  auto handle = db->GetBlob(*big);
+  ASSERT_TRUE(handle.ok());
+  auto content = handle->ReadAll();
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 5000u);
+  EXPECT_TRUE(handle->VerifyIntegrity().ok());
+}
+
+TEST_F(PersistentDbTest, HistoryWalkableAfterReopen) {
+  Hash head;
+  {
+    auto db = OpenDb();
+    for (int i = 0; i < 5; ++i) {
+      auto u = db->Put("k", Value::OfInt(i));
+      ASSERT_TRUE(u.ok());
+      head = *u;
+    }
+  }
+  auto db = OpenDb();
+  auto history = db->TrackFromUid(head, 0, 10);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 5u);
+  EXPECT_EQ((*history)[0].value().AsInt(), 4);
+  EXPECT_EQ((*history)[4].value().AsInt(), 0);
+}
+
+TEST_F(PersistentDbTest, BranchStateExportImportRestoresFullView) {
+  Bytes snapshot;
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", Value::OfString("v1")).ok());
+    ASSERT_TRUE(db->Fork("k", kDefaultBranch, "dev").ok());
+    ASSERT_TRUE(db->Put("k", "dev", Value::OfString("v2")).ok());
+    ASSERT_TRUE(
+        db->PutByBase("foc", Hash::Null(), Value::OfInt(1)).ok());
+    auto snap = db->ExportBranchState();
+    ASSERT_TRUE(snap.ok());
+    snapshot = *snap;
+  }
+  auto db = OpenDb();
+  // Before import, branch names are unknown.
+  EXPECT_TRUE(db->Get("k").status().IsNotFound());
+  ASSERT_TRUE(db->ImportBranchState(Slice(snapshot)).ok());
+  auto master = db->Get("k");
+  auto dev = db->Get("k", "dev");
+  ASSERT_TRUE(master.ok());
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ(master->value().AsString(), "v1");
+  EXPECT_EQ(dev->value().AsString(), "v2");
+  auto heads = db->ListUntaggedBranches("foc");
+  ASSERT_TRUE(heads.ok());
+  EXPECT_EQ(heads->size(), 1u);
+}
+
+TEST_F(PersistentDbTest, ImportRejectsHeadsMissingFromStore) {
+  Bytes snapshot;
+  {
+    // Snapshot taken against a DIFFERENT (in-memory) store: its heads do
+    // not exist in the log store, so the restore must fail verification.
+    ForkBase other;
+    ASSERT_TRUE(other.Put("k", Value::OfString("elsewhere")).ok());
+    auto snap = other.ExportBranchState();
+    ASSERT_TRUE(snap.ok());
+    snapshot = *snap;
+  }
+  auto db = OpenDb();
+  EXPECT_FALSE(db->ImportBranchState(Slice(snapshot)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Derivation DAGs with merges
+// ---------------------------------------------------------------------------
+
+TEST(MergeDagTest, LcaThroughMergeCommit) {
+  ForkBase db(SmallDb());
+  ASSERT_TRUE(db.Put("k", Value::OfString("v0")).ok());
+  auto fork_uid = db.Head("k", kDefaultBranch);
+  ASSERT_TRUE(fork_uid.ok());
+  ASSERT_TRUE(db.Fork("k", kDefaultBranch, "b").ok());
+  ASSERT_TRUE(db.Put("k", Value::OfString("m1")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("b1")).ok());
+
+  auto merged = db.Merge("k", kDefaultBranch, "b", ChooseLeft());
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(merged->clean());
+
+  // Continue both branches after the merge; LCA of master (which saw the
+  // merge) and b must be b's contribution, not the original fork point.
+  ASSERT_TRUE(db.Put("k", Value::OfString("m2")).ok());
+  ASSERT_TRUE(db.Put("k", "b", Value::OfString("b2")).ok());
+  auto hm = db.Head("k", kDefaultBranch);
+  auto hb = db.Head("k", "b");
+  ASSERT_TRUE(hm.ok());
+  ASSERT_TRUE(hb.ok());
+  auto lca = db.Lca("k", *hm, *hb);
+  ASSERT_TRUE(lca.ok());
+  auto lca_obj = db.GetByUid(*lca);
+  ASSERT_TRUE(lca_obj.ok());
+  EXPECT_EQ(lca_obj->value().AsString(), "b1")
+      << "after merging b into master, b1 is the most recent common "
+         "ancestor";
+}
+
+TEST(MergeDagTest, DiamondMergeConverges) {
+  // Fork two branches, edit disjoint keys, merge both back: a diamond.
+  ForkBase db(SmallDb());
+  auto map = db.CreateMap();
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Set(Slice("base"), Slice("v")).ok());
+  ASSERT_TRUE(db.Put("m", map->ToValue()).ok());
+  ASSERT_TRUE(db.Fork("m", kDefaultBranch, "left").ok());
+  ASSERT_TRUE(db.Fork("m", kDefaultBranch, "right").ok());
+
+  auto edit = [&](const std::string& branch, const std::string& key) {
+    auto obj = db.Get("m", branch);
+    ASSERT_TRUE(obj.ok());
+    auto h = db.GetMap(*obj);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(h->Set(Slice(key), Slice("x")).ok());
+    ASSERT_TRUE(db.Put("m", branch, h->ToValue()).ok());
+  };
+  edit("left", "from-left");
+  edit("right", "from-right");
+
+  ASSERT_TRUE(db.Merge("m", kDefaultBranch, "left").ok());
+  auto outcome = db.Merge("m", kDefaultBranch, "right");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+
+  auto obj = db.Get("m");
+  ASSERT_TRUE(obj.ok());
+  auto h = db.GetMap(*obj);
+  ASSERT_TRUE(h.ok());
+  for (const char* k : {"base", "from-left", "from-right"}) {
+    auto v = h->Get(Slice(k));
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->has_value()) << k;
+  }
+}
+
+TEST(MergeDagTest, MergeManyUntaggedHeads) {
+  // Five concurrent writers on the same base, folded with MergeUids.
+  ForkBase db(SmallDb());
+  auto base = db.PutByBase("cnt", Hash::Null(), Value::OfInt(100));
+  ASSERT_TRUE(base.ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(db.PutByBase("cnt", *base, Value::OfInt(100 + i)).ok());
+  }
+  auto heads = db.ListUntaggedBranches("cnt");
+  ASSERT_TRUE(heads.ok());
+  ASSERT_EQ(heads->size(), 5u);
+  auto outcome = db.MergeUids("cnt", *heads, ResolveAggregateSum());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->clean());
+  auto merged = db.GetByUid(outcome->uid);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->value().AsInt(), 100 + 1 + 2 + 3 + 4 + 5);
+  heads = db.ListUntaggedBranches("cnt");
+  ASSERT_TRUE(heads.ok());
+  EXPECT_EQ(heads->size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// List merge
+// ---------------------------------------------------------------------------
+
+TEST(ListMergeTest, DisjointRegionsMerge) {
+  MemChunkStore store;
+  TreeConfig cfg;
+  cfg.leaf_pattern_bits = 6;
+  cfg.index_pattern_bits = 3;
+
+  auto make = [&](const std::vector<std::string>& items) {
+    std::vector<Element> elems;
+    for (const auto& s : items) {
+      Element e;
+      e.value = ToBytes(s);
+      elems.push_back(std::move(e));
+    }
+    auto r = PosTree::BuildFromElements(&store, cfg, ChunkType::kList, elems);
+    EXPECT_TRUE(r.ok());
+    return PosTree(&store, cfg, ChunkType::kList, *r);
+  };
+
+  std::vector<std::string> base;
+  for (int i = 0; i < 100; ++i) base.push_back(MakeKey(i));
+  auto left = base;
+  left[5] = "LEFT";
+  auto right = base;
+  right.insert(right.begin() + 90, "RIGHT-INSERT");
+
+  auto result = MergeList(make(base), make(left), make(right));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->clean());
+
+  auto expected = left;
+  expected.insert(expected.begin() + 90, "RIGHT-INSERT");
+  EXPECT_EQ(result->root, make(expected).root());
+}
+
+TEST(ListMergeTest, OverlappingRegionsConflict) {
+  MemChunkStore store;
+  TreeConfig cfg;
+  cfg.leaf_pattern_bits = 6;
+
+  auto make = [&](const std::vector<std::string>& items) {
+    std::vector<Element> elems;
+    for (const auto& s : items) {
+      Element e;
+      e.value = ToBytes(s);
+      elems.push_back(std::move(e));
+    }
+    auto r = PosTree::BuildFromElements(&store, cfg, ChunkType::kList, elems);
+    EXPECT_TRUE(r.ok());
+    return PosTree(&store, cfg, ChunkType::kList, *r);
+  };
+
+  std::vector<std::string> base = {"a", "b", "c"};
+  std::vector<std::string> left = {"a", "LEFT", "c"};
+  std::vector<std::string> right = {"a", "RIGHT", "c"};
+  auto result = MergeList(make(base), make(left), make(right));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->clean());
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection at the chunk layer
+// ---------------------------------------------------------------------------
+
+// A store that fails Get for selected cids — models lost/unreachable
+// chunks in a distributed pool.
+class LossyChunkStore : public ChunkStore {
+ public:
+  explicit LossyChunkStore(ChunkStore* inner) : inner_(inner) {}
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override {
+    return inner_->Put(cid, chunk);
+  }
+  Status Get(const Hash& cid, Chunk* chunk) const override {
+    if (lost_.count(cid) > 0) return Status::IOError("chunk unreachable");
+    return inner_->Get(cid, chunk);
+  }
+  bool Contains(const Hash& cid) const override {
+    return lost_.count(cid) == 0 && inner_->Contains(cid);
+  }
+  ChunkStoreStats stats() const override { return inner_->stats(); }
+
+  void Lose(const Hash& cid) { lost_.insert(cid); }
+
+ private:
+  ChunkStore* inner_;
+  std::set<Hash> lost_;
+};
+
+TEST(FailureInjectionTest, LostLeafSurfacesAsError) {
+  MemChunkStore backing;
+  LossyChunkStore lossy(&backing);
+  TreeConfig cfg;
+  cfg.leaf_pattern_bits = 7;
+  Rng rng(9);
+  auto root = PosTree::BuildFromBytes(&lossy, cfg, Slice(rng.BytesOf(20000)));
+  ASSERT_TRUE(root.ok());
+  PosTree tree(&lossy, cfg, ChunkType::kBlob, *root);
+
+  std::vector<Entry> leaves;
+  ASSERT_TRUE(tree.LoadLeafEntries(&leaves).ok());
+  lossy.Lose(leaves[leaves.size() / 2].cid);
+
+  auto all = tree.ReadBytes(0, 20000);
+  EXPECT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kIOError);
+  // Reads before the lost leaf still work.
+  auto prefix = tree.ReadBytes(0, 10);
+  EXPECT_TRUE(prefix.ok());
+}
+
+TEST(FailureInjectionTest, LostMetaChunkFailsGetNotPutOfOthers) {
+  MemChunkStore backing;
+  LossyChunkStore lossy(&backing);
+  ForkBase db(SmallDb(), static_cast<ChunkStore*>(&lossy));
+  auto u1 = db.Put("a", Value::OfString("x"));
+  ASSERT_TRUE(u1.ok());
+  lossy.Lose(*u1);
+  EXPECT_FALSE(db.GetByUid(*u1).ok());
+  // Other keys unaffected.
+  ASSERT_TRUE(db.Put("b", Value::OfString("y")).ok());
+  EXPECT_TRUE(db.Get("b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Applications over the cluster
+// ---------------------------------------------------------------------------
+
+TEST(ClusterAppTest, WikiOverClusterServlets) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallDb();
+  Cluster cluster(opts);
+
+  Rng rng(10);
+  // Pages dispatched by key to their servlet; each servlet hosts an
+  // independent wiki view over the shared chunk pool.
+  for (int p = 0; p < 20; ++p) {
+    const std::string page = MakeKey(p, 6, "pg");
+    ForkBaseWiki wiki(cluster.Route(page));
+    for (int rev = 0; rev < 3; ++rev) {
+      ASSERT_TRUE(
+          wiki.SavePage(page, Slice(rng.String(2000) + std::to_string(rev)))
+              .ok());
+    }
+  }
+  for (int p = 0; p < 20; ++p) {
+    const std::string page = MakeKey(p, 6, "pg");
+    ForkBaseWiki wiki(cluster.Route(page));
+    auto revs = wiki.NumRevisions(page);
+    ASSERT_TRUE(revs.ok());
+    EXPECT_EQ(*revs, 3u);
+    auto oldest = wiki.ReadPage(page, 2);
+    ASSERT_TRUE(oldest.ok());
+    EXPECT_EQ(oldest->back(), '0');
+  }
+}
+
+TEST(ClusterAppTest, BlockchainValuesVerifiableAcrossPool) {
+  // The ForkBase ledger's chunks spread over the pool; integrity checks
+  // still pass because cids are location-independent.
+  ForkBaseLedger ledger(SmallDb());
+  for (uint64_t b = 0; b < 10; ++b) {
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(ledger.Write("kv", MakeKey(k, 4, "a"),
+                               "v" + std::to_string(b))
+                      .ok());
+    }
+    ASSERT_TRUE(ledger.Commit(b, {}).ok());
+  }
+  ASSERT_TRUE(VerifyChain(9, [&](uint64_t n) {
+                return ledger.LoadBlock(n);
+              }).ok());
+  auto heads = ledger.db()->ListUntaggedBranches("s/kv/" + MakeKey(2, 4, "a"));
+  ASSERT_TRUE(heads.ok());
+  ASSERT_EQ(heads->size(), 1u);
+  auto obj = ledger.db()->GetByUid((*heads)[0]);
+  ASSERT_TRUE(obj.ok());
+  auto blob = ledger.db()->GetBlob(*obj);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_TRUE(blob->VerifyIntegrity().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Guarded puts under concurrency
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, GuardedPutSerializesWriters) {
+  ForkBase db(SmallDb());
+  auto base = db.Put("counter", Value::OfInt(0));
+  ASSERT_TRUE(base.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread;) {
+        auto head = db.Head("counter", kDefaultBranch);
+        if (!head.ok()) continue;
+        auto obj = db.GetByUid(*head);
+        if (!obj.ok()) continue;
+        const int64_t next = obj->value().AsInt() + 1;
+        auto r = db.PutGuarded("counter", kDefaultBranch,
+                               Value::OfInt(next), *head);
+        if (r.ok()) {
+          ++i;  // success; otherwise retry on stale guard
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto final_obj = db.Get("counter");
+  ASSERT_TRUE(final_obj.ok());
+  EXPECT_EQ(final_obj->value().AsInt(), kThreads * kIncrementsPerThread)
+      << "guarded puts must not lose increments";
+}
+
+}  // namespace
+}  // namespace fb

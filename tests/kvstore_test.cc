@@ -1,0 +1,196 @@
+// Tests for the mini-LSM store and its bloom filters, including a
+// randomized model check against std::map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kvstore/bloom.h"
+#include "kvstore/lsm.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) bloom.Add(Slice(MakeKey(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain(Slice(MakeKey(i)))) << i;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) bloom.Add(Slice(MakeKey(i)));
+  int fp = 0;
+  for (int i = 1000; i < 11000; ++i) {
+    if (bloom.MayContain(Slice(MakeKey(i)))) ++fp;
+  }
+  EXPECT_LT(fp, 500) << "expect well under 5% false positives at 10 bits/key";
+}
+
+TEST(LsmStoreTest, PutGetRoundTrip) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("v")).ok());
+  std::string value;
+  ASSERT_TRUE(store.Get(Slice("k"), &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(LsmStoreTest, GetMissingIsNotFound) {
+  LsmStore store;
+  std::string value;
+  EXPECT_TRUE(store.Get(Slice("nope"), &value).IsNotFound());
+}
+
+TEST(LsmStoreTest, OverwriteReturnsLatest) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("v1")).ok());
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("v2")).ok());
+  std::string value;
+  ASSERT_TRUE(store.Get(Slice("k"), &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(LsmStoreTest, DeleteHidesKey) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("v")).ok());
+  ASSERT_TRUE(store.Delete(Slice("k")).ok());
+  std::string value;
+  EXPECT_TRUE(store.Get(Slice("k"), &value).IsNotFound());
+}
+
+TEST(LsmStoreTest, DeleteSurvivesFlushAndCompaction) {
+  LsmOptions opts;
+  opts.memtable_bytes = 256;  // force frequent flushes
+  opts.fanout = 2;
+  LsmStore store(opts);
+  ASSERT_TRUE(store.Put(Slice("victim"), Slice("v")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Delete(Slice("victim")).ok());
+  // Push enough data to trigger flushes + compactions.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Put(Slice(MakeKey(i)), Slice(MakeKey(i * 3))).ok());
+  }
+  std::string value;
+  EXPECT_TRUE(store.Get(Slice("victim"), &value).IsNotFound());
+  EXPECT_GT(store.stats().compactions, 0u);
+}
+
+TEST(LsmStoreTest, NewestRunWinsAfterFlushes) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("old")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("new")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  std::string value;
+  ASSERT_TRUE(store.Get(Slice("k"), &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST(LsmStoreTest, ScanMergedAndOrdered) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("b"), Slice("2")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Put(Slice("a"), Slice("1")).ok());
+  ASSERT_TRUE(store.Put(Slice("c"), Slice("3")).ok());
+  ASSERT_TRUE(store.Delete(Slice("b")).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store.Scan(Slice(), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_EQ(out[1].first, "c");
+}
+
+TEST(LsmStoreTest, ScanWithPrefix) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put(Slice("block/1"), Slice("b1")).ok());
+  ASSERT_TRUE(store.Put(Slice("block/2"), Slice("b2")).ok());
+  ASSERT_TRUE(store.Put(Slice("delta/1"), Slice("d1")).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store.Scan(Slice("block/"), &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(LsmStoreTest, CompactionBoundsRunCount) {
+  LsmOptions opts;
+  opts.memtable_bytes = 512;
+  opts.fanout = 4;
+  LsmStore store(opts);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(store.Put(Slice(MakeKey(rng.Uniform(500))),
+                          Slice(rng.String(40)))
+                    .ok());
+  }
+  const LsmStats st = store.stats();
+  EXPECT_GT(st.flushes, 10u);
+  EXPECT_GT(st.compactions, 0u);
+  EXPECT_LT(st.runs, 20u) << "compaction must bound the number of runs";
+}
+
+TEST(LsmStoreTest, BloomSkipsAvoidSearches) {
+  LsmOptions opts;
+  opts.memtable_bytes = 1024;
+  LsmStore store(opts);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Put(Slice(MakeKey(i)), Slice("v")).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  std::string value;
+  // Probe keys in-range but absent; either fencing or blooms skip runs.
+  for (int i = 0; i < 500; ++i) {
+    (void)store.Get(Slice(MakeKey(i) + "x"), &value);
+  }
+  EXPECT_GT(store.stats().bloom_skips, 0u);
+}
+
+// Randomized model check: LSM behaviour must match std::map exactly.
+class LsmModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsmModelTest, MatchesReferenceModel) {
+  LsmOptions opts;
+  opts.memtable_bytes = 1 << (8 + GetParam() % 4);  // vary flush pressure
+  opts.fanout = 2 + GetParam() % 3;
+  LsmStore store(opts);
+  std::map<std::string, std::string> model;
+  Rng rng(1000 + GetParam());
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = MakeKey(rng.Uniform(200));
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      const std::string value = rng.String(20);
+      ASSERT_TRUE(store.Put(Slice(key), Slice(value)).ok());
+      model[key] = value;
+    } else if (dice < 0.8) {
+      ASSERT_TRUE(store.Delete(Slice(key)).ok());
+      model.erase(key);
+    } else {
+      std::string value;
+      const Status s = store.Get(Slice(key), &value);
+      if (model.count(key) > 0) {
+        ASSERT_TRUE(s.ok()) << key;
+        EXPECT_EQ(value, model[key]);
+      } else {
+        EXPECT_TRUE(s.IsNotFound()) << key;
+      }
+    }
+  }
+  // Final full comparison via scan.
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store.Scan(Slice(), &out).ok());
+  ASSERT_EQ(out.size(), model.size());
+  auto mit = model.begin();
+  for (const auto& [k, v] : out) {
+    EXPECT_EQ(k, mit->first);
+    EXPECT_EQ(v, mit->second);
+    ++mit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmModelTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fb

@@ -1,0 +1,180 @@
+// Tests for the Hyperledger-style Merkle substrates: bucket tree, trie
+// and state delta — including the write-amplification behaviour that
+// drives Figure 11.
+
+#include <gtest/gtest.h>
+
+#include "merkle/bucket_tree.h"
+#include "merkle/state_delta.h"
+#include "merkle/trie.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BucketTree
+// ---------------------------------------------------------------------------
+
+TEST(BucketTreeTest, SetGetRemove) {
+  BucketTree tree(16);
+  tree.Set(Slice("k1"), Slice("v1"));
+  tree.Set(Slice("k2"), Slice("v2"));
+  std::string v;
+  EXPECT_TRUE(tree.Get(Slice("k1"), &v));
+  EXPECT_EQ(v, "v1");
+  tree.Remove(Slice("k1"));
+  EXPECT_FALSE(tree.Get(Slice("k1"), &v));
+  EXPECT_EQ(tree.total_entries(), 1u);
+}
+
+TEST(BucketTreeTest, RootChangesWithContent) {
+  BucketTree tree(16);
+  tree.Set(Slice("k"), Slice("v1"));
+  const auto r1 = tree.Commit(nullptr);
+  tree.Set(Slice("k"), Slice("v2"));
+  const auto r2 = tree.Commit(nullptr);
+  EXPECT_NE(r1, r2);
+}
+
+TEST(BucketTreeTest, RootDeterministicForSameContent) {
+  BucketTree a(64), b(64);
+  Rng rng(1);
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 200; ++i) kvs.emplace_back(MakeKey(i), rng.String(20));
+  for (const auto& [k, v] : kvs) a.Set(Slice(k), Slice(v));
+  // b applies in reverse order with an interleaved commit.
+  for (auto it = kvs.rbegin(); it != kvs.rend(); ++it) {
+    b.Set(Slice(it->first), Slice(it->second));
+    if (it - kvs.rbegin() == 100) b.Commit(nullptr);
+  }
+  EXPECT_EQ(a.Commit(nullptr), b.Commit(nullptr));
+}
+
+TEST(BucketTreeTest, FewerBucketsMeansMoreWriteAmplification) {
+  // The Figure 11 effect: updating one key in a small-bucket-count tree
+  // rehashes a much larger bucket.
+  const int kPrepopulate = 5000;
+  auto amplification = [&](size_t nb) {
+    BucketTree tree(nb);
+    Rng rng(2);
+    for (int i = 0; i < kPrepopulate; ++i) {
+      tree.Set(Slice(MakeKey(i)), Slice(rng.String(50)));
+    }
+    tree.Commit(nullptr);
+    // One single-key update.
+    tree.Set(Slice(MakeKey(123)), Slice("updated-value"));
+    MerkleCommitStats stats;
+    tree.Commit(&stats);
+    return stats.bytes_hashed;
+  };
+  const uint64_t small = amplification(10);
+  const uint64_t large = amplification(1000);
+  EXPECT_GT(small, large * 5)
+      << "10 buckets must rehash far more bytes per update than 1000";
+}
+
+TEST(BucketTreeTest, CommitOnlyRehashesDirtyPaths) {
+  BucketTree tree(1024);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Set(Slice(MakeKey(i)), Slice(rng.String(30)));
+  }
+  tree.Commit(nullptr);
+  tree.Set(Slice(MakeKey(7)), Slice("x"));
+  MerkleCommitStats stats;
+  tree.Commit(&stats);
+  // One bucket + ~log2(1024) internal nodes.
+  EXPECT_LE(stats.nodes_rehashed, 1u + 11u);
+}
+
+// ---------------------------------------------------------------------------
+// MerkleTrie
+// ---------------------------------------------------------------------------
+
+TEST(MerkleTrieTest, SetGetRemove) {
+  MerkleTrie trie;
+  trie.Set(Slice("abc"), Slice("1"));
+  trie.Set(Slice("abd"), Slice("2"));
+  std::string v;
+  EXPECT_TRUE(trie.Get(Slice("abc"), &v));
+  EXPECT_EQ(v, "1");
+  EXPECT_FALSE(trie.Get(Slice("ab"), &v));
+  trie.Remove(Slice("abc"));
+  EXPECT_FALSE(trie.Get(Slice("abc"), &v));
+  EXPECT_EQ(trie.total_entries(), 1u);
+}
+
+TEST(MerkleTrieTest, RootTracksContent) {
+  MerkleTrie trie;
+  trie.Set(Slice("k"), Slice("v1"));
+  const auto r1 = trie.Commit(nullptr);
+  trie.Set(Slice("k"), Slice("v2"));
+  const auto r2 = trie.Commit(nullptr);
+  trie.Set(Slice("k"), Slice("v1"));
+  const auto r3 = trie.Commit(nullptr);
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(r1, r3) << "same content must give the same root";
+}
+
+TEST(MerkleTrieTest, LowWriteAmplification) {
+  MerkleTrie trie;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    trie.Set(Slice(MakeKey(i)), Slice(rng.String(50)));
+  }
+  trie.Commit(nullptr);
+  trie.Set(Slice(MakeKey(123)), Slice("updated"));
+  MerkleCommitStats stats;
+  trie.Commit(&stats);
+  // Only the root-to-leaf path rehashes: key is 15 chars = 30 nibbles.
+  EXPECT_LE(stats.nodes_rehashed, 31u);
+}
+
+TEST(MerkleTrieTest, PrefixKeysDistinct) {
+  MerkleTrie trie;
+  trie.Set(Slice("a"), Slice("short"));
+  trie.Set(Slice("aa"), Slice("long"));
+  std::string v;
+  ASSERT_TRUE(trie.Get(Slice("a"), &v));
+  EXPECT_EQ(v, "short");
+  ASSERT_TRUE(trie.Get(Slice("aa"), &v));
+  EXPECT_EQ(v, "long");
+}
+
+// ---------------------------------------------------------------------------
+// StateDelta
+// ---------------------------------------------------------------------------
+
+TEST(StateDeltaTest, SerializeRoundTrip) {
+  StateDelta delta;
+  delta.Record(Slice("k1"), std::nullopt, std::string("new1"));
+  delta.Record(Slice("k2"), std::string("old2"), std::string("new2"));
+  delta.Record(Slice("k3"), std::string("old3"), std::nullopt);
+
+  auto back = StateDelta::Deserialize(Slice(delta.Serialize()));
+  ASSERT_TRUE(back.ok());
+  const auto& ch = back->changes();
+  ASSERT_EQ(ch.size(), 3u);
+  EXPECT_FALSE(ch.at("k1").old_value.has_value());
+  EXPECT_EQ(*ch.at("k1").new_value, "new1");
+  EXPECT_EQ(*ch.at("k2").old_value, "old2");
+  EXPECT_FALSE(ch.at("k3").new_value.has_value());
+}
+
+TEST(StateDeltaTest, BatchedUpdatesKeepFirstOldLastNew) {
+  StateDelta delta;
+  delta.Record(Slice("k"), std::string("v0"), std::string("v1"));
+  delta.Record(Slice("k"), std::string("ignored"), std::string("v2"));
+  const auto& c = delta.changes().at("k");
+  EXPECT_EQ(*c.old_value, "v0");
+  EXPECT_EQ(*c.new_value, "v2");
+}
+
+TEST(StateDeltaTest, CorruptInputRejected) {
+  Bytes garbage = {0xff, 0xff, 0xff};
+  EXPECT_FALSE(StateDelta::Deserialize(Slice(garbage)).ok());
+}
+
+}  // namespace
+}  // namespace fb

@@ -1,0 +1,268 @@
+// Cross-cutting property suites: LCA against a brute-force reference on
+// random derivation DAGs, diff∘patch identity for sorted trees, merge
+// algebra (commutativity on disjoint edits), and UB-table invariants
+// under random concurrent histories.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "api/db.h"
+#include "branch/history.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+DBOptions SmallDb() {
+  DBOptions o;
+  o.tree.leaf_pattern_bits = 7;
+  o.tree.index_pattern_bits = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// LCA vs reference model on random DAGs
+// ---------------------------------------------------------------------------
+
+// Builds a random derivation DAG with FoC puts and merges, mirroring the
+// object graph in a std::map, then checks FindLca against a brute-force
+// "deepest common ancestor" computed over explicit ancestor sets.
+class LcaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcaPropertyTest, MatchesBruteForce) {
+  ForkBase db(SmallDb());
+  Rng rng(3000 + GetParam());
+
+  struct NodeInfo {
+    std::vector<Hash> parents;
+    uint64_t depth;
+  };
+  std::map<Hash, NodeInfo> graph;
+  std::vector<Hash> nodes;
+
+  auto root = db.PutByBase("k", Hash::Null(), Value::OfInt(0));
+  ASSERT_TRUE(root.ok());
+  graph[*root] = {{}, 0};
+  nodes.push_back(*root);
+
+  // Grow: 70% linear extension, 30% two-parent merge commit.
+  for (int i = 1; i < 40; ++i) {
+    const Hash a = nodes[rng.Uniform(nodes.size())];
+    if (rng.Bernoulli(0.7)) {
+      auto u = db.PutByBase("k", a, Value::OfInt(i));
+      ASSERT_TRUE(u.ok());
+      if (graph.count(*u) > 0) continue;  // dedup: identical object
+      graph[*u] = {{a}, graph[a].depth + 1};
+      nodes.push_back(*u);
+    } else {
+      const Hash b = nodes[rng.Uniform(nodes.size())];
+      if (a == b) continue;
+      // A merge commit via MergeUids of the two versions.
+      auto outcome = db.MergeUids("k", {a, b}, ResolveAggregateSum());
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_TRUE(outcome->clean());
+      if (graph.count(outcome->uid) > 0) continue;
+      graph[outcome->uid] = {{a, b},
+                             std::max(graph[a].depth, graph[b].depth) + 1};
+      nodes.push_back(outcome->uid);
+    }
+  }
+
+  // Brute-force ancestor sets.
+  auto ancestors = [&](const Hash& start) {
+    std::set<Hash> out;
+    std::vector<Hash> stack{start};
+    while (!stack.empty()) {
+      const Hash h = stack.back();
+      stack.pop_back();
+      if (!out.insert(h).second) continue;
+      for (const Hash& p : graph[h].parents) stack.push_back(p);
+    }
+    return out;
+  };
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const Hash a = nodes[rng.Uniform(nodes.size())];
+    const Hash b = nodes[rng.Uniform(nodes.size())];
+    const auto sa = ancestors(a);
+    const auto sb = ancestors(b);
+    uint64_t best_depth = 0;
+    bool found = false;
+    for (const Hash& h : sa) {
+      if (sb.count(h) > 0) {
+        found = true;
+        best_depth = std::max(best_depth, graph[h].depth);
+      }
+    }
+    auto lca = db.Lca("k", a, b);
+    ASSERT_TRUE(lca.ok());
+    ASSERT_TRUE(found) << "same-key versions always share the root";
+    // Any deepest common ancestor is acceptable; verify depth and
+    // common-ancestorship.
+    EXPECT_TRUE(sa.count(*lca) > 0 && sb.count(*lca) > 0)
+        << "LCA must be a common ancestor";
+    EXPECT_EQ(graph[*lca].depth, best_depth)
+        << "LCA must be a deepest common ancestor";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaPropertyTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// diff ∘ patch = identity
+// ---------------------------------------------------------------------------
+
+class DiffPatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPatchTest, ApplyingDiffToLeftYieldsRight) {
+  MemChunkStore store;
+  TreeConfig cfg;
+  cfg.leaf_pattern_bits = 7;
+  cfg.index_pattern_bits = 3;
+  Rng rng(4000 + GetParam());
+
+  std::map<std::string, std::string> ma, mb;
+  for (int i = 0; i < 300; ++i) ma[MakeKey(rng.Uniform(500))] = rng.String(12);
+  mb = ma;
+  // Random divergence.
+  for (int i = 0; i < 60; ++i) {
+    const std::string k = MakeKey(rng.Uniform(600));
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      mb[k] = rng.String(12);
+    } else if (dice < 0.7) {
+      mb.erase(k);
+    } else {
+      mb[k] = "added";
+    }
+  }
+
+  auto build = [&](const std::map<std::string, std::string>& m) {
+    std::vector<Element> elems;
+    for (const auto& [k, v] : m) {
+      Element e;
+      e.key = ToBytes(k);
+      e.value = ToBytes(v);
+      elems.push_back(std::move(e));
+    }
+    auto r = PosTree::BuildFromElements(&store, cfg, ChunkType::kMap, elems);
+    EXPECT_TRUE(r.ok());
+    return PosTree(&store, cfg, ChunkType::kMap, *r);
+  };
+
+  PosTree ta = build(ma);
+  PosTree tb = build(mb);
+  auto diff = DiffSorted(ta, tb);
+  ASSERT_TRUE(diff.ok());
+
+  // Patch ta with the diff: right-side value wins, absent => erase.
+  PosTree patched = ta;
+  for (const KeyDiff& d : *diff) {
+    if (d.right.has_value()) {
+      ASSERT_TRUE(patched.InsertOrAssign(Slice(d.key), Slice(*d.right)).ok());
+    } else {
+      ASSERT_TRUE(patched.Erase(Slice(d.key)).ok());
+    }
+  }
+  EXPECT_EQ(patched.root(), tb.root())
+      << "diff followed by patch must reproduce the target tree exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPatchTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Merge algebra
+// ---------------------------------------------------------------------------
+
+class MergeAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeAlgebraTest, DisjointMergesCommute) {
+  MemChunkStore store;
+  TreeConfig cfg;
+  cfg.leaf_pattern_bits = 7;
+  Rng rng(5000 + GetParam());
+
+  std::map<std::string, std::string> base;
+  for (int i = 0; i < 200; ++i) base[MakeKey(i)] = "base";
+
+  // Left edits even key-space, right edits odd key-space: disjoint.
+  auto left = base;
+  auto right = base;
+  for (int i = 0; i < 30; ++i) {
+    left[MakeKey(rng.Uniform(100) * 2)] = rng.String(8);
+    right[MakeKey(rng.Uniform(100) * 2 + 1)] = rng.String(8);
+  }
+
+  auto build = [&](const std::map<std::string, std::string>& m) {
+    std::vector<Element> elems;
+    for (const auto& [k, v] : m) {
+      Element e;
+      e.key = ToBytes(k);
+      e.value = ToBytes(v);
+      elems.push_back(std::move(e));
+    }
+    auto r = PosTree::BuildFromElements(&store, cfg, ChunkType::kMap, elems);
+    EXPECT_TRUE(r.ok());
+    return PosTree(&store, cfg, ChunkType::kMap, *r);
+  };
+
+  PosTree tb = build(base), tl = build(left), tr = build(right);
+  auto m1 = MergeSorted(tb, tl, tr);
+  auto m2 = MergeSorted(tb, tr, tl);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m1->clean());
+  ASSERT_TRUE(m2->clean());
+  EXPECT_EQ(m1->root, m2->root)
+      << "disjoint-edit merges must commute (history independence makes "
+         "the roots literally equal)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeAlgebraTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// UB-table invariants under random FoC histories
+// ---------------------------------------------------------------------------
+
+class UbTableTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UbTableTest, HeadsAreExactlyGraphLeaves) {
+  ForkBase db(SmallDb());
+  Rng rng(6000 + GetParam());
+
+  std::map<Hash, std::vector<Hash>> children;  // uid -> children
+  std::vector<Hash> nodes;
+  auto root = db.PutByBase("k", Hash::Null(),
+                           Value::OfString("r" + std::to_string(GetParam())));
+  ASSERT_TRUE(root.ok());
+  nodes.push_back(*root);
+  children[*root] = {};
+
+  for (int i = 0; i < 60; ++i) {
+    const Hash base = nodes[rng.Uniform(nodes.size())];
+    auto u = db.PutByBase("k", base, Value::OfString(rng.String(8)));
+    ASSERT_TRUE(u.ok());
+    if (children.count(*u) > 0) continue;  // equivalent put, ignored
+    children[base].push_back(*u);
+    children[*u] = {};
+    nodes.push_back(*u);
+  }
+
+  std::set<Hash> expected_leaves;
+  for (const auto& [uid, kids] : children) {
+    if (kids.empty()) expected_leaves.insert(uid);
+  }
+
+  auto heads = db.ListUntaggedBranches("k");
+  ASSERT_TRUE(heads.ok());
+  const std::set<Hash> actual(heads->begin(), heads->end());
+  EXPECT_EQ(actual, expected_leaves)
+      << "the UB-table must hold exactly the derivation-graph leaves";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UbTableTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fb

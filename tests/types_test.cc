@@ -1,0 +1,274 @@
+// Tests for the type system: Value encodings, FObject meta-chunk
+// round-trips, uid tamper evidence, and the chunkable handles.
+
+#include <gtest/gtest.h>
+
+#include "chunk/chunk_store.h"
+#include "types/fobject.h"
+#include "types/handles.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, BoolRoundTrip) {
+  EXPECT_TRUE(Value::OfBool(true).AsBool());
+  EXPECT_FALSE(Value::OfBool(false).AsBool());
+  EXPECT_EQ(Value::OfBool(true).type(), UType::kBool);
+  EXPECT_FALSE(Value::OfBool(true).is_chunkable());
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{42}, int64_t{-42},
+                    int64_t{1} << 50, -(int64_t{1} << 50)}) {
+    EXPECT_EQ(Value::OfInt(v).AsInt(), v);
+  }
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  const Value v = Value::OfString("hello");
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.type(), UType::kString);
+}
+
+TEST(ValueTest, TupleRoundTrip) {
+  const std::vector<Bytes> fields = {ToBytes("a"), ToBytes(""), ToBytes("ccc")};
+  const Value v = Value::OfTuple(fields);
+  EXPECT_EQ(v.AsTuple(), fields);
+}
+
+TEST(ValueTest, TreeValueIsChunkable) {
+  const Hash root = Hash::Of(Slice("root"));
+  const Value v = Value::OfTree(UType::kMap, root);
+  EXPECT_TRUE(v.is_chunkable());
+  EXPECT_EQ(v.root(), root);
+}
+
+TEST(ValueTest, EqualityIncludesType) {
+  EXPECT_EQ(Value::OfString("x"), Value::OfString("x"));
+  EXPECT_NE(Value::OfString("x"), Value::OfString("y"));
+  EXPECT_NE(Value::OfTree(UType::kMap, Hash()),
+            Value::OfTree(UType::kSet, Hash()));
+}
+
+TEST(UTypeTest, Names) {
+  EXPECT_STREQ(UTypeToString(UType::kBlob), "Blob");
+  EXPECT_STREQ(UTypeToString(UType::kTuple), "Tuple");
+  EXPECT_TRUE(IsChunkable(UType::kSet));
+  EXPECT_FALSE(IsChunkable(UType::kInt));
+}
+
+// ---------------------------------------------------------------------------
+// FObject
+// ---------------------------------------------------------------------------
+
+TEST(FObjectTest, RoundTripPrimitive) {
+  const FObject o = FObject::Make(Slice("k1"), Value::OfString("payload"),
+                                  {Hash::Of(Slice("parent"))}, 3,
+                                  Slice("commit msg"));
+  auto back = FObject::FromChunk(o.ToChunk());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->key(), "k1");
+  EXPECT_EQ(back->value().AsString(), "payload");
+  EXPECT_EQ(back->depth(), 3u);
+  ASSERT_EQ(back->bases().size(), 1u);
+  EXPECT_EQ(back->bases()[0], Hash::Of(Slice("parent")));
+  EXPECT_EQ(BytesToString(back->context()), "commit msg");
+  EXPECT_EQ(back->uid(), o.uid());
+}
+
+TEST(FObjectTest, RoundTripAllPrimitiveTypes) {
+  for (const Value& v :
+       {Value::OfBool(true), Value::OfInt(-77), Value::OfString("s"),
+        Value::OfTuple({ToBytes("f1"), ToBytes("f2")})}) {
+    const FObject o = FObject::Make(Slice("k"), v, {}, 0);
+    auto back = FObject::FromChunk(o.ToChunk());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->value(), v);
+  }
+}
+
+TEST(FObjectTest, RoundTripChunkable) {
+  const Hash root = Hash::Of(Slice("tree-root"));
+  const FObject o =
+      FObject::Make(Slice("k"), Value::OfTree(UType::kList, root), {}, 0);
+  auto back = FObject::FromChunk(o.ToChunk());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type(), UType::kList);
+  EXPECT_EQ(back->value().root(), root);
+}
+
+TEST(FObjectTest, UidUniquelyIdentifiesValueAndHistory) {
+  const FObject a = FObject::Make(Slice("k"), Value::OfString("v"), {}, 0);
+  const FObject same = FObject::Make(Slice("k"), Value::OfString("v"), {}, 0);
+  EXPECT_EQ(a.uid(), same.uid()) << "logically equivalent objects share uid";
+
+  const FObject diff_value =
+      FObject::Make(Slice("k"), Value::OfString("w"), {}, 0);
+  EXPECT_NE(a.uid(), diff_value.uid());
+
+  const FObject diff_history =
+      FObject::Make(Slice("k"), Value::OfString("v"), {a.uid()}, 1);
+  EXPECT_NE(a.uid(), diff_history.uid())
+      << "same value, different derivation history => different uid";
+}
+
+TEST(FObjectTest, StoreAndLoad) {
+  MemChunkStore store;
+  const FObject o = FObject::Make(Slice("k"), Value::OfInt(9), {}, 0);
+  auto uid = o.Store(&store);
+  ASSERT_TRUE(uid.ok());
+  auto back = FObject::Load(store, *uid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value().AsInt(), 9);
+}
+
+TEST(FObjectTest, LoadDetectsTampering) {
+  // A store returning different bytes under a requested uid is caught.
+  MemChunkStore store;
+  const FObject honest = FObject::Make(Slice("k"), Value::OfString("v"), {}, 0);
+  const FObject evil = FObject::Make(Slice("k"), Value::OfString("EVIL"), {}, 0);
+  ASSERT_TRUE(store.Put(honest.uid(), evil.ToChunk()).ok());
+  auto r = FObject::Load(store, honest.uid());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FObjectTest, HashChainMakesHistoryTamperEvident) {
+  // Rewriting any ancestor changes every descendant uid: given the latest
+  // uid, the storage cannot swap in a fabricated history.
+  MemChunkStore store;
+  const FObject v1 = FObject::Make(Slice("k"), Value::OfString("v1"), {}, 0);
+  const FObject v2 =
+      FObject::Make(Slice("k"), Value::OfString("v2"), {v1.uid()}, 1);
+  const FObject v3 =
+      FObject::Make(Slice("k"), Value::OfString("v3"), {v2.uid()}, 2);
+
+  const FObject forged_v1 =
+      FObject::Make(Slice("k"), Value::OfString("FORGED"), {}, 0);
+  const FObject forged_v2 =
+      FObject::Make(Slice("k"), Value::OfString("v2"), {forged_v1.uid()}, 1);
+  const FObject forged_v3 =
+      FObject::Make(Slice("k"), Value::OfString("v3"), {forged_v2.uid()}, 2);
+
+  EXPECT_NE(v3.uid(), forged_v3.uid())
+      << "a forged ancestor must propagate into the head uid";
+}
+
+TEST(FObjectTest, CorruptMetaChunkRejected) {
+  Chunk bad(ChunkType::kMeta, ToBytes("\x01garbage"));
+  EXPECT_FALSE(FObject::FromChunk(bad).ok());
+  Chunk wrong_type(ChunkType::kBlob, ToBytes("x"));
+  EXPECT_TRUE(FObject::FromChunk(wrong_type).status().IsTypeMismatch());
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+class HandleTest : public ::testing::Test {
+ protected:
+  MemChunkStore store_;
+  TreeConfig cfg_ = [] {
+    TreeConfig c;
+    c.leaf_pattern_bits = 7;
+    c.index_pattern_bits = 3;
+    return c;
+  }();
+};
+
+TEST_F(HandleTest, BlobFigure4Workflow) {
+  // The exact sequence from Figure 4: create, remove 10 bytes from the
+  // beginning, append new content.
+  auto blob = Blob::Create(&store_, cfg_, Slice("0123456789my value"));
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(blob->Remove(0, 10).ok());
+  ASSERT_TRUE(blob->Append(" some more").ok());
+  auto content = blob->ReadAll();
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(BytesToString(*content), "my value some more");
+  EXPECT_EQ(blob->ToValue().type(), UType::kBlob);
+}
+
+TEST_F(HandleTest, BlobInsertAndSize) {
+  auto blob = Blob::Create(&store_, cfg_, Slice("helloworld"));
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(blob->Insert(5, Slice(", ")).ok());
+  auto content = blob->ReadAll();
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(BytesToString(*content), "hello, world");
+  auto size = blob->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 12u);
+}
+
+TEST_F(HandleTest, ListOperations) {
+  auto list = FList::Create(&store_, cfg_, {ToBytes("a"), ToBytes("b")});
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(list->Append(Slice("c")).ok());
+  ASSERT_TRUE(list->Insert(0, Slice("z")).ok());
+  ASSERT_TRUE(list->Assign(2, Slice("B")).ok());
+  ASSERT_TRUE(list->Remove(3).ok());
+  auto elems = list->Elements();
+  ASSERT_TRUE(elems.ok());
+  std::vector<Bytes> expected = {ToBytes("z"), ToBytes("a"), ToBytes("B")};
+  EXPECT_EQ(*elems, expected);
+}
+
+TEST_F(HandleTest, MapOperations) {
+  auto map = FMap::Create(&store_, cfg_);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Set(Slice("b"), Slice("2")).ok());
+  ASSERT_TRUE(map->Set(Slice("a"), Slice("1")).ok());
+  auto v = map->Get(Slice("a"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(BytesToString(**v), "1");
+  ASSERT_TRUE(map->Remove(Slice("a")).ok());
+  v = map->Get(Slice("a"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+  auto entries = map->Entries();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(BytesToString((*entries)[0].first), "b");
+}
+
+TEST_F(HandleTest, SetOperations) {
+  auto set = FSet::Create(&store_, cfg_);
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(set->Add(Slice("x")).ok());
+  ASSERT_TRUE(set->Add(Slice("y")).ok());
+  ASSERT_TRUE(set->Add(Slice("x")).ok());  // idempotent
+  auto has = set->Contains(Slice("x"));
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+  auto members = set->Members();
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);
+  ASSERT_TRUE(set->Remove(Slice("x")).ok());
+  has = set->Contains(Slice("x"));
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+}
+
+TEST_F(HandleTest, HandleMutationsAreClientSideBuffered) {
+  // Two handles over the same root evolve independently (copy-on-write);
+  // the original version remains readable.
+  auto b1 = Blob::Create(&store_, cfg_, Slice("shared content here"));
+  ASSERT_TRUE(b1.ok());
+  Blob b2(&store_, cfg_, b1->root());
+  ASSERT_TRUE(b2.Append(Slice("!!")).ok());
+  auto c1 = b1->ReadAll();
+  auto c2 = b2.ReadAll();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(BytesToString(*c1), "shared content here");
+  EXPECT_EQ(BytesToString(*c2), "shared content here!!");
+}
+
+}  // namespace
+}  // namespace fb
