@@ -1,6 +1,7 @@
 #include "api/db.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace fb {
 
@@ -184,6 +185,73 @@ Result<Hash> ForkBase::PutGuarded(const std::string& key,
     FB_RETURN_NOT_OK(branches_[key].SetHead(branch, uid, &guard_uid));
   }
   return uid;
+}
+
+Result<std::vector<Hash>> ForkBase::PutMany(
+    const std::vector<std::pair<std::string, Value>>& kvs,
+    const std::string& branch, Slice context) {
+  // Snapshot every pair's base head under one lock, batch-load all
+  // distinct base metas to compute depths, build every Meta chunk, write
+  // them with one batched store call, then swing all heads.
+  std::vector<Hash> base_of(kvs.size());  // null = no existing head
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < kvs.size(); ++i) {
+      auto it = branches_.find(kvs[i].first);
+      if (it != branches_.end() && it->second.HasBranch(branch)) {
+        auto head = it->second.Head(branch);
+        if (head.ok()) base_of[i] = *head;
+      }
+    }
+  }
+
+  std::unordered_map<Hash, uint64_t, HashHasher> depth_of;
+  std::vector<Hash> base_cids;
+  for (const Hash& base : base_of) {
+    if (!base.IsNull() && depth_of.emplace(base, 0).second) {
+      base_cids.push_back(base);
+    }
+  }
+  if (!base_cids.empty()) {
+    std::vector<Chunk> base_chunks;
+    FB_RETURN_NOT_OK(store_->GetBatch(base_cids, &base_chunks));
+    for (size_t i = 0; i < base_cids.size(); ++i) {
+      if (base_chunks[i].ComputeCid() != base_cids[i]) {
+        return Status::Corruption("uid mismatch (tampered meta chunk) " +
+                                  base_cids[i].ToShortHex());
+      }
+      FB_ASSIGN_OR_RETURN(FObject parent,
+                          FObject::FromChunk(base_chunks[i]));
+      depth_of[base_cids[i]] = parent.depth();
+    }
+  }
+
+  std::vector<Hash> uids;
+  uids.reserve(kvs.size());
+  ChunkBatch metas;
+  metas.reserve(kvs.size());
+  for (size_t i = 0; i < kvs.size(); ++i) {
+    std::vector<Hash> bases;
+    uint64_t depth = 0;
+    if (!base_of[i].IsNull()) {
+      bases.push_back(base_of[i]);
+      depth = depth_of[base_of[i]] + 1;
+    }
+    const FObject obj = FObject::Make(Slice(kvs[i].first), kvs[i].second,
+                                      std::move(bases), depth, context);
+    Chunk meta = obj.ToChunk();
+    const Hash uid = meta.ComputeCid();
+    metas.emplace_back(uid, std::move(meta));
+    uids.push_back(uid);
+  }
+  FB_RETURN_NOT_OK(store_->PutBatch(metas));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < kvs.size(); ++i) {
+      FB_RETURN_NOT_OK(branches_[kvs[i].first].SetHead(branch, uids[i]));
+    }
+  }
+  return uids;
 }
 
 Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,

@@ -107,6 +107,25 @@ class ForkBase {
   Result<Hash> PutByBase(const std::string& key, const Hash& base_uid,
                          const Value& value, Slice context = Slice());
 
+  // Bulk-load fast path: fork-on-demand Put for many independent keys in
+  // one call. Base metas are fetched with one GetBatch, value chunks are
+  // written in batches by the POS-tree builder, and all Meta chunks go
+  // out in a single PutBatch, so a bulk load takes each store lock
+  // O(batches) instead of O(keys) times. Returns the new uid per pair,
+  // in input order.
+  //
+  // Concurrency semantics are those of fork-on-demand Put (M3),
+  // last-writer-wins per head, but with a wider window: every head is
+  // snapshotted up front, so a Put that lands on one of these keys while
+  // the batch commits is overwritten without a fork (its version remains
+  // reachable by uid only). Use PutGuarded or PutByBase when other
+  // writers may race on the same keys. Keys should be distinct:
+  // duplicates commit as siblings of the same base and the last
+  // occurrence becomes the branch head.
+  Result<std::vector<Hash>> PutMany(
+      const std::vector<std::pair<std::string, Value>>& kvs,
+      const std::string& branch = kDefaultBranch, Slice context = Slice());
+
   // --- View (M8, M9, M10) ----------------------------------------------------
 
   std::vector<std::string> ListKeys() const;

@@ -66,6 +66,16 @@ class Hash {
     return v;
   }
 
+  // Bytes 8..15 as an integer. MemChunkStore stripes on this slice so
+  // shard choice stays independent of the Low64-based pool partition.
+  uint64_t Mid64() const {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(bytes_[8 + i]) << (8 * i);
+    }
+    return v;
+  }
+
   bool operator==(const Hash& o) const { return bytes_ == o.bytes_; }
   bool operator!=(const Hash& o) const { return bytes_ != o.bytes_; }
   bool operator<(const Hash& o) const { return bytes_ < o.bytes_; }

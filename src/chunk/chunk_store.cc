@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -9,29 +10,76 @@
 namespace fb {
 
 // ---------------------------------------------------------------------------
+// BatchedChunkWriter
+// ---------------------------------------------------------------------------
+
+Result<Hash> BatchedChunkWriter::Add(Chunk chunk) {
+  const Hash cid = chunk.ComputeCid();
+  pending_.emplace_back(cid, std::move(chunk));
+  if (pending_.size() >= batch_size_) {
+    FB_RETURN_NOT_OK(Flush());
+  }
+  return cid;
+}
+
+Status BatchedChunkWriter::Flush() {
+  if (pending_.empty()) return Status::OK();
+  FB_RETURN_NOT_OK(store_->PutBatch(pending_));
+  pending_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStore default batch paths
+// ---------------------------------------------------------------------------
+
+Status ChunkStore::PutBatch(const ChunkBatch& batch) {
+  for (const auto& [cid, chunk] : batch) {
+    FB_RETURN_NOT_OK(Put(cid, chunk));
+  }
+  return Status::OK();
+}
+
+Status ChunkStore::GetBatch(const std::vector<Hash>& cids,
+                            std::vector<Chunk>* chunks) const {
+  chunks->resize(cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    FB_RETURN_NOT_OK(Get(cids[i], &(*chunks)[i]));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // MemChunkStore
 // ---------------------------------------------------------------------------
 
-Status MemChunkStore::Put(const Hash& cid, const Chunk& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.puts;
-  stats_.logical_bytes += chunk.serialized_size();
-  auto it = chunks_.find(cid);
-  if (it != chunks_.end()) {
-    ++stats_.dedup_hits;
-    return Status::OK();
+MemChunkStore::MemChunkStore(size_t n_shards) {
+  if (n_shards == 0) n_shards = 1;
+  shards_.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  stats_.stored_bytes += chunk.serialized_size();
-  ++stats_.chunks;
-  chunks_.emplace(cid, chunk);
+}
+
+Status MemChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  Shard& shard = *shards_[ShardIndex(cid)];
+  bool dedup_hit;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // find-first: a dedup hit must not pay the chunk copy.
+    dedup_hit = shard.chunks.count(cid) > 0;
+    if (!dedup_hit) shard.chunks.emplace(cid, chunk);
+  }
+  stats_.RecordPut(chunk.serialized_size(), dedup_hit);
   return Status::OK();
 }
 
 Status MemChunkStore::Get(const Hash& cid, Chunk* chunk) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++const_cast<ChunkStoreStats&>(stats_).gets;
-  auto it = chunks_.find(cid);
-  if (it == chunks_.end()) {
+  stats_.RecordGet();
+  const Shard& shard = *shards_[ShardIndex(cid)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chunks.find(cid);
+  if (it == shard.chunks.end()) {
     return Status::NotFound("chunk " + cid.ToShortHex());
   }
   *chunk = it->second;
@@ -39,23 +87,67 @@ Status MemChunkStore::Get(const Hash& cid, Chunk* chunk) const {
 }
 
 bool MemChunkStore::Contains(const Hash& cid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return chunks_.count(cid) > 0;
+  const Shard& shard = *shards_[ShardIndex(cid)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.chunks.count(cid) > 0;
 }
 
-ChunkStoreStats MemChunkStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+Status MemChunkStore::PutBatch(const ChunkBatch& batch) {
+  // Group batch positions by shard, then take each shard's lock exactly
+  // once. Chunks within a shard are inserted in batch order, so duplicate
+  // cids inside one batch dedup exactly like sequential Puts.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    by_shard[ShardIndex(batch[i].first)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : by_shard[s]) {
+      const auto& [cid, chunk] = batch[i];
+      const bool dedup_hit = shard.chunks.count(cid) > 0;
+      if (!dedup_hit) shard.chunks.emplace(cid, chunk);
+      stats_.RecordPut(chunk.serialized_size(), dedup_hit);
+    }
+  }
+  return Status::OK();
 }
+
+Status MemChunkStore::GetBatch(const std::vector<Hash>& cids,
+                               std::vector<Chunk>* chunks) const {
+  chunks->resize(cids.size());
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    by_shard[ShardIndex(cids[i])].push_back(i);
+    stats_.RecordGet();
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : by_shard[s]) {
+      auto it = shard.chunks.find(cids[i]);
+      if (it == shard.chunks.end()) {
+        return Status::NotFound("chunk " + cids[i].ToShortHex());
+      }
+      (*chunks)[i] = it->second;
+    }
+  }
+  return Status::OK();
+}
+
+ChunkStoreStats MemChunkStore::stats() const { return stats_.Snapshot(); }
 
 void MemChunkStore::ForEach(
     const std::function<void(const Hash&, const Chunk&)>& fn) const {
-  // Snapshot under the lock, invoke outside it so `fn` may call back
-  // into stores.
+  // Snapshot shard by shard under its lock, invoke outside all locks so
+  // `fn` may call back into stores.
   std::vector<std::pair<Hash, Chunk>> snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot.assign(chunks_.begin(), chunks_.end());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    snapshot.insert(snapshot.end(), shard->chunks.begin(),
+                    shard->chunks.end());
   }
   for (const auto& [cid, chunk] : snapshot) fn(cid, chunk);
 }
@@ -123,8 +215,7 @@ Status LogChunkStore::Recover() {
         return Status::Corruption("cid mismatch (tampered chunk) in " + path);
       }
       index_[cid] = Location{seg, off, len};
-      ++stats_.chunks;
-      stats_.stored_bytes += chunk.serialized_size();
+      stats_.RecordRecoveredChunk(chunk.serialized_size());
       off += sizeof(header) + len;
     }
     std::fclose(f);
@@ -157,12 +248,9 @@ Status LogChunkStore::RollSegment() {
   return Status::OK();
 }
 
-Status LogChunkStore::Put(const Hash& cid, const Chunk& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.puts;
-  stats_.logical_bytes += chunk.serialized_size();
+Status LogChunkStore::PutLocked(const Hash& cid, const Chunk& chunk) {
   if (index_.count(cid) > 0) {
-    ++stats_.dedup_hits;
+    stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
     return Status::OK();
   }
 
@@ -181,43 +269,120 @@ Status LogChunkStore::Put(const Hash& cid, const Chunk& chunk) {
 
   index_[cid] = Location{active_id_, active_off_, len};
   active_off_ += sizeof(header) + len;
-  ++stats_.chunks;
-  stats_.stored_bytes += chunk.serialized_size();
+  stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/false);
   return Status::OK();
 }
 
-Status LogChunkStore::ReadRecord(const Location& loc, Chunk* chunk) const {
-  std::FILE* f = nullptr;
-  if (loc.segment == active_id_) {
-    // Reads from the active segment must see buffered appends.
-    std::fflush(active_);
+Status LogChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(cid, chunk);
+}
+
+Status LogChunkStore::PutBatch(const ChunkBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [cid, chunk] : batch) {
+    FB_RETURN_NOT_OK(PutLocked(cid, chunk));
   }
-  f = std::fopen(SegmentPath(loc.segment).c_str(), "rb");
-  if (f == nullptr) return Status::IOError("open segment for read");
-  if (std::fseek(f, static_cast<long>(loc.offset + 4 + Hash::kSize),
-                 SEEK_SET) != 0) {
-    std::fclose(f);
+  return Status::OK();
+}
+
+namespace {
+
+// Reads one record body from an already-open segment file.
+Status ReadRecordFrom(std::FILE* f, uint64_t offset, uint32_t length,
+                      Chunk* chunk) {
+  if (std::fseek(f, static_cast<long>(offset + 4 + Hash::kSize), SEEK_SET) !=
+      0) {
     return Status::IOError("seek");
   }
-  Bytes body(loc.length);
-  if (loc.length > 0 &&
-      std::fread(body.data(), 1, loc.length, f) != loc.length) {
-    std::fclose(f);
+  Bytes body(length);
+  if (length > 0 && std::fread(body.data(), 1, length, f) != length) {
     return Status::Corruption("short record read");
   }
-  std::fclose(f);
   if (!Chunk::Deserialize(Slice(body), chunk)) {
     return Status::Corruption("bad chunk encoding");
   }
   return Status::OK();
 }
 
+}  // namespace
+
+Status LogChunkStore::ReadRecord(const Location& loc, Chunk* chunk) const {
+  std::FILE* f = std::fopen(SegmentPath(loc.segment).c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open segment for read");
+  Status s = ReadRecordFrom(f, loc.offset, loc.length, chunk);
+  std::fclose(f);
+  return s;
+}
+
 Status LogChunkStore::Get(const Hash& cid, Chunk* chunk) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++const_cast<ChunkStoreStats&>(stats_).gets;
-  auto it = index_.find(cid);
-  if (it == index_.end()) return Status::NotFound("chunk " + cid.ToShortHex());
-  return ReadRecord(it->second, chunk);
+  stats_.RecordGet();
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(cid);
+    if (it == index_.end()) {
+      return Status::NotFound("chunk " + cid.ToShortHex());
+    }
+    loc = it->second;
+    // Reads of the active segment must see buffered appends; flush while
+    // still holding the lock so `active_` cannot roll concurrently.
+    if (loc.segment == active_id_ && std::fflush(active_) != 0) {
+      return Status::IOError("fflush before read");
+    }
+  }
+  // The record is immutable and its segment file is never deleted, so the
+  // actual file I/O can proceed without serializing against appends.
+  return ReadRecord(loc, chunk);
+}
+
+Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
+                               std::vector<Chunk>* chunks) const {
+  chunks->resize(cids.size());
+  std::vector<Location> locs(cids.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool flushed = false;
+    for (size_t i = 0; i < cids.size(); ++i) {
+      stats_.RecordGet();
+      auto it = index_.find(cids[i]);
+      if (it == index_.end()) {
+        return Status::NotFound("chunk " + cids[i].ToShortHex());
+      }
+      locs[i] = it->second;
+      if (!flushed && locs[i].segment == active_id_) {
+        if (std::fflush(active_) != 0) {
+          return Status::IOError("fflush before read");
+        }
+        flushed = true;
+      }
+    }
+  }
+  // Group the reads by segment and serve each segment through one file
+  // handle in offset order, instead of an open/seek/close per record.
+  std::vector<size_t> order(cids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (locs[a].segment != locs[b].segment) {
+      return locs[a].segment < locs[b].segment;
+    }
+    return locs[a].offset < locs[b].offset;
+  });
+  std::FILE* f = nullptr;
+  uint32_t open_segment = 0;
+  Status s;
+  for (size_t i : order) {
+    if (f == nullptr || locs[i].segment != open_segment) {
+      if (f != nullptr) std::fclose(f);
+      open_segment = locs[i].segment;
+      f = std::fopen(SegmentPath(open_segment).c_str(), "rb");
+      if (f == nullptr) return Status::IOError("open segment for read");
+    }
+    s = ReadRecordFrom(f, locs[i].offset, locs[i].length, &(*chunks)[i]);
+    if (!s.ok()) break;
+  }
+  if (f != nullptr) std::fclose(f);
+  return s;
 }
 
 bool LogChunkStore::Contains(const Hash& cid) const {
@@ -225,10 +390,7 @@ bool LogChunkStore::Contains(const Hash& cid) const {
   return index_.count(cid) > 0;
 }
 
-ChunkStoreStats LogChunkStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+ChunkStoreStats LogChunkStore::stats() const { return stats_.Snapshot(); }
 
 Status LogChunkStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -247,6 +409,40 @@ ChunkStorePool::ChunkStorePool(size_t n_instances) {
   for (size_t i = 0; i < n_instances; ++i) {
     stores_.push_back(std::make_unique<MemChunkStore>());
   }
+}
+
+Status ChunkStorePool::PutBatch(const ChunkBatch& batch) {
+  std::vector<ChunkBatch> by_instance(stores_.size());
+  for (const auto& pair : batch) {
+    by_instance[PartitionOf(pair.first)].push_back(pair);
+  }
+  for (size_t i = 0; i < stores_.size(); ++i) {
+    if (by_instance[i].empty()) continue;
+    FB_RETURN_NOT_OK(stores_[i]->PutBatch(by_instance[i]));
+  }
+  return Status::OK();
+}
+
+Status ChunkStorePool::GetBatch(const std::vector<Hash>& cids,
+                                std::vector<Chunk>* chunks) const {
+  chunks->resize(cids.size());
+  std::vector<std::vector<size_t>> by_instance(stores_.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    by_instance[PartitionOf(cids[i])].push_back(i);
+  }
+  std::vector<Hash> sub_cids;
+  std::vector<Chunk> sub_chunks;
+  for (size_t p = 0; p < stores_.size(); ++p) {
+    if (by_instance[p].empty()) continue;
+    sub_cids.clear();
+    sub_cids.reserve(by_instance[p].size());
+    for (size_t i : by_instance[p]) sub_cids.push_back(cids[i]);
+    FB_RETURN_NOT_OK(stores_[p]->GetBatch(sub_cids, &sub_chunks));
+    for (size_t j = 0; j < by_instance[p].size(); ++j) {
+      (*chunks)[by_instance[p][j]] = std::move(sub_chunks[j]);
+    }
+  }
+  return Status::OK();
 }
 
 ChunkStoreStats ChunkStorePool::TotalStats() const {

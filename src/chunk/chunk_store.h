@@ -4,7 +4,9 @@
 // Because chunks are immutable and content-addressed, a Put of an existing
 // cid is a dedup hit and returns immediately. Two implementations:
 //
-//  * MemChunkStore — hash map, used by tests and as the servlet cache.
+//  * MemChunkStore — striped (sharded) hash map, used by tests and as the
+//    servlet cache. Stripes let concurrent writers touch disjoint shards
+//    without contending on one global mutex.
 //  * LogChunkStore — append-only log-structured segments on disk with an
 //    in-memory cid -> (segment, offset) index; mirrors the paper's
 //    persistence layout and supports recovery by replaying segments.
@@ -12,6 +14,11 @@
 // ChunkStorePool models the distributed pool: N store instances with
 // cid-hash partitioning (the second layer of the two-layer partitioning
 // scheme of Section 4.6).
+//
+// All stores are thread-safe. The batched PutBatch/GetBatch entry points
+// amortize locking on the bulk-load hot path: callers that produce many
+// chunks (POS-tree construction, segment replication) should prefer them
+// over per-chunk Put/Get.
 
 #ifndef FORKBASE_CHUNK_CHUNK_STORE_H_
 #define FORKBASE_CHUNK_CHUNK_STORE_H_
@@ -23,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chunk/chunk.h"
@@ -31,6 +39,9 @@
 namespace fb {
 
 // Counters exposed for benchmarks (dedup ratios, Table 4, Fig 13/15/16).
+// This is a plain snapshot type; stores maintain the live counters in
+// AtomicChunkStoreStats and materialize a consistent-enough snapshot on
+// stats().
 struct ChunkStoreStats {
   uint64_t puts = 0;          // Put calls
   uint64_t dedup_hits = 0;    // Puts that found an existing cid
@@ -38,6 +49,81 @@ struct ChunkStoreStats {
   uint64_t chunks = 0;        // unique chunks currently stored
   uint64_t stored_bytes = 0;  // bytes of unique chunks (serialized)
   uint64_t logical_bytes = 0; // bytes as if every Put were stored
+};
+
+// Lock-free live counters shared by all store implementations. Individual
+// increments are atomic; a snapshot taken while writers are active may mix
+// counters from different instants, but once writers quiesce the snapshot
+// is exact (the invariant the concurrency tests assert).
+class AtomicChunkStoreStats {
+ public:
+  void RecordPut(uint64_t serialized_bytes, bool dedup_hit) {
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    logical_bytes_.fetch_add(serialized_bytes, std::memory_order_relaxed);
+    if (dedup_hit) {
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      chunks_.fetch_add(1, std::memory_order_relaxed);
+      stored_bytes_.fetch_add(serialized_bytes, std::memory_order_relaxed);
+    }
+  }
+  // const: Get() is logically read-only on the store but still counted.
+  void RecordGet() const { gets_.fetch_add(1, std::memory_order_relaxed); }
+  // Recovery re-indexes existing chunks without counting a logical Put.
+  void RecordRecoveredChunk(uint64_t serialized_bytes) {
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+    stored_bytes_.fetch_add(serialized_bytes, std::memory_order_relaxed);
+  }
+
+  ChunkStoreStats Snapshot() const {
+    ChunkStoreStats s;
+    s.puts = puts_.load(std::memory_order_relaxed);
+    s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+    s.gets = gets_.load(std::memory_order_relaxed);
+    s.chunks = chunks_.load(std::memory_order_relaxed);
+    s.stored_bytes = stored_bytes_.load(std::memory_order_relaxed);
+    s.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> puts_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
+  mutable std::atomic<uint64_t> gets_{0};
+  std::atomic<uint64_t> chunks_{0};
+  std::atomic<uint64_t> stored_bytes_{0};
+  std::atomic<uint64_t> logical_bytes_{0};
+};
+
+// A batch of (cid, chunk) pairs for the bulk write path.
+using ChunkBatch = std::vector<std::pair<Hash, Chunk>>;
+
+class ChunkStore;
+
+// Accumulates chunks and writes them through ChunkStore::PutBatch in
+// fixed-size batches — the shared building block for bulk producers
+// (POS-tree leaf chunker, index-level builder). Callers must Flush()
+// before any buffered chunk is read back; a writer abandoned without
+// Flush() simply never stores its tail (harmless: chunks are
+// content-addressed, so nothing dangles).
+class BatchedChunkWriter {
+ public:
+  static constexpr size_t kDefaultBatchSize = 32;
+
+  explicit BatchedChunkWriter(ChunkStore* store,
+                              size_t batch_size = kDefaultBatchSize)
+      : store_(store), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  // Buffers `chunk` and returns its cid; flushes when the buffer fills.
+  Result<Hash> Add(Chunk chunk);
+
+  // Writes all buffered chunks.
+  Status Flush();
+
+ private:
+  ChunkStore* store_;
+  size_t batch_size_;
+  ChunkBatch pending_;
 };
 
 class ChunkStore {
@@ -61,32 +147,68 @@ class ChunkStore {
 
   virtual bool Contains(const Hash& cid) const = 0;
 
+  // Stores every pair in `batch`, dedup-counting each element exactly as
+  // the equivalent sequence of Put calls would. Implementations override
+  // this to acquire each lock once per batch instead of once per chunk;
+  // the default simply loops over Put.
+  virtual Status PutBatch(const ChunkBatch& batch);
+
+  // Fetches `cids` in order into `*chunks` (resized to cids.size()).
+  // Fails with NotFound on the first absent cid.
+  virtual Status GetBatch(const std::vector<Hash>& cids,
+                          std::vector<Chunk>* chunks) const;
+
   virtual ChunkStoreStats stats() const = 0;
 };
 
-// In-memory content-addressed store. Thread-safe.
+// In-memory content-addressed store, striped over `n_shards` independent
+// (mutex, hash map) pairs. Shard choice uses a different 64-bit slice of
+// the cid than ChunkStorePool's partitioner, so striping stays uniform
+// even inside a single pool partition. Thread-safe.
 class MemChunkStore : public ChunkStore {
  public:
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit MemChunkStore(size_t n_shards = kDefaultShards);
+
   using ChunkStore::Put;
   Status Put(const Hash& cid, const Chunk& chunk) override;
   Status Get(const Hash& cid, Chunk* chunk) const override;
   bool Contains(const Hash& cid) const override;
+  Status PutBatch(const ChunkBatch& batch) override;
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const override;
   ChunkStoreStats stats() const override;
+
+  size_t n_shards() const { return shards_.size(); }
 
   // Invokes `fn` for every stored chunk (snapshot of cids; used by
   // anti-entropy repair and storage audits).
   void ForEach(const std::function<void(const Hash&, const Chunk&)>& fn) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<Hash, Chunk, HashHasher> chunks_;
-  ChunkStoreStats stats_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Hash, Chunk, HashHasher> chunks;
+  };
+
+  size_t ShardIndex(const Hash& cid) const {
+    return static_cast<size_t>(cid.Mid64() % shards_.size());
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  AtomicChunkStoreStats stats_;
 };
 
 // Log-structured persistent store. Chunks are appended to segment files
 // ("<dir>/seg-<n>.fbl"); a segment rolls over at segment_size bytes. The
 // cid index is rebuilt on Open() by scanning segments, which also verifies
 // every record's cid (corruption detection).
+//
+// Thread-safe: one mutex serializes appends and index mutations (the log
+// tail is inherently serial); reads resolve the record location under the
+// lock but perform file I/O outside it, so Gets of already-flushed records
+// proceed in parallel with appends.
 //
 // Record format: [fixed32 len][cid 32B][chunk bytes (len)]
 class LogChunkStore : public ChunkStore {
@@ -103,6 +225,9 @@ class LogChunkStore : public ChunkStore {
   Status Put(const Hash& cid, const Chunk& chunk) override;
   Status Get(const Hash& cid, Chunk* chunk) const override;
   bool Contains(const Hash& cid) const override;
+  Status PutBatch(const ChunkBatch& batch) override;
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const override;
   ChunkStoreStats stats() const override;
 
   // Forces buffered writes to the OS.
@@ -120,6 +245,11 @@ class LogChunkStore : public ChunkStore {
 
   Status Recover();
   Status RollSegment();
+  // Appends one record; caller must hold mu_.
+  Status PutLocked(const Hash& cid, const Chunk& chunk);
+  // Reads a record's body from its segment file. Safe to call without
+  // mu_ once the record is known to be flushed (records are immutable
+  // and segments are never deleted).
   Status ReadRecord(const Location& loc, Chunk* chunk) const;
   std::string SegmentPath(uint32_t n) const;
 
@@ -128,15 +258,16 @@ class LogChunkStore : public ChunkStore {
 
   mutable std::mutex mu_;
   std::unordered_map<Hash, Location, HashHasher> index_;
-  ChunkStoreStats stats_;
   std::FILE* active_ = nullptr;
   uint32_t active_id_ = 0;
   uint64_t active_off_ = 0;
+
+  AtomicChunkStoreStats stats_;
 };
 
 // A pool of chunk-store instances partitioned by cid hash — the bottom
 // layer of the two-layer partitioning scheme. All instances are accessible
-// from any servlet (shared pool semantics).
+// from any servlet (shared pool semantics). Thread-safe (each instance is).
 class ChunkStorePool {
  public:
   explicit ChunkStorePool(size_t n_instances);
@@ -164,6 +295,12 @@ class ChunkStorePool {
   Status Get(const Hash& cid, Chunk* chunk) const {
     return Route(cid)->Get(cid, chunk);
   }
+
+  // Batched entry points: group by partition, then issue one sub-batch
+  // per instance so each partition's locks are taken once.
+  Status PutBatch(const ChunkBatch& batch);
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const;
 
   // Aggregate and per-instance stats (Fig 15 storage balance).
   ChunkStoreStats TotalStats() const;

@@ -3,8 +3,7 @@
 namespace fb {
 
 Status LeafChunker::Commit() {
-  Chunk chunk(leaf_type_, buf_);
-  FB_ASSIGN_OR_RETURN(Hash cid, store_->Put(chunk));
+  FB_ASSIGN_OR_RETURN(Hash cid, writer_.Add(Chunk(leaf_type_, buf_)));
   entries_.push_back(Entry{cid, buf_count_, last_key_});
   buf_.clear();
   buf_count_ = 0;
@@ -47,7 +46,7 @@ Status LeafChunker::AppendRaw(Slice bytes) {
 
 Status LeafChunker::Finish() {
   if (!buf_.empty()) FB_RETURN_NOT_OK(Commit());
-  return Status::OK();
+  return writer_.Flush();
 }
 
 Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
@@ -60,6 +59,10 @@ Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
   const ChunkType index_type = IndexTypeFor(leaf_type);
   const uint64_t mask = (uint64_t{1} << cfg.index_pattern_bits) - 1;
 
+  // Index nodes only reference child cids (computed locally), so every
+  // node of every level can be buffered and written in batches.
+  BatchedChunkWriter writer(store);
+
   while (level.size() > 1) {
     std::vector<Entry> next;
     Bytes buf;
@@ -68,8 +71,7 @@ Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
     size_t node_entries = 0;
 
     auto commit = [&]() -> Status {
-      Chunk chunk(index_type, buf);
-      FB_ASSIGN_OR_RETURN(Hash cid, store->Put(chunk));
+      FB_ASSIGN_OR_RETURN(Hash cid, writer.Add(Chunk(index_type, buf)));
       next.push_back(Entry{cid, node_count, node_key});
       buf.clear();
       node_count = 0;
@@ -92,6 +94,7 @@ Result<Hash> BuildIndexLevels(ChunkStore* store, const TreeConfig& cfg,
     if (node_entries > 0) FB_RETURN_NOT_OK(commit());
     level = std::move(next);
   }
+  FB_RETURN_NOT_OK(writer.Flush());
   return level[0].cid;
 }
 

@@ -25,11 +25,14 @@ namespace fb {
 
 class LeafChunker {
  public:
+  // Completed leaf chunks are buffered in a BatchedChunkWriter and
+  // written via PutBatch, amortizing the store's per-call locking on
+  // bulk loads.
   LeafChunker(ChunkStore* store, ChunkType leaf_type, const TreeConfig& cfg)
-      : store_(store),
-        leaf_type_(leaf_type),
+      : leaf_type_(leaf_type),
         cfg_(cfg),
-        hasher_(cfg.window) {}
+        hasher_(cfg.window),
+        writer_(store) {}
 
   // Appends one serialized element contributing `count_units` base
   // elements (1 for List/Set/Map). `key` is the element's ordering key
@@ -44,16 +47,20 @@ class LeafChunker {
   bool AtBoundary() const { return buf_.empty(); }
 
   // Flushes the trailing partial chunk (which legitimately may not end
-  // with a pattern).
+  // with a pattern) and writes every still-buffered chunk to the store.
+  // Must be called before any emitted leaf is read back; callers that
+  // abandon chunking early (splice resynchronization) call it too, where
+  // it only drains the buffered chunks.
   Status Finish();
 
-  // Entries for all leaves emitted so far, in order.
+  // Entries for all leaves emitted so far, in order. Entries are valid
+  // immediately (cids are computed locally), but the chunks themselves
+  // are only guaranteed to be in the store after Finish().
   std::vector<Entry>& entries() { return entries_; }
 
  private:
   Status Commit();
 
-  ChunkStore* store_;
   ChunkType leaf_type_;
   TreeConfig cfg_;
   RollingHash hasher_;
@@ -62,6 +69,7 @@ class LeafChunker {
   uint64_t buf_count_ = 0;
   Bytes last_key_;
   std::vector<Entry> entries_;
+  BatchedChunkWriter writer_;
 };
 
 // Builds all index levels above `leaves` and returns the root cid.

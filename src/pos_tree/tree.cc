@@ -434,7 +434,9 @@ Status PosTree::SpliceElements(uint64_t pos, uint64_t n_delete,
     FB_RETURN_NOT_OK(chunker.Finish());
     out.insert(out.end(), chunker.entries().begin(), chunker.entries().end());
   } else {
-    // Chunks produced before the resync point.
+    // Chunks produced before the resync point. The chunker sits on a
+    // boundary here, so Finish() only drains its batched writes.
+    FB_RETURN_NOT_OK(chunker.Finish());
     out.insert(out.begin() + static_cast<long>(start_leaf),
                chunker.entries().begin(), chunker.entries().end());
   }
@@ -515,6 +517,8 @@ Status PosTree::SpliceBytes(uint64_t pos, uint64_t n_delete, Slice insert) {
     FB_RETURN_NOT_OK(chunker.Finish());
     out.insert(out.end(), chunker.entries().begin(), chunker.entries().end());
   } else {
+    // Drain batched writes produced before the resync point.
+    FB_RETURN_NOT_OK(chunker.Finish());
     out.insert(out.begin() + static_cast<long>(start_leaf),
                chunker.entries().begin(), chunker.entries().end());
   }

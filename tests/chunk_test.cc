@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "chunk/chunk.h"
 #include "chunk/chunk_store.h"
@@ -208,6 +211,156 @@ TEST_F(LogChunkStoreTest, TamperedSegmentDetectedOnRecovery) {
   EXPECT_TRUE(store.status().IsCorruption());
 }
 
+TEST_F(LogChunkStoreTest, CrashRecoveryRoundTripsEveryCid) {
+  // Write across several small segments, "crash" (drop the store without
+  // an explicit flush-all), reopen, and verify that replaying segments
+  // re-indexes every cid with intact content and exact byte accounting.
+  Rng rng(17);
+  std::vector<std::pair<Hash, Bytes>> written;
+  uint64_t stored_bytes = 0;
+  {
+    auto store = LogChunkStore::Open(dir_.string(), /*segment_size=*/2048);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 120; ++i) {
+      Bytes payload = rng.BytesOf(50 + rng.Uniform(300));
+      Chunk c(ChunkType::kBlob, payload);
+      auto cid = (*store)->Put(c);
+      ASSERT_TRUE(cid.ok());
+      written.emplace_back(*cid, std::move(payload));
+      stored_bytes += c.serialized_size();
+    }
+  }  // destructor closes the active segment — simulated clean crash point
+
+  for (int round = 0; round < 3; ++round) {
+    auto store = LogChunkStore::Open(dir_.string(), 2048);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    const ChunkStoreStats st = (*store)->stats();
+    EXPECT_EQ(st.chunks, written.size());
+    EXPECT_EQ(st.stored_bytes, stored_bytes);
+    for (const auto& [cid, payload] : written) {
+      ASSERT_TRUE((*store)->Contains(cid));
+      Chunk got;
+      ASSERT_TRUE((*store)->Get(cid, &got).ok());
+      ASSERT_EQ(got.payload().ToBytes(), payload);
+      ASSERT_EQ(got.ComputeCid(), cid);
+    }
+    // Appending after recovery must not clobber recovered records.
+    Chunk extra(ChunkType::kList, rng.BytesOf(64 + 10 * round));
+    ASSERT_TRUE((*store)->Put(extra).ok());
+    written.emplace_back(extra.ComputeCid(), extra.payload().ToBytes());
+    stored_bytes += extra.serialized_size();
+  }
+}
+
+// Batched Put/Get must be observably equivalent to the single-op paths:
+// same contents, same dedup accounting, for both store implementations.
+template <typename MakeStore>
+void CheckBatchEquivalence(MakeStore make_store) {
+  Rng rng(23);
+  ChunkBatch batch;
+  for (int i = 0; i < 60; ++i) {
+    Chunk c(ChunkType::kBlob, rng.BytesOf(40 + rng.Uniform(100)));
+    batch.emplace_back(c.ComputeCid(), c);
+  }
+  // Duplicate a third of the batch in-place so intra-batch dedup is hit.
+  for (int i = 0; i < 20; ++i) batch.push_back(batch[i]);
+
+  auto single = make_store("single");
+  for (const auto& [cid, chunk] : batch) {
+    ASSERT_TRUE(single->Put(cid, chunk).ok());
+  }
+  auto batched = make_store("batched");
+  ASSERT_TRUE(batched->PutBatch(batch).ok());
+
+  const ChunkStoreStats a = single->stats();
+  const ChunkStoreStats b = batched->stats();
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.dedup_hits, b.dedup_hits);
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.logical_bytes, b.logical_bytes);
+
+  std::vector<Hash> cids;
+  for (const auto& [cid, chunk] : batch) cids.push_back(cid);
+  std::vector<Chunk> from_batch;
+  ASSERT_TRUE(batched->GetBatch(cids, &from_batch).ok());
+  ASSERT_EQ(from_batch.size(), cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    Chunk from_single;
+    ASSERT_TRUE(single->Get(cids[i], &from_single).ok());
+    EXPECT_EQ(from_batch[i].payload().ToBytes(),
+              from_single.payload().ToBytes());
+    EXPECT_EQ(from_batch[i].type(), from_single.type());
+  }
+
+  // A missing cid fails the whole batched read.
+  cids.push_back(Hash::Of(Slice("absent")));
+  std::vector<Chunk> out;
+  EXPECT_TRUE(batched->GetBatch(cids, &out).IsNotFound());
+}
+
+TEST(MemChunkStoreTest, BatchedOpsMatchSingleOps) {
+  std::vector<std::unique_ptr<MemChunkStore>> keep;
+  CheckBatchEquivalence([&](const char*) -> ChunkStore* {
+    keep.push_back(std::make_unique<MemChunkStore>());
+    return keep.back().get();
+  });
+}
+
+TEST_F(LogChunkStoreTest, BatchedOpsMatchSingleOps) {
+  std::vector<std::unique_ptr<LogChunkStore>> keep;
+  CheckBatchEquivalence([&](const char* name) -> ChunkStore* {
+    auto store = LogChunkStore::Open((dir_ / name).string());
+    EXPECT_TRUE(store.ok());
+    keep.push_back(std::move(*store));
+    return keep.back().get();
+  });
+}
+
+TEST_F(LogChunkStoreTest, BatchedPutsPersistAcrossReopen) {
+  Rng rng(31);
+  ChunkBatch batch;
+  for (int i = 0; i < 40; ++i) {
+    Chunk c(ChunkType::kMap, rng.BytesOf(80));
+    batch.emplace_back(c.ComputeCid(), c);
+  }
+  {
+    auto store = LogChunkStore::Open(dir_.string(), /*segment_size=*/1024);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutBatch(batch).ok());
+  }
+  auto store = LogChunkStore::Open(dir_.string(), 1024);
+  ASSERT_TRUE(store.ok());
+  std::vector<Hash> cids;
+  for (const auto& [cid, chunk] : batch) cids.push_back(cid);
+  std::vector<Chunk> got;
+  ASSERT_TRUE((*store)->GetBatch(cids, &got).ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i].payload().ToBytes(),
+              batch[i].second.payload().ToBytes());
+  }
+}
+
+TEST(MemChunkStoreTest, StripingSpreadsAcrossShards) {
+  // With cryptographic cids, 1000 chunks over 16 shards must not all land
+  // in one stripe (regression guard for the shard router).
+  MemChunkStore store;
+  EXPECT_EQ(store.n_shards(), MemChunkStore::kDefaultShards);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    Chunk c(ChunkType::kBlob, rng.BytesOf(32));
+    ASSERT_TRUE(store.Put(c.ComputeCid(), c).ok());
+  }
+  EXPECT_EQ(store.stats().chunks, 1000u);
+  // Shard choice (Mid64) must be independent of the pool partition
+  // (Low64): chunks routed to one pool partition still spread stripes.
+  uint64_t mid_buckets[4] = {0, 0, 0, 0};
+  store.ForEach([&](const Hash& cid, const Chunk&) {
+    ++mid_buckets[cid.Mid64() % 4];
+  });
+  for (uint64_t n : mid_buckets) EXPECT_GT(n, 100u);
+}
+
 // ---------------------------------------------------------------------------
 // ChunkStorePool
 // ---------------------------------------------------------------------------
@@ -242,6 +395,31 @@ TEST(ChunkStorePoolTest, GetFindsChunkViaAnyRoute) {
   ASSERT_TRUE(pool.Get(cid, &got).ok());
   EXPECT_EQ(got.payload().ToString(), "routed");
   EXPECT_TRUE(pool.Route(cid)->Contains(cid));
+}
+
+TEST(ChunkStorePoolTest, BatchedOpsRouteAcrossPartitions) {
+  ChunkStorePool pool(4);
+  Rng rng(47);
+  ChunkBatch batch;
+  for (int i = 0; i < 400; ++i) {
+    Chunk c(ChunkType::kBlob, rng.BytesOf(48));
+    batch.emplace_back(c.ComputeCid(), c);
+  }
+  ASSERT_TRUE(pool.PutBatch(batch).ok());
+  EXPECT_EQ(pool.TotalStats().chunks, 400u);
+  // Every partition received its share.
+  for (const auto& st : pool.PerInstanceStats()) EXPECT_GT(st.chunks, 0u);
+
+  // Batched read returns chunks in request order, across partitions.
+  std::vector<Hash> cids;
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    cids.push_back(it->first);
+  }
+  std::vector<Chunk> got;
+  ASSERT_TRUE(pool.GetBatch(cids, &got).ok());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    EXPECT_EQ(got[i].ComputeCid(), cids[i]);
+  }
 }
 
 TEST(ChunkStorePoolTest, TotalStatsAggregates) {

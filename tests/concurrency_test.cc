@@ -1,0 +1,255 @@
+// Concurrency tests for the striped chunk-store layer: N threads
+// hammering MemChunkStore / ChunkStorePool / LogChunkStore with
+// overlapping Puts, Gets and batched operations. After the threads
+// quiesce, every chunk must be retrievable with intact content and the
+// dedup counters must satisfy their algebraic invariants:
+//
+//   chunks      == number of distinct cids ever written
+//   dedup_hits  == puts - chunks
+//   stored_bytes  == sum of serialized_size over distinct chunks
+//   logical_bytes == sum of serialized_size over all Put calls
+//
+// Designed to run under -fsanitize=thread (see FORKBASE_SANITIZE in
+// CMakeLists.txt); the assertions also catch lost updates without TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "api/db.h"
+#include "chunk/chunk.h"
+#include "chunk/chunk_store.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+constexpr size_t kThreads = 8;
+constexpr size_t kChunksPerThread = 400;
+// Threads deliberately overlap on a shared key space so dedup races are
+// exercised: payloads are generated as (global id % kDistinctPayloads),
+// so with kThreads * kChunksPerThread > kDistinctPayloads distinct ids,
+// different threads put identical chunks concurrently.
+constexpr size_t kDistinctPayloads = 900;
+
+Chunk PayloadChunk(size_t id) {
+  std::string s = "payload-" + std::to_string(id % kDistinctPayloads) + "-";
+  s.append(id % 37, 'x');  // vary sizes
+  return Chunk(ChunkType::kBlob, ToBytes(s));
+}
+
+// Runs `fn(thread_index)` on kThreads threads and joins them.
+void RunThreads(const std::function<void(size_t)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) threads.emplace_back(fn, t);
+  for (auto& th : threads) th.join();
+}
+
+// Checks the stats invariants given the exact multiset of puts performed.
+void CheckStatsInvariants(const ChunkStoreStats& st, uint64_t total_puts,
+                          uint64_t distinct_chunks, uint64_t distinct_bytes,
+                          uint64_t logical_bytes) {
+  EXPECT_EQ(st.puts, total_puts);
+  EXPECT_EQ(st.chunks, distinct_chunks);
+  EXPECT_EQ(st.dedup_hits, total_puts - distinct_chunks);
+  EXPECT_EQ(st.stored_bytes, distinct_bytes);
+  EXPECT_EQ(st.logical_bytes, logical_bytes);
+}
+
+struct Expected {
+  uint64_t total_puts = 0;
+  uint64_t distinct_chunks = 0;
+  uint64_t distinct_bytes = 0;
+  uint64_t logical_bytes = 0;
+};
+
+// The deterministic workload: every thread puts chunks [0, kChunksPerThread)
+// of its own id stream, which overlap across threads via kDistinctPayloads.
+Expected ComputeExpected() {
+  Expected e;
+  std::unordered_map<Hash, uint64_t, HashHasher> seen;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kChunksPerThread; ++i) {
+      const Chunk c = PayloadChunk(t * kChunksPerThread + i);
+      ++e.total_puts;
+      e.logical_bytes += c.serialized_size();
+      if (seen.emplace(c.ComputeCid(), c.serialized_size()).second) {
+        ++e.distinct_chunks;
+        e.distinct_bytes += c.serialized_size();
+      }
+    }
+  }
+  return e;
+}
+
+TEST(ConcurrencyTest, MemChunkStoreParallelPutGet) {
+  MemChunkStore store;
+  std::atomic<uint64_t> get_failures{0};
+  RunThreads([&](size_t t) {
+    Rng rng(7 * t + 1);
+    for (size_t i = 0; i < kChunksPerThread; ++i) {
+      const size_t id = t * kChunksPerThread + i;
+      const Chunk c = PayloadChunk(id);
+      ASSERT_TRUE(store.Put(c.ComputeCid(), c).ok());
+      // Interleave reads of chunks this thread already wrote.
+      if (i > 0 && rng.Uniform(2) == 0) {
+        const Chunk back =
+            PayloadChunk(t * kChunksPerThread + rng.Uniform(i));
+        Chunk got;
+        if (!store.Get(back.ComputeCid(), &got).ok() ||
+            got.payload() != back.payload()) {
+          ++get_failures;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(get_failures.load(), 0u);
+
+  const Expected e = ComputeExpected();
+  const ChunkStoreStats st = store.stats();
+  CheckStatsInvariants(st, e.total_puts, e.distinct_chunks, e.distinct_bytes,
+                       e.logical_bytes);
+
+  // No lost chunks: every distinct cid is retrievable with intact bytes.
+  for (size_t id = 0; id < kThreads * kChunksPerThread; ++id) {
+    const Chunk c = PayloadChunk(id);
+    Chunk got;
+    ASSERT_TRUE(store.Get(c.ComputeCid(), &got).ok());
+    ASSERT_EQ(got.payload().ToBytes(), c.payload().ToBytes());
+  }
+}
+
+TEST(ConcurrencyTest, MemChunkStoreParallelBatches) {
+  MemChunkStore store;
+  RunThreads([&](size_t t) {
+    ChunkBatch batch;
+    for (size_t i = 0; i < kChunksPerThread; ++i) {
+      const Chunk c = PayloadChunk(t * kChunksPerThread + i);
+      batch.emplace_back(c.ComputeCid(), c);
+      if (batch.size() == 25 || i + 1 == kChunksPerThread) {
+        ASSERT_TRUE(store.PutBatch(batch).ok());
+        // Read the batch straight back through the batched path.
+        std::vector<Hash> cids;
+        for (const auto& [cid, chunk] : batch) cids.push_back(cid);
+        std::vector<Chunk> got;
+        ASSERT_TRUE(store.GetBatch(cids, &got).ok());
+        ASSERT_EQ(got.size(), batch.size());
+        for (size_t j = 0; j < got.size(); ++j) {
+          ASSERT_EQ(got[j].payload().ToBytes(),
+                    batch[j].second.payload().ToBytes());
+        }
+        batch.clear();
+      }
+    }
+  });
+
+  const Expected e = ComputeExpected();
+  CheckStatsInvariants(store.stats(), e.total_puts, e.distinct_chunks,
+                       e.distinct_bytes, e.logical_bytes);
+}
+
+TEST(ConcurrencyTest, ChunkStorePoolParallelMixedOps) {
+  ChunkStorePool pool(4);
+  RunThreads([&](size_t t) {
+    Rng rng(13 * t + 5);
+    ChunkBatch batch;
+    for (size_t i = 0; i < kChunksPerThread; ++i) {
+      const size_t id = t * kChunksPerThread + i;
+      const Chunk c = PayloadChunk(id);
+      if (rng.Uniform(2) == 0) {
+        ASSERT_TRUE(pool.Put(c.ComputeCid(), c).ok());
+      } else {
+        batch.emplace_back(c.ComputeCid(), c);
+        if (batch.size() >= 16) {
+          ASSERT_TRUE(pool.PutBatch(batch).ok());
+          batch.clear();
+        }
+      }
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(pool.PutBatch(batch).ok());
+    }
+  });
+
+  const Expected e = ComputeExpected();
+  CheckStatsInvariants(pool.TotalStats(), e.total_puts, e.distinct_chunks,
+                       e.distinct_bytes, e.logical_bytes);
+
+  // Per-instance chunks sum to the distinct total and every cid resolves
+  // through both the routed and the batched read path.
+  std::vector<Hash> all_cids;
+  for (size_t id = 0; id < kDistinctPayloads; ++id) {
+    all_cids.push_back(PayloadChunk(id).ComputeCid());
+  }
+  std::vector<Chunk> got;
+  ASSERT_TRUE(pool.GetBatch(all_cids, &got).ok());
+  for (size_t i = 0; i < all_cids.size(); ++i) {
+    ASSERT_EQ(got[i].ComputeCid(), all_cids[i]);
+  }
+}
+
+TEST(ConcurrencyTest, LogChunkStoreParallelPutGet) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fb_conc_log_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    auto open = LogChunkStore::Open(dir.string(), /*segment_size=*/16 << 10);
+    ASSERT_TRUE(open.ok()) << open.status().ToString();
+    LogChunkStore* store = open->get();
+    std::atomic<uint64_t> get_failures{0};
+    RunThreads([&](size_t t) {
+      Rng rng(29 * t + 3);
+      for (size_t i = 0; i < kChunksPerThread / 4; ++i) {
+        const size_t id = t * kChunksPerThread + i;
+        const Chunk c = PayloadChunk(id);
+        ASSERT_TRUE(store->Put(c.ComputeCid(), c).ok());
+        if (i > 0 && rng.Uniform(2) == 0) {
+          const Chunk back =
+              PayloadChunk(t * kChunksPerThread + rng.Uniform(i));
+          Chunk got;
+          if (!store->Get(back.ComputeCid(), &got).ok() ||
+              got.payload() != back.payload()) {
+            ++get_failures;
+          }
+        }
+      }
+    });
+    EXPECT_EQ(get_failures.load(), 0u);
+    const ChunkStoreStats st = store->stats();
+    EXPECT_EQ(st.puts, kThreads * (kChunksPerThread / 4));
+    EXPECT_EQ(st.dedup_hits, st.puts - st.chunks);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConcurrencyTest, ForkBasePutManyFromManyThreads) {
+  // Threads bulk-load disjoint key ranges through the DB's batched path;
+  // every key must resolve afterwards and chunk accounting must balance.
+  ForkBase db;
+  RunThreads([&](size_t t) {
+    std::vector<std::pair<std::string, Value>> kvs;
+    for (size_t i = 0; i < 50; ++i) {
+      kvs.emplace_back("key-" + std::to_string(t) + "-" + std::to_string(i),
+                       Value::OfString(Slice("v" + std::to_string(i))));
+    }
+    auto uids = db.PutMany(kvs);
+    ASSERT_TRUE(uids.ok()) << uids.status().ToString();
+    ASSERT_EQ(uids->size(), kvs.size());
+  });
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < 50; ++i) {
+      auto obj = db.Get("key-" + std::to_string(t) + "-" + std::to_string(i));
+      ASSERT_TRUE(obj.ok());
+      EXPECT_EQ(obj->value().bytes().ToString(), "v" + std::to_string(i));
+    }
+  }
+  const ChunkStoreStats st = db.store()->stats();
+  EXPECT_EQ(st.dedup_hits, st.puts - st.chunks);
+}
+
+}  // namespace
+}  // namespace fb

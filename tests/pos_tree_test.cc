@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -888,11 +889,12 @@ TEST(MergeBytesTest, DisjointRangesMerge) {
   const TreeConfig cfg = SmallChunks();
   Rng rng(61);
   Bytes base = rng.BytesOf(10000);
+  ASSERT_EQ(base.size(), 10000u);
 
   Bytes left = base;
-  for (int i = 0; i < 50; ++i) left[1000 + i] = 'L';
+  std::fill_n(left.begin() + 1000, 50, 'L');
   Bytes right = base;
-  for (int i = 0; i < 50; ++i) right[8000 + i] = 'R';
+  std::fill_n(right.begin() + 8000, 50, 'R');
 
   auto rb = PosTree::BuildFromBytes(&store, cfg, Slice(base));
   auto rl = PosTree::BuildFromBytes(&store, cfg, Slice(left));
