@@ -51,13 +51,13 @@ fb::ConflictResolver ResolverByName(const std::string& name) {
 int main(int argc, char** argv) {
   std::unique_ptr<fb::ForkBase> db;
   if (argc > 1) {
-    auto store = fb::LogChunkStore::Open(argv[1]);
-    if (!store.ok()) {
+    auto opened = fb::ForkBase::OpenPersistent(argv[1]);
+    if (!opened.ok()) {
       std::fprintf(stderr, "open %s: %s\n", argv[1],
-                   store.status().ToString().c_str());
+                   opened.status().ToString().c_str());
       return 1;
     }
-    db = std::make_unique<fb::ForkBase>(fb::DBOptions{}, std::move(*store));
+    db = std::move(*opened);
     std::printf("opened persistent store at %s\n", argv[1]);
   } else {
     db = std::make_unique<fb::ForkBase>();

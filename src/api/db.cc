@@ -8,15 +8,26 @@ namespace fb {
 ForkBase::ForkBase(DBOptions options)
     : options_(options),
       owned_store_(std::make_unique<MemChunkStore>()),
-      store_(owned_store_.get()) {}
+      store_(owned_store_.get()),
+      branches_(options.branch_stripes) {}
 
 ForkBase::ForkBase(DBOptions options, std::unique_ptr<ChunkStore> store)
     : options_(options),
       owned_store_(std::move(store)),
-      store_(owned_store_.get()) {}
+      store_(owned_store_.get()),
+      branches_(options.branch_stripes) {}
 
 ForkBase::ForkBase(DBOptions options, ChunkStore* store)
-    : options_(options), store_(store) {}
+    : options_(options), store_(store), branches_(options.branch_stripes) {}
+
+Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, DBOptions options) {
+  LogStoreOptions log_options;
+  log_options.durability = options.durability;
+  FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> store,
+                      LogChunkStore::Open(dir, log_options));
+  return std::make_unique<ForkBase>(options, std::move(store));
+}
 
 // ---------------------------------------------------------------------------
 // Factories / handles
@@ -100,13 +111,7 @@ PosTree ForkBase::TreeOf(const FObject& obj) const {
 
 Result<FObject> ForkBase::Get(const std::string& key,
                               const std::string& branch) {
-  Hash head;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = branches_.find(key);
-    if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-    FB_ASSIGN_OR_RETURN(head, it->second.Head(branch));
-  }
+  FB_ASSIGN_OR_RETURN(Hash head, branches_.Head(key, branch));
   return FObject::Load(*store_, head);
 }
 
@@ -116,10 +121,7 @@ Result<FObject> ForkBase::GetByUid(const Hash& uid) const {
 
 Result<Hash> ForkBase::Head(const std::string& key,
                             const std::string& branch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  return it->second.Head(branch);
+  return branches_.Head(key, branch);
 }
 
 // ---------------------------------------------------------------------------
@@ -141,20 +143,11 @@ Result<Hash> ForkBase::CommitObject(const std::string& key, const Value& value,
 Result<Hash> ForkBase::Put(const std::string& key, const std::string& branch,
                            const Value& value, Slice context) {
   std::vector<Hash> bases;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = branches_.find(key);
-    if (it != branches_.end() && it->second.HasBranch(branch)) {
-      auto head = it->second.Head(branch);
-      if (head.ok()) bases.push_back(*head);
-    }
-  }
+  const Hash head = branches_.HeadOrNull(key, branch);
+  if (!head.IsNull()) bases.push_back(head);
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FB_RETURN_NOT_OK(branches_[key].SetHead(branch, uid));
-  }
+  FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid));
   return uid;
 }
 
@@ -162,48 +155,28 @@ Result<Hash> ForkBase::PutGuarded(const std::string& key,
                                   const std::string& branch,
                                   const Value& value, const Hash& guard_uid,
                                   Slice context) {
-  // Check the guard before doing the (possibly expensive) commit, then
-  // re-check atomically when swinging the head.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = branches_.find(key);
-    const Hash current =
-        (it != branches_.end() && it->second.HasBranch(branch))
-            ? *it->second.Head(branch)
-            : Hash::Null();
-    if (current != guard_uid) {
-      return Status::PreconditionFailed("stale guard for '" + key + "/" +
-                                        branch + "'");
-    }
-  }
+  // Check the guard before doing the (possibly expensive) commit; the
+  // authoritative re-check happens atomically in the guarded SetHead.
+  FB_RETURN_NOT_OK(branches_.CheckGuard(key, branch, guard_uid));
   std::vector<Hash> bases;
   if (!guard_uid.IsNull()) bases.push_back(guard_uid);
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FB_RETURN_NOT_OK(branches_[key].SetHead(branch, uid, &guard_uid));
-  }
+  FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid, &guard_uid));
   return uid;
 }
 
 Result<std::vector<Hash>> ForkBase::PutMany(
     const std::vector<std::pair<std::string, Value>>& kvs,
     const std::string& branch, Slice context) {
-  // Snapshot every pair's base head under one lock, batch-load all
-  // distinct base metas to compute depths, build every Meta chunk, write
-  // them with one batched store call, then swing all heads.
-  std::vector<Hash> base_of(kvs.size());  // null = no existing head
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < kvs.size(); ++i) {
-      auto it = branches_.find(kvs[i].first);
-      if (it != branches_.end() && it->second.HasBranch(branch)) {
-        auto head = it->second.Head(branch);
-        if (head.ok()) base_of[i] = *head;
-      }
-    }
-  }
+  // Snapshot every pair's base head taking each stripe lock once,
+  // batch-load all distinct base metas to compute depths, build every
+  // Meta chunk, write them with one batched store call, then swing all
+  // heads (again one lock acquisition per stripe).
+  std::vector<std::string> keys;
+  keys.reserve(kvs.size());
+  for (const auto& [k, v] : kvs) keys.push_back(k);
+  const std::vector<Hash> base_of = branches_.SnapshotHeads(keys, branch);
 
   std::unordered_map<Hash, uint64_t, HashHasher> depth_of;
   std::vector<Hash> base_cids;
@@ -245,12 +218,7 @@ Result<std::vector<Hash>> ForkBase::PutMany(
     uids.push_back(uid);
   }
   FB_RETURN_NOT_OK(store_->PutBatch(metas));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < kvs.size(); ++i) {
-      FB_RETURN_NOT_OK(branches_[kvs[i].first].SetHead(branch, uids[i]));
-    }
-  }
+  FB_RETURN_NOT_OK(branches_.SetHeads(keys, branch, uids));
   return uids;
 }
 
@@ -265,10 +233,7 @@ Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,
   }
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    branches_[key].AddUntagged(uid, base_uid);
-  }
+  FB_RETURN_NOT_OK(branches_.AddUntagged(key, uid, base_uid));
   return uid;
 }
 
@@ -277,27 +242,17 @@ Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,
 // ---------------------------------------------------------------------------
 
 std::vector<std::string> ForkBase::ListKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> keys;
-  keys.reserve(branches_.size());
-  for (const auto& [k, t] : branches_) keys.push_back(k);
-  return keys;
+  return branches_.Keys();
 }
 
 Result<std::vector<std::pair<std::string, Hash>>> ForkBase::ListTaggedBranches(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  return it->second.TaggedBranches();
+  return branches_.TaggedBranches(key);
 }
 
 Result<std::vector<Hash>> ForkBase::ListUntaggedBranches(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  return it->second.UntaggedBranches();
+  return branches_.UntaggedBranches(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -306,14 +261,7 @@ Result<std::vector<Hash>> ForkBase::ListUntaggedBranches(
 
 Status ForkBase::Fork(const std::string& key, const std::string& ref_branch,
                       const std::string& new_branch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  FB_ASSIGN_OR_RETURN(Hash head, it->second.Head(ref_branch));
-  if (it->second.HasBranch(new_branch)) {
-    return Status::AlreadyExists("branch '" + new_branch + "'");
-  }
-  return it->second.SetHead(new_branch, head);
+  return branches_.Fork(key, ref_branch, new_branch);
 }
 
 Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
@@ -323,28 +271,17 @@ Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
   if (obj.key() != key) {
     return Status::InvalidArgument("uid belongs to key '" + obj.key() + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  BranchTable& table = branches_[key];
-  if (table.HasBranch(new_branch)) {
-    return Status::AlreadyExists("branch '" + new_branch + "'");
-  }
-  return table.SetHead(new_branch, ref_uid);
+  return branches_.CreateBranchAt(key, ref_uid, new_branch);
 }
 
 Status ForkBase::Rename(const std::string& key, const std::string& tgt_branch,
                         const std::string& new_branch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  return it->second.RenameBranch(tgt_branch, new_branch);
+  return branches_.Rename(key, tgt_branch, new_branch);
 }
 
 Status ForkBase::Remove(const std::string& key,
                         const std::string& tgt_branch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = branches_.find(key);
-  if (it == branches_.end()) return Status::NotFound("key '" + key + "'");
-  return it->second.RemoveBranch(tgt_branch);
+  return branches_.Remove(key, tgt_branch);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,10 +469,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeWithUid(
       MergeHeads(key, tgt_head, ref_uid, resolver, context,
                  {tgt_head, ref_uid}));
   if (!outcome.clean()) return outcome;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FB_RETURN_NOT_OK(branches_[key].SetHead(tgt_branch, outcome.uid));
-  }
+  FB_RETURN_NOT_OK(branches_.SetHead(key, tgt_branch, outcome.uid));
   return outcome;
 }
 
@@ -553,10 +487,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeUids(
     if (!outcome.clean()) return outcome;
     acc = outcome.uid;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    branches_[key].ReplaceUntagged(uids, acc);
-  }
+  FB_RETURN_NOT_OK(branches_.ReplaceUntagged(key, uids, acc));
   outcome.uid = acc;
   return outcome;
 }
@@ -566,37 +497,17 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeUids(
 // ---------------------------------------------------------------------------
 
 Result<Bytes> ForkBase::ExportBranchState() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Bytes out;
-  PutVarint64(&out, branches_.size());
-  for (const auto& [key, table] : branches_) {
-    PutLengthPrefixed(&out, Slice(key));
-    table.SerializeTo(&out);
-  }
-  return out;
+  return branches_.ExportState();
 }
 
 Status ForkBase::ImportBranchState(Slice data) {
-  std::map<std::string, BranchTable> restored;
-  ByteReader r(data);
-  uint64_t n_keys = 0;
-  FB_RETURN_NOT_OK(r.ReadVarint64(&n_keys));
-  for (uint64_t i = 0; i < n_keys; ++i) {
-    Slice key;
-    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&key));
-    BranchTable table;
-    FB_RETURN_NOT_OK(BranchTable::DeserializeFrom(&r, &table));
-    // Verify every head still resolves to a valid object in the store
-    // (tamper-evident restore).
-    for (const auto& [name, head] : table.TaggedBranches()) {
-      FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
-      (void)obj;
-    }
-    restored[key.ToString()] = std::move(table);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  branches_ = std::move(restored);
-  return Status::OK();
+  // Verify every head still resolves to a valid object in the store
+  // (tamper-evident restore).
+  return branches_.ImportState(data, [this](const Hash& head) -> Status {
+    FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
+    (void)obj;
+    return Status::OK();
+  });
 }
 
 Result<std::vector<KeyDiff>> ForkBase::DiffSortedVersions(

@@ -18,14 +18,12 @@
 #ifndef FORKBASE_API_DB_H_
 #define FORKBASE_API_DB_H_
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/merge_resolver.h"
-#include "branch/branch_table.h"
+#include "branch/branch_manager.h"
 #include "branch/history.h"
 #include "chunk/chunk_store.h"
 #include "pos_tree/diff.h"
@@ -36,6 +34,13 @@ namespace fb {
 
 struct DBOptions {
   TreeConfig tree;
+  // Stripe count of the BranchManager (key -> stripe): commits on keys
+  // that hash to different stripes never contend. 1 reproduces the
+  // paper's fully-serialized servlet.
+  size_t branch_stripes = BranchManager::kDefaultStripes;
+  // Fsync policy applied when the engine opens its own LogChunkStore
+  // (OpenPersistent); see DurabilityPolicy in chunk/chunk_store.h.
+  DurabilityPolicy durability = DurabilityPolicy::kBatch;
 };
 
 class ForkBase {
@@ -48,6 +53,11 @@ class ForkBase {
   // Engine over an external, shared store (not owned). Used by servlets
   // whose chunks live in the cluster-wide pool.
   ForkBase(DBOptions options, ChunkStore* store);
+
+  // Durable embedded engine: opens (creating if necessary) a
+  // LogChunkStore at `dir` with the options' durability policy.
+  static Result<std::unique_ptr<ForkBase>> OpenPersistent(
+      const std::string& dir, DBOptions options = {});
 
   ForkBase(const ForkBase&) = delete;
   ForkBase& operator=(const ForkBase&) = delete;
@@ -216,9 +226,9 @@ class ForkBase {
   std::unique_ptr<ChunkStore> owned_store_;
   ChunkStore* store_;
 
-  // Branch-table operations are serialized, as in the paper's servlet.
-  mutable std::mutex mu_;
-  std::map<std::string, BranchTable> branches_;
+  // Striped branch tables: per-key operations serialize only within the
+  // owning stripe, so independent keys commit in parallel.
+  BranchManager branches_;
 };
 
 }  // namespace fb

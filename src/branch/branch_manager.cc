@@ -1,0 +1,283 @@
+#include "branch/branch_manager.h"
+
+#include <algorithm>
+
+namespace fb {
+
+namespace {
+
+Status KeyNotFound(const std::string& key) {
+  return Status::NotFound("key '" + key + "'");
+}
+
+}  // namespace
+
+BranchManager::BranchManager(size_t n_stripes) {
+  if (n_stripes == 0) n_stripes = 1;
+  stripes_.reserve(n_stripes);
+  for (size_t i = 0; i < n_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Head reads
+// ---------------------------------------------------------------------------
+
+Result<Hash> BranchManager::Head(const std::string& key,
+                                 const std::string& branch) const {
+  const Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  return it->second.Head(branch);
+}
+
+Hash BranchManager::HeadOrNull(const std::string& key,
+                               const std::string& branch) const {
+  const Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end() || !it->second.HasBranch(branch)) {
+    return Hash::Null();
+  }
+  return *it->second.Head(branch);
+}
+
+// ---------------------------------------------------------------------------
+// Head writes
+// ---------------------------------------------------------------------------
+
+Status BranchManager::SetHead(const std::string& key,
+                              const std::string& branch, const Hash& head,
+                              const Hash* guard) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.tables[key].SetHead(branch, head, guard);
+}
+
+Status BranchManager::CheckGuard(const std::string& key,
+                                 const std::string& branch,
+                                 const Hash& guard) const {
+  if (HeadOrNull(key, branch) != guard) {
+    return Status::PreconditionFailed("stale guard for '" + key + "/" +
+                                      branch + "'");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fork / rename / remove
+// ---------------------------------------------------------------------------
+
+Status BranchManager::Fork(const std::string& key,
+                           const std::string& ref_branch,
+                           const std::string& new_branch) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  FB_ASSIGN_OR_RETURN(Hash head, it->second.Head(ref_branch));
+  if (it->second.HasBranch(new_branch)) {
+    return Status::AlreadyExists("branch '" + new_branch + "'");
+  }
+  return it->second.SetHead(new_branch, head);
+}
+
+Status BranchManager::CreateBranchAt(const std::string& key, const Hash& uid,
+                                     const std::string& new_branch) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  BranchTable& table = stripe.tables[key];
+  if (table.HasBranch(new_branch)) {
+    return Status::AlreadyExists("branch '" + new_branch + "'");
+  }
+  return table.SetHead(new_branch, uid);
+}
+
+Status BranchManager::Rename(const std::string& key,
+                             const std::string& tgt_branch,
+                             const std::string& new_branch) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  return it->second.RenameBranch(tgt_branch, new_branch);
+}
+
+Status BranchManager::Remove(const std::string& key,
+                             const std::string& tgt_branch) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  return it->second.RemoveBranch(tgt_branch);
+}
+
+// ---------------------------------------------------------------------------
+// Untagged branches
+// ---------------------------------------------------------------------------
+
+Status BranchManager::AddUntagged(const std::string& key, const Hash& uid,
+                                  const Hash& base) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.tables[key].AddUntagged(uid, base);
+  return Status::OK();
+}
+
+Status BranchManager::ReplaceUntagged(const std::string& key,
+                                      const std::vector<Hash>& old_heads,
+                                      const Hash& merged) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.tables[key].ReplaceUntagged(old_heads, merged);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> BranchManager::Keys() const {
+  std::vector<std::string> keys;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [k, t] : stripe->tables) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Result<std::vector<std::pair<std::string, Hash>>> BranchManager::TaggedBranches(
+    const std::string& key) const {
+  const Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  return it->second.TaggedBranches();
+}
+
+Result<std::vector<Hash>> BranchManager::UntaggedBranches(
+    const std::string& key) const {
+  const Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(key);
+  if (it == stripe.tables.end()) return KeyNotFound(key);
+  return it->second.UntaggedBranches();
+}
+
+// ---------------------------------------------------------------------------
+// Batched ops
+// ---------------------------------------------------------------------------
+
+std::vector<Hash> BranchManager::SnapshotHeads(
+    const std::vector<std::string>& keys, const std::string& branch) const {
+  std::vector<Hash> heads(keys.size());
+  std::vector<std::vector<size_t>> by_stripe(stripes_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_stripe[StripeIndex(keys[i])].push_back(i);
+  }
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    if (by_stripe[s].empty()) continue;
+    const Stripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t i : by_stripe[s]) {
+      auto it = stripe.tables.find(keys[i]);
+      if (it != stripe.tables.end() && it->second.HasBranch(branch)) {
+        heads[i] = *it->second.Head(branch);
+      }
+    }
+  }
+  return heads;
+}
+
+Status BranchManager::SetHeads(const std::vector<std::string>& keys,
+                               const std::string& branch,
+                               const std::vector<Hash>& heads) {
+  if (keys.size() != heads.size()) {
+    return Status::InvalidArgument("SetHeads: keys/heads size mismatch");
+  }
+  std::vector<std::vector<size_t>> by_stripe(stripes_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_stripe[StripeIndex(keys[i])].push_back(i);
+  }
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    if (by_stripe[s].empty()) continue;
+    Stripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t i : by_stripe[s]) {
+      FB_RETURN_NOT_OK(stripe.tables[keys[i]].SetHead(branch, heads[i]));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+Bytes BranchManager::ExportState() const {
+  // Hold ALL stripe locks (index order, as ImportState does) so the
+  // snapshot is a consistent point-in-time cut — a per-stripe walk could
+  // capture half of a concurrent SetHeads batch. Keys are assembled in
+  // globally sorted order so the encoding is deterministic and
+  // byte-compatible with the single-map format.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) locks.emplace_back(stripe->mu);
+
+  std::vector<std::pair<std::string, Bytes>> entries;
+  for (const auto& stripe : stripes_) {
+    for (const auto& [key, table] : stripe->tables) {
+      Bytes encoded;
+      table.SerializeTo(&encoded);
+      entries.emplace_back(key, std::move(encoded));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Bytes out;
+  PutVarint64(&out, entries.size());
+  for (const auto& [key, encoded] : entries) {
+    PutLengthPrefixed(&out, Slice(key));
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+Status BranchManager::ImportState(Slice data, const HeadVerifier& verify) {
+  std::map<std::string, BranchTable> restored;
+  ByteReader r(data);
+  uint64_t n_keys = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&n_keys));
+  for (uint64_t i = 0; i < n_keys; ++i) {
+    Slice key;
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&key));
+    BranchTable table;
+    FB_RETURN_NOT_OK(BranchTable::DeserializeFrom(&r, &table));
+    if (verify) {
+      for (const auto& [name, head] : table.TaggedBranches()) {
+        FB_RETURN_NOT_OK(verify(head));
+      }
+    }
+    restored[key.ToString()] = std::move(table);
+  }
+
+  // Install the full view atomically with respect to every per-key op:
+  // take all stripe locks (in index order; no other code path holds two)
+  // and swap the contents.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    locks.emplace_back(stripe->mu);
+  }
+  for (const auto& stripe : stripes_) stripe->tables.clear();
+  for (auto& [key, table] : restored) {
+    stripes_[StripeIndex(key)]->tables[key] = std::move(table);
+  }
+  return Status::OK();
+}
+
+}  // namespace fb

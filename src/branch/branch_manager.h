@@ -1,0 +1,145 @@
+// BranchManager: the striped branch-table subsystem behind ForkBase.
+//
+// The paper's servlet (Section 4.5) serializes all branch-table updates;
+// this manager instead stripes the key space over N independent
+// (mutex, key -> BranchTable) shards so commits on independent keys
+// proceed fully in parallel, while per-key semantics — guarded Put CAS,
+// fork-on-conflict UB-table maintenance, fork/rename/remove — stay
+// atomic under the owning stripe's lock.
+//
+// Locking rules:
+//  * Every per-key operation takes exactly one stripe lock.
+//  * Batched operations (SnapshotHeads/SetHeads) group keys by stripe and
+//    take each stripe lock once.
+//  * ExportState and ImportState lock all stripes in index order (the
+//    only multi-stripe acquisitions, so no lock-order cycle exists) and
+//    are therefore consistent point-in-time snapshots.
+
+#ifndef FORKBASE_BRANCH_BRANCH_MANAGER_H_
+#define FORKBASE_BRANCH_BRANCH_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "branch/branch_table.h"
+#include "util/codec.h"
+#include "util/status.h"
+
+namespace fb {
+
+class BranchManager {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit BranchManager(size_t n_stripes = kDefaultStripes);
+
+  BranchManager(const BranchManager&) = delete;
+  BranchManager& operator=(const BranchManager&) = delete;
+
+  size_t n_stripes() const { return stripes_.size(); }
+
+  // --- Head reads ---------------------------------------------------------
+
+  // NotFound if the key or the branch does not exist.
+  Result<Hash> Head(const std::string& key, const std::string& branch) const;
+
+  // The head, or the null hash when the key/branch is absent (the base
+  // snapshot a fork-on-demand Put starts from).
+  Hash HeadOrNull(const std::string& key, const std::string& branch) const;
+
+  // --- Head writes --------------------------------------------------------
+
+  // Moves (or creates) a branch head; creates the key's table on demand.
+  // With a non-null `guard`, fails with PreconditionFailed unless the
+  // current head equals *guard — the guarded-Put CAS, atomic under the
+  // stripe lock.
+  Status SetHead(const std::string& key, const std::string& branch,
+                 const Hash& head, const Hash* guard = nullptr);
+
+  // PreconditionFailed unless the current head (null when absent) equals
+  // `guard`. Used as a cheap pre-check before an expensive commit; the
+  // authoritative check is the guarded SetHead.
+  Status CheckGuard(const std::string& key, const std::string& branch,
+                    const Hash& guard) const;
+
+  // --- Fork / rename / remove (M11-M14) ------------------------------------
+
+  // Atomically: resolve ref_branch's head, verify new_branch is absent,
+  // create it. NotFound if the key or ref_branch is missing.
+  Status Fork(const std::string& key, const std::string& ref_branch,
+              const std::string& new_branch);
+  // Creates new_branch at `uid` (creating the key's table on demand);
+  // AlreadyExists if the branch is taken. Callers validate the uid.
+  Status CreateBranchAt(const std::string& key, const Hash& uid,
+                        const std::string& new_branch);
+  Status Rename(const std::string& key, const std::string& tgt_branch,
+                const std::string& new_branch);
+  Status Remove(const std::string& key, const std::string& tgt_branch);
+
+  // --- Untagged branches (fork-on-conflict, M4/M7) --------------------------
+
+  Status AddUntagged(const std::string& key, const Hash& uid,
+                     const Hash& base);
+  Status ReplaceUntagged(const std::string& key,
+                         const std::vector<Hash>& old_heads,
+                         const Hash& merged);
+
+  // --- Views ----------------------------------------------------------------
+
+  std::vector<std::string> Keys() const;
+  Result<std::vector<std::pair<std::string, Hash>>> TaggedBranches(
+      const std::string& key) const;
+  Result<std::vector<Hash>> UntaggedBranches(const std::string& key) const;
+
+  // --- Batched ops (bulk-load fast path) ------------------------------------
+
+  // Head-or-null for each key on `branch`, taking each stripe lock once.
+  std::vector<Hash> SnapshotHeads(const std::vector<std::string>& keys,
+                                  const std::string& branch) const;
+  // Unconditionally swings keys[i] -> heads[i] on `branch`, grouped by
+  // stripe. keys and heads must be the same length.
+  Status SetHeads(const std::vector<std::string>& keys,
+                  const std::string& branch, const std::vector<Hash>& heads);
+
+  // --- Persistence ----------------------------------------------------------
+  //
+  // The wire format is identical to the pre-striped encoding (varint key
+  // count, then per key: length-prefixed key + BranchTable), with keys in
+  // globally sorted order, so snapshots are deterministic and exchangeable
+  // across stripe counts.
+
+  Bytes ExportState() const;
+
+  // Replaces the entire branch view. `verify` (optional) is invoked for
+  // every tagged head before anything is installed; any failure aborts the
+  // import with the existing state untouched.
+  using HeadVerifier = std::function<Status(const Hash&)>;
+  Status ImportState(Slice data, const HeadVerifier& verify = nullptr);
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, BranchTable> tables;
+  };
+
+  Stripe& StripeOf(const std::string& key) {
+    return *stripes_[StripeIndex(key)];
+  }
+  const Stripe& StripeOf(const std::string& key) const {
+    return *stripes_[StripeIndex(key)];
+  }
+  size_t StripeIndex(const std::string& key) const {
+    return std::hash<std::string>{}(key) % stripes_.size();
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_BRANCH_BRANCH_MANAGER_H_

@@ -1,6 +1,7 @@
 #include "chunk/chunk_store.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -157,15 +158,22 @@ void MemChunkStore::ForEach(
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<LogChunkStore>> LogChunkStore::Open(
-    const std::string& dir, uint64_t segment_size) {
+    const std::string& dir, LogStoreOptions options) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IOError("create_directories: " + ec.message());
-  auto store = std::unique_ptr<LogChunkStore>(
-      new LogChunkStore(dir, segment_size));
+  auto store =
+      std::unique_ptr<LogChunkStore>(new LogChunkStore(dir, options));
   Status s = store->Recover();
   if (!s.ok()) return s;
   return store;
+}
+
+Result<std::unique_ptr<LogChunkStore>> LogChunkStore::Open(
+    const std::string& dir, uint64_t segment_size) {
+  LogStoreOptions options;
+  options.segment_size = segment_size;
+  return Open(dir, options);
 }
 
 LogChunkStore::~LogChunkStore() {
@@ -179,12 +187,25 @@ std::string LogChunkStore::SegmentPath(uint32_t n) const {
 }
 
 Status LogChunkStore::Recover() {
-  // Scan segments in order; verify each record's cid while indexing.
+  // Scan segments in order; verify each record's cid while indexing. A
+  // truncated record is forgiven only at the tail of the LAST segment —
+  // that is exactly what a process crash between group-commit fwrites
+  // leaves behind (stdio appends are prefix writes) — and is cut off so
+  // appends resume at the last good record. Tampering (cid mismatch, bad
+  // encoding) and short records in earlier segments are corruption
+  // wherever they appear. Deliberately NOT forgiven: a full-length tail
+  // record whose cid does not verify. Power loss with out-of-order page
+  // writeback can produce one, but so can an attacker rewriting the last
+  // record — and silently truncating it would erase the evidence. A
+  // tamper-evident store fails loud on that ambiguity and leaves the
+  // call to the operator.
   uint32_t seg = 0;
-  for (;; ++seg) {
+  bool torn_tail = false;
+  for (; !torn_tail; ++seg) {
     const std::string path = SegmentPath(seg);
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) break;
+    const bool is_last = !std::filesystem::exists(SegmentPath(seg + 1));
     uint64_t off = 0;
     for (;;) {
       uint8_t header[4 + Hash::kSize];
@@ -192,7 +213,12 @@ Status LogChunkStore::Recover() {
       if (got == 0) break;  // clean end of segment
       if (got != sizeof(header)) {
         std::fclose(f);
-        return Status::Corruption("truncated record header in " + path);
+        f = nullptr;
+        if (!is_last) {
+          return Status::Corruption("truncated record header in " + path);
+        }
+        torn_tail = true;
+        break;
       }
       uint32_t len = 0;
       for (int i = 0; i < 4; ++i) len |= uint32_t{header[i]} << (8 * i);
@@ -201,9 +227,16 @@ Status LogChunkStore::Recover() {
       const Hash cid{d};
 
       Bytes body(len);
-      if (len > 0 && std::fread(body.data(), 1, len, f) != len) {
+      const size_t body_got =
+          len > 0 ? std::fread(body.data(), 1, len, f) : 0;
+      if (len > 0 && body_got != len) {
         std::fclose(f);
-        return Status::Corruption("truncated record body in " + path);
+        f = nullptr;
+        if (!is_last) {
+          return Status::Corruption("truncated record body in " + path);
+        }
+        torn_tail = true;
+        break;
       }
       Chunk chunk;
       if (!Chunk::Deserialize(Slice(body), &chunk)) {
@@ -218,9 +251,16 @@ Status LogChunkStore::Recover() {
       stats_.RecordRecoveredChunk(chunk.serialized_size());
       off += sizeof(header) + len;
     }
-    std::fclose(f);
+    if (f != nullptr) std::fclose(f);
     active_id_ = seg;
     active_off_ = off;
+    if (torn_tail) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, off, ec);
+      if (ec) {
+        return Status::IOError("truncate torn tail: " + ec.message());
+      }
+    }
   }
 
   // Open (or create) the active segment for appending.
@@ -248,42 +288,125 @@ Status LogChunkStore::RollSegment() {
   return Status::OK();
 }
 
-Status LogChunkStore::PutLocked(const Hash& cid, const Chunk& chunk) {
-  if (index_.count(cid) > 0) {
-    stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
-    return Status::OK();
+Status LogChunkStore::SyncActive() {
+  if (std::fflush(active_) != 0) return Status::IOError("fflush");
+  if (::fsync(::fileno(active_)) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
   }
-
-  if (active_off_ >= segment_size_) FB_RETURN_NOT_OK(RollSegment());
-
-  const Bytes body = chunk.Serialize();
-  const uint32_t len = static_cast<uint32_t>(body.size());
-  uint8_t header[4 + Hash::kSize];
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-  std::memcpy(header + 4, cid.data(), Hash::kSize);
-
-  if (std::fwrite(header, 1, sizeof(header), active_) != sizeof(header) ||
-      (len > 0 && std::fwrite(body.data(), 1, len, active_) != len)) {
-    return Status::IOError("short write to segment");
-  }
-
-  index_[cid] = Location{active_id_, active_off_, len};
-  active_off_ += sizeof(header) + len;
-  stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/false);
   return Status::OK();
+}
+
+Status LogChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Records are packed into `buf` and written with one fwrite per
+  // segment-span; their index entries are published only after the bytes
+  // (and, per policy, the fsync) land, so readers never see a record the
+  // log does not hold.
+  Bytes buf;
+  std::vector<std::pair<Hash, Location>> staged;
+  std::vector<uint64_t> staged_sizes;
+  std::unordered_set<Hash, HashHasher> staged_cids;
+
+  auto flush_staged = [&]() -> Status {
+    if (buf.empty()) return Status::OK();
+    if (std::fwrite(buf.data(), 1, buf.size(), active_) != buf.size()) {
+      return Status::IOError("short write to segment");
+    }
+    if (options_.durability != DurabilityPolicy::kNone) {
+      FB_RETURN_NOT_OK(SyncActive());
+    }
+    for (size_t j = 0; j < staged.size(); ++j) {
+      index_[staged[j].first] = staged[j].second;
+      stats_.RecordPut(staged_sizes[j], /*dedup_hit=*/false);
+    }
+    active_off_ += buf.size();
+    buf.clear();
+    staged.clear();
+    staged_sizes.clear();
+    staged_cids.clear();
+    return Status::OK();
+  };
+
+  for (const PendingAppend& p : group) {
+    const Hash& cid = *p.cid;
+    const Chunk& chunk = *p.chunk;
+    if (index_.count(cid) > 0 || staged_cids.count(cid) > 0) {
+      stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
+      continue;
+    }
+    if (active_off_ + buf.size() >= options_.segment_size) {
+      FB_RETURN_NOT_OK(flush_staged());
+      if (active_off_ >= options_.segment_size) {
+        FB_RETURN_NOT_OK(RollSegment());
+      }
+    }
+
+    const Bytes body = chunk.Serialize();
+    const uint32_t len = static_cast<uint32_t>(body.size());
+    staged.emplace_back(cid,
+                        Location{active_id_, active_off_ + buf.size(), len});
+    staged_sizes.push_back(chunk.serialized_size());
+    staged_cids.insert(cid);
+    uint8_t header[4 + Hash::kSize];
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<uint8_t>(len >> (8 * i));
+    }
+    std::memcpy(header + 4, cid.data(), Hash::kSize);
+    buf.insert(buf.end(), header, header + sizeof(header));
+    buf.insert(buf.end(), body.begin(), body.end());
+
+    if (options_.durability == DurabilityPolicy::kAlways) {
+      FB_RETURN_NOT_OK(flush_staged());
+    }
+  }
+  return flush_staged();
+}
+
+Status LogChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
+  if (n == 0) return Status::OK();
+  std::unique_lock<std::mutex> ql(gc_mu_);
+  if (!gc_error_.ok()) return gc_error_;
+  gc_queue_.insert(gc_queue_.end(), entries, entries + n);
+  gc_enqueued_ += n;
+  const uint64_t target = gc_enqueued_;
+
+  while (gc_durable_ < target) {
+    if (gc_combiner_active_) {
+      // Another writer is combining; it will cover our records or hand
+      // the combiner role back before they are reached.
+      gc_cv_.wait(ql);
+      continue;
+    }
+    gc_combiner_active_ = true;
+    while (!gc_queue_.empty()) {
+      std::vector<PendingAppend> group = std::move(gc_queue_);
+      gc_queue_.clear();
+      ql.unlock();
+      Status s = CommitGroup(group);
+      ql.lock();
+      gc_durable_ += group.size();
+      if (!s.ok() && gc_error_.ok()) gc_error_ = s;
+      gc_cv_.notify_all();
+    }
+    gc_combiner_active_ = false;
+    gc_cv_.notify_all();
+  }
+  return gc_error_;
 }
 
 Status LogChunkStore::Put(const Hash& cid, const Chunk& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return PutLocked(cid, chunk);
+  const PendingAppend one{&cid, &chunk};
+  return EnqueueAndWait(&one, 1);
 }
 
 Status LogChunkStore::PutBatch(const ChunkBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingAppend> entries;
+  entries.reserve(batch.size());
   for (const auto& [cid, chunk] : batch) {
-    FB_RETURN_NOT_OK(PutLocked(cid, chunk));
+    entries.push_back(PendingAppend{&cid, &chunk});
   }
-  return Status::OK();
+  return EnqueueAndWait(entries.data(), entries.size());
 }
 
 namespace {

@@ -24,12 +24,14 @@
 #define FORKBASE_CHUNK_CHUNK_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -200,15 +202,37 @@ class MemChunkStore : public ChunkStore {
   AtomicChunkStoreStats stats_;
 };
 
+// When appended chunks become durable on disk (LogChunkStore):
+//  * kNone   — never fsync; data reaches the OS lazily (fastest, survives
+//              process crashes but not power loss).
+//  * kBatch  — the group-commit combiner fsyncs once per flushed group:
+//              every Put/PutBatch is durable when it returns, at one fsync
+//              amortized over all concurrently-committing writers.
+//  * kAlways — fsync after every individual record (strictest; defeats
+//              group-commit amortization by design).
+enum class DurabilityPolicy { kNone, kBatch, kAlways };
+
+struct LogStoreOptions {
+  uint64_t segment_size = 64ull << 20;
+  DurabilityPolicy durability = DurabilityPolicy::kBatch;
+};
+
 // Log-structured persistent store. Chunks are appended to segment files
 // ("<dir>/seg-<n>.fbl"); a segment rolls over at segment_size bytes. The
 // cid index is rebuilt on Open() by scanning segments, which also verifies
-// every record's cid (corruption detection).
+// every record's cid (corruption detection). A truncated record at the
+// very tail of the last segment — the footprint of a crash mid
+// group-commit — is cut off and recovery keeps every fully-flushed record;
+// a short or tampered record anywhere else is still Corruption.
 //
-// Thread-safe: one mutex serializes appends and index mutations (the log
-// tail is inherently serial); reads resolve the record location under the
-// lock but perform file I/O outside it, so Gets of already-flushed records
-// proceed in parallel with appends.
+// Thread-safe, with group commit on the write path: concurrent Put /
+// PutBatch callers enqueue their records and one of them (the combiner)
+// drains the queue, writing each group with a single fwrite and applying
+// the durability policy once per group, so the durable write path no
+// longer serializes per chunk. A writer returns only after its own
+// records are committed. Reads resolve the record location under the
+// index lock but perform file I/O outside it, so Gets of already-flushed
+// records proceed in parallel with appends.
 //
 // Record format: [fixed32 len][cid 32B][chunk bytes (len)]
 class LogChunkStore : public ChunkStore {
@@ -216,6 +240,8 @@ class LogChunkStore : public ChunkStore {
   static constexpr uint64_t kDefaultSegmentSize = 64ull << 20;
 
   // Opens (creating if necessary) a store rooted at `dir`.
+  static Result<std::unique_ptr<LogChunkStore>> Open(const std::string& dir,
+                                                     LogStoreOptions options);
   static Result<std::unique_ptr<LogChunkStore>> Open(
       const std::string& dir, uint64_t segment_size = kDefaultSegmentSize);
 
@@ -240,13 +266,29 @@ class LogChunkStore : public ChunkStore {
     uint32_t length;  // chunk bytes length
   };
 
-  LogChunkStore(std::string dir, uint64_t segment_size)
-      : dir_(std::move(dir)), segment_size_(segment_size) {}
+  // A record enqueued for group commit. The pointers refer into the
+  // caller's batch, which outlives the group: the caller blocks until its
+  // records are committed.
+  struct PendingAppend {
+    const Hash* cid;
+    const Chunk* chunk;
+  };
+
+  LogChunkStore(std::string dir, LogStoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
 
   Status Recover();
   Status RollSegment();
-  // Appends one record; caller must hold mu_.
-  Status PutLocked(const Hash& cid, const Chunk& chunk);
+  // Enqueues `n` records and blocks until they are committed (possibly
+  // becoming the combiner that commits them).
+  Status EnqueueAndWait(const PendingAppend* entries, size_t n);
+  // Writes one drained group: dedups against the index, packs the fresh
+  // records into contiguous buffers (one fwrite each), applies the
+  // durability policy, publishes index entries. Takes mu_; never holds
+  // gc_mu_.
+  Status CommitGroup(const std::vector<PendingAppend>& group);
+  // fflush + fsync of the active segment; caller must hold mu_.
+  Status SyncActive();
   // Reads a record's body from its segment file. Safe to call without
   // mu_ once the record is known to be flushed (records are immutable
   // and segments are never deleted).
@@ -254,13 +296,23 @@ class LogChunkStore : public ChunkStore {
   std::string SegmentPath(uint32_t n) const;
 
   std::string dir_;
-  uint64_t segment_size_;
+  LogStoreOptions options_;
 
   mutable std::mutex mu_;
   std::unordered_map<Hash, Location, HashHasher> index_;
   std::FILE* active_ = nullptr;
   uint32_t active_id_ = 0;
   uint64_t active_off_ = 0;
+
+  // Group-commit queue. gc_mu_ only guards the queue bookkeeping below;
+  // it is never held across file I/O (CommitGroup runs under mu_ alone).
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  std::vector<PendingAppend> gc_queue_;
+  uint64_t gc_enqueued_ = 0;  // records ever enqueued
+  uint64_t gc_durable_ = 0;   // records committed (or failed)
+  bool gc_combiner_active_ = false;
+  Status gc_error_;  // sticky: an I/O error fails the store
 
   AtomicChunkStoreStats stats_;
 };

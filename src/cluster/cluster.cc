@@ -23,6 +23,32 @@ bool ServletChunkStore::Contains(const Hash& cid) const {
   return RouteData(cid)->Contains(cid) || (*pool_)[local_id_]->Contains(cid);
 }
 
+Status ServletChunkStore::PutBatch(const ChunkBatch& batch) {
+  // Under 1LP every chunk (meta and data) is local: forward the batch
+  // without copying.
+  if (!two_layer_) return (*pool_)[local_id_]->PutBatch(batch);
+
+  std::vector<std::vector<size_t>> by_instance(pool_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const size_t dst = batch[i].second.type() == ChunkType::kMeta
+                           ? local_id_
+                           : DataInstanceOf(batch[i].first);
+    by_instance[dst].push_back(i);
+  }
+  ChunkBatch sub;
+  for (size_t d = 0; d < by_instance.size(); ++d) {
+    if (by_instance[d].empty()) continue;
+    if (by_instance[d].size() == batch.size()) {
+      return (*pool_)[d]->PutBatch(batch);  // everything routed one way
+    }
+    sub.clear();
+    sub.reserve(by_instance[d].size());
+    for (size_t i : by_instance[d]) sub.push_back(batch[i]);
+    FB_RETURN_NOT_OK((*pool_)[d]->PutBatch(sub));
+  }
+  return Status::OK();
+}
+
 ChunkStoreStats ServletChunkStore::stats() const {
   // The view aggregates the whole pool (shared storage semantics).
   ChunkStoreStats total;

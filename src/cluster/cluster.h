@@ -9,8 +9,9 @@
 // measured in Figure 15 (1LP vs 2LP).
 //
 // Nodes are simulated in-process: each servlet is an embedded ForkBase
-// engine with its own branch tables and lock, so shared-nothing scaling
-// (Figure 8) is exercised with real threads.
+// engine with its own striped BranchManager (src/branch), so
+// shared-nothing scaling (Figure 8) is exercised with real threads and
+// commits on independent keys never contend, within or across servlets.
 
 #ifndef FORKBASE_CLUSTER_CLUSTER_H_
 #define FORKBASE_CLUSTER_CLUSTER_H_
@@ -45,12 +46,19 @@ class ServletChunkStore : public ChunkStore {
   Status Put(const Hash& cid, const Chunk& chunk) override;
   Status Get(const Hash& cid, Chunk* chunk) const override;
   bool Contains(const Hash& cid) const override;
+  // Groups the batch by destination instance (meta -> local, data ->
+  // cid-routed) so each instance's striped locks are taken once per
+  // batch, as on the embedded bulk-load path.
+  Status PutBatch(const ChunkBatch& batch) override;
   ChunkStoreStats stats() const override;
 
  private:
+  size_t DataInstanceOf(const Hash& cid) const {
+    if (!two_layer_) return local_id_;
+    return static_cast<size_t>(cid.Low64() % pool_->size());
+  }
   MemChunkStore* RouteData(const Hash& cid) const {
-    if (!two_layer_) return (*pool_)[local_id_].get();
-    return (*pool_)[static_cast<size_t>(cid.Low64() % pool_->size())].get();
+    return (*pool_)[DataInstanceOf(cid)].get();
   }
 
   std::vector<std::unique_ptr<MemChunkStore>>* pool_;

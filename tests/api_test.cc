@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "api/db.h"
 #include "util/random.h"
 
@@ -551,6 +553,106 @@ TEST(ApiChunkableTest, DedupAcrossVersionHistory) {
   const ChunkStoreStats st = db.store()->stats();
   EXPECT_LT(st.stored_bytes, 21u * 200 * 1024 / 3)
       << "deduplication should keep storage well below the logical total";
+}
+
+// ---------------------------------------------------------------------------
+// Branch-state export/import through the striped BranchManager.
+// ---------------------------------------------------------------------------
+
+TEST(ApiBranchStateTest, ExportImportRoundTripAcrossStripes) {
+  // Enough keys to populate many stripes, with tagged branches, forks,
+  // and fork-on-conflict (untagged) heads. Importing into a second
+  // engine over the SAME store must reproduce the exact branch view, and
+  // re-exporting must be byte-identical (deterministic sorted encoding),
+  // regardless of the two engines' stripe counts.
+  DBOptions exporter_opts = SmallOpts();
+  exporter_opts.branch_stripes = 16;
+  ForkBase db(exporter_opts);
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    ASSERT_TRUE(db.Put(key, Value::OfInt(i)).ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(db.Fork(key, kDefaultBranch, "dev").ok());
+      ASSERT_TRUE(db.Put(key, "dev", Value::OfInt(i * 10)).ok());
+    }
+    if (i % 5 == 0) {
+      ASSERT_TRUE(
+          db.PutByBase(key + "-foc", Hash::Null(), Value::OfInt(i)).ok());
+    }
+  }
+  auto snapshot = db.ExportBranchState();
+  ASSERT_TRUE(snapshot.ok());
+
+  DBOptions importer_opts = SmallOpts();
+  importer_opts.branch_stripes = 3;  // stripe count is not part of the format
+  ForkBase restored(importer_opts, db.store());
+  ASSERT_TRUE(restored.ImportBranchState(Slice(*snapshot)).ok());
+
+  EXPECT_EQ(restored.ListKeys(), db.ListKeys());
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    auto tagged = restored.ListTaggedBranches(key);
+    auto orig_tagged = db.ListTaggedBranches(key);
+    ASSERT_TRUE(tagged.ok());
+    ASSERT_TRUE(orig_tagged.ok());
+    EXPECT_EQ(*tagged, *orig_tagged);
+    if (i % 5 == 0) {
+      auto untagged = restored.ListUntaggedBranches(key + "-foc");
+      auto orig_untagged = db.ListUntaggedBranches(key + "-foc");
+      ASSERT_TRUE(untagged.ok());
+      ASSERT_TRUE(orig_untagged.ok());
+      EXPECT_EQ(*untagged, *orig_untagged);
+    }
+  }
+
+  auto re_export = restored.ExportBranchState();
+  ASSERT_TRUE(re_export.ok());
+  EXPECT_EQ(*re_export, *snapshot);
+}
+
+TEST(ApiBranchStateTest, ExportImportEmptyState) {
+  ForkBase db(SmallOpts());
+  auto snapshot = db.ExportBranchState();
+  ASSERT_TRUE(snapshot.ok());
+
+  ForkBase restored(SmallOpts(), db.store());
+  ASSERT_TRUE(restored.Put("pre-existing", Value::OfInt(1)).ok());
+  // Importing an empty snapshot replaces (clears) the branch view.
+  ASSERT_TRUE(restored.ImportBranchState(Slice(*snapshot)).ok());
+  EXPECT_TRUE(restored.ListKeys().empty());
+  EXPECT_TRUE(restored.Get("pre-existing").status().IsNotFound());
+}
+
+TEST(ApiBranchStateTest, ExportImportUntaggedOnlyTables) {
+  // A key with ONLY untagged heads (no tagged branch at all) must
+  // round-trip; so must a key whose tagged branches were later removed.
+  ForkBase db(SmallOpts());
+  auto u1 = db.PutByBase("foc-only", Hash::Null(), Value::OfString("a"));
+  ASSERT_TRUE(u1.ok());
+  auto u2 = db.PutByBase("foc-only", Hash::Null(), Value::OfString("b"));
+  ASSERT_TRUE(u2.ok());
+
+  ASSERT_TRUE(db.Put("emptied", Value::OfInt(1)).ok());
+  ASSERT_TRUE(db.Remove("emptied", kDefaultBranch).ok());
+
+  auto snapshot = db.ExportBranchState();
+  ASSERT_TRUE(snapshot.ok());
+  ForkBase restored(SmallOpts(), db.store());
+  ASSERT_TRUE(restored.ImportBranchState(Slice(*snapshot)).ok());
+
+  auto untagged = restored.ListUntaggedBranches("foc-only");
+  ASSERT_TRUE(untagged.ok());
+  const std::set<Hash> got(untagged->begin(), untagged->end());
+  EXPECT_EQ(got, (std::set<Hash>{*u1, *u2}));
+
+  // The emptied key survives as a key with no branches.
+  auto tagged = restored.ListTaggedBranches("emptied");
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_TRUE(tagged->empty());
+
+  auto re_export = restored.ExportBranchState();
+  ASSERT_TRUE(re_export.ok());
+  EXPECT_EQ(*re_export, *snapshot);
 }
 
 }  // namespace

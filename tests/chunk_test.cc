@@ -341,6 +341,115 @@ TEST_F(LogChunkStoreTest, BatchedPutsPersistAcrossReopen) {
   }
 }
 
+TEST_F(LogChunkStoreTest, GroupCommitTornTailRecovery) {
+  // Kill the log mid-batch: truncate the active segment inside the last
+  // record, exactly what a crash between group-commit fwrites leaves.
+  // Recovery must keep every fully-flushed chunk, reject (cut off) the
+  // torn tail, and leave the store writable.
+  std::vector<std::pair<Hash, Bytes>> flushed;
+  Hash torn_cid;
+  uint64_t flushed_size = 0;
+  {
+    auto store = LogChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) {
+      Bytes payload = rng.BytesOf(100 + rng.Uniform(100));
+      Chunk c(ChunkType::kBlob, payload);
+      ASSERT_TRUE((*store)->Put(c.ComputeCid(), c).ok());
+      flushed.emplace_back(c.ComputeCid(), std::move(payload));
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    flushed_size = std::filesystem::file_size(dir_ / "seg-000000.fbl");
+    Chunk tail(ChunkType::kBlob, rng.BytesOf(300));
+    torn_cid = tail.ComputeCid();
+    ASSERT_TRUE((*store)->Put(torn_cid, tail).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Tear the tail record: keep its header plus half the body.
+  const auto seg = dir_ / "seg-000000.fbl";
+  ASSERT_GT(std::filesystem::file_size(seg), flushed_size);
+  std::filesystem::resize_file(seg, flushed_size + 4 + 32 + 150);
+
+  auto reopened = LogChunkStore::Open(dir_.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  LogChunkStore* store = reopened->get();
+  EXPECT_EQ(store->stats().chunks, flushed.size());
+  for (const auto& [cid, payload] : flushed) {
+    Chunk got;
+    ASSERT_TRUE(store->Get(cid, &got).ok());
+    EXPECT_EQ(got.payload().ToBytes(), payload);
+  }
+  // The torn record is gone — and the file was truncated back to the
+  // last good record, so new appends start clean.
+  EXPECT_FALSE(store->Contains(torn_cid));
+  EXPECT_EQ(std::filesystem::file_size(seg), flushed_size);
+
+  // The store stays fully usable: re-put the torn chunk and a new one.
+  Rng rng2(9);
+  Chunk again(ChunkType::kBlob, rng2.BytesOf(300));
+  ASSERT_TRUE(store->Put(again.ComputeCid(), again).ok());
+  ASSERT_TRUE(store->Flush().ok());
+  Chunk got;
+  ASSERT_TRUE(store->Get(again.ComputeCid(), &got).ok());
+  EXPECT_EQ(got.payload().ToBytes(), again.payload().ToBytes());
+}
+
+TEST_F(LogChunkStoreTest, TornTailInEarlierSegmentIsStillCorruption) {
+  // A short record is only forgivable at the tail of the LAST segment;
+  // mid-log truncation is real corruption and must fail recovery.
+  {
+    auto store = LogChunkStore::Open(dir_.string(), /*segment_size=*/512);
+    ASSERT_TRUE(store.ok());
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+      Chunk c(ChunkType::kBlob, rng.BytesOf(200));
+      ASSERT_TRUE((*store)->Put(c.ComputeCid(), c).ok());
+    }
+  }
+  const auto seg0 = dir_ / "seg-000000.fbl";
+  ASSERT_TRUE(std::filesystem::exists(dir_ / "seg-000001.fbl"));
+  std::filesystem::resize_file(seg0,
+                               std::filesystem::file_size(seg0) - 10);
+  auto reopened = LogChunkStore::Open(dir_.string(), 512);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(LogChunkStoreTest, DurabilityPoliciesRoundTrip) {
+  // All three fsync policies must agree on contents and accounting; this
+  // exercises the per-record flush path of kAlways and the no-sync path
+  // of kNone through group commit.
+  for (DurabilityPolicy policy :
+       {DurabilityPolicy::kNone, DurabilityPolicy::kBatch,
+        DurabilityPolicy::kAlways}) {
+    const auto dir =
+        dir_ / ("policy-" + std::to_string(static_cast<int>(policy)));
+    LogStoreOptions options;
+    options.segment_size = 2048;
+    options.durability = policy;
+    Rng rng(13);
+    ChunkBatch batch;
+    for (int i = 0; i < 30; ++i) {
+      Chunk c(ChunkType::kList, rng.BytesOf(100 + rng.Uniform(200)));
+      batch.emplace_back(c.ComputeCid(), c);
+    }
+    {
+      auto store = LogChunkStore::Open(dir.string(), options);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ASSERT_TRUE((*store)->PutBatch(batch).ok());
+      EXPECT_EQ((*store)->stats().chunks, batch.size());
+    }
+    auto store = LogChunkStore::Open(dir.string(), options);
+    ASSERT_TRUE(store.ok());
+    for (const auto& [cid, chunk] : batch) {
+      Chunk got;
+      ASSERT_TRUE((*store)->Get(cid, &got).ok());
+      EXPECT_EQ(got.payload().ToBytes(), chunk.payload().ToBytes());
+    }
+  }
+}
+
 TEST(MemChunkStoreTest, StripingSpreadsAcrossShards) {
   // With cryptographic cids, 1000 chunks over 16 shards must not all land
   // in one stripe (regression guard for the shard router).
