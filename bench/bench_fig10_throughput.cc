@@ -27,13 +27,17 @@ std::unique_ptr<LedgerBackend> MakeBackend(const std::string& name) {
 }  // namespace fb
 
 int main(int argc, char** argv) {
-  const double scale = fb::bench::ScaleArg(argc, argv, 0.05);
+  const bool quick = fb::bench::FlagArg(argc, argv, "--quick");
+  const double scale = fb::bench::ScaleArg(argc, argv, quick ? 0.02 : 0.05);
+  fb::bench::BenchJson json(argc, argv, "fig10_throughput");
+  json.Config("scale", scale).Config("quick", quick ? "true" : "false");
 
   fb::bench::Header("Figure 10: client-perceived throughput (b=50, r=w=0.5)");
   fb::bench::Row("%12s %10s %14s", "Backend", "#Updates", "txn/s");
 
+  const int max_exp = quick ? 12 : 18;
   for (const char* backend_name : {"ForkBase", "Rocksdb", "ForkBase-KV"}) {
-    for (int exp = 10; exp <= 18; exp += 2) {
+    for (int exp = 10; exp <= max_exp; exp += 2) {
       const uint64_t updates = uint64_t{1} << exp;
       const uint64_t n =
           std::max<uint64_t>(256, static_cast<uint64_t>(updates * scale));
@@ -49,6 +53,10 @@ int main(int argc, char** argv) {
       fb::bench::Row("%12s %10llu %14.0f", backend_name,
                      static_cast<unsigned long long>(updates),
                      result->Throughput());
+      json.Row()
+          .Str("backend", backend_name)
+          .Num("updates", static_cast<double>(updates))
+          .Num("txn_per_s", result->Throughput());
     }
   }
   fb::bench::Row("(scaled: %g of paper's update counts per run)", scale);

@@ -62,13 +62,13 @@ int main(int argc, char** argv) {
       for (int e = 0; e < explorations; ++e) {
         const std::string page = fb::MakeKey(rng.Uniform(num_pages), 8,
                                              "page");
-        fb::CachedChunkStore cache(wiki.db().store());
-        auto head = wiki.db().Get(page);
+        fb::CachedChunkStore cache(wiki.service().store());
+        auto head = wiki.service().Get(page);
         fb::bench::Check(head.status(), "get head");
-        auto versions = wiki.db().TrackFromUid(head->uid(), 0, depth - 1);
+        auto versions = wiki.service().TrackFromUid(head->uid(), 0, depth - 1);
         fb::bench::Check(versions.status(), "track");
         for (const auto& obj : *versions) {
-          fb::Blob blob(&cache, wiki.db().tree_config(),
+          fb::Blob blob(&cache, wiki.service().tree_config(),
                         obj.value().root());
           auto bytes = blob.ReadAll();
           fb::bench::Check(bytes.status(), "read");

@@ -7,6 +7,7 @@
 // near-uniform because cryptographic cids spread chunks evenly.
 
 #include "bench/bench_common.h"
+#include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "util/random.h"
 
@@ -18,6 +19,7 @@ void RunMode(bool two_layer, int num_pages, int num_requests) {
   opts.num_servlets = 16;
   opts.two_layer_partitioning = two_layer;
   Cluster cluster(opts);
+  ClusterClient client(&cluster);
 
   ZipfGenerator zipf(num_pages, 0.5, 17);
   Rng rng(18);
@@ -32,10 +34,10 @@ void RunMode(bool two_layer, int num_pages, int num_requests) {
       content[pos + j] = static_cast<char>('a' + rng.Uniform(26));
     }
     const std::string key = MakeKey(page_idx, 8, "page");
-    ForkBase* servlet = cluster.Route(key);
-    Blob blob = bench::CheckResult(servlet->CreateBlob(Slice(content)),
-                                   "blob");
-    bench::Check(servlet->Put(key, blob.ToValue()).status(), "put");
+    // PutBlob ships the page bytes and lets the owning servlet build the
+    // POS-Tree, so chunk placement stays governed by the 1LP/2LP policy.
+    bench::Check(client.PutBlob(key, kDefaultBranch, Slice(content)).status(),
+                 "put");
   }
 
   const auto bytes = cluster.PerNodeStorageBytes();

@@ -19,10 +19,12 @@
 // baseline) versus the default striping. `--json` records both series in
 // BENCH_fig8_scalability.json; `--quick` shrinks the sweep for CI.
 
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "util/random.h"
 
@@ -31,6 +33,7 @@ namespace {
 
 double RunPhase(Cluster* cluster, size_t value_size, int total_ops,
                 bool do_puts) {
+  ClusterClient client(cluster);
   const size_t n = cluster->num_servlets();
   const int ops_per_servlet = total_ops / static_cast<int>(n);
 
@@ -56,15 +59,14 @@ double RunPhase(Cluster* cluster, size_t value_size, int total_ops,
     threads.emplace_back([&, s] {
       Rng rng(s * 7919 + 13);
       const std::string value = rng.String(value_size);
-      ForkBase* servlet = cluster->servlet(s);
       Timer t;
       for (int i = 0; i < ops_per_servlet; ++i) {
         const std::string& key = partition[s][i % partition[s].size()];
         if (do_puts) {
-          bench::Check(servlet->Put(key, Value::OfString(value)).status(),
+          bench::Check(client.Put(key, Value::OfString(value)).status(),
                        "Put");
         } else {
-          bench::Check(servlet->Get(key).status(), "Get");
+          bench::Check(client.Get(key).status(), "Get");
         }
       }
       elapsed[s] = t.ElapsedSeconds();
@@ -106,6 +108,49 @@ double RunStripedPuts(size_t n_threads, size_t n_stripes,
   for (auto& th : threads) th.join();
   return static_cast<double>(n_threads) *
          static_cast<double>(ops_per_thread) / t.ElapsedSeconds() / 1e3;
+}
+
+// The async client path: T threads Submit() fork-on-demand Puts in
+// bursts and then await the futures. Per-servlet worker queues coalesce
+// queued Puts into PutMany group commits; the returned stats show how
+// many groups formed.
+struct AsyncResult {
+  double kops = 0;
+  ClusterClient::SubmitStats stats;
+};
+
+AsyncResult RunAsyncSubmit(Cluster* cluster, size_t n_threads,
+                           int ops_per_thread, size_t value_size) {
+  ClusterClient client(cluster);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  Timer t;
+  for (size_t tid = 0; tid < n_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(311 * tid + 5);
+      const std::string value = rng.String(value_size);
+      std::vector<std::future<Reply>> futures;
+      futures.reserve(ops_per_thread);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        Command cmd;
+        cmd.op = CommandOp::kPut;
+        cmd.key = MakeKey(tid * 100000 + i, 10, "as");
+        cmd.branch = kDefaultBranch;
+        cmd.value = Value::OfString(value);
+        futures.push_back(client.Submit(std::move(cmd)));
+      }
+      for (auto& f : futures) {
+        bench::Check(f.get().ToStatus(), "Submit(Put)");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  client.Flush();
+  AsyncResult r;
+  r.kops = static_cast<double>(n_threads) *
+           static_cast<double>(ops_per_thread) / t.ElapsedSeconds() / 1e3;
+  r.stats = client.submit_stats();
+  return r;
 }
 
 }  // namespace
@@ -174,6 +219,33 @@ int main(int argc, char** argv) {
         .Num("put_single_lock_kops", single)
         .Num("put_striped_kops", striped)
         .Num("speedup", striped / single);
+  }
+
+  fb::bench::Header(
+      "Async ClusterClient::Submit: per-servlet queues coalescing Puts "
+      "into PutMany group commits");
+  fb::bench::Row("%8s %14s %12s %16s %10s", "Threads", "Put kop/s",
+                 "put groups", "coalesced puts", "max group");
+  const int async_ops = std::max(500, base_ops / 4);
+  const std::vector<size_t> async_threads =
+      quick ? std::vector<size_t>{4} : std::vector<size_t>{2, 4, 8};
+  for (size_t t : async_threads) {
+    fb::ClusterOptions opts;
+    opts.num_servlets = 4;
+    fb::Cluster cluster(opts);
+    const fb::AsyncResult r =
+        fb::RunAsyncSubmit(&cluster, t, async_ops, 256);
+    fb::bench::Row("%8zu %14.1f %12llu %16llu %10llu", t, r.kops,
+                   static_cast<unsigned long long>(r.stats.put_groups),
+                   static_cast<unsigned long long>(r.stats.coalesced_puts),
+                   static_cast<unsigned long long>(r.stats.max_group));
+    json.Row()
+        .Str("phase", "async_client")
+        .Num("threads", static_cast<double>(t))
+        .Num("put_kops", r.kops)
+        .Num("put_groups", static_cast<double>(r.stats.put_groups))
+        .Num("coalesced_puts", static_cast<double>(r.stats.coalesced_puts))
+        .Num("max_group", static_cast<double>(r.stats.max_group));
   }
   return 0;
 }

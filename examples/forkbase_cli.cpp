@@ -30,8 +30,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "api/db.h"
-#include "chunk/chunk_store.h"
+#include "api/service.h"
 
 namespace {
 
@@ -39,19 +38,21 @@ void Print(const fb::Status& s) {
   std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
 }
 
-fb::ConflictResolver ResolverByName(const std::string& name) {
-  if (name == "left") return fb::ChooseLeft();
-  if (name == "right") return fb::ChooseRight();
-  if (name == "append") return fb::ResolveAppend();
-  return nullptr;
+fb::MergePolicy PolicyByName(const std::string& name) {
+  if (name == "left") return fb::MergePolicy::kChooseLeft;
+  if (name == "right") return fb::MergePolicy::kChooseRight;
+  if (name == "append") return fb::MergePolicy::kAppend;
+  return fb::MergePolicy::kNone;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::unique_ptr<fb::ForkBase> db;
+  std::unique_ptr<fb::EmbeddedService> db;
   if (argc > 1) {
-    auto opened = fb::ForkBase::OpenPersistent(argv[1]);
+    // Persistent: branch state snapshots next to the chunk log, so keys
+    // and branches survive across shell sessions.
+    auto opened = fb::EmbeddedService::OpenPersistent(argv[1]);
     if (!opened.ok()) {
       std::fprintf(stderr, "open %s: %s\n", argv[1],
                    opened.status().ToString().c_str());
@@ -60,7 +61,8 @@ int main(int argc, char** argv) {
     db = std::move(*opened);
     std::printf("opened persistent store at %s\n", argv[1]);
   } else {
-    db = std::make_unique<fb::ForkBase>();
+    db = std::make_unique<fb::EmbeddedService>(
+        std::make_unique<fb::ForkBase>());
     std::printf("in-memory store (pass a directory for persistence)\n");
   }
 
@@ -156,7 +158,7 @@ int main(int argc, char** argv) {
     } else if (cmd == "merge") {
       std::string key, tgt, ref, strategy;
       in >> key >> tgt >> ref >> strategy;
-      auto outcome = db->Merge(key, tgt, ref, ResolverByName(strategy));
+      auto outcome = db->Merge(key, tgt, ref, PolicyByName(strategy));
       if (!outcome.ok()) {
         Print(outcome.status());
       } else if (!outcome->clean()) {
@@ -166,7 +168,12 @@ int main(int argc, char** argv) {
         std::printf("merged -> %s\n", outcome->uid.ToShortHex().c_str());
       }
     } else if (cmd == "keys") {
-      for (const auto& k : db->ListKeys()) std::printf("%s\n", k.c_str());
+      auto keys = db->ListKeys();
+      if (!keys.ok()) {
+        Print(keys.status());
+        continue;
+      }
+      for (const auto& k : *keys) std::printf("%s\n", k.c_str());
     } else {
       std::printf("unknown command '%s'\n", cmd.c_str());
     }

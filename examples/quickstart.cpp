@@ -1,15 +1,21 @@
 // Quickstart: the core ForkBase workflow from Section 3 / Figure 4 —
 // put/get, fork a branch, edit a Blob through its handle, commit, track
-// history, diff and merge.
+// history, diff and merge — written against ForkBaseService, the unified
+// client API. The same code runs over an embedded engine (below) or a
+// cluster: swap the EmbeddedService for a ClusterClient and nothing else
+// changes.
 
 #include <cstdio>
 
-#include "api/db.h"
+#include "api/service.h"
 
 using fb::Blob;
+using fb::EmbeddedService;
 using fb::FObject;
 using fb::ForkBase;
+using fb::ForkBaseService;
 using fb::kDefaultBranch;
+using fb::MergePolicy;
 using fb::Slice;
 using fb::Value;
 
@@ -32,7 +38,9 @@ using fb::Value;
   auto& var = *var##_r
 
 int main() {
-  ForkBase db;
+  ForkBase engine;
+  EmbeddedService service(&engine);
+  ForkBaseService& db = service;  // everything below is deployment-agnostic
 
   // --- Put a blob to the default master branch (Figure 4) ---
   CHECK_RESULT(blob, db.CreateBlob(Slice("0123456789my value")));
@@ -82,9 +90,10 @@ int main() {
   CHECK_RESULT(history, db.Track("my key", "new branch", 0, 10));
   std::printf("new-branch history has %zu versions\n", history.size());
 
-  // --- Merge the branch back into master ---
+  // --- Merge the branch back into master (conflicts resolved by
+  //     MergePolicy: resolver callables cannot cross the API boundary) ---
   CHECK_RESULT(outcome, db.Merge("my key", "master", "new branch",
-                                 fb::ChooseRight()));
+                                 MergePolicy::kChooseRight));
   std::printf("merge %s, merged uid %s\n",
               outcome.clean() ? "clean" : "had conflicts",
               outcome.uid.ToShortHex().c_str());

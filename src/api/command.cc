@@ -1,0 +1,370 @@
+#include "api/command.h"
+
+#include <cstring>
+
+#include "util/codec.h"
+
+namespace fb {
+
+const char* CommandOpToString(CommandOp op) {
+  switch (op) {
+    case CommandOp::kGet: return "Get";
+    case CommandOp::kGetByUid: return "GetByUid";
+    case CommandOp::kHead: return "Head";
+    case CommandOp::kPut: return "Put";
+    case CommandOp::kPutGuarded: return "PutGuarded";
+    case CommandOp::kPutByBase: return "PutByBase";
+    case CommandOp::kPutMany: return "PutMany";
+    case CommandOp::kPutBlob: return "PutBlob";
+    case CommandOp::kListKeys: return "ListKeys";
+    case CommandOp::kListTaggedBranches: return "ListTaggedBranches";
+    case CommandOp::kListUntaggedBranches: return "ListUntaggedBranches";
+    case CommandOp::kFork: return "Fork";
+    case CommandOp::kForkFromUid: return "ForkFromUid";
+    case CommandOp::kRename: return "Rename";
+    case CommandOp::kRemove: return "Remove";
+    case CommandOp::kTrack: return "Track";
+    case CommandOp::kTrackFromUid: return "TrackFromUid";
+    case CommandOp::kLca: return "Lca";
+    case CommandOp::kMerge: return "Merge";
+    case CommandOp::kMergeWithUid: return "MergeWithUid";
+    case CommandOp::kMergeUids: return "MergeUids";
+    case CommandOp::kDiffSorted: return "DiffSorted";
+    case CommandOp::kDiffBlob: return "DiffBlob";
+  }
+  return "Unknown";
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kNotFound: return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kTypeMismatch:
+      return Status::TypeMismatch(std::move(message));
+    case StatusCode::kConflict: return Status::Conflict(std::move(message));
+    case StatusCode::kPreconditionFailed:
+      return Status::PreconditionFailed(std::move(message));
+    case StatusCode::kIOError: return Status::IOError(std::move(message));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kInternal: return Status::Internal(std::move(message));
+  }
+  return Status::Internal("unknown status code");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field encoders / decoders. Every field is written unconditionally in a
+// fixed order, which is what makes the encoding byte-stable: two equal
+// envelopes always serialize to identical bytes.
+// ---------------------------------------------------------------------------
+
+void PutHash(Bytes* out, const Hash& h) { AppendSlice(out, h.slice()); }
+
+Status ReadHash(ByteReader* r, Hash* h) {
+  Slice raw;
+  FB_RETURN_NOT_OK(r->ReadRaw(Hash::kSize, &raw));
+  Sha256::Digest d;
+  std::memcpy(d.data(), raw.data(), Hash::kSize);
+  *h = Hash(d);
+  return Status::OK();
+}
+
+void PutHashVec(Bytes* out, const std::vector<Hash>& v) {
+  PutVarint64(out, v.size());
+  for (const Hash& h : v) PutHash(out, h);
+}
+
+Status ReadHashVec(ByteReader* r, std::vector<Hash>* v) {
+  uint64_t n = 0;
+  FB_RETURN_NOT_OK(r->ReadVarint64(&n));
+  if (n > r->remaining() / Hash::kSize) {
+    return Status::Corruption("hash vector length exceeds buffer");
+  }
+  v->resize(n);
+  for (uint64_t i = 0; i < n; ++i) FB_RETURN_NOT_OK(ReadHash(r, &(*v)[i]));
+  return Status::OK();
+}
+
+void PutValue(Bytes* out, const Value& v) {
+  out->push_back(static_cast<uint8_t>(v.type()));
+  PutLengthPrefixed(out, v.bytes());
+  PutHash(out, v.root());
+}
+
+Status ReadValue(ByteReader* r, Value* out) {
+  Slice raw;
+  FB_RETURN_NOT_OK(r->ReadRaw(1, &raw));
+  const uint8_t type = raw[0];
+  if (type > static_cast<uint8_t>(UType::kSet)) {
+    return Status::Corruption("bad value type");
+  }
+  Slice bytes;
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&bytes));
+  Hash root;
+  FB_RETURN_NOT_OK(ReadHash(r, &root));
+  const UType ut = static_cast<UType>(type);
+  if (IsChunkable(ut)) {
+    *out = Value::OfTree(ut, root);
+    return Status::OK();
+  }
+  // Primitive: re-wrap the raw encoding under its type.
+  switch (ut) {
+    case UType::kBool:
+      *out = Value::OfBool(!bytes.empty() && bytes[0] != 0);
+      break;
+    case UType::kInt: {
+      ByteReader ir(bytes);
+      uint64_t zz = 0;
+      FB_RETURN_NOT_OK(ir.ReadVarint64(&zz));
+      *out = Value::OfInt(ZigZagDecode(zz));
+      break;
+    }
+    case UType::kString:
+      *out = Value::OfString(bytes);
+      break;
+    case UType::kTuple: {
+      std::vector<Bytes> fields;
+      ByteReader ir(bytes);
+      while (!ir.AtEnd()) {
+        Slice f;
+        FB_RETURN_NOT_OK(ir.ReadLengthPrefixed(&f));
+        fields.push_back(f.ToBytes());
+      }
+      *out = Value::OfTuple(fields);
+      break;
+    }
+    default:
+      return Status::Internal("unreachable");
+  }
+  return Status::OK();
+}
+
+void PutOptionalBytes(Bytes* out, const std::optional<Bytes>& b) {
+  out->push_back(b.has_value() ? 1 : 0);
+  PutLengthPrefixed(out, b.has_value() ? Slice(*b) : Slice());
+}
+
+Status ReadOptionalBytes(ByteReader* r, std::optional<Bytes>* out) {
+  Slice flag;
+  FB_RETURN_NOT_OK(r->ReadRaw(1, &flag));
+  Slice body;
+  FB_RETURN_NOT_OK(r->ReadLengthPrefixed(&body));
+  if (flag[0] != 0) {
+    *out = body.ToBytes();
+  } else {
+    out->reset();
+  }
+  return Status::OK();
+}
+
+Status ReadCount(ByteReader* r, uint64_t* n, size_t min_elem_bytes) {
+  FB_RETURN_NOT_OK(r->ReadVarint64(n));
+  if (min_elem_bytes > 0 && *n > r->remaining() / min_elem_bytes) {
+    return Status::Corruption("collection length exceeds buffer");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Command
+// ---------------------------------------------------------------------------
+
+Bytes Command::Serialize() const {
+  Bytes out;
+  out.push_back(kCommandWireVersion);
+  out.push_back(static_cast<uint8_t>(op));
+  PutLengthPrefixed(&out, Slice(key));
+  PutLengthPrefixed(&out, Slice(branch));
+  PutLengthPrefixed(&out, Slice(branch2));
+  PutHash(&out, uid);
+  PutHash(&out, uid2);
+  PutHashVec(&out, uids);
+  PutValue(&out, value);
+  PutVarint64(&out, kvs.size());
+  for (const auto& [k, v] : kvs) {
+    PutLengthPrefixed(&out, Slice(k));
+    PutValue(&out, v);
+  }
+  PutLengthPrefixed(&out, Slice(content));
+  PutLengthPrefixed(&out, Slice(context));
+  PutVarint64(&out, min_dist);
+  PutVarint64(&out, max_dist);
+  out.push_back(static_cast<uint8_t>(policy));
+  return out;
+}
+
+Result<Command> Command::Parse(Slice data) {
+  ByteReader r(data);
+  Slice b;
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] != kCommandWireVersion) {
+    return Status::NotSupported("command wire version " +
+                                std::to_string(b[0]));
+  }
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] > kMaxCommandOp) return Status::Corruption("bad command op");
+
+  Command cmd;
+  cmd.op = static_cast<CommandOp>(b[0]);
+  Slice s;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  cmd.key = s.ToString();
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  cmd.branch = s.ToString();
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  cmd.branch2 = s.ToString();
+  FB_RETURN_NOT_OK(ReadHash(&r, &cmd.uid));
+  FB_RETURN_NOT_OK(ReadHash(&r, &cmd.uid2));
+  FB_RETURN_NOT_OK(ReadHashVec(&r, &cmd.uids));
+  FB_RETURN_NOT_OK(ReadValue(&r, &cmd.value));
+  uint64_t n_kvs = 0;
+  FB_RETURN_NOT_OK(ReadCount(&r, &n_kvs, 1 + 1 + 1 + Hash::kSize));
+  cmd.kvs.reserve(n_kvs);
+  for (uint64_t i = 0; i < n_kvs; ++i) {
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    Value v;
+    FB_RETURN_NOT_OK(ReadValue(&r, &v));
+    cmd.kvs.emplace_back(s.ToString(), std::move(v));
+  }
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  cmd.content = s.ToBytes();
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  cmd.context = s.ToBytes();
+  FB_RETURN_NOT_OK(r.ReadVarint64(&cmd.min_dist));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&cmd.max_dist));
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] > kMaxMergePolicy) return Status::Corruption("bad merge policy");
+  cmd.policy = static_cast<MergePolicy>(b[0]);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after command");
+  return cmd;
+}
+
+// ---------------------------------------------------------------------------
+// Reply
+// ---------------------------------------------------------------------------
+
+Status Reply::ToStatus() const { return MakeStatus(code, message); }
+
+Reply Reply::FromStatus(const Status& s) {
+  Reply r;
+  r.code = s.code();
+  r.message = s.message();
+  return r;
+}
+
+Bytes Reply::Serialize() const {
+  Bytes out;
+  out.push_back(kCommandWireVersion);
+  out.push_back(static_cast<uint8_t>(code));
+  PutLengthPrefixed(&out, Slice(message));
+  PutHash(&out, uid);
+  PutHashVec(&out, uids);
+  PutVarint64(&out, keys.size());
+  for (const auto& k : keys) PutLengthPrefixed(&out, Slice(k));
+  PutVarint64(&out, branches.size());
+  for (const auto& [name, head] : branches) {
+    PutLengthPrefixed(&out, Slice(name));
+    PutHash(&out, head);
+  }
+  PutVarint64(&out, objects.size());
+  for (const auto& o : objects) PutLengthPrefixed(&out, Slice(o));
+  PutVarint64(&out, conflicts.size());
+  for (const auto& c : conflicts) {
+    PutLengthPrefixed(&out, Slice(c.key));
+    PutOptionalBytes(&out, c.base);
+    PutOptionalBytes(&out, c.left);
+    PutOptionalBytes(&out, c.right);
+  }
+  PutVarint64(&out, range.prefix);
+  PutVarint64(&out, range.a_mid);
+  PutVarint64(&out, range.b_mid);
+  out.push_back(range.identical ? 1 : 0);
+  PutVarint64(&out, key_diffs.size());
+  for (const auto& d : key_diffs) {
+    PutLengthPrefixed(&out, Slice(d.key));
+    PutOptionalBytes(&out, d.left);
+    PutOptionalBytes(&out, d.right);
+  }
+  return out;
+}
+
+Result<Reply> Reply::Parse(Slice data) {
+  ByteReader r(data);
+  Slice b;
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] != kCommandWireVersion) {
+    return Status::NotSupported("reply wire version " + std::to_string(b[0]));
+  }
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("bad status code");
+  }
+  Reply reply;
+  reply.code = static_cast<StatusCode>(b[0]);
+  Slice s;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  reply.message = s.ToString();
+  FB_RETURN_NOT_OK(ReadHash(&r, &reply.uid));
+  FB_RETURN_NOT_OK(ReadHashVec(&r, &reply.uids));
+  uint64_t n = 0;
+  FB_RETURN_NOT_OK(ReadCount(&r, &n, 1));
+  reply.keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    reply.keys.push_back(s.ToString());
+  }
+  FB_RETURN_NOT_OK(ReadCount(&r, &n, 1 + Hash::kSize));
+  reply.branches.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    Hash head;
+    FB_RETURN_NOT_OK(ReadHash(&r, &head));
+    reply.branches.emplace_back(s.ToString(), head);
+  }
+  FB_RETURN_NOT_OK(ReadCount(&r, &n, 1));
+  reply.objects.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    reply.objects.push_back(s.ToBytes());
+  }
+  FB_RETURN_NOT_OK(ReadCount(&r, &n, 1 + 3 * 2));
+  reply.conflicts.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MergeConflict& c = reply.conflicts[i];
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    c.key = s.ToBytes();
+    FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &c.base));
+    FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &c.left));
+    FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &c.right));
+  }
+  FB_RETURN_NOT_OK(r.ReadVarint64(&reply.range.prefix));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&reply.range.a_mid));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&reply.range.b_mid));
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  reply.range.identical = b[0] != 0;
+  FB_RETURN_NOT_OK(ReadCount(&r, &n, 1 + 2 * 2));
+  reply.key_diffs.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    KeyDiff& d = reply.key_diffs[i];
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    d.key = s.ToBytes();
+    FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &d.left));
+    FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &d.right));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after reply");
+  return reply;
+}
+
+}  // namespace fb

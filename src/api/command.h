@@ -1,0 +1,136 @@
+// Command / Reply: the typed request envelope of the ForkBaseService API.
+//
+// Every public engine operation (Table 1, M1-M17, plus the diff and
+// server-side blob-construction extensions) is expressible as one Command
+// value; every outcome as one Reply. Both serialize byte-stably through
+// the codec layer — the same field order and encodings every time — so
+// the envelope doubles as the wire format for a remote transport: the
+// in-process ClusterClient already round-trips every request and response
+// through Serialize/Parse at the servlet boundary.
+//
+// Serialization format (all fields, fixed order, version-prefixed):
+//   Command: [u8 version][u8 op][LP key][LP branch][LP branch2]
+//            [32B uid][32B uid2][varint n + 32B uids...]
+//            [value][varint n + (LP key, value) kvs...]
+//            [LP content][LP context][varint min_dist][varint max_dist]
+//            [u8 policy]
+//   Value:   [u8 type][LP bytes][32B root]
+//   Reply:   [u8 version][u8 code][LP message][32B uid]
+//            [varint n + 32B uids...][varint n + LP keys...]
+//            [varint n + (LP name, 32B head) branches...]
+//            [varint n + LP objects...][varint n + conflicts...]
+//            [range diff][varint n + key diffs...]
+// where LP is a length-prefixed byte string. Parsing rejects trailing
+// bytes, unknown versions, and out-of-range enum values.
+
+#ifndef FORKBASE_API_COMMAND_H_
+#define FORKBASE_API_COMMAND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pos_tree/diff.h"
+#include "pos_tree/merge.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace fb {
+
+// Wire-format version; bumped on any encoding change.
+inline constexpr uint8_t kCommandWireVersion = 1;
+
+// One opcode per public operation. The M-numbers follow Table 1 of the
+// paper; kPutBlob and the diffs are engine extensions.
+enum class CommandOp : uint8_t {
+  kGet = 0,                  // M1/M2: head object of key@branch
+  kGetByUid = 1,             // M2: object by version uid
+  kHead = 2,                 // head uid without fetching the object
+  kPut = 3,                  // M3: fork-on-demand Put
+  kPutGuarded = 4,           // M3 with a head guard (CAS)
+  kPutByBase = 5,            // M4: fork-on-conflict Put
+  kPutMany = 6,              // bulk fork-on-demand Put
+  kPutBlob = 7,              // server-side blob construction + Put
+  kListKeys = 8,             // M8
+  kListTaggedBranches = 9,   // M9
+  kListUntaggedBranches = 10,  // M10
+  kFork = 11,                // M11: branch from a branch head
+  kForkFromUid = 12,         // M12: branch from a version
+  kRename = 13,              // M13
+  kRemove = 14,              // M14
+  kTrack = 15,               // M15: history of key@branch
+  kTrackFromUid = 16,        // M16
+  kLca = 17,                 // M17: latest common version
+  kMerge = 18,               // M5: merge branch into branch
+  kMergeWithUid = 19,        // M6: merge a version into a branch
+  kMergeUids = 20,           // M7: merge untagged versions
+  kDiffSorted = 21,          // key-wise diff of Map/Set versions
+  kDiffBlob = 22,            // byte-range diff of Blob versions
+};
+inline constexpr uint8_t kMaxCommandOp =
+    static_cast<uint8_t>(CommandOp::kDiffBlob);
+
+const char* CommandOpToString(CommandOp op);
+
+// Server-side conflict resolution policy carried by merge commands.
+// Custom ConflictResolver callables cannot travel in an envelope; the
+// built-in strategies of Section 4.5.2 are selected by enum instead.
+enum class MergePolicy : uint8_t {
+  kNone = 0,          // report conflicts unresolved
+  kChooseLeft = 1,    // keep the target branch's value
+  kChooseRight = 2,   // keep the reference branch's value
+  kAppend = 3,        // concatenate left then right
+  kAggregateSum = 4,  // base + (left - base) + (right - base) on Ints
+};
+inline constexpr uint8_t kMaxMergePolicy =
+    static_cast<uint8_t>(MergePolicy::kAggregateSum);
+
+struct Command {
+  CommandOp op = CommandOp::kGet;
+  std::string key;
+  std::string branch;   // branch / target branch
+  std::string branch2;  // reference branch / new branch name
+  Hash uid;             // guard / base / reference / first uid
+  Hash uid2;            // second uid (Lca, diffs)
+  std::vector<Hash> uids;  // MergeUids
+  Value value;
+  std::vector<std::pair<std::string, Value>> kvs;  // PutMany
+  Bytes content;  // PutBlob raw bytes
+  Bytes context;  // application metadata recorded in the FObject
+  uint64_t min_dist = 0;  // Track window
+  uint64_t max_dist = 0;
+  MergePolicy policy = MergePolicy::kNone;
+
+  Bytes Serialize() const;
+  static Result<Command> Parse(Slice data);
+};
+
+struct Reply {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  Hash uid;                  // Put*/Head/Lca/merge result
+  std::vector<Hash> uids;    // PutMany, ListUntaggedBranches
+  std::vector<std::string> keys;  // ListKeys
+  std::vector<std::pair<std::string, Hash>> branches;  // ListTaggedBranches
+  // Serialized meta chunks (FObject::ToChunk().Serialize()); clients
+  // re-materialize with FObject::FromChunk. Get returns one, Track many.
+  std::vector<Bytes> objects;
+  std::vector<MergeConflict> conflicts;  // unresolved merge conflicts
+  RangeDiff range;                       // DiffBlob
+  std::vector<KeyDiff> key_diffs;        // DiffSorted
+
+  bool ok() const { return code == StatusCode::kOk; }
+  // The carried status (OK, or code+message re-materialized).
+  Status ToStatus() const;
+  static Reply FromStatus(const Status& s);
+
+  Bytes Serialize() const;
+  static Result<Reply> Parse(Slice data);
+};
+
+// Builds a Status of the given code (the inverse of Status::code()).
+Status MakeStatus(StatusCode code, std::string message);
+
+}  // namespace fb
+
+#endif  // FORKBASE_API_COMMAND_H_

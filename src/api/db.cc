@@ -1,9 +1,66 @@
 #include "api/db.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <unordered_map>
 
 namespace fb {
+
+namespace {
+
+constexpr char kBranchSnapshotFile[] = "branches.fb";
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open " + path);
+  Bytes data;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read " + path);
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, Slice data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open " + tmp);
+  const bool wrote =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), f) ==
+                          data.size();
+  // fsync before the rename: the rename replaces the previous good
+  // snapshot, so the new bytes must be durable first or a power loss
+  // could leave a torn file where a valid snapshot used to be.
+  const bool flushed =
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  // Persist the rename itself: without a directory fsync the new entry
+  // may not survive power loss even though the data blocks would.
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dfd < 0) return Status::IOError("open dir " + dir);
+  const bool synced = ::fsync(dfd) == 0;
+  ::close(dfd);
+  if (!synced) return Status::IOError("fsync dir " + dir);
+  return Status::OK();
+}
+
+}  // namespace
 
 ForkBase::ForkBase(DBOptions options)
     : options_(options),
@@ -20,13 +77,76 @@ ForkBase::ForkBase(DBOptions options, std::unique_ptr<ChunkStore> store)
 ForkBase::ForkBase(DBOptions options, ChunkStore* store)
     : options_(options), store_(store), branches_(options.branch_stripes) {}
 
+ForkBase::~ForkBase() {
+  if (!branch_snapshot_path_.empty()) {
+    // Final snapshot so close-and-reopen restores every branch head.
+    // Best-effort: a failure leaves the previous on-disk snapshot intact.
+    (void)PersistBranchState();
+  }
+}
+
 Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     const std::string& dir, DBOptions options) {
   LogStoreOptions log_options;
   log_options.durability = options.durability;
   FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> store,
                       LogChunkStore::Open(dir, log_options));
-  return std::make_unique<ForkBase>(options, std::move(store));
+  auto db = std::make_unique<ForkBase>(options, std::move(store));
+
+  const std::string snapshot_path =
+      (std::filesystem::path(dir) / kBranchSnapshotFile).string();
+  if (std::filesystem::exists(snapshot_path)) {
+    auto snapshot = ReadFileBytes(snapshot_path);
+    // Lenient import: every head is verified against the recovered log,
+    // and a key whose head was lost to a torn tail (or a flipped byte)
+    // is dropped individually — the rest of the branch view still
+    // restores. An undecodable snapshot is discarded wholesale rather
+    // than bricking the open; the chunks themselves remain intact.
+    if (snapshot.ok()) {
+      (void)db->branches_.ImportState(
+          Slice(*snapshot),
+          [&db](const Hash& head) -> Status {
+            FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*db->store_, head));
+            (void)obj;
+            return Status::OK();
+          },
+          /*lenient=*/true);
+    }
+  }
+  db->branch_snapshot_path_ = snapshot_path;
+  return db;
+}
+
+Status ForkBase::PersistBranchState() {
+  if (branch_snapshot_path_.empty()) return Status::OK();
+  // Serialize snapshots; Export itself is a consistent point-in-time
+  // view (it locks all stripes), the mutex only orders the file writes.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  FB_ASSIGN_OR_RETURN(Bytes state, ExportBranchState());
+  FB_RETURN_NOT_OK(WriteFileAtomic(branch_snapshot_path_, Slice(state)));
+  // Reset only after the snapshot is durable: a failed write (disk
+  // full) leaves the counter above threshold, so the next mutation
+  // retries instead of waiting out another full cadence window.
+  mutations_since_snapshot_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ForkBase::NoteBranchMutations(uint64_t n) {
+  if (branch_snapshot_path_.empty() || options_.branch_snapshot_every == 0) {
+    return;
+  }
+  const uint64_t count = mutations_since_snapshot_.fetch_add(
+                             n, std::memory_order_relaxed) +
+                         n;
+  if (count >= options_.branch_snapshot_every) {
+    if (!PersistBranchState().ok()) {
+      // Back off: the counter stays above threshold on failure, so
+      // without re-arming every subsequent commit would re-export the
+      // whole branch view. Retry after another half cadence instead.
+      mutations_since_snapshot_.store(options_.branch_snapshot_every / 2,
+                                      std::memory_order_relaxed);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -148,6 +268,7 @@ Result<Hash> ForkBase::Put(const std::string& key, const std::string& branch,
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid));
+  NoteBranchMutations(1);
   return uid;
 }
 
@@ -163,6 +284,7 @@ Result<Hash> ForkBase::PutGuarded(const std::string& key,
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid, &guard_uid));
+  NoteBranchMutations(1);
   return uid;
 }
 
@@ -219,6 +341,7 @@ Result<std::vector<Hash>> ForkBase::PutMany(
   }
   FB_RETURN_NOT_OK(store_->PutBatch(metas));
   FB_RETURN_NOT_OK(branches_.SetHeads(keys, branch, uids));
+  NoteBranchMutations(uids.size());
   return uids;
 }
 
@@ -234,6 +357,7 @@ Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,
   FB_ASSIGN_OR_RETURN(Hash uid,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.AddUntagged(key, uid, base_uid));
+  NoteBranchMutations(1);
   return uid;
 }
 
@@ -261,7 +385,9 @@ Result<std::vector<Hash>> ForkBase::ListUntaggedBranches(
 
 Status ForkBase::Fork(const std::string& key, const std::string& ref_branch,
                       const std::string& new_branch) {
-  return branches_.Fork(key, ref_branch, new_branch);
+  FB_RETURN_NOT_OK(branches_.Fork(key, ref_branch, new_branch));
+  NoteBranchMutations(1);
+  return Status::OK();
 }
 
 Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
@@ -271,17 +397,23 @@ Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
   if (obj.key() != key) {
     return Status::InvalidArgument("uid belongs to key '" + obj.key() + "'");
   }
-  return branches_.CreateBranchAt(key, ref_uid, new_branch);
+  FB_RETURN_NOT_OK(branches_.CreateBranchAt(key, ref_uid, new_branch));
+  NoteBranchMutations(1);
+  return Status::OK();
 }
 
 Status ForkBase::Rename(const std::string& key, const std::string& tgt_branch,
                         const std::string& new_branch) {
-  return branches_.Rename(key, tgt_branch, new_branch);
+  FB_RETURN_NOT_OK(branches_.Rename(key, tgt_branch, new_branch));
+  NoteBranchMutations(1);
+  return Status::OK();
 }
 
 Status ForkBase::Remove(const std::string& key,
                         const std::string& tgt_branch) {
-  return branches_.Remove(key, tgt_branch);
+  FB_RETURN_NOT_OK(branches_.Remove(key, tgt_branch));
+  NoteBranchMutations(1);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -470,6 +602,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeWithUid(
                  {tgt_head, ref_uid}));
   if (!outcome.clean()) return outcome;
   FB_RETURN_NOT_OK(branches_.SetHead(key, tgt_branch, outcome.uid));
+  NoteBranchMutations(1);
   return outcome;
 }
 
@@ -488,6 +621,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeUids(
     acc = outcome.uid;
   }
   FB_RETURN_NOT_OK(branches_.ReplaceUntagged(key, uids, acc));
+  NoteBranchMutations(1);
   outcome.uid = acc;
   return outcome;
 }

@@ -1,7 +1,13 @@
-// ForkBase: the public storage-engine API (Table 1, M1-M17).
+// ForkBase: the storage-engine core (Table 1, M1-M17).
 //
-// This class is the embedded, single-servlet engine. The distributed
-// deployment (src/cluster) composes several of these behind a dispatcher.
+// This class is the embedded, single-servlet engine. Most callers should
+// program against the ForkBaseService facade (api/service.h) instead: it
+// exposes the same M1-M17 surface as a typed Command/Reply API served
+// either by this engine in-process (EmbeddedService) or by a cluster of
+// servlets behind a dispatcher (ClusterClient, src/cluster/client.h),
+// so application code is deployment-agnostic. Use ForkBase directly only
+// when embedding the engine itself (servlets, custom merge resolvers,
+// branch-state export/import).
 //
 // Usage mirrors Figure 4 of the paper:
 //
@@ -18,7 +24,9 @@
 #ifndef FORKBASE_API_DB_H_
 #define FORKBASE_API_DB_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +49,14 @@ struct DBOptions {
   // Fsync policy applied when the engine opens its own LogChunkStore
   // (OpenPersistent); see DurabilityPolicy in chunk/chunk_store.h.
   DurabilityPolicy durability = DurabilityPolicy::kBatch;
+  // OpenPersistent snapshots the branch tables (ExportBranchState) next
+  // to the chunk log after every N branch mutations, and always on
+  // close, so a reopened store restores the full branch view without the
+  // embedding lifting a finger. 0 = snapshot only on close. Each
+  // snapshot serializes the whole branch view (all stripes locked) and
+  // rewrites the file, so the cadence trades crash-window size against
+  // bulk-load throughput; raise it (or set 0) for large ingests.
+  uint64_t branch_snapshot_every = 4096;
 };
 
 class ForkBase {
@@ -55,12 +71,22 @@ class ForkBase {
   ForkBase(DBOptions options, ChunkStore* store);
 
   // Durable embedded engine: opens (creating if necessary) a
-  // LogChunkStore at `dir` with the options' durability policy.
+  // LogChunkStore at `dir` with the options' durability policy, restores
+  // the last branch-state snapshot ("<dir>/branches.fb") if one exists,
+  // and keeps snapshotting on the options' cadence and on destruction.
+  // Restore is per-key lenient: a key whose snapshotted head no longer
+  // verifies against the (possibly torn-tail-truncated) log is dropped,
+  // the rest of the branch view restores, and the chunks stay intact.
+  // An undecodable snapshot is discarded wholesale (empty branch view,
+  // the pre-snapshot behavior).
   static Result<std::unique_ptr<ForkBase>> OpenPersistent(
       const std::string& dir, DBOptions options = {});
 
   ForkBase(const ForkBase&) = delete;
   ForkBase& operator=(const ForkBase&) = delete;
+
+  // Flushes a final branch-state snapshot when persistence is enabled.
+  ~ForkBase();
 
   ChunkStore* store() const { return store_; }
   const TreeConfig& tree_config() const { return options_.tree; }
@@ -209,6 +235,10 @@ class ForkBase {
   Result<Bytes> ExportBranchState() const;
   Status ImportBranchState(Slice data);
 
+  // Writes a branch-state snapshot now (atomically: tmp file + rename).
+  // No-op unless branch persistence is enabled (OpenPersistent does so).
+  Status PersistBranchState();
+
  private:
   Result<Hash> CommitObject(const std::string& key, const Value& value,
                             std::vector<Hash> bases, Slice context);
@@ -222,6 +252,10 @@ class ForkBase {
                             std::vector<MergeConflict>* unresolved) const;
   PosTree TreeOf(const FObject& obj) const;
 
+  // Counts successful branch mutations and snapshots on the configured
+  // cadence (no-op when branch persistence is disabled).
+  void NoteBranchMutations(uint64_t n);
+
   DBOptions options_;
   std::unique_ptr<ChunkStore> owned_store_;
   ChunkStore* store_;
@@ -229,6 +263,13 @@ class ForkBase {
   // Striped branch tables: per-key operations serialize only within the
   // owning stripe, so independent keys commit in parallel.
   BranchManager branches_;
+
+  // Branch-state persistence (OpenPersistent only). The mutation counter
+  // is advisory — racing writers may snapshot once each around the
+  // threshold — but snapshots themselves are serialized and atomic.
+  std::string branch_snapshot_path_;  // empty => disabled
+  std::atomic<uint64_t> mutations_since_snapshot_{0};
+  std::mutex snapshot_mu_;
 };
 
 }  // namespace fb

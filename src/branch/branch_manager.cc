@@ -247,7 +247,9 @@ Bytes BranchManager::ExportState() const {
   return out;
 }
 
-Status BranchManager::ImportState(Slice data, const HeadVerifier& verify) {
+Status BranchManager::ImportState(Slice data, const HeadVerifier& verify,
+                                  bool lenient, size_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
   std::map<std::string, BranchTable> restored;
   ByteReader r(data);
   uint64_t n_keys = 0;
@@ -258,8 +260,24 @@ Status BranchManager::ImportState(Slice data, const HeadVerifier& verify) {
     BranchTable table;
     FB_RETURN_NOT_OK(BranchTable::DeserializeFrom(&r, &table));
     if (verify) {
+      Status verified = Status::OK();
       for (const auto& [name, head] : table.TaggedBranches()) {
-        FB_RETURN_NOT_OK(verify(head));
+        verified = verify(head);
+        if (!verified.ok()) break;
+      }
+      // Untagged (fork-on-conflict) heads are part of the key's view
+      // too: restoring a dangling one would surface uids that no longer
+      // resolve.
+      if (verified.ok()) {
+        for (const Hash& head : table.UntaggedBranches()) {
+          verified = verify(head);
+          if (!verified.ok()) break;
+        }
+      }
+      if (!verified.ok()) {
+        if (!lenient) return verified;
+        if (dropped != nullptr) ++*dropped;
+        continue;  // salvage the rest; only this key's view is lost
       }
     }
     restored[key.ToString()] = std::move(table);

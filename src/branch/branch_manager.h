@@ -116,10 +116,15 @@ class BranchManager {
   Bytes ExportState() const;
 
   // Replaces the entire branch view. `verify` (optional) is invoked for
-  // every tagged head before anything is installed; any failure aborts the
-  // import with the existing state untouched.
+  // every tagged and untagged head before anything is installed; by default any
+  // failure aborts the import with the existing state untouched. With
+  // `lenient`, a key whose heads fail verification is skipped (counted
+  // in `*dropped` when given) and the rest of the snapshot still
+  // installs — crash recovery uses this so one torn head loses one key,
+  // not the whole branch view. Undecodable input always aborts.
   using HeadVerifier = std::function<Status(const Hash&)>;
-  Status ImportState(Slice data, const HeadVerifier& verify = nullptr);
+  Status ImportState(Slice data, const HeadVerifier& verify = nullptr,
+                     bool lenient = false, size_t* dropped = nullptr);
 
  private:
   struct Stripe {

@@ -1,0 +1,358 @@
+#include "cluster/client.h"
+
+#include <algorithm>
+
+namespace fb {
+
+// ---------------------------------------------------------------------------
+// ClientChunkStore
+// ---------------------------------------------------------------------------
+
+Status ClientChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  return (*pool_)[InstanceOf(cid)]->Put(cid, chunk);
+}
+
+Status ClientChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  const size_t routed = InstanceOf(cid);
+  Status s = (*pool_)[routed]->Get(cid, chunk);
+  if (s.ok() || !s.IsNotFound()) return s;
+  // Meta chunks (and 1LP data chunks) live on their servlet's local
+  // instance, not at the cid-routed one: fall back to a pool scan.
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    if (i == routed) continue;
+    s = (*pool_)[i]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+  }
+  return Status::NotFound(cid.ToShortHex());
+}
+
+bool ClientChunkStore::Contains(const Hash& cid) const {
+  for (const auto& instance : *pool_) {
+    if (instance->Contains(cid)) return true;
+  }
+  return false;
+}
+
+Status ClientChunkStore::PutBatch(const ChunkBatch& batch) {
+  std::vector<std::vector<size_t>> by_instance(pool_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    by_instance[InstanceOf(batch[i].first)].push_back(i);
+  }
+  ChunkBatch sub;
+  for (size_t d = 0; d < by_instance.size(); ++d) {
+    if (by_instance[d].empty()) continue;
+    if (by_instance[d].size() == batch.size()) {
+      return (*pool_)[d]->PutBatch(batch);
+    }
+    sub.clear();
+    sub.reserve(by_instance[d].size());
+    for (size_t i : by_instance[d]) sub.push_back(batch[i]);
+    FB_RETURN_NOT_OK((*pool_)[d]->PutBatch(sub));
+  }
+  return Status::OK();
+}
+
+ChunkStoreStats ClientChunkStore::stats() const {
+  ChunkStoreStats total;
+  for (const auto& s : *pool_) {
+    const ChunkStoreStats st = s->stats();
+    total.puts += st.puts;
+    total.dedup_hits += st.dedup_hits;
+    total.gets += st.gets;
+    total.chunks += st.chunks;
+    total.stored_bytes += st.stored_bytes;
+    total.logical_bytes += st.logical_bytes;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterClient: construction / teardown
+// ---------------------------------------------------------------------------
+
+ClusterClient::ClusterClient(Cluster* cluster, ClusterClientOptions options)
+    : cluster_(cluster), options_(options), chunk_view_(&cluster->pool_) {
+  workers_.reserve(cluster_->num_servlets());
+  for (size_t i = 0; i < cluster_->num_servlets(); ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Worker threads start lazily on the first Submit(): a synchronous-only
+  // client never pays for them.
+}
+
+void ClusterClient::EnsureWorkersStarted() {
+  std::call_once(workers_started_, [this] {
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+    }
+  });
+}
+
+ClusterClient::~ClusterClient() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ClusterClient::Flush() {
+  for (auto& w : workers_) {
+    std::unique_lock<std::mutex> lock(w->mu);
+    w->idle_cv.wait(lock, [&] { return w->inflight == 0; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous dispatch
+// ---------------------------------------------------------------------------
+
+Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
+  ForkBase* servlet = cluster_->servlet(idx);
+  if (!options_.wire_roundtrip) return ApplyCommand(servlet, cmd);
+
+  // Simulated RPC: the command crosses to the servlet, and the reply
+  // back to the client, as serialized bytes.
+  Result<Command> parsed = Command::Parse(Slice(cmd.Serialize()));
+  if (!parsed.ok()) return Reply::FromStatus(parsed.status());
+  const Reply reply = ApplyCommand(servlet, *parsed);
+  Result<Reply> returned = Reply::Parse(Slice(reply.Serialize()));
+  if (!returned.ok()) return Reply::FromStatus(returned.status());
+  return std::move(*returned);
+}
+
+bool ClusterClient::RouteOf(const Command& cmd, size_t* idx) const {
+  switch (cmd.op) {
+    case CommandOp::kListKeys:
+    case CommandOp::kPutMany:
+      return false;  // fan-out
+    case CommandOp::kGetByUid:
+    case CommandOp::kTrackFromUid:
+    case CommandOp::kDiffSorted:
+    case CommandOp::kDiffBlob:
+      // Version-addressed: any node can serve them from the shared pool;
+      // spread by uid.
+      *idx = static_cast<size_t>(cmd.uid.Low64() % cluster_->num_servlets());
+      return true;
+    default:
+      *idx = cluster_->ServletOf(cmd.key);
+      return true;
+  }
+}
+
+Reply ClusterClient::ExecuteFanOut(const Command& cmd) {
+  // ListKeys: union every servlet's shard (sorted for determinism).
+  Reply out;
+  for (size_t i = 0; i < cluster_->num_servlets(); ++i) {
+    Reply shard = ExecuteOn(i, cmd);
+    if (!shard.ok()) return shard;
+    out.keys.insert(out.keys.end(),
+                    std::make_move_iterator(shard.keys.begin()),
+                    std::make_move_iterator(shard.keys.end()));
+  }
+  std::sort(out.keys.begin(), out.keys.end());
+  return out;
+}
+
+Reply ClusterClient::ExecutePutMany(const Command& cmd) {
+  // Partition pairs by owning servlet, bulk-commit each partition, then
+  // reassemble the uids in input order. Partitions commit independently:
+  // an error reports the first failure, with earlier partitions already
+  // durable (same at-least-partial semantics as crashing mid-bulk-load).
+  const size_t n = cluster_->num_servlets();
+  std::vector<std::vector<size_t>> by_servlet(n);
+  for (size_t i = 0; i < cmd.kvs.size(); ++i) {
+    by_servlet[cluster_->ServletOf(cmd.kvs[i].first)].push_back(i);
+  }
+  Reply out;
+  out.uids.resize(cmd.kvs.size());
+  for (size_t s = 0; s < n; ++s) {
+    if (by_servlet[s].empty()) continue;
+    Command sub;
+    sub.op = CommandOp::kPutMany;
+    sub.branch = cmd.branch;
+    sub.context = cmd.context;
+    sub.kvs.reserve(by_servlet[s].size());
+    for (size_t i : by_servlet[s]) sub.kvs.push_back(cmd.kvs[i]);
+    Reply reply = ExecuteOn(s, sub);
+    if (!reply.ok()) return reply;
+    if (reply.uids.size() != by_servlet[s].size()) {
+      return Reply::FromStatus(
+          Status::Internal("PutMany partition returned wrong uid count"));
+    }
+    for (size_t j = 0; j < by_servlet[s].size(); ++j) {
+      out.uids[by_servlet[s][j]] = reply.uids[j];
+    }
+  }
+  return out;
+}
+
+Reply ClusterClient::Execute(const Command& cmd) {
+  switch (cmd.op) {
+    case CommandOp::kListKeys:
+      return ExecuteFanOut(cmd);
+    case CommandOp::kPutMany:
+      return ExecutePutMany(cmd);
+    default: {
+      size_t idx = 0;
+      if (!RouteOf(cmd, &idx)) {
+        return Reply::FromStatus(Status::Internal("unroutable command"));
+      }
+      return ExecuteOn(idx, cmd);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous dispatch with Put coalescing
+// ---------------------------------------------------------------------------
+
+std::future<Reply> ClusterClient::Submit(Command cmd) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Pending p;
+  p.cmd = std::move(cmd);
+  std::future<Reply> future = p.promise.get_future();
+
+  size_t idx = 0;
+  if (!RouteOf(p.cmd, &idx)) {
+    // Fan-out commands have no single owner queue; drain every queue
+    // first so same-thread submission order holds (a PutMany or
+    // ListKeys submitted after a Put observes that Put), then run
+    // inline on the submitting thread.
+    Flush();
+    p.promise.set_value(Execute(p.cmd));
+    return future;
+  }
+
+  EnsureWorkersStarted();
+  Worker& w = *workers_[idx];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stop) {
+      p.promise.set_value(
+          Reply::FromStatus(Status::Internal("client shut down")));
+      return future;
+    }
+    ++w.inflight;
+    w.queue.push_back(std::move(p));
+  }
+  w.cv.notify_one();
+  return future;
+}
+
+// True when the command is a plain fork-on-demand Put that can join a
+// PutMany group commit (guards and bases pin ordering; other ops have
+// their own semantics).
+static bool Coalescible(const Command& cmd) {
+  return cmd.op == CommandOp::kPut;
+}
+
+// Cap on one coalesced group: bounds the earliest-queued put's latency
+// (its future waits for the whole group) and the envelope size under a
+// deep backlog, at negligible throughput cost.
+static constexpr size_t kMaxPutGroup = 512;
+
+void ClusterClient::CommitPutRun(size_t idx, std::vector<Pending>* run) {
+  if (run->empty()) return;
+  if (run->size() == 1) {
+    Pending& p = (*run)[0];
+    p.promise.set_value(ExecuteOn(idx, p.cmd));
+    run->clear();
+    return;
+  }
+
+  Command group;
+  group.op = CommandOp::kPutMany;
+  group.branch = (*run)[0].cmd.branch;
+  group.context = (*run)[0].cmd.context;
+  group.kvs.reserve(run->size());
+  for (const Pending& p : *run) {
+    group.kvs.emplace_back(p.cmd.key, p.cmd.value);
+  }
+  Reply reply = ExecuteOn(idx, group);
+
+  put_groups_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_puts_.fetch_add(run->size(), std::memory_order_relaxed);
+  uint64_t prev = max_group_.load(std::memory_order_relaxed);
+  while (prev < run->size() &&
+         !max_group_.compare_exchange_weak(prev, run->size(),
+                                           std::memory_order_relaxed)) {
+  }
+
+  if (!reply.ok() || reply.uids.size() != run->size()) {
+    const Status failure = reply.ok()
+        ? Status::Internal("PutMany group returned wrong uid count")
+        : reply.ToStatus();
+    for (Pending& p : *run) p.promise.set_value(Reply::FromStatus(failure));
+  } else {
+    for (size_t i = 0; i < run->size(); ++i) {
+      Reply one;
+      one.uid = reply.uids[i];
+      (*run)[i].promise.set_value(std::move(one));
+    }
+  }
+  run->clear();
+}
+
+void ClusterClient::WorkerLoop(size_t idx) {
+  Worker& w = *workers_[idx];
+  for (;;) {
+    std::deque<Pending> drained;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty() && w.stop) return;
+      drained.swap(w.queue);
+    }
+
+    // Walk the drained batch in order; consecutive coalescible Puts with
+    // the same branch+context form one PutMany group commit. A repeated
+    // key splits the run: PutMany snapshots all bases up front, so two
+    // Puts of one key in the same group would commit as siblings instead
+    // of chaining — the second must see the first's head.
+    const size_t drained_count = drained.size();
+    std::vector<Pending> run;
+    std::unordered_set<std::string> run_keys;
+    for (Pending& p : drained) {
+      if (Coalescible(p.cmd)) {
+        if (!run.empty() && (run.size() >= kMaxPutGroup ||
+                             run[0].cmd.branch != p.cmd.branch ||
+                             run[0].cmd.context != p.cmd.context ||
+                             run_keys.count(p.cmd.key) != 0)) {
+          CommitPutRun(idx, &run);
+          run_keys.clear();
+        }
+        run_keys.insert(p.cmd.key);
+        run.push_back(std::move(p));
+        continue;
+      }
+      CommitPutRun(idx, &run);
+      run_keys.clear();
+      p.promise.set_value(ExecuteOn(idx, p.cmd));
+    }
+    CommitPutRun(idx, &run);
+
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.inflight -= drained_count;
+      if (w.inflight == 0) w.idle_cv.notify_all();
+    }
+  }
+}
+
+ClusterClient::SubmitStats ClusterClient::submit_stats() const {
+  SubmitStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.put_groups = put_groups_.load(std::memory_order_relaxed);
+  s.coalesced_puts = coalesced_puts_.load(std::memory_order_relaxed);
+  s.max_group = max_group_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fb

@@ -1,0 +1,159 @@
+// ClusterClient: the client-side implementation of ForkBaseService over a
+// simulated cluster deployment (Sections 4.1 / 4.6).
+//
+// Every command goes through the dispatcher: key-addressed operations
+// route to the owning servlet, version-addressed operations route by uid
+// (any node can serve them — chunks live in the shared pool), and
+// multi-key operations fan out:
+//
+//   * ListKeys unions the key sets of ALL servlets. (Asking one servlet,
+//     as the retired Route(key)->ListKeys() pattern did, returns only
+//     that servlet's shard — a bug the service tests pin down.)
+//   * PutMany partitions its pairs by owning servlet, issues one bulk
+//     sub-command per servlet, and reassembles the uids in input order.
+//
+// Commands and replies cross the client/servlet boundary through their
+// byte-stable serialized form (Serialize -> Parse on both directions), so
+// this in-process client exercises exactly the envelope a remote RPC
+// transport would carry.
+//
+// Submit() is the asynchronous path: each servlet has a worker thread
+// with a request queue, and the worker coalesces runs of queued plain
+// Puts (same branch and context, distinct keys — a repeated key splits
+// the run so its versions chain instead of committing as siblings) into
+// one PutMany group commit — the client-side analogue of the log's
+// group commit. Futures resolve with each command's own Reply.
+// Same-thread submission order is preserved per servlet (fan-out
+// commands drain all queues before running, so they too observe prior
+// submissions); commands submitted concurrently from different threads
+// may be reordered relative to each other — await the future when
+// cross-thread ordering matters.
+
+#ifndef FORKBASE_CLUSTER_CLIENT_H_
+#define FORKBASE_CLUSTER_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "api/service.h"
+#include "cluster/cluster.h"
+
+namespace fb {
+
+struct ClusterClientOptions {
+  // Round-trip every command and reply through the serialized envelope at
+  // the servlet boundary (simulated RPC). Disable only to measure the
+  // envelope's own cost.
+  bool wire_roundtrip = true;
+};
+
+// The client's view of the chunk pool, used to materialize handles and
+// build chunkable values client-side. Writes route data chunks by cid
+// into the shared pool; reads check the cid-routed instance first and
+// fall back to scanning the pool. Client-side construction therefore
+// always spreads chunks 2LP-style (the client cannot know the owning
+// servlet at chunk-build time); under 1LP, use PutBlob-style
+// server-side construction when placement must follow the key.
+class ClientChunkStore : public ChunkStore {
+ public:
+  explicit ClientChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool)
+      : pool_(pool) {}
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override;
+  Status Get(const Hash& cid, Chunk* chunk) const override;
+  bool Contains(const Hash& cid) const override;
+  Status PutBatch(const ChunkBatch& batch) override;
+  ChunkStoreStats stats() const override;
+
+ private:
+  size_t InstanceOf(const Hash& cid) const {
+    return static_cast<size_t>(cid.Low64() % pool_->size());
+  }
+
+  std::vector<std::unique_ptr<MemChunkStore>>* pool_;
+};
+
+class ClusterClient : public ForkBaseService {
+ public:
+  explicit ClusterClient(Cluster* cluster, ClusterClientOptions options = {});
+  ~ClusterClient() override;
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // Synchronous dispatch (routing / fan-out as described above).
+  Reply Execute(const Command& cmd) override;
+
+  // Asynchronous dispatch through the owning servlet's worker queue.
+  // Plain Puts queued behind each other coalesce into PutMany groups.
+  std::future<Reply> Submit(Command cmd);
+
+  // Blocks until every submitted command has completed.
+  void Flush();
+
+  ChunkStore* store() const override { return &chunk_view_; }
+  const TreeConfig& tree_config() const override {
+    return cluster_->options().db.tree;
+  }
+
+  // Counters for the async batching path (benchmark + test surface).
+  struct SubmitStats {
+    uint64_t submitted = 0;       // commands handed to Submit()
+    uint64_t put_groups = 0;      // coalesced PutMany groups (>= 2 puts)
+    uint64_t coalesced_puts = 0;  // puts committed inside such groups
+    uint64_t max_group = 0;       // largest group observed
+  };
+  SubmitStats submit_stats() const;
+
+ private:
+  struct Pending {
+    Command cmd;
+    std::promise<Reply> promise;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;       // work arrived / stop
+    std::condition_variable idle_cv;  // inflight drained to zero
+    std::deque<Pending> queue;
+    uint64_t inflight = 0;  // queued + currently executing
+    bool stop = false;
+    std::thread thread;
+  };
+
+  // Executes on servlet `idx`, round-tripping through the wire format.
+  Reply ExecuteOn(size_t idx, const Command& cmd);
+  Reply ExecuteFanOut(const Command& cmd);
+  Reply ExecutePutMany(const Command& cmd);
+  // The servlet index a command routes to; false for fan-out commands.
+  bool RouteOf(const Command& cmd, size_t* idx) const;
+  // Spawns the per-servlet worker threads on the first Submit().
+  void EnsureWorkersStarted();
+  void WorkerLoop(size_t idx);
+  // Commits a coalesced run of plain Puts as one PutMany and resolves
+  // each put's promise with its own uid.
+  void CommitPutRun(size_t idx, std::vector<Pending>* run);
+
+  Cluster* cluster_;
+  ClusterClientOptions options_;
+  mutable ClientChunkStore chunk_view_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::once_flag workers_started_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> put_groups_{0};
+  std::atomic<uint64_t> coalesced_puts_{0};
+  std::atomic<uint64_t> max_group_{0};
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CLUSTER_CLIENT_H_

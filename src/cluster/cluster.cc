@@ -13,14 +13,29 @@ Status ServletChunkStore::Put(const Hash& cid, const Chunk& chunk) {
 
 Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   // Data chunks live at the cid-routed node; meta chunks at the local
-  // node. Check the routed node first, then fall back to local.
-  Status s = RouteData(cid)->Get(cid, chunk);
+  // node. Check the routed node first, then local, then the rest of the
+  // pool (the shared-storage fallback; only ever reached for chunks that
+  // a different placement policy wrote elsewhere).
+  const size_t routed = DataInstanceOf(cid);
+  Status s = (*pool_)[routed]->Get(cid, chunk);
   if (s.ok() || !s.IsNotFound()) return s;
-  return (*pool_)[local_id_]->Get(cid, chunk);
+  if (routed != local_id_) {
+    s = (*pool_)[local_id_]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+  }
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    if (i == routed || i == local_id_) continue;
+    s = (*pool_)[i]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+  }
+  return Status::NotFound(cid.ToShortHex());
 }
 
 bool ServletChunkStore::Contains(const Hash& cid) const {
-  return RouteData(cid)->Contains(cid) || (*pool_)[local_id_]->Contains(cid);
+  for (const auto& instance : *pool_) {
+    if (instance->Contains(cid)) return true;
+  }
+  return false;
 }
 
 Status ServletChunkStore::PutBatch(const ChunkBatch& batch) {

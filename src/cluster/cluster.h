@@ -36,6 +36,11 @@ struct ClusterOptions {
 
 // A chunk store view for one servlet: meta chunks pin to the local
 // instance; data chunks route to the pool by cid (2LP) or stay local (1LP).
+// Reads that miss both the routed and the local instance fall back to a
+// pool-wide scan: placement policy decides where WRITES land (the Figure
+// 15 storage-distribution story), but every instance of the cluster-wide
+// pool is readable from every node, so chunks written by other placement
+// policies (client-built trees, delegated construction) stay reachable.
 class ServletChunkStore : public ChunkStore {
  public:
   ServletChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool,
@@ -66,6 +71,13 @@ class ServletChunkStore : public ChunkStore {
   bool two_layer_;
 };
 
+// The simulated deployment: master + dispatcher + N servlets. Clients do
+// NOT address servlets directly — they go through a ClusterClient
+// (src/cluster/client.h), which routes every Command by key, fans
+// multi-key operations out, and batches async writes. The former
+// `Route(key)` raw-engine accessor is retired: it let callers bypass the
+// dispatcher, so multi-key operations (ListKeys, PutMany) silently stayed
+// single-servlet.
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
@@ -74,9 +86,10 @@ class Cluster {
 
   // Dispatcher: the servlet responsible for `key`.
   size_t ServletOf(const std::string& key) const;
-  ForkBase* Route(const std::string& key) {
-    return servlets_[ServletOf(key)].get();
-  }
+
+  // One node's local engine view — deployment introspection (tests and
+  // benchmarks documenting per-servlet behavior), not a client API: a
+  // servlet's branch tables cover only its own key shard.
   ForkBase* servlet(size_t i) { return servlets_[i].get(); }
 
   // Bytes resident on each node's chunk storage (Figure 15).
@@ -97,7 +110,15 @@ class Cluster {
     return {build_counts_.begin(), build_counts_.end()};
   }
 
+  const ClusterOptions& options() const { return options_; }
+
  private:
+  friend class ClusterClient;  // pool access for the client chunk view
+
+  ForkBase* Route(const std::string& key) {
+    return servlets_[ServletOf(key)].get();
+  }
+
   ClusterOptions options_;
   std::vector<std::unique_ptr<MemChunkStore>> pool_;
   std::vector<std::unique_ptr<ServletChunkStore>> views_;

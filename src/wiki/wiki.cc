@@ -8,23 +8,26 @@ namespace fb {
 
 Status ForkBaseWiki::SavePage(const std::string& page, Slice content,
                               Slice meta) {
-  FB_ASSIGN_OR_RETURN(Blob blob, db().CreateBlob(content));
-  return db().Put(page, kDefaultBranch, blob.ToValue(), meta).status();
+  // Server-side construction (PutBlob): the owning servlet builds the
+  // POS-Tree, so chunk placement follows the deployment's partitioning
+  // policy (1LP keeps a page's chunks on its servlet; client-side
+  // CreateBlob would always spread them by cid).
+  return service().PutBlob(page, kDefaultBranch, content, meta).status();
 }
 
 Result<std::string> ForkBaseWiki::ReadPage(const std::string& page,
                                            uint64_t versions_back) {
   FB_ASSIGN_OR_RETURN(std::vector<FObject> versions,
-                      db().Track(page, kDefaultBranch, versions_back,
+                      service().Track(page, kDefaultBranch, versions_back,
                                  versions_back));
   if (versions.empty()) return Status::NotFound("revision");
-  FB_ASSIGN_OR_RETURN(Blob blob, db().GetBlob(versions[0]));
+  FB_ASSIGN_OR_RETURN(Blob blob, service().GetBlob(versions[0]));
   FB_ASSIGN_OR_RETURN(Bytes bytes, blob.ReadAll());
   return BytesToString(bytes);
 }
 
 Result<uint64_t> ForkBaseWiki::NumRevisions(const std::string& page) {
-  auto obj = db().Get(page);
+  auto obj = service().Get(page);
   if (obj.status().IsNotFound()) return uint64_t{0};
   if (!obj.ok()) return obj.status();
   return obj->depth() + 1;
@@ -33,11 +36,11 @@ Result<uint64_t> ForkBaseWiki::NumRevisions(const std::string& page) {
 Result<RangeDiff> ForkBaseWiki::DiffRevisions(const std::string& page,
                                               uint64_t back1, uint64_t back2) {
   FB_ASSIGN_OR_RETURN(std::vector<FObject> v1,
-                      db().Track(page, kDefaultBranch, back1, back1));
+                      service().Track(page, kDefaultBranch, back1, back1));
   FB_ASSIGN_OR_RETURN(std::vector<FObject> v2,
-                      db().Track(page, kDefaultBranch, back2, back2));
+                      service().Track(page, kDefaultBranch, back2, back2));
   if (v1.empty() || v2.empty()) return Status::NotFound("revision");
-  return db().DiffBlobVersions(v1[0].uid(), v2[0].uid());
+  return service().DiffBlobVersions(v1[0].uid(), v2[0].uid());
 }
 
 // ---------------------------------------------------------------------------

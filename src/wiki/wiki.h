@@ -14,7 +14,7 @@
 #include <memory>
 #include <string>
 
-#include "api/db.h"
+#include "api/service.h"
 #include "wiki/redislike.h"
 
 namespace fb {
@@ -74,11 +74,21 @@ class CachedChunkStore : public ChunkStore {
   mutable uint64_t misses_ = 0;
 };
 
+// The wiki programs against ForkBaseService, so the same engine code
+// serves an embedded store, a shared engine, or a whole cluster through
+// a ClusterClient.
 class ForkBaseWiki : public WikiEngine {
  public:
-  explicit ForkBaseWiki(DBOptions options = {}) : db_(options) {}
-  // Wiki over a shared engine (e.g. a cluster servlet); not owned.
-  explicit ForkBaseWiki(ForkBase* shared) : shared_db_(shared) {}
+  explicit ForkBaseWiki(DBOptions options = {})
+      : own_db_(std::make_unique<ForkBase>(options)),
+        own_service_(std::make_unique<EmbeddedService>(own_db_.get())),
+        service_(own_service_.get()) {}
+  // Wiki over a shared engine (e.g. one servlet's local view); not owned.
+  explicit ForkBaseWiki(ForkBase* shared)
+      : own_service_(std::make_unique<EmbeddedService>(shared)),
+        service_(own_service_.get()) {}
+  // Wiki over any service implementation (e.g. a ClusterClient); not owned.
+  explicit ForkBaseWiki(ForkBaseService* service) : service_(service) {}
 
   Status SavePage(const std::string& page, Slice content,
                   Slice meta = Slice()) override;
@@ -86,21 +96,20 @@ class ForkBaseWiki : public WikiEngine {
                                uint64_t versions_back = 0) override;
   Result<uint64_t> NumRevisions(const std::string& page) override;
   uint64_t StorageBytes() const override {
-    return db().store()->stats().stored_bytes;
+    return service_->store()->stats().stored_bytes;
   }
 
   // Byte-range diff between two revisions of a page.
   Result<RangeDiff> DiffRevisions(const std::string& page, uint64_t back1,
                                   uint64_t back2);
 
-  ForkBase& db() { return shared_db_ != nullptr ? *shared_db_ : db_; }
-  const ForkBase& db() const {
-    return shared_db_ != nullptr ? *shared_db_ : db_;
-  }
+  ForkBaseService& service() { return *service_; }
+  const ForkBaseService& service() const { return *service_; }
 
  private:
-  ForkBase db_;
-  ForkBase* shared_db_ = nullptr;
+  std::unique_ptr<ForkBase> own_db_;
+  std::unique_ptr<EmbeddedService> own_service_;
+  ForkBaseService* service_;
 };
 
 class RedisWiki : public WikiEngine {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "api/db.h"
@@ -653,6 +654,116 @@ TEST(ApiBranchStateTest, ExportImportUntaggedOnlyTables) {
   auto re_export = restored.ExportBranchState();
   ASSERT_TRUE(re_export.ok());
   EXPECT_EQ(*re_export, *snapshot);
+}
+
+// ---------------------------------------------------------------------------
+// Automatic branch-state persistence (OpenPersistent).
+// ---------------------------------------------------------------------------
+
+class PersistentBranchStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fb_branch_persist_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistentBranchStateTest, BranchViewSurvivesCloseAndReopen) {
+  Hash dev_head;
+  {
+    auto db = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put("page", Value::OfString("v1")).ok());
+    ASSERT_TRUE((*db)->Fork("page", kDefaultBranch, "dev").ok());
+    auto uid = (*db)->Put("page", "dev", Value::OfString("v2"));
+    ASSERT_TRUE(uid.ok());
+    dev_head = *uid;
+    ASSERT_TRUE(
+        (*db)->PutByBase("foc", Hash::Null(), Value::OfInt(7)).ok());
+    // Closing snapshots the branch tables next to the chunk log.
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir_ / "branches.fb"));
+
+  auto reopened = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->ListKeys(),
+            (std::vector<std::string>{"foc", "page"}));
+  auto head = (*reopened)->Head("page", "dev");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, dev_head);
+  auto obj = (*reopened)->Get("page", "dev");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->value().AsString(), "v2");
+  auto untagged = (*reopened)->ListUntaggedBranches("foc");
+  ASSERT_TRUE(untagged.ok());
+  EXPECT_EQ(untagged->size(), 1u);
+}
+
+TEST_F(PersistentBranchStateTest, CadenceSnapshotsWithoutClose) {
+  DBOptions opts = SmallOpts();
+  opts.branch_snapshot_every = 10;
+  auto db = ForkBase::OpenPersistent(dir_.string(), opts);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        (*db)->Put("k" + std::to_string(i), Value::OfInt(i)).ok());
+  }
+  // 25 mutations at a cadence of 10: the snapshot exists while the
+  // engine is still open (covers crashes between cadence points).
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "branches.fb"));
+  // On-demand snapshots are also available to embeddings.
+  ASSERT_TRUE((*db)->PersistBranchState().ok());
+}
+
+TEST_F(PersistentBranchStateTest, DamagedHeadDropsOnlyItsKey) {
+  {
+    auto db = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("aaa", Value::OfString("va")).ok());
+    ASSERT_TRUE((*db)->Put("zzz", Value::OfString("vz")).ok());
+  }
+  // Flip a byte inside the lexicographically last key's ("zzz") head
+  // hash — the 32 bytes preceding the trailing untagged-count varint.
+  // The lenient import drops only that key; the rest of the branch view
+  // still restores.
+  {
+    std::FILE* f =
+        std::fopen((dir_ / "branches.fb").string().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -2, SEEK_END);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -2, SEEK_END);
+    std::fputc(byte ^ 0x5a, f);
+    std::fclose(f);
+  }
+  auto reopened = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto kept = (*reopened)->Get("aaa");
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(kept->value().AsString(), "va");
+  EXPECT_TRUE((*reopened)->Get("zzz").status().IsNotFound());
+}
+
+TEST_F(PersistentBranchStateTest, UndecodableSnapshotFallsBackToEmptyView) {
+  {
+    auto db = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("k", Value::OfString("v")).ok());
+  }
+  // Truncate mid-structure: the snapshot no longer decodes at all, so
+  // the store opens with chunks intact but an empty branch view.
+  std::filesystem::resize_file(dir_ / "branches.fb", 3);
+  auto reopened = ForkBase::OpenPersistent(dir_.string(), SmallOpts());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->Get("k").status().IsNotFound());
 }
 
 }  // namespace

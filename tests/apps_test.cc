@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "tabular/dataset.h"
 #include "tabular/orpheus.h"
@@ -128,9 +129,9 @@ TEST(WikiCacheTest, ConsecutiveVersionReadsHitCache) {
   }
 
   // A caching client tracks all 6 versions of the page's blob.
-  auto head = wiki.db().Get("Hot");
+  auto head = wiki.service().Get("Hot");
   ASSERT_TRUE(head.ok());
-  auto versions = wiki.db().TrackFromUid(head->uid(), 0, 5);
+  auto versions = wiki.service().TrackFromUid(head->uid(), 0, 5);
   ASSERT_TRUE(versions.ok());
   ASSERT_EQ(versions->size(), 6u);
 
@@ -307,15 +308,14 @@ TEST(ClusterTest, PutGetThroughDispatcher) {
   opts.num_servlets = 4;
   opts.db = SmallDb();
   Cluster cluster(opts);
+  ClusterClient client(&cluster);
   for (int i = 0; i < 50; ++i) {
     const std::string key = MakeKey(i);
-    ASSERT_TRUE(cluster.Route(key)
-                    ->Put(key, Value::OfString("v" + std::to_string(i)))
-                    .ok());
+    ASSERT_TRUE(client.Put(key, Value::OfString("v" + std::to_string(i))).ok());
   }
   for (int i = 0; i < 50; ++i) {
     const std::string key = MakeKey(i);
-    auto obj = cluster.Route(key)->Get(key);
+    auto obj = client.Get(key);
     ASSERT_TRUE(obj.ok());
     EXPECT_EQ(obj->value().AsString(), "v" + std::to_string(i));
   }
@@ -329,14 +329,16 @@ TEST(ClusterTest, TwoLayerPartitioningBalancesSkewedLoad) {
     opts.num_servlets = 8;
     opts.two_layer_partitioning = two_layer;
     Cluster cluster(opts);
+    ClusterClient client(&cluster);
     ZipfGenerator zipf(64, 0.9, 7);
     Rng rng(8);
     for (int i = 0; i < 300; ++i) {
       const std::string key = MakeKey(zipf.Next(), 8, "page");
-      ForkBase* servlet = cluster.Route(key);
-      auto blob = servlet->CreateBlob(Slice(rng.BytesOf(20000)));
-      EXPECT_TRUE(blob.ok());
-      EXPECT_TRUE(servlet->Put(key, blob->ToValue()).ok());
+      // Server-side construction keeps the placement policy in charge of
+      // where the page's chunks land (1LP: owner servlet; 2LP: by cid).
+      const Bytes content = rng.BytesOf(20000);
+      EXPECT_TRUE(
+          client.PutBlob(key, kDefaultBranch, Slice(content)).ok());
     }
     const auto bytes = cluster.PerNodeStorageBytes();
     uint64_t max_b = 0, min_b = UINT64_MAX;
@@ -372,13 +374,13 @@ TEST(ClusterTest, RebalancedConstructionSpreadsLoad) {
   const auto builds = cluster.PerNodeBuildCounts();
   for (uint64_t b : builds) EXPECT_EQ(b, 10u);
 
-  // ...while the object remains fully readable through its owner, with
-  // complete history.
-  ForkBase* owner = cluster.Route(hot_key);
-  auto obj = owner->Get(hot_key);
+  // ...while the object remains fully readable through the client facade,
+  // with complete history.
+  ClusterClient client(&cluster);
+  auto obj = client.Get(hot_key);
   ASSERT_TRUE(obj.ok());
   EXPECT_EQ(obj->depth(), 39u);
-  auto blob = owner->GetBlob(*obj);
+  auto blob = client.GetBlob(*obj);
   ASSERT_TRUE(blob.ok());
   auto content = blob->ReadAll();
   ASSERT_TRUE(content.ok());
@@ -400,6 +402,7 @@ TEST(ClusterTest, ConcurrentClientsAcrossServlets) {
   opts.num_servlets = 4;
   opts.db = SmallDb();
   Cluster cluster(opts);
+  ClusterClient client(&cluster);
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 100;
   std::vector<std::thread> threads;
@@ -408,7 +411,7 @@ TEST(ClusterTest, ConcurrentClientsAcrossServlets) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kOpsPerThread; ++i) {
         const std::string key = MakeKey(t * 1000 + i, 8, "c");
-        if (!cluster.Route(key)->Put(key, Value::OfInt(i)).ok()) {
+        if (!client.Put(key, Value::OfInt(i)).ok()) {
           ++failures;
         }
       }
@@ -418,7 +421,7 @@ TEST(ClusterTest, ConcurrentClientsAcrossServlets) {
   EXPECT_EQ(failures.load(), 0);
   // Spot check.
   const std::string key = MakeKey(3042, 8, "c");
-  auto obj = cluster.Route(key)->Get(key);
+  auto obj = client.Get(key);
   ASSERT_TRUE(obj.ok());
   EXPECT_EQ(obj->value().AsInt(), 42);
 }

@@ -22,9 +22,13 @@
 #include <thread>
 #include <vector>
 
+#include <future>
+
 #include "api/db.h"
 #include "chunk/chunk.h"
 #include "chunk/chunk_store.h"
+#include "cluster/client.h"
+#include "cluster/cluster.h"
 #include "util/random.h"
 
 namespace fb {
@@ -404,6 +408,56 @@ TEST(ConcurrencyTest, ForkBasePutManyFromManyThreads) {
   }
   const ChunkStoreStats st = db.store()->stats();
   EXPECT_EQ(st.dedup_hits, st.puts - st.chunks);
+}
+
+TEST(ConcurrencyTest, ClusterClientSubmitStress) {
+  // 8 threads pushing mixed async commands through one shared
+  // ClusterClient: plain Puts (coalescible into PutMany groups), guarded
+  // Puts and reads, racing against the per-servlet workers. Every future
+  // must resolve, every committed uid must be readable afterwards, and
+  // the run must be TSan-clean.
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  constexpr size_t kOpsPerThread = 120;
+  std::vector<std::vector<Hash>> committed(kThreads);
+  RunThreads([&](size_t t) {
+    std::vector<std::future<Reply>> futures;
+    futures.reserve(kOpsPerThread);
+    for (size_t i = 0; i < kOpsPerThread; ++i) {
+      Command cmd;
+      if (i % 10 == 9) {
+        // Interleave reads: they flush put runs inside the worker.
+        cmd.op = CommandOp::kGet;
+        cmd.key = "t" + std::to_string(t) + "-k" + std::to_string(i / 2);
+        cmd.branch = kDefaultBranch;
+      } else {
+        cmd.op = CommandOp::kPut;
+        cmd.key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+        cmd.branch = kDefaultBranch;
+        cmd.value = Value::OfInt(int64_t(t * 1000 + i));
+      }
+      futures.push_back(client.Submit(std::move(cmd)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Reply r = futures[i].get();
+      if (i % 10 == 9) continue;  // reads may race ahead of their put
+      ASSERT_TRUE(r.ok()) << r.ToStatus().ToString();
+      committed[t].push_back(r.uid);
+    }
+  });
+  client.Flush();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (const Hash& uid : committed[t]) {
+      ASSERT_TRUE(client.GetByUid(uid).ok());
+    }
+  }
+  const auto stats = client.submit_stats();
+  EXPECT_EQ(stats.submitted, uint64_t{kThreads * kOpsPerThread});
+  EXPECT_EQ(stats.coalesced_puts == 0, stats.put_groups == 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "api/db.h"
 #include "blockchain/forkbase_ledger.h"
+#include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "pos_tree/merge.h"
 #include "util/random.h"
@@ -371,13 +372,15 @@ TEST(ClusterAppTest, WikiOverClusterServlets) {
   opts.num_servlets = 4;
   opts.db = SmallDb();
   Cluster cluster(opts);
+  ClusterClient client(&cluster);
 
   Rng rng(10);
-  // Pages dispatched by key to their servlet; each servlet hosts an
-  // independent wiki view over the shared chunk pool.
+  // One wiki over the whole cluster: the client dispatches each page to
+  // its servlet, and page blobs are built client-side into the shared
+  // chunk pool.
+  ForkBaseWiki wiki(static_cast<ForkBaseService*>(&client));
   for (int p = 0; p < 20; ++p) {
     const std::string page = MakeKey(p, 6, "pg");
-    ForkBaseWiki wiki(cluster.Route(page));
     for (int rev = 0; rev < 3; ++rev) {
       ASSERT_TRUE(
           wiki.SavePage(page, Slice(rng.String(2000) + std::to_string(rev)))
@@ -386,7 +389,6 @@ TEST(ClusterAppTest, WikiOverClusterServlets) {
   }
   for (int p = 0; p < 20; ++p) {
     const std::string page = MakeKey(p, 6, "pg");
-    ForkBaseWiki wiki(cluster.Route(page));
     auto revs = wiki.NumRevisions(page);
     ASSERT_TRUE(revs.ok());
     EXPECT_EQ(*revs, 3u);
@@ -394,6 +396,10 @@ TEST(ClusterAppTest, WikiOverClusterServlets) {
     ASSERT_TRUE(oldest.ok());
     EXPECT_EQ(oldest->back(), '0');
   }
+  // The dispatcher's view spans every servlet's shard.
+  auto keys = client.ListKeys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 20u);
 }
 
 TEST(ClusterAppTest, BlockchainValuesVerifiableAcrossPool) {

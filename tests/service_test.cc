@@ -1,0 +1,573 @@
+// Tests for the unified ForkBaseService command API:
+//
+//  * Envelope fidelity — every M1-M17 operation is expressible as a
+//    Command and both Command and Reply round-trip BYTE-STABLY through
+//    Serialize/Parse (serialize(parse(serialize(x))) == serialize(x)).
+//  * Embedded-vs-cluster parity — one parameterized suite runs the same
+//    M1-M17 command script through an EmbeddedService over a single
+//    engine and through a ClusterClient over a 4-servlet cluster, and
+//    the results (uids included: they are content-addressed) must agree.
+//  * ClusterClient semantics — multi-key fan-out (ListKeys unions all
+//    servlet shards, where a single servlet's view shows only its own —
+//    the retired Route() pattern's bug), PutMany partitioning, and the
+//    async Submit() path with Put coalescing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "api/service.h"
+#include "cluster/client.h"
+#include "cluster/cluster.h"
+#include "util/random.h"
+
+namespace fb {
+namespace {
+
+DBOptions SmallOpts() {
+  DBOptions o;
+  o.tree.leaf_pattern_bits = 7;
+  o.tree.index_pattern_bits = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Envelope serialization
+// ---------------------------------------------------------------------------
+
+// One representative Command per opcode, with every field the op reads
+// populated (and a few it does not, to pin field ordering).
+std::vector<Command> SampleCommands() {
+  const Hash u1 = Hash::Of(Slice("v1"));
+  const Hash u2 = Hash::Of(Slice("v2"));
+  std::vector<Command> cmds;
+  for (uint8_t op = 0; op <= kMaxCommandOp; ++op) {
+    Command c;
+    c.op = static_cast<CommandOp>(op);
+    c.key = "some key";
+    c.branch = "master";
+    c.branch2 = "feature";
+    c.uid = u1;
+    c.uid2 = u2;
+    c.uids = {u1, u2};
+    c.value = Value::OfString("payload");
+    c.kvs = {{"k0", Value::OfInt(-42)},
+             {"k1", Value::OfTree(UType::kBlob, u1)},
+             {"k2", Value::OfBool(true)},
+             {"k3", Value::OfTuple({ToBytes("a"), ToBytes("bb")})}};
+    c.content = ToBytes("raw blob content");
+    c.context = ToBytes("ctx");
+    c.min_dist = 1;
+    c.max_dist = 1u << 20;
+    c.policy = MergePolicy::kChooseRight;
+    cmds.push_back(std::move(c));
+  }
+  return cmds;
+}
+
+TEST(CommandEnvelopeTest, EveryOpRoundTripsByteStably) {
+  for (const Command& cmd : SampleCommands()) {
+    const Bytes wire = cmd.Serialize();
+    auto parsed = Command::Parse(Slice(wire));
+    ASSERT_TRUE(parsed.ok())
+        << CommandOpToString(cmd.op) << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->Serialize(), wire)
+        << CommandOpToString(cmd.op) << " is not byte-stable";
+    EXPECT_EQ(parsed->op, cmd.op);
+    EXPECT_EQ(parsed->key, cmd.key);
+    EXPECT_EQ(parsed->kvs.size(), cmd.kvs.size());
+    for (size_t i = 0; i < cmd.kvs.size(); ++i) {
+      EXPECT_EQ(parsed->kvs[i].first, cmd.kvs[i].first);
+      EXPECT_TRUE(parsed->kvs[i].second == cmd.kvs[i].second);
+    }
+    EXPECT_EQ(parsed->policy, cmd.policy);
+  }
+}
+
+TEST(CommandEnvelopeTest, ReplyRoundTripsByteStably) {
+  Reply r;
+  r.code = StatusCode::kConflict;
+  r.message = "unresolved";
+  r.uid = Hash::Of(Slice("uid"));
+  r.uids = {Hash::Of(Slice("a")), Hash::Of(Slice("b"))};
+  r.keys = {"k1", "k2", "k3"};
+  r.branches = {{"master", Hash::Of(Slice("m"))},
+                {"dev", Hash::Of(Slice("d"))}};
+  r.objects = {ToBytes("meta-one"), ToBytes("meta-two")};
+  MergeConflict c;
+  c.key = ToBytes("conflicted");
+  c.base = std::nullopt;
+  c.left = ToBytes("l");
+  c.right = ToBytes("r");
+  r.conflicts = {c};
+  r.range.prefix = 10;
+  r.range.a_mid = 3;
+  r.range.b_mid = 0;
+  r.range.identical = false;
+  KeyDiff d;
+  d.key = ToBytes("dk");
+  d.left = ToBytes("x");
+  d.right = std::nullopt;
+  r.key_diffs = {d};
+
+  const Bytes wire = r.Serialize();
+  auto parsed = Reply::Parse(Slice(wire));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), wire);
+  EXPECT_EQ(parsed->code, r.code);
+  EXPECT_EQ(parsed->message, r.message);
+  EXPECT_EQ(parsed->keys, r.keys);
+  EXPECT_EQ(parsed->branches, r.branches);
+  EXPECT_EQ(parsed->objects, r.objects);
+  ASSERT_EQ(parsed->conflicts.size(), 1u);
+  EXPECT_EQ(parsed->conflicts[0].key, c.key);
+  EXPECT_EQ(parsed->conflicts[0].base, c.base);
+  EXPECT_EQ(parsed->conflicts[0].left, c.left);
+  EXPECT_EQ(parsed->conflicts[0].right, c.right);
+  EXPECT_EQ(parsed->range.prefix, 10u);
+  EXPECT_FALSE(parsed->range.identical);
+  ASSERT_EQ(parsed->key_diffs.size(), 1u);
+  EXPECT_EQ(parsed->key_diffs[0].left, d.left);
+  EXPECT_EQ(parsed->key_diffs[0].right, d.right);
+}
+
+TEST(CommandEnvelopeTest, ParseRejectsDamage) {
+  const Command cmd = SampleCommands()[0];
+  Bytes wire = cmd.Serialize();
+
+  // Truncation anywhere must fail, never crash or mis-parse.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto parsed = Command::Parse(Slice(wire.data(), cut));
+    EXPECT_FALSE(parsed.ok()) << "accepted a prefix of length " << cut;
+  }
+  // Trailing garbage is rejected.
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(Command::Parse(Slice(padded)).ok());
+  // Unknown wire version is rejected.
+  Bytes versioned = wire;
+  versioned[0] = kCommandWireVersion + 1;
+  EXPECT_FALSE(Command::Parse(Slice(versioned)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Embedded-vs-cluster parity: the same M1-M17 script through both
+// implementations must produce identical outcomes.
+// ---------------------------------------------------------------------------
+
+enum class ServiceKind { kEmbedded, kCluster };
+
+struct ServiceUnderTest {
+  // Exactly one of the two backends is live.
+  std::unique_ptr<ForkBase> engine;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ForkBaseService> service;
+};
+
+ServiceUnderTest MakeService(ServiceKind kind) {
+  ServiceUnderTest s;
+  if (kind == ServiceKind::kEmbedded) {
+    s.engine = std::make_unique<ForkBase>(SmallOpts());
+    s.service = std::make_unique<EmbeddedService>(s.engine.get());
+  } else {
+    ClusterOptions opts;
+    opts.num_servlets = 4;
+    opts.db = SmallOpts();
+    s.cluster = std::make_unique<Cluster>(opts);
+    s.service = std::make_unique<ClusterClient>(s.cluster.get());
+  }
+  return s;
+}
+
+class ServiceParityTest : public ::testing::TestWithParam<ServiceKind> {};
+
+INSTANTIATE_TEST_SUITE_P(EmbeddedAndCluster, ServiceParityTest,
+                         ::testing::Values(ServiceKind::kEmbedded,
+                                           ServiceKind::kCluster),
+                         [](const auto& info) {
+                           return info.param == ServiceKind::kEmbedded
+                                      ? "Embedded"
+                                      : "Cluster";
+                         });
+
+// Runs the full command script and returns a transcript of every
+// observable outcome. The two backends' transcripts must be equal.
+std::vector<std::string> RunScript(ForkBaseService& db) {
+  std::vector<std::string> log;
+  auto note = [&](const std::string& what, const std::string& out) {
+    log.push_back(what + " => " + out);
+  };
+  auto hex = [](const Hash& h) { return h.ToShortHex(); };
+
+  // M3 Put / M1 Get / head tracking, across several keys and branches.
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    auto uid = db.Put(key, Value::OfInt(i));
+    EXPECT_TRUE(uid.ok());
+    note("put " + key, hex(*uid));
+  }
+  auto obj = db.Get("key-3");
+  EXPECT_TRUE(obj.ok());
+  note("get key-3", obj->value().AsString() + "@" + hex(obj->uid()));
+  note("get missing", db.Get("nope").status().ToString());
+  auto head = db.Head("key-3", kDefaultBranch);
+  EXPECT_TRUE(head.ok());
+  note("head key-3", hex(*head));
+  auto by_uid = db.GetByUid(*head);
+  EXPECT_TRUE(by_uid.ok());
+  note("get-by-uid", std::to_string(by_uid->value().AsInt()));
+
+  // M11-M14 fork / rename / remove.
+  EXPECT_TRUE(db.Fork("key-3", kDefaultBranch, "dev").ok());
+  auto dev1 = db.Put("key-3", "dev", Value::OfInt(30));
+  EXPECT_TRUE(dev1.ok());
+  note("fork+put dev", hex(*dev1));
+  EXPECT_TRUE(db.ForkFromUid("key-3", *head, "from-uid").ok());
+  note("fork-from-uid dup",
+       db.ForkFromUid("key-3", *head, "from-uid").ToString());
+  EXPECT_TRUE(db.Rename("key-3", "from-uid", "renamed").ok());
+  EXPECT_TRUE(db.Remove("key-3", "renamed").ok());
+  note("remove missing", db.Remove("key-3", "renamed").ToString());
+
+  // M9 tagged branches.
+  auto branches = db.ListTaggedBranches("key-3");
+  EXPECT_TRUE(branches.ok());
+  for (const auto& [name, h] : *branches) {
+    note("branch " + name, hex(h));
+  }
+
+  // M3 guarded Put: fresh then stale.
+  auto guarded = db.PutGuarded("key-3", "dev", Value::OfInt(31), *dev1);
+  EXPECT_TRUE(guarded.ok());
+  note("put-guarded fresh", hex(*guarded));
+  note("put-guarded stale",
+       db.PutGuarded("key-3", "dev", Value::OfInt(32), *dev1)
+           .status()
+           .ToString());
+
+  // M4 fork-on-conflict + M10 + M7 merge of untagged heads.
+  auto foc_base = db.PutByBase("foc", Hash::Null(), Value::OfInt(100));
+  EXPECT_TRUE(foc_base.ok());
+  auto foc_a = db.PutByBase("foc", *foc_base, Value::OfInt(101));
+  auto foc_b = db.PutByBase("foc", *foc_base, Value::OfInt(102));
+  EXPECT_TRUE(foc_a.ok());
+  EXPECT_TRUE(foc_b.ok());
+  auto untagged = db.ListUntaggedBranches("foc");
+  EXPECT_TRUE(untagged.ok());
+  note("untagged heads", std::to_string(untagged->size()));
+  auto collapsed =
+      db.MergeUids("foc", *untagged, MergePolicy::kChooseRight);
+  EXPECT_TRUE(collapsed.ok());
+  note("merge-uids clean", collapsed->clean() ? "yes" : "no");
+  auto after = db.ListUntaggedBranches("foc");
+  EXPECT_TRUE(after.ok());
+  note("untagged after merge", std::to_string(after->size()));
+
+  // M15-M17 track / LCA.
+  auto history = db.Track("key-3", "dev", 0, 10);
+  EXPECT_TRUE(history.ok());
+  for (const auto& version : *history) {
+    note("track dev", std::to_string(version.value().AsInt()) + "@depth" +
+                          std::to_string(version.depth()));
+  }
+  auto from_uid = db.TrackFromUid(*guarded, 1, 2);
+  EXPECT_TRUE(from_uid.ok());
+  note("track-from-uid", std::to_string(from_uid->size()));
+  auto master_head = db.Head("key-3", kDefaultBranch);
+  EXPECT_TRUE(master_head.ok());
+  auto lca = db.Lca("key-3", *master_head, *guarded);
+  EXPECT_TRUE(lca.ok());
+  note("lca", hex(*lca));
+
+  // M5/M6 merge with policies; conflict surfaced without one.
+  auto conflict =
+      db.Merge("key-3", kDefaultBranch, "dev", MergePolicy::kNone);
+  EXPECT_TRUE(conflict.ok());
+  note("merge no-policy clean", conflict->clean() ? "yes" : "no");
+  note("merge conflicts", std::to_string(conflict->unresolved.size()));
+  auto resolved =
+      db.Merge("key-3", kDefaultBranch, "dev", MergePolicy::kChooseRight);
+  EXPECT_TRUE(resolved.ok());
+  note("merge choose-right", hex(resolved->uid));
+  auto merged_obj = db.Get("key-3");
+  EXPECT_TRUE(merged_obj.ok());
+  note("merged value", std::to_string(merged_obj->value().AsInt()));
+
+  // Chunkable values: client-built blob, server-built blob, map diff.
+  auto blob = db.CreateBlob(Slice("hello world, this is a blob"));
+  EXPECT_TRUE(blob.ok());
+  auto blob_uid = db.Put("blob-key", blob->ToValue());
+  EXPECT_TRUE(blob_uid.ok());
+  note("put blob", hex(*blob_uid));
+  auto fetched = db.Get("blob-key");
+  EXPECT_TRUE(fetched.ok());
+  auto fetched_blob = db.GetBlob(*fetched);
+  EXPECT_TRUE(fetched_blob.ok());
+  auto content = fetched_blob->ReadAll();
+  EXPECT_TRUE(content.ok());
+  note("blob content", BytesToString(*content));
+
+  auto served = db.PutBlob("blob-key2", kDefaultBranch,
+                           Slice("server-side constructed"));
+  EXPECT_TRUE(served.ok());
+  note("put-blob", hex(*served));
+  auto served_obj = db.Get("blob-key2");
+  EXPECT_TRUE(served_obj.ok());
+  auto served_blob = db.GetBlob(*served_obj);
+  EXPECT_TRUE(served_blob.ok());
+  auto served_content = served_blob->ReadAll();
+  EXPECT_TRUE(served_content.ok());
+  note("put-blob content", BytesToString(*served_content));
+
+  auto m1 = db.CreateMapFromEntries({{ToBytes("a"), ToBytes("1")},
+                                     {ToBytes("b"), ToBytes("2")}});
+  auto m2 = db.CreateMapFromEntries({{ToBytes("a"), ToBytes("1")},
+                                     {ToBytes("b"), ToBytes("9")},
+                                     {ToBytes("c"), ToBytes("3")}});
+  EXPECT_TRUE(m1.ok());
+  EXPECT_TRUE(m2.ok());
+  auto mu1 = db.Put("map", m1->ToValue());
+  auto mu2 = db.PutBlob("unused", kDefaultBranch, Slice("x"));
+  EXPECT_TRUE(mu2.ok());
+  auto mu2b = db.Put("map", m2->ToValue());
+  EXPECT_TRUE(mu1.ok());
+  EXPECT_TRUE(mu2b.ok());
+  auto kdiffs = db.DiffSortedVersions(*mu1, *mu2b);
+  EXPECT_TRUE(kdiffs.ok());
+  for (const auto& d : *kdiffs) {
+    note("map diff", BytesToString(d.key));
+  }
+  auto b1 = db.Get("blob-key");
+  auto b2 = db.Get("blob-key2");
+  EXPECT_TRUE(b1.ok());
+  EXPECT_TRUE(b2.ok());
+  auto rdiff = db.DiffBlobVersions(b1->uid(), b2->uid());
+  EXPECT_TRUE(rdiff.ok());
+  note("blob diff",
+       std::to_string(rdiff->prefix) + "/" + std::to_string(rdiff->a_mid) +
+           "/" + std::to_string(rdiff->b_mid));
+
+  // Bulk load (fans out across servlets on the cluster).
+  std::vector<std::pair<std::string, Value>> kvs;
+  for (int i = 0; i < 32; ++i) {
+    kvs.emplace_back("bulk-" + std::to_string(i), Value::OfInt(1000 + i));
+  }
+  auto bulk = db.PutMany(kvs);
+  EXPECT_TRUE(bulk.ok());
+  for (const Hash& u : *bulk) note("put-many", hex(u));
+
+  // M8: the full key view, regardless of sharding.
+  auto all_keys = db.ListKeys();
+  EXPECT_TRUE(all_keys.ok());
+  for (const auto& k : *all_keys) note("key", k);
+  return log;
+}
+
+TEST_P(ServiceParityTest, ScriptRuns) {
+  ServiceUnderTest s = MakeService(GetParam());
+  RunScript(*s.service);
+}
+
+TEST(ServiceParityTest, EmbeddedAndClusterTranscriptsAgree) {
+  ServiceUnderTest embedded = MakeService(ServiceKind::kEmbedded);
+  ServiceUnderTest cluster = MakeService(ServiceKind::kCluster);
+  const auto embedded_log = RunScript(*embedded.service);
+  const auto cluster_log = RunScript(*cluster.service);
+  ASSERT_EQ(embedded_log.size(), cluster_log.size());
+  for (size_t i = 0; i < embedded_log.size(); ++i) {
+    EXPECT_EQ(embedded_log[i], cluster_log[i]) << "transcript line " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ClusterClient semantics
+// ---------------------------------------------------------------------------
+
+TEST(ClusterClientTest, ListKeysUnionsAllServletShards) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  std::set<std::string> expected;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = MakeKey(i, 8, "lk");
+    ASSERT_TRUE(client.Put(key, Value::OfInt(i)).ok());
+    expected.insert(key);
+  }
+
+  // The documented bug in the retired Route()-based pattern: one
+  // servlet's ListKeys covers only its own shard...
+  size_t shard_total = 0;
+  for (size_t s = 0; s < cluster.num_servlets(); ++s) {
+    const size_t shard = cluster.servlet(s)->ListKeys().size();
+    EXPECT_LT(shard, expected.size())
+        << "servlet " << s << " unexpectedly sees every key";
+    shard_total += shard;
+  }
+  EXPECT_EQ(shard_total, expected.size());
+
+  // ...while the client unions all shards (sorted, no duplicates).
+  const auto keys = client.ListKeys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(std::set<std::string>(keys->begin(), keys->end()), expected);
+  EXPECT_TRUE(std::is_sorted(keys->begin(), keys->end()));
+}
+
+TEST(ClusterClientTest, ListTaggedBranchesRoutesToOwner) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = MakeKey(i, 8, "tb");
+    ASSERT_TRUE(client.Put(key, Value::OfInt(i)).ok());
+    ASSERT_TRUE(client.Fork(key, kDefaultBranch, "dev").ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto branches = client.ListTaggedBranches(MakeKey(i, 8, "tb"));
+    ASSERT_TRUE(branches.ok());
+    EXPECT_EQ(branches->size(), 2u);
+  }
+}
+
+TEST(ClusterClientTest, PutManySpansServlets) {
+  ClusterOptions opts;
+  opts.num_servlets = 4;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  std::vector<std::pair<std::string, Value>> kvs;
+  for (int i = 0; i < 64; ++i) {
+    kvs.emplace_back(MakeKey(i, 8, "pm"), Value::OfInt(i));
+  }
+  auto uids = client.PutMany(kvs);
+  ASSERT_TRUE(uids.ok());
+  ASSERT_EQ(uids->size(), kvs.size());
+
+  // Every key must be readable with the uid PutMany reported for it,
+  // and the batch must actually have touched more than one servlet.
+  std::set<size_t> servlets;
+  for (size_t i = 0; i < kvs.size(); ++i) {
+    auto obj = client.Get(kvs[i].first);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->uid(), (*uids)[i]);
+    EXPECT_EQ(obj->value().AsInt(), static_cast<int64_t>(i));
+    servlets.insert(cluster.ServletOf(kvs[i].first));
+  }
+  EXPECT_GT(servlets.size(), 1u);
+}
+
+TEST(ClusterClientTest, SubmitResolvesFuturesAndCoalesces) {
+  ClusterOptions opts;
+  opts.num_servlets = 2;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  // A burst of async Puts: queues back up behind the worker, so runs of
+  // plain Puts coalesce into PutMany group commits.
+  constexpr int kOps = 300;
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    Command cmd;
+    cmd.op = CommandOp::kPut;
+    cmd.key = MakeKey(i, 8, "sub");
+    cmd.branch = kDefaultBranch;
+    cmd.value = Value::OfInt(i);
+    futures.push_back(client.Submit(std::move(cmd)));
+  }
+  for (int i = 0; i < kOps; ++i) {
+    Reply r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.ToStatus().ToString();
+    // The future's uid is this Put's own commit.
+    auto obj = client.GetByUid(r.uid);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->value().AsInt(), i);
+  }
+  client.Flush();
+
+  const auto stats = client.submit_stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kOps));
+  EXPECT_GE(stats.put_groups, 1u) << "no Puts coalesced into a group";
+  EXPECT_GE(stats.max_group, 2u);
+
+  // Non-put commands flow through the same queues.
+  Command get;
+  get.op = CommandOp::kGet;
+  get.key = MakeKey(0, 8, "sub");
+  get.branch = kDefaultBranch;
+  Reply got = client.Submit(std::move(get)).get();
+  ASSERT_TRUE(got.ok());
+}
+
+TEST(ClusterClientTest, SubmitRepeatedKeyPutsChainInsteadOfForking) {
+  // Two unawaited Puts to the SAME key must not coalesce into one
+  // PutMany group (which snapshots bases up front and would commit them
+  // as siblings): the second version must derive from the first.
+  ClusterOptions opts;
+  opts.num_servlets = 1;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  constexpr int kVersions = 50;
+  std::vector<std::future<Reply>> futures;
+  for (int i = 0; i < kVersions; ++i) {
+    Command cmd;
+    cmd.op = CommandOp::kPut;
+    cmd.key = "chained";
+    cmd.branch = kDefaultBranch;
+    cmd.value = Value::OfInt(i);
+    futures.push_back(client.Submit(std::move(cmd)));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  auto head = client.Get("chained");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->depth(), static_cast<uint64_t>(kVersions - 1));
+  EXPECT_EQ(head->value().AsInt(), kVersions - 1);
+  auto history = client.TrackFromUid(head->uid(), 0, kVersions - 1);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), static_cast<size_t>(kVersions));
+}
+
+TEST(ClusterClientTest, SubmitGuardedPutsAreNotCoalesced) {
+  // Guarded Puts keep their CAS semantics on the async path: a stale
+  // guard must fail even when surrounded by coalescible plain Puts.
+  ClusterOptions opts;
+  opts.num_servlets = 1;
+  opts.db = SmallOpts();
+  Cluster cluster(opts);
+  ClusterClient client(&cluster);
+
+  auto base = client.Put("guarded", Value::OfInt(0));
+  ASSERT_TRUE(base.ok());
+
+  Command fresh;
+  fresh.op = CommandOp::kPutGuarded;
+  fresh.key = "guarded";
+  fresh.branch = kDefaultBranch;
+  fresh.value = Value::OfInt(1);
+  fresh.uid = *base;
+  Reply fresh_reply = client.Submit(std::move(fresh)).get();
+  ASSERT_TRUE(fresh_reply.ok());
+
+  Command stale;
+  stale.op = CommandOp::kPutGuarded;
+  stale.key = "guarded";
+  stale.branch = kDefaultBranch;
+  stale.value = Value::OfInt(2);
+  stale.uid = *base;  // no longer the head
+  Reply stale_reply = client.Submit(std::move(stale)).get();
+  EXPECT_EQ(stale_reply.code, StatusCode::kPreconditionFailed);
+}
+
+}  // namespace
+}  // namespace fb
