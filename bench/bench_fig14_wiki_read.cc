@@ -40,10 +40,16 @@ void Populate(ForkBaseWiki* wiki, RedisWiki* redis, int num_pages,
 }  // namespace fb
 
 int main(int argc, char** argv) {
-  const double scale = fb::bench::ScaleArg(argc, argv, 0.1);
+  const bool quick = fb::bench::FlagArg(argc, argv, "--quick");
+  const double scale = fb::bench::ScaleArg(argc, argv, quick ? 0.02 : 0.1);
   const int num_pages = std::max(4, static_cast<int>(320 * scale));
   const int kVersions = 6;
   const int explorations = std::max(20, static_cast<int>(2000 * scale));
+  fb::bench::BenchJson json(argc, argv, "fig14_wiki_read");
+  json.Config("scale", scale)
+      .Config("quick", quick ? "true" : "false")
+      .Config("num_pages", num_pages)
+      .Config("explorations", explorations);
 
   fb::ForkBaseWiki wiki;
   fb::RedisWiki redis;
@@ -79,6 +85,10 @@ int main(int argc, char** argv) {
       const double secs = t.ElapsedSeconds() + modeled_extra;
       fb::bench::Row("%-10s %10d %14.1f", "ForkBase", depth,
                      explorations / secs);
+      json.Row()
+          .Str("engine", "forkbase")
+          .Num("versions", depth)
+          .Num("explor_per_s", explorations / secs);
     }
     // Redis: every revision fetched in full.
     {
@@ -98,6 +108,10 @@ int main(int argc, char** argv) {
       const double secs = t.ElapsedSeconds() + modeled_extra;
       fb::bench::Row("%-10s %10d %14.1f", "Redis", depth,
                      explorations / secs);
+      json.Row()
+          .Str("engine", "redis")
+          .Num("versions", depth)
+          .Num("explor_per_s", explorations / secs);
     }
   }
   return 0;

@@ -14,7 +14,8 @@
 namespace fb {
 namespace {
 
-void RunMode(bool two_layer, int num_pages, int num_requests) {
+void RunMode(bool two_layer, int num_pages, int num_requests,
+             bench::BenchJson* json) {
   ClusterOptions opts;
   opts.num_servlets = 16;
   opts.two_layer_partitioning = two_layer;
@@ -56,19 +57,34 @@ void RunMode(bool two_layer, int num_pages, int num_requests) {
              total / 1048576.0,
              static_cast<double>(max_b) / std::max<uint64_t>(min_b, 1));
   bench::Row("  per-node MB:%s", dist.c_str());
+  json->Row()
+      .Str("mode", two_layer ? "2LP" : "1LP")
+      .Num("total_mb", total / 1048576.0)
+      .Num("max_node_mb", max_b / 1048576.0)
+      .Num("min_node_mb", min_b / 1048576.0)
+      .Num("max_over_min",
+           static_cast<double>(max_b) / std::max<uint64_t>(min_b, 1));
 }
 
 }  // namespace
 }  // namespace fb
 
 int main(int argc, char** argv) {
-  const double scale = fb::bench::ScaleArg(argc, argv, 0.1);
+  const bool quick = fb::bench::FlagArg(argc, argv, "--quick");
+  const double scale = fb::bench::ScaleArg(argc, argv, quick ? 0.02 : 0.1);
   const int num_pages = std::max(32, static_cast<int>(3200 * scale));
   const int num_requests = std::max(200, static_cast<int>(20000 * scale));
+  fb::bench::BenchJson json(argc, argv, "fig15_skew");
+  json.Config("scale", scale)
+      .Config("quick", quick ? "true" : "false")
+      .Config("nodes", 16)
+      .Config("zipf", 0.5)
+      .Config("num_pages", num_pages)
+      .Config("num_requests", num_requests);
 
   fb::bench::Header(
       "Figure 15: storage distribution under skew (zipf=0.5, 16 nodes)");
-  fb::RunMode(false, num_pages, num_requests);
-  fb::RunMode(true, num_pages, num_requests);
+  fb::RunMode(false, num_pages, num_requests, &json);
+  fb::RunMode(true, num_pages, num_requests, &json);
   return 0;
 }

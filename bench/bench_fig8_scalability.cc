@@ -26,6 +26,8 @@
 #include "bench/bench_common.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
+#include "rpc/remote_service.h"
+#include "rpc/server.h"
 #include "util/random.h"
 
 namespace fb {
@@ -153,6 +155,55 @@ AsyncResult RunAsyncSubmit(Cluster* cluster, size_t n_threads,
   return r;
 }
 
+// The RPC transport phase: the same service surface over (a) in-process
+// dispatch and (b) a loopback socket to a ForkBaseServer, sync round
+// trips and the pipelined Submit path. The gap between (a) and (b) is
+// the framing + syscall cost a real deployment pays per request.
+struct RpcResult {
+  double put_kops = 0;
+  double get_kops = 0;
+  double pipelined_put_kops = 0;  // socket only
+};
+
+RpcResult RunRpcPhase(ForkBaseService* service, int ops, bool pipelined,
+                      rpc::RemoteService* remote) {
+  RpcResult r;
+  Rng rng(23);
+  const std::string value = rng.String(256);
+  {
+    Timer t;
+    for (int i = 0; i < ops; ++i) {
+      bench::Check(
+          service->Put(MakeKey(i, 10, "rp"), Value::OfString(value)).status(),
+          "Put");
+    }
+    r.put_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  {
+    Timer t;
+    for (int i = 0; i < ops; ++i) {
+      bench::Check(service->Get(MakeKey(i, 10, "rp")).status(), "Get");
+    }
+    r.get_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  if (pipelined && remote != nullptr) {
+    Timer t;
+    std::vector<std::future<Reply>> futures;
+    futures.reserve(ops);
+    for (int i = 0; i < ops; ++i) {
+      Command cmd;
+      cmd.op = CommandOp::kPut;
+      cmd.key = MakeKey(i, 10, "rq");
+      cmd.branch = kDefaultBranch;
+      cmd.value = Value::OfString(value);
+      futures.push_back(remote->Submit(std::move(cmd)));
+    }
+    for (auto& f : futures) bench::Check(f.get().ToStatus(), "Submit(Put)");
+    r.pipelined_put_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  return r;
+}
+
 }  // namespace
 }  // namespace fb
 
@@ -246,6 +297,41 @@ int main(int argc, char** argv) {
         .Num("put_groups", static_cast<double>(r.stats.put_groups))
         .Num("coalesced_puts", static_cast<double>(r.stats.coalesced_puts))
         .Num("max_group", static_cast<double>(r.stats.max_group));
+  }
+
+  fb::bench::Header(
+      "RPC transport: loopback socket vs embedded dispatch (256 B values)");
+  fb::bench::Row("%-10s %14s %14s %20s", "Transport", "Put kop/s",
+                 "Get kop/s", "pipelined Put kop/s");
+  const int rpc_ops = std::max(500, base_ops / 4);
+  {
+    fb::ForkBase engine;
+    fb::EmbeddedService embedded(&engine);
+    const fb::RpcResult r = fb::RunRpcPhase(&embedded, rpc_ops, false, nullptr);
+    fb::bench::Row("%-10s %14.1f %14.1f %20s", "embedded", r.put_kops,
+                   r.get_kops, "-");
+    json.Row()
+        .Str("phase", "rpc")
+        .Str("transport", "embedded")
+        .Num("put_kops", r.put_kops)
+        .Num("get_kops", r.get_kops);
+  }
+  {
+    fb::ForkBase engine;
+    auto server = fb::rpc::ForkBaseServer::Start(&engine, {});
+    fb::bench::Check(server.status(), "server start");
+    auto remote = fb::rpc::RemoteService::Connect((*server)->endpoint());
+    fb::bench::Check(remote.status(), "connect");
+    const fb::RpcResult r =
+        fb::RunRpcPhase(remote->get(), rpc_ops, true, remote->get());
+    fb::bench::Row("%-10s %14.1f %14.1f %20.1f", "socket", r.put_kops,
+                   r.get_kops, r.pipelined_put_kops);
+    json.Row()
+        .Str("phase", "rpc")
+        .Str("transport", "socket")
+        .Num("put_kops", r.put_kops)
+        .Num("get_kops", r.get_kops)
+        .Num("pipelined_put_kops", r.pipelined_put_kops);
   }
   return 0;
 }

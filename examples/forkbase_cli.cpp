@@ -2,7 +2,7 @@
 // ForkBase store — the "document hosting / git-like" usage of Figure 1.
 //
 // Usage:
-//   forkbase_cli [data-dir] << 'EOF'
+//   forkbase_cli [data-dir | --connect <host:port|unix:/path>] << 'EOF'
 //   put greeting master "hello world"
 //   fork greeting master feature
 //   put greeting feature "hello fork"
@@ -25,12 +25,17 @@
 //   merge <key> <tgt> <ref> [left|right|append]   three-way merge
 //   keys                               list keys
 //   quit
+//
+// With --connect the shell speaks to a running `forkbased` server over
+// the socket transport; every command below works identically.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
 #include "api/service.h"
+#include "rpc/remote_service.h"
 
 namespace {
 
@@ -48,8 +53,17 @@ fb::MergePolicy PolicyByName(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::unique_ptr<fb::EmbeddedService> db;
-  if (argc > 1) {
+  std::unique_ptr<fb::ForkBaseService> db;
+  if (argc > 2 && std::strcmp(argv[1], "--connect") == 0) {
+    auto remote = fb::rpc::RemoteService::Connect(argv[2]);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "connect %s: %s\n", argv[2],
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*remote);
+    std::printf("connected to forkbased at %s\n", argv[2]);
+  } else if (argc > 1) {
     // Persistent: branch state snapshots next to the chunk log, so keys
     // and branches survive across shell sessions.
     auto opened = fb::EmbeddedService::OpenPersistent(argv[1]);

@@ -1,0 +1,106 @@
+// forkbased: the ForkBase servlet daemon.
+//
+// Serves one ForkBase engine over the socket RPC transport, so clients
+// in other processes (forkbase_cli --connect, RemoteService,
+// ClusterClient with endpoints) reach it through the same Command/Reply
+// envelope the in-process facade uses. One forkbased process per
+// servlet; a multi-servlet deployment is N processes plus a client-side
+// endpoint list.
+//
+// Usage:
+//   forkbased [--listen <host:port|unix:/path>] [--dir <data-dir>]
+//             [--workers <n>]
+//
+//   --listen   endpoint to serve (default 127.0.0.1:8087; ":0" picks an
+//              ephemeral port, printed on stdout)
+//   --dir      persist chunks + branch heads under this directory
+//              (default: in-memory)
+//   --workers  request worker threads (default 4)
+//
+// Runs until SIGINT/SIGTERM, then shuts the transport down cleanly
+// (which also snapshots branch state when --dir is set).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "api/db.h"
+#include "rpc/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+const char* ArgValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen = "127.0.0.1:8087";
+  std::string dir;
+  fb::rpc::ServerOptions options;
+  if (const char* v = ArgValue(argc, argv, "--listen")) listen = v;
+  if (const char* v = ArgValue(argc, argv, "--dir")) dir = v;
+  if (const char* v = ArgValue(argc, argv, "--workers")) {
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (*end != '\0' || n < 1 || n > 1024) {
+      std::fprintf(stderr, "--workers wants an integer in [1, 1024], got %s\n",
+                   v);
+      return 1;
+    }
+    options.num_workers = static_cast<size_t>(n);
+  }
+  options.listen = listen;
+
+  std::unique_ptr<fb::ForkBase> engine;
+  if (!dir.empty()) {
+    auto opened = fb::ForkBase::OpenPersistent(dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*opened);
+  } else {
+    engine = std::make_unique<fb::ForkBase>();
+  }
+
+  auto server = fb::rpc::ForkBaseServer::Start(engine.get(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("forkbased serving %s on %s (%zu workers)\n",
+              dir.empty() ? "in-memory store" : dir.c_str(),
+              (*server)->endpoint().c_str(), options.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (g_stop == 0) {
+    timespec nap{};
+    nap.tv_nsec = 200 * 1000 * 1000;
+    nanosleep(&nap, nullptr);
+  }
+
+  std::printf("forkbased: shutting down\n");
+  (*server)->Stop();
+  const auto stats = (*server)->stats();
+  std::printf("served %llu requests over %llu connections (%llu protocol "
+              "errors)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}

@@ -56,6 +56,8 @@ Status MakeStatus(StatusCode code, std::string message) {
     case StatusCode::kOutOfRange:
       return Status::OutOfRange(std::move(message));
     case StatusCode::kInternal: return Status::Internal(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
   }
   return Status::Internal("unknown status code");
 }
@@ -214,8 +216,11 @@ Result<Command> Command::Parse(Slice data) {
                                 std::to_string(b[0]));
   }
   FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
-  if (b[0] > kMaxCommandOp) return Status::Corruption("bad command op");
 
+  // Ops beyond kMaxCommandOp are accepted here and answered with
+  // Unimplemented at dispatch: the field layout is op-independent, so a
+  // same-version envelope from a newer client still parses, and the
+  // error travels back in the Reply instead of killing the connection.
   Command cmd;
   cmd.op = static_cast<CommandOp>(b[0]);
   Slice s;
@@ -308,7 +313,7 @@ Result<Reply> Reply::Parse(Slice data) {
     return Status::NotSupported("reply wire version " + std::to_string(b[0]));
   }
   FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
-  if (b[0] > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (b[0] > kMaxStatusCode) {
     return Status::Corruption("bad status code");
   }
   Reply reply;

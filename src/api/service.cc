@@ -48,6 +48,13 @@ ConflictResolver ResolverFor(MergePolicy policy) {
 // ---------------------------------------------------------------------------
 
 Reply ApplyCommand(ForkBase* db, const Command& cmd) {
+  // Unknown / future opcodes (a newer client against an older servlet)
+  // answer with Unimplemented rather than failing the envelope: the
+  // request parsed fine, the operation just does not exist here.
+  if (static_cast<uint8_t>(cmd.op) > kMaxCommandOp) {
+    return Reply::FromStatus(Status::Unimplemented(
+        "command op " + std::to_string(static_cast<int>(cmd.op))));
+  }
   Reply reply;
   switch (cmd.op) {
     case CommandOp::kGet: {
@@ -182,7 +189,7 @@ Reply ApplyCommand(ForkBase* db, const Command& cmd) {
       return reply;
     }
   }
-  return Reply::FromStatus(Status::NotSupported("unknown command op"));
+  return Reply::FromStatus(Status::Unimplemented("unknown command op"));
 }
 
 // ---------------------------------------------------------------------------

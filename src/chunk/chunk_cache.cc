@@ -1,0 +1,43 @@
+#include "chunk/chunk_cache.h"
+
+namespace fb {
+
+bool LruChunkCache::Get(const Hash& cid, Chunk* chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(cid);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *chunk = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void LruChunkCache::Put(const Hash& cid, const Chunk& chunk) {
+  const size_t charge = chunk.serialized_size();
+  if (charge > capacity_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(cid);
+  if (it != index_.end()) {
+    // Content-addressed: same cid == same bytes, just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  EvictUntilFits(charge);
+  lru_.emplace_front(cid, chunk);
+  index_.emplace(cid, lru_.begin());
+  bytes_ += charge;
+}
+
+void LruChunkCache::EvictUntilFits(size_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > capacity_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.second.serialized_size();
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace fb

@@ -1,0 +1,68 @@
+// LruChunkCache: a byte-capped, thread-safe LRU cache of chunks.
+//
+// The first slice of the ROADMAP read-path item: it sits in front of
+// slow read fallbacks (the ServletChunkStore pool scan today; a
+// LogChunkStore disk read tomorrow). Chunks are immutable and
+// content-addressed, so the cache never invalidates — entries only
+// leave by LRU eviction when the byte budget is exceeded.
+
+#ifndef FORKBASE_CHUNK_CHUNK_CACHE_H_
+#define FORKBASE_CHUNK_CHUNK_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "chunk/chunk.h"
+
+namespace fb {
+
+class LruChunkCache {
+ public:
+  static constexpr size_t kDefaultCapacityBytes = 8u << 20;
+
+  explicit LruChunkCache(size_t capacity_bytes = kDefaultCapacityBytes)
+      : capacity_(capacity_bytes) {}
+
+  // Copies the cached chunk into *chunk and refreshes its recency.
+  // Counts a hit or a miss either way.
+  bool Get(const Hash& cid, Chunk* chunk);
+
+  // Inserts (or refreshes) a chunk, evicting least-recently-used
+  // entries until the byte budget holds. A chunk larger than the whole
+  // budget is not cached.
+  void Put(const Hash& cid, const Chunk& chunk);
+
+  size_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+  size_t capacity_bytes() const { return capacity_; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  using Entry = std::pair<Hash, Chunk>;
+
+  // Caller holds mu_. Charges serialized_size (the bytes a fetch saves).
+  void EvictUntilFits(size_t incoming);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> index_;
+  size_t bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CHUNK_CHUNK_CACHE_H_

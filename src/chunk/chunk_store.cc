@@ -570,15 +570,7 @@ Status ChunkStorePool::GetBatch(const std::vector<Hash>& cids,
 
 ChunkStoreStats ChunkStorePool::TotalStats() const {
   ChunkStoreStats total;
-  for (const auto& s : stores_) {
-    const ChunkStoreStats st = s->stats();
-    total.puts += st.puts;
-    total.dedup_hits += st.dedup_hits;
-    total.gets += st.gets;
-    total.chunks += st.chunks;
-    total.stored_bytes += st.stored_bytes;
-    total.logical_bytes += st.logical_bytes;
-  }
+  for (const auto& s : stores_) total.Accumulate(s->stats());
   return total;
 }
 

@@ -51,6 +51,22 @@ struct ChunkStoreStats {
   uint64_t chunks = 0;        // unique chunks currently stored
   uint64_t stored_bytes = 0;  // bytes of unique chunks (serialized)
   uint64_t logical_bytes = 0; // bytes as if every Put were stored
+  // Read-cache counters (stores with a cache in front of a slow read
+  // path, e.g. the ServletChunkStore pool-scan fallback; 0 elsewhere).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // Accumulates another snapshot (pool / replica / view aggregation).
+  void Accumulate(const ChunkStoreStats& o) {
+    puts += o.puts;
+    dedup_hits += o.dedup_hits;
+    gets += o.gets;
+    chunks += o.chunks;
+    stored_bytes += o.stored_bytes;
+    logical_bytes += o.logical_bytes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+  }
 };
 
 // Lock-free live counters shared by all store implementations. Individual

@@ -64,15 +64,7 @@ bool ReplicatedChunkStore::Contains(const Hash& cid) const {
 
 ChunkStoreStats ReplicatedChunkStore::stats() const {
   ChunkStoreStats total;
-  for (const auto& s : stores_) {
-    const ChunkStoreStats st = s->stats();
-    total.puts += st.puts;
-    total.dedup_hits += st.dedup_hits;
-    total.gets += st.gets;
-    total.chunks += st.chunks;
-    total.stored_bytes += st.stored_bytes;
-    total.logical_bytes += st.logical_bytes;
-  }
+  for (const auto& s : stores_) total.Accumulate(s->stats());
   return total;
 }
 

@@ -1,6 +1,7 @@
 #include "cluster/client.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace fb {
 
@@ -9,31 +10,58 @@ namespace fb {
 // ---------------------------------------------------------------------------
 
 Status ClientChunkStore::Put(const Hash& cid, const Chunk& chunk) {
-  return (*pool_)[InstanceOf(cid)]->Put(cid, chunk);
+  if (has_pool()) return (*pool_)[InstanceOf(cid)]->Put(cid, chunk);
+  return RemoteOf(cid)->Put(cid, chunk);
 }
 
 Status ClientChunkStore::Get(const Hash& cid, Chunk* chunk) const {
-  const size_t routed = InstanceOf(cid);
-  Status s = (*pool_)[routed]->Get(cid, chunk);
-  if (s.ok() || !s.IsNotFound()) return s;
-  // Meta chunks (and 1LP data chunks) live on their servlet's local
-  // instance, not at the cid-routed one: fall back to a pool scan.
-  for (size_t i = 0; i < pool_->size(); ++i) {
-    if (i == routed) continue;
-    s = (*pool_)[i]->Get(cid, chunk);
+  if (has_pool()) {
+    const size_t routed = InstanceOf(cid);
+    Status s = (*pool_)[routed]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+    // Meta chunks (and 1LP data chunks) live on their servlet's local
+    // instance, not at the cid-routed one: fall back to a pool scan.
+    for (size_t i = 0; i < pool_->size(); ++i) {
+      if (i == routed) continue;
+      s = (*pool_)[i]->Get(cid, chunk);
+      if (s.ok() || !s.IsNotFound()) return s;
+    }
+  }
+  // Remote servlets hold their own chunks (meta chunks of keys they
+  // own, server-built trees): scan them last.
+  for (ChunkStore* remote : remotes_) {
+    const Status s = remote->Get(cid, chunk);
     if (s.ok() || !s.IsNotFound()) return s;
   }
   return Status::NotFound(cid.ToShortHex());
 }
 
 bool ClientChunkStore::Contains(const Hash& cid) const {
-  for (const auto& instance : *pool_) {
-    if (instance->Contains(cid)) return true;
+  if (has_pool()) {
+    for (const auto& instance : *pool_) {
+      if (instance->Contains(cid)) return true;
+    }
+  }
+  for (ChunkStore* remote : remotes_) {
+    if (remote->Contains(cid)) return true;
   }
   return false;
 }
 
 Status ClientChunkStore::PutBatch(const ChunkBatch& batch) {
+  if (!has_pool()) {
+    // All-remote: partition by cid across the remote stores.
+    std::vector<ChunkBatch> by_remote(remotes_.size());
+    for (const auto& entry : batch) {
+      by_remote[static_cast<size_t>(entry.first.Low64() % remotes_.size())]
+          .push_back(entry);
+    }
+    for (size_t d = 0; d < by_remote.size(); ++d) {
+      if (by_remote[d].empty()) continue;
+      FB_RETURN_NOT_OK(remotes_[d]->PutBatch(by_remote[d]));
+    }
+    return Status::OK();
+  }
   std::vector<std::vector<size_t>> by_instance(pool_->size());
   for (size_t i = 0; i < batch.size(); ++i) {
     by_instance[InstanceOf(batch[i].first)].push_back(i);
@@ -54,15 +82,10 @@ Status ClientChunkStore::PutBatch(const ChunkBatch& batch) {
 
 ChunkStoreStats ClientChunkStore::stats() const {
   ChunkStoreStats total;
-  for (const auto& s : *pool_) {
-    const ChunkStoreStats st = s->stats();
-    total.puts += st.puts;
-    total.dedup_hits += st.dedup_hits;
-    total.gets += st.gets;
-    total.chunks += st.chunks;
-    total.stored_bytes += st.stored_bytes;
-    total.logical_bytes += st.logical_bytes;
+  if (has_pool()) {
+    for (const auto& s : *pool_) total.Accumulate(s->stats());
   }
+  for (ChunkStore* remote : remotes_) total.Accumulate(remote->stats());
   return total;
 }
 
@@ -71,13 +94,78 @@ ChunkStoreStats ClientChunkStore::stats() const {
 // ---------------------------------------------------------------------------
 
 ClusterClient::ClusterClient(Cluster* cluster, ClusterClientOptions options)
-    : cluster_(cluster), options_(options), chunk_view_(&cluster->pool_) {
-  workers_.reserve(cluster_->num_servlets());
-  for (size_t i = 0; i < cluster_->num_servlets(); ++i) {
+    : ClusterClient(cluster, std::move(options), {}) {
+  assert(cluster_ != nullptr);
+  assert(options_.endpoints.empty() &&
+         "use ClusterClient::Connect for remote endpoints");
+}
+
+ClusterClient::ClusterClient(
+    Cluster* cluster, ClusterClientOptions options,
+    std::vector<std::unique_ptr<rpc::RemoteService>> remotes)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      remotes_(std::move(remotes)),
+      n_shards_(cluster != nullptr ? cluster->num_servlets()
+                                   : remotes_.size()),
+      tree_config_(cluster != nullptr ? cluster->options().db.tree
+                                      : TreeConfig{}),
+      chunk_view_(cluster != nullptr ? &cluster->pool_ : nullptr, [&] {
+        std::vector<ChunkStore*> stores;
+        for (const auto& r : remotes_) {
+          if (r != nullptr) stores.push_back(r->store());
+        }
+        return stores;
+      }()) {
+  if (cluster_ == nullptr) {
+    // All-remote: adopt the servers' chunking parameters (every servlet
+    // of one deployment shares a DBOptions, so the first one speaks for
+    // all).
+    for (const auto& r : remotes_) {
+      if (r != nullptr) {
+        tree_config_ = r->tree_config();
+        break;
+      }
+    }
+  }
+  remotes_.resize(n_shards_);
+  workers_.reserve(n_shards_);
+  for (size_t i = 0; i < n_shards_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
   // Worker threads start lazily on the first Submit(): a synchronous-only
   // client never pays for them.
+}
+
+Result<std::unique_ptr<ClusterClient>> ClusterClient::Connect(
+    Cluster* cluster, ClusterClientOptions options) {
+  if (options.endpoints.empty() && cluster == nullptr) {
+    return Status::InvalidArgument(
+        "all-remote client needs a non-empty endpoint list");
+  }
+  if (cluster != nullptr && !options.endpoints.empty() &&
+      options.endpoints.size() != cluster->num_servlets()) {
+    return Status::InvalidArgument(
+        "endpoint list must name every servlet (\"\" = in-process)");
+  }
+  std::vector<std::unique_ptr<rpc::RemoteService>> remotes;
+  remotes.resize(options.endpoints.size());
+  for (size_t i = 0; i < options.endpoints.size(); ++i) {
+    const std::string& ep = options.endpoints[i];
+    if (ep.empty()) {
+      if (cluster == nullptr) {
+        return Status::InvalidArgument(
+            "endpoint " + std::to_string(i) +
+            " is in-process but no Cluster was given");
+      }
+      continue;
+    }
+    rpc::RemoteServiceOptions ro;
+    ro.pool_size = options.remote_pool_size;
+    FB_ASSIGN_OR_RETURN(remotes[i], rpc::RemoteService::Connect(ep, ro));
+  }
+  return std::unique_ptr<ClusterClient>(
+      new ClusterClient(cluster, std::move(options), std::move(remotes)));
 }
 
 void ClusterClient::EnsureWorkersStarted() {
@@ -113,6 +201,9 @@ void ClusterClient::Flush() {
 // ---------------------------------------------------------------------------
 
 Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
+  // Remote servlet: the real socket transport IS the round-trip.
+  if (remotes_[idx] != nullptr) return remotes_[idx]->Execute(cmd);
+
   ForkBase* servlet = cluster_->servlet(idx);
   if (!options_.wire_roundtrip) return ApplyCommand(servlet, cmd);
 
@@ -126,29 +217,58 @@ Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
   return std::move(*returned);
 }
 
+// True for commands addressed by version rather than key: any shard
+// with the chunks can serve them. Single source of truth for both the
+// routing below and the ExecuteRouted retry.
+static bool VersionAddressed(CommandOp op) {
+  return op == CommandOp::kGetByUid || op == CommandOp::kTrackFromUid ||
+         op == CommandOp::kDiffSorted || op == CommandOp::kDiffBlob;
+}
+
 bool ClusterClient::RouteOf(const Command& cmd, size_t* idx) const {
-  switch (cmd.op) {
-    case CommandOp::kListKeys:
-    case CommandOp::kPutMany:
-      return false;  // fan-out
-    case CommandOp::kGetByUid:
-    case CommandOp::kTrackFromUid:
-    case CommandOp::kDiffSorted:
-    case CommandOp::kDiffBlob:
-      // Version-addressed: any node can serve them from the shared pool;
-      // spread by uid.
-      *idx = static_cast<size_t>(cmd.uid.Low64() % cluster_->num_servlets());
-      return true;
-    default:
-      *idx = cluster_->ServletOf(cmd.key);
-      return true;
+  if (cmd.op == CommandOp::kListKeys || cmd.op == CommandOp::kPutMany) {
+    return false;  // fan-out
   }
+  if (VersionAddressed(cmd.op)) {
+    // With a shared in-process pool any node can serve these; spread by
+    // uid. (Remote shards only hold their own chunks — ExecuteRouted
+    // retries elsewhere on NotFound.)
+    *idx = static_cast<size_t>(cmd.uid.Low64() % n_shards_);
+    return true;
+  }
+  *idx = ShardOfKey(cmd.key, n_shards_);
+  return true;
+}
+
+Reply ClusterClient::ExecuteRouted(size_t idx, const Command& cmd) {
+  Reply reply = ExecuteOn(idx, cmd);
+  // In-process shards share one chunk pool, so the uid-routed shard is
+  // as good as any. Once remote shards exist, each holds only its own
+  // chunks: a version-addressed miss is retried on the shards not yet
+  // asked (the in-process ones collectively count as one).
+  if (!VersionAddressed(cmd.op) || reply.code != StatusCode::kNotFound) {
+    return reply;
+  }
+  bool in_process_tried = remotes_[idx] == nullptr;
+  bool any_remote = false;
+  for (const auto& r : remotes_) any_remote |= r != nullptr;
+  if (!any_remote) return reply;
+  for (size_t i = 0; i < n_shards_; ++i) {
+    if (i == idx) continue;
+    if (remotes_[i] == nullptr) {
+      if (in_process_tried) continue;
+      in_process_tried = true;
+    }
+    Reply retry = ExecuteOn(i, cmd);
+    if (retry.code != StatusCode::kNotFound) return retry;
+  }
+  return reply;
 }
 
 Reply ClusterClient::ExecuteFanOut(const Command& cmd) {
   // ListKeys: union every servlet's shard (sorted for determinism).
   Reply out;
-  for (size_t i = 0; i < cluster_->num_servlets(); ++i) {
+  for (size_t i = 0; i < n_shards_; ++i) {
     Reply shard = ExecuteOn(i, cmd);
     if (!shard.ok()) return shard;
     out.keys.insert(out.keys.end(),
@@ -164,10 +284,10 @@ Reply ClusterClient::ExecutePutMany(const Command& cmd) {
   // reassemble the uids in input order. Partitions commit independently:
   // an error reports the first failure, with earlier partitions already
   // durable (same at-least-partial semantics as crashing mid-bulk-load).
-  const size_t n = cluster_->num_servlets();
+  const size_t n = n_shards_;
   std::vector<std::vector<size_t>> by_servlet(n);
   for (size_t i = 0; i < cmd.kvs.size(); ++i) {
-    by_servlet[cluster_->ServletOf(cmd.kvs[i].first)].push_back(i);
+    by_servlet[ShardOfKey(cmd.kvs[i].first, n)].push_back(i);
   }
   Reply out;
   out.uids.resize(cmd.kvs.size());
@@ -203,7 +323,7 @@ Reply ClusterClient::Execute(const Command& cmd) {
       if (!RouteOf(cmd, &idx)) {
         return Reply::FromStatus(Status::Internal("unroutable command"));
       }
-      return ExecuteOn(idx, cmd);
+      return ExecuteRouted(idx, cmd);
     }
   }
 }
@@ -334,7 +454,7 @@ void ClusterClient::WorkerLoop(size_t idx) {
       }
       CommitPutRun(idx, &run);
       run_keys.clear();
-      p.promise.set_value(ExecuteOn(idx, p.cmd));
+      p.promise.set_value(ExecuteRouted(idx, p.cmd));
     }
     CommitPutRun(idx, &run);
 

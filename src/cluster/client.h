@@ -14,8 +14,12 @@
 //
 // Commands and replies cross the client/servlet boundary through their
 // byte-stable serialized form (Serialize -> Parse on both directions), so
-// this in-process client exercises exactly the envelope a remote RPC
-// transport would carry.
+// the in-process path exercises exactly the envelope the socket transport
+// carries. Servlets may also live in other processes: Connect() accepts a
+// per-servlet endpoint list ("host:port" / "unix:/path", "" = embedded),
+// and commands to those shards travel over RemoteService connections to
+// `forkbased` servers — the deployment of Sections 4.1/4.6 with a real
+// network in the middle.
 //
 // Submit() is the asynchronous path: each servlet has a worker thread
 // with a request queue, and the worker coalesces runs of queued plain
@@ -45,27 +49,40 @@
 
 #include "api/service.h"
 #include "cluster/cluster.h"
+#include "rpc/remote_service.h"
 
 namespace fb {
 
 struct ClusterClientOptions {
   // Round-trip every command and reply through the serialized envelope at
-  // the servlet boundary (simulated RPC). Disable only to measure the
+  // the servlet boundary (simulated RPC for in-process servlets; remote
+  // servlets always cross the real wire). Disable only to measure the
   // envelope's own cost.
   bool wire_roundtrip = true;
+  // Per-servlet transport: entry i is an endpoint ("host:port" or
+  // "unix:/path") served by a `forkbased` process, or "" for the
+  // in-process servlet of the Cluster. Empty vector = all in-process.
+  // Mixed deployments are fine; see ClusterClient::Connect.
+  std::vector<std::string> endpoints;
+  // Connection pool size per remote endpoint.
+  size_t remote_pool_size = 2;
 };
 
-// The client's view of the chunk pool, used to materialize handles and
+// The client's view of chunk storage, used to materialize handles and
 // build chunkable values client-side. Writes route data chunks by cid
-// into the shared pool; reads check the cid-routed instance first and
-// fall back to scanning the pool. Client-side construction therefore
-// always spreads chunks 2LP-style (the client cannot know the owning
-// servlet at chunk-build time); under 1LP, use PutBlob-style
-// server-side construction when placement must follow the key.
+// into the shared in-process pool (or, all-remote, across the remote
+// stores); reads check the cid-routed instance first and fall back to
+// scanning every instance, remote stores included. Client-side
+// construction therefore always spreads chunks 2LP-style (the client
+// cannot know the owning servlet at chunk-build time); under 1LP — or
+// against remote servlets, whose engines only read their own store —
+// use PutBlob-style server-side construction when placement must follow
+// the key.
 class ClientChunkStore : public ChunkStore {
  public:
-  explicit ClientChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool)
-      : pool_(pool) {}
+  ClientChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool,
+                   std::vector<ChunkStore*> remotes)
+      : pool_(pool), remotes_(std::move(remotes)) {}
 
   using ChunkStore::Put;
   Status Put(const Hash& cid, const Chunk& chunk) override;
@@ -75,16 +92,31 @@ class ClientChunkStore : public ChunkStore {
   ChunkStoreStats stats() const override;
 
  private:
+  bool has_pool() const { return pool_ != nullptr && !pool_->empty(); }
   size_t InstanceOf(const Hash& cid) const {
     return static_cast<size_t>(cid.Low64() % pool_->size());
   }
+  // The write destination when there is no in-process pool.
+  ChunkStore* RemoteOf(const Hash& cid) const {
+    return remotes_[static_cast<size_t>(cid.Low64() % remotes_.size())];
+  }
 
-  std::vector<std::unique_ptr<MemChunkStore>>* pool_;
+  std::vector<std::unique_ptr<MemChunkStore>>* pool_;  // null when all-remote
+  std::vector<ChunkStore*> remotes_;  // stores of remote servlets
 };
 
 class ClusterClient : public ForkBaseService {
  public:
+  // All-in-process client (options.endpoints must be empty).
   explicit ClusterClient(Cluster* cluster, ClusterClientOptions options = {});
+
+  // Client over a mixed or fully remote deployment. options.endpoints
+  // names each servlet's transport (see ClusterClientOptions); `cluster`
+  // supplies the in-process servlets and may be null when every entry is
+  // remote. Fails if any remote endpoint cannot be reached.
+  static Result<std::unique_ptr<ClusterClient>> Connect(
+      Cluster* cluster, ClusterClientOptions options);
+
   ~ClusterClient() override;
 
   ClusterClient(const ClusterClient&) = delete;
@@ -101,9 +133,9 @@ class ClusterClient : public ForkBaseService {
   void Flush();
 
   ChunkStore* store() const override { return &chunk_view_; }
-  const TreeConfig& tree_config() const override {
-    return cluster_->options().db.tree;
-  }
+  const TreeConfig& tree_config() const override { return tree_config_; }
+
+  size_t num_servlets() const { return n_shards_; }
 
   // Counters for the async batching path (benchmark + test surface).
   struct SubmitStats {
@@ -129,8 +161,16 @@ class ClusterClient : public ForkBaseService {
     std::thread thread;
   };
 
-  // Executes on servlet `idx`, round-tripping through the wire format.
+  // Builds the chunk view and worker slots once shards are known.
+  ClusterClient(Cluster* cluster, ClusterClientOptions options,
+                std::vector<std::unique_ptr<rpc::RemoteService>> remotes);
+
+  // Executes on servlet `idx`: over the socket for a remote servlet,
+  // round-tripping through the wire format in-process otherwise.
   Reply ExecuteOn(size_t idx, const Command& cmd);
+  // ExecuteOn plus the version-addressed NotFound retry used when
+  // remote shards (which hold only their own chunks) are in play.
+  Reply ExecuteRouted(size_t idx, const Command& cmd);
   Reply ExecuteFanOut(const Command& cmd);
   Reply ExecutePutMany(const Command& cmd);
   // The servlet index a command routes to; false for fan-out commands.
@@ -142,8 +182,11 @@ class ClusterClient : public ForkBaseService {
   // each put's promise with its own uid.
   void CommitPutRun(size_t idx, std::vector<Pending>* run);
 
-  Cluster* cluster_;
+  Cluster* cluster_;  // null for an all-remote client
   ClusterClientOptions options_;
+  std::vector<std::unique_ptr<rpc::RemoteService>> remotes_;  // per shard
+  size_t n_shards_;
+  TreeConfig tree_config_;
   mutable ClientChunkStore chunk_view_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::once_flag workers_started_;

@@ -23,10 +23,23 @@ Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
     s = (*pool_)[local_id_]->Get(cid, chunk);
     if (s.ok() || !s.IsNotFound()) return s;
   }
+  // Expected locations missed: before paying for the pool-wide scan,
+  // consult the fallback cache (chunks are immutable, so a cached copy
+  // is always current).
+  if (fallback_cache_.capacity_bytes() > 0 &&
+      fallback_cache_.Get(cid, chunk)) {
+    return Status::OK();
+  }
   for (size_t i = 0; i < pool_->size(); ++i) {
     if (i == routed || i == local_id_) continue;
     s = (*pool_)[i]->Get(cid, chunk);
-    if (s.ok() || !s.IsNotFound()) return s;
+    if (s.ok()) {
+      if (fallback_cache_.capacity_bytes() > 0) {
+        fallback_cache_.Put(cid, *chunk);
+      }
+      return s;
+    }
+    if (!s.IsNotFound()) return s;
   }
   return Status::NotFound(cid.ToShortHex());
 }
@@ -65,17 +78,12 @@ Status ServletChunkStore::PutBatch(const ChunkBatch& batch) {
 }
 
 ChunkStoreStats ServletChunkStore::stats() const {
-  // The view aggregates the whole pool (shared storage semantics).
+  // The view aggregates the whole pool (shared storage semantics), plus
+  // this servlet's own fallback-cache counters.
   ChunkStoreStats total;
-  for (const auto& s : *pool_) {
-    const ChunkStoreStats st = s->stats();
-    total.puts += st.puts;
-    total.dedup_hits += st.dedup_hits;
-    total.gets += st.gets;
-    total.chunks += st.chunks;
-    total.stored_bytes += st.stored_bytes;
-    total.logical_bytes += st.logical_bytes;
-  }
+  for (const auto& s : *pool_) total.Accumulate(s->stats());
+  total.cache_hits = fallback_cache_.hits();
+  total.cache_misses = fallback_cache_.misses();
   return total;
 }
 
@@ -88,7 +96,8 @@ Cluster::Cluster(ClusterOptions options)
   }
   for (size_t i = 0; i < options_.num_servlets; ++i) {
     views_.push_back(std::make_unique<ServletChunkStore>(
-        &pool_, i, options_.two_layer_partitioning));
+        &pool_, i, options_.two_layer_partitioning,
+        options_.fallback_cache_bytes));
     servlets_.push_back(
         std::make_unique<ForkBase>(options_.db, views_.back().get()));
   }
@@ -127,13 +136,17 @@ Result<Hash> Cluster::PutBlobRebalanced(const std::string& key,
   return owner->Put(key, Value::OfTree(UType::kBlob, root));
 }
 
-size_t Cluster::ServletOf(const std::string& key) const {
-  uint64_t h = 0xcbf29ce484222325ULL;
+size_t ShardOfKey(const std::string& key, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
   for (char c : key) {
     h ^= static_cast<uint8_t>(c);
     h *= 0x100000001b3ULL;
   }
-  return static_cast<size_t>(h % servlets_.size());
+  return static_cast<size_t>(h % n);
+}
+
+size_t Cluster::ServletOf(const std::string& key) const {
+  return ShardOfKey(key, servlets_.size());
 }
 
 std::vector<uint64_t> Cluster::PerNodeStorageBytes() const {

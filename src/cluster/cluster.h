@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "api/db.h"
+#include "chunk/chunk_cache.h"
 #include "chunk/chunk_store.h"
 
 namespace fb {
@@ -32,7 +33,15 @@ struct ClusterOptions {
   // true  => two-layer partitioning (2LP): data chunks spread by cid.
   // false => one-layer partitioning (1LP): all chunks stay servlet-local.
   bool two_layer_partitioning = true;
+  // Byte budget of each servlet's LRU cache in front of the pool-scan
+  // read fallback (0 disables it).
+  size_t fallback_cache_bytes = LruChunkCache::kDefaultCapacityBytes;
 };
+
+// The servlet the dispatcher routes `key` to in an `n`-shard layout —
+// a pure function shared by the in-process Cluster and remote-endpoint
+// clients, so every deployment agrees on key placement.
+size_t ShardOfKey(const std::string& key, size_t n);
 
 // A chunk store view for one servlet: meta chunks pin to the local
 // instance; data chunks route to the pool by cid (2LP) or stay local (1LP).
@@ -41,11 +50,18 @@ struct ClusterOptions {
 // 15 storage-distribution story), but every instance of the cluster-wide
 // pool is readable from every node, so chunks written by other placement
 // policies (client-built trees, delegated construction) stay reachable.
+// A byte-capped LRU cache absorbs repeated fallback reads: a hit skips
+// the whole scan, and hit/miss counts surface in stats().
 class ServletChunkStore : public ChunkStore {
  public:
   ServletChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool,
-                    size_t local_id, bool two_layer)
-      : pool_(pool), local_id_(local_id), two_layer_(two_layer) {}
+                    size_t local_id, bool two_layer,
+                    size_t fallback_cache_bytes =
+                        LruChunkCache::kDefaultCapacityBytes)
+      : pool_(pool),
+        local_id_(local_id),
+        two_layer_(two_layer),
+        fallback_cache_(fallback_cache_bytes) {}
 
   using ChunkStore::Put;
   Status Put(const Hash& cid, const Chunk& chunk) override;
@@ -69,6 +85,7 @@ class ServletChunkStore : public ChunkStore {
   std::vector<std::unique_ptr<MemChunkStore>>* pool_;
   size_t local_id_;
   bool two_layer_;
+  mutable LruChunkCache fallback_cache_;  // Get() is const; caching is not
 };
 
 // The simulated deployment: master + dispatcher + N servlets. Clients do

@@ -1,0 +1,174 @@
+#include "rpc/frame.h"
+
+#include <array>
+
+#include "api/command.h"
+#include "util/codec.h"
+
+namespace fb {
+namespace rpc {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutLe32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutLe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(Slice data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrame(FrameType type, uint64_t request_id, Slice payload,
+                 Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + kFrameHeaderSize);
+  uint8_t* h = out->data() + base;
+  PutLe32(h, static_cast<uint32_t>(payload.size()));
+  h[4] = static_cast<uint8_t>(type);
+  PutLe64(h + 5, request_id);
+  PutLe32(h + 13, Crc32(payload));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Status SendFrame(Socket* sock, FrameType type, uint64_t request_id,
+                 Slice payload) {
+  Bytes wire;
+  wire.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrame(type, request_id, payload, &wire);
+  return sock->SendAll(wire.data(), wire.size());
+}
+
+Status RecvFrame(Socket* sock, Frame* out) {
+  uint8_t header[kFrameHeaderSize];
+  FB_RETURN_NOT_OK(sock->RecvAll(header, sizeof(header)));
+  const uint32_t len = GetLe32(header);
+  const uint8_t type = header[4];
+  out->request_id = GetLe64(header + 5);
+  const uint32_t crc = GetLe32(header + 13);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(len) + " exceeds cap");
+  }
+  if (type > kMaxFrameType) {
+    // The boundary is still trustworthy (length was sane): drain the
+    // payload so the connection stays usable, then report.
+    out->payload.resize(len);
+    FB_RETURN_NOT_OK(sock->RecvAll(out->payload.data(), len));
+    return Status::Corruption("unknown frame type " + std::to_string(type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(len);
+  FB_RETURN_NOT_OK(sock->RecvAll(out->payload.data(), len));
+  if (Crc32(Slice(out->payload)) != crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Payload bodies
+// ---------------------------------------------------------------------------
+
+void EncodeControl(const Status& s, Slice body, Bytes* payload) {
+  payload->push_back(static_cast<uint8_t>(s.code()));
+  PutLengthPrefixed(payload, Slice(s.message()));
+  payload->insert(payload->end(), body.begin(), body.end());
+}
+
+Status DecodeControl(Slice payload, Status* remote, Slice* body) {
+  ByteReader r(payload);
+  Slice b;
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  if (b[0] > kMaxStatusCode) {
+    return Status::Corruption("bad status code in control response");
+  }
+  const StatusCode code = static_cast<StatusCode>(b[0]);
+  Slice msg;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&msg));
+  *remote = MakeStatus(code, msg.ToString());
+  *body = payload.subslice(r.position());
+  return Status::OK();
+}
+
+void EncodeTreeConfig(const TreeConfig& config, Bytes* out) {
+  PutVarint64(out, static_cast<uint64_t>(config.leaf_pattern_bits));
+  PutVarint64(out, static_cast<uint64_t>(config.index_pattern_bits));
+  PutVarint64(out, config.window);
+  PutVarint64(out, config.size_alpha);
+}
+
+Status DecodeTreeConfig(Slice body, TreeConfig* out) {
+  ByteReader r(body);
+  uint64_t leaf = 0, index = 0, window = 0, alpha = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&leaf));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&index));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&window));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&alpha));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in tree config");
+  out->leaf_pattern_bits = static_cast<int>(leaf);
+  out->index_pattern_bits = static_cast<int>(index);
+  out->window = window;
+  out->size_alpha = alpha;
+  return Status::OK();
+}
+
+void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out) {
+  PutVarint64(out, stats.puts);
+  PutVarint64(out, stats.dedup_hits);
+  PutVarint64(out, stats.gets);
+  PutVarint64(out, stats.chunks);
+  PutVarint64(out, stats.stored_bytes);
+  PutVarint64(out, stats.logical_bytes);
+  PutVarint64(out, stats.cache_hits);
+  PutVarint64(out, stats.cache_misses);
+}
+
+Status DecodeStoreStats(Slice body, ChunkStoreStats* out) {
+  ByteReader r(body);
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->puts));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->dedup_hits));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->gets));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->chunks));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->stored_bytes));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->logical_bytes));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_hits));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_misses));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in store stats");
+  return Status::OK();
+}
+
+}  // namespace rpc
+}  // namespace fb

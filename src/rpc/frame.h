@@ -1,0 +1,101 @@
+// Frame layer of the ForkBase RPC transport.
+//
+// Every message on a connection is one frame:
+//
+//   [u32 payload_len][u8 type][u64 request_id][u32 crc32(payload)][payload]
+//
+// (all integers little-endian, 17-byte header). The request id is chosen
+// by the client and echoed by the server, so pipelined requests on one
+// connection may complete out of order — the server's worker pool
+// dispatches frames concurrently and replies whenever each finishes.
+//
+// Command frames carry the byte-stable Command/Reply envelope
+// (src/api/command.h) as their payload; chunk frames carry cid-addressed
+// chunk transfers so a remote client can build and read chunkable values
+// (client-side construction, Figure 4) against a server's store.
+//
+// Damage handling is split by how much of the stream survives:
+//   * bad checksum      -> Corruption; the length was valid, so the frame
+//                          boundary is intact and the CONNECTION IS STILL
+//                          USABLE (the server answers with an error reply).
+//   * oversized length  -> InvalidArgument; the boundary cannot be
+//                          trusted, the connection must close.
+//   * short read / EOF  -> IOError (peer went away mid-frame).
+
+#ifndef FORKBASE_RPC_FRAME_H_
+#define FORKBASE_RPC_FRAME_H_
+
+#include <cstdint>
+
+#include "chunk/chunk_store.h"
+#include "pos_tree/config.h"
+#include "rpc/socket.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fb {
+namespace rpc {
+
+enum class FrameType : uint8_t {
+  kCommand = 0,        // payload: Command::Serialize()
+  kReply = 1,          // payload: Reply::Serialize()
+  kChunkGet = 2,       // payload: [32B cid]
+  kChunkPut = 3,       // payload: [32B cid][chunk bytes]
+  kChunkPutBatch = 4,  // payload: varint n, n x ([32B cid][LP chunk bytes])
+  kChunkHas = 5,       // payload: [32B cid]
+  kHello = 6,          // payload: empty; resp body: varint-encoded TreeConfig
+  kStoreStats = 7,     // payload: empty; resp body: varint-encoded stats
+  kControlResp = 8,    // payload: [u8 code][LP message][body] (non-command resp)
+};
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kControlResp);
+
+// Hard cap on one frame's payload. Large values ship as chunk batches
+// well below this; anything bigger is a corrupt or hostile length prefix.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+inline constexpr size_t kFrameHeaderSize = 4 + 1 + 8 + 4;
+
+// Standard CRC-32 (reflected, poly 0xEDB88320) over `data`.
+uint32_t Crc32(Slice data);
+
+struct Frame {
+  FrameType type = FrameType::kCommand;
+  uint64_t request_id = 0;
+  Bytes payload;
+};
+
+// Appends the full wire encoding of one frame to `out`.
+void EncodeFrame(FrameType type, uint64_t request_id, Slice payload,
+                 Bytes* out);
+
+// Sends one frame. The caller serializes concurrent senders per socket.
+Status SendFrame(Socket* sock, FrameType type, uint64_t request_id,
+                 Slice payload);
+
+// Receives one frame, enforcing the payload cap and checksum (error
+// taxonomy in the header comment above).
+Status RecvFrame(Socket* sock, Frame* out);
+
+// --- Payload bodies shared by both sides of the protocol ------------------
+
+// kControlResp payload: [u8 code][LP message][body].
+void EncodeControl(const Status& s, Slice body, Bytes* payload);
+// Returns non-OK only when the payload itself is undecodable; the
+// carried status lands in *remote and the body (a view into `payload`)
+// in *body.
+Status DecodeControl(Slice payload, Status* remote, Slice* body);
+
+// kHello response body: the server's TreeConfig, so a remote client
+// builds byte-identical POS-Trees (same cids) as the server would.
+void EncodeTreeConfig(const TreeConfig& config, Bytes* out);
+Status DecodeTreeConfig(Slice body, TreeConfig* out);
+
+// kStoreStats response body: counter snapshot of the server's store.
+void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out);
+Status DecodeStoreStats(Slice body, ChunkStoreStats* out);
+
+}  // namespace rpc
+}  // namespace fb
+
+#endif  // FORKBASE_RPC_FRAME_H_

@@ -1,0 +1,280 @@
+#include "rpc/remote_service.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/codec.h"
+
+namespace fb {
+namespace rpc {
+
+// ---------------------------------------------------------------------------
+// Connection management
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RemoteService>> RemoteService::Connect(
+    const std::string& endpoint, RemoteServiceOptions options) {
+  if (options.pool_size == 0) options.pool_size = 1;
+  std::unique_ptr<RemoteService> service(
+      new RemoteService(endpoint, options));
+  service->pool_.resize(options.pool_size);
+  // The handshake both validates the endpoint (first connection opens
+  // here) and fetches the server's chunking parameters.
+  FB_ASSIGN_OR_RETURN(Bytes hello,
+                      service->CallControl(FrameType::kHello, Slice()));
+  FB_RETURN_NOT_OK(DecodeTreeConfig(Slice(hello), &service->tree_config_));
+  return service;
+}
+
+RemoteService::~RemoteService() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    conns.swap(all_conns_);
+    pool_.clear();
+  }
+  for (auto& c : conns) c->sock.Shutdown();
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+}
+
+Result<std::shared_ptr<RemoteService::Connection>>
+RemoteService::OpenConnection() {
+  FB_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(endpoint_));
+  auto conn = std::make_shared<Connection>();
+  FB_ASSIGN_OR_RETURN(conn->sock, Socket::Connect(ep));
+  conn->reader = std::thread([c = conn.get()] { ReaderLoop(c); });
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return conn;
+}
+
+Result<std::shared_ptr<RemoteService::Connection>>
+RemoteService::GetConnection() {
+  const size_t slot = static_cast<size_t>(next_slot_.fetch_add(
+                          1, std::memory_order_relaxed)) %
+                      options_.pool_size;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    std::shared_ptr<Connection>& c = pool_[slot];
+    if (c != nullptr) {
+      std::lock_guard<std::mutex> plock(c->pending_mu);
+      if (c->alive) return c;
+    }
+  }
+  // Slot empty or dead: reconnect outside the pool lock (connect can
+  // block), then install. A concurrent reconnect of the same slot just
+  // yields one extra pooled connection in all_conns_; harmless.
+  FB_ASSIGN_OR_RETURN(std::shared_ptr<Connection> fresh, OpenConnection());
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_[slot] = fresh;
+    all_conns_.push_back(fresh);
+  }
+  return fresh;
+}
+
+void RemoteService::FailPending(Connection* conn, const Status& why) {
+  std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> drained;
+  {
+    std::lock_guard<std::mutex> lock(conn->pending_mu);
+    conn->alive = false;
+    drained.swap(conn->pending);
+  }
+  for (auto& [id, on_done] : drained) {
+    Frame none;
+    on_done(why, std::move(none));
+  }
+}
+
+void RemoteService::ReaderLoop(Connection* conn) {
+  for (;;) {
+    Frame frame;
+    const Status s = RecvFrame(&conn->sock, &frame);
+    if (!s.ok()) {
+      // Checksum damage on the response stream leaves the frame
+      // boundary intact but the affected request unidentifiable in
+      // general; treat the connection as poisoned so no caller hangs.
+      FailPending(conn, s.IsCorruption()
+                            ? s
+                            : Status::IOError("connection lost: " +
+                                              s.ToString()));
+      conn->sock.Shutdown();
+      return;
+    }
+    std::function<void(Status, Frame&&)> on_done;
+    {
+      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      auto it = conn->pending.find(frame.request_id);
+      if (it != conn->pending.end()) {
+        on_done = std::move(it->second);
+        conn->pending.erase(it);
+      }
+    }
+    // Replies to ids we never sent (or already failed) are dropped.
+    if (on_done) on_done(Status::OK(), std::move(frame));
+  }
+}
+
+Status RemoteService::SendRequest(
+    FrameType type, Slice payload,
+    std::function<void(Status, Frame&&)> on_done) {
+  FB_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn, GetConnection());
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Register before sending so a fast reply cannot race the
+    // registration; bail if the reader declared the connection dead in
+    // between (the callback would never fire).
+    std::lock_guard<std::mutex> lock(conn->pending_mu);
+    if (!conn->alive) return Status::IOError("connection lost");
+    conn->pending.emplace(id, std::move(on_done));
+  }
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = SendFrame(&conn->sock, type, id, payload);
+  }
+  if (!sent.ok()) {
+    // Poison the connection (the reader will fail the other pending
+    // requests off the dead socket) and reclaim our callback. If the
+    // reader got there first the callback has already run — report OK
+    // so the caller does not complete the promise a second time.
+    conn->sock.Shutdown();
+    bool reclaimed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      reclaimed = conn->pending.erase(id) > 0;
+    }
+    if (!reclaimed) return Status::OK();
+  }
+  return sent;
+}
+
+// ---------------------------------------------------------------------------
+// Command path
+// ---------------------------------------------------------------------------
+
+std::future<Reply> RemoteService::DispatchCommand(const Command& cmd) {
+  auto promise = std::make_shared<std::promise<Reply>>();
+  std::future<Reply> future = promise->get_future();
+  const Bytes wire = cmd.Serialize();
+  const Status s = SendRequest(
+      FrameType::kCommand, Slice(wire),
+      [promise](Status transport, Frame&& frame) {
+        if (!transport.ok()) {
+          promise->set_value(Reply::FromStatus(transport));
+          return;
+        }
+        if (frame.type == FrameType::kReply) {
+          Result<Reply> reply = Reply::Parse(Slice(frame.payload));
+          promise->set_value(reply.ok() ? std::move(*reply)
+                                        : Reply::FromStatus(reply.status()));
+          return;
+        }
+        if (frame.type == FrameType::kControlResp) {
+          // The server could not treat this as a command (damaged
+          // frame, protocol error); the carried status explains why.
+          Status remote;
+          Slice body;
+          const Status d = DecodeControl(Slice(frame.payload), &remote, &body);
+          promise->set_value(Reply::FromStatus(d.ok() ? remote : d));
+          return;
+        }
+        promise->set_value(Reply::FromStatus(
+            Status::Corruption("unexpected response frame type")));
+      });
+  if (!s.ok()) promise->set_value(Reply::FromStatus(s));
+  return future;
+}
+
+Reply RemoteService::Execute(const Command& cmd) {
+  return DispatchCommand(cmd).get();
+}
+
+std::future<Reply> RemoteService::Submit(Command cmd) {
+  return DispatchCommand(cmd);
+}
+
+// ---------------------------------------------------------------------------
+// Control path (chunk transfer, handshake, stats)
+// ---------------------------------------------------------------------------
+
+Result<Bytes> RemoteService::CallControl(FrameType type, Slice payload) {
+  auto promise = std::make_shared<std::promise<Result<Bytes>>>();
+  std::future<Result<Bytes>> future = promise->get_future();
+  const Status s = SendRequest(
+      type, payload, [promise](Status transport, Frame&& frame) {
+        if (!transport.ok()) {
+          promise->set_value(transport);
+          return;
+        }
+        if (frame.type != FrameType::kControlResp) {
+          promise->set_value(
+              Status::Corruption("unexpected response frame type"));
+          return;
+        }
+        Status remote;
+        Slice body;
+        const Status d = DecodeControl(Slice(frame.payload), &remote, &body);
+        if (!d.ok()) {
+          promise->set_value(d);
+        } else if (!remote.ok()) {
+          promise->set_value(remote);
+        } else {
+          promise->set_value(body.ToBytes());
+        }
+      });
+  FB_RETURN_NOT_OK(s);
+  return future.get();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteChunkStore
+// ---------------------------------------------------------------------------
+
+Status RemoteChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  Bytes payload = cid.slice().ToBytes();
+  const Bytes bytes = chunk.Serialize();
+  payload.insert(payload.end(), bytes.begin(), bytes.end());
+  return service_->CallControl(FrameType::kChunkPut, Slice(payload)).status();
+}
+
+Status RemoteChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  Result<Bytes> body =
+      service_->CallControl(FrameType::kChunkGet, cid.slice());
+  FB_RETURN_NOT_OK(body.status());
+  if (!Chunk::Deserialize(Slice(*body), chunk)) {
+    return Status::Corruption("undecodable chunk from server");
+  }
+  return Status::OK();
+}
+
+bool RemoteChunkStore::Contains(const Hash& cid) const {
+  Result<Bytes> body =
+      service_->CallControl(FrameType::kChunkHas, cid.slice());
+  return body.ok() && body->size() == 1 && (*body)[0] != 0;
+}
+
+Status RemoteChunkStore::PutBatch(const ChunkBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  Bytes payload;
+  PutVarint64(&payload, batch.size());
+  for (const auto& [cid, chunk] : batch) {
+    payload.insert(payload.end(), cid.slice().begin(), cid.slice().end());
+    PutLengthPrefixed(&payload, Slice(chunk.Serialize()));
+  }
+  return service_->CallControl(FrameType::kChunkPutBatch, Slice(payload))
+      .status();
+}
+
+ChunkStoreStats RemoteChunkStore::stats() const {
+  Result<Bytes> body =
+      service_->CallControl(FrameType::kStoreStats, Slice());
+  ChunkStoreStats stats;
+  if (body.ok()) (void)DecodeStoreStats(Slice(*body), &stats);
+  return stats;
+}
+
+}  // namespace rpc
+}  // namespace fb

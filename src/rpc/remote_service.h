@@ -1,0 +1,146 @@
+// RemoteService: a ForkBaseService over a socket connection to a
+// ForkBaseServer — the client half of the RPC transport.
+//
+// Every typed M1-M17 wrapper works unchanged: Execute serializes the
+// Command into a frame, ships it, and parses the Reply frame that comes
+// back. Submit() is the pipelined path: many requests may be in flight
+// on one connection, each tagged with a request id, and the per-
+// connection reader thread completes futures in whatever order the
+// server's worker pool finishes them.
+//
+// A small connection pool (RemoteServiceOptions::pool_size) spreads
+// concurrent callers over independent sockets; a connection that dies
+// (server restart, mid-stream disconnect) fails its in-flight requests
+// with IOError and is transparently replaced on the next call.
+//
+// Client-side value construction (CreateBlob & co., Figure 4) works
+// against store(): a RemoteChunkStore that moves cid-addressed chunks
+// over the same connections, with the server's TreeConfig fetched at
+// connect time so client-built POS-Trees produce byte-identical cids.
+
+#ifndef FORKBASE_RPC_REMOTE_SERVICE_H_
+#define FORKBASE_RPC_REMOTE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/service.h"
+#include "rpc/frame.h"
+#include "rpc/socket.h"
+
+namespace fb {
+namespace rpc {
+
+class RemoteService;
+
+// The client's view of the remote chunk store. Thread-safe (the
+// underlying connections are).
+class RemoteChunkStore : public ChunkStore {
+ public:
+  explicit RemoteChunkStore(RemoteService* service) : service_(service) {}
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override;
+  Status Get(const Hash& cid, Chunk* chunk) const override;
+  bool Contains(const Hash& cid) const override;
+  Status PutBatch(const ChunkBatch& batch) override;
+  ChunkStoreStats stats() const override;
+
+ private:
+  RemoteService* service_;
+};
+
+struct RemoteServiceOptions {
+  size_t pool_size = 2;  // concurrent sockets to the server
+};
+
+class RemoteService : public ForkBaseService {
+ public:
+  // Connects and fetches the server's TreeConfig (the handshake that
+  // keeps client-side chunking byte-identical to the server's).
+  static Result<std::unique_ptr<RemoteService>> Connect(
+      const std::string& endpoint, RemoteServiceOptions options = {});
+
+  ~RemoteService() override;
+  RemoteService(const RemoteService&) = delete;
+  RemoteService& operator=(const RemoteService&) = delete;
+
+  // Synchronous round-trip; transport failures surface as IOError
+  // replies (never silently retried: a sent Put may have committed).
+  Reply Execute(const Command& cmd) override;
+
+  // Pipelined dispatch: returns immediately; the future resolves when
+  // the server's reply frame arrives (possibly out of submission order).
+  std::future<Reply> Submit(Command cmd);
+
+  ChunkStore* store() const override { return &chunk_view_; }
+  const TreeConfig& tree_config() const override { return tree_config_; }
+  const std::string& endpoint() const { return endpoint_; }
+
+  // Connections established over the lifetime (1 + reconnects + pool
+  // growth); test surface for reconnect behavior.
+  uint64_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class RemoteChunkStore;
+
+  // One pooled connection with its demultiplexing reader.
+  struct Connection {
+    Socket sock;
+    std::mutex write_mu;
+    std::mutex pending_mu;
+    bool alive = true;  // guarded by pending_mu
+    // request id -> completion; invoked by the reader thread (or by the
+    // drain when the connection dies).
+    std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> pending;
+    std::thread reader;
+  };
+
+  RemoteService(std::string endpoint, RemoteServiceOptions options)
+      : endpoint_(std::move(endpoint)), options_(options) {}
+
+  // Round-robin pick; replaces dead slots by reconnecting.
+  Result<std::shared_ptr<Connection>> GetConnection();
+  Result<std::shared_ptr<Connection>> OpenConnection();
+  static void ReaderLoop(Connection* conn);
+  static void FailPending(Connection* conn, const Status& why);
+
+  // Registers the callback and sends one frame; on transport failure the
+  // callback is NOT invoked and the error returns to the caller.
+  Status SendRequest(FrameType type, Slice payload,
+                     std::function<void(Status, Frame&&)> on_done);
+
+  std::future<Reply> DispatchCommand(const Command& cmd);
+  // Sync non-command call: remote status, with the response body on OK.
+  Result<Bytes> CallControl(FrameType type, Slice payload);
+
+  const std::string endpoint_;
+  const RemoteServiceOptions options_;
+  TreeConfig tree_config_;
+  mutable RemoteChunkStore chunk_view_{this};
+
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> next_slot_{0};
+  std::atomic<uint64_t> connections_opened_{0};
+
+  std::mutex pool_mu_;
+  std::vector<std::shared_ptr<Connection>> pool_;  // fixed pool_size slots
+  // Every connection ever opened, so the destructor can join all reader
+  // threads (replaced slots included).
+  std::vector<std::shared_ptr<Connection>> all_conns_;
+};
+
+}  // namespace rpc
+}  // namespace fb
+
+#endif  // FORKBASE_RPC_REMOTE_SERVICE_H_

@@ -1,0 +1,310 @@
+#include "rpc/server.h"
+
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "api/command.h"
+#include "api/service.h"
+#include "util/codec.h"
+
+namespace fb {
+namespace rpc {
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ForkBaseServer>> ForkBaseServer::Start(
+    ForkBase* engine, ServerOptions options) {
+  if (options.num_workers == 0) options.num_workers = 1;
+  if (options.max_queued_requests == 0) options.max_queued_requests = 1;
+  FB_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(options.listen));
+  std::unique_ptr<ForkBaseServer> server(
+      new ForkBaseServer(engine, std::move(options)));
+  FB_ASSIGN_OR_RETURN(server->listener_, Listener::Listen(ep));
+  server->endpoint_ = server->listener_.bound_endpoint();
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->workers_.reserve(server->options_.num_workers);
+  for (size_t i = 0; i < server->options_.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+ForkBaseServer::~ForkBaseServer() { Stop(); }
+
+void ForkBaseServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true);
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) conn->sock.Shutdown();
+  }
+  {
+    // Wake readers parked on the backpressure bound before waiting for
+    // them below.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_space_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Readers run detached: wait for the last one to deregister before
+    // tearing down state they may touch.
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    readers_done_cv_.wait(lock, [&] { return reader_count_ == 0; });
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  listener_.Close();
+}
+
+ForkBaseServer::Stats ForkBaseServer::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Accept / read
+// ---------------------------------------------------------------------------
+
+void ForkBaseServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      // Transient failure (peer reset in backlog) or resource
+      // exhaustion (EMFILE): never busy-spin on it.
+      timespec nap{};
+      nap.tv_nsec = 10 * 1000 * 1000;
+      nanosleep(&nap, nullptr);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(*accepted);
+    if (options_.send_timeout_seconds > 0) {
+      conn->sock.SetSendTimeout(options_.send_timeout_seconds);
+    }
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopping_.load()) return;  // raced with Stop: drop the socket
+      id = next_conn_id_++;
+      conns_.emplace(id, conn);
+      ++reader_count_;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::thread([this, id, conn = std::move(conn)] {
+      ReaderLoop(std::move(conn));
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(id);
+      if (--reader_count_ == 0) readers_done_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void ForkBaseServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  while (!stopping_.load()) {
+    Frame frame;
+    const Status s = RecvFrame(&conn->sock, &frame);
+    if (s.ok()) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      // Backpressure: once the dispatch queue is full this reader stops
+      // draining its socket, so a flooding client is throttled by the
+      // kernel instead of growing server memory.
+      queue_space_cv_.wait(lock, [&] {
+        return stopping_.load() || queue_.size() < options_.max_queued_requests;
+      });
+      if (stopping_.load()) return;
+      queue_.push_back(WorkItem{conn, std::move(frame)});
+      queue_cv_.notify_one();
+      continue;
+    }
+    if (s.IsCorruption()) {
+      // The length prefix was valid, so the stream is still framed:
+      // report the damage to the client and keep serving.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendControl(conn.get(), frame.request_id, s, Slice());
+      continue;
+    }
+    // Oversized length prefix: framing lost, the connection is done
+    // (best-effort error first). Anything else is the peer going away
+    // (clean disconnect or mid-frame) — not a protocol error.
+    if (s.IsInvalidArgument()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendControl(conn.get(), frame.request_id, s, Slice());
+    }
+    conn->sock.Shutdown();
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+Status ForkBaseServer::SendControl(Conn* conn, uint64_t request_id,
+                                   const Status& s, Slice body) {
+  Bytes payload;
+  EncodeControl(s, body, &payload);
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = SendFrame(&conn->sock, FrameType::kControlResp, request_id,
+                     Slice(payload));
+  }
+  // A reply that cannot be delivered (dead peer, send timeout on a
+  // client that stopped reading) finishes the connection; the reader
+  // unblocks and deregisters.
+  if (!sent.ok()) conn->sock.Shutdown();
+  return sent;
+}
+
+void ForkBaseServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      queue_space_cv_.notify_one();
+    }
+    Dispatch(item);
+  }
+}
+
+void ForkBaseServer::Dispatch(const WorkItem& item) {
+  const uint64_t id = item.frame.request_id;
+  Conn* conn = item.conn.get();
+  const Slice payload(item.frame.payload);
+
+  switch (item.frame.type) {
+    case FrameType::kCommand: {
+      Result<Command> cmd = Command::Parse(payload);
+      const Reply reply =
+          cmd.ok() ? ApplyCommand(engine_, *cmd) : Reply::FromStatus(cmd.status());
+      const Bytes wire = reply.Serialize();
+      Status sent;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        sent = SendFrame(&conn->sock, FrameType::kReply, id, Slice(wire));
+      }
+      if (!sent.ok()) conn->sock.Shutdown();
+      return;
+    }
+    case FrameType::kChunkGet: {
+      if (payload.size() != Hash::kSize) {
+        (void)SendControl(conn, id,
+                          Status::InvalidArgument("chunk get wants one cid"),
+                          Slice());
+        return;
+      }
+      Sha256::Digest d;
+      std::memcpy(d.data(), payload.data(), Hash::kSize);
+      Chunk chunk;
+      const Status s = engine_->store()->Get(Hash(d), &chunk);
+      const Bytes body = s.ok() ? chunk.Serialize() : Bytes();
+      (void)SendControl(conn, id, s, Slice(body));
+      return;
+    }
+    case FrameType::kChunkPut: {
+      if (payload.size() <= Hash::kSize) {
+        (void)SendControl(conn, id,
+                          Status::InvalidArgument("chunk put wants cid+bytes"),
+                          Slice());
+        return;
+      }
+      Sha256::Digest d;
+      std::memcpy(d.data(), payload.data(), Hash::kSize);
+      Chunk chunk;
+      if (!Chunk::Deserialize(payload.subslice(Hash::kSize), &chunk)) {
+        (void)SendControl(conn, id, Status::Corruption("undecodable chunk"),
+                          Slice());
+        return;
+      }
+      (void)SendControl(conn, id, engine_->store()->Put(Hash(d), chunk),
+                        Slice());
+      return;
+    }
+    case FrameType::kChunkPutBatch: {
+      ByteReader r(payload);
+      uint64_t n = 0;
+      Status s = r.ReadVarint64(&n);
+      ChunkBatch batch;
+      if (s.ok() && n > r.remaining() / (Hash::kSize + 1)) {
+        s = Status::Corruption("chunk batch length exceeds payload");
+      }
+      for (uint64_t i = 0; s.ok() && i < n; ++i) {
+        Slice raw;
+        s = r.ReadRaw(Hash::kSize, &raw);
+        if (!s.ok()) break;
+        Sha256::Digest d;
+        std::memcpy(d.data(), raw.data(), Hash::kSize);
+        Slice bytes;
+        s = r.ReadLengthPrefixed(&bytes);
+        if (!s.ok()) break;
+        Chunk chunk;
+        if (!Chunk::Deserialize(bytes, &chunk)) {
+          s = Status::Corruption("undecodable chunk in batch");
+          break;
+        }
+        batch.emplace_back(Hash(d), std::move(chunk));
+      }
+      if (s.ok() && !r.AtEnd()) {
+        s = Status::Corruption("trailing bytes in chunk batch");
+      }
+      if (s.ok()) s = engine_->store()->PutBatch(batch);
+      (void)SendControl(conn, id, s, Slice());
+      return;
+    }
+    case FrameType::kChunkHas: {
+      if (payload.size() != Hash::kSize) {
+        (void)SendControl(conn, id,
+                          Status::InvalidArgument("chunk has wants one cid"),
+                          Slice());
+        return;
+      }
+      Sha256::Digest d;
+      std::memcpy(d.data(), payload.data(), Hash::kSize);
+      const uint8_t present = engine_->store()->Contains(Hash(d)) ? 1 : 0;
+      (void)SendControl(conn, id, Status::OK(), Slice(&present, 1));
+      return;
+    }
+    case FrameType::kHello: {
+      Bytes body;
+      EncodeTreeConfig(engine_->tree_config(), &body);
+      (void)SendControl(conn, id, Status::OK(), Slice(body));
+      return;
+    }
+    case FrameType::kStoreStats: {
+      Bytes body;
+      EncodeStoreStats(engine_->store()->stats(), &body);
+      (void)SendControl(conn, id, Status::OK(), Slice(body));
+      return;
+    }
+    case FrameType::kReply:
+    case FrameType::kControlResp:
+      // A client must never send response frames.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendControl(conn, id,
+                        Status::InvalidArgument("unexpected response frame"),
+                        Slice());
+      return;
+  }
+}
+
+}  // namespace rpc
+}  // namespace fb

@@ -1,0 +1,130 @@
+// ForkBaseServer: serves a ForkBase engine over the socket RPC transport.
+//
+// One server = one servlet process. The accept loop hands each
+// connection to a dedicated reader thread that decodes frames and feeds
+// a shared worker pool; workers dispatch Command frames through
+// ApplyCommand (the same single dispatch point the embedded adapter and
+// the in-process cluster use) and chunk frames against the engine's
+// store, then write the response frame tagged with the request's id —
+// so requests pipelined on one connection complete out of order.
+//
+// Protocol damage never crashes the server: a frame with a bad checksum
+// is answered with an error response and the connection keeps going (the
+// length prefix was valid, so framing is intact); an oversized length
+// prefix or a mid-frame disconnect closes only that connection.
+
+#ifndef FORKBASE_RPC_SERVER_H_
+#define FORKBASE_RPC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/db.h"
+#include "rpc/frame.h"
+#include "rpc/socket.h"
+
+namespace fb {
+namespace rpc {
+
+struct ServerOptions {
+  // "host:port" (":0" picks an ephemeral port) or "unix:/path".
+  std::string listen = "127.0.0.1:0";
+  size_t num_workers = 4;
+  // Backpressure bound on frames decoded but not yet dispatched; when
+  // full, readers stop draining their sockets and the kernel's flow
+  // control pushes back on the clients.
+  size_t max_queued_requests = 1024;
+  // Cap on one blocking reply write. A client that stops reading wedges
+  // its connection's sends; past this the write fails and only that
+  // connection is torn down (0 = wait forever).
+  int send_timeout_seconds = 30;
+};
+
+class ForkBaseServer {
+ public:
+  // Binds, spawns the accept loop and worker pool, and returns a running
+  // server. The engine is caller-owned and must outlive the server.
+  static Result<std::unique_ptr<ForkBaseServer>> Start(ForkBase* engine,
+                                                       ServerOptions options);
+
+  ~ForkBaseServer();
+  ForkBaseServer(const ForkBaseServer&) = delete;
+  ForkBaseServer& operator=(const ForkBaseServer&) = delete;
+
+  // The resolved listen endpoint (real port when ":0" was requested).
+  const std::string& endpoint() const { return endpoint_; }
+
+  // Stops accepting, unblocks every connection, drains the worker pool
+  // and joins all threads. Idempotent; called by the destructor.
+  void Stop();
+
+  struct Stats {
+    uint64_t connections = 0;      // accepted over the lifetime
+    uint64_t requests = 0;         // frames dispatched to workers
+    uint64_t protocol_errors = 0;  // damaged frames observed
+  };
+  Stats stats() const;
+
+ private:
+  // One live connection; readers and workers share it.
+  struct Conn {
+    Socket sock;
+    std::mutex write_mu;  // one response frame at a time
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+  };
+
+  ForkBaseServer(ForkBase* engine, ServerOptions options)
+      : engine_(engine), options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void WorkerLoop();
+  void Dispatch(const WorkItem& item);
+  // Replies to a non-command frame: [u8 code][LP message][body].
+  static Status SendControl(Conn* conn, uint64_t request_id, const Status& s,
+                            Slice body);
+
+  ForkBase* engine_;
+  ServerOptions options_;
+  std::string endpoint_;
+  Listener listener_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;        // work arrived / stopping
+  std::condition_variable queue_space_cv_;  // queue drained below the bound
+  std::deque<WorkItem> queue_;
+
+  // Live connections, for Stop() to unblock their readers. Reader
+  // threads run detached; readers_done_cv_ signals when the last one
+  // drained (conns_ empty and reader_count_ zero).
+  std::mutex conns_mu_;
+  std::condition_variable readers_done_cv_;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  size_t reader_count_ = 0;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace rpc
+}  // namespace fb
+
+#endif  // FORKBASE_RPC_SERVER_H_

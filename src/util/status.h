@@ -28,7 +28,11 @@ enum class StatusCode : int {
   kNotSupported = 9,
   kOutOfRange = 10,
   kInternal = 11,
+  kUnimplemented = 12,  // recognized envelope, unknown/future operation
 };
+
+// Highest wire-encodable status code; Reply parsing accepts [0, max].
+inline constexpr int kMaxStatusCode = static_cast<int>(StatusCode::kUnimplemented);
 
 // Human-readable name for a status code, e.g. "NotFound".
 const char* StatusCodeToString(StatusCode code);
@@ -71,6 +75,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unimplemented(std::string msg = "") {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -85,6 +92,7 @@ class Status {
     return code_ == StatusCode::kPreconditionFailed;
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const {

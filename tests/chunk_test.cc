@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "chunk/chunk_cache.h"
 #include "chunk/chunk_store.h"
+#include "cluster/cluster.h"
 #include "util/random.h"
 
 namespace fb {
@@ -539,6 +541,91 @@ TEST(ChunkStorePoolTest, TotalStatsAggregates) {
   }
   EXPECT_EQ(pool.TotalStats().chunks, 30u);
   EXPECT_EQ(pool.TotalStats().puts, 30u);
+}
+
+// ---------------------------------------------------------------------------
+// LruChunkCache + the ServletChunkStore fallback cache
+// ---------------------------------------------------------------------------
+
+TEST(LruChunkCacheTest, HitsMissesAndRefresh) {
+  LruChunkCache cache(1 << 20);
+  const Chunk a = MakeChunk(ChunkType::kBlob, "aaaa");
+  const Hash ca = a.ComputeCid();
+  Chunk out;
+  EXPECT_FALSE(cache.Get(ca, &out));
+  cache.Put(ca, a);
+  ASSERT_TRUE(cache.Get(ca, &out));
+  EXPECT_EQ(out.payload().ToString(), "aaaa");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Re-putting the same cid charges nothing extra.
+  const size_t bytes = cache.size_bytes();
+  cache.Put(ca, a);
+  EXPECT_EQ(cache.size_bytes(), bytes);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LruChunkCacheTest, EvictsLeastRecentlyUsedByBytes) {
+  // Budget for roughly two of the three chunks (each ~100B + type byte).
+  std::vector<Chunk> chunks;
+  std::vector<Hash> cids;
+  for (int i = 0; i < 3; ++i) {
+    chunks.push_back(MakeChunk(ChunkType::kBlob, std::string(100, 'a' + i)));
+    cids.push_back(chunks.back().ComputeCid());
+  }
+  LruChunkCache cache(2 * chunks[0].serialized_size() + 10);
+  cache.Put(cids[0], chunks[0]);
+  cache.Put(cids[1], chunks[1]);
+  Chunk out;
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_TRUE(cache.Get(cids[0], &out));
+  cache.Put(cids[2], chunks[2]);
+  EXPECT_TRUE(cache.Get(cids[0], &out));
+  EXPECT_FALSE(cache.Get(cids[1], &out)) << "LRU entry survived eviction";
+  EXPECT_TRUE(cache.Get(cids[2], &out));
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+
+  // A chunk bigger than the whole budget is refused outright.
+  const Chunk huge = MakeChunk(ChunkType::kBlob, std::string(1000, 'z'));
+  cache.Put(huge.ComputeCid(), huge);
+  EXPECT_FALSE(cache.Get(huge.ComputeCid(), &out));
+}
+
+TEST(ServletChunkStoreTest, FallbackCacheAbsorbsRepeatedPoolScans) {
+  // A data chunk parked where neither the cid route nor the local
+  // instance expects it (the footprint of a foreign placement policy)
+  // is found by the pool-scan fallback once, then served from the
+  // servlet's LRU cache.
+  std::vector<std::unique_ptr<MemChunkStore>> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(std::make_unique<MemChunkStore>());
+  ServletChunkStore view(&pool, /*local_id=*/0, /*two_layer=*/true);
+
+  Chunk stray = MakeChunk(ChunkType::kBlob, "stray chunk content");
+  const Hash cid = stray.ComputeCid();
+  const size_t routed = static_cast<size_t>(cid.Low64() % pool.size());
+  size_t parked = 0;
+  while (parked == routed || parked == 0) ++parked;  // not routed, not local
+  ASSERT_TRUE(pool[parked]->Put(cid, stray).ok());
+
+  Chunk out;
+  ASSERT_TRUE(view.Get(cid, &out).ok());
+  ChunkStoreStats st = view.stats();
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, 0u);
+
+  ASSERT_TRUE(view.Get(cid, &out).ok());
+  EXPECT_EQ(out.payload().ToString(), "stray chunk content");
+  st = view.stats();
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+
+  // Chunks in their expected locations never touch the cache.
+  Chunk local_meta = MakeChunk(ChunkType::kMeta, "meta chunk");
+  ASSERT_TRUE(view.Put(local_meta.ComputeCid(), local_meta).ok());
+  ASSERT_TRUE(view.Get(local_meta.ComputeCid(), &out).ok());
+  st = view.stats();
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
 }
 
 }  // namespace

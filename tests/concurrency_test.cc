@@ -29,6 +29,8 @@
 #include "chunk/chunk_store.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
+#include "rpc/remote_service.h"
+#include "rpc/server.h"
 #include "util/random.h"
 
 namespace fb {
@@ -458,6 +460,57 @@ TEST(ConcurrencyTest, ClusterClientSubmitStress) {
   const auto stats = client.submit_stats();
   EXPECT_EQ(stats.submitted, uint64_t{kThreads * kOpsPerThread});
   EXPECT_EQ(stats.coalesced_puts == 0, stats.put_groups == 0);
+}
+
+TEST(ConcurrencyTest, RemoteServiceSubmitStress) {
+  // 8 threads pipelining async commands through one shared RemoteService
+  // over a real loopback socket: the per-connection demux, the server's
+  // worker pool and the connection pool all race. Every future must
+  // resolve, every committed uid must be readable afterwards, and the
+  // run must be TSan-clean.
+  ForkBase engine;
+  auto server = rpc::ForkBaseServer::Start(&engine, {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  rpc::RemoteServiceOptions opts;
+  opts.pool_size = 4;
+  auto client = rpc::RemoteService::Connect((*server)->endpoint(), opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr size_t kOpsPerThread = 60;
+  std::vector<std::vector<Hash>> committed(kThreads);
+  RunThreads([&](size_t t) {
+    std::vector<std::future<Reply>> futures;
+    futures.reserve(kOpsPerThread);
+    for (size_t i = 0; i < kOpsPerThread; ++i) {
+      Command cmd;
+      if (i % 8 == 7) {
+        cmd.op = CommandOp::kGet;
+        cmd.key = "r" + std::to_string(t) + "-k" + std::to_string(i / 2);
+        cmd.branch = kDefaultBranch;
+      } else {
+        cmd.op = CommandOp::kPut;
+        cmd.key = "r" + std::to_string(t) + "-k" + std::to_string(i);
+        cmd.branch = kDefaultBranch;
+        cmd.value = Value::OfInt(int64_t(t * 1000 + i));
+      }
+      futures.push_back((*client)->Submit(std::move(cmd)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Reply r = futures[i].get();
+      if (i % 8 == 7) continue;  // reads may race ahead of their put
+      ASSERT_TRUE(r.ok()) << r.ToStatus().ToString();
+      committed[t].push_back(r.uid);
+    }
+  });
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (const Hash& uid : committed[t]) {
+      ASSERT_TRUE((*client)->GetByUid(uid).ok());
+    }
+  }
+  const auto sstats = (*server)->stats();
+  EXPECT_EQ(sstats.protocol_errors, 0u);
+  EXPECT_GE(sstats.requests, uint64_t{kThreads * kOpsPerThread});
 }
 
 }  // namespace

@@ -3,10 +3,12 @@
 //  * Envelope fidelity — every M1-M17 operation is expressible as a
 //    Command and both Command and Reply round-trip BYTE-STABLY through
 //    Serialize/Parse (serialize(parse(serialize(x))) == serialize(x)).
-//  * Embedded-vs-cluster parity — one parameterized suite runs the same
-//    M1-M17 command script through an EmbeddedService over a single
-//    engine and through a ClusterClient over a 4-servlet cluster, and
-//    the results (uids included: they are content-addressed) must agree.
+//  * Embedded-vs-cluster-vs-remote parity — one parameterized suite runs
+//    the same M1-M17 command script through an EmbeddedService over a
+//    single engine, through a ClusterClient over a 4-servlet cluster,
+//    and through a RemoteService talking to a ForkBaseServer over a real
+//    loopback socket; the results (uids included: they are
+//    content-addressed) must agree byte for byte.
 //  * ClusterClient semantics — multi-key fan-out (ListKeys unions all
 //    servlet shards, where a single servlet's view shows only its own —
 //    the retired Route() pattern's bug), PutMany partitioning, and the
@@ -21,6 +23,8 @@
 #include "api/service.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
+#include "rpc/remote_service.h"
+#include "rpc/server.h"
 #include "util/random.h"
 
 namespace fb {
@@ -157,12 +161,13 @@ TEST(CommandEnvelopeTest, ParseRejectsDamage) {
 // implementations must produce identical outcomes.
 // ---------------------------------------------------------------------------
 
-enum class ServiceKind { kEmbedded, kCluster };
+enum class ServiceKind { kEmbedded, kCluster, kRemote };
 
 struct ServiceUnderTest {
-  // Exactly one of the two backends is live.
+  // Exactly one of the backends is live (kRemote uses engine + server).
   std::unique_ptr<ForkBase> engine;
   std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<rpc::ForkBaseServer> server;
   std::unique_ptr<ForkBaseService> service;
 };
 
@@ -171,25 +176,37 @@ ServiceUnderTest MakeService(ServiceKind kind) {
   if (kind == ServiceKind::kEmbedded) {
     s.engine = std::make_unique<ForkBase>(SmallOpts());
     s.service = std::make_unique<EmbeddedService>(s.engine.get());
-  } else {
+  } else if (kind == ServiceKind::kCluster) {
     ClusterOptions opts;
     opts.num_servlets = 4;
     opts.db = SmallOpts();
     s.cluster = std::make_unique<Cluster>(opts);
     s.service = std::make_unique<ClusterClient>(s.cluster.get());
+  } else {
+    // A real server on a loopback socket, same engine configuration.
+    s.engine = std::make_unique<ForkBase>(SmallOpts());
+    auto server = rpc::ForkBaseServer::Start(s.engine.get(), {});
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    s.server = std::move(*server);
+    auto remote = rpc::RemoteService::Connect(s.server->endpoint());
+    EXPECT_TRUE(remote.ok()) << remote.status().ToString();
+    s.service = std::move(*remote);
   }
   return s;
 }
 
 class ServiceParityTest : public ::testing::TestWithParam<ServiceKind> {};
 
-INSTANTIATE_TEST_SUITE_P(EmbeddedAndCluster, ServiceParityTest,
+INSTANTIATE_TEST_SUITE_P(AllBackends, ServiceParityTest,
                          ::testing::Values(ServiceKind::kEmbedded,
-                                           ServiceKind::kCluster),
+                                           ServiceKind::kCluster,
+                                           ServiceKind::kRemote),
                          [](const auto& info) {
-                           return info.param == ServiceKind::kEmbedded
-                                      ? "Embedded"
-                                      : "Cluster";
+                           switch (info.param) {
+                             case ServiceKind::kEmbedded: return "Embedded";
+                             case ServiceKind::kCluster: return "Cluster";
+                             default: return "Remote";
+                           }
                          });
 
 // Runs the full command script and returns a transcript of every
@@ -378,6 +395,63 @@ TEST(ServiceParityTest, EmbeddedAndClusterTranscriptsAgree) {
   ASSERT_EQ(embedded_log.size(), cluster_log.size());
   for (size_t i = 0; i < embedded_log.size(); ++i) {
     EXPECT_EQ(embedded_log[i], cluster_log[i]) << "transcript line " << i;
+  }
+}
+
+TEST(ServiceParityTest, EmbeddedAndRemoteTranscriptsAgree) {
+  // The acceptance bar for the socket transport: the full M1-M17 script
+  // over RemoteService -> loopback ForkBaseServer must produce a
+  // transcript byte-identical to the in-process EmbeddedService.
+  ServiceUnderTest embedded = MakeService(ServiceKind::kEmbedded);
+  ServiceUnderTest remote = MakeService(ServiceKind::kRemote);
+  ASSERT_NE(remote.service, nullptr);
+  const auto embedded_log = RunScript(*embedded.service);
+  const auto remote_log = RunScript(*remote.service);
+  ASSERT_EQ(embedded_log.size(), remote_log.size());
+  for (size_t i = 0; i < embedded_log.size(); ++i) {
+    EXPECT_EQ(embedded_log[i], remote_log[i]) << "transcript line " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unknown / future opcodes
+// ---------------------------------------------------------------------------
+
+TEST(CommandEnvelopeTest, FutureOpParsesAndAnswersUnimplemented) {
+  // A same-version envelope whose opcode this build does not know must
+  // survive the wire (byte-stably) and be answered with Unimplemented —
+  // not fail deserialization or abort the server.
+  Command cmd = SampleCommands()[0];
+  cmd.op = static_cast<CommandOp>(kMaxCommandOp + 7);
+  const Bytes wire = cmd.Serialize();
+  auto parsed = Command::Parse(Slice(wire));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), wire) << "future op is not byte-stable";
+  EXPECT_EQ(parsed->op, cmd.op);
+
+  ForkBase db(SmallOpts());
+  const Reply reply = ApplyCommand(&db, *parsed);
+  EXPECT_EQ(reply.code, StatusCode::kUnimplemented);
+  EXPECT_TRUE(reply.ToStatus().IsUnimplemented());
+
+  // The error code itself round-trips through the reply envelope.
+  auto back = Reply::Parse(Slice(reply.Serialize()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->code, StatusCode::kUnimplemented);
+}
+
+TEST(ServiceParityTest, FutureOpOverEveryBackend) {
+  for (ServiceKind kind : {ServiceKind::kEmbedded, ServiceKind::kCluster,
+                           ServiceKind::kRemote}) {
+    ServiceUnderTest s = MakeService(kind);
+    ASSERT_NE(s.service, nullptr);
+    Command cmd;
+    cmd.op = static_cast<CommandOp>(kMaxCommandOp + 1);
+    cmd.key = "some key";  // routable, so the cluster picks a servlet
+    const Reply reply = s.service->Execute(cmd);
+    EXPECT_EQ(reply.code, StatusCode::kUnimplemented)
+        << "backend " << static_cast<int>(kind) << ": "
+        << reply.ToStatus().ToString();
   }
 }
 
