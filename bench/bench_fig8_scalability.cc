@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "chunk/peer_resolver.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "rpc/remote_service.h"
@@ -204,6 +205,82 @@ RpcResult RunRpcPhase(ForkBaseService* service, int ops, bool pipelined,
   return r;
 }
 
+// The peer-fetch phase: a two-servlet all-remote deployment with
+// server-to-server chunk fetch (forkbased --peers wiring). Half the
+// version-addressed reads route to the shard that did NOT commit the
+// object, so the serving servlet resolves the meta chunk from its peer
+// (then its LRU cache). Reported against same-shard reads, with the
+// fetch count, this is the latency price of shard-placement-blind reads.
+struct PeerFetchResult {
+  double put_kops = 0;
+  double get_by_uid_kops = 0;
+  uint64_t peer_fetches = 0;
+  uint64_t peer_fetch_failures = 0;
+};
+
+PeerFetchResult RunPeerFetchPhase(int ops) {
+  struct Servlet {
+    std::unique_ptr<PeerChunkResolver> resolver =
+        std::make_unique<PeerChunkResolver>();
+    ChunkStore* raw_local = nullptr;
+    std::unique_ptr<ForkBase> engine;
+    std::unique_ptr<rpc::ForkBaseServer> server;
+  };
+  Servlet servlets[2];
+  for (Servlet& s : servlets) {
+    auto local = std::make_unique<MemChunkStore>();
+    s.raw_local = local.get();
+    s.engine = std::make_unique<ForkBase>(
+        DBOptions{}, std::make_unique<ServletChunkStore>(std::move(local),
+                                                         s.resolver.get()));
+    rpc::ServerOptions so;
+    so.local_chunk_store = s.raw_local;
+    so.peer_count = 1;
+    auto started = rpc::ForkBaseServer::Start(s.engine.get(), so);
+    bench::Check(started.status(), "peer server start");
+    s.server = std::move(*started);
+  }
+  servlets[0].resolver->SetPeers({servlets[1].server->endpoint()});
+  servlets[1].resolver->SetPeers({servlets[0].server->endpoint()});
+
+  ClusterClientOptions copts;
+  copts.endpoints = {servlets[0].server->endpoint(),
+                     servlets[1].server->endpoint()};
+  auto client = ClusterClient::Connect(nullptr, copts);
+  bench::Check(client.status(), "peer client connect");
+
+  PeerFetchResult r;
+  Rng rng(29);
+  const std::string value = rng.String(256);
+  std::vector<Hash> uids;
+  uids.reserve(ops);
+  {
+    Timer t;
+    for (int i = 0; i < ops; ++i) {
+      auto uid =
+          (*client)->Put(MakeKey(i, 10, "pf"), Value::OfString(value));
+      bench::Check(uid.status(), "Put");
+      uids.push_back(*uid);
+    }
+    r.put_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  {
+    // uid routing ignores key placement, so ~half of these land on the
+    // shard that must peer-fetch (first read) or hit its cache (rest).
+    Timer t;
+    for (const Hash& uid : uids) {
+      bench::Check((*client)->GetByUid(uid).status(), "GetByUid");
+    }
+    r.get_by_uid_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  for (const Servlet& s : servlets) {
+    const ChunkStoreStats stats = s.engine->store()->stats();
+    r.peer_fetches += stats.peer_fetches;
+    r.peer_fetch_failures += stats.peer_fetch_failures;
+  }
+  return r;
+}
+
 }  // namespace
 }  // namespace fb
 
@@ -332,6 +409,22 @@ int main(int argc, char** argv) {
         .Num("put_kops", r.put_kops)
         .Num("get_kops", r.get_kops)
         .Num("pipelined_put_kops", r.pipelined_put_kops);
+  }
+  {
+    // Two servers resolving each other's chunks: the cost of
+    // placement-blind version-addressed reads over a real socket pair.
+    const fb::PeerFetchResult r = fb::RunPeerFetchPhase(rpc_ops);
+    fb::bench::Row("%-10s %14.1f %14.1f %20s  (peer fetches: %llu)",
+                   "peer_fetch", r.put_kops, r.get_by_uid_kops, "-",
+                   static_cast<unsigned long long>(r.peer_fetches));
+    json.Row()
+        .Str("phase", "rpc")
+        .Str("transport", "peer_fetch")
+        .Num("put_kops", r.put_kops)
+        .Num("get_by_uid_kops", r.get_by_uid_kops)
+        .Num("peer_fetches", static_cast<double>(r.peer_fetches))
+        .Num("peer_fetch_failures",
+             static_cast<double>(r.peer_fetch_failures));
   }
   return 0;
 }

@@ -14,8 +14,14 @@
 //   EOF
 //
 // Commands:
-//   put <key> <branch> <value...>      write a String version
+//   put <key> <branch> <value...>      write a String version; the value
+//                                      is the raw rest of the line, or a
+//                                      double-quoted token ("spaces ok",
+//                                      \" \\ \n \t \0 escapes decoded)
 //   get <key> [branch]                 read the head
+//   byuid <uid-hex>                    read a version by its full uid
+//                                      (any servlet of a --peers
+//                                      deployment can serve it)
 //   fork <key> <ref-branch> <new>      create a branch
 //   rename <key> <old> <new>           rename a branch
 //   remove <key> <branch>              delete a branch
@@ -30,12 +36,13 @@
 // the socket transport; every command below works identically.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <sstream>
 
 #include "api/service.h"
 #include "rpc/remote_service.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -82,28 +89,56 @@ int main(int argc, char** argv) {
 
   std::string line;
   while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
+    auto tokenized = fb::TokenizeCliLine(line);
+    if (!tokenized.ok()) {
+      Print(tokenized.status());
+      continue;
+    }
+    const std::vector<fb::CliToken>& tokens = *tokenized;
+    auto tok = [&](size_t i) -> std::string {
+      return i < tokens.size() ? tokens[i].text : std::string();
+    };
+    const std::string cmd = tok(0);
     if (cmd.empty() || cmd[0] == '#') continue;
 
     if (cmd == "quit" || cmd == "exit") break;
 
     if (cmd == "put") {
-      std::string key, branch;
-      in >> key >> branch;
-      std::string value;
-      std::getline(in, value);
-      if (!value.empty() && value[0] == ' ') value.erase(0, 1);
-      auto r = db->Put(key, branch, fb::Value::OfString(value));
+      const std::string key = tok(1), branch = tok(2);
+      // The value is everything after the branch: a quoted token
+      // verbatim (spaces, escapes — binary-safe) or the raw rest of the
+      // line.
+      auto value = fb::CliRestOfLine(line, tokens, 3);
+      if (!value.ok()) {
+        Print(value.status());
+        continue;
+      }
+      auto r = db->Put(key, branch, fb::Value::OfString(*value));
       if (r.ok()) {
-        std::printf("uid %s\n", r->ToShortHex().c_str());
+        // Full hex: the uid is pasteable into `byuid`, on any servlet.
+        std::printf("uid %s\n", r->ToHex().c_str());
       } else {
         Print(r.status());
       }
+    } else if (cmd == "byuid") {
+      const fb::Hash uid = fb::Hash::FromHex(tok(1));
+      if (uid.IsNull()) {
+        std::printf("byuid wants a 64-char hex uid\n");
+        continue;
+      }
+      auto obj = db->GetByUid(uid);
+      if (obj.ok()) {
+        std::printf("%s (uid %s, depth %llu)\n",
+                    obj->value().AsString().c_str(),
+                    obj->uid().ToShortHex().c_str(),
+                    static_cast<unsigned long long>(obj->depth()));
+      } else {
+        Print(obj.status());
+      }
     } else if (cmd == "get") {
-      std::string key, branch = fb::kDefaultBranch;
-      in >> key >> branch;
+      const std::string key = tok(1);
+      const std::string branch =
+          tokens.size() > 2 ? tok(2) : std::string(fb::kDefaultBranch);
       auto obj = db->Get(key, branch);
       if (obj.ok()) {
         std::printf("%s (uid %s, depth %llu)\n",
@@ -114,21 +149,13 @@ int main(int argc, char** argv) {
         Print(obj.status());
       }
     } else if (cmd == "fork") {
-      std::string key, ref, nb;
-      in >> key >> ref >> nb;
-      Print(db->Fork(key, ref, nb));
+      Print(db->Fork(tok(1), tok(2), tok(3)));
     } else if (cmd == "rename") {
-      std::string key, a, b;
-      in >> key >> a >> b;
-      Print(db->Rename(key, a, b));
+      Print(db->Rename(tok(1), tok(2), tok(3)));
     } else if (cmd == "remove") {
-      std::string key, b;
-      in >> key >> b;
-      Print(db->Remove(key, b));
+      Print(db->Remove(tok(1), tok(2)));
     } else if (cmd == "branches") {
-      std::string key;
-      in >> key;
-      auto bs = db->ListTaggedBranches(key);
+      auto bs = db->ListTaggedBranches(tok(1));
       if (!bs.ok()) {
         Print(bs.status());
         continue;
@@ -137,10 +164,12 @@ int main(int argc, char** argv) {
         std::printf("%-20s %s\n", name.c_str(), head.ToShortHex().c_str());
       }
     } else if (cmd == "track") {
-      std::string key, branch;
       uint64_t n = 5;
-      in >> key >> branch >> n;
-      auto history = db->Track(key, branch, 0, n - 1);
+      if (tokens.size() > 3) {
+        const uint64_t parsed = std::strtoull(tok(3).c_str(), nullptr, 10);
+        if (parsed > 0) n = parsed;
+      }
+      auto history = db->Track(tok(1), tok(2), 0, n - 1);
       if (!history.ok()) {
         Print(history.status());
         continue;
@@ -153,8 +182,7 @@ int main(int argc, char** argv) {
                     obj.value().AsString().c_str());
       }
     } else if (cmd == "diff") {
-      std::string key, b1, b2;
-      in >> key >> b1 >> b2;
+      const std::string key = tok(1), b1 = tok(2), b2 = tok(3);
       auto h1 = db->Head(key, b1);
       auto h2 = db->Head(key, b2);
       if (!h1.ok() || !h2.ok()) {
@@ -170,9 +198,7 @@ int main(int argc, char** argv) {
                     *h1 == *h2 ? "identical" : "different");
       }
     } else if (cmd == "merge") {
-      std::string key, tgt, ref, strategy;
-      in >> key >> tgt >> ref >> strategy;
-      auto outcome = db->Merge(key, tgt, ref, PolicyByName(strategy));
+      auto outcome = db->Merge(tok(1), tok(2), tok(3), PolicyByName(tok(4)));
       if (!outcome.ok()) {
         Print(outcome.status());
       } else if (!outcome->clean()) {

@@ -9,13 +9,20 @@
 //
 // Usage:
 //   forkbased [--listen <host:port|unix:/path>] [--dir <data-dir>]
-//             [--workers <n>]
+//             [--workers <n>] [--peers <ep1,ep2,...>]
 //
 //   --listen   endpoint to serve (default 127.0.0.1:8087; ":0" picks an
 //              ephemeral port, printed on stdout)
 //   --dir      persist chunks + branch heads under this directory
 //              (default: in-memory)
 //   --workers  request worker threads (default 4)
+//   --peers    comma-separated endpoints of the OTHER servlets of this
+//              deployment. Chunk reads that miss the local store are
+//              resolved from these peers (shared-pool semantics of
+//              Section 4.6 across processes), LRU-cached, and served —
+//              so version-addressed commands and server-side traversals
+//              of trees whose chunks landed on another shard work on
+//              any servlet, with no client-side retries.
 //
 // Runs until SIGINT/SIGTERM, then shuts the transport down cleanly
 // (which also snapshots branch state when --dir is set).
@@ -26,8 +33,11 @@
 #include <cstring>
 #include <ctime>
 #include <string>
+#include <vector>
 
 #include "api/db.h"
+#include "chunk/peer_resolver.h"
+#include "cluster/cluster.h"
 #include "rpc/server.h"
 
 namespace {
@@ -41,6 +51,19 @@ const char* ArgValue(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -62,28 +85,58 @@ int main(int argc, char** argv) {
     options.num_workers = static_cast<size_t>(n);
   }
   options.listen = listen;
+  std::vector<std::string> peers;
+  if (const char* v = ArgValue(argc, argv, "--peers")) peers = SplitCommas(v);
+
+  // With peers, the engine's store becomes a peer-resolving view over
+  // the physical local store: local -> LRU cache -> peer fetch. The
+  // server answers kChunkPeerGet from the RAW local store (never the
+  // view), so peers asking each other can never recurse.
+  std::unique_ptr<fb::PeerChunkResolver> resolver;
+  if (!peers.empty()) {
+    resolver = std::make_unique<fb::PeerChunkResolver>(peers);
+  }
+  fb::ChunkStore* raw_local = nullptr;
 
   std::unique_ptr<fb::ForkBase> engine;
   if (!dir.empty()) {
-    auto opened = fb::ForkBase::OpenPersistent(dir);
+    fb::ForkBase::StoreWrapper wrap;
+    if (resolver != nullptr) {
+      wrap = [&](std::unique_ptr<fb::ChunkStore> base)
+          -> std::unique_ptr<fb::ChunkStore> {
+        raw_local = base.get();
+        return std::make_unique<fb::ServletChunkStore>(std::move(base),
+                                                       resolver.get());
+      };
+    }
+    auto opened = fb::ForkBase::OpenPersistent(dir, {}, wrap);
     if (!opened.ok()) {
       std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
                    opened.status().ToString().c_str());
       return 1;
     }
     engine = std::move(*opened);
+  } else if (resolver != nullptr) {
+    auto local = std::make_unique<fb::MemChunkStore>();
+    raw_local = local.get();
+    engine = std::make_unique<fb::ForkBase>(
+        fb::DBOptions{}, std::make_unique<fb::ServletChunkStore>(
+                             std::move(local), resolver.get()));
   } else {
     engine = std::make_unique<fb::ForkBase>();
   }
 
+  options.local_chunk_store = raw_local;  // null when no peers: engine store
+  options.peer_count = peers.size();
   auto server = fb::rpc::ForkBaseServer::Start(engine.get(), options);
   if (!server.ok()) {
     std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("forkbased serving %s on %s (%zu workers)\n",
+  std::printf("forkbased serving %s on %s (%zu workers, %zu peers)\n",
               dir.empty() ? "in-memory store" : dir.c_str(),
-              (*server)->endpoint().c_str(), options.num_workers);
+              (*server)->endpoint().c_str(), options.num_workers,
+              peers.size());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStop);

@@ -58,6 +58,8 @@ Status MakeStatus(StatusCode code, std::string message) {
     case StatusCode::kInternal: return Status::Internal(std::move(message));
     case StatusCode::kUnimplemented:
       return Status::Unimplemented(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal("unknown status code");
 }

@@ -87,10 +87,22 @@ ForkBase::~ForkBase() {
 
 Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     const std::string& dir, DBOptions options) {
+  return OpenPersistent(dir, options, nullptr);
+}
+
+Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, DBOptions options, const StoreWrapper& wrap) {
   LogStoreOptions log_options;
   log_options.durability = options.durability;
-  FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> store,
+  FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> log_store,
                       LogChunkStore::Open(dir, log_options));
+  std::unique_ptr<ChunkStore> store = std::move(log_store);
+  if (wrap != nullptr) {
+    store = wrap(std::move(store));
+    if (store == nullptr) {
+      return Status::InvalidArgument("store wrapper returned null");
+    }
+  }
   auto db = std::make_unique<ForkBase>(options, std::move(store));
 
   const std::string snapshot_path =

@@ -25,6 +25,7 @@
 #define FORKBASE_API_DB_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -81,6 +82,16 @@ class ForkBase {
   // the pre-snapshot behavior).
   static Result<std::unique_ptr<ForkBase>> OpenPersistent(
       const std::string& dir, DBOptions options = {});
+
+  // Interposes a caller-supplied view between the engine and the opened
+  // LogChunkStore: the wrapper receives ownership of the base store and
+  // returns the store the engine will use (e.g. a peer-resolving
+  // ServletChunkStore in a `forkbased --peers` servlet). Branch-state
+  // restore runs through the wrapped store.
+  using StoreWrapper =
+      std::function<std::unique_ptr<ChunkStore>(std::unique_ptr<ChunkStore>)>;
+  static Result<std::unique_ptr<ForkBase>> OpenPersistent(
+      const std::string& dir, DBOptions options, const StoreWrapper& wrap);
 
   ForkBase(const ForkBase&) = delete;
   ForkBase& operator=(const ForkBase&) = delete;

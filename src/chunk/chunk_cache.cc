@@ -21,9 +21,14 @@ void LruChunkCache::Put(const Hash& cid, const Chunk& chunk) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(cid);
   if (it != index_.end()) {
-    // Content-addressed: same cid == same bytes, just refresh recency.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    // Re-insert replaces the old entry wholesale — charge included. An
+    // honest caller's bytes are identical (content addressing), but the
+    // accounting must follow the stored chunk either way: refreshing
+    // recency while stacking a second charge would let bytes_ drift past
+    // capacity_ without any entry to evict for it.
+    bytes_ -= it->second->second.serialized_size();
+    lru_.erase(it->second);
+    index_.erase(it);
   }
   EvictUntilFits(charge);
   lru_.emplace_front(cid, chunk);

@@ -55,6 +55,11 @@ struct ChunkStoreStats {
   // path, e.g. the ServletChunkStore pool-scan fallback; 0 elsewhere).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Server-to-server resolution counters (stores backed by a
+  // PeerChunkResolver; 0 elsewhere). A fetch counts once per resolved
+  // miss, not per peer asked; a failure is a miss no peer could serve.
+  uint64_t peer_fetches = 0;
+  uint64_t peer_fetch_failures = 0;
 
   // Accumulates another snapshot (pool / replica / view aggregation).
   void Accumulate(const ChunkStoreStats& o) {
@@ -66,6 +71,8 @@ struct ChunkStoreStats {
     logical_bytes += o.logical_bytes;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    peer_fetches += o.peer_fetches;
+    peer_fetch_failures += o.peer_fetch_failures;
   }
 };
 

@@ -1,0 +1,144 @@
+#include "chunk/peer_resolver.h"
+
+#include <utility>
+
+#include "rpc/remote_service.h"
+
+namespace fb {
+
+// One peer servlet: the endpoint plus a lazily-opened RemoteService.
+// shared_ptr so a SetPeers that swaps the set cannot pull a Peer out
+// from under a fetch that already snapshotted it.
+struct PeerChunkResolver::Peer {
+  explicit Peer(std::string ep) : endpoint(std::move(ep)) {}
+  const std::string endpoint;
+  std::mutex mu;  // guards conn open/replace
+  std::unique_ptr<rpc::RemoteService> conn;
+};
+
+// Single-flight rendezvous: the leader fills status/chunk and flips
+// done; followers wait on cv and copy the result.
+struct PeerChunkResolver::Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  Chunk chunk;
+};
+
+PeerChunkResolver::PeerChunkResolver(std::vector<std::string> peers,
+                                     PeerResolverOptions options)
+    : options_(options) {
+  SetPeers(std::move(peers));
+}
+
+PeerChunkResolver::~PeerChunkResolver() = default;
+
+void PeerChunkResolver::SetPeers(std::vector<std::string> peers) {
+  std::vector<std::shared_ptr<Peer>> fresh;
+  fresh.reserve(peers.size());
+  for (auto& ep : peers) {
+    if (!ep.empty()) fresh.push_back(std::make_shared<Peer>(std::move(ep)));
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_.swap(fresh);
+}
+
+size_t PeerChunkResolver::num_peers() const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  return peers_.size();
+}
+
+Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(cid);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(cid, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->status.ok()) *chunk = flight->chunk;
+    return flight->status;
+  }
+
+  const Status s = FetchFromPeers(cid, chunk);
+  {
+    // Deregister before publishing: a fetch arriving after the result is
+    // posted starts fresh (the chunk may have appeared on a peer since).
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(cid);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = s;
+    if (s.ok()) flight->chunk = *chunk;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return s;
+}
+
+Status PeerChunkResolver::FetchFromPeers(const Hash& cid, Chunk* chunk) {
+  std::vector<std::shared_ptr<Peer>> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers = peers_;
+  }
+  if (peers.empty()) return Status::NotFound(cid.ToShortHex());
+
+  bool some_peer_down = false;
+  Status down_why;
+  // Start at a cid-derived offset so concurrent misses spread their
+  // first ask across the peer set instead of hammering peer 0.
+  const size_t start = static_cast<size_t>(cid.Mid64() % peers.size());
+  for (size_t i = 0; i < peers.size(); ++i) {
+    Peer* peer = peers[(start + i) % peers.size()].get();
+    Status asked;
+    {
+      std::lock_guard<std::mutex> lock(peer->mu);
+      if (peer->conn == nullptr) {
+        rpc::RemoteServiceOptions ro;
+        ro.pool_size = options_.pool_size;
+        auto connected = rpc::RemoteService::Connect(peer->endpoint, ro);
+        if (!connected.ok()) {
+          some_peer_down = true;
+          down_why = connected.status();
+          continue;
+        }
+        peer->conn = std::move(*connected);
+      }
+    }
+    // Outside peer->mu: RemoteService is thread-safe, and a slow peer
+    // must not serialize fetches that could try the next peer.
+    asked = peer->conn->GetChunkLocal(cid, chunk);
+    if (asked.ok()) {
+      fetches_.fetch_add(1, std::memory_order_relaxed);
+      return asked;
+    }
+    if (asked.IsNotFound()) continue;  // authoritative "not here"
+    // Transport trouble: the connection self-heals on the next call;
+    // this fetch just cannot prove absence anymore.
+    some_peer_down = true;
+    down_why = asked;
+  }
+
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  if (some_peer_down) {
+    return Status::Unavailable("peer unreachable while resolving " +
+                               cid.ToShortHex() + ": " + down_why.ToString());
+  }
+  return Status::NotFound(cid.ToShortHex());
+}
+
+}  // namespace fb

@@ -1,0 +1,102 @@
+// PeerChunkResolver: server-to-server chunk resolution (Section 4.6).
+//
+// Every node of a deployment can read every chunk of the shared pool. A
+// standalone servlet process, however, physically holds only the chunks
+// written through it — so a version-addressed read or a server-side
+// traversal of a tree built elsewhere misses locally. The resolver is
+// that servlet's view of "the rest of the pool": given a cid that missed
+// the local store, it asks each peer servlet for the chunk over the RPC
+// transport (the peer answers from its LOCAL store only, so two servlets
+// missing the same cid never ping-pong).
+//
+// Concurrency: fetches for the same cid are single-flighted — one caller
+// goes to the network, every concurrent caller for that cid waits and
+// shares the result. Connections to peers are opened lazily (peers may
+// boot in any order) and kept pooled; a peer that cannot be reached is
+// retried on the next fetch.
+//
+// Negative results are typed: NotFound means every peer answered
+// authoritatively "I don't have it" (the cid does not exist in the
+// deployment); Unavailable means at least one peer could not be asked,
+// so absence was NOT proven and the caller must not treat the miss as
+// authoritative.
+
+#ifndef FORKBASE_CHUNK_PEER_RESOLVER_H_
+#define FORKBASE_CHUNK_PEER_RESOLVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "util/status.h"
+
+namespace fb {
+
+struct PeerResolverOptions {
+  // Connection pool size per peer endpoint.
+  size_t pool_size = 1;
+};
+
+class PeerChunkResolver {
+ public:
+  explicit PeerChunkResolver(std::vector<std::string> peers = {},
+                             PeerResolverOptions options = {});
+  ~PeerChunkResolver();
+  PeerChunkResolver(const PeerChunkResolver&) = delete;
+  PeerChunkResolver& operator=(const PeerChunkResolver&) = delete;
+
+  // Replaces the peer set (drops existing connections). Late binding for
+  // deployments whose endpoints are not known at construction time
+  // (ephemeral ports: two servers must start before either knows the
+  // other's address). Not meant to race in-flight fetches.
+  void SetPeers(std::vector<std::string> peers);
+
+  size_t num_peers() const;
+
+  // Resolves `cid` from the peer set (single-flighted per cid).
+  //   OK          -> *chunk holds the peer's copy.
+  //   NotFound    -> every peer answered; nobody has it.
+  //   Unavailable -> some peer was unreachable; absence unproven.
+  Status Fetch(const Hash& cid, Chunk* chunk);
+
+  // Lifetime counters (surfaced through ChunkStoreStats by the stores
+  // that embed a resolver).
+  uint64_t fetches() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  // Fetches that piggybacked on another caller's in-flight fetch.
+  uint64_t coalesced_fetches() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Peer;      // endpoint + lazily-opened transport (defined in .cc)
+  struct Inflight;  // single-flight rendezvous state
+
+  // The network half of Fetch (no single-flight bookkeeping).
+  Status FetchFromPeers(const Hash& cid, Chunk* chunk);
+
+  const PeerResolverOptions options_;
+
+  mutable std::mutex peers_mu_;
+  std::vector<std::shared_ptr<Peer>> peers_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<Hash, std::shared_ptr<Inflight>, HashHasher> inflight_;
+
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CHUNK_PEER_RESOLVER_H_

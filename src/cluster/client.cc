@@ -132,6 +132,29 @@ ClusterClient::ClusterClient(
   workers_.reserve(n_shards_);
   for (size_t i = 0; i < n_shards_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    if (remotes_[i] == nullptr && cluster_ != nullptr) {
+      in_process_.push_back(i);
+    } else if (remotes_[i] != nullptr && remotes_[i]->server_peer_count() > 0) {
+      // Advertised in the kHello handshake: this server resolves chunk
+      // misses from its peers, so any uid is serveable there.
+      peer_capable_.push_back(i);
+    }
+  }
+  if (cluster_ != nullptr && in_process_.size() < n_shards_) {
+    // Mixed deployment: some shards are remote, so their chunks are not
+    // in the in-process pool. Give every in-process servlet view a
+    // resolver over the remote endpoints — the same server-to-server
+    // fetch `forkbased --peers` uses — so version-addressed commands
+    // and cross-shard traversals run without client-side retries.
+    std::vector<std::string> peer_endpoints;
+    for (const auto& ep : options_.endpoints) {
+      if (!ep.empty()) peer_endpoints.push_back(ep);
+    }
+    PeerResolverOptions po;
+    po.pool_size = options_.remote_pool_size;
+    peer_resolver_ =
+        std::make_unique<PeerChunkResolver>(std::move(peer_endpoints), po);
+    cluster_->AttachPeerResolver(peer_resolver_.get());
   }
   // Worker threads start lazily on the first Submit(): a synchronous-only
   // client never pays for them.
@@ -187,6 +210,10 @@ ClusterClient::~ClusterClient() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  // Detach only after the workers drained: queued Submit work executes
+  // to completion on destruction, and a version-addressed command in
+  // that backlog still needs the peer resolver to answer correctly.
+  if (peer_resolver_ != nullptr) cluster_->AttachPeerResolver(nullptr);
 }
 
 void ClusterClient::Flush() {
@@ -200,7 +227,12 @@ void ClusterClient::Flush() {
 // Synchronous dispatch
 // ---------------------------------------------------------------------------
 
+static bool VersionAddressed(CommandOp op);
+
 Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
+  if (VersionAddressed(cmd.op)) {
+    version_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Remote servlet: the real socket transport IS the round-trip.
   if (remotes_[idx] != nullptr) return remotes_[idx]->Execute(cmd);
 
@@ -218,8 +250,7 @@ Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
 }
 
 // True for commands addressed by version rather than key: any shard
-// with the chunks can serve them. Single source of truth for both the
-// routing below and the ExecuteRouted retry.
+// that can reach the chunks can serve them.
 static bool VersionAddressed(CommandOp op) {
   return op == CommandOp::kGetByUid || op == CommandOp::kTrackFromUid ||
          op == CommandOp::kDiffSorted || op == CommandOp::kDiffBlob;
@@ -230,39 +261,29 @@ bool ClusterClient::RouteOf(const Command& cmd, size_t* idx) const {
     return false;  // fan-out
   }
   if (VersionAddressed(cmd.op)) {
-    // With a shared in-process pool any node can serve these; spread by
-    // uid. (Remote shards only hold their own chunks — ExecuteRouted
-    // retries elsewhere on NotFound.)
-    *idx = static_cast<size_t>(cmd.uid.Low64() % n_shards_);
+    version_commands_.fetch_add(1, std::memory_order_relaxed);
+    // One shard, no retries. In-process shards see the whole shared pool
+    // (peer-fetching from remote servlets in mixed deployments), so any
+    // of them can serve any uid; prefer them when they exist. All-remote
+    // deployments spread by uid across the servers that advertised peer
+    // fetch in their handshake (`forkbased --peers`) — a server without
+    // peers can only serve uids it committed itself, so it is skipped
+    // when a capable shard exists. With neither (multi-shard all-remote,
+    // no --peers anywhere), the uid-routed shard may honestly answer
+    // NotFound for an object another shard holds: such deployments need
+    // peer fetch enabled for version-addressed reads.
+    const uint64_t spread = cmd.uid.Low64();
+    if (!in_process_.empty()) {
+      *idx = in_process_[static_cast<size_t>(spread % in_process_.size())];
+    } else if (!peer_capable_.empty()) {
+      *idx = peer_capable_[static_cast<size_t>(spread % peer_capable_.size())];
+    } else {
+      *idx = static_cast<size_t>(spread % n_shards_);
+    }
     return true;
   }
   *idx = ShardOfKey(cmd.key, n_shards_);
   return true;
-}
-
-Reply ClusterClient::ExecuteRouted(size_t idx, const Command& cmd) {
-  Reply reply = ExecuteOn(idx, cmd);
-  // In-process shards share one chunk pool, so the uid-routed shard is
-  // as good as any. Once remote shards exist, each holds only its own
-  // chunks: a version-addressed miss is retried on the shards not yet
-  // asked (the in-process ones collectively count as one).
-  if (!VersionAddressed(cmd.op) || reply.code != StatusCode::kNotFound) {
-    return reply;
-  }
-  bool in_process_tried = remotes_[idx] == nullptr;
-  bool any_remote = false;
-  for (const auto& r : remotes_) any_remote |= r != nullptr;
-  if (!any_remote) return reply;
-  for (size_t i = 0; i < n_shards_; ++i) {
-    if (i == idx) continue;
-    if (remotes_[i] == nullptr) {
-      if (in_process_tried) continue;
-      in_process_tried = true;
-    }
-    Reply retry = ExecuteOn(i, cmd);
-    if (retry.code != StatusCode::kNotFound) return retry;
-  }
-  return reply;
 }
 
 Reply ClusterClient::ExecuteFanOut(const Command& cmd) {
@@ -323,7 +344,7 @@ Reply ClusterClient::Execute(const Command& cmd) {
       if (!RouteOf(cmd, &idx)) {
         return Reply::FromStatus(Status::Internal("unroutable command"));
       }
-      return ExecuteRouted(idx, cmd);
+      return ExecuteOn(idx, cmd);
     }
   }
 }
@@ -454,7 +475,7 @@ void ClusterClient::WorkerLoop(size_t idx) {
       }
       CommitPutRun(idx, &run);
       run_keys.clear();
-      p.promise.set_value(ExecuteRouted(idx, p.cmd));
+      p.promise.set_value(ExecuteOn(idx, p.cmd));
     }
     CommitPutRun(idx, &run);
 
@@ -472,6 +493,13 @@ ClusterClient::SubmitStats ClusterClient::submit_stats() const {
   s.put_groups = put_groups_.load(std::memory_order_relaxed);
   s.coalesced_puts = coalesced_puts_.load(std::memory_order_relaxed);
   s.max_group = max_group_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ClusterClient::RouteStats ClusterClient::route_stats() const {
+  RouteStats s;
+  s.version_commands = version_commands_.load(std::memory_order_relaxed);
+  s.version_dispatches = version_dispatches_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -3,8 +3,11 @@
 //
 // Every command goes through the dispatcher: key-addressed operations
 // route to the owning servlet, version-addressed operations route by uid
-// (any node can serve them — chunks live in the shared pool), and
-// multi-key operations fan out:
+// to any node that can reach the shared chunk pool — in-process shards
+// share it directly (and peer-fetch from remote servlets when the
+// deployment is mixed), remote servlets resolve misses from their peers
+// server-side — so every command executes on EXACTLY ONE shard, no
+// client-side retries. Multi-key operations fan out:
 //
 //   * ListKeys unions the key sets of ALL servlets. (Asking one servlet,
 //     as the retired Route(key)->ListKeys() pattern did, returns only
@@ -48,6 +51,7 @@
 #include <vector>
 
 #include "api/service.h"
+#include "chunk/peer_resolver.h"
 #include "cluster/cluster.h"
 #include "rpc/remote_service.h"
 
@@ -146,6 +150,15 @@ class ClusterClient : public ForkBaseService {
   };
   SubmitStats submit_stats() const;
 
+  // Dispatch accounting (test surface for the no-retry guarantee): a
+  // version-addressed command must hit exactly one servlet, so the two
+  // counters stay equal — any excess would be a client-side shard retry.
+  struct RouteStats {
+    uint64_t version_commands = 0;   // version-addressed commands issued
+    uint64_t version_dispatches = 0; // servlet executions they caused
+  };
+  RouteStats route_stats() const;
+
  private:
   struct Pending {
     Command cmd;
@@ -168,9 +181,6 @@ class ClusterClient : public ForkBaseService {
   // Executes on servlet `idx`: over the socket for a remote servlet,
   // round-tripping through the wire format in-process otherwise.
   Reply ExecuteOn(size_t idx, const Command& cmd);
-  // ExecuteOn plus the version-addressed NotFound retry used when
-  // remote shards (which hold only their own chunks) are in play.
-  Reply ExecuteRouted(size_t idx, const Command& cmd);
   Reply ExecuteFanOut(const Command& cmd);
   Reply ExecutePutMany(const Command& cmd);
   // The servlet index a command routes to; false for fan-out commands.
@@ -186,8 +196,14 @@ class ClusterClient : public ForkBaseService {
   ClusterClientOptions options_;
   std::vector<std::unique_ptr<rpc::RemoteService>> remotes_;  // per shard
   size_t n_shards_;
+  std::vector<size_t> in_process_;    // shard indices served by cluster_
+  std::vector<size_t> peer_capable_;  // remote shards advertising peer fetch
   TreeConfig tree_config_;
   mutable ClientChunkStore chunk_view_;
+  // Mixed deployments: attached to the cluster's servlet views so
+  // in-process shards resolve chunk misses from the remote servlets
+  // (detached on destruction).
+  std::unique_ptr<PeerChunkResolver> peer_resolver_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::once_flag workers_started_;
 
@@ -195,6 +211,8 @@ class ClusterClient : public ForkBaseService {
   std::atomic<uint64_t> put_groups_{0};
   std::atomic<uint64_t> coalesced_puts_{0};
   std::atomic<uint64_t> max_group_{0};
+  mutable std::atomic<uint64_t> version_commands_{0};  // counted in RouteOf
+  std::atomic<uint64_t> version_dispatches_{0};
 };
 
 }  // namespace fb

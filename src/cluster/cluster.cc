@@ -1,8 +1,11 @@
 #include "cluster/cluster.h"
 
+#include "chunk/peer_resolver.h"
+
 namespace fb {
 
 Status ServletChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  if (pool_ == nullptr) return owned_local_->Put(cid, chunk);
   // Meta chunks are always stored locally: they are only read by the
   // servlet that owns the key (Section 4.6).
   if (chunk.type() == ChunkType::kMeta) {
@@ -11,7 +14,52 @@ Status ServletChunkStore::Put(const Hash& cid, const Chunk& chunk) {
   return RouteData(cid)->Put(cid, chunk);
 }
 
+Status ServletChunkStore::ResolveMiss(const Hash& cid, Chunk* chunk) const {
+  // Every expected location missed: consult the fallback cache (chunks
+  // are immutable, so a cached copy is always current), then ask peer
+  // servlets — the cross-process shared-pool fallback.
+  if (fallback_cache_.capacity_bytes() > 0 &&
+      fallback_cache_.Get(cid, chunk)) {
+    return Status::OK();
+  }
+  PeerChunkResolver* peers = peers_.load(std::memory_order_acquire);
+  if (peers != nullptr) {
+    const Status fetched = peers->Fetch(cid, chunk);
+    if (fetched.ok()) {
+      if (fallback_cache_.capacity_bytes() > 0) {
+        fallback_cache_.Put(cid, *chunk);
+      }
+      return fetched;
+    }
+    // Unavailable (a peer could not be asked) must reach the caller
+    // as-is: the chunk may exist on the unreachable peer.
+    if (!fetched.IsNotFound()) return fetched;
+  }
+  return Status::NotFound(cid.ToShortHex());
+}
+
+Status ServletChunkStore::GetLocal(const Hash& cid, Chunk* chunk) const {
+  if (pool_ == nullptr) return owned_local_->Get(cid, chunk);
+  // Cluster mode: "local" is everything reachable in-process — the
+  // shared pool — but never the cache/peer tail.
+  const size_t routed = DataInstanceOf(cid);
+  Status s = (*pool_)[routed]->Get(cid, chunk);
+  if (s.ok() || !s.IsNotFound()) return s;
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    if (i == routed) continue;
+    s = (*pool_)[i]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+  }
+  return Status::NotFound(cid.ToShortHex());
+}
+
 Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  if (pool_ == nullptr) {
+    // Standalone servlet: one physical store, then the shared miss tail.
+    Status s = owned_local_->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+    return ResolveMiss(cid, chunk);
+  }
   // Data chunks live at the cid-routed node; meta chunks at the local
   // node. Check the routed node first, then local, then the rest of the
   // pool (the shared-storage fallback; only ever reached for chunks that
@@ -23,9 +71,7 @@ Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
     s = (*pool_)[local_id_]->Get(cid, chunk);
     if (s.ok() || !s.IsNotFound()) return s;
   }
-  // Expected locations missed: before paying for the pool-wide scan,
-  // consult the fallback cache (chunks are immutable, so a cached copy
-  // is always current).
+  // Expected locations missed: the cache short-circuits the pool scan.
   if (fallback_cache_.capacity_bytes() > 0 &&
       fallback_cache_.Get(cid, chunk)) {
     return Status::OK();
@@ -41,10 +87,24 @@ Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
     }
     if (!s.IsNotFound()) return s;
   }
+  // The whole in-process pool missed; the cache was consulted above, so
+  // go straight to the peers.
+  PeerChunkResolver* peers = peers_.load(std::memory_order_acquire);
+  if (peers != nullptr) {
+    const Status fetched = peers->Fetch(cid, chunk);
+    if (fetched.ok()) {
+      if (fallback_cache_.capacity_bytes() > 0) {
+        fallback_cache_.Put(cid, *chunk);
+      }
+      return fetched;
+    }
+    if (!fetched.IsNotFound()) return fetched;
+  }
   return Status::NotFound(cid.ToShortHex());
 }
 
 bool ServletChunkStore::Contains(const Hash& cid) const {
+  if (pool_ == nullptr) return owned_local_->Contains(cid);
   for (const auto& instance : *pool_) {
     if (instance->Contains(cid)) return true;
   }
@@ -52,6 +112,7 @@ bool ServletChunkStore::Contains(const Hash& cid) const {
 }
 
 Status ServletChunkStore::PutBatch(const ChunkBatch& batch) {
+  if (pool_ == nullptr) return owned_local_->PutBatch(batch);
   // Under 1LP every chunk (meta and data) is local: forward the batch
   // without copying.
   if (!two_layer_) return (*pool_)[local_id_]->PutBatch(batch);
@@ -78,12 +139,20 @@ Status ServletChunkStore::PutBatch(const ChunkBatch& batch) {
 }
 
 ChunkStoreStats ServletChunkStore::stats() const {
-  // The view aggregates the whole pool (shared storage semantics), plus
-  // this servlet's own fallback-cache counters.
+  // The view aggregates everything reachable in-process (shared storage
+  // semantics), plus this servlet's own cache and peer-fetch counters.
   ChunkStoreStats total;
-  for (const auto& s : *pool_) total.Accumulate(s->stats());
+  if (pool_ == nullptr) {
+    total.Accumulate(owned_local_->stats());
+  } else {
+    for (const auto& s : *pool_) total.Accumulate(s->stats());
+  }
   total.cache_hits = fallback_cache_.hits();
   total.cache_misses = fallback_cache_.misses();
+  if (PeerChunkResolver* peers = peers_.load(std::memory_order_acquire)) {
+    total.peer_fetches = peers->fetches();
+    total.peer_fetch_failures = peers->failures();
+  }
   return total;
 }
 

@@ -43,17 +43,31 @@ struct ClusterOptions {
 // clients, so every deployment agrees on key placement.
 size_t ShardOfKey(const std::string& key, size_t n);
 
-// A chunk store view for one servlet: meta chunks pin to the local
-// instance; data chunks route to the pool by cid (2LP) or stay local (1LP).
-// Reads that miss both the routed and the local instance fall back to a
-// pool-wide scan: placement policy decides where WRITES land (the Figure
-// 15 storage-distribution story), but every instance of the cluster-wide
-// pool is readable from every node, so chunks written by other placement
-// policies (client-built trees, delegated construction) stay reachable.
-// A byte-capped LRU cache absorbs repeated fallback reads: a hit skips
-// the whole scan, and hit/miss counts surface in stats().
+class PeerChunkResolver;
+
+// A chunk store view for one servlet, in either of two deployments:
+//
+//  * In-process cluster node: meta chunks pin to the local pool
+//    instance; data chunks route to the pool by cid (2LP) or stay local
+//    (1LP). Reads that miss both the routed and the local instance fall
+//    back to a pool-wide scan: placement policy decides where WRITES
+//    land (the Figure 15 storage-distribution story), but every
+//    instance of the cluster-wide pool is readable from every node, so
+//    chunks written by other placement policies (client-built trees,
+//    delegated construction) stay reachable.
+//  * Standalone servlet process (`forkbased`): all writes land in one
+//    local store (Mem or Log); there is no shared pool to scan.
+//
+// Either way the read path degrades in the same order: expected
+// location(s) -> byte-capped LRU cache -> peer fetch. The peer resolver
+// (when attached) is the cross-process half of the shared-pool
+// semantics: a miss is resolved from peer servlet endpoints, cached, and
+// returned; hit/miss and peer-fetch counts surface in stats(). A
+// resolver answer of Unavailable (a peer could not be asked) propagates
+// as Unavailable, never as NotFound — absence was not proven.
 class ServletChunkStore : public ChunkStore {
  public:
+  // In-process cluster node over the shared pool.
   ServletChunkStore(std::vector<std::unique_ptr<MemChunkStore>>* pool,
                     size_t local_id, bool two_layer,
                     size_t fallback_cache_bytes =
@@ -62,6 +76,19 @@ class ServletChunkStore : public ChunkStore {
         local_id_(local_id),
         two_layer_(two_layer),
         fallback_cache_(fallback_cache_bytes) {}
+
+  // Standalone servlet process: every chunk lives in `local`; misses
+  // consult the cache, then the peer resolver (both optional).
+  ServletChunkStore(std::unique_ptr<ChunkStore> local,
+                    PeerChunkResolver* peers,
+                    size_t fallback_cache_bytes =
+                        LruChunkCache::kDefaultCapacityBytes)
+      : pool_(nullptr),
+        owned_local_(std::move(local)),
+        local_id_(0),
+        two_layer_(false),
+        fallback_cache_(fallback_cache_bytes),
+        peers_(peers) {}
 
   using ChunkStore::Put;
   Status Put(const Hash& cid, const Chunk& chunk) override;
@@ -73,6 +100,22 @@ class ServletChunkStore : public ChunkStore {
   Status PutBatch(const ChunkBatch& batch) override;
   ChunkStoreStats stats() const override;
 
+  // Attaches (or detaches, with nullptr) the peer resolver consulted
+  // after every local location missed. The resolver must outlive its
+  // attachment; swapping is safe against concurrent Gets.
+  void set_peer_resolver(PeerChunkResolver* peers) {
+    peers_.store(peers, std::memory_order_release);
+  }
+
+  // The physically local store — what this servlet serves to PEERS
+  // asking over kChunkPeerGet. Never consults cache or resolver, so two
+  // servlets missing the same cid cannot ping-pong.
+  Status GetLocal(const Hash& cid, Chunk* chunk) const;
+  ChunkStore* local_store() const {
+    return owned_local_ != nullptr ? owned_local_.get()
+                                   : (*pool_)[local_id_].get();
+  }
+
  private:
   size_t DataInstanceOf(const Hash& cid) const {
     if (!two_layer_) return local_id_;
@@ -81,11 +124,15 @@ class ServletChunkStore : public ChunkStore {
   MemChunkStore* RouteData(const Hash& cid) const {
     return (*pool_)[DataInstanceOf(cid)].get();
   }
+  // Cache -> peer-fetch tail of the read path, shared by both modes.
+  Status ResolveMiss(const Hash& cid, Chunk* chunk) const;
 
-  std::vector<std::unique_ptr<MemChunkStore>>* pool_;
+  std::vector<std::unique_ptr<MemChunkStore>>* pool_;  // cluster mode
+  std::unique_ptr<ChunkStore> owned_local_;            // standalone mode
   size_t local_id_;
   bool two_layer_;
   mutable LruChunkCache fallback_cache_;  // Get() is const; caching is not
+  std::atomic<PeerChunkResolver*> peers_{nullptr};
 };
 
 // The simulated deployment: master + dispatcher + N servlets. Clients do
@@ -125,6 +172,14 @@ class Cluster {
   // POS-Trees built by each servlet (construction load balance).
   std::vector<uint64_t> PerNodeBuildCounts() const {
     return {build_counts_.begin(), build_counts_.end()};
+  }
+
+  // Attaches `peers` to every servlet's chunk view (nullptr detaches) —
+  // the cross-process half of the shared pool, used by mixed
+  // deployments where some shards live behind remote endpoints. The
+  // resolver must outlive the attachment.
+  void AttachPeerResolver(PeerChunkResolver* peers) {
+    for (auto& view : views_) view->set_peer_resolver(peers);
   }
 
   const ClusterOptions& options() const { return options_; }

@@ -145,6 +145,31 @@ Status DecodeTreeConfig(Slice body, TreeConfig* out) {
   return Status::OK();
 }
 
+void EncodeHello(const TreeConfig& config, uint64_t peer_count, Bytes* out) {
+  EncodeTreeConfig(config, out);
+  PutVarint64(out, peer_count);
+}
+
+Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count) {
+  ByteReader r(body);
+  uint64_t leaf = 0, index = 0, window = 0, alpha = 0;
+  FB_RETURN_NOT_OK(r.ReadVarint64(&leaf));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&index));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&window));
+  FB_RETURN_NOT_OK(r.ReadVarint64(&alpha));
+  *peer_count = 0;
+  if (!r.AtEnd()) {
+    // Peer-fetch-era server; older ones stop at the TreeConfig.
+    FB_RETURN_NOT_OK(r.ReadVarint64(peer_count));
+    if (!r.AtEnd()) return Status::Corruption("trailing bytes in hello");
+  }
+  config->leaf_pattern_bits = static_cast<int>(leaf);
+  config->index_pattern_bits = static_cast<int>(index);
+  config->window = window;
+  config->size_alpha = alpha;
+  return Status::OK();
+}
+
 void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out) {
   PutVarint64(out, stats.puts);
   PutVarint64(out, stats.dedup_hits);
@@ -154,6 +179,8 @@ void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out) {
   PutVarint64(out, stats.logical_bytes);
   PutVarint64(out, stats.cache_hits);
   PutVarint64(out, stats.cache_misses);
+  PutVarint64(out, stats.peer_fetches);
+  PutVarint64(out, stats.peer_fetch_failures);
 }
 
 Status DecodeStoreStats(Slice body, ChunkStoreStats* out) {
@@ -166,6 +193,13 @@ Status DecodeStoreStats(Slice body, ChunkStoreStats* out) {
   FB_RETURN_NOT_OK(r.ReadVarint64(&out->logical_bytes));
   FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_hits));
   FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_misses));
+  out->peer_fetches = 0;
+  out->peer_fetch_failures = 0;
+  if (!r.AtEnd()) {
+    // Peer-fetch-era server; older ones stop at the cache counters.
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->peer_fetches));
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->peer_fetch_failures));
+  }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in store stats");
   return Status::OK();
 }

@@ -43,12 +43,15 @@ enum class FrameType : uint8_t {
   kChunkPut = 3,       // payload: [32B cid][chunk bytes]
   kChunkPutBatch = 4,  // payload: varint n, n x ([32B cid][LP chunk bytes])
   kChunkHas = 5,       // payload: [32B cid]
-  kHello = 6,          // payload: empty; resp body: varint-encoded TreeConfig
+  kHello = 6,          // payload: empty; resp body: TreeConfig + peer count
   kStoreStats = 7,     // payload: empty; resp body: varint-encoded stats
   kControlResp = 8,    // payload: [u8 code][LP message][body] (non-command resp)
+  kChunkPeerGet = 9,   // payload: [32B cid]; served from the LOCAL store only
+                       // (no recursive peer resolution — the op peers use
+                       // to fetch from each other without ping-ponging)
 };
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kControlResp);
+    static_cast<uint8_t>(FrameType::kChunkPeerGet);
 
 // Hard cap on one frame's payload. Large values ship as chunk batches
 // well below this; anything bigger is a corrupt or hostile length prefix.
@@ -87,9 +90,15 @@ void EncodeControl(const Status& s, Slice body, Bytes* payload);
 Status DecodeControl(Slice payload, Status* remote, Slice* body);
 
 // kHello response body: the server's TreeConfig, so a remote client
-// builds byte-identical POS-Trees (same cids) as the server would.
+// builds byte-identical POS-Trees (same cids) as the server would,
+// followed (since the peer-fetch extension) by a varint peer count —
+// how many peer servlets the server can resolve chunk misses from.
+// DecodeHello accepts a body without the trailing count (an older
+// server) and reports 0 peers.
 void EncodeTreeConfig(const TreeConfig& config, Bytes* out);
 Status DecodeTreeConfig(Slice body, TreeConfig* out);
+void EncodeHello(const TreeConfig& config, uint64_t peer_count, Bytes* out);
+Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count);
 
 // kStoreStats response body: counter snapshot of the server's store.
 void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out);

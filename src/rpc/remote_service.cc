@@ -22,7 +22,8 @@ Result<std::unique_ptr<RemoteService>> RemoteService::Connect(
   // here) and fetches the server's chunking parameters.
   FB_ASSIGN_OR_RETURN(Bytes hello,
                       service->CallControl(FrameType::kHello, Slice()));
-  FB_RETURN_NOT_OK(DecodeTreeConfig(Slice(hello), &service->tree_config_));
+  FB_RETURN_NOT_OK(DecodeHello(Slice(hello), &service->tree_config_,
+                               &service->server_peer_count_));
   return service;
 }
 
@@ -66,10 +67,28 @@ RemoteService::GetConnection() {
   // block), then install. A concurrent reconnect of the same slot just
   // yields one extra pooled connection in all_conns_; harmless.
   FB_ASSIGN_OR_RETURN(std::shared_ptr<Connection> fresh, OpenConnection());
+  std::shared_ptr<Connection> evicted;
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
+    evicted = std::move(pool_[slot]);
     pool_[slot] = fresh;
     all_conns_.push_back(fresh);
+  }
+  if (evicted != nullptr) {
+    bool evicted_alive;
+    {
+      std::lock_guard<std::mutex> plock(evicted->pending_mu);
+      evicted_alive = evicted->alive;
+    }
+    // A live evictee is a concurrent reconnect's fresh connection: its
+    // reader is healthy and completes its pending normally (it stays in
+    // all_conns_), so failing them would kill good requests. A dead one
+    // was normally drained by its own reader; drain again defensively so
+    // no pipelined Submit can outlive its connection unresolved.
+    if (!evicted_alive) {
+      FailPending(evicted.get(),
+                  Status::IOError("connection replaced after failure"));
+    }
   }
   return fresh;
 }
@@ -227,6 +246,15 @@ Result<Bytes> RemoteService::CallControl(FrameType type, Slice payload) {
       });
   FB_RETURN_NOT_OK(s);
   return future.get();
+}
+
+Status RemoteService::GetChunkLocal(const Hash& cid, Chunk* chunk) {
+  Result<Bytes> body = CallControl(FrameType::kChunkPeerGet, cid.slice());
+  FB_RETURN_NOT_OK(body.status());
+  if (!Chunk::Deserialize(Slice(*body), chunk)) {
+    return Status::Corruption("undecodable chunk from peer");
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -81,9 +81,18 @@ class RemoteService : public ForkBaseService {
   // the server's reply frame arrives (possibly out of submission order).
   std::future<Reply> Submit(Command cmd);
 
+  // Fetches a chunk from the server's LOCAL store only — no server-side
+  // peer resolution (kChunkPeerGet). The building block PeerChunkResolver
+  // uses for server-to-server fetches: NotFound from this call is an
+  // authoritative "this servlet does not hold the cid".
+  Status GetChunkLocal(const Hash& cid, Chunk* chunk);
+
   ChunkStore* store() const override { return &chunk_view_; }
   const TreeConfig& tree_config() const override { return tree_config_; }
   const std::string& endpoint() const { return endpoint_; }
+  // From the kHello handshake: how many peer servlets the server can
+  // resolve chunk misses from (0 = peer fetch disabled over there).
+  uint64_t server_peer_count() const { return server_peer_count_; }
 
   // Connections established over the lifetime (1 + reconnects + pool
   // growth); test surface for reconnect behavior.
@@ -127,6 +136,7 @@ class RemoteService : public ForkBaseService {
   const std::string endpoint_;
   const RemoteServiceOptions options_;
   TreeConfig tree_config_;
+  uint64_t server_peer_count_ = 0;
   mutable RemoteChunkStore chunk_view_{this};
 
   std::atomic<uint64_t> next_request_id_{1};

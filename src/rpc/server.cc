@@ -115,6 +115,12 @@ void ForkBaseServer::ReaderLoop(std::shared_ptr<Conn> conn) {
     const Status s = RecvFrame(&conn->sock, &frame);
     if (s.ok()) {
       requests_.fetch_add(1, std::memory_order_relaxed);
+      if (frame.type == FrameType::kChunkPeerGet) {
+        // Served inline (see ServePeerGet): a local-store lookup that
+        // must not wait behind — or for — the worker pool.
+        ServePeerGet(conn.get(), frame);
+        continue;
+      }
       std::unique_lock<std::mutex> lock(queue_mu_);
       // Backpressure: once the dispatch queue is full this reader stops
       // draining its socket, so a flooding client is throttled by the
@@ -165,6 +171,25 @@ Status ForkBaseServer::SendControl(Conn* conn, uint64_t request_id,
   // unblocks and deregisters.
   if (!sent.ok()) conn->sock.Shutdown();
   return sent;
+}
+
+void ForkBaseServer::ServePeerGet(Conn* conn, const Frame& frame) {
+  const Slice payload(frame.payload);
+  if (payload.size() != Hash::kSize) {
+    (void)SendControl(conn, frame.request_id,
+                      Status::InvalidArgument("peer chunk get wants one cid"),
+                      Slice());
+    return;
+  }
+  Sha256::Digest d;
+  std::memcpy(d.data(), payload.data(), Hash::kSize);
+  ChunkStore* store = options_.local_chunk_store != nullptr
+                          ? options_.local_chunk_store
+                          : engine_->store();
+  Chunk chunk;
+  const Status s = store->Get(Hash(d), &chunk);
+  const Bytes body = s.ok() ? chunk.Serialize() : Bytes();
+  (void)SendControl(conn, frame.request_id, s, Slice(body));
 }
 
 void ForkBaseServer::WorkerLoop() {
@@ -285,7 +310,7 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
     }
     case FrameType::kHello: {
       Bytes body;
-      EncodeTreeConfig(engine_->tree_config(), &body);
+      EncodeHello(engine_->tree_config(), options_.peer_count, &body);
       (void)SendControl(conn, id, Status::OK(), Slice(body));
       return;
     }
@@ -295,6 +320,11 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
       (void)SendControl(conn, id, Status::OK(), Slice(body));
       return;
     }
+    case FrameType::kChunkPeerGet:
+      // Normally served inline by the reader; answer here too so the op
+      // works regardless of which path a frame took.
+      ServePeerGet(conn, item.frame);
+      return;
     case FrameType::kReply:
     case FrameType::kControlResp:
       // A client must never send response frames.

@@ -45,6 +45,17 @@ struct ServerOptions {
   // its connection's sends; past this the write fails and only that
   // connection is torn down (0 = wait forever).
   int send_timeout_seconds = 30;
+
+  // Peer topology (server-to-server chunk fetch, Section 4.6). The
+  // store kChunkPeerGet answers from: it must be the servlet's PHYSICAL
+  // store, never a peer-resolving view — a peer-aware store would
+  // recurse back out to the peers and two servlets missing the same cid
+  // would ping-pong forever. Null = the engine's store (correct only
+  // when that store has no peer resolver attached).
+  ChunkStore* local_chunk_store = nullptr;
+  // Advertised in the kHello handshake: how many peer servlets this
+  // server resolves misses from (0 = peer fetch disabled).
+  size_t peer_count = 0;
 };
 
 class ForkBaseServer {
@@ -91,6 +102,11 @@ class ForkBaseServer {
   void ReaderLoop(std::shared_ptr<Conn> conn);
   void WorkerLoop();
   void Dispatch(const WorkItem& item);
+  // Answers a peer's chunk fetch from the local store. Called from the
+  // READER thread, bypassing the worker queue: peer gets stay serviceable
+  // even when every worker is parked on its own outbound peer fetch
+  // (the cross-server worker-pool deadlock).
+  void ServePeerGet(Conn* conn, const Frame& frame);
   // Replies to a non-command frame: [u8 code][LP message][body].
   static Status SendControl(Conn* conn, uint64_t request_id, const Status& s,
                             Slice body);

@@ -1,0 +1,89 @@
+#include "util/cli.h"
+
+namespace fb {
+
+namespace {
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+}  // namespace
+
+Result<std::vector<CliToken>> TokenizeCliLine(const std::string& line) {
+  std::vector<CliToken> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (IsSpace(line[i])) {
+      ++i;
+      continue;
+    }
+    CliToken token;
+    token.offset = i;
+    if (line[i] == '"') {
+      token.quoted = true;
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i];
+        if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (c == '\\') {
+          if (i + 1 >= line.size()) {
+            return Status::InvalidArgument("dangling backslash in quoted token");
+          }
+          const char esc = line[i + 1];
+          switch (esc) {
+            case '"': token.text.push_back('"'); break;
+            case '\\': token.text.push_back('\\'); break;
+            case 'n': token.text.push_back('\n'); break;
+            case 't': token.text.push_back('\t'); break;
+            case '0': token.text.push_back('\0'); break;
+            default:
+              return Status::InvalidArgument(
+                  std::string("unknown escape \\") + esc);
+          }
+          i += 2;
+          continue;
+        }
+        token.text.push_back(c);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quote");
+      }
+      // A quote must end the token: `"ab"c` is ambiguous, reject it.
+      if (i < line.size() && !IsSpace(line[i])) {
+        return Status::InvalidArgument("garbage after closing quote");
+      }
+    } else {
+      while (i < line.size() && !IsSpace(line[i])) {
+        token.text.push_back(line[i]);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Result<std::string> CliRestOfLine(const std::string& line,
+                                  const std::vector<CliToken>& tokens,
+                                  size_t index) {
+  if (index >= tokens.size()) return std::string();
+  if (tokens[index].quoted) {
+    if (index + 1 != tokens.size()) {
+      return Status::InvalidArgument("unexpected input after quoted value");
+    }
+    return tokens[index].text;
+  }
+  std::string rest = line.substr(tokens[index].offset);
+  // Trailing CR from CRLF input is line framing, not value bytes.
+  while (!rest.empty() && (rest.back() == '\r' || rest.back() == '\n')) {
+    rest.pop_back();
+  }
+  return rest;
+}
+
+}  // namespace fb

@@ -1,0 +1,48 @@
+// Tokenizer for the forkbase_cli REPL.
+//
+// The shell's original `istringstream >> token` parsing split values on
+// whitespace, so `put key master "hello world"` stored `"hello` — values
+// could never contain spaces. This tokenizer fixes that:
+//
+//  * Unquoted tokens end at whitespace, as before.
+//  * Double-quoted tokens may contain any byte; inside quotes the
+//    escapes \" \\ \n \t \0 are decoded (binary-safe values).
+//  * Each token records the byte offset where it starts, so commands
+//    whose LAST argument is free-form (put's value) can take the raw
+//    rest of the line verbatim instead of the first token.
+//
+// An unterminated quote is an error, not a silent truncation.
+
+#ifndef FORKBASE_UTIL_CLI_H_
+#define FORKBASE_UTIL_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fb {
+
+struct CliToken {
+  std::string text;    // decoded token (escapes resolved when quoted)
+  size_t offset = 0;   // byte offset of the token's first character
+                       // (the opening quote for quoted tokens)
+  bool quoted = false;
+};
+
+// Splits one REPL line. Returns an empty vector for blank lines.
+Result<std::vector<CliToken>> TokenizeCliLine(const std::string& line);
+
+// The conventional "last argument is free-form" rule: the value starting
+// at token `index` — the decoded token when it is quoted, otherwise the
+// raw rest of the line from the token's offset (spaces and all). Empty
+// when the token does not exist. A quoted value followed by more tokens
+// is ambiguous (decoded value or raw tail?) and is an error, like the
+// tokenizer's "garbage after closing quote" case.
+Result<std::string> CliRestOfLine(const std::string& line,
+                                  const std::vector<CliToken>& tokens,
+                                  size_t index);
+
+}  // namespace fb
+
+#endif  // FORKBASE_UTIL_CLI_H_

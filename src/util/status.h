@@ -29,10 +29,12 @@ enum class StatusCode : int {
   kOutOfRange = 10,
   kInternal = 11,
   kUnimplemented = 12,  // recognized envelope, unknown/future operation
+  kUnavailable = 13,    // a required peer could not be asked (vs NotFound:
+                        // every authority answered and nobody has it)
 };
 
 // Highest wire-encodable status code; Reply parsing accepts [0, max].
-inline constexpr int kMaxStatusCode = static_cast<int>(StatusCode::kUnimplemented);
+inline constexpr int kMaxStatusCode = static_cast<int>(StatusCode::kUnavailable);
 
 // Human-readable name for a status code, e.g. "NotFound".
 const char* StatusCodeToString(StatusCode code);
@@ -78,6 +80,9 @@ class Status {
   static Status Unimplemented(std::string msg = "") {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -93,6 +98,7 @@ class Status {
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const {

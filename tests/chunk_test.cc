@@ -591,6 +591,51 @@ TEST(LruChunkCacheTest, EvictsLeastRecentlyUsedByBytes) {
   EXPECT_FALSE(cache.Get(huge.ComputeCid(), &out));
 }
 
+TEST(LruChunkCacheTest, ReinsertReplacesChargeInsteadOfDoubleCounting) {
+  // Regression: re-inserting an existing cid must REPLACE the old
+  // entry's byte charge. The old code refreshed recency and returned,
+  // which was correct for identical bytes but kept no accounting path
+  // for a replacement — and any variant that re-charged would let
+  // bytes_ creep past capacity_ with no extra entries to evict.
+  const Chunk small = MakeChunk(ChunkType::kBlob, std::string(100, 's'));
+  const Chunk large = MakeChunk(ChunkType::kBlob, std::string(300, 'l'));
+  const Hash cid = small.ComputeCid();  // cache keys on the caller's cid
+  LruChunkCache cache(1000);
+
+  // Alternating overwrites of ONE cid: the charge must track the stored
+  // chunk, the entry count must stay 1, and the budget must always hold.
+  for (int round = 0; round < 50; ++round) {
+    const Chunk& chunk = (round % 2 == 0) ? small : large;
+    cache.Put(cid, chunk);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.size_bytes(), chunk.serialized_size());
+    EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+  }
+
+  // The replaced entry serves the latest bytes.
+  Chunk out;
+  ASSERT_TRUE(cache.Get(cid, &out));
+  EXPECT_EQ(out.payload_size(), large.payload_size());
+
+  // Same-chunk re-puts stay charge-neutral (the content-addressed case).
+  const size_t bytes = cache.size_bytes();
+  for (int i = 0; i < 10; ++i) cache.Put(cid, large);
+  EXPECT_EQ(cache.size_bytes(), bytes);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // Overwrites alongside other residents never push past the budget.
+  LruChunkCache mixed(4 * small.serialized_size());
+  std::vector<Chunk> fill;
+  for (int i = 0; i < 3; ++i) {
+    fill.push_back(MakeChunk(ChunkType::kBlob, std::string(100, 'a' + i)));
+    mixed.Put(fill.back().ComputeCid(), fill.back());
+  }
+  for (int round = 0; round < 20; ++round) {
+    mixed.Put(cid, (round % 2 == 0) ? large : small);
+    EXPECT_LE(mixed.size_bytes(), mixed.capacity_bytes());
+  }
+}
+
 TEST(ServletChunkStoreTest, FallbackCacheAbsorbsRepeatedPoolScans) {
   // A data chunk parked where neither the cid route nor the local
   // instance expects it (the footprint of a foreign placement policy)
@@ -626,6 +671,31 @@ TEST(ServletChunkStoreTest, FallbackCacheAbsorbsRepeatedPoolScans) {
   st = view.stats();
   EXPECT_EQ(st.cache_misses, 1u);
   EXPECT_EQ(st.cache_hits, 1u);
+}
+
+TEST(ServletChunkStoreTest, StandaloneModeServesLocalStoreOnly) {
+  // The `forkbased` deployment shape: one physical store, no pool. With
+  // no peer resolver attached, a miss is an authoritative NotFound, and
+  // GetLocal (what this servlet serves to peers) bypasses the cache.
+  auto local = std::make_unique<MemChunkStore>();
+  MemChunkStore* raw = local.get();
+  ServletChunkStore view(std::move(local), /*peers=*/nullptr);
+
+  const Chunk chunk = MakeChunk(ChunkType::kBlob, "standalone chunk");
+  const Hash cid = chunk.ComputeCid();
+  ASSERT_TRUE(view.Put(cid, chunk).ok());
+  EXPECT_TRUE(raw->Contains(cid)) << "write did not land in the local store";
+  EXPECT_EQ(view.local_store(), raw);
+
+  Chunk out;
+  ASSERT_TRUE(view.Get(cid, &out).ok());
+  ASSERT_TRUE(view.GetLocal(cid, &out).ok());
+  EXPECT_TRUE(view.Contains(cid));
+
+  const Hash missing = Hash::Of(Slice("not stored anywhere"));
+  EXPECT_TRUE(view.Get(missing, &out).IsNotFound());
+  EXPECT_TRUE(view.GetLocal(missing, &out).IsNotFound());
+  EXPECT_EQ(view.stats().peer_fetches, 0u);
 }
 
 }  // namespace

@@ -16,10 +16,13 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <future>
 #include <set>
+#include <thread>
 
 #include "api/service.h"
+#include "chunk/peer_resolver.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "rpc/frame.h"
@@ -159,8 +162,10 @@ TEST(ServerHostileInputTest, BadChecksumAnsweredOnUsableConnection) {
   ASSERT_TRUE(rpc::DecodeControl(Slice(frame.payload), &remote, &body).ok());
   EXPECT_TRUE(remote.ok());
   TreeConfig config;
-  ASSERT_TRUE(rpc::DecodeTreeConfig(body, &config).ok());
+  uint64_t peer_count = 99;
+  ASSERT_TRUE(rpc::DecodeHello(body, &config, &peer_count).ok());
   EXPECT_EQ(config.leaf_pattern_bits, SmallOpts().tree.leaf_pattern_bits);
+  EXPECT_EQ(peer_count, 0u) << "server without --peers advertised peers";
 
   EXPECT_GE(live.server->stats().protocol_errors, 1u);
 }
@@ -344,11 +349,15 @@ TEST(ClusterEndpointsTest, MixedEmbeddedAndRemoteDeployment) {
     ASSERT_TRUE(obj.ok()) << key;
     EXPECT_EQ(obj->value().AsInt(), i);
     // Version-addressed reads work no matter which shard committed the
-    // object (the uid route may miss; the client retries the others).
+    // object: they route to the in-process shard, whose chunk view
+    // peer-fetches from the remote servlet — ONE dispatch, no retries.
     auto by_uid = (*client)->GetByUid(obj->uid());
     ASSERT_TRUE(by_uid.ok()) << key << ": " << by_uid.status().ToString();
   }
   ASSERT_EQ(shards_used.size(), 2u) << "keys did not span both shards";
+  const auto routes = (*client)->route_stats();
+  EXPECT_EQ(routes.version_commands, routes.version_dispatches)
+      << "a version-addressed command was retried on another shard";
 
   // ListKeys unions the in-process shard and the remote shard.
   auto keys = (*client)->ListKeys();
@@ -383,6 +392,259 @@ TEST(ClusterEndpointsTest, MixedEmbeddedAndRemoteDeployment) {
     ASSERT_TRUE(read.ok()) << read.status().ToString();
     EXPECT_EQ(BytesToString(*read), content);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Server-to-server chunk fetch (peer topology)
+// ---------------------------------------------------------------------------
+
+// One standalone servlet wired the way `forkbased --peers` wires itself:
+// the engine's store is a peer-resolving view over the physical local
+// store, and the server answers kChunkPeerGet from the raw store.
+struct PeerServer {
+  std::unique_ptr<PeerChunkResolver> resolver;
+  ChunkStore* raw_local = nullptr;
+  std::unique_ptr<ForkBase> engine;
+  std::unique_ptr<rpc::ForkBaseServer> server;
+
+  explicit PeerServer(size_t advertised_peers = 1) {
+    resolver = std::make_unique<PeerChunkResolver>();
+    auto local = std::make_unique<MemChunkStore>();
+    raw_local = local.get();
+    engine = std::make_unique<ForkBase>(
+        SmallOpts(), std::make_unique<ServletChunkStore>(std::move(local),
+                                                         resolver.get()));
+    rpc::ServerOptions so;
+    so.local_chunk_store = raw_local;
+    so.peer_count = advertised_peers;
+    auto started = rpc::ForkBaseServer::Start(engine.get(), so);
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(*started);
+  }
+
+  ChunkStoreStats view_stats() const { return engine->store()->stats(); }
+};
+
+TEST(PeerFetchTest, ResolverDistinguishesNobodyHasItFromPeerDown) {
+  PeerServer alive(0);
+  const Chunk held = Chunk(ChunkType::kBlob, ToBytes("held by the peer"));
+  const Hash held_cid = held.ComputeCid();
+  ASSERT_TRUE(alive.raw_local->Put(held_cid, held).ok());
+
+  // All peers up: a present cid resolves, an absent one is an
+  // authoritative NotFound.
+  PeerChunkResolver resolver({alive.server->endpoint()});
+  Chunk out;
+  ASSERT_TRUE(resolver.Fetch(held_cid, &out).ok());
+  EXPECT_EQ(out.payload().ToString(), "held by the peer");
+  EXPECT_EQ(resolver.fetches(), 1u);
+  const Status missing =
+      resolver.Fetch(Hash::Of(Slice("nobody has this")), &out);
+  EXPECT_TRUE(missing.IsNotFound()) << missing.ToString();
+  EXPECT_EQ(resolver.failures(), 1u);
+
+  // A dead peer in the set: absence can no longer be proven, so the
+  // miss surfaces as Unavailable, never NotFound.
+  PeerChunkResolver half_down(
+      {alive.server->endpoint(), "127.0.0.1:1"});
+  const Status unprovable =
+      half_down.Fetch(Hash::Of(Slice("nobody has this either")), &out);
+  EXPECT_TRUE(unprovable.IsUnavailable()) << unprovable.ToString();
+  // A cid the live peer holds still resolves despite the dead one.
+  ASSERT_TRUE(half_down.Fetch(held_cid, &out).ok());
+}
+
+TEST(PeerFetchTest, ConcurrentFetchesOfOneCidAreSingleFlighted) {
+  PeerServer holder(0);
+  const Chunk chunk = Chunk(ChunkType::kBlob, ToBytes("hot chunk"));
+  const Hash cid = chunk.ComputeCid();
+  ASSERT_TRUE(holder.raw_local->Put(cid, chunk).ok());
+
+  PeerChunkResolver resolver({holder.server->endpoint()});
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        Chunk out;
+        if (resolver.Fetch(cid, &out).ok() &&
+            out.payload().ToString() == "hot chunk") {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kRounds);
+  // Every call either led a network fetch or piggybacked on one; the
+  // two buckets must account for all of them.
+  EXPECT_EQ(resolver.fetches() + resolver.failures() +
+                resolver.coalesced_fetches(),
+            static_cast<uint64_t>(kThreads * kRounds));
+  EXPECT_GE(resolver.fetches(), 1u);
+}
+
+// The regression this PR exists for. PR 4 papered over cross-shard
+// version-addressed reads with a client-side NotFound retry loop — and a
+// tree whose chunks were SPLIT across shards (client-side construction
+// partitions data chunks by cid) could not be traversed server-side by
+// ANY single shard, so retrying every shard still failed. With peer
+// fetch, the uid-routed servlet resolves foreign chunks from its peers
+// and the traversal works, in exactly one client dispatch.
+TEST(PeerFetchTest, CrossShardTraversalOfClientBuiltTreesResolves) {
+  PeerServer a;
+  PeerServer b;
+  a.resolver->SetPeers({b.server->endpoint()});
+  b.resolver->SetPeers({a.server->endpoint()});
+
+  ClusterClientOptions opts;
+  opts.endpoints = {a.server->endpoint(), b.server->endpoint()};
+  auto client = ClusterClient::Connect(nullptr, opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Two client-built blobs, big enough to chunk into many pieces whose
+  // cids land on both servers.
+  Rng rng(7);
+  const std::string content_a = rng.String(4096);
+  std::string content_b = content_a;
+  content_b.replace(2048, 16, "EDITED-SIXTEEN-B");
+  auto blob_a = (*client)->CreateBlob(Slice(content_a));
+  auto blob_b = (*client)->CreateBlob(Slice(content_b));
+  ASSERT_TRUE(blob_a.ok());
+  ASSERT_TRUE(blob_b.ok());
+  ASSERT_GT(a.raw_local->stats().chunks, 0u)
+      << "client-built chunks all landed on one shard; the scenario "
+         "needs a split";
+  ASSERT_GT(b.raw_local->stats().chunks, 0u)
+      << "client-built chunks all landed on one shard; the scenario "
+         "needs a split";
+
+  auto uid_a = (*client)->Put("cross-a", blob_a->ToValue());
+  auto uid_b = (*client)->Put("cross-b", blob_b->ToValue());
+  ASSERT_TRUE(uid_a.ok()) << uid_a.status().ToString();
+  ASSERT_TRUE(uid_b.ok()) << uid_b.status().ToString();
+
+  // Server-side traversal of both trees: whichever servlet the uids
+  // route to, it holds only part of the chunks and must peer-fetch the
+  // rest. Before peer fetch this returned NotFound from every shard.
+  auto diff = (*client)->DiffBlobVersions(*uid_a, *uid_b);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff->identical);
+
+  // Version-addressed reads across shards, same story.
+  auto by_uid_a = (*client)->GetByUid(*uid_a);
+  auto by_uid_b = (*client)->GetByUid(*uid_b);
+  ASSERT_TRUE(by_uid_a.ok()) << by_uid_a.status().ToString();
+  ASSERT_TRUE(by_uid_b.ok()) << by_uid_b.status().ToString();
+
+  // Exactly one dispatch per version-addressed command: the retry loop
+  // is gone for good.
+  const auto routes = (*client)->route_stats();
+  EXPECT_EQ(routes.version_commands, routes.version_dispatches);
+  EXPECT_GE(routes.version_commands, 3u);
+
+  // The traversals were served by real server-to-server fetches.
+  const uint64_t peer_fetches =
+      a.view_stats().peer_fetches + b.view_stats().peer_fetches;
+  EXPECT_GT(peer_fetches, 0u) << "no server resolved a chunk from a peer";
+
+  // The handshake advertised the topology to the client.
+  auto probe = rpc::RemoteService::Connect(a.server->endpoint());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ((*probe)->server_peer_count(), 1u);
+  // And the peer-fetch counters travel the wire in ChunkStoreStats.
+  const ChunkStoreStats remote_stats = (*probe)->store()->stats();
+  EXPECT_EQ(remote_stats.peer_fetches, a.view_stats().peer_fetches);
+}
+
+TEST(PeerFetchTest, VersionOpsRouteOnlyToPeerCapableServers) {
+  // A lopsided all-remote topology: shard 0 resolves misses from its
+  // peer, shard 1 runs without --peers (the pre-peer-fetch server). The
+  // client must send every version-addressed command to the capable
+  // shard — the incapable one can only serve uids it committed itself,
+  // and there is no retry loop to paper over a bad route anymore.
+  PeerServer capable;
+  ForkBase plain(SmallOpts());
+  auto plain_server = rpc::ForkBaseServer::Start(&plain, {});
+  ASSERT_TRUE(plain_server.ok());
+  capable.resolver->SetPeers({(*plain_server)->endpoint()});
+
+  ClusterClientOptions opts;
+  opts.endpoints = {capable.server->endpoint(), (*plain_server)->endpoint()};
+  auto client = ClusterClient::Connect(nullptr, opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::set<size_t> shards_used;
+  for (int i = 0; i < 24; ++i) {
+    const std::string key = MakeKey(i, 8, "vc");
+    shards_used.insert(ShardOfKey(key, 2));
+    auto uid = (*client)->Put(key, Value::OfInt(i));
+    ASSERT_TRUE(uid.ok());
+    // Every uid must read back — including the ones committed on the
+    // peerless shard, whose meta chunk the capable shard fetches over.
+    auto obj = (*client)->GetByUid(*uid);
+    ASSERT_TRUE(obj.ok()) << key << ": " << obj.status().ToString();
+    EXPECT_EQ(obj->value().AsInt(), i);
+  }
+  ASSERT_EQ(shards_used.size(), 2u) << "keys did not span both shards";
+  const auto routes = (*client)->route_stats();
+  EXPECT_EQ(routes.version_commands, routes.version_dispatches);
+  EXPECT_GT(capable.view_stats().peer_fetches, 0u)
+      << "the capable shard never had to fetch from its peer";
+}
+
+TEST(RemoteServiceTest, ServerDeathFailsEveryPendingSubmit) {
+  // Kill the server while a deep pipeline is in flight: every future
+  // must complete — successes for replies that made it back, transport
+  // errors for the rest. An unresolved future is the bug this pins.
+  ForkBase engine(SmallOpts());
+  auto server = rpc::ForkBaseServer::Start(&engine, {});
+  ASSERT_TRUE(server.ok());
+  rpc::RemoteServiceOptions opts;
+  opts.pool_size = 2;
+  auto client = rpc::RemoteService::Connect((*server)->endpoint(), opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr int kOps = 400;
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    Command cmd;
+    cmd.op = CommandOp::kPut;
+    cmd.key = MakeKey(i, 8, "die");
+    cmd.branch = kDefaultBranch;
+    cmd.value = Value::OfInt(i);
+    futures.push_back((*client)->Submit(std::move(cmd)));
+    if (i == kOps / 2) (*server)->Stop();  // mid-pipeline
+  }
+  server->reset();
+
+  int completed = 0, transport_errors = 0;
+  for (auto& f : futures) {
+    // A hung future would stall here forever; bound the wait so the
+    // failure mode is a test failure, not a timeout-killed binary.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "a pipelined Submit future never completed";
+    const Reply r = f.get();
+    ++completed;
+    if (!r.ok()) ++transport_errors;
+  }
+  EXPECT_EQ(completed, kOps);
+  EXPECT_GT(transport_errors, 0) << "the kill landed after the pipeline";
+
+  // Submits issued against the dead endpoint keep failing fast — with a
+  // resolved future, never a hang.
+  Command late;
+  late.op = CommandOp::kGet;
+  late.key = "whatever";
+  late.branch = kDefaultBranch;
+  std::future<Reply> late_future = (*client)->Submit(std::move(late));
+  ASSERT_EQ(late_future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_FALSE(late_future.get().ok());
 }
 
 TEST(ClusterEndpointsTest, AllRemoteDeploymentNeedsNoLocalCluster) {

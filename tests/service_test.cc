@@ -21,6 +21,7 @@
 #include <set>
 
 #include "api/service.h"
+#include "chunk/peer_resolver.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "rpc/remote_service.h"
@@ -411,6 +412,66 @@ TEST(ServiceParityTest, EmbeddedAndRemoteTranscriptsAgree) {
   for (size_t i = 0; i < embedded_log.size(); ++i) {
     EXPECT_EQ(embedded_log[i], remote_log[i]) << "transcript line " << i;
   }
+}
+
+TEST(ServiceParityTest, EmbeddedAndAllRemotePeerFetchTranscriptsAgree) {
+  // The full M1-M17 script against an ALL-REMOTE two-servlet topology
+  // with server-to-server chunk fetch enabled: two loopback servers,
+  // each one's engine store a peer-resolving view over its own local
+  // store (the `forkbased --peers` wiring). The transcript must be
+  // byte-identical to the embedded run — including the ops that
+  // traverse client-built trees server-side, which only work here
+  // because the uid-routed servlet fetches foreign chunks from its peer
+  // — and no command may be dispatched to more than one shard.
+  struct Servlet {
+    std::unique_ptr<PeerChunkResolver> resolver =
+        std::make_unique<PeerChunkResolver>();
+    ChunkStore* raw_local = nullptr;
+    std::unique_ptr<ForkBase> engine;
+    std::unique_ptr<rpc::ForkBaseServer> server;
+  };
+  Servlet servlets[2];
+  for (Servlet& s : servlets) {
+    auto local = std::make_unique<MemChunkStore>();
+    s.raw_local = local.get();
+    s.engine = std::make_unique<ForkBase>(
+        SmallOpts(), std::make_unique<ServletChunkStore>(std::move(local),
+                                                         s.resolver.get()));
+    rpc::ServerOptions so;
+    so.local_chunk_store = s.raw_local;
+    so.peer_count = 1;
+    auto started = rpc::ForkBaseServer::Start(s.engine.get(), so);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    s.server = std::move(*started);
+  }
+  servlets[0].resolver->SetPeers({servlets[1].server->endpoint()});
+  servlets[1].resolver->SetPeers({servlets[0].server->endpoint()});
+
+  ClusterClientOptions opts;
+  opts.endpoints = {servlets[0].server->endpoint(),
+                    servlets[1].server->endpoint()};
+  auto remote_client = ClusterClient::Connect(nullptr, opts);
+  ASSERT_TRUE(remote_client.ok()) << remote_client.status().ToString();
+
+  ServiceUnderTest embedded = MakeService(ServiceKind::kEmbedded);
+  const auto embedded_log = RunScript(*embedded.service);
+  const auto remote_log = RunScript(**remote_client);
+  ASSERT_EQ(embedded_log.size(), remote_log.size());
+  for (size_t i = 0; i < embedded_log.size(); ++i) {
+    EXPECT_EQ(embedded_log[i], remote_log[i]) << "transcript line " << i;
+  }
+
+  // Zero client-side shard retries: every version-addressed command of
+  // the script executed on exactly one servlet.
+  const auto routes = (*remote_client)->route_stats();
+  EXPECT_GT(routes.version_commands, 0u);
+  EXPECT_EQ(routes.version_commands, routes.version_dispatches);
+
+  // The script's cross-shard traversals really crossed the wire between
+  // the servers.
+  const uint64_t peer_fetches = servlets[0].engine->store()->stats().peer_fetches +
+                                servlets[1].engine->store()->stats().peer_fetches;
+  EXPECT_GT(peer_fetches, 0u) << "no server-to-server chunk fetch happened";
 }
 
 // ---------------------------------------------------------------------------

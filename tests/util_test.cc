@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "util/cli.h"
 #include "util/codec.h"
 #include "util/random.h"
 #include "util/rolling_hash.h"
@@ -356,6 +357,73 @@ TEST(TimerTest, LatencyRecorderPercentiles) {
   EXPECT_NEAR(rec.Percentile(50), 50.5, 1.0);
   EXPECT_NEAR(rec.Percentile(95), 95.05, 1.0);
   EXPECT_NEAR(rec.Mean(), 50.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// CLI tokenizer (the forkbase_cli REPL parser)
+// ---------------------------------------------------------------------------
+
+TEST(CliTokenizerTest, SplitsUnquotedTokensOnWhitespace) {
+  auto tokens = TokenizeCliLine("put  key\tmaster value");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "put");
+  EXPECT_EQ((*tokens)[1].text, "key");
+  EXPECT_EQ((*tokens)[2].text, "master");
+  EXPECT_EQ((*tokens)[3].text, "value");
+  EXPECT_FALSE((*tokens)[3].quoted);
+  EXPECT_TRUE(TokenizeCliLine("")->empty());
+  EXPECT_TRUE(TokenizeCliLine("   \t ")->empty());
+}
+
+TEST(CliTokenizerTest, QuotedTokensKeepSpacesAndDecodeEscapes) {
+  // The regression that motivated the tokenizer: `put` split its value
+  // on whitespace, so a value containing spaces lost everything past
+  // the first word.
+  auto tokens = TokenizeCliLine("put key master \"hello brave world\"");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[3].text, "hello brave world");
+  EXPECT_TRUE((*tokens)[3].quoted);
+
+  auto escaped = TokenizeCliLine(R"(put k m "tab\there \"quoted\" \\ nul\0end")");
+  ASSERT_TRUE(escaped.ok());
+  const std::string want = std::string("tab\there \"quoted\" \\ nul") +
+                           std::string(1, '\0') + "end";
+  EXPECT_EQ((*escaped)[3].text, want);
+}
+
+TEST(CliTokenizerTest, RestOfLineTakesRawTailOrQuotedToken) {
+  // Unquoted: everything after the third token, spaces preserved.
+  const std::string raw = "put key master two words  extra";
+  auto tokens = TokenizeCliLine(raw);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*CliRestOfLine(raw, *tokens, 3), "two words  extra");
+
+  // Quoted (and last): the decoded token, not the raw bytes.
+  const std::string quoted = "put key master \"two words\"";
+  auto qtokens = TokenizeCliLine(quoted);
+  ASSERT_TRUE(qtokens.ok());
+  EXPECT_EQ(*CliRestOfLine(quoted, *qtokens, 3), "two words");
+
+  // Missing token: empty value (a Put of "" is legal).
+  EXPECT_EQ(
+      *CliRestOfLine("put key master", *TokenizeCliLine("put key master"), 3),
+      "");
+
+  // A quoted value with trailing tokens is ambiguous — error, never the
+  // raw bytes (quotes and escapes included) of the tail.
+  const std::string trailing = "put key master \"two words\" extra";
+  auto ttokens = TokenizeCliLine(trailing);
+  ASSERT_TRUE(ttokens.ok());
+  EXPECT_FALSE(CliRestOfLine(trailing, *ttokens, 3).ok());
+}
+
+TEST(CliTokenizerTest, RejectsDamagedQuoting) {
+  EXPECT_FALSE(TokenizeCliLine("put k m \"unterminated").ok());
+  EXPECT_FALSE(TokenizeCliLine("put k m \"dangling\\").ok());
+  EXPECT_FALSE(TokenizeCliLine("put k m \"bad\\x escape\"").ok());
+  EXPECT_FALSE(TokenizeCliLine("put k m \"ambiguous\"tail").ok());
 }
 
 }  // namespace
