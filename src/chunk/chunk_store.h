@@ -57,9 +57,15 @@ struct ChunkStoreStats {
   uint64_t cache_misses = 0;
   // Server-to-server resolution counters (stores backed by a
   // PeerChunkResolver; 0 elsewhere). A fetch counts once per resolved
-  // miss, not per peer asked; a failure is a miss no peer could serve.
+  // miss, not per peer asked. A negative is a miss every peer answered
+  // authoritatively — the cid does not exist in the deployment; a
+  // failure is a miss where some peer could not be asked, so absence
+  // was never proven. Round trips count network calls, not chunks: the
+  // batched fetch path resolves many cids per round trip.
   uint64_t peer_fetches = 0;
   uint64_t peer_fetch_failures = 0;
+  uint64_t peer_fetch_negatives = 0;
+  uint64_t peer_round_trips = 0;
 
   // Accumulates another snapshot (pool / replica / view aggregation).
   void Accumulate(const ChunkStoreStats& o) {
@@ -73,6 +79,8 @@ struct ChunkStoreStats {
     cache_misses += o.cache_misses;
     peer_fetches += o.peer_fetches;
     peer_fetch_failures += o.peer_fetch_failures;
+    peer_fetch_negatives += o.peer_fetch_negatives;
+    peer_round_trips += o.peer_round_trips;
   }
 };
 

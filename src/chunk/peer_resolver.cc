@@ -1,19 +1,51 @@
 #include "chunk/peer_resolver.h"
 
+#include <chrono>
 #include <utility>
 
 #include "rpc/remote_service.h"
 
 namespace fb {
 
-// One peer servlet: the endpoint plus a lazily-opened RemoteService.
-// shared_ptr so a SetPeers that swaps the set cannot pull a Peer out
-// from under a fetch that already snapshotted it.
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+// One peer servlet: the endpoint, a lazily-opened RemoteService, and
+// the failure-backoff health state. shared_ptr so a SetPeers that swaps
+// the set cannot pull a Peer out from under a fetch that already
+// snapshotted it.
 struct PeerChunkResolver::Peer {
   explicit Peer(std::string ep) : endpoint(std::move(ep)) {}
+
   const std::string endpoint;
-  std::mutex mu;  // guards conn open/replace
+  std::mutex mu;  // guards conn open/replace and the health fields
   std::unique_ptr<rpc::RemoteService> conn;
+  // Health: consecutive failures drive an exponential cooldown during
+  // which the peer is skipped instead of re-attempted.
+  uint64_t consecutive_failures = 0;
+  Clock::time_point next_attempt{};  // epoch = no cooldown
+
+  void RecordSuccess() {
+    std::lock_guard<std::mutex> lock(mu);
+    consecutive_failures = 0;
+    next_attempt = Clock::time_point{};
+  }
+  void RecordFailure(const PeerResolverOptions& options) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++consecutive_failures;
+    const unsigned shift =
+        consecutive_failures > 16 ? 16
+                                  : static_cast<unsigned>(consecutive_failures - 1);
+    uint64_t cooldown_ms = options.backoff_initial_ms << shift;
+    if (cooldown_ms > options.backoff_max_ms ||
+        cooldown_ms < options.backoff_initial_ms) {
+      cooldown_ms = options.backoff_max_ms;
+    }
+    next_attempt = Clock::now() + std::chrono::milliseconds(cooldown_ms);
+  }
 };
 
 // Single-flight rendezvous: the leader fills status/chunk and flips
@@ -47,6 +79,60 @@ void PeerChunkResolver::SetPeers(std::vector<std::string> peers) {
 size_t PeerChunkResolver::num_peers() const {
   std::lock_guard<std::mutex> lock(peers_mu_);
   return peers_.size();
+}
+
+std::vector<std::shared_ptr<PeerChunkResolver::Peer>>
+PeerChunkResolver::AskOrder(const Hash& cid, size_t* skipped) {
+  std::vector<std::shared_ptr<Peer>> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers = peers_;
+  }
+  *skipped = 0;
+  if (peers.empty()) return peers;
+  // Start at a cid-derived offset so concurrent misses spread their
+  // first ask across the peer set instead of hammering peer 0; within
+  // the rotation, peers with a clean record go before suspects whose
+  // cooldown has expired, and peers still cooling are not asked at all.
+  const size_t start = static_cast<size_t>(cid.Mid64() % peers.size());
+  std::vector<std::shared_ptr<Peer>> ordered;
+  std::vector<std::shared_ptr<Peer>> suspect;
+  ordered.reserve(peers.size());
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < peers.size(); ++i) {
+    std::shared_ptr<Peer>& peer = peers[(start + i) % peers.size()];
+    uint64_t fail_count;
+    Clock::time_point until;
+    {
+      std::lock_guard<std::mutex> lock(peer->mu);
+      fail_count = peer->consecutive_failures;
+      until = peer->next_attempt;
+    }
+    if (fail_count == 0) {
+      ordered.push_back(std::move(peer));
+    } else if (now >= until) {
+      suspect.push_back(std::move(peer));
+    } else {
+      ++*skipped;  // cooling: "could not be asked"
+    }
+  }
+  ordered.insert(ordered.end(), std::make_move_iterator(suspect.begin()),
+                 std::make_move_iterator(suspect.end()));
+  return ordered;
+}
+
+rpc::RemoteService* PeerChunkResolver::GetPeerConn(Peer* peer) {
+  std::lock_guard<std::mutex> lock(peer->mu);
+  if (peer->conn == nullptr) {
+    connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    rpc::RemoteServiceOptions ro;
+    ro.pool_size = options_.pool_size;
+    ro.chunk_cache_bytes = 0;  // peers hand chunks through; never cache
+    auto connected = rpc::RemoteService::Connect(peer->endpoint, ro);
+    if (!connected.ok()) return nullptr;
+    peer->conn = std::move(*connected);
+  }
+  return peer->conn.get();
 }
 
 Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
@@ -90,55 +176,193 @@ Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
 }
 
 Status PeerChunkResolver::FetchFromPeers(const Hash& cid, Chunk* chunk) {
-  std::vector<std::shared_ptr<Peer>> peers;
-  {
-    std::lock_guard<std::mutex> lock(peers_mu_);
-    peers = peers_;
-  }
-  if (peers.empty()) return Status::NotFound(cid.ToShortHex());
+  size_t skipped = 0;
+  std::vector<std::shared_ptr<Peer>> peers = AskOrder(cid, &skipped);
+  if (peers.empty() && skipped == 0) return Status::NotFound(cid.ToShortHex());
 
-  bool some_peer_down = false;
-  Status down_why;
-  // Start at a cid-derived offset so concurrent misses spread their
-  // first ask across the peer set instead of hammering peer 0.
-  const size_t start = static_cast<size_t>(cid.Mid64() % peers.size());
-  for (size_t i = 0; i < peers.size(); ++i) {
-    Peer* peer = peers[(start + i) % peers.size()].get();
-    Status asked;
-    {
-      std::lock_guard<std::mutex> lock(peer->mu);
-      if (peer->conn == nullptr) {
-        rpc::RemoteServiceOptions ro;
-        ro.pool_size = options_.pool_size;
-        auto connected = rpc::RemoteService::Connect(peer->endpoint, ro);
-        if (!connected.ok()) {
-          some_peer_down = true;
-          down_why = connected.status();
-          continue;
-        }
-        peer->conn = std::move(*connected);
-      }
+  bool some_peer_down = skipped > 0;
+  Status down_why =
+      skipped > 0 ? Status::Unavailable("peer cooling off after failures")
+                  : Status::OK();
+  for (const auto& peer : peers) {
+    rpc::RemoteService* conn = GetPeerConn(peer.get());
+    if (conn == nullptr) {
+      peer->RecordFailure(options_);
+      some_peer_down = true;
+      down_why = Status::Unavailable("connect " + peer->endpoint + " failed");
+      continue;
     }
     // Outside peer->mu: RemoteService is thread-safe, and a slow peer
     // must not serialize fetches that could try the next peer.
-    asked = peer->conn->GetChunkLocal(cid, chunk);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    const Status asked = conn->GetChunkLocal(cid, chunk);
     if (asked.ok()) {
+      peer->RecordSuccess();
       fetches_.fetch_add(1, std::memory_order_relaxed);
       return asked;
     }
-    if (asked.IsNotFound()) continue;  // authoritative "not here"
-    // Transport trouble: the connection self-heals on the next call;
-    // this fetch just cannot prove absence anymore.
+    if (asked.IsNotFound()) {
+      // Authoritative "not here" — and proof the peer is healthy.
+      peer->RecordSuccess();
+      continue;
+    }
+    // Transport trouble: the connection self-heals on a later call (once
+    // the cooldown lets us try), but this fetch cannot prove absence.
+    peer->RecordFailure(options_);
     some_peer_down = true;
     down_why = asked;
   }
 
-  failures_.fetch_add(1, std::memory_order_relaxed);
   if (some_peer_down) {
+    // Absence unproven — the only outcome that counts as a failure.
+    failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("peer unreachable while resolving " +
                                cid.ToShortHex() + ": " + down_why.ToString());
   }
+  // Every peer answered: the cid does not exist in the deployment.
+  negatives_.fetch_add(1, std::memory_order_relaxed);
   return Status::NotFound(cid.ToShortHex());
+}
+
+void PeerChunkResolver::FetchBatchFromPeers(const std::vector<Hash>& cids,
+                                            std::vector<Chunk>* chunks,
+                                            std::vector<Status>* status) {
+  chunks->assign(cids.size(), Chunk());
+  status->assign(cids.size(), Status::OK());
+  if (cids.empty()) return;
+
+  size_t skipped = 0;
+  std::vector<std::shared_ptr<Peer>> peers = AskOrder(cids[0], &skipped);
+
+  std::vector<size_t> unresolved(cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) unresolved[i] = i;
+
+  bool some_peer_down = skipped > 0;
+  Status down_why =
+      skipped > 0 ? Status::Unavailable("peer cooling off after failures")
+                  : Status::OK();
+  for (const auto& peer : peers) {
+    if (unresolved.empty()) break;
+    rpc::RemoteService* conn = GetPeerConn(peer.get());
+    if (conn == nullptr) {
+      peer->RecordFailure(options_);
+      some_peer_down = true;
+      down_why = Status::Unavailable("connect " + peer->endpoint + " failed");
+      continue;
+    }
+    std::vector<Hash> want;
+    want.reserve(unresolved.size());
+    for (const size_t i : unresolved) want.push_back(cids[i]);
+    std::vector<Chunk> got;
+    std::vector<bool> present;
+    // ONE round trip for every cid still missing — this is the whole
+    // point of the batched path.
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    const Status asked = conn->GetChunksLocal(want, &got, &present);
+    if (!asked.ok()) {
+      peer->RecordFailure(options_);
+      some_peer_down = true;
+      down_why = asked;
+      continue;
+    }
+    peer->RecordSuccess();
+    std::vector<size_t> still;
+    for (size_t j = 0; j < unresolved.size(); ++j) {
+      if (present[j]) {
+        (*chunks)[unresolved[j]] = std::move(got[j]);
+        fetches_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        still.push_back(unresolved[j]);
+      }
+    }
+    unresolved.swap(still);
+  }
+
+  for (const size_t i : unresolved) {
+    if (some_peer_down) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      (*status)[i] = Status::Unavailable(
+          "peer unreachable while resolving " + cids[i].ToShortHex() + ": " +
+          down_why.ToString());
+    } else {
+      negatives_.fetch_add(1, std::memory_order_relaxed);
+      (*status)[i] = Status::NotFound(cids[i].ToShortHex());
+    }
+  }
+}
+
+Status PeerChunkResolver::FetchBatch(const std::vector<Hash>& cids,
+                                     std::vector<Chunk>* chunks,
+                                     std::vector<bool>* resolved) {
+  chunks->assign(cids.size(), Chunk());
+  resolved->assign(cids.size(), false);
+  if (cids.empty()) return Status::OK();
+
+  // Single-flight integration: cids already being fetched by someone
+  // else are followed; the rest are led by this batch (duplicates within
+  // the batch follow the first occurrence's flight).
+  struct Led {
+    size_t index;
+    std::shared_ptr<Inflight> flight;
+  };
+  std::vector<Led> led;
+  std::vector<Led> following;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (size_t i = 0; i < cids.size(); ++i) {
+      auto it = inflight_.find(cids[i]);
+      if (it == inflight_.end()) {
+        auto flight = std::make_shared<Inflight>();
+        inflight_.emplace(cids[i], flight);
+        led.push_back({i, std::move(flight)});
+      } else {
+        following.push_back({i, it->second});
+      }
+    }
+  }
+  if (!following.empty()) {
+    coalesced_.fetch_add(following.size(), std::memory_order_relaxed);
+  }
+
+  std::vector<Hash> led_cids;
+  led_cids.reserve(led.size());
+  for (const Led& l : led) led_cids.push_back(cids[l.index]);
+  std::vector<Chunk> led_chunks;
+  std::vector<Status> led_status;
+  FetchBatchFromPeers(led_cids, &led_chunks, &led_status);
+
+  Status worst = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (const Led& l : led) inflight_.erase(cids[l.index]);
+  }
+  for (size_t j = 0; j < led.size(); ++j) {
+    const Led& l = led[j];
+    {
+      std::lock_guard<std::mutex> lock(l.flight->mu);
+      l.flight->status = led_status[j];
+      if (led_status[j].ok()) l.flight->chunk = led_chunks[j];
+      l.flight->done = true;
+    }
+    l.flight->cv.notify_all();
+    if (led_status[j].ok()) {
+      (*chunks)[l.index] = std::move(led_chunks[j]);
+      (*resolved)[l.index] = true;
+    } else if (worst.ok() || led_status[j].IsUnavailable()) {
+      worst = led_status[j];
+    }
+  }
+  for (const Led& f : following) {
+    std::unique_lock<std::mutex> lock(f.flight->mu);
+    f.flight->cv.wait(lock, [&] { return f.flight->done; });
+    if (f.flight->status.ok()) {
+      (*chunks)[f.index] = f.flight->chunk;
+      (*resolved)[f.index] = true;
+    } else if (worst.ok() || f.flight->status.IsUnavailable()) {
+      worst = f.flight->status;
+    }
+  }
+  return worst;
 }
 
 }  // namespace fb

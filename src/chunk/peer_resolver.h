@@ -9,17 +9,26 @@
 // transport (the peer answers from its LOCAL store only, so two servlets
 // missing the same cid never ping-pong).
 //
+// FetchBatch is the amortized path: one network round trip asks a peer
+// for EVERY cid still missing, so a traversal that misses N chunks costs
+// round trips proportional to the peers asked, not to N.
+//
 // Concurrency: fetches for the same cid are single-flighted — one caller
 // goes to the network, every concurrent caller for that cid waits and
 // shares the result. Connections to peers are opened lazily (peers may
-// boot in any order) and kept pooled; a peer that cannot be reached is
-// retried on the next fetch.
+// boot in any order) and kept pooled. A peer that fails (unreachable, or
+// a transport error mid-call) enters exponential-backoff cooldown: until
+// the cooldown expires it is skipped outright — an unreachable peer must
+// not cost a fresh failed TCP connect on every fetch — and healthy peers
+// are asked before peers with a failure history.
 //
 // Negative results are typed: NotFound means every peer answered
 // authoritatively "I don't have it" (the cid does not exist in the
-// deployment); Unavailable means at least one peer could not be asked,
-// so absence was NOT proven and the caller must not treat the miss as
-// authoritative.
+// deployment); Unavailable means at least one peer could not be asked —
+// down, or skipped in cooldown — so absence was NOT proven and the
+// caller must not treat the miss as authoritative. The counters keep the
+// same distinction: a negative is a proven absence, a failure is an
+// unproven one.
 
 #ifndef FORKBASE_CHUNK_PEER_RESOLVER_H_
 #define FORKBASE_CHUNK_PEER_RESOLVER_H_
@@ -37,9 +46,18 @@
 
 namespace fb {
 
+namespace rpc {
+class RemoteService;
+}  // namespace rpc
+
 struct PeerResolverOptions {
   // Connection pool size per peer endpoint.
   size_t pool_size = 1;
+  // Failure cooldown: after the k-th consecutive failure a peer is not
+  // asked again for initial * 2^(k-1) ms, capped at `max`. While
+  // cooling, the peer counts as "could not be asked" (absence unproven).
+  uint64_t backoff_initial_ms = 100;
+  uint64_t backoff_max_ms = 2000;
 };
 
 class PeerChunkResolver {
@@ -50,10 +68,11 @@ class PeerChunkResolver {
   PeerChunkResolver(const PeerChunkResolver&) = delete;
   PeerChunkResolver& operator=(const PeerChunkResolver&) = delete;
 
-  // Replaces the peer set (drops existing connections). Late binding for
-  // deployments whose endpoints are not known at construction time
-  // (ephemeral ports: two servers must start before either knows the
-  // other's address). Not meant to race in-flight fetches.
+  // Replaces the peer set (drops existing connections and health
+  // history). Late binding for deployments whose endpoints are not known
+  // at construction time (ephemeral ports: two servers must start before
+  // either knows the other's address). Not meant to race in-flight
+  // fetches.
   void SetPeers(std::vector<std::string> peers);
 
   size_t num_peers() const;
@@ -61,16 +80,41 @@ class PeerChunkResolver {
   // Resolves `cid` from the peer set (single-flighted per cid).
   //   OK          -> *chunk holds the peer's copy.
   //   NotFound    -> every peer answered; nobody has it.
-  //   Unavailable -> some peer was unreachable; absence unproven.
+  //   Unavailable -> some peer was unreachable (or cooling off);
+  //                  absence unproven.
   Status Fetch(const Hash& cid, Chunk* chunk);
+
+  // Resolves many cids at once: each round trip asks a peer for every
+  // cid still missing. (*resolved)[i] says whether (*chunks)[i] was
+  // found. The status aggregates the leftovers with Fetch's taxonomy:
+  // OK when everything resolved, NotFound when the unresolved cids are
+  // proven absent, Unavailable when any absence is unproven. Per-cid
+  // single-flight still holds (a batch member coalesces with a
+  // concurrent Fetch of the same cid).
+  Status FetchBatch(const std::vector<Hash>& cids, std::vector<Chunk>* chunks,
+                    std::vector<bool>* resolved);
 
   // Lifetime counters (surfaced through ChunkStoreStats by the stores
   // that embed a resolver).
   uint64_t fetches() const {
     return fetches_.load(std::memory_order_relaxed);
   }
+  // Misses where some peer could not be asked: absence unproven.
   uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
+  }
+  // Misses every peer authoritatively denied: proven absent.
+  uint64_t negatives() const {
+    return negatives_.load(std::memory_order_relaxed);
+  }
+  // Network calls issued (the batched path resolves many cids per trip).
+  uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+  // TCP connects attempted (backoff's test surface: a cooling peer must
+  // not add these).
+  uint64_t connect_attempts() const {
+    return connect_attempts_.load(std::memory_order_relaxed);
   }
   // Fetches that piggybacked on another caller's in-flight fetch.
   uint64_t coalesced_fetches() const {
@@ -78,11 +122,24 @@ class PeerChunkResolver {
   }
 
  private:
-  struct Peer;      // endpoint + lazily-opened transport (defined in .cc)
+  struct Peer;      // endpoint + transport + health (defined in .cc)
   struct Inflight;  // single-flight rendezvous state
+
+  // Snapshots the peer set in ask order for this cid: healthy peers on
+  // the cid-derived rotation first, then cooldown-expired suspects.
+  // Peers still cooling are left out and counted in *skipped.
+  std::vector<std::shared_ptr<Peer>> AskOrder(const Hash& cid,
+                                              size_t* skipped);
+  // Returns the peer's connection, opening it if needed; records the
+  // outcome in the peer's health. Null when the connect failed.
+  rpc::RemoteService* GetPeerConn(Peer* peer);
 
   // The network half of Fetch (no single-flight bookkeeping).
   Status FetchFromPeers(const Hash& cid, Chunk* chunk);
+  // The network half of FetchBatch; fills per-cid results for `cids`.
+  void FetchBatchFromPeers(const std::vector<Hash>& cids,
+                           std::vector<Chunk>* chunks,
+                           std::vector<Status>* status);
 
   const PeerResolverOptions options_;
 
@@ -94,6 +151,9 @@ class PeerChunkResolver {
 
   std::atomic<uint64_t> fetches_{0};
   std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> negatives_{0};
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<uint64_t> connect_attempts_{0};
   std::atomic<uint64_t> coalesced_{0};
 };
 

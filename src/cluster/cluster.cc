@@ -14,51 +14,17 @@ Status ServletChunkStore::Put(const Hash& cid, const Chunk& chunk) {
   return RouteData(cid)->Put(cid, chunk);
 }
 
-Status ServletChunkStore::ResolveMiss(const Hash& cid, Chunk* chunk) const {
-  // Every expected location missed: consult the fallback cache (chunks
-  // are immutable, so a cached copy is always current), then ask peer
-  // servlets — the cross-process shared-pool fallback.
-  if (fallback_cache_.capacity_bytes() > 0 &&
-      fallback_cache_.Get(cid, chunk)) {
-    return Status::OK();
-  }
-  PeerChunkResolver* peers = peers_.load(std::memory_order_acquire);
-  if (peers != nullptr) {
-    const Status fetched = peers->Fetch(cid, chunk);
-    if (fetched.ok()) {
-      if (fallback_cache_.capacity_bytes() > 0) {
-        fallback_cache_.Put(cid, *chunk);
-      }
-      return fetched;
-    }
-    // Unavailable (a peer could not be asked) must reach the caller
-    // as-is: the chunk may exist on the unreachable peer.
-    if (!fetched.IsNotFound()) return fetched;
-  }
-  return Status::NotFound(cid.ToShortHex());
-}
-
-Status ServletChunkStore::GetLocal(const Hash& cid, Chunk* chunk) const {
-  if (pool_ == nullptr) return owned_local_->Get(cid, chunk);
-  // Cluster mode: "local" is everything reachable in-process — the
-  // shared pool — but never the cache/peer tail.
-  const size_t routed = DataInstanceOf(cid);
-  Status s = (*pool_)[routed]->Get(cid, chunk);
-  if (s.ok() || !s.IsNotFound()) return s;
-  for (size_t i = 0; i < pool_->size(); ++i) {
-    if (i == routed) continue;
-    s = (*pool_)[i]->Get(cid, chunk);
-    if (s.ok() || !s.IsNotFound()) return s;
-  }
-  return Status::NotFound(cid.ToShortHex());
-}
-
-Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+Status ServletChunkStore::GetInProcess(const Hash& cid, Chunk* chunk) const {
   if (pool_ == nullptr) {
-    // Standalone servlet: one physical store, then the shared miss tail.
+    // Standalone servlet: one physical store, then the fallback cache
+    // (chunks are immutable, so a cached copy is always current).
     Status s = owned_local_->Get(cid, chunk);
     if (s.ok() || !s.IsNotFound()) return s;
-    return ResolveMiss(cid, chunk);
+    if (fallback_cache_.capacity_bytes() > 0 &&
+        fallback_cache_.Get(cid, chunk)) {
+      return Status::OK();
+    }
+    return Status::NotFound(cid.ToShortHex());
   }
   // Data chunks live at the cid-routed node; meta chunks at the local
   // node. Check the routed node first, then local, then the rest of the
@@ -87,8 +53,29 @@ Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
     }
     if (!s.IsNotFound()) return s;
   }
-  // The whole in-process pool missed; the cache was consulted above, so
-  // go straight to the peers.
+  return Status::NotFound(cid.ToShortHex());
+}
+
+Status ServletChunkStore::GetLocal(const Hash& cid, Chunk* chunk) const {
+  if (pool_ == nullptr) return owned_local_->Get(cid, chunk);
+  // Cluster mode: "local" is everything reachable in-process — the
+  // shared pool — but never the cache/peer tail.
+  const size_t routed = DataInstanceOf(cid);
+  Status s = (*pool_)[routed]->Get(cid, chunk);
+  if (s.ok() || !s.IsNotFound()) return s;
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    if (i == routed) continue;
+    s = (*pool_)[i]->Get(cid, chunk);
+    if (s.ok() || !s.IsNotFound()) return s;
+  }
+  return Status::NotFound(cid.ToShortHex());
+}
+
+Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  Status s = GetInProcess(cid, chunk);
+  if (s.ok() || !s.IsNotFound()) return s;
+  // Everything in-process missed: ask peer servlets — the cross-process
+  // half of the shared-pool semantics.
   PeerChunkResolver* peers = peers_.load(std::memory_order_acquire);
   if (peers != nullptr) {
     const Status fetched = peers->Fetch(cid, chunk);
@@ -98,9 +85,43 @@ Status ServletChunkStore::Get(const Hash& cid, Chunk* chunk) const {
       }
       return fetched;
     }
+    // Unavailable (a peer could not be asked) must reach the caller
+    // as-is: the chunk may exist on the unreachable peer.
     if (!fetched.IsNotFound()) return fetched;
   }
   return Status::NotFound(cid.ToShortHex());
+}
+
+Status ServletChunkStore::GetBatch(const std::vector<Hash>& cids,
+                                   std::vector<Chunk>* chunks) const {
+  chunks->assign(cids.size(), Chunk());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < cids.size(); ++i) {
+    const Status s = GetInProcess(cids[i], &(*chunks)[i]);
+    if (s.ok()) continue;
+    if (!s.IsNotFound()) return s;
+    missing.push_back(i);
+  }
+  if (missing.empty()) return Status::OK();
+  PeerChunkResolver* peers = peers_.load(std::memory_order_acquire);
+  if (peers == nullptr) {
+    return Status::NotFound(cids[missing.front()].ToShortHex());
+  }
+  // Every in-process miss rides ONE batched peer fetch.
+  std::vector<Hash> want;
+  want.reserve(missing.size());
+  for (const size_t i : missing) want.push_back(cids[i]);
+  std::vector<Chunk> fetched;
+  std::vector<bool> resolved;
+  const Status s = peers->FetchBatch(want, &fetched, &resolved);
+  for (size_t j = 0; j < missing.size(); ++j) {
+    if (!resolved[j]) return s;  // NotFound / Unavailable per taxonomy
+    (*chunks)[missing[j]] = std::move(fetched[j]);
+    if (fallback_cache_.capacity_bytes() > 0) {
+      fallback_cache_.Put(cids[missing[j]], (*chunks)[missing[j]]);
+    }
+  }
+  return Status::OK();
 }
 
 bool ServletChunkStore::Contains(const Hash& cid) const {
@@ -152,6 +173,8 @@ ChunkStoreStats ServletChunkStore::stats() const {
   if (PeerChunkResolver* peers = peers_.load(std::memory_order_acquire)) {
     total.peer_fetches = peers->fetches();
     total.peer_fetch_failures = peers->failures();
+    total.peer_fetch_negatives = peers->negatives();
+    total.peer_round_trips = peers->round_trips();
   }
   return total;
 }

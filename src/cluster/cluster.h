@@ -98,6 +98,11 @@ class ServletChunkStore : public ChunkStore {
   // cid-routed) so each instance's striped locks are taken once per
   // batch, as on the embedded bulk-load path.
   Status PutBatch(const ChunkBatch& batch) override;
+  // The batched read: every cid that misses in-process is resolved in
+  // ONE peer fetch batch, so a traversal of a remote tree costs round
+  // trips proportional to peers asked, not chunks missed.
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const override;
   ChunkStoreStats stats() const override;
 
   // Attaches (or detaches, with nullptr) the peer resolver consulted
@@ -124,8 +129,10 @@ class ServletChunkStore : public ChunkStore {
   MemChunkStore* RouteData(const Hash& cid) const {
     return (*pool_)[DataInstanceOf(cid)].get();
   }
-  // Cache -> peer-fetch tail of the read path, shared by both modes.
-  Status ResolveMiss(const Hash& cid, Chunk* chunk) const;
+  // Everything reachable without the network: the expected location(s),
+  // the fallback cache, and (cluster mode) the pool-wide scan. NotFound
+  // here means "miss in-process" — the peer tail comes after.
+  Status GetInProcess(const Hash& cid, Chunk* chunk) const;
 
   std::vector<std::unique_ptr<MemChunkStore>>* pool_;  // cluster mode
   std::unique_ptr<ChunkStore> owned_local_;            // standalone mode

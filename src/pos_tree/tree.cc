@@ -151,38 +151,35 @@ Status PosTree::LoadLeafEntries(std::vector<Entry>* out) const {
   }
 
   // Every root-to-leaf path has the same length (levels are built
-  // uniformly), so with the height known in advance the DFS can classify
-  // entries by depth and never needs to fetch leaf chunks.
+  // uniformly), so with the height known in advance the walk can
+  // classify entries by depth and never needs to fetch leaf chunks.
   FB_ASSIGN_OR_RETURN(const size_t height, Height());
 
-  std::vector<Frame> stack;
-  {
-    Frame f;
-    FB_RETURN_NOT_OK(DecodeIndexEntries(root.payload(), &f.entries));
-    stack.push_back(std::move(f));
+  // Breadth-first, one level at a time: every index node of a level is
+  // fetched in ONE GetBatch, so against a remote or peer-resolving
+  // store the traversal costs one round trip per level, not one per
+  // node. Entries stay in left-to-right order throughout.
+  std::vector<Entry> level;
+  FB_RETURN_NOT_OK(DecodeIndexEntries(root.payload(), &level));
+  for (size_t depth = 1; depth + 1 < height; ++depth) {
+    std::vector<Hash> cids;
+    cids.reserve(level.size());
+    for (const Entry& e : level) cids.push_back(e.cid);
+    std::vector<Chunk> chunks;
+    FB_RETURN_NOT_OK(store_->GetBatch(cids, &chunks));
+    std::vector<Entry> next;
+    for (const Chunk& chunk : chunks) {
+      if (!IsIndexType(chunk.type())) {
+        return Status::Corruption("expected index node above leaf level");
+      }
+      std::vector<Entry> entries;
+      FB_RETURN_NOT_OK(DecodeIndexEntries(chunk.payload(), &entries));
+      next.insert(next.end(), std::make_move_iterator(entries.begin()),
+                  std::make_move_iterator(entries.end()));
+    }
+    level = std::move(next);
   }
-  while (!stack.empty()) {
-    Frame& top = stack.back();
-    if (top.next >= top.entries.size()) {
-      stack.pop_back();
-      continue;
-    }
-    const Entry e = top.entries[top.next++];
-    // The node owning `e` sits at depth stack.size()-1; `e` references a
-    // node at depth stack.size(). Leaves live at depth height-1.
-    if (stack.size() == height - 1) {
-      out->push_back(e);
-      continue;
-    }
-    Chunk chunk;
-    FB_RETURN_NOT_OK(ReadNode(e.cid, &chunk));
-    if (!IsIndexType(chunk.type())) {
-      return Status::Corruption("expected index node above leaf level");
-    }
-    Frame f;
-    FB_RETURN_NOT_OK(DecodeIndexEntries(chunk.payload(), &f.entries));
-    stack.push_back(std::move(f));
-  }
+  *out = std::move(level);
   return Status::OK();
 }
 
@@ -239,24 +236,38 @@ Result<Bytes> PosTree::ReadBytes(uint64_t pos, uint64_t n) const {
   std::vector<Entry> leaves;
   Status s = LoadLeafEntries(&leaves);
   if (!s.ok()) return s;
-  Bytes out;
+  // Collect every overlapping leaf first, then fetch them in ONE
+  // GetBatch: against a remote or peer-resolving store the whole read
+  // costs one round trip instead of one per leaf.
+  struct Want {
+    uint64_t from;
+    uint64_t len;
+  };
+  std::vector<Hash> cids;
+  std::vector<Want> wants;
   uint64_t cum = 0;
   for (const Entry& leaf : leaves) {
     const uint64_t leaf_end = cum + leaf.count;
     if (leaf_end > pos && cum < pos + n) {
-      Chunk chunk;
-      s = ReadNode(leaf.cid, &chunk);
-      if (!s.ok()) return s;
       const uint64_t from = pos > cum ? pos - cum : 0;
       const uint64_t to =
           std::min<uint64_t>(leaf.count, pos + n > cum ? pos + n - cum : 0);
       if (to > from) {
-        const Slice part = chunk.payload().subslice(from, to - from);
-        AppendSlice(&out, part);
+        cids.push_back(leaf.cid);
+        wants.push_back({from, to - from});
       }
     }
     cum = leaf_end;
     if (cum >= pos + n) break;
+  }
+  std::vector<Chunk> chunks;
+  s = store_->GetBatch(cids, &chunks);
+  if (!s.ok()) return s;
+  Bytes out;
+  for (size_t i = 0; i < cids.size(); ++i) {
+    const Slice part =
+        chunks[i].payload().subslice(wants[i].from, wants[i].len);
+    AppendSlice(&out, part);
   }
   return out;
 }

@@ -49,9 +49,14 @@ enum class FrameType : uint8_t {
   kChunkPeerGet = 9,   // payload: [32B cid]; served from the LOCAL store only
                        // (no recursive peer resolution — the op peers use
                        // to fetch from each other without ping-ponging)
+  kChunkPeerGetBatch = 10,  // payload: cid list; the multi-cid kChunkPeerGet —
+                            // one round trip resolves a whole traversal's
+                            // misses. Same LOCAL-store-only rule.
+  kChunkGetBatch = 11,      // payload: cid list; multi-cid kChunkGet against
+                            // the engine's (possibly peer-resolving) store
 };
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kChunkPeerGet);
+    static_cast<uint8_t>(FrameType::kChunkGetBatch);
 
 // Hard cap on one frame's payload. Large values ship as chunk batches
 // well below this; anything bigger is a corrupt or hostile length prefix.
@@ -80,6 +85,38 @@ Status SendFrame(Socket* sock, FrameType type, uint64_t request_id,
 // taxonomy in the header comment above).
 Status RecvFrame(Socket* sock, Frame* out);
 
+// Buffered frame receiver: reads the socket in large gulps and decodes
+// frames out of the buffer, so a pipelined response stream costs one
+// recv syscall per many frames instead of two per frame. Same error
+// taxonomy as RecvFrame; after Corruption the stream stays framed and
+// Next() keeps going.
+class FrameReader {
+ public:
+  explicit FrameReader(Socket* sock) : sock_(sock) {}
+  Status Next(Frame* out);
+
+ private:
+  // Ensures at least `need` unconsumed bytes are buffered.
+  Status Fill(size_t need);
+
+  Socket* sock_;
+  Bytes buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+// Incremental frame decoder over caller-owned bytes — the event-loop
+// half of the framing layer (no socket, no blocking). Feed it raw
+// input; Decode returns:
+//   * OK with *consumed > 0   — one frame decoded into *out.
+//   * OK with *consumed == 0  — not enough bytes yet; read more.
+//   * Corruption              — damaged frame (bad crc / unknown type);
+//                               *consumed skips it, the stream is still
+//                               framed and decoding may continue.
+//   * InvalidArgument         — oversized length prefix; framing lost,
+//                               the connection must close.
+Status DecodeFrameFromBuffer(const uint8_t* data, size_t len, Frame* out,
+                             size_t* consumed);
+
 // --- Payload bodies shared by both sides of the protocol ------------------
 
 // kControlResp payload: [u8 code][LP message][body].
@@ -103,6 +140,22 @@ Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count);
 // kStoreStats response body: counter snapshot of the server's store.
 void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out);
 Status DecodeStoreStats(Slice body, ChunkStoreStats* out);
+
+// kChunkPeerGetBatch / kChunkGetBatch request body: varint n, n x 32B
+// cids. DecodeCidList bounds n against the payload so a hostile length
+// cannot force a huge allocation.
+void EncodeCidList(const std::vector<Hash>& cids, Bytes* out);
+Status DecodeCidList(Slice body, std::vector<Hash>* out);
+
+// Batched-get response body: varint n, n x ([u8 present][LP chunk bytes
+// when present]). Present flags are per cid, so one absent chunk does
+// not fail the whole batch — absence at THIS store is part of the
+// answer (the resolver asks the next peer for the leftovers).
+void EncodeChunkBatchReply(const std::vector<Chunk>& chunks,
+                           const std::vector<bool>& present, Bytes* out);
+Status DecodeChunkBatchReply(Slice body, size_t expected,
+                             std::vector<Chunk>* chunks,
+                             std::vector<bool>* present);
 
 }  // namespace rpc
 }  // namespace fb

@@ -34,8 +34,16 @@ RemoteService::~RemoteService() {
     conns.swap(all_conns_);
     pool_.clear();
   }
-  for (auto& c : conns) c->sock.Shutdown();
   for (auto& c : conns) {
+    {
+      std::lock_guard<std::mutex> lock(c->out_mu);
+      c->writer_stop = true;
+    }
+    c->out_cv.notify_all();
+    c->sock.Shutdown();
+  }
+  for (auto& c : conns) {
+    if (c->writer.joinable()) c->writer.join();
     if (c->reader.joinable()) c->reader.join();
   }
 }
@@ -45,16 +53,24 @@ RemoteService::OpenConnection() {
   FB_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(endpoint_));
   auto conn = std::make_shared<Connection>();
   FB_ASSIGN_OR_RETURN(conn->sock, Socket::Connect(ep));
+  // A deep pipeline keeps thousands of requests registered; pre-sizing
+  // the id map keeps the hot path off the rehash cliff.
+  conn->pending.reserve(4096);
   conn->reader = std::thread([c = conn.get()] { ReaderLoop(c); });
+  conn->writer = std::thread([c = conn.get()] { WriterLoop(c); });
   connections_opened_.fetch_add(1, std::memory_order_relaxed);
   return conn;
 }
 
 Result<std::shared_ptr<RemoteService::Connection>>
 RemoteService::GetConnection() {
-  const size_t slot = static_cast<size_t>(next_slot_.fetch_add(
-                          1, std::memory_order_relaxed)) %
-                      options_.pool_size;
+  // Thread affinity, not round-robin: concurrent callers spread over the
+  // pool, but one thread's requests stay on one connection, so a
+  // pipelined burst coalesces into that connection's writer batches
+  // instead of being split (and syscall'd) across every socket.
+  const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      options_.pool_size;
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
     std::shared_ptr<Connection>& c = pool_[slot];
@@ -107,9 +123,12 @@ void RemoteService::FailPending(Connection* conn, const Status& why) {
 }
 
 void RemoteService::ReaderLoop(Connection* conn) {
+  // Buffered reads: a pipelined response burst is drained in large
+  // gulps, many frames per recv syscall.
+  FrameReader reader(&conn->sock);
   for (;;) {
     Frame frame;
-    const Status s = RecvFrame(&conn->sock, &frame);
+    const Status s = reader.Next(&frame);
     if (!s.ok()) {
       // Checksum damage on the response stream leaves the frame
       // boundary intact but the affected request unidentifiable in
@@ -135,9 +154,44 @@ void RemoteService::ReaderLoop(Connection* conn) {
   }
 }
 
+void RemoteService::WriterLoop(Connection* conn) {
+  // Ships whatever Submit()s queued since the last pass in one SendAll.
+  // While a send is on the wire, new frames pile into outbuf — the
+  // deeper the pipeline, the more frames each syscall carries.
+  Bytes batch;
+  std::unique_lock<std::mutex> lock(conn->out_mu);
+  for (;;) {
+    conn->out_cv.wait(
+        lock, [&] { return conn->writer_stop || !conn->outbuf.empty(); });
+    if (conn->outbuf.empty()) {
+      if (conn->writer_stop) return;
+      continue;
+    }
+    batch.clear();
+    batch.swap(conn->outbuf);
+    lock.unlock();
+    Status sent;
+    {
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      sent = conn->sock.SendAll(batch.data(), batch.size());
+    }
+    if (!sent.ok()) {
+      // Poison the socket: the reader fails every registered request
+      // (queued-but-unsent ones included — they registered in pending
+      // before queuing). From here on queued bytes are just dropped.
+      conn->sock.Shutdown();
+      lock.lock();
+      conn->write_failed = true;
+      conn->outbuf.clear();
+      continue;
+    }
+    lock.lock();
+  }
+}
+
 Status RemoteService::SendRequest(
     FrameType type, Slice payload,
-    std::function<void(Status, Frame&&)> on_done) {
+    std::function<void(Status, Frame&&)> on_done, bool pipelined) {
   FB_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn, GetConnection());
   const uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -148,6 +202,17 @@ Status RemoteService::SendRequest(
     std::lock_guard<std::mutex> lock(conn->pending_mu);
     if (!conn->alive) return Status::IOError("connection lost");
     conn->pending.emplace(id, std::move(on_done));
+  }
+  if (pipelined) {
+    // Hand the frame to the writer. If the writer already failed, the
+    // reader's drain owns the callback (registration above happened
+    // while the connection was still alive), so report OK either way.
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->write_failed) {
+      EncodeFrame(type, id, payload, &conn->outbuf);
+      conn->out_cv.notify_one();
+    }
+    return Status::OK();
   }
   Status sent;
   {
@@ -174,7 +239,8 @@ Status RemoteService::SendRequest(
 // Command path
 // ---------------------------------------------------------------------------
 
-std::future<Reply> RemoteService::DispatchCommand(const Command& cmd) {
+std::future<Reply> RemoteService::DispatchCommand(const Command& cmd,
+                                                  bool pipelined) {
   auto promise = std::make_shared<std::promise<Reply>>();
   std::future<Reply> future = promise->get_future();
   const Bytes wire = cmd.Serialize();
@@ -202,17 +268,18 @@ std::future<Reply> RemoteService::DispatchCommand(const Command& cmd) {
         }
         promise->set_value(Reply::FromStatus(
             Status::Corruption("unexpected response frame type")));
-      });
+      },
+      pipelined);
   if (!s.ok()) promise->set_value(Reply::FromStatus(s));
   return future;
 }
 
 Reply RemoteService::Execute(const Command& cmd) {
-  return DispatchCommand(cmd).get();
+  return DispatchCommand(cmd, /*pipelined=*/false).get();
 }
 
 std::future<Reply> RemoteService::Submit(Command cmd) {
-  return DispatchCommand(cmd);
+  return DispatchCommand(cmd, /*pipelined=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +324,20 @@ Status RemoteService::GetChunkLocal(const Hash& cid, Chunk* chunk) {
   return Status::OK();
 }
 
+Status RemoteService::GetChunksLocal(const std::vector<Hash>& cids,
+                                     std::vector<Chunk>* chunks,
+                                     std::vector<bool>* present) {
+  chunks->assign(cids.size(), Chunk());
+  present->assign(cids.size(), false);
+  if (cids.empty()) return Status::OK();
+  Bytes payload;
+  EncodeCidList(cids, &payload);
+  Result<Bytes> body =
+      CallControl(FrameType::kChunkPeerGetBatch, Slice(payload));
+  FB_RETURN_NOT_OK(body.status());
+  return DecodeChunkBatchReply(Slice(*body), cids.size(), chunks, present);
+}
+
 // ---------------------------------------------------------------------------
 // RemoteChunkStore
 // ---------------------------------------------------------------------------
@@ -265,15 +346,57 @@ Status RemoteChunkStore::Put(const Hash& cid, const Chunk& chunk) {
   Bytes payload = cid.slice().ToBytes();
   const Bytes bytes = chunk.Serialize();
   payload.insert(payload.end(), bytes.begin(), bytes.end());
-  return service_->CallControl(FrameType::kChunkPut, Slice(payload)).status();
+  const Status s =
+      service_->CallControl(FrameType::kChunkPut, Slice(payload)).status();
+  // Read-own-writes for free: the chunk just shipped is the freshest
+  // thing this client could possibly re-read.
+  if (s.ok() && cache_ != nullptr) cache_->Put(cid, chunk);
+  return s;
 }
 
 Status RemoteChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  if (cache_ != nullptr && cache_->Get(cid, chunk)) return Status::OK();
   Result<Bytes> body =
       service_->CallControl(FrameType::kChunkGet, cid.slice());
   FB_RETURN_NOT_OK(body.status());
   if (!Chunk::Deserialize(Slice(*body), chunk)) {
     return Status::Corruption("undecodable chunk from server");
+  }
+  if (cache_ != nullptr) cache_->Put(cid, *chunk);
+  return Status::OK();
+}
+
+Status RemoteChunkStore::GetBatch(const std::vector<Hash>& cids,
+                                  std::vector<Chunk>* chunks) const {
+  chunks->assign(cids.size(), Chunk());
+  std::vector<size_t> missing;
+  missing.reserve(cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    if (cache_ == nullptr || !cache_->Get(cids[i], &(*chunks)[i])) {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+  std::vector<Hash> want;
+  want.reserve(missing.size());
+  for (const size_t i : missing) want.push_back(cids[i]);
+  Bytes payload;
+  EncodeCidList(want, &payload);
+  Result<Bytes> body =
+      service_->CallControl(FrameType::kChunkGetBatch, Slice(payload));
+  FB_RETURN_NOT_OK(body.status());
+  std::vector<Chunk> fetched;
+  std::vector<bool> present;
+  FB_RETURN_NOT_OK(
+      DecodeChunkBatchReply(Slice(*body), want.size(), &fetched, &present));
+  for (size_t j = 0; j < missing.size(); ++j) {
+    // GetBatch keeps Get's contract: the first absent cid fails the
+    // call (per-cid absence is the PEER-fetch protocol's business).
+    if (!present[j]) {
+      return Status::NotFound("chunk not found: " + want[j].ToHex());
+    }
+    (*chunks)[missing[j]] = std::move(fetched[j]);
+    if (cache_ != nullptr) cache_->Put(cids[missing[j]], (*chunks)[missing[j]]);
   }
   return Status::OK();
 }
@@ -292,8 +415,13 @@ Status RemoteChunkStore::PutBatch(const ChunkBatch& batch) {
     payload.insert(payload.end(), cid.slice().begin(), cid.slice().end());
     PutLengthPrefixed(&payload, Slice(chunk.Serialize()));
   }
-  return service_->CallControl(FrameType::kChunkPutBatch, Slice(payload))
-      .status();
+  const Status s =
+      service_->CallControl(FrameType::kChunkPutBatch, Slice(payload))
+          .status();
+  if (s.ok() && cache_ != nullptr) {
+    for (const auto& [cid, chunk] : batch) cache_->Put(cid, chunk);
+  }
+  return s;
 }
 
 ChunkStoreStats RemoteChunkStore::stats() const {
@@ -301,6 +429,10 @@ ChunkStoreStats RemoteChunkStore::stats() const {
       service_->CallControl(FrameType::kStoreStats, Slice());
   ChunkStoreStats stats;
   if (body.ok()) (void)DecodeStoreStats(Slice(*body), &stats);
+  if (cache_ != nullptr) {
+    stats.cache_hits += cache_->hits();
+    stats.cache_misses += cache_->misses();
+  }
   return stats;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "api/service.h"
+#include "chunk/chunk_cache.h"
 #include "rpc/frame.h"
 #include "rpc/socket.h"
 
@@ -42,24 +43,38 @@ namespace rpc {
 class RemoteService;
 
 // The client's view of the remote chunk store. Thread-safe (the
-// underlying connections are).
+// underlying connections are). An optional client-side LRU cache sits
+// in front of the wire: chunks are immutable and content-addressed, so
+// a cached copy can never go stale, and a re-read of a chunk this
+// client already pulled (or just wrote) costs no round trip at all.
 class RemoteChunkStore : public ChunkStore {
  public:
-  explicit RemoteChunkStore(RemoteService* service) : service_(service) {}
+  RemoteChunkStore(RemoteService* service, size_t cache_bytes)
+      : service_(service),
+        cache_(cache_bytes > 0 ? std::make_unique<LruChunkCache>(cache_bytes)
+                               : nullptr) {}
 
   using ChunkStore::Put;
   Status Put(const Hash& cid, const Chunk& chunk) override;
   Status Get(const Hash& cid, Chunk* chunk) const override;
   bool Contains(const Hash& cid) const override;
   Status PutBatch(const ChunkBatch& batch) override;
+  // One kChunkGetBatch round trip for every cid the cache cannot serve.
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const override;
+  // Server-side counters, with this client's cache hits/misses folded
+  // into cache_hits/cache_misses.
   ChunkStoreStats stats() const override;
 
  private:
   RemoteService* service_;
+  const std::unique_ptr<LruChunkCache> cache_;
 };
 
 struct RemoteServiceOptions {
   size_t pool_size = 2;  // concurrent sockets to the server
+  // Byte budget of the client-side chunk cache (0 disables it).
+  size_t chunk_cache_bytes = LruChunkCache::kDefaultCapacityBytes;
 };
 
 class RemoteService : public ForkBaseService {
@@ -87,6 +102,14 @@ class RemoteService : public ForkBaseService {
   // authoritative "this servlet does not hold the cid".
   Status GetChunkLocal(const Hash& cid, Chunk* chunk);
 
+  // Batched form (kChunkPeerGetBatch): one round trip asks the server's
+  // LOCAL store for every cid; (*present)[i] says whether (*chunks)[i]
+  // came back. A false flag is the same authoritative "not here" as a
+  // NotFound from GetChunkLocal — absence never fails the call.
+  Status GetChunksLocal(const std::vector<Hash>& cids,
+                        std::vector<Chunk>* chunks,
+                        std::vector<bool>* present);
+
   ChunkStore* store() const override { return &chunk_view_; }
   const TreeConfig& tree_config() const override { return tree_config_; }
   const std::string& endpoint() const { return endpoint_; }
@@ -103,16 +126,28 @@ class RemoteService : public ForkBaseService {
  private:
   friend class RemoteChunkStore;
 
-  // One pooled connection with its demultiplexing reader.
+  // One pooled connection with its demultiplexing reader and its
+  // send-coalescing writer. Sync calls send inline (latency path);
+  // pipelined Submits append encoded frames to outbuf and the writer
+  // ships whatever has accumulated in one SendAll — a deep pipeline
+  // costs a fraction of a syscall per request on the way out.
   struct Connection {
     Socket sock;
-    std::mutex write_mu;
+    std::mutex write_mu;  // serializes bytes onto the socket
     std::mutex pending_mu;
     bool alive = true;  // guarded by pending_mu
     // request id -> completion; invoked by the reader thread (or by the
     // drain when the connection dies).
     std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> pending;
     std::thread reader;
+
+    // --- writer state (guarded by out_mu) ---
+    std::mutex out_mu;
+    std::condition_variable out_cv;
+    Bytes outbuf;              // encoded frames awaiting the writer
+    bool write_failed = false; // writer hit a transport error
+    bool writer_stop = false;
+    std::thread writer;
   };
 
   RemoteService(std::string endpoint, RemoteServiceOptions options)
@@ -122,14 +157,19 @@ class RemoteService : public ForkBaseService {
   Result<std::shared_ptr<Connection>> GetConnection();
   Result<std::shared_ptr<Connection>> OpenConnection();
   static void ReaderLoop(Connection* conn);
+  static void WriterLoop(Connection* conn);
   static void FailPending(Connection* conn, const Status& why);
 
-  // Registers the callback and sends one frame; on transport failure the
-  // callback is NOT invoked and the error returns to the caller.
+  // Registers the callback and sends one frame. Sync (default): the
+  // frame goes out inline; on transport failure the callback is NOT
+  // invoked and the error returns to the caller. Pipelined: the frame
+  // is handed to the connection's writer thread (coalesced with
+  // whatever else is queued) and failures surface through the callback.
   Status SendRequest(FrameType type, Slice payload,
-                     std::function<void(Status, Frame&&)> on_done);
+                     std::function<void(Status, Frame&&)> on_done,
+                     bool pipelined = false);
 
-  std::future<Reply> DispatchCommand(const Command& cmd);
+  std::future<Reply> DispatchCommand(const Command& cmd, bool pipelined);
   // Sync non-command call: remote status, with the response body on OK.
   Result<Bytes> CallControl(FrameType type, Slice payload);
 
@@ -137,10 +177,11 @@ class RemoteService : public ForkBaseService {
   const RemoteServiceOptions options_;
   TreeConfig tree_config_;
   uint64_t server_peer_count_ = 0;
-  mutable RemoteChunkStore chunk_view_{this};
+  // Declared after options_: the member-init order guarantee that lets
+  // the cache size come from the already-initialized options.
+  mutable RemoteChunkStore chunk_view_{this, options_.chunk_cache_bytes};
 
   std::atomic<uint64_t> next_request_id_{1};
-  std::atomic<uint64_t> next_slot_{0};
   std::atomic<uint64_t> connections_opened_{0};
 
   std::mutex pool_mu_;

@@ -1,7 +1,16 @@
 #include "rpc/server.h"
 
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
-#include <ctime>
 #include <utility>
 
 #include "api/command.h"
@@ -11,6 +20,20 @@
 namespace fb {
 namespace rpc {
 
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kWakeId = UINT64_MAX;
+constexpr uint64_t kListenId = UINT64_MAX - 1;
+
+// iovec fan-in per sendmsg: enough to batch a deep pipeline's replies
+// into one syscall without building unbounded iovec arrays.
+constexpr int kMaxIov = 64;
+
+}  // namespace
+
+thread_local bool ForkBaseServer::defer_flush_ = false;
+
 // ---------------------------------------------------------------------------
 // Lifecycle
 // ---------------------------------------------------------------------------
@@ -19,12 +42,43 @@ Result<std::unique_ptr<ForkBaseServer>> ForkBaseServer::Start(
     ForkBase* engine, ServerOptions options) {
   if (options.num_workers == 0) options.num_workers = 1;
   if (options.max_queued_requests == 0) options.max_queued_requests = 1;
+  if (options.max_protocol_errors == 0) options.max_protocol_errors = 1;
   FB_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(options.listen));
   std::unique_ptr<ForkBaseServer> server(
       new ForkBaseServer(engine, std::move(options)));
   FB_ASSIGN_OR_RETURN(server->listener_, Listener::Listen(ep));
   server->endpoint_ = server->listener_.bound_endpoint();
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+
+  const int lflags = ::fcntl(server->listener_.fd(), F_GETFL, 0);
+  if (lflags < 0 ||
+      ::fcntl(server->listener_.fd(), F_SETFL, lflags | O_NONBLOCK) != 0) {
+    return Status::IOError("fcntl listener O_NONBLOCK: " +
+                           std::string(std::strerror(errno)));
+  }
+  server->epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (server->epfd_ < 0) {
+    return Status::IOError("epoll_create1: " +
+                           std::string(std::strerror(errno)));
+  }
+  server->wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (server->wakefd_ < 0) {
+    return Status::IOError("eventfd: " + std::string(std::strerror(errno)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(server->epfd_, EPOLL_CTL_ADD, server->listener_.fd(), &ev) !=
+      0) {
+    return Status::IOError("epoll_ctl add listener: " +
+                           std::string(std::strerror(errno)));
+  }
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(server->epfd_, EPOLL_CTL_ADD, server->wakefd_, &ev) != 0) {
+    return Status::IOError("epoll_ctl add eventfd: " +
+                           std::string(std::strerror(errno)));
+  }
+
+  server->loop_thread_ = std::thread([s = server.get()] { s->EventLoop(); });
   server->workers_.reserve(server->options_.num_workers);
   for (size_t i = 0; i < server->options_.num_workers; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
@@ -37,29 +91,24 @@ ForkBaseServer::~ForkBaseServer() { Stop(); }
 void ForkBaseServer::Stop() {
   if (stopped_.exchange(true)) return;
   stopping_.store(true);
-  listener_.Shutdown();
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& [id, conn] : conns_) conn->sock.Shutdown();
-  }
-  {
-    // Wake readers parked on the backpressure bound before waiting for
-    // them below.
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_space_cv_.notify_all();
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Readers run detached: wait for the last one to deregister before
-    // tearing down state they may touch.
-    std::unique_lock<std::mutex> lock(conns_mu_);
-    readers_done_cv_.wait(lock, [&] { return reader_count_ == 0; });
   }
   queue_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   listener_.Close();
+  if (epfd_ >= 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+  }
+  if (wakefd_ >= 0) {
+    ::close(wakefd_);
+    wakefd_ = -1;
+  }
 }
 
 ForkBaseServer::Stats ForkBaseServer::stats() const {
@@ -70,131 +119,444 @@ ForkBaseServer::Stats ForkBaseServer::stats() const {
   return s;
 }
 
+void ForkBaseServer::WakeLoop() {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(wakefd_, &one, sizeof(one));
+}
+
 // ---------------------------------------------------------------------------
-// Accept / read
+// Event loop
 // ---------------------------------------------------------------------------
 
-void ForkBaseServer::AcceptLoop() {
+void ForkBaseServer::EventLoop() {
+  epoll_event events[64];
   while (!stopping_.load()) {
-    Result<Socket> accepted = listener_.Accept();
-    if (!accepted.ok()) {
-      if (stopping_.load()) return;
-      // Transient failure (peer reset in backlog) or resource
-      // exhaustion (EMFILE): never busy-spin on it.
-      timespec nap{};
-      nap.tv_nsec = 10 * 1000 * 1000;
-      nanosleep(&nap, nullptr);
-      continue;
+    const int n = ::epoll_wait(epfd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
     }
-    auto conn = std::make_shared<Conn>();
-    conn->sock = std::move(*accepted);
-    if (options_.send_timeout_seconds > 0) {
-      conn->sock.SetSendTimeout(options_.send_timeout_seconds);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wakefd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (id == kListenId) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // reaped earlier in this batch
+      std::shared_ptr<Conn> conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        bool alive;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          alive = conn->closing ? false : FlushLocked(conn.get());
+        }
+        if (!alive) {
+          CloseConn(conn);
+          continue;
+        }
+      }
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+        ReadReady(conn);
+      }
     }
-    uint64_t id = 0;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      if (stopping_.load()) return;  // raced with Stop: drop the socket
-      id = next_conn_id_++;
-      conns_.emplace(id, conn);
-      ++reader_count_;
+    if (abort_count_.exchange(0, std::memory_order_acq_rel) > 0) {
+      ReapClosing();
     }
+    RetryStalled();
+  }
+  // Teardown: every connection is shut down and dropped here, on the
+  // loop, so no other thread ever touches the registry.
+  for (auto& [id, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+    conn->sock.Shutdown();
+  }
+  conns_.clear();
+}
+
+void ForkBaseServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient failure; epoll re-arms
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(Socket(fd));
+    if (!conn->sock.SetNonBlocking().ok()) continue;  // drops the socket
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+      continue;  // drops the socket
+    }
+    conns_.emplace(conn->id, std::move(conn));
     connections_.fetch_add(1, std::memory_order_relaxed);
-    std::thread([this, id, conn = std::move(conn)] {
-      ReaderLoop(std::move(conn));
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.erase(id);
-      if (--reader_count_ == 0) readers_done_cv_.notify_all();
-    }).detach();
   }
 }
 
-void ForkBaseServer::ReaderLoop(std::shared_ptr<Conn> conn) {
-  while (!stopping_.load()) {
-    Frame frame;
-    const Status s = RecvFrame(&conn->sock, &frame);
-    if (s.ok()) {
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      if (frame.type == FrameType::kChunkPeerGet) {
-        // Served inline (see ServePeerGet): a local-store lookup that
-        // must not wait behind — or for — the worker pool.
-        ServePeerGet(conn.get(), frame);
-        continue;
-      }
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      // Backpressure: once the dispatch queue is full this reader stops
-      // draining its socket, so a flooding client is throttled by the
-      // kernel instead of growing server memory.
-      queue_space_cv_.wait(lock, [&] {
-        return stopping_.load() || queue_.size() < options_.max_queued_requests;
-      });
-      if (stopping_.load()) return;
-      queue_.push_back(WorkItem{conn, std::move(frame)});
-      queue_cv_.notify_one();
+void ForkBaseServer::ReadReady(const std::shared_ptr<Conn>& conn) {
+  if (conn->reaped || conn->stalled) return;
+  constexpr size_t kReadChunk = 64u << 10;
+  for (;;) {
+    const size_t old = conn->rbuf.size();
+    conn->rbuf.resize(old + kReadChunk);
+    const ssize_t r =
+        ::recv(conn->sock.fd(), conn->rbuf.data() + old, kReadChunk, 0);
+    if (r > 0) {
+      conn->rbuf.resize(old + static_cast<size_t>(r));
+      ParseFrames(conn);
+      if (conn->reaped || conn->stalled) return;
+      if (static_cast<size_t>(r) < kReadChunk) return;  // likely drained
       continue;
     }
-    if (s.IsCorruption()) {
-      // The length prefix was valid, so the stream is still framed:
-      // report the damage to the client and keep serving.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendControl(conn.get(), frame.request_id, s, Slice());
-      continue;
+    conn->rbuf.resize(old);
+    if (r == 0) {
+      CloseConn(conn);  // clean EOF
+      return;
     }
-    // Oversized length prefix: framing lost, the connection is done
-    // (best-effort error first). Anything else is the peer going away
-    // (clean disconnect or mid-frame) — not a protocol error.
-    if (s.IsInvalidArgument()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendControl(conn.get(), frame.request_id, s, Slice());
-    }
-    conn->sock.Shutdown();
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConn(conn);
     return;
   }
+}
+
+void ForkBaseServer::ParseFrames(const std::shared_ptr<Conn>& conn) {
+  while (!conn->reaped && !conn->stalled) {
+    Frame frame;
+    size_t consumed = 0;
+    const Status s =
+        DecodeFrameFromBuffer(conn->rbuf.data() + conn->rpos,
+                              conn->rbuf.size() - conn->rpos, &frame,
+                              &consumed);
+    conn->rpos += consumed;
+    if (s.ok()) {
+      if (consumed == 0) break;  // need more bytes
+      HandleFrame(conn, std::move(frame));
+      continue;
+    }
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ++conn->protocol_errors;
+    QueueControl(conn, frame.request_id, s, Slice());
+    if (s.IsInvalidArgument() ||
+        conn->protocol_errors >= options_.max_protocol_errors) {
+      // Oversized length prefix (framing lost) or a client that keeps
+      // producing damage: best-effort error reply, then the connection
+      // is done.
+      CloseConnAfterFlush(conn);
+      return;
+    }
+    // Corruption with a sane length: the boundary held, keep decoding.
+  }
+  // Compact the consumed prefix so a long-lived connection's buffer
+  // does not grow without bound.
+  if (conn->rpos == conn->rbuf.size()) {
+    conn->rbuf.clear();
+    conn->rpos = 0;
+  } else if (conn->rpos > (1u << 20)) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<ptrdiff_t>(conn->rpos));
+    conn->rpos = 0;
+  }
+}
+
+void ForkBaseServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                                 Frame frame) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (frame.type) {
+    case FrameType::kChunkPeerGet:
+    case FrameType::kChunkPeerGetBatch:
+      // Served inline (see ServePeerGet): local-store lookups that must
+      // not wait behind — or for — the worker pool.
+      ServePeerGet(conn, frame);
+      return;
+    case FrameType::kReply:
+    case FrameType::kControlResp: {
+      // A client must never send response frames; a bounded number are
+      // answered with an error, then the connection is closed — a
+      // hostile client cannot loop on free error replies.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      ++conn->protocol_errors;
+      QueueControl(conn, frame.request_id,
+                   Status::InvalidArgument("unexpected response frame"),
+                   Slice());
+      if (conn->protocol_errors >= options_.max_protocol_errors) {
+        CloseConnAfterFlush(conn);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < options_.max_queued_requests) {
+      queue_.push_back(WorkItem{conn, std::move(frame)});
+      queued = true;
+    }
+  }
+  if (queued) {
+    queue_cv_.notify_one();
+    return;
+  }
+  // Backpressure: the dispatch queue is full. Park the frame, stop
+  // reading this connection (the kernel's flow control throttles the
+  // client), and let a draining worker wake the loop to resume.
+  conn->stalled = true;
+  conn->pending_frame = std::move(frame);
+  stall_count_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->closing) {
+    conn->read_off = true;
+    RearmLocked(conn.get());
+  }
+}
+
+void ForkBaseServer::RetryStalled() {
+  if (stall_count_.load(std::memory_order_acquire) == 0) return;
+  std::vector<std::shared_ptr<Conn>> stalled;
+  for (auto& [id, conn] : conns_) {
+    if (conn->stalled) stalled.push_back(conn);
+  }
+  for (auto& conn : stalled) {
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.max_queued_requests) {
+        queue_.push_back(WorkItem{conn, std::move(conn->pending_frame)});
+        queued = true;
+      }
+    }
+    if (!queued) return;  // still full; everyone stays parked
+    queue_cv_.notify_one();
+    conn->stalled = false;
+    stall_count_.fetch_sub(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closing) {
+        conn->read_off = false;
+        RearmLocked(conn.get());
+      }
+    }
+    // Keep working through the backlog this connection buffered while
+    // parked (it may immediately re-stall).
+    ParseFrames(conn);
+  }
+}
+
+void ForkBaseServer::ReapClosing() {
+  std::vector<std::shared_ptr<Conn>> dead;
+  for (auto& [id, conn] : conns_) {
+    bool closing;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      closing = conn->closing;
+    }
+    if (closing) dead.push_back(conn);
+  }
+  for (auto& conn : dead) CloseConn(conn);
+}
+
+void ForkBaseServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->reaped) return;
+  conn->reaped = true;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+  }
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
+  if (conn->stalled) {
+    conn->stalled = false;
+    stall_count_.fetch_sub(1, std::memory_order_release);
+  }
+  conn->sock.Shutdown();
+  // The fd itself closes when the last reference (possibly a WorkItem
+  // still in flight) drops — after the epoll DEL above, so a recycled
+  // fd number can never alias a registered interest.
+  conns_.erase(conn->id);
+}
+
+void ForkBaseServer::CloseConnAfterFlush(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->closing) FlushLocked(conn.get());
+  }
+  CloseConn(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Write side
+// ---------------------------------------------------------------------------
+
+void ForkBaseServer::RearmLocked(Conn* conn) {
+  if (conn->closing) return;
+  epoll_event ev{};
+  ev.events = EPOLLRDHUP;
+  if (!conn->read_off) ev.events |= EPOLLIN;
+  if (conn->want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epfd_, EPOLL_CTL_MOD, conn->sock.fd(), &ev);
+}
+
+void ForkBaseServer::AbortLocked(Conn* conn) {
+  if (conn->closing) return;
+  conn->closing = true;
+  conn->sock.Shutdown();
+  abort_count_.fetch_add(1, std::memory_order_release);
+  WakeLoop();
+}
+
+bool ForkBaseServer::FlushLocked(Conn* conn) {
+  while (!conn->outq.empty()) {
+    iovec iov[kMaxIov];
+    int niov = 0;
+    size_t skip = conn->front_sent;
+    for (const Bytes& b : conn->outq) {
+      if (niov == kMaxIov) break;
+      iov[niov].iov_base = const_cast<uint8_t*>(b.data()) + skip;
+      iov[niov].iov_len = b.size() - skip;
+      ++niov;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(niov);
+    const ssize_t w = ::sendmsg(conn->sock.fd(), &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          RearmLocked(conn);
+        }
+        return true;
+      }
+      AbortLocked(conn);
+      return false;
+    }
+    size_t sent = static_cast<size_t>(w);
+    conn->outq_bytes -= sent;
+    while (sent > 0) {
+      Bytes& front = conn->outq.front();
+      const size_t avail = front.size() - conn->front_sent;
+      if (sent >= avail) {
+        sent -= avail;
+        conn->front_sent = 0;
+        conn->outq.pop_front();
+      } else {
+        conn->front_sent += sent;
+        sent = 0;
+      }
+    }
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    RearmLocked(conn);
+  }
+  return true;
+}
+
+void ForkBaseServer::QueueWrite(const std::shared_ptr<Conn>& conn,
+                                Bytes wire) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closing) return;  // dead connection; the reply has no reader
+  conn->outq_bytes += wire.size();
+  conn->outq.push_back(std::move(wire));
+  if (conn->outq_bytes > options_.max_output_buffer_bytes) {
+    // The client stopped reading. The loop never blocks on a send, so
+    // the only protection against unbounded buffering is to cut the
+    // connection loose.
+    AbortLocked(conn.get());
+    return;
+  }
+  if (!defer_flush_) FlushLocked(conn.get());
+}
+
+void ForkBaseServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closing || conn->outq.empty()) return;
+  FlushLocked(conn.get());
+}
+
+void ForkBaseServer::QueueControl(const std::shared_ptr<Conn>& conn,
+                                  uint64_t request_id, const Status& s,
+                                  Slice body) {
+  Bytes payload;
+  EncodeControl(s, body, &payload);
+  Bytes wire;
+  wire.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrame(FrameType::kControlResp, request_id, Slice(payload), &wire);
+  QueueWrite(conn, std::move(wire));
 }
 
 // ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
-Status ForkBaseServer::SendControl(Conn* conn, uint64_t request_id,
-                                   const Status& s, Slice body) {
-  Bytes payload;
-  EncodeControl(s, body, &payload);
-  Status sent;
-  {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    sent = SendFrame(&conn->sock, FrameType::kControlResp, request_id,
-                     Slice(payload));
-  }
-  // A reply that cannot be delivered (dead peer, send timeout on a
-  // client that stopped reading) finishes the connection; the reader
-  // unblocks and deregisters.
-  if (!sent.ok()) conn->sock.Shutdown();
-  return sent;
-}
-
-void ForkBaseServer::ServePeerGet(Conn* conn, const Frame& frame) {
+void ForkBaseServer::ServePeerGet(const std::shared_ptr<Conn>& conn,
+                                  const Frame& frame) {
   const Slice payload(frame.payload);
-  if (payload.size() != Hash::kSize) {
-    (void)SendControl(conn, frame.request_id,
-                      Status::InvalidArgument("peer chunk get wants one cid"),
-                      Slice());
-    return;
-  }
-  Sha256::Digest d;
-  std::memcpy(d.data(), payload.data(), Hash::kSize);
   ChunkStore* store = options_.local_chunk_store != nullptr
                           ? options_.local_chunk_store
                           : engine_->store();
-  Chunk chunk;
-  const Status s = store->Get(Hash(d), &chunk);
-  const Bytes body = s.ok() ? chunk.Serialize() : Bytes();
-  (void)SendControl(conn, frame.request_id, s, Slice(body));
+  if (frame.type == FrameType::kChunkPeerGet) {
+    if (payload.size() != Hash::kSize) {
+      QueueControl(conn, frame.request_id,
+                   Status::InvalidArgument("peer chunk get wants one cid"),
+                   Slice());
+      return;
+    }
+    Sha256::Digest d;
+    std::memcpy(d.data(), payload.data(), Hash::kSize);
+    Chunk chunk;
+    const Status s = store->Get(Hash(d), &chunk);
+    const Bytes body = s.ok() ? chunk.Serialize() : Bytes();
+    QueueControl(conn, frame.request_id, s, Slice(body));
+    return;
+  }
+  // Batched form: per-cid present flags, absence at this store is part
+  // of the answer (the resolver asks the next peer for the leftovers).
+  std::vector<Hash> cids;
+  Status s = DecodeCidList(payload, &cids);
+  if (!s.ok()) {
+    QueueControl(conn, frame.request_id, s, Slice());
+    return;
+  }
+  std::vector<Chunk> chunks(cids.size());
+  std::vector<bool> present(cids.size(), false);
+  for (size_t i = 0; i < cids.size(); ++i) {
+    const Status got = store->Get(cids[i], &chunks[i]);
+    if (got.ok()) {
+      present[i] = true;
+    } else if (!got.IsNotFound()) {
+      QueueControl(conn, frame.request_id, got, Slice());
+      return;
+    }
+  }
+  Bytes body;
+  EncodeChunkBatchReply(chunks, present, &body);
+  QueueControl(conn, frame.request_id, Status::OK(), Slice(body));
 }
 
 void ForkBaseServer::WorkerLoop() {
+  std::vector<WorkItem> batch;
+  batch.reserve(kWorkerBatch);
   for (;;) {
-    WorkItem item;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -203,38 +565,55 @@ void ForkBaseServer::WorkerLoop() {
         if (stopping_.load()) return;
         continue;
       }
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      queue_space_cv_.notify_one();
+      while (!queue_.empty() && batch.size() < kWorkerBatch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
-    Dispatch(item);
+    // A connection may be parked on the bound we just drained below.
+    if (stall_count_.load(std::memory_order_acquire) > 0) WakeLoop();
+    // Responses queue without flushing while the batch runs, then each
+    // touched connection flushes once: one sendmsg per batch per
+    // connection, not per frame.
+    defer_flush_ = true;
+    for (const WorkItem& item : batch) Dispatch(item);
+    defer_flush_ = false;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (batch[j].conn == batch[i].conn) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) FlushConn(batch[i].conn);
+    }
+    batch.clear();
   }
 }
 
 void ForkBaseServer::Dispatch(const WorkItem& item) {
   const uint64_t id = item.frame.request_id;
-  Conn* conn = item.conn.get();
+  const std::shared_ptr<Conn>& conn = item.conn;
   const Slice payload(item.frame.payload);
 
   switch (item.frame.type) {
     case FrameType::kCommand: {
       Result<Command> cmd = Command::Parse(payload);
-      const Reply reply =
-          cmd.ok() ? ApplyCommand(engine_, *cmd) : Reply::FromStatus(cmd.status());
-      const Bytes wire = reply.Serialize();
-      Status sent;
-      {
-        std::lock_guard<std::mutex> lock(conn->write_mu);
-        sent = SendFrame(&conn->sock, FrameType::kReply, id, Slice(wire));
-      }
-      if (!sent.ok()) conn->sock.Shutdown();
+      const Reply reply = cmd.ok() ? ApplyCommand(engine_, *cmd)
+                                   : Reply::FromStatus(cmd.status());
+      const Bytes body = reply.Serialize();
+      Bytes wire;
+      wire.reserve(kFrameHeaderSize + body.size());
+      EncodeFrame(FrameType::kReply, id, Slice(body), &wire);
+      QueueWrite(conn, std::move(wire));
       return;
     }
     case FrameType::kChunkGet: {
       if (payload.size() != Hash::kSize) {
-        (void)SendControl(conn, id,
-                          Status::InvalidArgument("chunk get wants one cid"),
-                          Slice());
+        QueueControl(conn, id,
+                     Status::InvalidArgument("chunk get wants one cid"),
+                     Slice());
         return;
       }
       Sha256::Digest d;
@@ -242,26 +621,50 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
       Chunk chunk;
       const Status s = engine_->store()->Get(Hash(d), &chunk);
       const Bytes body = s.ok() ? chunk.Serialize() : Bytes();
-      (void)SendControl(conn, id, s, Slice(body));
+      QueueControl(conn, id, s, Slice(body));
+      return;
+    }
+    case FrameType::kChunkGetBatch: {
+      std::vector<Hash> cids;
+      Status s = DecodeCidList(payload, &cids);
+      if (!s.ok()) {
+        QueueControl(conn, id, s, Slice());
+        return;
+      }
+      std::vector<Chunk> chunks(cids.size());
+      std::vector<bool> present(cids.size(), false);
+      for (size_t i = 0; i < cids.size(); ++i) {
+        const Status got = engine_->store()->Get(cids[i], &chunks[i]);
+        if (got.ok()) {
+          present[i] = true;
+        } else if (!got.IsNotFound()) {
+          // Unavailable & co. poison the whole batch: per-cid flags can
+          // only express proven absence.
+          QueueControl(conn, id, got, Slice());
+          return;
+        }
+      }
+      Bytes body;
+      EncodeChunkBatchReply(chunks, present, &body);
+      QueueControl(conn, id, Status::OK(), Slice(body));
       return;
     }
     case FrameType::kChunkPut: {
       if (payload.size() <= Hash::kSize) {
-        (void)SendControl(conn, id,
-                          Status::InvalidArgument("chunk put wants cid+bytes"),
-                          Slice());
+        QueueControl(conn, id,
+                     Status::InvalidArgument("chunk put wants cid+bytes"),
+                     Slice());
         return;
       }
       Sha256::Digest d;
       std::memcpy(d.data(), payload.data(), Hash::kSize);
       Chunk chunk;
       if (!Chunk::Deserialize(payload.subslice(Hash::kSize), &chunk)) {
-        (void)SendControl(conn, id, Status::Corruption("undecodable chunk"),
-                          Slice());
+        QueueControl(conn, id, Status::Corruption("undecodable chunk"),
+                     Slice());
         return;
       }
-      (void)SendControl(conn, id, engine_->store()->Put(Hash(d), chunk),
-                        Slice());
+      QueueControl(conn, id, engine_->store()->Put(Hash(d), chunk), Slice());
       return;
     }
     case FrameType::kChunkPutBatch: {
@@ -292,46 +695,46 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
         s = Status::Corruption("trailing bytes in chunk batch");
       }
       if (s.ok()) s = engine_->store()->PutBatch(batch);
-      (void)SendControl(conn, id, s, Slice());
+      QueueControl(conn, id, s, Slice());
       return;
     }
     case FrameType::kChunkHas: {
       if (payload.size() != Hash::kSize) {
-        (void)SendControl(conn, id,
-                          Status::InvalidArgument("chunk has wants one cid"),
-                          Slice());
+        QueueControl(conn, id,
+                     Status::InvalidArgument("chunk has wants one cid"),
+                     Slice());
         return;
       }
       Sha256::Digest d;
       std::memcpy(d.data(), payload.data(), Hash::kSize);
       const uint8_t present = engine_->store()->Contains(Hash(d)) ? 1 : 0;
-      (void)SendControl(conn, id, Status::OK(), Slice(&present, 1));
+      QueueControl(conn, id, Status::OK(), Slice(&present, 1));
       return;
     }
     case FrameType::kHello: {
       Bytes body;
       EncodeHello(engine_->tree_config(), options_.peer_count, &body);
-      (void)SendControl(conn, id, Status::OK(), Slice(body));
+      QueueControl(conn, id, Status::OK(), Slice(body));
       return;
     }
     case FrameType::kStoreStats: {
       Bytes body;
       EncodeStoreStats(engine_->store()->stats(), &body);
-      (void)SendControl(conn, id, Status::OK(), Slice(body));
+      QueueControl(conn, id, Status::OK(), Slice(body));
       return;
     }
     case FrameType::kChunkPeerGet:
-      // Normally served inline by the reader; answer here too so the op
-      // works regardless of which path a frame took.
+    case FrameType::kChunkPeerGetBatch:
+      // Normally served inline on the event loop; answer here too so
+      // the op works regardless of which path a frame took.
       ServePeerGet(conn, item.frame);
       return;
     case FrameType::kReply:
     case FrameType::kControlResp:
-      // A client must never send response frames.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendControl(conn, id,
-                        Status::InvalidArgument("unexpected response frame"),
-                        Slice());
+      // Filtered on the event loop (HandleFrame) before dispatch.
+      QueueControl(conn, id,
+                   Status::InvalidArgument("unexpected response frame"),
+                   Slice());
       return;
   }
 }

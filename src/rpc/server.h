@@ -1,17 +1,33 @@
 // ForkBaseServer: serves a ForkBase engine over the socket RPC transport.
 //
-// One server = one servlet process. The accept loop hands each
-// connection to a dedicated reader thread that decodes frames and feeds
-// a shared worker pool; workers dispatch Command frames through
-// ApplyCommand (the same single dispatch point the embedded adapter and
-// the in-process cluster use) and chunk frames against the engine's
-// store, then write the response frame tagged with the request's id —
-// so requests pipelined on one connection complete out of order.
+// One server = one servlet process. A single epoll event loop owns every
+// connection: it accepts, reads whatever the kernel has buffered, and
+// decodes frames incrementally — so a pipelined client costs one recv
+// per batch of frames, not one thread wakeup and two syscalls per frame.
+// Decoded Command/chunk frames feed a bounded worker pool; workers
+// dispatch through ApplyCommand (the same single dispatch point the
+// embedded adapter and the in-process cluster use) and append their
+// encoded responses to the connection's output queue, which is flushed
+// with scatter-gather writes (one sendmsg ships many response frames).
+// Requests pipelined on one connection complete out of order.
+//
+// Backpressure: when the dispatch queue is full, the connection that
+// produced the overflowing frame has its EPOLLIN interest dropped and
+// its socket stops draining — the kernel's flow control pushes back on
+// the client — until workers catch up. The loop itself never blocks.
 //
 // Protocol damage never crashes the server: a frame with a bad checksum
 // is answered with an error response and the connection keeps going (the
 // length prefix was valid, so framing is intact); an oversized length
-// prefix or a mid-frame disconnect closes only that connection.
+// prefix or a mid-frame disconnect closes only that connection. A client
+// that keeps producing protocol errors — damaged frames or frames a
+// client must never send (kReply/kControlResp) — is disconnected after
+// max_protocol_errors of them.
+//
+// Peer chunk fetches (kChunkPeerGet / kChunkPeerGetBatch) are served
+// inline on the event loop, bypassing the worker queue: peer gets stay
+// serviceable even when every worker is parked on its own outbound peer
+// fetch (the cross-server worker-pool deadlock).
 
 #ifndef FORKBASE_RPC_SERVER_H_
 #define FORKBASE_RPC_SERVER_H_
@@ -38,13 +54,17 @@ struct ServerOptions {
   std::string listen = "127.0.0.1:0";
   size_t num_workers = 4;
   // Backpressure bound on frames decoded but not yet dispatched; when
-  // full, readers stop draining their sockets and the kernel's flow
-  // control pushes back on the clients.
+  // full, the offending connection's reads pause and the kernel's flow
+  // control pushes back on the client.
   size_t max_queued_requests = 1024;
-  // Cap on one blocking reply write. A client that stops reading wedges
-  // its connection's sends; past this the write fails and only that
-  // connection is torn down (0 = wait forever).
-  int send_timeout_seconds = 30;
+  // Cap on response bytes queued for one connection. A client that
+  // stops reading accumulates its replies here (the event loop never
+  // blocks on a send); past the cap only that connection is torn down.
+  size_t max_output_buffer_bytes = 64u << 20;
+  // A connection is closed after this many protocol errors (damaged
+  // frames, response-type frames a client must never send): a hostile
+  // client cannot loop on free error replies forever.
+  size_t max_protocol_errors = 8;
 
   // Peer topology (server-to-server chunk fetch, Section 4.6). The
   // store kChunkPeerGet answers from: it must be the servlet's PHYSICAL
@@ -60,7 +80,7 @@ struct ServerOptions {
 
 class ForkBaseServer {
  public:
-  // Binds, spawns the accept loop and worker pool, and returns a running
+  // Binds, spawns the event loop and worker pool, and returns a running
   // server. The engine is caller-owned and must outlive the server.
   static Result<std::unique_ptr<ForkBaseServer>> Start(ForkBase* engine,
                                                        ServerOptions options);
@@ -72,22 +92,43 @@ class ForkBaseServer {
   // The resolved listen endpoint (real port when ":0" was requested).
   const std::string& endpoint() const { return endpoint_; }
 
-  // Stops accepting, unblocks every connection, drains the worker pool
-  // and joins all threads. Idempotent; called by the destructor.
+  // Stops accepting, tears down every connection, drains the worker
+  // pool and joins all threads. Idempotent; called by the destructor.
   void Stop();
 
   struct Stats {
     uint64_t connections = 0;      // accepted over the lifetime
-    uint64_t requests = 0;         // frames dispatched to workers
-    uint64_t protocol_errors = 0;  // damaged frames observed
+    uint64_t requests = 0;         // frames handled (inline or dispatched)
+    uint64_t protocol_errors = 0;  // damaged / out-of-protocol frames
   };
   Stats stats() const;
 
  private:
-  // One live connection; readers and workers share it.
+  // One live connection. Read-side state (rbuf, stall, error count)
+  // belongs to the event-loop thread alone; the write side (output
+  // queue, epoll interest) is shared with workers under mu.
   struct Conn {
+    explicit Conn(Socket s) : sock(std::move(s)) {}
+
     Socket sock;
-    std::mutex write_mu;  // one response frame at a time
+    uint64_t id = 0;
+
+    // --- event-loop thread only ---
+    Bytes rbuf;       // unparsed input
+    size_t rpos = 0;  // consumed prefix of rbuf
+    bool stalled = false;  // one decoded frame waits for queue space
+    Frame pending_frame;
+    uint64_t protocol_errors = 0;
+    bool reaped = false;  // deregistered and erased from the registry
+
+    // --- shared with workers (guarded by mu) ---
+    std::mutex mu;
+    std::deque<Bytes> outq;  // encoded response frames
+    size_t outq_bytes = 0;
+    size_t front_sent = 0;   // bytes of outq.front() already on the wire
+    bool want_write = false; // EPOLLOUT armed
+    bool read_off = false;   // EPOLLIN disarmed (backpressure)
+    bool closing = false;    // deregistered (or aborting); drop writes
   };
 
   struct WorkItem {
@@ -95,49 +136,91 @@ class ForkBaseServer {
     Frame frame;
   };
 
+  // Workers drain up to this many queued frames per wakeup and flush
+  // each touched connection ONCE at the end — a pipelined burst ships
+  // many response frames per sendmsg instead of one syscall each.
+  static constexpr size_t kWorkerBatch = 32;
+
   ForkBaseServer(ForkBase* engine, ServerOptions options)
       : engine_(engine), options_(std::move(options)) {}
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void EventLoop();
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Conn>& conn);
+  // Decodes and handles every complete frame buffered in conn->rbuf;
+  // stops early on stall or teardown.
+  void ParseFrames(const std::shared_ptr<Conn>& conn);
+  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame);
+  // Queue-space retry for connections parked on the dispatch bound.
+  void RetryStalled();
+  // Reaps connections aborted off-loop (write overflow, send failure).
+  void ReapClosing();
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  // Best-effort flush of queued responses, then close: the path for
+  // protocol-error disconnects, where the error reply should still try
+  // to make it out.
+  void CloseConnAfterFlush(const std::shared_ptr<Conn>& conn);
+  void WakeLoop();
+
   void WorkerLoop();
   void Dispatch(const WorkItem& item);
-  // Answers a peer's chunk fetch from the local store. Called from the
-  // READER thread, bypassing the worker queue: peer gets stay serviceable
-  // even when every worker is parked on its own outbound peer fetch
-  // (the cross-server worker-pool deadlock).
-  void ServePeerGet(Conn* conn, const Frame& frame);
-  // Replies to a non-command frame: [u8 code][LP message][body].
-  static Status SendControl(Conn* conn, uint64_t request_id, const Status& s,
-                            Slice body);
+  // Answers a peer's chunk fetch (single or batched) from the local
+  // store, inline on the event loop.
+  void ServePeerGet(const std::shared_ptr<Conn>& conn, const Frame& frame);
+
+  // Appends one encoded frame to the connection's output queue and
+  // flushes opportunistically. Any thread. A worker mid-batch defers
+  // the flush (see defer_flush_) so its whole batch coalesces.
+  void QueueWrite(const std::shared_ptr<Conn>& conn, Bytes wire);
+  // Flushes whatever responses a dispatch batch queued on `conn`.
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  void QueueControl(const std::shared_ptr<Conn>& conn, uint64_t request_id,
+                    const Status& s, Slice body);
+  // Non-blocking scatter-gather flush of the output queue; arms
+  // EPOLLOUT when the socket fills. Caller holds conn->mu. Returns
+  // false when the connection was aborted by a send failure.
+  bool FlushLocked(Conn* conn);
+  // Re-applies the epoll interest mask. Caller holds conn->mu.
+  void RearmLocked(Conn* conn);
+  // Marks the connection dead and unblocks the loop to reap it. Caller
+  // holds conn->mu.
+  void AbortLocked(Conn* conn);
 
   ForkBase* engine_;
   ServerOptions options_;
   std::string endpoint_;
   Listener listener_;
 
-  std::thread accept_thread_;
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
   std::mutex queue_mu_;
-  std::condition_variable queue_cv_;        // work arrived / stopping
-  std::condition_variable queue_space_cv_;  // queue drained below the bound
+  std::condition_variable queue_cv_;  // work arrived / stopping
   std::deque<WorkItem> queue_;
 
-  // Live connections, for Stop() to unblock their readers. Reader
-  // threads run detached; readers_done_cv_ signals when the last one
-  // drained (conns_ empty and reader_count_ zero).
-  std::mutex conns_mu_;
-  std::condition_variable readers_done_cv_;
+  // Event-loop-thread-only connection registry (Stop() goes through the
+  // loop: it wakes it and lets it tear everything down itself).
   uint64_t next_conn_id_ = 0;
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
-  size_t reader_count_ = 0;
+
+  // Connections parked on the dispatch bound; workers wake the loop
+  // when they pop while this is nonzero.
+  std::atomic<size_t> stall_count_{0};
+  // Connections aborted off-loop, waiting for the loop to reap them.
+  std::atomic<size_t> abort_count_{0};
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+
+  // True while the current thread dispatches a worker batch: QueueWrite
+  // appends without flushing, and WorkerLoop flushes each touched
+  // connection once after the batch.
+  static thread_local bool defer_flush_;
 };
 
 }  // namespace rpc

@@ -1,6 +1,7 @@
 #include "rpc/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -151,6 +152,28 @@ Status Socket::RecvAll(void* data, size_t n) {
     if (r == 0) return Status::IOError("recv: connection closed");
     p += r;
     n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvSome(void* data, size_t n, size_t* received) {
+  *received = 0;
+  for (;;) {
+    const ssize_t r = ::recv(fd_, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("recv"));
+    }
+    if (r == 0) return Status::IOError("recv: connection closed");
+    *received = static_cast<size_t>(r);
+    return Status::OK();
+  }
+}
+
+Status Socket::SetNonBlocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError(Errno("fcntl O_NONBLOCK"));
   }
   return Status::OK();
 }

@@ -57,6 +57,14 @@ class Socket {
   Status SendAll(const void* data, size_t n);
   // Reads exactly `n` bytes; IOError mentioning "closed" on clean EOF.
   Status RecvAll(void* data, size_t n);
+  // Reads whatever is available, up to `n` bytes (blocks until at least
+  // one arrives); IOError mentioning "closed" on clean EOF. The gulp
+  // primitive FrameReader amortizes its syscalls with.
+  Status RecvSome(void* data, size_t n, size_t* received);
+
+  // Switches the fd to non-blocking mode (the server's event loop owns
+  // readiness; sends and recvs then return EAGAIN instead of blocking).
+  Status SetNonBlocking();
 
   // Bounds one blocking send; past the timeout SendAll fails with
   // IOError instead of wedging the calling thread forever.
@@ -100,6 +108,8 @@ class Listener {
 
   // The resolved endpoint string (with the real port when 0 was asked).
   const std::string& bound_endpoint() const { return bound_; }
+
+  int fd() const { return fd_; }
 
   Result<Socket> Accept();
 

@@ -200,6 +200,63 @@ TEST(ServerHostileInputTest, OversizedLengthPrefixClosesOnlyThatConnection) {
   EXPECT_TRUE(uid.ok()) << uid.status().ToString();
 }
 
+TEST(ServerHostileInputTest, ResponseFramesDisconnectAfterBoundedErrors) {
+  // kReply/kControlResp are frames only a SERVER may send. A client
+  // shipping them gets an InvalidArgument answer — but only a bounded
+  // number of times: a hostile client must not be able to loop on free
+  // error replies over a connection the server keeps open forever.
+  LiveServer live;
+  rpc::Socket sock = live.RawConnect();
+
+  constexpr int kSent = 32;  // well past the default protocol-error bound
+  for (int i = 0; i < kSent; ++i) {
+    ASSERT_TRUE(rpc::SendFrame(&sock, rpc::FrameType::kReply,
+                               1000 + static_cast<uint64_t>(i), Slice())
+                    .ok());
+  }
+
+  // Drain replies until the server hangs up. Every reply that does come
+  // back is an InvalidArgument control response, and there are at most
+  // max_protocol_errors of them.
+  int error_replies = 0;
+  for (;;) {
+    rpc::Frame frame;
+    const Status s = rpc::RecvFrame(&sock, &frame);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+      break;
+    }
+    ASSERT_EQ(frame.type, rpc::FrameType::kControlResp);
+    Status remote;
+    Slice body;
+    ASSERT_TRUE(rpc::DecodeControl(Slice(frame.payload), &remote, &body).ok());
+    EXPECT_TRUE(remote.IsInvalidArgument()) << remote.ToString();
+    ++error_replies;
+    ASSERT_LE(error_replies, kSent) << "more replies than frames sent";
+  }
+  EXPECT_LT(error_replies, kSent)
+      << "the server answered every hostile frame: the connection was "
+         "never closed";
+  EXPECT_GE(live.server->stats().protocol_errors,
+            static_cast<uint64_t>(error_replies));
+  // The server disconnected with unread hostile frames still queued, so
+  // its close goes out as an RST — which can race ahead of the error
+  // replies and flush them from our receive queue before we read. The
+  // "errors are answered, boundedly" property is therefore asserted on
+  // the server's own counter, which the wire cannot lose: it stopped at
+  // the disconnect bound instead of counting all kSent frames.
+  EXPECT_GE(live.server->stats().protocol_errors,
+            rpc::ServerOptions().max_protocol_errors);
+  EXPECT_LT(live.server->stats().protocol_errors,
+            static_cast<uint64_t>(kSent));
+
+  // Only that connection died; the server keeps serving.
+  auto client = rpc::RemoteService::Connect(live.server->endpoint());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto uid = (*client)->Put("after-hostile-client", Value::OfInt(3));
+  EXPECT_TRUE(uid.ok()) << uid.status().ToString();
+}
+
 TEST(ServerHostileInputTest, MidStreamDisconnectLeavesServerServing) {
   LiveServer live;
   {
@@ -441,17 +498,71 @@ TEST(PeerFetchTest, ResolverDistinguishesNobodyHasItFromPeerDown) {
   const Status missing =
       resolver.Fetch(Hash::Of(Slice("nobody has this")), &out);
   EXPECT_TRUE(missing.IsNotFound()) << missing.ToString();
-  EXPECT_EQ(resolver.failures(), 1u);
+  // Every peer answered authoritatively: that is a NEGATIVE, not a
+  // failure — nothing about the fetch machinery failed.
+  EXPECT_EQ(resolver.negatives(), 1u);
+  EXPECT_EQ(resolver.failures(), 0u);
 
   // A dead peer in the set: absence can no longer be proven, so the
-  // miss surfaces as Unavailable, never NotFound.
+  // miss surfaces as Unavailable, never NotFound — and counts as a
+  // failure, not a negative.
   PeerChunkResolver half_down(
       {alive.server->endpoint(), "127.0.0.1:1"});
   const Status unprovable =
       half_down.Fetch(Hash::Of(Slice("nobody has this either")), &out);
   EXPECT_TRUE(unprovable.IsUnavailable()) << unprovable.ToString();
+  EXPECT_EQ(half_down.failures(), 1u);
+  EXPECT_EQ(half_down.negatives(), 0u);
   // A cid the live peer holds still resolves despite the dead one.
   ASSERT_TRUE(half_down.Fetch(held_cid, &out).ok());
+}
+
+TEST(PeerFetchTest, DownPeerEntersBackoffAndSkipsReconnects) {
+  // A peer that cannot be reached must not cost a fresh failed TCP
+  // connect on every fetch: after the first failure it cools down and
+  // is skipped outright until the cooldown expires.
+  PeerResolverOptions opts;
+  opts.backoff_initial_ms = 60'000;  // far beyond this test's lifetime
+  PeerChunkResolver resolver({"127.0.0.1:1"}, opts);
+  Chunk out;
+  const Hash cid = Hash::Of(Slice("unreachable"));
+  EXPECT_TRUE(resolver.Fetch(cid, &out).IsUnavailable());
+  EXPECT_EQ(resolver.connect_attempts(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    // Still Unavailable (absence unproven: the peer was never asked),
+    // but without a single additional connect syscall.
+    EXPECT_TRUE(resolver.Fetch(cid, &out).IsUnavailable());
+  }
+  EXPECT_EQ(resolver.connect_attempts(), 1u)
+      << "a cooling peer was re-connected on every fetch";
+  EXPECT_EQ(resolver.negatives(), 0u);
+}
+
+TEST(PeerFetchTest, ExpiredBackoffRetriesAndRecovers) {
+  PeerServer holder(0);
+  const Chunk chunk = Chunk(ChunkType::kBlob, ToBytes("eventually"));
+  const Hash cid = chunk.ComputeCid();
+  ASSERT_TRUE(holder.raw_local->Put(cid, chunk).ok());
+
+  // Same endpoint, but the resolver first meets it "down" via a
+  // one-millisecond cooldown: after the cooldown expires the peer is
+  // retried, answers, and its health resets.
+  PeerResolverOptions opts;
+  opts.backoff_initial_ms = 1;
+  opts.backoff_max_ms = 1;
+  PeerChunkResolver resolver({"127.0.0.1:1"}, opts);
+  Chunk out;
+  EXPECT_TRUE(resolver.Fetch(cid, &out).IsUnavailable());
+  const uint64_t attempts_after_first = resolver.connect_attempts();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(resolver.Fetch(cid, &out).IsUnavailable());
+  EXPECT_GT(resolver.connect_attempts(), attempts_after_first)
+      << "an expired cooldown never retried the peer";
+
+  // Swap in the live endpoint: the fetch succeeds and health resets.
+  resolver.SetPeers({holder.server->endpoint()});
+  ASSERT_TRUE(resolver.Fetch(cid, &out).ok());
+  EXPECT_EQ(out.payload().ToString(), "eventually");
 }
 
 TEST(PeerFetchTest, ConcurrentFetchesOfOneCidAreSingleFlighted) {
@@ -479,8 +590,8 @@ TEST(PeerFetchTest, ConcurrentFetchesOfOneCidAreSingleFlighted) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(ok_count.load(), kThreads * kRounds);
   // Every call either led a network fetch or piggybacked on one; the
-  // two buckets must account for all of them.
-  EXPECT_EQ(resolver.fetches() + resolver.failures() +
+  // outcome buckets must account for all of them.
+  EXPECT_EQ(resolver.fetches() + resolver.failures() + resolver.negatives() +
                 resolver.coalesced_fetches(),
             static_cast<uint64_t>(kThreads * kRounds));
   EXPECT_GE(resolver.fetches(), 1u);
@@ -557,6 +668,91 @@ TEST(PeerFetchTest, CrossShardTraversalOfClientBuiltTreesResolves) {
   // And the peer-fetch counters travel the wire in ChunkStoreStats.
   const ChunkStoreStats remote_stats = (*probe)->store()->stats();
   EXPECT_EQ(remote_stats.peer_fetches, a.view_stats().peer_fetches);
+}
+
+TEST(PeerFetchTest, BatchedPeerFetchUsesFewerRoundTripsThanChunks) {
+  // The wire-tax regression: a server-side traversal of a tree whose
+  // chunks are split across shards used to cost one peer round trip per
+  // missing chunk. With kChunkPeerGetBatch, a traversal's misses ride
+  // batched fetches — the resolver must move MORE chunks than it makes
+  // network calls.
+  PeerServer a;
+  PeerServer b;
+  a.resolver->SetPeers({b.server->endpoint()});
+  b.resolver->SetPeers({a.server->endpoint()});
+
+  ClusterClientOptions opts;
+  opts.endpoints = {a.server->endpoint(), b.server->endpoint()};
+  auto client = ClusterClient::Connect(nullptr, opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Client-built blobs big enough to split into many leaves across both
+  // shards (client-side construction partitions data chunks by cid).
+  Rng rng(11);
+  const std::string content_a = rng.String(16384);
+  std::string content_b = content_a;
+  content_b.replace(8192, 16, "EDITED-SIXTEEN-B");
+  auto blob_a = (*client)->CreateBlob(Slice(content_a));
+  auto blob_b = (*client)->CreateBlob(Slice(content_b));
+  ASSERT_TRUE(blob_a.ok());
+  ASSERT_TRUE(blob_b.ok());
+  ASSERT_GT(a.raw_local->stats().chunks, 0u);
+  ASSERT_GT(b.raw_local->stats().chunks, 0u);
+
+  auto uid_a = (*client)->Put("batch-a", blob_a->ToValue());
+  auto uid_b = (*client)->Put("batch-b", blob_b->ToValue());
+  ASSERT_TRUE(uid_a.ok());
+  ASSERT_TRUE(uid_b.ok());
+
+  // Server-side diff traverses both trees on one servlet; its misses
+  // (the other shard's leaves) must batch.
+  auto diff = (*client)->DiffBlobVersions(*uid_a, *uid_b);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff->identical);
+
+  const uint64_t chunks_fetched = a.resolver->fetches() + b.resolver->fetches();
+  const uint64_t round_trips =
+      a.resolver->round_trips() + b.resolver->round_trips();
+  EXPECT_GT(chunks_fetched, 0u) << "the traversal never needed a peer";
+  EXPECT_GT(round_trips, 0u);
+  EXPECT_LT(round_trips, chunks_fetched)
+      << "peer fetches were not batched: " << round_trips
+      << " round trips for " << chunks_fetched << " chunks";
+
+  // The new counters travel the wire in kStoreStats.
+  auto probe = rpc::RemoteService::Connect(a.server->endpoint());
+  ASSERT_TRUE(probe.ok());
+  const ChunkStoreStats remote_stats = (*probe)->store()->stats();
+  EXPECT_EQ(remote_stats.peer_round_trips, a.resolver->round_trips());
+  EXPECT_EQ(remote_stats.peer_fetch_negatives, a.resolver->negatives());
+}
+
+TEST(RemoteServiceTest, ClientChunkCacheServesRepeatReadsWithoutRoundTrips) {
+  LiveServer live;
+  auto client = rpc::RemoteService::Connect(live.server->endpoint());
+  ASSERT_TRUE(client.ok());
+
+  const Chunk chunk = Chunk(ChunkType::kBlob, ToBytes("cache me"));
+  const Hash cid = chunk.ComputeCid();
+  ASSERT_TRUE((*client)->store()->Put(cid, chunk).ok());
+
+  // The write primed the client cache; the read never hits the server.
+  const uint64_t server_gets_before = live.engine.store()->stats().gets;
+  Chunk out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*client)->store()->Get(cid, &out).ok());
+    EXPECT_EQ(out.payload().ToString(), "cache me");
+  }
+  EXPECT_EQ(live.engine.store()->stats().gets, server_gets_before)
+      << "a cached chunk was re-fetched over the wire";
+
+  // A cache-less client pays the round trip (control case).
+  rpc::RemoteServiceOptions nocache;
+  nocache.chunk_cache_bytes = 0;
+  auto cold = rpc::RemoteService::Connect(live.server->endpoint(), nocache);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE((*cold)->store()->Get(cid, &out).ok());
+  EXPECT_GT(live.engine.store()->stats().gets, server_gets_before);
 }
 
 TEST(PeerFetchTest, VersionOpsRouteOnlyToPeerCapableServers) {
