@@ -14,7 +14,7 @@ namespace fb {
 namespace {
 
 void RunSeries(const char* engine_name, WikiEngine* wiki, int num_pages,
-               int num_requests, double update_ratio) {
+               int num_requests, double update_ratio, bench::BenchJson* json) {
   Rng rng(99);
   std::vector<std::string> contents(num_pages);
   for (auto& c : contents) c = rng.String(15 * 1024);  // 15 KB pages
@@ -37,10 +37,16 @@ void RunSeries(const char* engine_name, WikiEngine* wiki, int num_pages,
     bench::Check(wiki->SavePage(MakeKey(page_idx, 8, "page"), Slice(content)),
                  "SavePage");
     if ((i + 1) % checkpoint == 0) {
+      const double req_per_s = (i + 1) / t.ElapsedSeconds();
+      const double storage_mb = wiki->StorageBytes() / 1048576.0;
       bench::Row("%-10s %4.0fU %10d %14.0f %16.1f", engine_name,
-                 update_ratio * 100, i + 1,
-                 (i + 1) / t.ElapsedSeconds(),
-                 wiki->StorageBytes() / 1048576.0);
+                 update_ratio * 100, i + 1, req_per_s, storage_mb);
+      json->Row()
+          .Str("engine", engine_name)
+          .Num("update_ratio", update_ratio)
+          .Num("requests", i + 1)
+          .Num("req_per_s", req_per_s)
+          .Num("storage_mb", storage_mb);
     }
   }
 }
@@ -52,15 +58,19 @@ int main(int argc, char** argv) {
   const double scale = fb::bench::ScaleArg(argc, argv, 0.05);
   const int num_pages = std::max(8, static_cast<int>(3200 * scale));
   const int num_requests = std::max(100, static_cast<int>(120000 * scale));
+  fb::bench::BenchJson json(argc, argv, "fig13_wiki_edit");
+  json.Config("scale", scale)
+      .Config("num_pages", num_pages)
+      .Config("num_requests", num_requests);
 
   fb::bench::Header("Figure 13: wiki editing throughput and storage");
   fb::bench::Row("%-10s %5s %10s %14s %16s", "Engine", "xU", "#Requests",
                  "req/s", "storage (MB)");
   for (double ratio : {1.0, 0.9, 0.8}) {
     fb::ForkBaseWiki fb_wiki;
-    fb::RunSeries("ForkBase", &fb_wiki, num_pages, num_requests, ratio);
+    fb::RunSeries("ForkBase", &fb_wiki, num_pages, num_requests, ratio, &json);
     fb::RedisWiki redis_wiki;
-    fb::RunSeries("Redis", &redis_wiki, num_pages, num_requests, ratio);
+    fb::RunSeries("Redis", &redis_wiki, num_pages, num_requests, ratio, &json);
   }
   return 0;
 }

@@ -51,7 +51,10 @@ int main(int argc, char** argv) {
       .Config("num_pages", num_pages)
       .Config("explorations", explorations);
 
-  fb::ForkBaseWiki wiki;
+  // The wiki runs over an explicit engine so the hot-head cache counters
+  // can be reported (and asserted on) from the JSON.
+  fb::ForkBase db;
+  fb::ForkBaseWiki wiki(&db);
   fb::RedisWiki redis;
   fb::Populate(&wiki, &redis, num_pages, kVersions);
 
@@ -61,26 +64,36 @@ int main(int argc, char** argv) {
 
   fb::Rng rng(6);
   for (int depth = 1; depth <= kVersions; ++depth) {
-    // ForkBase: client cache across the exploration.
+    // ForkBase. The latest version is served by GetValue: one round
+    // trip whose reply carries the materialized content (hot heads come
+    // straight from the servlet's value cache, no tree traversal), so
+    // its modeled network cost is the same full-content transfer the
+    // Redis baseline pays rather than a per-chunk fetch. Older versions
+    // walk the history with a client chunk cache as before.
     {
       fb::Timer t;
       double modeled_extra = 0;
       for (int e = 0; e < explorations; ++e) {
         const std::string page = fb::MakeKey(rng.Uniform(num_pages), 8,
                                              "page");
-        fb::CachedChunkStore cache(wiki.service().store());
-        auto head = wiki.service().Get(page);
-        fb::bench::Check(head.status(), "get head");
-        auto versions = wiki.service().TrackFromUid(head->uid(), 0, depth - 1);
-        fb::bench::Check(versions.status(), "track");
-        for (const auto& obj : *versions) {
-          fb::Blob blob(&cache, wiki.service().tree_config(),
-                        obj.value().root());
-          auto bytes = blob.ReadAll();
-          fb::bench::Check(bytes.status(), "read");
+        auto latest = wiki.service().GetValue(page);
+        fb::bench::Check(latest.status(), "get value");
+        modeled_extra += (latest->value.size() / 4096.0) *
+                         fb::kRemoteFetchMicros * 1e-6;
+        if (depth > 1) {
+          fb::CachedChunkStore cache(wiki.service().store());
+          auto versions =
+              wiki.service().TrackFromUid(latest->object.uid(), 1, depth - 1);
+          fb::bench::Check(versions.status(), "track");
+          for (const auto& obj : *versions) {
+            fb::Blob blob(&cache, wiki.service().tree_config(),
+                          obj.value().root());
+            auto bytes = blob.ReadAll();
+            fb::bench::Check(bytes.status(), "read");
+          }
+          modeled_extra +=
+              cache.remote_fetches() * fb::kRemoteFetchMicros * 1e-6;
         }
-        modeled_extra +=
-            cache.remote_fetches() * fb::kRemoteFetchMicros * 1e-6;
       }
       const double secs = t.ElapsedSeconds() + modeled_extra;
       fb::bench::Row("%-10s %10d %14.1f", "ForkBase", depth,
@@ -114,5 +127,16 @@ int main(int argc, char** argv) {
           .Num("explor_per_s", explorations / secs);
     }
   }
+
+  // Cache effectiveness of the run: the v>=1 hot reads above must have
+  // been served by the hot-head value cache, not just the tree path.
+  const fb::HotHeadCacheStats hot = db.hot_head_stats();
+  json.Row()
+      .Str("engine", "forkbase")
+      .Str("phase", "cache_stats")
+      .Num("cache_hits", static_cast<double>(hot.hits))
+      .Num("cache_hit_bytes", static_cast<double>(hot.hit_bytes))
+      .Num("cache_inserts", static_cast<double>(hot.inserts))
+      .Num("cache_invalidations", static_cast<double>(hot.invalidations));
   return 0;
 }

@@ -31,6 +31,7 @@ const char* CommandOpToString(CommandOp op) {
     case CommandOp::kMergeUids: return "MergeUids";
     case CommandOp::kDiffSorted: return "DiffSorted";
     case CommandOp::kDiffBlob: return "DiffBlob";
+    case CommandOp::kGetValue: return "GetValue";
   }
   return "Unknown";
 }
@@ -304,6 +305,8 @@ Bytes Reply::Serialize() const {
     PutOptionalBytes(&out, d.left);
     PutOptionalBytes(&out, d.right);
   }
+  out.push_back(has_value ? 1 : 0);
+  PutLengthPrefixed(&out, Slice(value));
   return out;
 }
 
@@ -370,6 +373,10 @@ Result<Reply> Reply::Parse(Slice data) {
     FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &d.left));
     FB_RETURN_NOT_OK(ReadOptionalBytes(&r, &d.right));
   }
+  FB_RETURN_NOT_OK(r.ReadRaw(1, &b));
+  reply.has_value = b[0] != 0;
+  FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  reply.value = s.ToBytes();
   if (!r.AtEnd()) return Status::Corruption("trailing bytes after reply");
   return reply;
 }

@@ -20,6 +20,7 @@
 //            [varint n + (LP name, 32B head) branches...]
 //            [varint n + LP objects...][varint n + conflicts...]
 //            [range diff][varint n + key diffs...]
+//            [u8 has_value][LP value]
 // where LP is a length-prefixed byte string. Parsing rejects trailing
 // bytes, unknown versions, and out-of-range enum values.
 
@@ -66,9 +67,10 @@ enum class CommandOp : uint8_t {
   kMergeUids = 20,           // M7: merge untagged versions
   kDiffSorted = 21,          // key-wise diff of Map/Set versions
   kDiffBlob = 22,            // byte-range diff of Blob versions
+  kGetValue = 23,            // M1 + server-side value materialization
 };
 inline constexpr uint8_t kMaxCommandOp =
-    static_cast<uint8_t>(CommandOp::kDiffBlob);
+    static_cast<uint8_t>(CommandOp::kGetValue);
 
 const char* CommandOpToString(CommandOp op);
 
@@ -118,6 +120,11 @@ struct Reply {
   std::vector<MergeConflict> conflicts;  // unresolved merge conflicts
   RangeDiff range;                       // DiffBlob
   std::vector<KeyDiff> key_diffs;        // DiffSorted
+  // GetValue: the materialized value bytes of the head object, when its
+  // type materializes (primitives and Blob). has_value distinguishes "no
+  // materialized value" from "a value of zero bytes".
+  bool has_value = false;
+  Bytes value;
 
   bool ok() const { return code == StatusCode::kOk; }
   // The carried status (OK, or code+message re-materialized).

@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "kvstore/lsm_chunk_store.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -66,16 +68,29 @@ ForkBase::ForkBase(DBOptions options)
     : options_(options),
       owned_store_(std::make_unique<MemChunkStore>()),
       store_(owned_store_.get()),
-      branches_(options.branch_stripes) {}
+      branches_(options.branch_stripes) {
+  InitHotHeadCache();
+}
 
 ForkBase::ForkBase(DBOptions options, std::unique_ptr<ChunkStore> store)
     : options_(options),
       owned_store_(std::move(store)),
       store_(owned_store_.get()),
-      branches_(options.branch_stripes) {}
+      branches_(options.branch_stripes) {
+  InitHotHeadCache();
+}
 
 ForkBase::ForkBase(DBOptions options, ChunkStore* store)
-    : options_(options), store_(store), branches_(options.branch_stripes) {}
+    : options_(options), store_(store), branches_(options.branch_stripes) {
+  InitHotHeadCache();
+}
+
+void ForkBase::InitHotHeadCache() {
+  if (options_.hot_head_cache_bytes == 0) return;
+  hot_cache_ =
+      std::make_unique<HotHeadCache>(options_.hot_head_cache_bytes);
+  branches_.set_head_observer(hot_cache_.get());
+}
 
 ForkBase::~ForkBase() {
   if (!branch_snapshot_path_.empty()) {
@@ -83,6 +98,8 @@ ForkBase::~ForkBase() {
     // Best-effort: a failure leaves the previous on-disk snapshot intact.
     (void)PersistBranchState();
   }
+  // The cache is destroyed before branches_ would stop referencing it.
+  branches_.set_head_observer(nullptr);
 }
 
 Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
@@ -92,11 +109,35 @@ Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
 
 Result<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     const std::string& dir, DBOptions options, const StoreWrapper& wrap) {
-  LogStoreOptions log_options;
-  log_options.durability = options.durability;
-  FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> log_store,
-                      LogChunkStore::Open(dir, log_options));
-  std::unique_ptr<ChunkStore> store = std::move(log_store);
+  std::unique_ptr<ChunkStore> store;
+  switch (options.store_backend) {
+    case StoreBackend::kLog: {
+      LogStoreOptions log_options;
+      log_options.durability = options.durability;
+      log_options.block_cache_bytes = options.block_cache_bytes;
+      FB_ASSIGN_OR_RETURN(std::unique_ptr<LogChunkStore> log_store,
+                          LogChunkStore::Open(dir, log_options));
+      store = std::move(log_store);
+      break;
+    }
+    case StoreBackend::kLsm: {
+      LsmChunkStoreOptions lsm_options;
+      lsm_options.durability = options.durability;
+      lsm_options.block_cache_bytes = options.block_cache_bytes;
+      FB_ASSIGN_OR_RETURN(std::unique_ptr<LsmChunkStore> lsm_store,
+                          LsmChunkStore::Open(dir, lsm_options));
+      store = std::move(lsm_store);
+      break;
+    }
+    case StoreBackend::kMem:
+      // Volatile chunks; the branch snapshot still round-trips, restore
+      // simply drops every key whose head no longer verifies.
+      store = std::make_unique<MemChunkStore>();
+      break;
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument("unknown store backend");
+  }
   if (wrap != nullptr) {
     store = wrap(std::move(store));
     if (store == nullptr) {
@@ -254,6 +295,73 @@ Result<FObject> ForkBase::GetByUid(const Hash& uid) const {
 Result<Hash> ForkBase::Head(const std::string& key,
                             const std::string& branch) {
   return branches_.Head(key, branch);
+}
+
+Result<Hash> ForkBase::ResolveReadHead(const std::string& key,
+                                       const std::string& branch) const {
+  if (!branch.empty()) return branches_.Head(key, branch);
+  // Empty branch: the sole untagged (fork-on-conflict) head — the
+  // "latest version" of a key maintained purely through PutByBase.
+  FB_ASSIGN_OR_RETURN(std::vector<Hash> heads,
+                      branches_.UntaggedBranches(key));
+  if (heads.empty()) return Status::NotFound("no untagged head");
+  if (heads.size() > 1) {
+    return Status::Conflict("key '" + key + "' has " +
+                            std::to_string(heads.size()) + " untagged heads");
+  }
+  return heads[0];
+}
+
+Result<ValueReadout> ForkBase::GetValue(const std::string& key,
+                                        const std::string& branch) {
+  FB_ASSIGN_OR_RETURN(Hash head, ResolveReadHead(key, branch));
+
+  // Hot path: the cache entry is served only when its uid equals the
+  // head resolved above, so a stale value can never be observed even if
+  // an invalidation is still in flight.
+  if (hot_cache_ != nullptr) {
+    HotHeadCache::Entry entry;
+    if (hot_cache_->Lookup(key, branch, head, &entry)) {
+      Chunk meta;
+      if (Chunk::Deserialize(Slice(entry.meta), &meta)) {
+        auto obj = FObject::FromChunk(meta);
+        if (obj.ok()) {
+          ValueReadout out;
+          out.object = std::move(*obj);
+          out.has_value = entry.has_value;
+          out.value = std::move(entry.value);
+          return out;
+        }
+      }
+      // Undecodable entry (cannot happen without memory corruption):
+      // fall through to the authoritative tree read.
+    }
+  }
+
+  FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
+  ValueReadout out;
+  if (!IsChunkable(obj.type())) {
+    out.has_value = true;
+    out.value = obj.value().bytes().ToBytes();
+  } else if (obj.type() == UType::kBlob) {
+    Blob blob(store_, options_.tree, obj.value().root());
+    FB_ASSIGN_OR_RETURN(out.value, blob.ReadAll());
+    out.has_value = true;
+  }
+  if (hot_cache_ != nullptr) {
+    HotHeadCache::Entry entry;
+    entry.uid = head;
+    entry.meta = obj.ToChunk().Serialize();
+    entry.has_value = out.has_value;
+    entry.value = out.value;
+    hot_cache_->Insert(key, branch, std::move(entry));
+  }
+  out.object = std::move(obj);
+  return out;
+}
+
+HotHeadCacheStats ForkBase::hot_head_stats() const {
+  return hot_cache_ != nullptr ? hot_cache_->stats() : HotHeadCacheStats{};
 }
 
 // ---------------------------------------------------------------------------

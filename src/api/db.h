@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "api/hot_head_cache.h"
 #include "api/merge_resolver.h"
 #include "branch/branch_manager.h"
 #include "branch/history.h"
@@ -40,6 +41,14 @@
 #include "types/handles.h"
 
 namespace fb {
+
+// Physical chunk-store backend opened by OpenPersistent.
+enum class StoreBackend : uint8_t {
+  kLog = 0,  // append-only segmented log (LogChunkStore)
+  kLsm = 1,  // log-structured merge store (LsmChunkStore)
+  kMem = 2,  // in-memory (MemChunkStore); chunks are NOT durable, but the
+             // API (including branch-state snapshots) behaves identically
+};
 
 struct DBOptions {
   TreeConfig tree;
@@ -58,6 +67,33 @@ struct DBOptions {
   // rewrites the file, so the cadence trades crash-window size against
   // bulk-load throughput; raise it (or set 0) for large ingests.
   uint64_t branch_snapshot_every = 4096;
+  // Physical store OpenPersistent roots at `dir` (embedded constructors
+  // over a caller-supplied store ignore this). The compile-time default
+  // is overridable (-DFORKBASE_DEFAULT_STORE_BACKEND=kLsm) so CI can run
+  // the whole suite's persistent paths against another engine.
+#ifndef FORKBASE_DEFAULT_STORE_BACKEND
+#define FORKBASE_DEFAULT_STORE_BACKEND kLog
+#endif
+  StoreBackend store_backend = StoreBackend::FORKBASE_DEFAULT_STORE_BACKEND;
+  // Byte budget of the admission-policy block cache fronting disk reads
+  // in the log and LSM backends (0 disables). Chunks are immutable, so
+  // the cache never affects visible behavior, only read cost.
+  uint64_t block_cache_bytes = 32ull << 20;
+  // Byte budget of the hot-head materialized value cache (0 disables):
+  // GetValue on a cached head serves the decoded value without touching
+  // the POS-tree. Entries are uid-guarded, so a served value always
+  // matches the branch head resolved in the same call.
+  uint64_t hot_head_cache_bytes = 8ull << 20;
+};
+
+// The product of GetValue (M1 + materialization): the head object plus —
+// when the type materializes (primitives and Blob) — its decoded value
+// bytes. Map/Set/List readouts carry only the object; callers fall back
+// to handle traversal.
+struct ValueReadout {
+  FObject object;
+  bool has_value = false;
+  Bytes value;
 };
 
 class ForkBase {
@@ -126,6 +162,18 @@ class ForkBase {
   }
   Result<FObject> Get(const std::string& key, const std::string& branch);
   Result<FObject> GetByUid(const Hash& uid) const;
+
+  // Head read with value materialization: like Get, but also decodes the
+  // value (primitives inline, Blob contents in full) so hot heads serve
+  // from the uid-guarded HotHeadCache without any POS-tree traversal.
+  // An empty `branch` addresses the key's sole untagged
+  // (fork-on-conflict) head — NotFound when there is none, Conflict when
+  // several coexist.
+  Result<ValueReadout> GetValue(const std::string& key,
+                                const std::string& branch = kDefaultBranch);
+
+  // Counters of the hot-head cache (zeroed stats when disabled).
+  HotHeadCacheStats hot_head_stats() const;
 
   // Head uid of a branch without fetching the object.
   Result<Hash> Head(const std::string& key, const std::string& branch);
@@ -267,6 +315,14 @@ class ForkBase {
   // cadence (no-op when branch persistence is disabled).
   void NoteBranchMutations(uint64_t n);
 
+  // Creates hot_cache_ per options and registers it as the branch
+  // tables' head observer (no-op when the budget is 0).
+  void InitHotHeadCache();
+  // Resolves the head GetValue reads: `branch` names a tagged branch, or
+  // (when empty) the key's sole untagged head.
+  Result<Hash> ResolveReadHead(const std::string& key,
+                               const std::string& branch) const;
+
   DBOptions options_;
   std::unique_ptr<ChunkStore> owned_store_;
   ChunkStore* store_;
@@ -274,6 +330,11 @@ class ForkBase {
   // Striped branch tables: per-key operations serialize only within the
   // owning stripe, so independent keys commit in parallel.
   BranchManager branches_;
+
+  // Hot-head materialized value cache (nullptr when disabled). Declared
+  // after branches_ but registered as its observer; detached in ~ForkBase
+  // before destruction.
+  std::unique_ptr<HotHeadCache> hot_cache_;
 
   // Branch-state persistence (OpenPersistent only). The mutation counter
   // is advisory — racing writers may snapshot once each around the

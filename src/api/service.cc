@@ -188,6 +188,15 @@ Reply ApplyCommand(ForkBase* db, const Command& cmd) {
       reply.range = *diff;
       return reply;
     }
+    case CommandOp::kGetValue: {
+      auto readout = db->GetValue(cmd.key, cmd.branch);
+      if (!readout.ok()) return Reply::FromStatus(readout.status());
+      reply.uid = readout->object.uid();
+      AppendObject(&reply, readout->object);
+      reply.has_value = readout->has_value;
+      reply.value = std::move(readout->value);
+      return reply;
+    }
   }
   return Reply::FromStatus(Status::Unimplemented("unknown command op"));
 }
@@ -275,6 +284,22 @@ Result<FObject> ForkBaseService::Get(const std::string& key,
   Reply reply = Execute(cmd);
   FB_RETURN_NOT_OK(reply.ToStatus());
   return ObjectAt(reply, 0);
+}
+
+Result<ValueReadout> ForkBaseService::GetValue(const std::string& key,
+                                               const std::string& branch) {
+  Command cmd;
+  cmd.op = CommandOp::kGetValue;
+  cmd.key = key;
+  cmd.branch = branch;
+  Reply reply = Execute(cmd);
+  FB_RETURN_NOT_OK(reply.ToStatus());
+  FB_ASSIGN_OR_RETURN(FObject obj, ObjectAt(reply, 0));
+  ValueReadout out;
+  out.object = std::move(obj);
+  out.has_value = reply.has_value;
+  out.value = std::move(reply.value);
+  return out;
 }
 
 Result<FObject> ForkBaseService::GetByUid(const Hash& uid) {

@@ -66,6 +66,15 @@ class ForkBaseService {
   Result<FObject> GetByUid(const Hash& uid);
   Result<Hash> Head(const std::string& key, const std::string& branch);
 
+  // Head read with server-side value materialization: the servlet
+  // resolves the head AND decodes the value (primitives and Blob) in one
+  // round trip, serving hot heads from its uid-guarded value cache. An
+  // empty `branch` addresses the key's sole untagged head. For Map /
+  // Set / List the readout carries the object only (has_value == false)
+  // and callers traverse through the usual handles.
+  Result<ValueReadout> GetValue(const std::string& key,
+                                const std::string& branch = kDefaultBranch);
+
   // --- Put (M3, M4) ------------------------------------------------------
 
   Result<Hash> Put(const std::string& key, const Value& value,

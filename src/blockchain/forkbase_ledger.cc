@@ -40,6 +40,19 @@ Status ForkBaseLedger::Read(const std::string& contract,
     *value = bit->second;
     return Status::OK();
   }
+  // Hot path: between commits the value object's sole untagged head IS
+  // the uid the contract map records (PutByBase replaces the head on
+  // every serial commit), so reading it skips both map traversals and —
+  // for hot keys — the blob read too. Any ambiguity (no head yet, or a
+  // forked history with several untagged heads) falls back to the
+  // authoritative map walk below.
+  {
+    auto hot = db_.GetValue(ValueKey(contract, key), std::string());
+    if (hot.ok() && hot->has_value) {
+      *value = BytesToString(hot->value);
+      return Status::OK();
+    }
+  }
   FB_ASSIGN_OR_RETURN(Hash uid, LatestValueUid(contract, key));
   FB_ASSIGN_OR_RETURN(FObject obj, db_.GetByUid(uid));
   FB_ASSIGN_OR_RETURN(Blob blob, db_.GetBlob(obj));
@@ -86,12 +99,23 @@ Status ForkBaseLedger::Commit(uint64_t number,
     }
     FMap& map = mit->second;
 
-    // Previous version of this value, if any.
+    // Previous version of this value, if any. The value object's sole
+    // untagged head IS the uid the map records between serial commits
+    // (the same invariant Read's hot path rests on), and the head
+    // lookup is a hash-table read where map.Get is a POS-tree descent —
+    // the read-modify-write inner loop's dominant cost. Ambiguity (new
+    // key, forked history, ValueKey aliasing) falls back to the
+    // authoritative map.
     Hash base_uid;
     {
-      FB_ASSIGN_OR_RETURN(auto prev, map.Get(Slice(key)));
-      if (prev.has_value()) {
-        FB_ASSIGN_OR_RETURN(base_uid, UidFromBytes(*prev));
+      auto heads = db_.ListUntaggedBranches(ValueKey(contract, key));
+      if (heads.ok() && heads->size() == 1) {
+        base_uid = (*heads)[0];
+      } else {
+        FB_ASSIGN_OR_RETURN(auto prev, map.Get(Slice(key)));
+        if (prev.has_value()) {
+          FB_ASSIGN_OR_RETURN(base_uid, UidFromBytes(*prev));
+        }
       }
     }
     FB_ASSIGN_OR_RETURN(Blob blob,

@@ -52,8 +52,13 @@ Status BranchManager::SetHead(const std::string& key,
                               const std::string& branch, const Hash& head,
                               const Hash* guard) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.tables[key].SetHead(branch, head, guard);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    s = stripe.tables[key].SetHead(branch, head, guard);
+  }
+  if (s.ok()) NotifyHead(key, branch);
+  return s;
 }
 
 Status BranchManager::CheckGuard(const std::string& key,
@@ -74,44 +79,69 @@ Status BranchManager::Fork(const std::string& key,
                            const std::string& ref_branch,
                            const std::string& new_branch) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  auto it = stripe.tables.find(key);
-  if (it == stripe.tables.end()) return KeyNotFound(key);
-  FB_ASSIGN_OR_RETURN(Hash head, it->second.Head(ref_branch));
-  if (it->second.HasBranch(new_branch)) {
-    return Status::AlreadyExists("branch '" + new_branch + "'");
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.tables.find(key);
+    if (it == stripe.tables.end()) return KeyNotFound(key);
+    s = [&]() -> Status {
+      FB_ASSIGN_OR_RETURN(Hash head, it->second.Head(ref_branch));
+      if (it->second.HasBranch(new_branch)) {
+        return Status::AlreadyExists("branch '" + new_branch + "'");
+      }
+      return it->second.SetHead(new_branch, head);
+    }();
   }
-  return it->second.SetHead(new_branch, head);
+  if (s.ok()) NotifyHead(key, new_branch);
+  return s;
 }
 
 Status BranchManager::CreateBranchAt(const std::string& key, const Hash& uid,
                                      const std::string& new_branch) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  BranchTable& table = stripe.tables[key];
-  if (table.HasBranch(new_branch)) {
-    return Status::AlreadyExists("branch '" + new_branch + "'");
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    BranchTable& table = stripe.tables[key];
+    if (table.HasBranch(new_branch)) {
+      return Status::AlreadyExists("branch '" + new_branch + "'");
+    }
+    s = table.SetHead(new_branch, uid);
   }
-  return table.SetHead(new_branch, uid);
+  if (s.ok()) NotifyHead(key, new_branch);
+  return s;
 }
 
 Status BranchManager::Rename(const std::string& key,
                              const std::string& tgt_branch,
                              const std::string& new_branch) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  auto it = stripe.tables.find(key);
-  if (it == stripe.tables.end()) return KeyNotFound(key);
-  return it->second.RenameBranch(tgt_branch, new_branch);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.tables.find(key);
+    if (it == stripe.tables.end()) return KeyNotFound(key);
+    s = it->second.RenameBranch(tgt_branch, new_branch);
+  }
+  if (s.ok()) {
+    NotifyHead(key, tgt_branch);  // disappeared
+    NotifyHead(key, new_branch);  // appeared
+  }
+  return s;
 }
 
 Status BranchManager::Remove(const std::string& key,
                              const std::string& tgt_branch) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  auto it = stripe.tables.find(key);
-  if (it == stripe.tables.end()) return KeyNotFound(key);
-  return it->second.RemoveBranch(tgt_branch);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.tables.find(key);
+    if (it == stripe.tables.end()) return KeyNotFound(key);
+    s = it->second.RemoveBranch(tgt_branch);
+  }
+  if (s.ok()) NotifyHead(key, tgt_branch);
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -121,8 +151,11 @@ Status BranchManager::Remove(const std::string& key,
 Status BranchManager::AddUntagged(const std::string& key, const Hash& uid,
                                   const Hash& base) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.tables[key].AddUntagged(uid, base);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.tables[key].AddUntagged(uid, base);
+  }
+  NotifyHead(key, std::string());
   return Status::OK();
 }
 
@@ -130,8 +163,11 @@ Status BranchManager::ReplaceUntagged(const std::string& key,
                                       const std::vector<Hash>& old_heads,
                                       const Hash& merged) {
   Stripe& stripe = StripeOf(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.tables[key].ReplaceUntagged(old_heads, merged);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.tables[key].ReplaceUntagged(old_heads, merged);
+  }
+  NotifyHead(key, std::string());
   return Status::OK();
 }
 
@@ -202,15 +238,22 @@ Status BranchManager::SetHeads(const std::vector<std::string>& keys,
   for (size_t i = 0; i < keys.size(); ++i) {
     by_stripe[StripeIndex(keys[i])].push_back(i);
   }
-  for (size_t s = 0; s < stripes_.size(); ++s) {
+  Status s_all;
+  for (size_t s = 0; s < stripes_.size() && s_all.ok(); ++s) {
     if (by_stripe[s].empty()) continue;
     Stripe& stripe = *stripes_[s];
     std::lock_guard<std::mutex> lock(stripe.mu);
     for (size_t i : by_stripe[s]) {
-      FB_RETURN_NOT_OK(stripe.tables[keys[i]].SetHead(branch, heads[i]));
+      s_all = stripe.tables[keys[i]].SetHead(branch, heads[i]);
+      if (!s_all.ok()) break;
     }
   }
-  return Status::OK();
+  // One notification per key, after all stripes are released. An error
+  // leaves earlier stripes already swung, so notify the whole batch
+  // regardless of how far it got: an over-notification is a harmless
+  // invalidation, a missed one would leave a stale hint.
+  for (const std::string& key : keys) NotifyHead(key, branch);
+  return s_all;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +338,8 @@ Status BranchManager::ImportState(Slice data, const HeadVerifier& verify,
   for (auto& [key, table] : restored) {
     stripes_[StripeIndex(key)]->tables[key] = std::move(table);
   }
+  locks.clear();
+  NotifyAll();
   return Status::OK();
 }
 

@@ -32,6 +32,22 @@
 
 namespace fb {
 
+// Notified after a branch-head mutation commits. Fired outside stripe
+// locks, so a notification may arrive after a newer mutation's — treat it
+// as a hint (invalidate, re-resolve), never as the new head's identity.
+// The hot-head value cache uses it for eager invalidation; correctness
+// there rests on its serve-time uid guard, not on delivery order.
+class HeadObserver {
+ public:
+  virtual ~HeadObserver() = default;
+  // The (key, branch) head moved, appeared, or disappeared. Untagged
+  // (UB-table) changes report the empty branch name.
+  virtual void OnHeadChange(const std::string& key,
+                            const std::string& branch) = 0;
+  // The whole branch view was replaced (ImportState).
+  virtual void OnAllHeadsChange() = 0;
+};
+
 class BranchManager {
  public:
   static constexpr size_t kDefaultStripes = 16;
@@ -126,7 +142,20 @@ class BranchManager {
   Status ImportState(Slice data, const HeadVerifier& verify = nullptr,
                      bool lenient = false, size_t* dropped = nullptr);
 
+  // --- Change notification --------------------------------------------------
+
+  // Installs the (single) head observer. Must be called before concurrent
+  // use; the observer must outlive the manager. nullptr detaches.
+  void set_head_observer(HeadObserver* observer) { observer_ = observer; }
+
  private:
+  void NotifyHead(const std::string& key, const std::string& branch) const {
+    if (observer_ != nullptr) observer_->OnHeadChange(key, branch);
+  }
+  void NotifyAll() const {
+    if (observer_ != nullptr) observer_->OnAllHeadsChange();
+  }
+
   struct Stripe {
     mutable std::mutex mu;
     std::map<std::string, BranchTable> tables;
@@ -143,6 +172,7 @@ class BranchManager {
   }
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  HeadObserver* observer_ = nullptr;
 };
 
 }  // namespace fb

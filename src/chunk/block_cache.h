@@ -1,0 +1,137 @@
+// AdmissionChunkCache: a sharded, byte-capped block cache with a
+// TinyLFU-style admission policy, for the disk-read path (ROADMAP
+// item 4a: "block/chunk cache with an admission policy in front of
+// LogChunkStore disk reads").
+//
+// Why not just LruChunkCache? Plain LRU is scan-vulnerable: a single
+// pass over a large dataset (bulk GetBatch, a POS-tree diff across an
+// old version) evicts the whole hot set while inserting chunks that
+// will never be read again. This cache keeps a compact frequency
+// sketch (a count-min sketch with periodic halving — the "TinyLFU"
+// aging scheme) over every cid it has *seen*, and on insertion under
+// pressure admits the incoming chunk only if its estimated frequency
+// beats the eviction victim's. One-touch scan chunks lose that duel
+// and are rejected without disturbing residents.
+//
+// Each shard is a segmented LRU: new admissions enter a probation
+// segment; a second hit promotes to the protected segment (capped at
+// ~80% of the shard budget, overflow demotes back to probation). The
+// eviction victim is always the probation tail, so even admitted
+// once-hit chunks cannot flush the protected hot set.
+//
+// Chunks are immutable and content-addressed, so there is no
+// invalidation — entries leave only by eviction.
+//
+// Thread-safe: one mutex per shard (cid-sliced), frequency sketch and
+// stat counters are shard-local under the same mutex, exposed totals
+// are aggregated on demand.
+
+#ifndef FORKBASE_CHUNK_BLOCK_CACHE_H_
+#define FORKBASE_CHUNK_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chunk/chunk.h"
+
+namespace fb {
+
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t hit_bytes = 0;   // serialized bytes served from the cache
+  uint64_t miss_bytes = 0;  // serialized bytes fetched after a miss
+                            // (counted at insertion attempt time)
+  uint64_t admissions = 0;  // inserts that entered the cache
+  uint64_t rejections = 0;  // inserts turned away by the admission duel
+  uint64_t evictions = 0;   // residents displaced to fit admissions
+};
+
+class AdmissionChunkCache {
+ public:
+  static constexpr size_t kDefaultCapacityBytes = 32u << 20;
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit AdmissionChunkCache(size_t capacity_bytes = kDefaultCapacityBytes,
+                               size_t n_shards = kDefaultShards);
+
+  // Copies the cached chunk into *chunk and bumps its frequency and
+  // recency (probation hit promotes to protected). Counts hit/miss.
+  bool Get(const Hash& cid, Chunk* chunk);
+
+  // Offers a chunk for admission. Under byte pressure the incoming
+  // chunk duels the probation-tail victim on sketch frequency; the
+  // loser stays out (rejection) or leaves (eviction). A chunk larger
+  // than a whole shard's budget is never cached.
+  void Put(const Hash& cid, const Chunk& chunk);
+
+  bool Contains(const Hash& cid) const;
+
+  size_t capacity_bytes() const { return capacity_; }
+  size_t size_bytes() const;
+  size_t entries() const;
+  BlockCacheStats stats() const;
+
+ private:
+  // A 4-row count-min sketch with 8-bit saturating counters, halved
+  // ("aged") once the number of recorded touches reaches sample_size —
+  // keeps frequency estimates fresh so yesterday's hot set cannot
+  // permanently outvote today's. Shard-local; caller holds the shard
+  // mutex.
+  class FrequencySketch {
+   public:
+    void Reset(size_t counters);  // rounded up to a power of two
+    void Touch(uint64_t cid_hash);
+    uint32_t Estimate(uint64_t cid_hash) const;
+
+   private:
+    void Age();
+    std::vector<uint8_t> rows_[4];
+    uint64_t mask_ = 0;
+    uint64_t touches_ = 0;
+    uint64_t sample_size_ = 0;
+  };
+
+  struct Entry {
+    Hash cid;
+    Chunk chunk;
+    size_t charge = 0;
+    bool is_protected = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    EntryList probation;  // front = most recent
+    EntryList protected_seg;
+    std::unordered_map<Hash, EntryList::iterator, HashHasher> index;
+    size_t bytes = 0;
+    size_t protected_bytes = 0;
+    FrequencySketch sketch;
+    BlockCacheStats stats;
+  };
+
+  Shard& ShardFor(const Hash& cid) const {
+    return *shards_[static_cast<size_t>(cid.Mid64()) % shards_.size()];
+  }
+
+  // Caller holds s.mu. Frees probation-tail entries until `incoming`
+  // fits; returns false (rejecting the insert) if the duel says the
+  // incoming chunk is colder than a victim it would displace.
+  bool MakeRoom(Shard& s, uint64_t incoming_hash, size_t incoming_charge);
+  // Caller holds s.mu. Caps the protected segment, demoting overflow.
+  void BalanceProtected(Shard& s);
+
+  const size_t capacity_;
+  const size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fb
+
+#endif  // FORKBASE_CHUNK_BLOCK_CACHE_H_

@@ -12,11 +12,16 @@ bool LruChunkCache::Get(const Hash& cid, Chunk* chunk) {
   lru_.splice(lru_.begin(), lru_, it->second);
   *chunk = it->second->second;
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_bytes_.fetch_add(it->second->second.serialized_size(),
+                       std::memory_order_relaxed);
   return true;
 }
 
 void LruChunkCache::Put(const Hash& cid, const Chunk& chunk) {
   const size_t charge = chunk.serialized_size();
+  // Every insert is the tail end of a miss that went to the slow path —
+  // count its bytes whether or not the chunk ends up cached.
+  miss_bytes_.fetch_add(charge, std::memory_order_relaxed);
   if (charge > capacity_) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(cid);

@@ -47,6 +47,15 @@ class LruChunkCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Byte twins of the counters above: hit_bytes are serialized bytes
+  // served from the cache; miss_bytes are serialized bytes offered back
+  // by the slow path after a miss (counted at Put, capacity or not).
+  uint64_t hit_bytes() const {
+    return hit_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t miss_bytes() const {
+    return miss_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   using Entry = std::pair<Hash, Chunk>;
@@ -61,6 +70,8 @@ class LruChunkCache {
   size_t bytes_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> hit_bytes_{0};
+  std::atomic<uint64_t> miss_bytes_{0};
 };
 
 }  // namespace fb

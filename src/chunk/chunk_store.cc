@@ -8,6 +8,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "chunk/block_cache.h"
+
 namespace fb {
 
 // ---------------------------------------------------------------------------
@@ -94,25 +96,63 @@ bool MemChunkStore::Contains(const Hash& cid) const {
 }
 
 Status MemChunkStore::PutBatch(const ChunkBatch& batch) {
-  // Group batch positions by shard, then take each shard's lock exactly
-  // once. Chunks within a shard are inserted in batch order, so duplicate
-  // cids inside one batch dedup exactly like sequential Puts.
+  std::vector<PendingInsert> entries;
+  entries.reserve(batch.size());
+  for (const auto& [cid, chunk] : batch) {
+    entries.push_back(PendingInsert{&cid, &chunk});
+  }
+  return EnqueueAndWait(entries.data(), entries.size());
+}
+
+Status MemChunkStore::EnqueueAndWait(const PendingInsert* entries, size_t n) {
+  if (n == 0) return Status::OK();
+  std::unique_lock<std::mutex> ql(gc_mu_);
+  gc_queue_.insert(gc_queue_.end(), entries, entries + n);
+  gc_enqueued_ += n;
+  const uint64_t target = gc_enqueued_;
+
+  while (gc_done_ < target) {
+    if (gc_combiner_active_) {
+      gc_cv_.wait(ql);
+      continue;
+    }
+    gc_combiner_active_ = true;
+    while (!gc_queue_.empty()) {
+      std::vector<PendingInsert> group = std::move(gc_queue_);
+      gc_queue_.clear();
+      ql.unlock();
+      CommitGroup(group);
+      ql.lock();
+      gc_done_ += group.size();
+      gc_cv_.notify_all();
+    }
+    gc_combiner_active_ = false;
+    gc_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void MemChunkStore::CommitGroup(const std::vector<PendingInsert>& group) {
+  // Group positions by shard, then take each shard's lock exactly once
+  // for the whole drained group — across every caller that enqueued
+  // into it. Within a shard records land in enqueue order, so duplicate
+  // cids dedup exactly like the equivalent sequence of Puts.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    by_shard[ShardIndex(batch[i].first)].push_back(i);
+  for (size_t i = 0; i < group.size(); ++i) {
+    by_shard[ShardIndex(*group[i].cid)].push_back(i);
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (size_t i : by_shard[s]) {
-      const auto& [cid, chunk] = batch[i];
+      const Hash& cid = *group[i].cid;
+      const Chunk& chunk = *group[i].chunk;
       const bool dedup_hit = shard.chunks.count(cid) > 0;
       if (!dedup_hit) shard.chunks.emplace(cid, chunk);
       stats_.RecordPut(chunk.serialized_size(), dedup_hit);
     }
   }
-  return Status::OK();
 }
 
 Status MemChunkStore::GetBatch(const std::vector<Hash>& cids,
@@ -164,6 +204,10 @@ Result<std::unique_ptr<LogChunkStore>> LogChunkStore::Open(
   if (ec) return Status::IOError("create_directories: " + ec.message());
   auto store =
       std::unique_ptr<LogChunkStore>(new LogChunkStore(dir, options));
+  if (options.block_cache_bytes > 0) {
+    store->block_cache_ =
+        std::make_unique<AdmissionChunkCache>(options.block_cache_bytes);
+  }
   Status s = store->Recover();
   if (!s.ok()) return s;
   return store;
@@ -175,6 +219,9 @@ Result<std::unique_ptr<LogChunkStore>> LogChunkStore::Open(
   options.segment_size = segment_size;
   return Open(dir, options);
 }
+
+LogChunkStore::LogChunkStore(std::string dir, LogStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
 
 LogChunkStore::~LogChunkStore() {
   if (active_ != nullptr) std::fclose(active_);
@@ -440,6 +487,12 @@ Status LogChunkStore::ReadRecord(const Location& loc, Chunk* chunk) const {
 
 Status LogChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   stats_.RecordGet();
+  // Block cache first: a hit skips the index lock and the disk entirely.
+  // Chunks are immutable, so a cached copy is always current — the cache
+  // can answer before the index is even consulted.
+  if (block_cache_ != nullptr && block_cache_->Get(cid, chunk)) {
+    return Status::OK();
+  }
   Location loc;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -456,18 +509,32 @@ Status LogChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   }
   // The record is immutable and its segment file is never deleted, so the
   // actual file I/O can proceed without serializing against appends.
-  return ReadRecord(loc, chunk);
+  Status s = ReadRecord(loc, chunk);
+  if (s.ok() && block_cache_ != nullptr) block_cache_->Put(cid, *chunk);
+  return s;
 }
 
 Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
                                std::vector<Chunk>* chunks) const {
   chunks->resize(cids.size());
+  // Serve cache hits up front; only misses pay for index lookups and
+  // segment I/O below.
+  std::vector<size_t> missing;
+  missing.reserve(cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    stats_.RecordGet();
+    if (block_cache_ != nullptr && block_cache_->Get(cids[i], &(*chunks)[i])) {
+      continue;
+    }
+    missing.push_back(i);
+  }
+  if (missing.empty()) return Status::OK();
+
   std::vector<Location> locs(cids.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     bool flushed = false;
-    for (size_t i = 0; i < cids.size(); ++i) {
-      stats_.RecordGet();
+    for (size_t i : missing) {
       auto it = index_.find(cids[i]);
       if (it == index_.end()) {
         return Status::NotFound("chunk " + cids[i].ToShortHex());
@@ -483,8 +550,7 @@ Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
   }
   // Group the reads by segment and serve each segment through one file
   // handle in offset order, instead of an open/seek/close per record.
-  std::vector<size_t> order(cids.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> order = missing;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (locs[a].segment != locs[b].segment) {
       return locs[a].segment < locs[b].segment;
@@ -503,6 +569,7 @@ Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
     }
     s = ReadRecordFrom(f, locs[i].offset, locs[i].length, &(*chunks)[i]);
     if (!s.ok()) break;
+    if (block_cache_ != nullptr) block_cache_->Put(cids[i], (*chunks)[i]);
   }
   if (f != nullptr) std::fclose(f);
   return s;
@@ -513,7 +580,19 @@ bool LogChunkStore::Contains(const Hash& cid) const {
   return index_.count(cid) > 0;
 }
 
-ChunkStoreStats LogChunkStore::stats() const { return stats_.Snapshot(); }
+ChunkStoreStats LogChunkStore::stats() const {
+  ChunkStoreStats s = stats_.Snapshot();
+  if (block_cache_ != nullptr) {
+    const BlockCacheStats bc = block_cache_->stats();
+    s.cache_hits += bc.hits;
+    s.cache_misses += bc.misses;
+    s.cache_hit_bytes += bc.hit_bytes;
+    s.cache_miss_bytes += bc.miss_bytes;
+    s.cache_admissions += bc.admissions;
+    s.cache_rejections += bc.rejections;
+  }
+  return s;
+}
 
 Status LogChunkStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);

@@ -40,6 +40,8 @@
 
 namespace fb {
 
+class AdmissionChunkCache;
+
 // Counters exposed for benchmarks (dedup ratios, Table 4, Fig 13/15/16).
 // This is a plain snapshot type; stores maintain the live counters in
 // AtomicChunkStoreStats and materialize a consistent-enough snapshot on
@@ -52,9 +54,18 @@ struct ChunkStoreStats {
   uint64_t stored_bytes = 0;  // bytes of unique chunks (serialized)
   uint64_t logical_bytes = 0; // bytes as if every Put were stored
   // Read-cache counters (stores with a cache in front of a slow read
-  // path, e.g. the ServletChunkStore pool-scan fallback; 0 elsewhere).
+  // path: the ServletChunkStore pool-scan fallback, the LogChunkStore /
+  // LsmChunkStore block cache; 0 elsewhere). Bytes mirror the counts:
+  // hit_bytes are serialized bytes served from the cache, miss_bytes
+  // serialized bytes fetched from the slow path and offered back.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t cache_hit_bytes = 0;
+  uint64_t cache_miss_bytes = 0;
+  // Admission-policy counters (caches that can turn an insert away —
+  // the block cache's TinyLFU duel; 0 for always-admit caches).
+  uint64_t cache_admissions = 0;
+  uint64_t cache_rejections = 0;
   // Server-to-server resolution counters (stores backed by a
   // PeerChunkResolver; 0 elsewhere). A fetch counts once per resolved
   // miss, not per peer asked. A negative is a miss every peer answered
@@ -77,6 +88,10 @@ struct ChunkStoreStats {
     logical_bytes += o.logical_bytes;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    cache_hit_bytes += o.cache_hit_bytes;
+    cache_miss_bytes += o.cache_miss_bytes;
+    cache_admissions += o.cache_admissions;
+    cache_rejections += o.cache_rejections;
     peer_fetches += o.peer_fetches;
     peer_fetch_failures += o.peer_fetch_failures;
     peer_fetch_negatives += o.peer_fetch_negatives;
@@ -198,6 +213,13 @@ class ChunkStore {
 // (mutex, hash map) pairs. Shard choice uses a different 64-bit slice of
 // the cid than ChunkStorePool's partitioner, so striping stays uniform
 // even inside a single pool partition. Thread-safe.
+//
+// PutBatch group-commits: concurrent batched writers enqueue their
+// records and one caller (the combiner) drains the merged queue in a
+// single pass that takes each shard's lock once per drained group —
+// the same combiner discipline as LogChunkStore, minus durability.
+// N servlet threads flushing coalesced put-groups into one pool
+// instance contend on the queue mutex only, not on every stripe.
 class MemChunkStore : public ChunkStore {
  public:
   static constexpr size_t kDefaultShards = 16;
@@ -225,11 +247,37 @@ class MemChunkStore : public ChunkStore {
     std::unordered_map<Hash, Chunk, HashHasher> chunks;
   };
 
+  // A record enqueued for the PutBatch group commit. Pointers refer
+  // into the caller's batch, which outlives the group: the caller
+  // blocks until its records are inserted.
+  struct PendingInsert {
+    const Hash* cid;
+    const Chunk* chunk;
+  };
+
   size_t ShardIndex(const Hash& cid) const {
     return static_cast<size_t>(cid.Mid64() % shards_.size());
   }
 
+  // Enqueues `n` records and blocks until they are inserted (possibly
+  // becoming the combiner that inserts them).
+  Status EnqueueAndWait(const PendingInsert* entries, size_t n);
+  // Inserts one drained group: groups records by shard, then takes each
+  // shard's lock exactly once. Never holds gc_mu_.
+  void CommitGroup(const std::vector<PendingInsert>& group);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Group-commit queue (PutBatch only; single Put takes its stripe
+  // directly). gc_mu_ guards the bookkeeping below and is never held
+  // while shard locks are.
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  std::vector<PendingInsert> gc_queue_;
+  uint64_t gc_enqueued_ = 0;
+  uint64_t gc_done_ = 0;
+  bool gc_combiner_active_ = false;
+
   AtomicChunkStoreStats stats_;
 };
 
@@ -246,6 +294,11 @@ enum class DurabilityPolicy { kNone, kBatch, kAlways };
 struct LogStoreOptions {
   uint64_t segment_size = 64ull << 20;
   DurabilityPolicy durability = DurabilityPolicy::kBatch;
+  // Byte budget for the AdmissionChunkCache fronting disk reads
+  // (0 disables it). Read-through: a Get checks the cache before
+  // touching the segment index and offers the chunk back after a disk
+  // read; the TinyLFU admission duel keeps one-touch scans out.
+  uint64_t block_cache_bytes = 32ull << 20;
 };
 
 // Log-structured persistent store. Chunks are appended to segment files
@@ -305,8 +358,9 @@ class LogChunkStore : public ChunkStore {
     const Chunk* chunk;
   };
 
-  LogChunkStore(std::string dir, LogStoreOptions options)
-      : dir_(std::move(dir)), options_(options) {}
+  // Defined in chunk_store.cc: the ctor/dtor pair needs the complete
+  // AdmissionChunkCache type behind block_cache_.
+  LogChunkStore(std::string dir, LogStoreOptions options);
 
   Status Recover();
   Status RollSegment();
@@ -344,6 +398,12 @@ class LogChunkStore : public ChunkStore {
   uint64_t gc_durable_ = 0;   // records committed (or failed)
   bool gc_combiner_active_ = false;
   Status gc_error_;  // sticky: an I/O error fails the store
+
+  // Read-through block cache over the segment files (nullptr when
+  // options_.block_cache_bytes == 0). Consulted before the index,
+  // filled after disk reads; never populated on the write path, so a
+  // bulk load cannot flush it.
+  std::unique_ptr<AdmissionChunkCache> block_cache_;
 
   AtomicChunkStoreStats stats_;
 };

@@ -1,0 +1,708 @@
+#include "kvstore/lsm_chunk_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "chunk/block_cache.h"
+
+namespace fb {
+
+namespace {
+
+constexpr size_t kRecordHeader = 4 + Hash::kSize;
+
+int CidCompare(const Hash& a, const Hash& b) {
+  return std::memcmp(a.data(), b.data(), Hash::kSize);
+}
+
+void AppendRecord(Bytes* buf, const Hash& cid, const Bytes& body) {
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  uint8_t header[kRecordHeader];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  std::memcpy(header + 4, cid.data(), Hash::kSize);
+  buf->insert(buf->end(), header, header + sizeof(header));
+  buf->insert(buf->end(), body.begin(), body.end());
+}
+
+Status SyncFile(std::FILE* f, const char* what) {
+  if (std::fflush(f) != 0) return Status::IOError(std::string("fflush ") + what);
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::IOError(std::string("fsync ") + what + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// Scans a record stream shared by WALs and SSTs. `on_record` receives
+// (cid, chunk, offset, body_len). A truncated record returns
+// kOutOfRange when `forgive_torn_tail` (the caller truncates the file);
+// otherwise Corruption. Records' cids are verified — tamper evidence.
+Status ScanRecords(
+    const std::string& path, bool forgive_torn_tail, uint64_t* end_offset,
+    const std::function<Status(const Hash&, Chunk, uint64_t, uint32_t)>&
+        on_record) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open " + path);
+  uint64_t off = 0;
+  Status out = Status::OK();
+  for (;;) {
+    uint8_t header[kRecordHeader];
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;
+    if (got != sizeof(header)) {
+      out = forgive_torn_tail
+                ? Status::OutOfRange("torn tail")
+                : Status::Corruption("truncated record header in " + path);
+      break;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= uint32_t{header[i]} << (8 * i);
+    Sha256::Digest d;
+    std::memcpy(d.data(), header + 4, Hash::kSize);
+    const Hash cid{d};
+    Bytes body(len);
+    const size_t body_got = len > 0 ? std::fread(body.data(), 1, len, f) : 0;
+    if (len > 0 && body_got != len) {
+      out = forgive_torn_tail
+                ? Status::OutOfRange("torn tail")
+                : Status::Corruption("truncated record body in " + path);
+      break;
+    }
+    Chunk chunk;
+    if (!Chunk::Deserialize(Slice(body), &chunk)) {
+      out = Status::Corruption("bad chunk encoding in " + path);
+      break;
+    }
+    if (chunk.ComputeCid() != cid) {
+      out = Status::Corruption("cid mismatch (tampered chunk) in " + path);
+      break;
+    }
+    Status s = on_record(cid, std::move(chunk), off, len);
+    if (!s.ok()) {
+      out = s;
+      break;
+    }
+    off += kRecordHeader + len;
+  }
+  std::fclose(f);
+  if (end_offset != nullptr) *end_offset = off;
+  return out;
+}
+
+}  // namespace
+
+const LsmChunkStore::IndexEntry* LsmChunkStore::Run::Find(
+    const Hash& cid) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), cid,
+      [](const IndexEntry& e, const Hash& target) {
+        return CidCompare(e.cid, target) < 0;
+      });
+  if (it == entries.end() || CidCompare(it->cid, cid) != 0) return nullptr;
+  return &*it;
+}
+
+Result<std::unique_ptr<LsmChunkStore>> LsmChunkStore::Open(
+    const std::string& dir, LsmChunkStoreOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("create_directories: " + ec.message());
+  auto store =
+      std::unique_ptr<LsmChunkStore>(new LsmChunkStore(dir, options));
+  if (options.block_cache_bytes > 0) {
+    store->block_cache_ =
+        std::make_unique<AdmissionChunkCache>(options.block_cache_bytes);
+  }
+  Status s = store->Recover();
+  if (!s.ok()) return s;
+  return store;
+}
+
+LsmChunkStore::LsmChunkStore(std::string dir, LsmChunkStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+LsmChunkStore::~LsmChunkStore() {
+  if (wal_ != nullptr) std::fclose(wal_);
+}
+
+std::string LsmChunkStore::WalPath(uint64_t seq) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/wal-%06llu.fbw",
+                static_cast<unsigned long long>(seq));
+  return dir_ + buf;
+}
+
+std::string LsmChunkStore::SstPath(uint64_t seq, size_t tier) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/sst-%06llu-t%02zu.fbs",
+                static_cast<unsigned long long>(seq), tier);
+  return dir_ + buf;
+}
+
+Result<LsmChunkStore::RunPtr> LsmChunkStore::LoadRun(const std::string& path,
+                                                     uint64_t seq,
+                                                     size_t tier) {
+  auto run = std::make_shared<Run>();
+  run->seq = seq;
+  run->tier = tier;
+  run->path = path;
+  uint64_t end = 0;
+  FB_RETURN_NOT_OK(ScanRecords(
+      path, /*forgive_torn_tail=*/false, &end,
+      [&](const Hash& cid, Chunk chunk, uint64_t off, uint32_t len) {
+        run->entries.push_back(IndexEntry{cid, off, len});
+        stats_.RecordRecoveredChunk(chunk.serialized_size());
+        return Status::OK();
+      }));
+  run->bytes = end;
+  // SSTs are written in cid order; recovery re-asserts it rather than
+  // trusting the file.
+  std::sort(run->entries.begin(), run->entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return CidCompare(a.cid, b.cid) < 0;
+            });
+  run->bloom = std::make_unique<BloomFilter>(run->entries.size(),
+                                             options_.bloom_bits_per_key);
+  for (const IndexEntry& e : run->entries) run->bloom->Add(e.cid.slice());
+  if (!run->entries.empty()) {
+    run->min_cid = run->entries.front().cid;
+    run->max_cid = run->entries.back().cid;
+  }
+  run->file = std::fopen(path.c_str(), "rb");
+  if (run->file == nullptr) return Status::IOError("reopen " + path);
+  return run;
+}
+
+Status LsmChunkStore::ReplayWal(const std::string& path,
+                                bool forgive_torn_tail) {
+  uint64_t end = 0;
+  Status s = ScanRecords(
+      path, forgive_torn_tail, &end,
+      [&](const Hash& cid, Chunk chunk, uint64_t, uint32_t) {
+        if (!ContainsLocked(cid)) {
+          memtable_logical_bytes_ += chunk.serialized_size();
+          stats_.RecordRecoveredChunk(chunk.serialized_size());
+          memtable_.emplace(cid, std::move(chunk));
+        }
+        return Status::OK();
+      });
+  if (s.IsOutOfRange()) return Status::OK();  // forgiven torn tail
+  return s;
+}
+
+Status LsmChunkStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Discover SSTs and WALs; anything unparseable is a foreign file and
+  // is left alone.
+  std::vector<std::pair<uint64_t, size_t>> ssts;  // (seq, tier)
+  std::vector<uint64_t> wals;
+  std::error_code ec;
+  std::vector<std::filesystem::path> stale_tmp;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // A crash mid-SST-build; the data is still in the WAL (flush) or
+      // the victim runs (compaction).
+      stale_tmp.push_back(entry.path());
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".fbs") == 0) {
+      unsigned long tier = 0;
+      if (std::sscanf(name.c_str(), "sst-%llu-t%lu.fbs", &seq, &tier) == 2) {
+        ssts.emplace_back(seq, static_cast<size_t>(tier));
+      }
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".fbw") == 0) {
+      if (std::sscanf(name.c_str(), "wal-%llu.fbw", &seq) == 1) {
+        wals.push_back(seq);
+      }
+    }
+  }
+  if (ec) return Status::IOError("scan " + dir_ + ": " + ec.message());
+  for (const auto& p : stale_tmp) {
+    std::error_code rmec;
+    std::filesystem::remove(p, rmec);
+  }
+
+  // Newest runs first (order is cosmetic — content addressing means no
+  // run shadows another — but it keeps recently-written data early in
+  // the probe order).
+  std::sort(ssts.begin(), ssts.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, tier] : ssts) {
+    auto run = LoadRun(SstPath(seq, tier), seq, tier);
+    FB_RETURN_NOT_OK(run.status());
+    runs_.push_back(std::move(*run));
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+
+  // Replay WALs oldest-first; only the newest may be torn (the crash
+  // footprint). Older leftovers exist only if a crash hit the
+  // flush-then-delete window, and replaying them is idempotent.
+  std::sort(wals.begin(), wals.end());
+  for (size_t i = 0; i < wals.size(); ++i) {
+    FB_RETURN_NOT_OK(
+        ReplayWal(WalPath(wals[i]), /*forgive=*/i + 1 == wals.size()));
+    next_seq_ = std::max(next_seq_, wals[i] + 1);
+  }
+
+  // Re-log the recovered memtable into one fresh WAL, sync it, then
+  // delete the replayed ones — the WAL == memtable invariant holds from
+  // here on, and a crash in this window only leaves duplicate records
+  // that the next replay dedups.
+  wal_seq_ = next_seq_++;
+  wal_path_ = WalPath(wal_seq_);
+  wal_ = std::fopen(wal_path_.c_str(), "ab");
+  if (wal_ == nullptr) {
+    return Status::IOError(std::string("open wal: ") + std::strerror(errno));
+  }
+  if (!memtable_.empty()) {
+    Bytes buf;
+    for (const auto& [cid, chunk] : memtable_) {
+      AppendRecord(&buf, cid, chunk.Serialize());
+    }
+    if (std::fwrite(buf.data(), 1, buf.size(), wal_) != buf.size()) {
+      return Status::IOError("short write re-logging wal");
+    }
+    if (options_.durability != DurabilityPolicy::kNone) {
+      FB_RETURN_NOT_OK(SyncFile(wal_, "wal"));
+    }
+  }
+  for (uint64_t seq : wals) {
+    std::filesystem::remove(WalPath(seq), ec);
+  }
+
+  if (memtable_logical_bytes_ >= options_.memtable_bytes) {
+    FB_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+bool LsmChunkStore::ContainsLocked(const Hash& cid) const {
+  if (memtable_.count(cid) > 0) return true;
+  for (const RunPtr& run : runs_) {
+    if (run->entries.empty() || CidCompare(cid, run->min_cid) < 0 ||
+        CidCompare(cid, run->max_cid) > 0) {
+      continue;
+    }
+    if (!run->bloom->MayContain(cid.slice())) {
+      bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (run->Find(cid) != nullptr) return true;
+  }
+  return false;
+}
+
+Status LsmChunkStore::SyncWal() { return SyncFile(wal_, "wal"); }
+
+Status LsmChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Bytes buf;
+  std::vector<std::pair<Hash, const Chunk*>> staged;
+  std::unordered_map<Hash, size_t, HashHasher> staged_cids;
+
+  auto flush_staged = [&]() -> Status {
+    if (buf.empty()) return Status::OK();
+    if (std::fwrite(buf.data(), 1, buf.size(), wal_) != buf.size()) {
+      return Status::IOError("short write to wal");
+    }
+    if (options_.durability != DurabilityPolicy::kNone) {
+      FB_RETURN_NOT_OK(SyncWal());
+    }
+    {
+      std::lock_guard<std::mutex> bl(backend_stats_mu_);
+      backend_stats_.wal_bytes += buf.size();
+    }
+    for (const auto& [cid, chunk] : staged) {
+      memtable_.emplace(cid, *chunk);
+      memtable_logical_bytes_ += chunk->serialized_size();
+      stats_.RecordPut(chunk->serialized_size(), /*dedup_hit=*/false);
+    }
+    buf.clear();
+    staged.clear();
+    staged_cids.clear();
+    return Status::OK();
+  };
+
+  for (const PendingAppend& p : group) {
+    const Hash& cid = *p.cid;
+    const Chunk& chunk = *p.chunk;
+    if (staged_cids.count(cid) > 0 || ContainsLocked(cid)) {
+      stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
+      continue;
+    }
+    AppendRecord(&buf, cid, chunk.Serialize());
+    staged.emplace_back(cid, &chunk);
+    staged_cids.emplace(cid, staged.size() - 1);
+    if (options_.durability == DurabilityPolicy::kAlways) {
+      FB_RETURN_NOT_OK(flush_staged());
+    }
+  }
+  FB_RETURN_NOT_OK(flush_staged());
+
+  if (memtable_logical_bytes_ >= options_.memtable_bytes) {
+    FB_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
+  if (n == 0) return Status::OK();
+  std::unique_lock<std::mutex> ql(gc_mu_);
+  if (!gc_error_.ok()) return gc_error_;
+  gc_queue_.insert(gc_queue_.end(), entries, entries + n);
+  gc_enqueued_ += n;
+  const uint64_t target = gc_enqueued_;
+
+  while (gc_durable_ < target) {
+    if (gc_combiner_active_) {
+      gc_cv_.wait(ql);
+      continue;
+    }
+    gc_combiner_active_ = true;
+    while (!gc_queue_.empty()) {
+      std::vector<PendingAppend> group = std::move(gc_queue_);
+      gc_queue_.clear();
+      ql.unlock();
+      Status s = CommitGroup(group);
+      ql.lock();
+      gc_durable_ += group.size();
+      if (!s.ok() && gc_error_.ok()) gc_error_ = s;
+      gc_cv_.notify_all();
+    }
+    gc_combiner_active_ = false;
+    gc_cv_.notify_all();
+  }
+  return gc_error_;
+}
+
+Status LsmChunkStore::Put(const Hash& cid, const Chunk& chunk) {
+  const PendingAppend one{&cid, &chunk};
+  return EnqueueAndWait(&one, 1);
+}
+
+Status LsmChunkStore::PutBatch(const ChunkBatch& batch) {
+  std::vector<PendingAppend> entries;
+  entries.reserve(batch.size());
+  for (const auto& [cid, chunk] : batch) {
+    entries.push_back(PendingAppend{&cid, &chunk});
+  }
+  return EnqueueAndWait(entries.data(), entries.size());
+}
+
+Result<LsmChunkStore::RunPtr> LsmChunkStore::WriteSst(
+    std::vector<std::pair<Hash, const Chunk*>> sorted_chunks, size_t tier) {
+  const uint64_t seq = next_seq_++;
+  const std::string path = SstPath(seq, tier);
+  // Build under a .tmp name and rename once durable: recovery treats a
+  // torn SST as corruption, so a crash mid-build must never leave a
+  // partial file under the real name (leftover .tmp files are swept on
+  // open).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("create " + tmp);
+
+  auto run = std::make_shared<Run>();
+  run->seq = seq;
+  run->tier = tier;
+  run->path = path;
+  run->bloom = std::make_unique<BloomFilter>(sorted_chunks.size(),
+                                             options_.bloom_bits_per_key);
+  uint64_t off = 0;
+  Bytes buf;
+  for (const auto& [cid, chunk] : sorted_chunks) {
+    buf.clear();
+    AppendRecord(&buf, cid, chunk->Serialize());
+    if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IOError("short write to " + tmp);
+    }
+    run->entries.push_back(IndexEntry{
+        cid, off, static_cast<uint32_t>(buf.size() - kRecordHeader)});
+    run->bloom->Add(cid.slice());
+    off += buf.size();
+  }
+  run->bytes = off;
+  if (!run->entries.empty()) {
+    run->min_cid = run->entries.front().cid;
+    run->max_cid = run->entries.back().cid;
+  }
+  // An SST is born durable: its WAL is about to be deleted (flush) or
+  // its inputs unlinked (compaction), so the file must survive power
+  // loss before either happens.
+  Status s = SyncFile(f, "sst");
+  std::fclose(f);
+  if (!s.ok()) return s;
+  std::error_code rec;
+  std::filesystem::rename(tmp, path, rec);
+  if (rec) return Status::IOError("rename " + tmp + ": " + rec.message());
+  run->file = std::fopen(path.c_str(), "rb");
+  if (run->file == nullptr) return Status::IOError("reopen " + path);
+  {
+    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    backend_stats_.sst_bytes += off;
+  }
+  return run;
+}
+
+Status LsmChunkStore::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  std::vector<std::pair<Hash, const Chunk*>> sorted;
+  sorted.reserve(memtable_.size());
+  for (const auto& [cid, chunk] : memtable_) sorted.emplace_back(cid, &chunk);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return CidCompare(a.first, b.first) < 0;
+            });
+  auto run = WriteSst(std::move(sorted), /*tier=*/0);
+  FB_RETURN_NOT_OK(run.status());
+  runs_.insert(runs_.begin(), std::move(*run));
+  memtable_.clear();
+  memtable_logical_bytes_ = 0;
+  {
+    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    ++backend_stats_.flushes;
+  }
+
+  // The SST now durably holds everything the WAL held: rotate to a
+  // fresh WAL and delete the old one.
+  std::fclose(wal_);
+  const std::string old_wal = wal_path_;
+  wal_seq_ = next_seq_++;
+  wal_path_ = WalPath(wal_seq_);
+  wal_ = std::fopen(wal_path_.c_str(), "ab");
+  if (wal_ == nullptr) {
+    return Status::IOError(std::string("rotate wal: ") + std::strerror(errno));
+  }
+  std::error_code ec;
+  std::filesystem::remove(old_wal, ec);
+
+  return MaybeCompactLocked();
+}
+
+Result<LsmChunkStore::RunPtr> LsmChunkStore::MergeRuns(
+    const std::vector<RunPtr>& victims, size_t tier) {
+  // Content addressing: victims are disjoint, so the merge is a re-sort
+  // of their records into one file. Bodies are copied raw (already
+  // cid-verified when first written or loaded).
+  struct Source {
+    const Run* run;
+    const IndexEntry* entry;
+  };
+  std::vector<Source> sources;
+  for (const RunPtr& run : victims) {
+    for (const IndexEntry& e : run->entries) {
+      sources.push_back(Source{run.get(), &e});
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const Source& a, const Source& b) {
+              return CidCompare(a.entry->cid, b.entry->cid) < 0;
+            });
+
+  const uint64_t seq = next_seq_++;
+  const std::string path = SstPath(seq, tier);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("create " + tmp);
+
+  auto run = std::make_shared<Run>();
+  run->seq = seq;
+  run->tier = tier;
+  run->path = path;
+  run->bloom = std::make_unique<BloomFilter>(sources.size(),
+                                             options_.bloom_bits_per_key);
+  uint64_t off = 0;
+  Bytes record;
+  for (const Source& src : sources) {
+    const size_t total = kRecordHeader + src.entry->length;
+    record.resize(total);
+    {
+      std::lock_guard<std::mutex> rl(src.run->read_mu);
+      if (std::fseek(src.run->file, static_cast<long>(src.entry->offset),
+                     SEEK_SET) != 0 ||
+          std::fread(record.data(), 1, total, src.run->file) != total) {
+        std::fclose(f);
+        return Status::IOError("read during compaction: " + src.run->path);
+      }
+    }
+    if (std::fwrite(record.data(), 1, total, f) != total) {
+      std::fclose(f);
+      return Status::IOError("short write to " + tmp);
+    }
+    run->entries.push_back(
+        IndexEntry{src.entry->cid, off, src.entry->length});
+    run->bloom->Add(src.entry->cid.slice());
+    off += total;
+  }
+  run->bytes = off;
+  if (!run->entries.empty()) {
+    run->min_cid = run->entries.front().cid;
+    run->max_cid = run->entries.back().cid;
+  }
+  Status s = SyncFile(f, "sst");
+  std::fclose(f);
+  if (!s.ok()) return s;
+  std::error_code rec;
+  std::filesystem::rename(tmp, path, rec);
+  if (rec) return Status::IOError("rename " + tmp + ": " + rec.message());
+  run->file = std::fopen(path.c_str(), "rb");
+  if (run->file == nullptr) return Status::IOError("reopen " + path);
+  {
+    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    backend_stats_.sst_bytes += off;
+  }
+  return run;
+}
+
+Status LsmChunkStore::MaybeCompactLocked() {
+  // Size-tiered: when any tier holds >= fanout runs, merge them into
+  // one run in the next tier. Repeat until stable.
+  for (;;) {
+    std::unordered_map<size_t, size_t> counts;
+    for (const RunPtr& run : runs_) ++counts[run->tier];
+    size_t victim_tier = SIZE_MAX;
+    for (const auto& [tier, n] : counts) {
+      if (n >= options_.fanout && tier < victim_tier) victim_tier = tier;
+    }
+    if (victim_tier == SIZE_MAX) return Status::OK();
+
+    std::vector<RunPtr> victims;
+    std::vector<RunPtr> keep;
+    for (RunPtr& run : runs_) {
+      (run->tier == victim_tier ? victims : keep).push_back(std::move(run));
+    }
+    auto merged = MergeRuns(victims, victim_tier + 1);
+    if (!merged.ok()) {
+      // Restore the pre-compaction view; the store remains usable.
+      runs_.clear();
+      runs_.insert(runs_.end(), keep.begin(), keep.end());
+      runs_.insert(runs_.end(), victims.begin(), victims.end());
+      return merged.status();
+    }
+    // Keep probe order tidy: the merged run precedes deeper tiers.
+    auto pos = std::find_if(keep.begin(), keep.end(), [&](const RunPtr& r) {
+      return r->tier > victim_tier;
+    });
+    keep.insert(pos, std::move(*merged));
+    runs_ = std::move(keep);
+    {
+      std::lock_guard<std::mutex> bl(backend_stats_mu_);
+      ++backend_stats_.compactions;
+    }
+    // Unlink victim files; in-flight readers still hold the RunPtr (and
+    // its open handle), so their reads complete off the unlinked inode.
+    std::error_code ec;
+    for (const RunPtr& run : victims) {
+      std::filesystem::remove(run->path, ec);
+    }
+  }
+}
+
+Status LsmChunkStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmChunkStore::Get(const Hash& cid, Chunk* chunk) const {
+  stats_.RecordGet();
+  if (block_cache_ != nullptr && block_cache_->Get(cid, chunk)) {
+    return Status::OK();
+  }
+  RunPtr run;
+  IndexEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto mit = memtable_.find(cid);
+    if (mit != memtable_.end()) {
+      *chunk = mit->second;
+      return Status::OK();
+    }
+    for (const RunPtr& r : runs_) {
+      if (r->entries.empty() || CidCompare(cid, r->min_cid) < 0 ||
+          CidCompare(cid, r->max_cid) > 0) {
+        continue;
+      }
+      if (!r->bloom->MayContain(cid.slice())) {
+        bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (const IndexEntry* e = r->Find(cid)) {
+        run = r;
+        entry = *e;
+        break;
+      }
+    }
+  }
+  if (run == nullptr) return Status::NotFound("chunk " + cid.ToShortHex());
+
+  Bytes body(entry.length);
+  {
+    std::lock_guard<std::mutex> rl(run->read_mu);
+    if (std::fseek(run->file,
+                   static_cast<long>(entry.offset + kRecordHeader),
+                   SEEK_SET) != 0 ||
+        (entry.length > 0 &&
+         std::fread(body.data(), 1, entry.length, run->file) !=
+             entry.length)) {
+      return Status::IOError("read " + run->path);
+    }
+  }
+  if (!Chunk::Deserialize(Slice(body), chunk)) {
+    return Status::Corruption("bad chunk encoding in " + run->path);
+  }
+  if (block_cache_ != nullptr) block_cache_->Put(cid, *chunk);
+  return Status::OK();
+}
+
+Status LsmChunkStore::GetBatch(const std::vector<Hash>& cids,
+                               std::vector<Chunk>* chunks) const {
+  chunks->resize(cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    FB_RETURN_NOT_OK(Get(cids[i], &(*chunks)[i]));
+  }
+  return Status::OK();
+}
+
+bool LsmChunkStore::Contains(const Hash& cid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContainsLocked(cid);
+}
+
+ChunkStoreStats LsmChunkStore::stats() const {
+  ChunkStoreStats s = stats_.Snapshot();
+  if (block_cache_ != nullptr) {
+    const BlockCacheStats bc = block_cache_->stats();
+    s.cache_hits += bc.hits;
+    s.cache_misses += bc.misses;
+    s.cache_hit_bytes += bc.hit_bytes;
+    s.cache_miss_bytes += bc.miss_bytes;
+    s.cache_admissions += bc.admissions;
+    s.cache_rejections += bc.rejections;
+  }
+  return s;
+}
+
+LsmChunkStoreBackendStats LsmChunkStore::backend_stats() const {
+  LsmChunkStoreBackendStats out;
+  {
+    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    out = backend_stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.runs = runs_.size();
+  }
+  out.bloom_skips = bloom_skips_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace fb

@@ -14,17 +14,16 @@ Status LeafChunker::Commit() {
 
 Status LeafChunker::AppendElement(Slice element_bytes, Slice key,
                                   uint64_t count_units) {
+  // A pattern anywhere inside the element extends the boundary to the
+  // element's end, where Commit() resets the hasher — so once the pattern
+  // fires the element's remaining bytes can never influence a future
+  // state and FeedUntilPattern is free to stop early.
   bool hit = false;
-  buf_.reserve(buf_.size() + element_bytes.size());
-  for (uint8_t b : element_bytes) {
-    buf_.push_back(b);
-    hasher_.Feed(b);
-    // A pattern anywhere inside the element extends the boundary to the
-    // element's end.
-    hit = hit || hasher_.HitsPattern(cfg_.leaf_pattern_bits);
-  }
+  hasher_.FeedUntilPattern(element_bytes.data(), element_bytes.size(),
+                           cfg_.leaf_pattern_bits, &hit);
+  buf_.insert(buf_.end(), element_bytes.begin(), element_bytes.end());
   buf_count_ += count_units;
-  last_key_ = key.ToBytes();
+  last_key_.assign(key.begin(), key.end());
   if (hit || buf_.size() >= cfg_.max_leaf_bytes()) {
     FB_RETURN_NOT_OK(Commit());
   }
@@ -32,12 +31,18 @@ Status LeafChunker::AppendElement(Slice element_bytes, Slice key,
 }
 
 Status LeafChunker::AppendRaw(Slice bytes) {
-  for (uint8_t b : bytes) {
-    buf_.push_back(b);
-    hasher_.Feed(b);
-    ++buf_count_;
-    if (hasher_.HitsPattern(cfg_.leaf_pattern_bits) ||
-        buf_.size() >= cfg_.max_leaf_bytes()) {
+  const uint8_t* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const size_t room = cfg_.max_leaf_bytes() - buf_.size();
+    bool hit = false;
+    const size_t took = hasher_.FeedUntilPattern(
+        p, remaining < room ? remaining : room, cfg_.leaf_pattern_bits, &hit);
+    buf_.insert(buf_.end(), p, p + took);
+    buf_count_ += took;
+    p += took;
+    remaining -= took;
+    if (hit || buf_.size() >= cfg_.max_leaf_bytes()) {
       FB_RETURN_NOT_OK(Commit());
     }
   }

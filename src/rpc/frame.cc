@@ -274,6 +274,10 @@ void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out) {
   PutVarint64(out, stats.peer_fetch_failures);
   PutVarint64(out, stats.peer_fetch_negatives);
   PutVarint64(out, stats.peer_round_trips);
+  PutVarint64(out, stats.cache_hit_bytes);
+  PutVarint64(out, stats.cache_miss_bytes);
+  PutVarint64(out, stats.cache_admissions);
+  PutVarint64(out, stats.cache_rejections);
 }
 
 Status DecodeStoreStats(Slice body, ChunkStoreStats* out) {
@@ -299,6 +303,17 @@ Status DecodeStoreStats(Slice body, ChunkStoreStats* out) {
     // Batched-fetch-era server; the middle era stops at failures.
     FB_RETURN_NOT_OK(r.ReadVarint64(&out->peer_fetch_negatives));
     FB_RETURN_NOT_OK(r.ReadVarint64(&out->peer_round_trips));
+  }
+  out->cache_hit_bytes = 0;
+  out->cache_miss_bytes = 0;
+  out->cache_admissions = 0;
+  out->cache_rejections = 0;
+  if (!r.AtEnd()) {
+    // Block-cache-era server; earlier ones stop at the round trips.
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_hit_bytes));
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_miss_bytes));
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_admissions));
+    FB_RETURN_NOT_OK(r.ReadVarint64(&out->cache_rejections));
   }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in store stats");
   return Status::OK();

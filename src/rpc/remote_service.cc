@@ -432,6 +432,8 @@ ChunkStoreStats RemoteChunkStore::stats() const {
   if (cache_ != nullptr) {
     stats.cache_hits += cache_->hits();
     stats.cache_misses += cache_->misses();
+    stats.cache_hit_bytes += cache_->hit_bytes();
+    stats.cache_miss_bytes += cache_->miss_bytes();
   }
   return stats;
 }

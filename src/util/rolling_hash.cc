@@ -42,6 +42,44 @@ RollingHash::RollingHash(size_t window) : window_(window) {
   Reset();
 }
 
+size_t RollingHash::FeedUntilPattern(const uint8_t* data, size_t n, int q,
+                                     bool* hit) {
+  const uint64_t mask = (q >= 64) ? ~uint64_t{0} : ((uint64_t{1} << q) - 1);
+  uint64_t state = state_;
+  size_t pos = pos_;
+  const size_t window = window_;
+  size_t i = 0;
+  // Warm-up: a pattern never fires until a full window has been absorbed
+  // (fed_ >= window after the byte), so those bytes skip the mask test.
+  const size_t warm =
+      fed_ + 1 >= window ? 0 : (n < window - 1 - fed_ ? n : window - 1 - fed_);
+  for (; i < warm; ++i) {
+    const uint8_t b = data[i];
+    const uint8_t evicted = ring_[pos];
+    ring_[pos] = b;
+    if (++pos == window) pos = 0;
+    state = Rotl1(state) ^ out_table_[evicted] ^ byte_table_[b];
+  }
+  bool found = false;
+  for (; i < n; ++i) {
+    const uint8_t b = data[i];
+    const uint8_t evicted = ring_[pos];
+    ring_[pos] = b;
+    if (++pos == window) pos = 0;
+    state = Rotl1(state) ^ out_table_[evicted] ^ byte_table_[b];
+    if ((state & mask) == 0) {
+      found = true;
+      ++i;
+      break;
+    }
+  }
+  state_ = state;
+  pos_ = pos;
+  fed_ += i;
+  *hit = found;
+  return i;
+}
+
 void RollingHash::Reset() {
   state_ = initial_state_;
   fed_ = 0;

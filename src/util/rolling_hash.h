@@ -34,11 +34,19 @@ class RollingHash {
   uint64_t Feed(uint8_t byte) {
     const uint8_t evicted = ring_[pos_];
     ring_[pos_] = byte;
-    pos_ = (pos_ + 1) % window_;
+    if (++pos_ == window_) pos_ = 0;
     state_ = Rotl1(state_) ^ kOutTable(evicted) ^ kInTable(byte);
     ++fed_;
     return state_;
   }
+
+  // Bulk variant of Feed + HitsPattern for the chunker's inner loop:
+  // absorbs bytes from `data` until the q-bit pattern fires or `n` bytes
+  // are consumed, and returns the number of bytes consumed (including the
+  // hit byte). On a hit (*hit = true) the remaining bytes are NOT fed —
+  // callers cut a chunk boundary there and Reset(), so the skipped bytes
+  // could never influence any future state.
+  size_t FeedUntilPattern(const uint8_t* data, size_t n, int q, bool* hit);
 
   uint64_t state() const { return state_; }
 

@@ -17,6 +17,16 @@ Status ForkBaseWiki::SavePage(const std::string& page, Slice content,
 
 Result<std::string> ForkBaseWiki::ReadPage(const std::string& page,
                                            uint64_t versions_back) {
+  if (versions_back == 0) {
+    // Latest revision: one GetValue round trip. The servlet materializes
+    // the content (hot heads straight from its uid-guarded value cache)
+    // instead of the client walking the POS-tree chunk by chunk.
+    auto readout = service().GetValue(page);
+    if (readout.ok() && readout->has_value) {
+      return BytesToString(readout->value);
+    }
+    // Fall through to the history path on any miss (e.g. non-blob value).
+  }
   FB_ASSIGN_OR_RETURN(std::vector<FObject> versions,
                       service().Track(page, kDefaultBranch, versions_back,
                                  versions_back));

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "chunk/block_cache.h"
 #include "chunk/chunk.h"
 #include "chunk/chunk_cache.h"
 #include "chunk/chunk_store.h"
@@ -634,6 +635,146 @@ TEST(LruChunkCacheTest, ReinsertReplacesChargeInsteadOfDoubleCounting) {
     mixed.Put(cid, (round % 2 == 0) ? large : small);
     EXPECT_LE(mixed.size_bytes(), mixed.capacity_bytes());
   }
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionChunkCache: TinyLFU admission + segmented LRU eviction order
+// ---------------------------------------------------------------------------
+//
+// All tests use a single shard so capacity arithmetic is exact, and
+// establish a cid's frequency the way the read path does: Get (a miss
+// that touches the sketch) before Put (the fill).
+
+TEST(AdmissionChunkCacheTest, HitPromotesAndCountsBytes) {
+  const Chunk c = MakeChunk(ChunkType::kBlob, std::string(100, 'h'));
+  const Hash cid = c.ComputeCid();
+  AdmissionChunkCache cache(10 * c.serialized_size(), /*n_shards=*/1);
+
+  Chunk out;
+  EXPECT_FALSE(cache.Get(cid, &out));
+  cache.Put(cid, c);
+  ASSERT_TRUE(cache.Get(cid, &out));
+  EXPECT_EQ(out.payload().ToString(), c.payload().ToString());
+  const BlockCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hit_bytes, c.serialized_size());
+  EXPECT_EQ(st.admissions, 1u);
+}
+
+TEST(AdmissionChunkCacheTest, OneTouchScanCannotDisplaceHotResidents) {
+  // The scan-resistance property LruChunkCache lacks: a long one-touch
+  // scan over a full cache must bounce off the admission duel, leaving
+  // the multi-touch hot set resident.
+  std::vector<Chunk> hot;
+  for (int i = 0; i < 8; ++i) {
+    hot.push_back(MakeChunk(ChunkType::kBlob, "hot-" + std::string(96, 'a' + i)));
+  }
+  const size_t charge = hot[0].serialized_size();
+  AdmissionChunkCache cache(9 * charge, /*n_shards=*/1);
+
+  // Hot set: miss, fill, then two hits — promoted to protected with a
+  // sketch estimate of 3. Fits with one charge of slack.
+  for (const Chunk& c : hot) {
+    const Hash cid = c.ComputeCid();
+    Chunk out;
+    EXPECT_FALSE(cache.Get(cid, &out));
+    cache.Put(cid, c);
+    EXPECT_TRUE(cache.Get(cid, &out));
+    EXPECT_TRUE(cache.Get(cid, &out));
+  }
+  ASSERT_EQ(cache.entries(), 8u);
+
+  // The scan: one-touch chunks (estimate 1). The first fits in the
+  // slack; once full, every further insert duels a victim that has been
+  // touched at least three times and loses.
+  const int kScan = 64;
+  for (int i = 0; i < kScan; ++i) {
+    const Chunk c =
+        MakeChunk(ChunkType::kBlob, "scan-" + std::to_string(i) +
+                                        std::string(90, 's'));
+    Chunk out;
+    EXPECT_FALSE(cache.Get(c.ComputeCid(), &out));
+    cache.Put(c.ComputeCid(), c);
+  }
+
+  for (const Chunk& c : hot) {
+    EXPECT_TRUE(cache.Contains(c.ComputeCid())) << "hot chunk was displaced";
+  }
+  const BlockCacheStats st = cache.stats();
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_GE(st.rejections, static_cast<uint64_t>(kScan - 1));
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+}
+
+TEST(AdmissionChunkCacheTest, FrequentNewcomerWinsTheDuel) {
+  // The flip side of scan resistance: a newcomer whose sketch frequency
+  // beats the coldest resident's must be admitted, displacing it.
+  std::vector<Chunk> cold;
+  for (int i = 0; i < 4; ++i) {
+    cold.push_back(
+        MakeChunk(ChunkType::kBlob, "cold-" + std::string(95, 'a' + i)));
+  }
+  const size_t charge = cold[0].serialized_size();
+  AdmissionChunkCache cache(4 * charge, /*n_shards=*/1);
+  for (const Chunk& c : cold) {
+    Chunk out;
+    cache.Get(c.ComputeCid(), &out);  // estimate 1
+    cache.Put(c.ComputeCid(), c);
+  }
+  ASSERT_EQ(cache.entries(), 4u);
+
+  const Chunk newcomer =
+      MakeChunk(ChunkType::kBlob, "newcomer" + std::string(92, 'n'));
+  Chunk out;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cache.Get(newcomer.ComputeCid(), &out));  // estimate 5
+  }
+  cache.Put(newcomer.ComputeCid(), newcomer);
+
+  EXPECT_TRUE(cache.Contains(newcomer.ComputeCid()));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.entries(), 4u);
+}
+
+TEST(AdmissionChunkCacheTest, EvictionTakesProbationTailBeforeProtected) {
+  // Segmented-LRU eviction order: the victim is always the probation
+  // tail, so a promoted (twice-hit) resident outlives a once-inserted
+  // one regardless of insertion order.
+  const Chunk a = MakeChunk(ChunkType::kBlob, "aaa" + std::string(97, 'a'));
+  const Chunk b = MakeChunk(ChunkType::kBlob, "bbb" + std::string(97, 'b'));
+  const Chunk c = MakeChunk(ChunkType::kBlob, "ccc" + std::string(97, 'c'));
+  const size_t charge = a.serialized_size();
+  AdmissionChunkCache cache(2 * charge, /*n_shards=*/1);
+
+  Chunk out;
+  // A: miss + fill + two hits -> protected segment.
+  cache.Get(a.ComputeCid(), &out);
+  cache.Put(a.ComputeCid(), a);
+  ASSERT_TRUE(cache.Get(a.ComputeCid(), &out));
+  ASSERT_TRUE(cache.Get(a.ComputeCid(), &out));
+  // B: one touch -> probation. B is now the eviction candidate even
+  // though A is older.
+  cache.Get(b.ComputeCid(), &out);
+  cache.Put(b.ComputeCid(), b);
+
+  // C arrives hotter than B (two touches vs one): admitted over B.
+  cache.Get(c.ComputeCid(), &out);
+  cache.Get(c.ComputeCid(), &out);
+  cache.Put(c.ComputeCid(), c);
+
+  EXPECT_TRUE(cache.Contains(a.ComputeCid())) << "protected resident evicted";
+  EXPECT_FALSE(cache.Contains(b.ComputeCid()));
+  EXPECT_TRUE(cache.Contains(c.ComputeCid()));
+}
+
+TEST(AdmissionChunkCacheTest, OversizedChunkIsNeverCached) {
+  const Chunk huge = MakeChunk(ChunkType::kBlob, std::string(4000, 'z'));
+  AdmissionChunkCache cache(1000, /*n_shards=*/1);
+  cache.Put(huge.ComputeCid(), huge);
+  EXPECT_FALSE(cache.Contains(huge.ComputeCid()));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().rejections, 1u);
 }
 
 TEST(ServletChunkStoreTest, FallbackCacheAbsorbsRepeatedPoolScans) {

@@ -29,6 +29,7 @@
 #include "chunk/chunk_store.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
+#include "kvstore/lsm_chunk_store.h"
 #include "rpc/remote_service.h"
 #include "rpc/server.h"
 #include "util/random.h"
@@ -235,6 +236,60 @@ TEST(ConcurrencyTest, LogChunkStoreParallelPutGet) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ConcurrencyTest, LsmChunkStoreParallelPutGet) {
+  // Same contract as the LogChunkStore stress, against the LSM backend
+  // with a tiny memtable so concurrent writers race group commit, WAL
+  // rotation, memtable flushes AND size-tiered compaction — readers
+  // must keep resolving chunks that migrate memtable -> run -> merged
+  // run mid-flight (the shared_ptr<Run> unlink-safety path).
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fb_conc_lsm_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    LsmChunkStoreOptions opts;
+    opts.memtable_bytes = 8 << 10;
+    opts.fanout = 2;
+    auto open = LsmChunkStore::Open(dir.string(), opts);
+    ASSERT_TRUE(open.ok()) << open.status().ToString();
+    LsmChunkStore* store = open->get();
+    std::atomic<uint64_t> get_failures{0};
+    RunThreads([&](size_t t) {
+      Rng rng(31 * t + 7);
+      for (size_t i = 0; i < kChunksPerThread / 4; ++i) {
+        const size_t id = t * kChunksPerThread + i;
+        const Chunk c = PayloadChunk(id);
+        ASSERT_TRUE(store->Put(c.ComputeCid(), c).ok());
+        if (i > 0 && rng.Uniform(2) == 0) {
+          const Chunk back =
+              PayloadChunk(t * kChunksPerThread + rng.Uniform(i));
+          Chunk got;
+          if (!store->Get(back.ComputeCid(), &got).ok() ||
+              got.payload() != back.payload()) {
+            ++get_failures;
+          }
+        }
+      }
+    });
+    EXPECT_EQ(get_failures.load(), 0u);
+    const ChunkStoreStats st = store->stats();
+    EXPECT_EQ(st.puts, kThreads * (kChunksPerThread / 4));
+    EXPECT_EQ(st.dedup_hits, st.puts - st.chunks);
+    EXPECT_GT(store->backend_stats().flushes, 0u)
+        << "memtable never flushed; the stress missed the on-disk path";
+  }
+  // Everything written under contention recovers from disk.
+  auto reopened = LsmChunkStore::Open(dir.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (size_t id = 0; id < kThreads * kChunksPerThread; ++id) {
+    if (id % kChunksPerThread >= kChunksPerThread / 4) continue;
+    const Chunk c = PayloadChunk(id);
+    Chunk got;
+    ASSERT_TRUE((*reopened)->Get(c.ComputeCid(), &got).ok());
+    EXPECT_EQ(got.payload().ToString(), c.payload().ToString());
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ConcurrencyTest, BranchManagerGuardedPutsDisjointKeys) {
   // Each thread owns one key and chains guarded Puts on it: with striping,
   // no thread should ever observe another's head, and every chain must be
@@ -410,6 +465,74 @@ TEST(ConcurrencyTest, ForkBasePutManyFromManyThreads) {
   }
   const ChunkStoreStats st = db.store()->stats();
   EXPECT_EQ(st.dedup_hits, st.puts - st.chunks);
+}
+
+TEST(ConcurrencyTest, HotHeadCacheReadersRaceHeadMoves) {
+  // 4 writer threads move the heads of 4 keys (Put on master, plus
+  // fork/remove churn to rattle the HeadObserver), while 4 reader
+  // threads serve the same keys through GetValue — the hot-head value
+  // cache path. The uid-guard invariant under test: a reader may be
+  // served from the cache only for the head it just resolved, so the
+  // per-key counter each reader observes must be monotone (a stale
+  // cached value surfacing after a newer one is a correctness bug, not
+  // a performance blip). Designed for TSan.
+  ForkBase db;
+  constexpr size_t kKeys = 4;
+  constexpr int kWrites = 200;
+  auto key_of = [](size_t k) { return "hot-" + std::to_string(k); };
+
+  RunThreads([&](size_t t) {
+    if (t < kKeys) {
+      // Writer: owns one key, so its counter values are strictly
+      // increasing along the master branch.
+      const std::string key = key_of(t);
+      for (int i = 0; i < kWrites; ++i) {
+        ASSERT_TRUE(db.Put(key, Value::OfInt(i)).ok());
+        if (i % 16 == 0) {
+          const std::string side = "side-" + std::to_string(i);
+          if (db.Fork(key, kDefaultBranch, side).ok()) {
+            ASSERT_TRUE(db.Remove(key, side).ok());
+          }
+        }
+      }
+    } else {
+      // Reader: cycles over every key through the hot path.
+      int64_t last_seen[kKeys];
+      for (size_t k = 0; k < kKeys; ++k) last_seen[k] = -1;
+      for (int i = 0; i < 4 * kWrites; ++i) {
+        const size_t k = i % kKeys;
+        auto readout = db.GetValue(key_of(k));
+        if (readout.status().IsNotFound()) continue;  // writer not started
+        ASSERT_TRUE(readout.ok()) << readout.status().ToString();
+        ASSERT_TRUE(readout->has_value);
+        const int64_t counter = readout->object.value().AsInt();
+        EXPECT_GE(counter, last_seen[k]) << "stale cached value served";
+        last_seen[k] = counter;
+      }
+    }
+  });
+
+  // Quiesced: the latest write is what every path serves.
+  for (size_t k = 0; k < kKeys; ++k) {
+    auto readout = db.GetValue(key_of(k));
+    ASSERT_TRUE(readout.ok());
+    EXPECT_EQ(readout->object.value().AsInt(), kWrites - 1);
+  }
+  const HotHeadCacheStats st = db.hot_head_stats();
+  EXPECT_GT(st.inserts, 0u);
+  EXPECT_GT(st.hits + st.misses, 0u);
+
+  // Deterministic observer check (the race above may interleave so that
+  // every head move lands before the first insert): a cached read
+  // followed by a head move must drop the entry, and the next read must
+  // re-load and serve the new value.
+  ASSERT_TRUE(db.GetValue(key_of(0)).ok());  // (re)inserts hot-0
+  ASSERT_TRUE(db.Put(key_of(0), Value::OfInt(kWrites)).ok());
+  EXPECT_GT(db.hot_head_stats().invalidations, st.invalidations)
+      << "head move never reached the observer";
+  auto fresh = db.GetValue(key_of(0));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->object.value().AsInt(), kWrites);
 }
 
 TEST(ConcurrencyTest, ClusterClientSubmitStress) {

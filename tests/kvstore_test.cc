@@ -1,12 +1,16 @@
 // Tests for the mini-LSM store and its bloom filters, including a
-// randomized model check against std::map.
+// randomized model check against std::map — plus the on-disk
+// LsmChunkStore backend: WAL replay, torn-tail forgiveness, flush and
+// size-tiered compaction across reopen.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 
 #include "kvstore/bloom.h"
 #include "kvstore/lsm.h"
+#include "kvstore/lsm_chunk_store.h"
 #include "util/random.h"
 
 namespace fb {
@@ -191,6 +195,220 @@ TEST_P(LsmModelTest, MatchesReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LsmModelTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// LsmChunkStore: the on-disk ChunkStore backend
+// ---------------------------------------------------------------------------
+
+class LsmChunkStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fb_lsm_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Chunk BlobChunk(const std::string& payload) {
+    return Chunk(ChunkType::kBlob, ToBytes(payload));
+  }
+
+  // The store's files of one kind, e.g. ".fbw" (WALs) or ".fbs" (SSTs).
+  std::vector<std::filesystem::path> FilesWithSuffix(
+      const std::string& suffix) const {
+    std::vector<std::filesystem::path> out;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      const std::string name = e.path().filename().string();
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        out.push_back(e.path());
+      }
+    }
+    return out;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LsmChunkStoreTest, PutGetPersistsAcrossReopen) {
+  // No Flush before close: the dtor only closes the WAL, so the reopen
+  // is a crash-equivalent WAL replay.
+  std::vector<Hash> cids;
+  {
+    auto store = LsmChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 20; ++i) {
+      auto cid = (*store)->Put(BlobChunk("chunk-" + std::to_string(i)));
+      ASSERT_TRUE(cid.ok());
+      cids.push_back(*cid);
+    }
+  }
+  auto store = LsmChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    Chunk got;
+    ASSERT_TRUE((*store)->Get(cids[i], &got).ok()) << i;
+    EXPECT_EQ(got.payload().ToString(), "chunk-" + std::to_string(i));
+  }
+  EXPECT_EQ((*store)->stats().chunks, 20u);
+}
+
+TEST_F(LsmChunkStoreTest, DedupAcrossReopen) {
+  {
+    auto store = LsmChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(BlobChunk("x")).ok());
+  }
+  auto store = LsmChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put(BlobChunk("x")).ok());
+  EXPECT_EQ((*store)->stats().chunks, 1u);
+  EXPECT_EQ((*store)->stats().dedup_hits, 1u);
+}
+
+TEST_F(LsmChunkStoreTest, FlushSealsSstAndSurvivesReopen) {
+  std::vector<Hash> cids;
+  {
+    auto store = LsmChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      auto cid = (*store)->Put(BlobChunk("sst-" + std::to_string(i)));
+      ASSERT_TRUE(cid.ok());
+      cids.push_back(*cid);
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    const auto bs = (*store)->backend_stats();
+    EXPECT_EQ(bs.flushes, 1u);
+    EXPECT_EQ(bs.runs, 1u);
+    // Everything is still served after the memtable is sealed.
+    for (const Hash& cid : cids) {
+      Chunk got;
+      ASSERT_TRUE((*store)->Get(cid, &got).ok());
+    }
+  }
+  EXPECT_EQ(FilesWithSuffix(".fbs").size(), 1u);
+
+  auto store = LsmChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (const Hash& cid : cids) {
+    Chunk got;
+    ASSERT_TRUE((*store)->Get(cid, &got).ok());
+  }
+  EXPECT_EQ((*store)->stats().chunks, 10u);
+  EXPECT_EQ((*store)->backend_stats().runs, 1u);
+}
+
+TEST_F(LsmChunkStoreTest, TornWalTailForgivenOnlyAtTheEnd) {
+  // A crash mid-append tears the final WAL record. Recovery must keep
+  // every record before the tear and drop the torn one — not reject the
+  // whole store, and not resurrect the partial record.
+  std::vector<Hash> cids;
+  {
+    auto store = LsmChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto cid = (*store)->Put(BlobChunk("torn-" + std::to_string(i)));
+      ASSERT_TRUE(cid.ok());
+      cids.push_back(*cid);
+    }
+  }
+  auto wals = FilesWithSuffix(".fbw");
+  ASSERT_EQ(wals.size(), 1u);
+  const auto full = std::filesystem::file_size(wals[0]);
+  std::filesystem::resize_file(wals[0], full - 3);  // tear the last record
+
+  auto store = LsmChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // The WAL was appended in Put order, so exactly the last record tore.
+  for (int i = 0; i < 4; ++i) {
+    Chunk got;
+    ASSERT_TRUE((*store)->Get(cids[i], &got).ok()) << i;
+    EXPECT_EQ(got.payload().ToString(), "torn-" + std::to_string(i));
+  }
+  Chunk got;
+  EXPECT_TRUE((*store)->Get(cids[4], &got).IsNotFound());
+  EXPECT_EQ((*store)->stats().chunks, 4u);
+}
+
+TEST_F(LsmChunkStoreTest, CorruptSstIsRejectedNotForgiven) {
+  // SSTs get no torn-tail forgiveness: they are sealed atomically
+  // (tmp+rename), so damage is tampering or bitrot and must fail Open.
+  {
+    auto store = LsmChunkStore::Open(dir_.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(BlobChunk("sealed")).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto ssts = FilesWithSuffix(".fbs");
+  ASSERT_EQ(ssts.size(), 1u);
+  const auto full = std::filesystem::file_size(ssts[0]);
+  std::filesystem::resize_file(ssts[0], full - 1);
+  EXPECT_FALSE(LsmChunkStore::Open(dir_.string()).ok());
+}
+
+TEST_F(LsmChunkStoreTest, CompactionMergesTiersAndSurvivesReopen) {
+  // `fanout` flushes at tier 0 trigger a size-tiered merge into one
+  // tier-1 run; compaction is pure concatenation (content addressing:
+  // no shadowing, no tombstones), so every chunk stays readable — also
+  // after a reopen that rebuilds runs from disk.
+  LsmChunkStoreOptions opts;
+  opts.fanout = 3;
+  std::vector<Hash> cids;
+  {
+    auto store = LsmChunkStore::Open(dir_.string(), opts);
+    ASSERT_TRUE(store.ok());
+    for (int flush = 0; flush < 3; ++flush) {
+      for (int i = 0; i < 8; ++i) {
+        auto cid = (*store)->Put(
+            BlobChunk("f" + std::to_string(flush) + "-" + std::to_string(i)));
+        ASSERT_TRUE(cid.ok());
+        cids.push_back(*cid);
+      }
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
+    const auto bs = (*store)->backend_stats();
+    EXPECT_EQ(bs.flushes, 3u);
+    EXPECT_GE(bs.compactions, 1u);
+    EXPECT_EQ(bs.runs, 1u) << "3 tier-0 runs should have merged into one";
+    for (const Hash& cid : cids) {
+      Chunk got;
+      ASSERT_TRUE((*store)->Get(cid, &got).ok());
+    }
+  }
+  // Only the merged run remains on disk (victims were unlinked).
+  EXPECT_EQ(FilesWithSuffix(".fbs").size(), 1u);
+
+  auto store = LsmChunkStore::Open(dir_.string(), opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->stats().chunks, cids.size());
+  for (const Hash& cid : cids) {
+    Chunk got;
+    ASSERT_TRUE((*store)->Get(cid, &got).ok());
+    EXPECT_TRUE((*store)->Contains(cid));
+  }
+}
+
+TEST_F(LsmChunkStoreTest, GetBatchSpansMemtableAndRuns) {
+  auto store = LsmChunkStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok());
+  auto a = (*store)->Put(BlobChunk("in-the-run"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  auto b = (*store)->Put(BlobChunk("in-the-memtable"));
+  ASSERT_TRUE(b.ok());
+
+  std::vector<Chunk> chunks;
+  ASSERT_TRUE((*store)->GetBatch({*a, *b}, &chunks).ok());
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].payload().ToString(), "in-the-run");
+  EXPECT_EQ(chunks[1].payload().ToString(), "in-the-memtable");
+
+  std::vector<Chunk> missing;
+  EXPECT_TRUE(
+      (*store)->GetBatch({Hash::Of(Slice("nope"))}, &missing).IsNotFound());
+}
 
 }  // namespace
 }  // namespace fb

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
 #include <set>
 
@@ -116,6 +117,8 @@ TEST(CommandEnvelopeTest, ReplyRoundTripsByteStably) {
   d.left = ToBytes("x");
   d.right = std::nullopt;
   r.key_diffs = {d};
+  r.has_value = true;
+  r.value = ToBytes("materialized content");
 
   const Bytes wire = r.Serialize();
   auto parsed = Reply::Parse(Slice(wire));
@@ -136,6 +139,8 @@ TEST(CommandEnvelopeTest, ReplyRoundTripsByteStably) {
   ASSERT_EQ(parsed->key_diffs.size(), 1u);
   EXPECT_EQ(parsed->key_diffs[0].left, d.left);
   EXPECT_EQ(parsed->key_diffs[0].right, d.right);
+  EXPECT_EQ(parsed->has_value, r.has_value);
+  EXPECT_EQ(parsed->value, r.value);
 }
 
 TEST(CommandEnvelopeTest, ParseRejectsDamage) {
@@ -339,6 +344,32 @@ std::vector<std::string> RunScript(ForkBaseService& db) {
   EXPECT_TRUE(served_content.ok());
   note("put-blob content", BytesToString(*served_content));
 
+  // kGetValue: server-side value materialization. Primitive values come
+  // back inline, blobs arrive fully assembled, and the second read of
+  // the same head exercises the servlet's hot-head cache — the
+  // transcript (value bytes included) must not change, whichever path
+  // served it.
+  auto gv = db.GetValue("key-3");
+  EXPECT_TRUE(gv.ok());
+  note("get-value key-3", std::to_string(gv->object.value().AsInt()) + "/" +
+                              (gv->has_value ? "inline" : "tree") + "@" +
+                              hex(gv->object.uid()));
+  auto gv_blob = db.GetValue("blob-key");
+  EXPECT_TRUE(gv_blob.ok());
+  EXPECT_TRUE(gv_blob->has_value);
+  note("get-value blob", BytesToString(gv_blob->value));
+  auto gv_blob2 = db.GetValue("blob-key");
+  EXPECT_TRUE(gv_blob2.ok());
+  note("get-value blob again", BytesToString(gv_blob2->value) + "@" +
+                                   hex(gv_blob2->object.uid()));
+  note("get-value missing", db.GetValue("nope").status().ToString());
+  // Empty branch resolves the key's sole untagged (fork-on-conflict)
+  // head — "foc" has exactly one after the MergeUids above.
+  auto gv_foc = db.GetValue("foc", "");
+  EXPECT_TRUE(gv_foc.ok());
+  note("get-value untagged",
+       std::to_string(gv_foc->object.value().AsInt()));
+
   auto m1 = db.CreateMapFromEntries({{ToBytes("a"), ToBytes("1")},
                                      {ToBytes("b"), ToBytes("2")}});
   auto m2 = db.CreateMapFromEntries({{ToBytes("a"), ToBytes("1")},
@@ -472,6 +503,48 @@ TEST(ServiceParityTest, EmbeddedAndAllRemotePeerFetchTranscriptsAgree) {
   const uint64_t peer_fetches = servlets[0].engine->store()->stats().peer_fetches +
                                 servlets[1].engine->store()->stats().peer_fetches;
   EXPECT_GT(peer_fetches, 0u) << "no server-to-server chunk fetch happened";
+}
+
+// ---------------------------------------------------------------------------
+// Storage-backend parity: the same script over every physical store
+// ---------------------------------------------------------------------------
+
+TEST(StoreBackendParityTest, TranscriptsAgreeAcrossLogLsmAndMem) {
+  // DBOptions::store_backend swaps the physical chunk engine under the
+  // same logical API. The full M1-M17 + GetValue script must produce a
+  // byte-identical transcript over the append-only log, the LSM store,
+  // and the in-memory store — uids are content-addressed, so any
+  // divergence is a real semantic difference, not noise.
+  const auto base =
+      std::filesystem::temp_directory_path() /
+      ("fb_backend_parity_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(base);
+
+  std::vector<std::vector<std::string>> logs;
+  std::vector<std::string> names;
+  for (StoreBackend backend :
+       {StoreBackend::kLog, StoreBackend::kLsm, StoreBackend::kMem}) {
+    DBOptions opts = SmallOpts();
+    opts.store_backend = backend;
+    const std::string dir =
+        (base / std::to_string(static_cast<int>(backend))).string();
+    auto db = ForkBase::OpenPersistent(dir, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EmbeddedService service(db->get());
+    logs.push_back(RunScript(service));
+    names.push_back(backend == StoreBackend::kLog   ? "log"
+                    : backend == StoreBackend::kLsm ? "lsm"
+                                                    : "mem");
+  }
+  for (size_t b = 1; b < logs.size(); ++b) {
+    ASSERT_EQ(logs[0].size(), logs[b].size()) << names[b];
+    for (size_t i = 0; i < logs[0].size(); ++i) {
+      EXPECT_EQ(logs[0][i], logs[b][i])
+          << names[b] << " transcript line " << i;
+    }
+  }
+  std::filesystem::remove_all(base);
 }
 
 // ---------------------------------------------------------------------------
