@@ -32,6 +32,8 @@ std::unique_ptr<LedgerBackend> MakeBackend(const std::string& name) {
 
 int main(int argc, char** argv) {
   const double scale = fb::bench::ScaleArg(argc, argv, 0.02);
+  fb::bench::BenchJson json(argc, argv, "fig9_blockchain_ops");
+  json.Config("scale", scale);
 
   fb::bench::Header(
       "Figure 9: blockchain op latency, 95th percentile (b=50, r=w=0.5)");
@@ -53,11 +55,18 @@ int main(int argc, char** argv) {
       opts.value_size = 100;
       auto result = fb::RunWorkload(ledger.get(), opts);
       fb::bench::Check(result.status(), "workload");
+      const double read_ms = result->read_latency.Percentile(95) / 1e3;
+      const double write_ms = result->write_latency.Percentile(95) / 1e3;
+      const double commit_ms = result->commit_latency.Percentile(95) / 1e3;
       fb::bench::Row("%12s %10llu %14.4f %14.4f %14.3f", backend_name,
-                     static_cast<unsigned long long>(updates),
-                     result->read_latency.Percentile(95) / 1e3,
-                     result->write_latency.Percentile(95) / 1e3,
-                     result->commit_latency.Percentile(95) / 1e3);
+                     static_cast<unsigned long long>(updates), read_ms,
+                     write_ms, commit_ms);
+      json.Row()
+          .Str("backend", backend_name)
+          .Num("updates", static_cast<double>(updates))
+          .Num("read_p95_ms", read_ms)
+          .Num("write_p95_ms", write_ms)
+          .Num("commit_p95_ms", commit_ms);
     }
   }
   fb::bench::Row("(scaled: %g of paper's update counts per run)", scale);

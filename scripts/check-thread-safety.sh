@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Thread-safety wall: clang's -Wthread-safety over every TU in src/,
+# errors fatal — plus a negative control proving the analysis is live.
+#
+# Usage: scripts/check-thread-safety.sh [clang++-binary]
+#
+# Two phases:
+#   1. Every src/**/*.cc must compile warning-free under
+#      -Wthread-safety -Werror=thread-safety-analysis.
+#   2. tests/thread_safety_expect_fail.cc (a TU written to violate the
+#      annotations, gated behind FORKBASE_EXPECT_TSA_FAIL) must produce
+#      thread-safety warnings. If it compiles silently, the macros are
+#      expanding to nothing and phase 1 proved nothing.
+set -u -o pipefail
+
+CXX="${1:-clang++}"
+cd "$(dirname "$0")/.."
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "error: $CXX not found (pass the clang++ binary as \$1)" >&2
+  exit 2
+fi
+if ! "$CXX" --version | grep -qi clang; then
+  echo "error: $CXX is not clang; thread safety analysis needs clang" >&2
+  exit 2
+fi
+
+TSA_FLAGS=(-std=c++17 -Isrc -Wall -Wextra
+           -Wthread-safety -Werror=thread-safety-analysis -fsyntax-only)
+
+fail=0
+echo "== phase 1: src/ must be -Wthread-safety clean =="
+while IFS= read -r tu; do
+  if ! "$CXX" "${TSA_FLAGS[@]}" "$tu"; then
+    echo "FAIL: $tu" >&2
+    fail=1
+  fi
+done < <(find src -name '*.cc' | sort)
+
+echo "== phase 2: the expected-fail TU must actually warn =="
+neg_out=$("$CXX" -std=c++17 -Isrc -Wthread-safety -fsyntax-only \
+          -DFORKBASE_EXPECT_TSA_FAIL tests/thread_safety_expect_fail.cc 2>&1)
+if ! grep -q 'thread-safety' <<<"$neg_out"; then
+  echo "FAIL: expected-fail TU produced no -Wthread-safety diagnostics;" >&2
+  echo "      the annotations are not live. Compiler output was:" >&2
+  echo "$neg_out" >&2
+  fail=1
+else
+  n=$(grep -c 'warning:.*thread-safety' <<<"$neg_out" || true)
+  echo "negative control warned as expected ($n thread-safety warnings)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "thread-safety wall: FAILED" >&2
+  exit 1
+fi
+echo "thread-safety wall: clean"

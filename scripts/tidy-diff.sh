@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# clang-tidy over the files a change touches (not the whole tree, which
+# would make the first offender a wall for every later PR).
+#
+# Usage: scripts/tidy-diff.sh [base-ref] [clang-tidy-binary]
+#   base-ref  defaults to origin/main (fallback: HEAD~1)
+#
+# Checks come from the repo-root .clang-tidy. Requires a compile
+# database: cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -u -o pipefail
+
+BASE="${1:-}"
+TIDY="${2:-clang-tidy}"
+cd "$(dirname "$0")/.."
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found" >&2
+  exit 2
+fi
+
+if [ -z "$BASE" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    BASE=origin/main
+  else
+    BASE=HEAD~1
+  fi
+fi
+
+# Changed C++ sources under src/ (headers are checked through the TUs
+# that include them; tests and benches are exempt from the gate).
+mapfile -t changed < <(git diff --name-only --diff-filter=d "$BASE"...HEAD \
+                       -- 'src/*.cc' 'src/**/*.cc')
+if [ "${#changed[@]}" -eq 0 ]; then
+  echo "tidy-diff: no changed src/ translation units vs $BASE"
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing;" >&2
+  echo "       configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+echo "tidy-diff: checking ${#changed[@]} file(s) vs $BASE"
+printf '  %s\n' "${changed[@]}"
+# --warnings-as-errors promotes everything .clang-tidy enables; the
+# header filter keeps diagnostics to our own code.
+"$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' \
+        --header-filter='src/.*' "${changed[@]}"

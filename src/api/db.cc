@@ -174,7 +174,7 @@ Status ForkBase::PersistBranchState() {
   if (branch_snapshot_path_.empty()) return Status::OK();
   // Serialize snapshots; Export itself is a consistent point-in-time
   // view (it locks all stripes), the mutex only orders the file writes.
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   FB_ASSIGN_OR_RETURN(Bytes state, ExportBranchState());
   FB_RETURN_NOT_OK(WriteFileAtomic(branch_snapshot_path_, Slice(state)));
   // Reset only after the snapshot is durable: a failed write (disk

@@ -27,7 +27,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "pos_tree/diff.h"
 #include "types/fobject.h"
 #include "types/handles.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -296,7 +296,7 @@ class ForkBase {
 
   // Writes a branch-state snapshot now (atomically: tmp file + rename).
   // No-op unless branch persistence is enabled (OpenPersistent does so).
-  Status PersistBranchState();
+  Status PersistBranchState() EXCLUDES(snapshot_mu_);
 
  private:
   Result<Hash> CommitObject(const std::string& key, const Value& value,
@@ -341,7 +341,7 @@ class ForkBase {
   // threshold — but snapshots themselves are serialized and atomic.
   std::string branch_snapshot_path_;  // empty => disabled
   std::atomic<uint64_t> mutations_since_snapshot_{0};
-  std::mutex snapshot_mu_;
+  Mutex snapshot_mu_{kRankSnapshot, "branch-snapshot"};
 };
 
 }  // namespace fb

@@ -33,7 +33,7 @@ bool HotHeadCache::Lookup(const std::string& key, const std::string& branch,
                           const Hash& head, Entry* out) {
   const std::string map_key = MapKey(key, branch);
   Shard& shard = ShardFor(map_key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(map_key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -62,7 +62,7 @@ void HotHeadCache::Insert(const std::string& key, const std::string& branch,
   Shard& shard = ShardFor(map_key);
   const uint64_t shard_capacity = capacity_bytes_ / shards_.size();
   if (charge > shard_capacity) return;  // would evict the whole shard
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(map_key);
   if (it != shard.index.end()) EraseLocked(&shard, it);
   while (shard.bytes + charge > shard_capacity && !shard.lru.empty()) {
@@ -80,7 +80,7 @@ void HotHeadCache::OnHeadChange(const std::string& key,
                                 const std::string& branch) {
   const std::string map_key = MapKey(key, branch);
   Shard& shard = ShardFor(map_key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(map_key);
   if (it == shard.index.end()) return;
   EraseLocked(&shard, it);
@@ -89,7 +89,7 @@ void HotHeadCache::OnHeadChange(const std::string& key,
 
 void HotHeadCache::OnAllHeadsChange() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stats.invalidations += shard->lru.size();
     shard->lru.clear();
     shard->index.clear();
@@ -100,7 +100,7 @@ void HotHeadCache::OnAllHeadsChange() {
 HotHeadCacheStats HotHeadCache::stats() const {
   HotHeadCacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.stale_drops += shard->stats.stale_drops;
@@ -115,7 +115,7 @@ HotHeadCacheStats HotHeadCache::stats() const {
 uint64_t HotHeadCache::size_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->bytes;
   }
   return total;
@@ -124,7 +124,7 @@ uint64_t HotHeadCache::size_bytes() const {
 size_t HotHeadCache::entries() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

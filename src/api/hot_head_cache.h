@@ -23,13 +23,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "branch/branch_manager.h"
 #include "chunk/chunk.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -80,11 +80,12 @@ class HotHeadCache : public HeadObserver {
     uint64_t charge = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Node> lru;  // front = most recent
-    std::unordered_map<std::string, std::list<Node>::iterator> index;
-    uint64_t bytes = 0;
-    HotHeadCacheStats stats;
+    mutable Mutex mu{kRankCache, "hot-head-shard"};
+    std::list<Node> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, std::list<Node>::iterator> index
+        GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
+    HotHeadCacheStats stats GUARDED_BY(mu);
   };
 
   static std::string MapKey(const std::string& key, const std::string& branch) {
@@ -99,10 +100,10 @@ class HotHeadCache : public HeadObserver {
     return *shards_[std::hash<std::string>{}(map_key) % shards_.size()];
   }
 
-  // Caller holds shard.mu.
   void EraseLocked(Shard* shard,
                    std::unordered_map<std::string,
-                                      std::list<Node>::iterator>::iterator it);
+                                      std::list<Node>::iterator>::iterator it)
+      REQUIRES(shard->mu);
 
   const uint64_t capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -21,13 +21,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "branch/branch_table.h"
 #include "util/codec.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fb {
@@ -149,16 +149,23 @@ class BranchManager {
   void set_head_observer(HeadObserver* observer) { observer_ = observer; }
 
  private:
+  // Observers fire with the stripe lock released — the documented
+  // contract (an observer may call back into head resolution). The
+  // debug assertion turns that comment into an abort.
   void NotifyHead(const std::string& key, const std::string& branch) const {
+    StripeOf(key).mu.AssertNotHeld();
     if (observer_ != nullptr) observer_->OnHeadChange(key, branch);
   }
   void NotifyAll() const {
+    for (const auto& stripe : stripes_) stripe->mu.AssertNotHeld();
     if (observer_ != nullptr) observer_->OnAllHeadsChange();
   }
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::map<std::string, BranchTable> tables;
+    // Same-rank: ExportState/ImportState walk every stripe in index
+    // order, the only multi-stripe acquisitions.
+    mutable Mutex mu{kRankBranchStripe, "branch-stripe", kSameRankOk};
+    std::map<std::string, BranchTable> tables GUARDED_BY(mu);
   };
 
   Stripe& StripeOf(const std::string& key) {

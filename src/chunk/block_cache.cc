@@ -80,7 +80,7 @@ AdmissionChunkCache::AdmissionChunkCache(size_t capacity_bytes,
 
 bool AdmissionChunkCache::Get(const Hash& cid, Chunk* chunk) {
   Shard& s = ShardFor(cid);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.sketch.Touch(cid.Mid64());
   auto it = s.index.find(cid);
   if (it == s.index.end()) {
@@ -106,14 +106,14 @@ bool AdmissionChunkCache::Get(const Hash& cid, Chunk* chunk) {
 
 bool AdmissionChunkCache::Contains(const Hash& cid) const {
   Shard& s = ShardFor(cid);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.index.count(cid) > 0;
 }
 
 void AdmissionChunkCache::Put(const Hash& cid, const Chunk& chunk) {
   const size_t charge = chunk.serialized_size();
   Shard& s = ShardFor(cid);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.stats.miss_bytes += charge;
   if (charge > shard_capacity_ || shard_capacity_ == 0) {
     ++s.stats.rejections;
@@ -179,7 +179,7 @@ void AdmissionChunkCache::BalanceProtected(Shard& s) {
 size_t AdmissionChunkCache::size_bytes() const {
   size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    MutexLock lock(s->mu);
     total += s->bytes;
   }
   return total;
@@ -188,7 +188,7 @@ size_t AdmissionChunkCache::size_bytes() const {
 size_t AdmissionChunkCache::entries() const {
   size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    MutexLock lock(s->mu);
     total += s->index.size();
   }
   return total;
@@ -197,7 +197,7 @@ size_t AdmissionChunkCache::entries() const {
 BlockCacheStats AdmissionChunkCache::stats() const {
   BlockCacheStats total;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    MutexLock lock(s->mu);
     total.hits += s->stats.hits;
     total.misses += s->stats.misses;
     total.hit_bytes += s->stats.hit_bytes;

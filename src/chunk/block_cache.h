@@ -32,12 +32,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -106,26 +106,28 @@ class AdmissionChunkCache {
   using EntryList = std::list<Entry>;
 
   struct Shard {
-    mutable std::mutex mu;
-    EntryList probation;  // front = most recent
-    EntryList protected_seg;
-    std::unordered_map<Hash, EntryList::iterator, HashHasher> index;
-    size_t bytes = 0;
-    size_t protected_bytes = 0;
-    FrequencySketch sketch;
-    BlockCacheStats stats;
+    mutable Mutex mu{kRankCache, "block-cache-shard"};
+    EntryList probation GUARDED_BY(mu);  // front = most recent
+    EntryList protected_seg GUARDED_BY(mu);
+    std::unordered_map<Hash, EntryList::iterator, HashHasher> index
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    size_t protected_bytes GUARDED_BY(mu) = 0;
+    FrequencySketch sketch GUARDED_BY(mu);
+    BlockCacheStats stats GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Hash& cid) const {
     return *shards_[static_cast<size_t>(cid.Mid64()) % shards_.size()];
   }
 
-  // Caller holds s.mu. Frees probation-tail entries until `incoming`
-  // fits; returns false (rejecting the insert) if the duel says the
-  // incoming chunk is colder than a victim it would displace.
-  bool MakeRoom(Shard& s, uint64_t incoming_hash, size_t incoming_charge);
-  // Caller holds s.mu. Caps the protected segment, demoting overflow.
-  void BalanceProtected(Shard& s);
+  // Frees probation-tail entries until `incoming` fits; returns false
+  // (rejecting the insert) if the duel says the incoming chunk is
+  // colder than a victim it would displace.
+  bool MakeRoom(Shard& s, uint64_t incoming_hash, size_t incoming_charge)
+      REQUIRES(s.mu);
+  // Caps the protected segment, demoting overflow.
+  void BalanceProtected(Shard& s) REQUIRES(s.mu);
 
   const size_t capacity_;
   const size_t shard_capacity_;

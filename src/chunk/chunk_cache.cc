@@ -3,7 +3,7 @@
 namespace fb {
 
 bool LruChunkCache::Get(const Hash& cid, Chunk* chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(cid);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -23,7 +23,7 @@ void LruChunkCache::Put(const Hash& cid, const Chunk& chunk) {
   // count its bytes whether or not the chunk ends up cached.
   miss_bytes_.fetch_add(charge, std::memory_order_relaxed);
   if (charge > capacity_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(cid);
   if (it != index_.end()) {
     // Re-insert replaces the old entry wholesale — charge included. An

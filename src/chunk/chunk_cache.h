@@ -11,11 +11,11 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "chunk/chunk.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -36,11 +36,11 @@ class LruChunkCache {
   void Put(const Hash& cid, const Chunk& chunk);
 
   size_t size_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_;
   }
   size_t entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.size();
   }
   size_t capacity_bytes() const { return capacity_; }
@@ -60,14 +60,15 @@ class LruChunkCache {
  private:
   using Entry = std::pair<Hash, Chunk>;
 
-  // Caller holds mu_. Charges serialized_size (the bytes a fetch saves).
-  void EvictUntilFits(size_t incoming);
+  // Charges serialized_size (the bytes a fetch saves).
+  void EvictUntilFits(size_t incoming) REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> index_;
-  size_t bytes_ = 0;
+  mutable Mutex mu_{kRankCache, "chunk-cache"};
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> index_
+      GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> hit_bytes_{0};

@@ -68,7 +68,7 @@ Status MemChunkStore::Put(const Hash& cid, const Chunk& chunk) {
   Shard& shard = *shards_[ShardIndex(cid)];
   bool dedup_hit;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // find-first: a dedup hit must not pay the chunk copy.
     dedup_hit = shard.chunks.count(cid) > 0;
     if (!dedup_hit) shard.chunks.emplace(cid, chunk);
@@ -80,7 +80,7 @@ Status MemChunkStore::Put(const Hash& cid, const Chunk& chunk) {
 Status MemChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   stats_.RecordGet();
   const Shard& shard = *shards_[ShardIndex(cid)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.chunks.find(cid);
   if (it == shard.chunks.end()) {
     return Status::NotFound("chunk " + cid.ToShortHex());
@@ -91,7 +91,7 @@ Status MemChunkStore::Get(const Hash& cid, Chunk* chunk) const {
 
 bool MemChunkStore::Contains(const Hash& cid) const {
   const Shard& shard = *shards_[ShardIndex(cid)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.chunks.count(cid) > 0;
 }
 
@@ -106,28 +106,28 @@ Status MemChunkStore::PutBatch(const ChunkBatch& batch) {
 
 Status MemChunkStore::EnqueueAndWait(const PendingInsert* entries, size_t n) {
   if (n == 0) return Status::OK();
-  std::unique_lock<std::mutex> ql(gc_mu_);
+  MutexLock ql(gc_mu_);
   gc_queue_.insert(gc_queue_.end(), entries, entries + n);
   gc_enqueued_ += n;
   const uint64_t target = gc_enqueued_;
 
   while (gc_done_ < target) {
     if (gc_combiner_active_) {
-      gc_cv_.wait(ql);
+      gc_cv_.Wait(gc_mu_);
       continue;
     }
     gc_combiner_active_ = true;
     while (!gc_queue_.empty()) {
       std::vector<PendingInsert> group = std::move(gc_queue_);
       gc_queue_.clear();
-      ql.unlock();
+      ql.Unlock();
       CommitGroup(group);
-      ql.lock();
+      ql.Lock();
       gc_done_ += group.size();
-      gc_cv_.notify_all();
+      gc_cv_.SignalAll();
     }
     gc_combiner_active_ = false;
-    gc_cv_.notify_all();
+    gc_cv_.SignalAll();
   }
   return Status::OK();
 }
@@ -144,7 +144,7 @@ void MemChunkStore::CommitGroup(const std::vector<PendingInsert>& group) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (size_t i : by_shard[s]) {
       const Hash& cid = *group[i].cid;
       const Chunk& chunk = *group[i].chunk;
@@ -166,7 +166,7 @@ Status MemChunkStore::GetBatch(const std::vector<Hash>& cids,
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     const Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (size_t i : by_shard[s]) {
       auto it = shard.chunks.find(cids[i]);
       if (it == shard.chunks.end()) {
@@ -186,7 +186,7 @@ void MemChunkStore::ForEach(
   // `fn` may call back into stores.
   std::vector<std::pair<Hash, Chunk>> snapshot;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     snapshot.insert(snapshot.end(), shard->chunks.begin(),
                     shard->chunks.end());
   }
@@ -234,6 +234,10 @@ std::string LogChunkStore::SegmentPath(uint32_t n) const {
 }
 
 Status LogChunkStore::Recover() {
+  // Runs once from Open() before the store is published, but takes mu_
+  // anyway: the guarded fields it populates stay provably consistent and
+  // the lock is uncontended by construction.
+  MutexLock lock(mu_);
   // Scan segments in order; verify each record's cid while indexing. A
   // truncated record is forgiven only at the tail of the LAST segment —
   // that is exactly what a process crash between group-commit fwrites
@@ -344,7 +348,7 @@ Status LogChunkStore::SyncActive() {
 }
 
 Status LogChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   // Records are packed into `buf` and written with one fwrite per
   // segment-span; their index entries are published only after the bytes
@@ -355,26 +359,6 @@ Status LogChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
   std::vector<uint64_t> staged_sizes;
   std::unordered_set<Hash, HashHasher> staged_cids;
 
-  auto flush_staged = [&]() -> Status {
-    if (buf.empty()) return Status::OK();
-    if (std::fwrite(buf.data(), 1, buf.size(), active_) != buf.size()) {
-      return Status::IOError("short write to segment");
-    }
-    if (options_.durability != DurabilityPolicy::kNone) {
-      FB_RETURN_NOT_OK(SyncActive());
-    }
-    for (size_t j = 0; j < staged.size(); ++j) {
-      index_[staged[j].first] = staged[j].second;
-      stats_.RecordPut(staged_sizes[j], /*dedup_hit=*/false);
-    }
-    active_off_ += buf.size();
-    buf.clear();
-    staged.clear();
-    staged_sizes.clear();
-    staged_cids.clear();
-    return Status::OK();
-  };
-
   for (const PendingAppend& p : group) {
     const Hash& cid = *p.cid;
     const Chunk& chunk = *p.chunk;
@@ -383,7 +367,8 @@ Status LogChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
       continue;
     }
     if (active_off_ + buf.size() >= options_.segment_size) {
-      FB_RETURN_NOT_OK(flush_staged());
+      FB_RETURN_NOT_OK(
+          FlushStaged(&buf, &staged, &staged_sizes, &staged_cids));
       if (active_off_ >= options_.segment_size) {
         FB_RETURN_NOT_OK(RollSegment());
       }
@@ -404,15 +389,39 @@ Status LogChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
     buf.insert(buf.end(), body.begin(), body.end());
 
     if (options_.durability == DurabilityPolicy::kAlways) {
-      FB_RETURN_NOT_OK(flush_staged());
+      FB_RETURN_NOT_OK(
+          FlushStaged(&buf, &staged, &staged_sizes, &staged_cids));
     }
   }
-  return flush_staged();
+  return FlushStaged(&buf, &staged, &staged_sizes, &staged_cids);
+}
+
+Status LogChunkStore::FlushStaged(
+    Bytes* buf, std::vector<std::pair<Hash, Location>>* staged,
+    std::vector<uint64_t>* staged_sizes,
+    std::unordered_set<Hash, HashHasher>* staged_cids) {
+  if (buf->empty()) return Status::OK();
+  if (std::fwrite(buf->data(), 1, buf->size(), active_) != buf->size()) {
+    return Status::IOError("short write to segment");
+  }
+  if (options_.durability != DurabilityPolicy::kNone) {
+    FB_RETURN_NOT_OK(SyncActive());
+  }
+  for (size_t j = 0; j < staged->size(); ++j) {
+    index_[(*staged)[j].first] = (*staged)[j].second;
+    stats_.RecordPut((*staged_sizes)[j], /*dedup_hit=*/false);
+  }
+  active_off_ += buf->size();
+  buf->clear();
+  staged->clear();
+  staged_sizes->clear();
+  staged_cids->clear();
+  return Status::OK();
 }
 
 Status LogChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
   if (n == 0) return Status::OK();
-  std::unique_lock<std::mutex> ql(gc_mu_);
+  MutexLock ql(gc_mu_);
   if (!gc_error_.ok()) return gc_error_;
   gc_queue_.insert(gc_queue_.end(), entries, entries + n);
   gc_enqueued_ += n;
@@ -422,22 +431,22 @@ Status LogChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
     if (gc_combiner_active_) {
       // Another writer is combining; it will cover our records or hand
       // the combiner role back before they are reached.
-      gc_cv_.wait(ql);
+      gc_cv_.Wait(gc_mu_);
       continue;
     }
     gc_combiner_active_ = true;
     while (!gc_queue_.empty()) {
       std::vector<PendingAppend> group = std::move(gc_queue_);
       gc_queue_.clear();
-      ql.unlock();
+      ql.Unlock();
       Status s = CommitGroup(group);
-      ql.lock();
+      ql.Lock();
       gc_durable_ += group.size();
       if (!s.ok() && gc_error_.ok()) gc_error_ = s;
-      gc_cv_.notify_all();
+      gc_cv_.SignalAll();
     }
     gc_combiner_active_ = false;
-    gc_cv_.notify_all();
+    gc_cv_.SignalAll();
   }
   return gc_error_;
 }
@@ -495,7 +504,7 @@ Status LogChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   }
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(cid);
     if (it == index_.end()) {
       return Status::NotFound("chunk " + cid.ToShortHex());
@@ -532,7 +541,7 @@ Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
 
   std::vector<Location> locs(cids.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bool flushed = false;
     for (size_t i : missing) {
       auto it = index_.find(cids[i]);
@@ -576,7 +585,7 @@ Status LogChunkStore::GetBatch(const std::vector<Hash>& cids,
 }
 
 bool LogChunkStore::Contains(const Hash& cid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.count(cid) > 0;
 }
 
@@ -595,7 +604,7 @@ ChunkStoreStats LogChunkStore::stats() const {
 }
 
 Status LogChunkStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_ != nullptr && std::fflush(active_) != 0) {
     return Status::IOError("fflush");
   }

@@ -24,11 +24,9 @@
 #define FORKBASE_CHUNK_CHUNK_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +34,7 @@
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fb {
@@ -243,8 +242,11 @@ class MemChunkStore : public ChunkStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Hash, Chunk, HashHasher> chunks;
+    // Same-rank: CommitGroup/GetBatch/ForEach visit shards one at a time
+    // in index order (never nested), but the sibling walk is flagged so
+    // a future hand-over-hand pass stays legal.
+    mutable Mutex mu{kRankStore, "mem-shard", kSameRankOk};
+    std::unordered_map<Hash, Chunk, HashHasher> chunks GUARDED_BY(mu);
   };
 
   // A record enqueued for the PutBatch group commit. Pointers refer
@@ -261,22 +263,25 @@ class MemChunkStore : public ChunkStore {
 
   // Enqueues `n` records and blocks until they are inserted (possibly
   // becoming the combiner that inserts them).
-  Status EnqueueAndWait(const PendingInsert* entries, size_t n);
+  Status EnqueueAndWait(const PendingInsert* entries, size_t n)
+      EXCLUDES(gc_mu_);
   // Inserts one drained group: groups records by shard, then takes each
-  // shard's lock exactly once. Never holds gc_mu_.
-  void CommitGroup(const std::vector<PendingInsert>& group);
+  // shard's lock exactly once. Never holds gc_mu_ (the lock-rank order
+  // combiner -> shard also forbids the reverse nesting at runtime).
+  void CommitGroup(const std::vector<PendingInsert>& group)
+      EXCLUDES(gc_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Group-commit queue (PutBatch only; single Put takes its stripe
   // directly). gc_mu_ guards the bookkeeping below and is never held
   // while shard locks are.
-  std::mutex gc_mu_;
-  std::condition_variable gc_cv_;
-  std::vector<PendingInsert> gc_queue_;
-  uint64_t gc_enqueued_ = 0;
-  uint64_t gc_done_ = 0;
-  bool gc_combiner_active_ = false;
+  Mutex gc_mu_{kRankStoreCombiner, "mem-gc"};
+  CondVar gc_cv_;
+  std::vector<PendingInsert> gc_queue_ GUARDED_BY(gc_mu_);
+  uint64_t gc_enqueued_ GUARDED_BY(gc_mu_) = 0;
+  uint64_t gc_done_ GUARDED_BY(gc_mu_) = 0;
+  bool gc_combiner_active_ GUARDED_BY(gc_mu_) = false;
 
   AtomicChunkStoreStats stats_;
 };
@@ -362,18 +367,28 @@ class LogChunkStore : public ChunkStore {
   // AdmissionChunkCache type behind block_cache_.
   LogChunkStore(std::string dir, LogStoreOptions options);
 
-  Status Recover();
-  Status RollSegment();
+  Status Recover() EXCLUDES(mu_);
+  Status RollSegment() REQUIRES(mu_);
   // Enqueues `n` records and blocks until they are committed (possibly
   // becoming the combiner that commits them).
-  Status EnqueueAndWait(const PendingAppend* entries, size_t n);
+  Status EnqueueAndWait(const PendingAppend* entries, size_t n)
+      EXCLUDES(gc_mu_);
   // Writes one drained group: dedups against the index, packs the fresh
   // records into contiguous buffers (one fwrite each), applies the
   // durability policy, publishes index entries. Takes mu_; never holds
   // gc_mu_.
-  Status CommitGroup(const std::vector<PendingAppend>& group);
-  // fflush + fsync of the active segment; caller must hold mu_.
-  Status SyncActive();
+  Status CommitGroup(const std::vector<PendingAppend>& group)
+      EXCLUDES(mu_, gc_mu_);
+  // Writes the packed records in *buf with one fwrite, syncs per
+  // policy, then publishes the staged index entries and clears all four
+  // staging containers. CommitGroup's inner step.
+  Status FlushStaged(Bytes* buf,
+                     std::vector<std::pair<Hash, Location>>* staged,
+                     std::vector<uint64_t>* staged_sizes,
+                     std::unordered_set<Hash, HashHasher>* staged_cids)
+      REQUIRES(mu_);
+  // fflush + fsync of the active segment.
+  Status SyncActive() REQUIRES(mu_);
   // Reads a record's body from its segment file. Safe to call without
   // mu_ once the record is known to be flushed (records are immutable
   // and segments are never deleted).
@@ -383,21 +398,21 @@ class LogChunkStore : public ChunkStore {
   std::string dir_;
   LogStoreOptions options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Hash, Location, HashHasher> index_;
-  std::FILE* active_ = nullptr;
-  uint32_t active_id_ = 0;
-  uint64_t active_off_ = 0;
+  mutable Mutex mu_{kRankStore, "log-store"};
+  std::unordered_map<Hash, Location, HashHasher> index_ GUARDED_BY(mu_);
+  std::FILE* active_ GUARDED_BY(mu_) = nullptr;
+  uint32_t active_id_ GUARDED_BY(mu_) = 0;
+  uint64_t active_off_ GUARDED_BY(mu_) = 0;
 
   // Group-commit queue. gc_mu_ only guards the queue bookkeeping below;
   // it is never held across file I/O (CommitGroup runs under mu_ alone).
-  std::mutex gc_mu_;
-  std::condition_variable gc_cv_;
-  std::vector<PendingAppend> gc_queue_;
-  uint64_t gc_enqueued_ = 0;  // records ever enqueued
-  uint64_t gc_durable_ = 0;   // records committed (or failed)
-  bool gc_combiner_active_ = false;
-  Status gc_error_;  // sticky: an I/O error fails the store
+  Mutex gc_mu_{kRankStoreCombiner, "log-gc"};
+  CondVar gc_cv_;
+  std::vector<PendingAppend> gc_queue_ GUARDED_BY(gc_mu_);
+  uint64_t gc_enqueued_ GUARDED_BY(gc_mu_) = 0;  // records ever enqueued
+  uint64_t gc_durable_ GUARDED_BY(gc_mu_) = 0;   // committed (or failed)
+  bool gc_combiner_active_ GUARDED_BY(gc_mu_) = false;
+  Status gc_error_ GUARDED_BY(gc_mu_);  // sticky: an I/O error fails the store
 
   // Read-through block cache over the segment files (nullptr when
   // options_.block_cache_bytes == 0). Consulted before the index,

@@ -21,20 +21,24 @@ struct PeerChunkResolver::Peer {
   explicit Peer(std::string ep) : endpoint(std::move(ep)) {}
 
   const std::string endpoint;
-  std::mutex mu;  // guards conn open/replace and the health fields
-  std::unique_ptr<rpc::RemoteService> conn;
+  // Guards conn open/replace and the health fields. Same rank as
+  // peers_mu_ (never held together: AskOrder snapshots the set first,
+  // releases, then reads each peer's health); held across a connect,
+  // which takes the RemoteService locks — they rank deeper.
+  Mutex mu{kRankPeerResolver, "peer"};
+  std::unique_ptr<rpc::RemoteService> conn GUARDED_BY(mu);
   // Health: consecutive failures drive an exponential cooldown during
   // which the peer is skipped instead of re-attempted.
-  uint64_t consecutive_failures = 0;
-  Clock::time_point next_attempt{};  // epoch = no cooldown
+  uint64_t consecutive_failures GUARDED_BY(mu) = 0;
+  Clock::time_point next_attempt GUARDED_BY(mu){};  // epoch = no cooldown
 
-  void RecordSuccess() {
-    std::lock_guard<std::mutex> lock(mu);
+  void RecordSuccess() EXCLUDES(mu) {
+    MutexLock lock(mu);
     consecutive_failures = 0;
     next_attempt = Clock::time_point{};
   }
-  void RecordFailure(const PeerResolverOptions& options) {
-    std::lock_guard<std::mutex> lock(mu);
+  void RecordFailure(const PeerResolverOptions& options) EXCLUDES(mu) {
+    MutexLock lock(mu);
     ++consecutive_failures;
     const unsigned shift =
         consecutive_failures > 16 ? 16
@@ -51,11 +55,13 @@ struct PeerChunkResolver::Peer {
 // Single-flight rendezvous: the leader fills status/chunk and flips
 // done; followers wait on cv and copy the result.
 struct PeerChunkResolver::Inflight {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
-  Chunk chunk;
+  // Same rank as inflight_mu_: the registry lock is always released
+  // before a flight's own lock is taken.
+  Mutex mu{kRankPeerFlight, "peer-flight"};
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Status status GUARDED_BY(mu);
+  Chunk chunk GUARDED_BY(mu);
 };
 
 PeerChunkResolver::PeerChunkResolver(std::vector<std::string> peers,
@@ -72,12 +78,12 @@ void PeerChunkResolver::SetPeers(std::vector<std::string> peers) {
   for (auto& ep : peers) {
     if (!ep.empty()) fresh.push_back(std::make_shared<Peer>(std::move(ep)));
   }
-  std::lock_guard<std::mutex> lock(peers_mu_);
+  MutexLock lock(peers_mu_);
   peers_.swap(fresh);
 }
 
 size_t PeerChunkResolver::num_peers() const {
-  std::lock_guard<std::mutex> lock(peers_mu_);
+  MutexLock lock(peers_mu_);
   return peers_.size();
 }
 
@@ -85,7 +91,7 @@ std::vector<std::shared_ptr<PeerChunkResolver::Peer>>
 PeerChunkResolver::AskOrder(const Hash& cid, size_t* skipped) {
   std::vector<std::shared_ptr<Peer>> peers;
   {
-    std::lock_guard<std::mutex> lock(peers_mu_);
+    MutexLock lock(peers_mu_);
     peers = peers_;
   }
   *skipped = 0;
@@ -104,7 +110,7 @@ PeerChunkResolver::AskOrder(const Hash& cid, size_t* skipped) {
     uint64_t fail_count;
     Clock::time_point until;
     {
-      std::lock_guard<std::mutex> lock(peer->mu);
+      MutexLock lock(peer->mu);
       fail_count = peer->consecutive_failures;
       until = peer->next_attempt;
     }
@@ -122,7 +128,7 @@ PeerChunkResolver::AskOrder(const Hash& cid, size_t* skipped) {
 }
 
 rpc::RemoteService* PeerChunkResolver::GetPeerConn(Peer* peer) {
-  std::lock_guard<std::mutex> lock(peer->mu);
+  MutexLock lock(peer->mu);
   if (peer->conn == nullptr) {
     connect_attempts_.fetch_add(1, std::memory_order_relaxed);
     rpc::RemoteServiceOptions ro;
@@ -139,7 +145,7 @@ Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
   std::shared_ptr<Inflight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     auto it = inflight_.find(cid);
     if (it == inflight_.end()) {
       flight = std::make_shared<Inflight>();
@@ -152,8 +158,8 @@ Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
 
   if (!leader) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    MutexLock lock(flight->mu);
+    while (!flight->done) flight->cv.Wait(flight->mu);
     if (flight->status.ok()) *chunk = flight->chunk;
     return flight->status;
   }
@@ -162,16 +168,16 @@ Status PeerChunkResolver::Fetch(const Hash& cid, Chunk* chunk) {
   {
     // Deregister before publishing: a fetch arriving after the result is
     // posted starts fresh (the chunk may have appeared on a peer since).
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.erase(cid);
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    MutexLock lock(flight->mu);
     flight->status = s;
     if (s.ok()) flight->chunk = *chunk;
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.SignalAll();
   return s;
 }
 
@@ -308,7 +314,7 @@ Status PeerChunkResolver::FetchBatch(const std::vector<Hash>& cids,
   std::vector<Led> led;
   std::vector<Led> following;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     for (size_t i = 0; i < cids.size(); ++i) {
       auto it = inflight_.find(cids[i]);
       if (it == inflight_.end()) {
@@ -333,18 +339,18 @@ Status PeerChunkResolver::FetchBatch(const std::vector<Hash>& cids,
 
   Status worst = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     for (const Led& l : led) inflight_.erase(cids[l.index]);
   }
   for (size_t j = 0; j < led.size(); ++j) {
     const Led& l = led[j];
     {
-      std::lock_guard<std::mutex> lock(l.flight->mu);
+      MutexLock lock(l.flight->mu);
       l.flight->status = led_status[j];
       if (led_status[j].ok()) l.flight->chunk = led_chunks[j];
       l.flight->done = true;
     }
-    l.flight->cv.notify_all();
+    l.flight->cv.SignalAll();
     if (led_status[j].ok()) {
       (*chunks)[l.index] = std::move(led_chunks[j]);
       (*resolved)[l.index] = true;
@@ -353,8 +359,8 @@ Status PeerChunkResolver::FetchBatch(const std::vector<Hash>& cids,
     }
   }
   for (const Led& f : following) {
-    std::unique_lock<std::mutex> lock(f.flight->mu);
-    f.flight->cv.wait(lock, [&] { return f.flight->done; });
+    MutexLock lock(f.flight->mu);
+    while (!f.flight->done) f.flight->cv.Wait(f.flight->mu);
     if (f.flight->status.ok()) {
       (*chunks)[f.index] = f.flight->chunk;
       (*resolved)[f.index] = true;

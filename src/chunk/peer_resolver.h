@@ -34,14 +34,13 @@
 #define FORKBASE_CHUNK_PEER_RESOLVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fb {
@@ -143,11 +142,14 @@ class PeerChunkResolver {
 
   const PeerResolverOptions options_;
 
-  mutable std::mutex peers_mu_;
-  std::vector<std::shared_ptr<Peer>> peers_;
+  // Guards only the peer-set snapshot; per-peer health lives under each
+  // Peer's own mutex (same rank, never held together with this one).
+  mutable Mutex peers_mu_{kRankPeerResolver, "peer-set"};
+  std::vector<std::shared_ptr<Peer>> peers_ GUARDED_BY(peers_mu_);
 
-  std::mutex inflight_mu_;
-  std::unordered_map<Hash, std::shared_ptr<Inflight>, HashHasher> inflight_;
+  Mutex inflight_mu_{kRankPeerFlight, "peer-inflight"};
+  std::unordered_map<Hash, std::shared_ptr<Inflight>, HashHasher> inflight_
+      GUARDED_BY(inflight_mu_);
 
   std::atomic<uint64_t> fetches_{0};
   std::atomic<uint64_t> failures_{0};

@@ -202,10 +202,10 @@ void ClusterClient::EnsureWorkersStarted() {
 ClusterClient::~ClusterClient() {
   for (auto& w : workers_) {
     {
-      std::lock_guard<std::mutex> lock(w->mu);
+      MutexLock lock(w->mu);
       w->stop = true;
     }
-    w->cv.notify_all();
+    w->cv.SignalAll();
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -218,8 +218,8 @@ ClusterClient::~ClusterClient() {
 
 void ClusterClient::Flush() {
   for (auto& w : workers_) {
-    std::unique_lock<std::mutex> lock(w->mu);
-    w->idle_cv.wait(lock, [&] { return w->inflight == 0; });
+    MutexLock lock(w->mu);
+    while (w->inflight != 0) w->idle_cv.Wait(w->mu);
   }
 }
 
@@ -374,7 +374,7 @@ std::future<Reply> ClusterClient::Submit(Command cmd) {
   EnsureWorkersStarted();
   Worker& w = *workers_[idx];
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     if (w.stop) {
       p.promise.set_value(
           Reply::FromStatus(Status::Internal("client shut down")));
@@ -383,7 +383,7 @@ std::future<Reply> ClusterClient::Submit(Command cmd) {
     ++w.inflight;
     w.queue.push_back(std::move(p));
   }
-  w.cv.notify_one();
+  w.cv.Signal();
   return future;
 }
 
@@ -446,8 +446,8 @@ void ClusterClient::WorkerLoop(size_t idx) {
   for (;;) {
     std::deque<Pending> drained;
     {
-      std::unique_lock<std::mutex> lock(w.mu);
-      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      MutexLock lock(w.mu);
+      while (!w.stop && w.queue.empty()) w.cv.Wait(w.mu);
       if (w.queue.empty() && w.stop) return;
       drained.swap(w.queue);
     }
@@ -480,9 +480,9 @@ void ClusterClient::WorkerLoop(size_t idx) {
     CommitPutRun(idx, &run);
 
     {
-      std::lock_guard<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       w.inflight -= drained_count;
-      if (w.inflight == 0) w.idle_cv.notify_all();
+      if (w.inflight == 0) w.idle_cv.SignalAll();
     }
   }
 }

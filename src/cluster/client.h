@@ -40,7 +40,6 @@
 #define FORKBASE_CLUSTER_CLIENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
@@ -54,6 +53,7 @@
 #include "chunk/peer_resolver.h"
 #include "cluster/cluster.h"
 #include "rpc/remote_service.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -164,13 +164,15 @@ class ClusterClient : public ForkBaseService {
     Command cmd;
     std::promise<Reply> promise;
   };
+  // Outermost rank: the worker drops mu before executing, so servlet
+  // engines (branch / store / cache locks) never nest inside it.
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;       // work arrived / stop
-    std::condition_variable idle_cv;  // inflight drained to zero
-    std::deque<Pending> queue;
-    uint64_t inflight = 0;  // queued + currently executing
-    bool stop = false;
+    Mutex mu{kRankService, "client-worker"};
+    CondVar cv;       // work arrived / stop
+    CondVar idle_cv;  // inflight drained to zero
+    std::deque<Pending> queue GUARDED_BY(mu);
+    uint64_t inflight GUARDED_BY(mu) = 0;  // queued + currently executing
+    bool stop GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

@@ -134,10 +134,13 @@ class ServletChunkStore : public ChunkStore {
   // here means "miss in-process" — the peer tail comes after.
   Status GetInProcess(const Hash& cid, Chunk* chunk) const;
 
-  std::vector<std::unique_ptr<MemChunkStore>>* pool_;  // cluster mode
-  std::unique_ptr<ChunkStore> owned_local_;            // standalone mode
-  size_t local_id_;
-  bool two_layer_;
+  // Mode selection is fixed at construction — const, so concurrent
+  // readers can branch on these without synchronization by design
+  // rather than by accident.
+  std::vector<std::unique_ptr<MemChunkStore>>* const pool_;  // cluster mode
+  const std::unique_ptr<ChunkStore> owned_local_;  // standalone mode
+  const size_t local_id_;
+  const bool two_layer_;
   mutable LruChunkCache fallback_cache_;  // Get() is const; caching is not
   std::atomic<PeerChunkResolver*> peers_{nullptr};
 };

@@ -7,7 +7,7 @@ namespace fb {
 LsmStore::LsmStore(LsmOptions options) : options_(options) {}
 
 Status LsmStore::Put(Slice key, Slice value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.puts;
   memtable_bytes_ += key.size() + value.size();
   memtable_[key.ToString()] = value.ToString();
@@ -18,7 +18,7 @@ Status LsmStore::Put(Slice key, Slice value) {
 }
 
 Status LsmStore::Delete(Slice key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.deletes;
   memtable_bytes_ += key.size();
   memtable_[key.ToString()] = std::nullopt;
@@ -29,7 +29,7 @@ Status LsmStore::Delete(Slice key) {
 }
 
 Status LsmStore::Get(Slice key, std::string* value) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   const std::string k = key.ToString();
 
@@ -69,7 +69,7 @@ bool LsmStore::Contains(Slice key) const {
 Status LsmStore::Scan(
     Slice prefix,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Merge all sources newest-wins into an ordered map.
   std::map<std::string, std::optional<std::string>> merged;
   for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
@@ -120,7 +120,7 @@ Status LsmStore::FlushLocked() {
 }
 
 Status LsmStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked();
 }
 
@@ -187,7 +187,7 @@ void LsmStore::MaybeCompactLocked() {
 }
 
 LsmStats LsmStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LsmStats st = stats_;
   st.live_bytes = memtable_bytes_;
   for (const auto& run : runs_) st.live_bytes += run->bytes;

@@ -21,12 +21,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "kvstore/bloom.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fb {
@@ -80,21 +80,22 @@ class LsmStore {
     size_t tier = 0;
   };
 
-  Status FlushLocked();
-  void MaybeCompactLocked();
+  Status FlushLocked() REQUIRES(mu_);
+  void MaybeCompactLocked() REQUIRES(mu_);
   std::unique_ptr<Run> MergeRuns(
-      std::vector<std::unique_ptr<Run>> runs, size_t tier, bool drop_tombstones);
+      std::vector<std::unique_ptr<Run>> runs, size_t tier, bool drop_tombstones)
+      REQUIRES(mu_);
   static std::unique_ptr<Run> BuildRun(
       std::vector<std::pair<std::string, std::optional<std::string>>> entries,
       size_t tier, int bloom_bits);
 
   LsmOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::optional<std::string>> memtable_;
-  size_t memtable_bytes_ = 0;
+  mutable Mutex mu_{kRankStore, "lsm-store"};
+  std::map<std::string, std::optional<std::string>> memtable_ GUARDED_BY(mu_);
+  size_t memtable_bytes_ GUARDED_BY(mu_) = 0;
   // runs_[0] is the newest. Runs carry their tier tag.
-  std::vector<std::unique_ptr<Run>> runs_;
-  mutable LsmStats stats_;
+  std::vector<std::unique_ptr<Run>> runs_ GUARDED_BY(mu_);
+  mutable LsmStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace fb

@@ -182,9 +182,13 @@ Result<LsmChunkStore::RunPtr> LsmChunkStore::LoadRun(const std::string& path,
 Status LsmChunkStore::ReplayWal(const std::string& path,
                                 bool forgive_torn_tail) {
   uint64_t end = 0;
+  // The callback body runs with mu_ held by this function's caller
+  // contract; the analysis cannot see through the std::function
+  // boundary, so it is opted out explicitly.
   Status s = ScanRecords(
       path, forgive_torn_tail, &end,
-      [&](const Hash& cid, Chunk chunk, uint64_t, uint32_t) {
+      [&](const Hash& cid, Chunk chunk, uint64_t,
+          uint32_t) NO_THREAD_SAFETY_ANALYSIS {
         if (!ContainsLocked(cid)) {
           memtable_logical_bytes_ += chunk.serialized_size();
           stats_.RecordRecoveredChunk(chunk.serialized_size());
@@ -197,7 +201,19 @@ Status LsmChunkStore::ReplayWal(const std::string& path,
 }
 
 Status LsmChunkStore::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  bool need_flush = false;
+  {
+    MutexLock lock(mu_);
+    FB_RETURN_NOT_OK(RecoverLocked());
+    need_flush = memtable_logical_bytes_ >= options_.memtable_bytes;
+  }
+  // The recovered memtable may already be over threshold; flush it with
+  // the lock released like any runtime flush.
+  if (need_flush) return FlushAndCompact();
+  return Status::OK();
+}
+
+Status LsmChunkStore::RecoverLocked() {
   // Discover SSTs and WALs; anything unparseable is a foreign file and
   // is left alone.
   std::vector<std::pair<uint64_t, size_t>> ssts;  // (seq, tier)
@@ -239,7 +255,7 @@ Status LsmChunkStore::Recover() {
     auto run = LoadRun(SstPath(seq, tier), seq, tier);
     FB_RETURN_NOT_OK(run.status());
     runs_.push_back(std::move(*run));
-    next_seq_ = std::max(next_seq_, seq + 1);
+    next_seq_ = std::max(next_seq_.load(std::memory_order_relaxed), seq + 1);
   }
 
   // Replay WALs oldest-first; only the newest may be torn (the crash
@@ -249,7 +265,7 @@ Status LsmChunkStore::Recover() {
   for (size_t i = 0; i < wals.size(); ++i) {
     FB_RETURN_NOT_OK(
         ReplayWal(WalPath(wals[i]), /*forgive=*/i + 1 == wals.size()));
-    next_seq_ = std::max(next_seq_, wals[i] + 1);
+    next_seq_ = std::max(next_seq_.load(std::memory_order_relaxed), wals[i] + 1);
   }
 
   // Re-log the recovered memtable into one fresh WAL, sync it, then
@@ -277,15 +293,11 @@ Status LsmChunkStore::Recover() {
   for (uint64_t seq : wals) {
     std::filesystem::remove(WalPath(seq), ec);
   }
-
-  if (memtable_logical_bytes_ >= options_.memtable_bytes) {
-    FB_RETURN_NOT_OK(FlushLocked());
-  }
   return Status::OK();
 }
 
 bool LsmChunkStore::ContainsLocked(const Hash& cid) const {
-  if (memtable_.count(cid) > 0) return true;
+  if (memtable_.count(cid) > 0 || imm_.count(cid) > 0) return true;
   for (const RunPtr& run : runs_) {
     if (run->entries.empty() || CidCompare(cid, run->min_cid) < 0 ||
         CidCompare(cid, run->max_cid) > 0) {
@@ -302,61 +314,66 @@ bool LsmChunkStore::ContainsLocked(const Hash& cid) const {
 
 Status LsmChunkStore::SyncWal() { return SyncFile(wal_, "wal"); }
 
+Status LsmChunkStore::CommitStaged(
+    Bytes* buf, std::vector<std::pair<Hash, const Chunk*>>* staged) {
+  if (buf->empty()) return Status::OK();
+  if (std::fwrite(buf->data(), 1, buf->size(), wal_) != buf->size()) {
+    return Status::IOError("short write to wal");
+  }
+  if (options_.durability != DurabilityPolicy::kNone) {
+    FB_RETURN_NOT_OK(SyncWal());
+  }
+  {
+    MutexLock bl(backend_stats_mu_);
+    backend_stats_.wal_bytes += buf->size();
+  }
+  for (const auto& [cid, chunk] : *staged) {
+    memtable_.emplace(cid, *chunk);
+    memtable_logical_bytes_ += chunk->serialized_size();
+    stats_.RecordPut(chunk->serialized_size(), /*dedup_hit=*/false);
+  }
+  buf->clear();
+  staged->clear();
+  return Status::OK();
+}
+
 Status LsmChunkStore::CommitGroup(const std::vector<PendingAppend>& group) {
-  std::lock_guard<std::mutex> lock(mu_);
+  bool need_flush = false;
+  {
+    MutexLock lock(mu_);
 
-  Bytes buf;
-  std::vector<std::pair<Hash, const Chunk*>> staged;
-  std::unordered_map<Hash, size_t, HashHasher> staged_cids;
+    Bytes buf;
+    std::vector<std::pair<Hash, const Chunk*>> staged;
+    std::unordered_set<Hash, HashHasher> staged_cids;
 
-  auto flush_staged = [&]() -> Status {
-    if (buf.empty()) return Status::OK();
-    if (std::fwrite(buf.data(), 1, buf.size(), wal_) != buf.size()) {
-      return Status::IOError("short write to wal");
+    for (const PendingAppend& p : group) {
+      const Hash& cid = *p.cid;
+      const Chunk& chunk = *p.chunk;
+      if (staged_cids.count(cid) > 0 || ContainsLocked(cid)) {
+        stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
+        continue;
+      }
+      AppendRecord(&buf, cid, chunk.Serialize());
+      staged.emplace_back(cid, &chunk);
+      staged_cids.insert(cid);
+      if (options_.durability == DurabilityPolicy::kAlways) {
+        FB_RETURN_NOT_OK(CommitStaged(&buf, &staged));
+        staged_cids.clear();
+      }
     }
-    if (options_.durability != DurabilityPolicy::kNone) {
-      FB_RETURN_NOT_OK(SyncWal());
-    }
-    {
-      std::lock_guard<std::mutex> bl(backend_stats_mu_);
-      backend_stats_.wal_bytes += buf.size();
-    }
-    for (const auto& [cid, chunk] : staged) {
-      memtable_.emplace(cid, *chunk);
-      memtable_logical_bytes_ += chunk->serialized_size();
-      stats_.RecordPut(chunk->serialized_size(), /*dedup_hit=*/false);
-    }
-    buf.clear();
-    staged.clear();
-    staged_cids.clear();
-    return Status::OK();
-  };
+    FB_RETURN_NOT_OK(CommitStaged(&buf, &staged));
 
-  for (const PendingAppend& p : group) {
-    const Hash& cid = *p.cid;
-    const Chunk& chunk = *p.chunk;
-    if (staged_cids.count(cid) > 0 || ContainsLocked(cid)) {
-      stats_.RecordPut(chunk.serialized_size(), /*dedup_hit=*/true);
-      continue;
-    }
-    AppendRecord(&buf, cid, chunk.Serialize());
-    staged.emplace_back(cid, &chunk);
-    staged_cids.emplace(cid, staged.size() - 1);
-    if (options_.durability == DurabilityPolicy::kAlways) {
-      FB_RETURN_NOT_OK(flush_staged());
-    }
+    need_flush = memtable_logical_bytes_ >= options_.memtable_bytes;
   }
-  FB_RETURN_NOT_OK(flush_staged());
-
-  if (memtable_logical_bytes_ >= options_.memtable_bytes) {
-    FB_RETURN_NOT_OK(FlushLocked());
-  }
+  // The flush (SST build + compaction) runs with mu_ released so
+  // readers keep probing memtable_/imm_/runs_ during the I/O.
+  if (need_flush) return FlushAndCompact();
   return Status::OK();
 }
 
 Status LsmChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
   if (n == 0) return Status::OK();
-  std::unique_lock<std::mutex> ql(gc_mu_);
+  MutexLock ql(gc_mu_);
   if (!gc_error_.ok()) return gc_error_;
   gc_queue_.insert(gc_queue_.end(), entries, entries + n);
   gc_enqueued_ += n;
@@ -364,22 +381,22 @@ Status LsmChunkStore::EnqueueAndWait(const PendingAppend* entries, size_t n) {
 
   while (gc_durable_ < target) {
     if (gc_combiner_active_) {
-      gc_cv_.wait(ql);
+      gc_cv_.Wait(gc_mu_);
       continue;
     }
     gc_combiner_active_ = true;
     while (!gc_queue_.empty()) {
       std::vector<PendingAppend> group = std::move(gc_queue_);
       gc_queue_.clear();
-      ql.unlock();
+      ql.Unlock();
       Status s = CommitGroup(group);
-      ql.lock();
+      ql.Lock();
       gc_durable_ += group.size();
       if (!s.ok() && gc_error_.ok()) gc_error_ = s;
-      gc_cv_.notify_all();
+      gc_cv_.SignalAll();
     }
     gc_combiner_active_ = false;
-    gc_cv_.notify_all();
+    gc_cv_.SignalAll();
   }
   return gc_error_;
 }
@@ -400,7 +417,10 @@ Status LsmChunkStore::PutBatch(const ChunkBatch& batch) {
 
 Result<LsmChunkStore::RunPtr> LsmChunkStore::WriteSst(
     std::vector<std::pair<Hash, const Chunk*>> sorted_chunks, size_t tier) {
-  const uint64_t seq = next_seq_++;
+  // The whole SST build is file I/O; holding the store lock here would
+  // stall every reader for the duration (the bug this refactor removes).
+  mu_.AssertNotHeld();
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = SstPath(seq, tier);
   // Build under a .tmp name and rename once durable: recovery treats a
   // torn SST as corruption, so a crash mid-build must never leave a
@@ -447,49 +467,88 @@ Result<LsmChunkStore::RunPtr> LsmChunkStore::WriteSst(
   run->file = std::fopen(path.c_str(), "rb");
   if (run->file == nullptr) return Status::IOError("reopen " + path);
   {
-    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    MutexLock bl(backend_stats_mu_);
     backend_stats_.sst_bytes += off;
   }
   return run;
 }
 
-Status LsmChunkStore::FlushLocked() {
-  if (memtable_.empty()) return Status::OK();
+Status LsmChunkStore::FlushAndCompact() {
+  MutexLock flush(flush_mu_);
+
+  // Phase 1 — seal (under mu_, no I/O except the WAL rotation's fopen):
+  // move the memtable into imm_ where readers still find it, rotate to a
+  // fresh WAL so concurrent commits keep logging, and snapshot pointers
+  // into imm_ for the unlocked SST build. The old WAL file stays on disk
+  // until the SST is durable: a crash inside this window replays it.
   std::vector<std::pair<Hash, const Chunk*>> sorted;
-  sorted.reserve(memtable_.size());
-  for (const auto& [cid, chunk] : memtable_) sorted.emplace_back(cid, &chunk);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) {
-              return CidCompare(a.first, b.first) < 0;
-            });
-  auto run = WriteSst(std::move(sorted), /*tier=*/0);
-  FB_RETURN_NOT_OK(run.status());
-  runs_.insert(runs_.begin(), std::move(*run));
-  memtable_.clear();
-  memtable_logical_bytes_ = 0;
+  std::string old_wal;
   {
-    std::lock_guard<std::mutex> bl(backend_stats_mu_);
-    ++backend_stats_.flushes;
+    MutexLock lock(mu_);
+    if (memtable_.empty()) {
+      lock.Unlock();
+      return CompactUntilStable();
+    }
+    imm_ = std::move(memtable_);
+    memtable_.clear();
+    memtable_logical_bytes_ = 0;
+
+    std::fclose(wal_);
+    old_wal = wal_path_;
+    wal_seq_ = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    wal_path_ = WalPath(wal_seq_);
+    wal_ = std::fopen(wal_path_.c_str(), "ab");
+    if (wal_ == nullptr) {
+      return Status::IOError(std::string("rotate wal: ") +
+                             std::strerror(errno));
+    }
+
+    sorted.reserve(imm_.size());
+    for (const auto& [cid, chunk] : imm_) sorted.emplace_back(cid, &chunk);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return CidCompare(a.first, b.first) < 0;
+  });
+
+  // Phase 2 — build the SST with mu_ released. The pointers reach into
+  // imm_, which only this (flush_mu_-serialized) flusher may mutate.
+  auto run = WriteSst(std::move(sorted), /*tier=*/0);
+  if (!run.ok()) {
+    // Put the sealed records back so the store stays complete; the old
+    // WAL file still holds them for crash recovery, and the duplicate
+    // records a later flush leaves behind are deduped on replay.
+    MutexLock lock(mu_);
+    for (auto& [cid, chunk] : imm_) {
+      memtable_logical_bytes_ += chunk.serialized_size();
+      memtable_.emplace(cid, std::move(chunk));
+    }
+    imm_.clear();
+    return run.status();
   }
 
-  // The SST now durably holds everything the WAL held: rotate to a
-  // fresh WAL and delete the old one.
-  std::fclose(wal_);
-  const std::string old_wal = wal_path_;
-  wal_seq_ = next_seq_++;
-  wal_path_ = WalPath(wal_seq_);
-  wal_ = std::fopen(wal_path_.c_str(), "ab");
-  if (wal_ == nullptr) {
-    return Status::IOError(std::string("rotate wal: ") + std::strerror(errno));
+  // Phase 3 — republish under mu_: the run becomes visible, imm_ drains.
+  {
+    MutexLock lock(mu_);
+    runs_.insert(runs_.begin(), std::move(*run));
+    imm_.clear();
   }
+  {
+    MutexLock bl(backend_stats_mu_);
+    ++backend_stats_.flushes;
+  }
+  // The SST now durably holds everything the old WAL held.
   std::error_code ec;
   std::filesystem::remove(old_wal, ec);
 
-  return MaybeCompactLocked();
+  return CompactUntilStable();
 }
 
 Result<LsmChunkStore::RunPtr> LsmChunkStore::MergeRuns(
     const std::vector<RunPtr>& victims, size_t tier) {
+  // Compaction is pure file I/O and must never run under the memtable
+  // lock — readers keep serving from the victims (still published in
+  // runs_) for its whole duration.
+  mu_.AssertNotHeld();
   // Content addressing: victims are disjoint, so the merge is a re-sort
   // of their records into one file. Bodies are copied raw (already
   // cid-verified when first written or loaded).
@@ -508,7 +567,7 @@ Result<LsmChunkStore::RunPtr> LsmChunkStore::MergeRuns(
               return CidCompare(a.entry->cid, b.entry->cid) < 0;
             });
 
-  const uint64_t seq = next_seq_++;
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = SstPath(seq, tier);
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -526,7 +585,7 @@ Result<LsmChunkStore::RunPtr> LsmChunkStore::MergeRuns(
     const size_t total = kRecordHeader + src.entry->length;
     record.resize(total);
     {
-      std::lock_guard<std::mutex> rl(src.run->read_mu);
+      MutexLock rl(src.run->read_mu);
       if (std::fseek(src.run->file, static_cast<long>(src.entry->offset),
                      SEEK_SET) != 0 ||
           std::fread(record.data(), 1, total, src.run->file) != total) {
@@ -557,45 +616,55 @@ Result<LsmChunkStore::RunPtr> LsmChunkStore::MergeRuns(
   run->file = std::fopen(path.c_str(), "rb");
   if (run->file == nullptr) return Status::IOError("reopen " + path);
   {
-    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    MutexLock bl(backend_stats_mu_);
     backend_stats_.sst_bytes += off;
   }
   return run;
 }
 
-Status LsmChunkStore::MaybeCompactLocked() {
+Status LsmChunkStore::CompactUntilStable() {
   // Size-tiered: when any tier holds >= fanout runs, merge them into
-  // one run in the next tier. Repeat until stable.
+  // one run in the next tier. Repeat until stable. Victims stay
+  // published in runs_ while the merge writes (readers keep serving
+  // from them); only the swap at the end takes mu_.
   for (;;) {
-    std::unordered_map<size_t, size_t> counts;
-    for (const RunPtr& run : runs_) ++counts[run->tier];
-    size_t victim_tier = SIZE_MAX;
-    for (const auto& [tier, n] : counts) {
-      if (n >= options_.fanout && tier < victim_tier) victim_tier = tier;
-    }
-    if (victim_tier == SIZE_MAX) return Status::OK();
-
     std::vector<RunPtr> victims;
-    std::vector<RunPtr> keep;
-    for (RunPtr& run : runs_) {
-      (run->tier == victim_tier ? victims : keep).push_back(std::move(run));
-    }
-    auto merged = MergeRuns(victims, victim_tier + 1);
-    if (!merged.ok()) {
-      // Restore the pre-compaction view; the store remains usable.
-      runs_.clear();
-      runs_.insert(runs_.end(), keep.begin(), keep.end());
-      runs_.insert(runs_.end(), victims.begin(), victims.end());
-      return merged.status();
-    }
-    // Keep probe order tidy: the merged run precedes deeper tiers.
-    auto pos = std::find_if(keep.begin(), keep.end(), [&](const RunPtr& r) {
-      return r->tier > victim_tier;
-    });
-    keep.insert(pos, std::move(*merged));
-    runs_ = std::move(keep);
+    size_t victim_tier = SIZE_MAX;
     {
-      std::lock_guard<std::mutex> bl(backend_stats_mu_);
+      MutexLock lock(mu_);
+      std::unordered_map<size_t, size_t> counts;
+      for (const RunPtr& run : runs_) ++counts[run->tier];
+      for (const auto& [tier, n] : counts) {
+        if (n >= options_.fanout && tier < victim_tier) victim_tier = tier;
+      }
+      if (victim_tier == SIZE_MAX) return Status::OK();
+      for (const RunPtr& run : runs_) {
+        if (run->tier == victim_tier) victims.push_back(run);
+      }
+    }
+
+    auto merged = MergeRuns(victims, victim_tier + 1);
+    // On failure runs_ was never touched: the store stays usable.
+    FB_RETURN_NOT_OK(merged.status());
+
+    {
+      MutexLock lock(mu_);
+      // Only the flush_mu_ holder mutates runs_, so the victim set we
+      // snapshotted is exactly what is still published.
+      std::vector<RunPtr> keep;
+      keep.reserve(runs_.size());
+      for (RunPtr& run : runs_) {
+        if (run->tier != victim_tier) keep.push_back(std::move(run));
+      }
+      // Keep probe order tidy: the merged run precedes deeper tiers.
+      auto pos = std::find_if(keep.begin(), keep.end(), [&](const RunPtr& r) {
+        return r->tier > victim_tier;
+      });
+      keep.insert(pos, std::move(*merged));
+      runs_ = std::move(keep);
+    }
+    {
+      MutexLock bl(backend_stats_mu_);
       ++backend_stats_.compactions;
     }
     // Unlink victim files; in-flight readers still hold the RunPtr (and
@@ -607,10 +676,7 @@ Status LsmChunkStore::MaybeCompactLocked() {
   }
 }
 
-Status LsmChunkStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
-}
+Status LsmChunkStore::Flush() { return FlushAndCompact(); }
 
 Status LsmChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   stats_.RecordGet();
@@ -620,9 +686,15 @@ Status LsmChunkStore::Get(const Hash& cid, Chunk* chunk) const {
   RunPtr run;
   IndexEntry entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto mit = memtable_.find(cid);
     if (mit != memtable_.end()) {
+      *chunk = mit->second;
+      return Status::OK();
+    }
+    // The sealing memtable: its SST may still be building.
+    mit = imm_.find(cid);
+    if (mit != imm_.end()) {
       *chunk = mit->second;
       return Status::OK();
     }
@@ -646,7 +718,7 @@ Status LsmChunkStore::Get(const Hash& cid, Chunk* chunk) const {
 
   Bytes body(entry.length);
   {
-    std::lock_guard<std::mutex> rl(run->read_mu);
+    MutexLock rl(run->read_mu);
     if (std::fseek(run->file,
                    static_cast<long>(entry.offset + kRecordHeader),
                    SEEK_SET) != 0 ||
@@ -673,7 +745,7 @@ Status LsmChunkStore::GetBatch(const std::vector<Hash>& cids,
 }
 
 bool LsmChunkStore::Contains(const Hash& cid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ContainsLocked(cid);
 }
 
@@ -694,11 +766,11 @@ ChunkStoreStats LsmChunkStore::stats() const {
 LsmChunkStoreBackendStats LsmChunkStore::backend_stats() const {
   LsmChunkStoreBackendStats out;
   {
-    std::lock_guard<std::mutex> bl(backend_stats_mu_);
+    MutexLock bl(backend_stats_mu_);
     out = backend_stats_;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.runs = runs_.size();
   }
   out.bloom_skips = bloom_skips_.load(std::memory_order_relaxed);

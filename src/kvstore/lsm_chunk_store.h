@@ -29,11 +29,19 @@
 //                      survives restarts.
 //
 // Reads: block cache (shared AdmissionChunkCache, TinyLFU admission) →
-// memtable → runs (min/max fence, then bloom, then binary search of the
-// in-memory per-run index). Run files are read through a per-run handle
-// outside the store mutex; compaction unlinks victim files but readers
-// hold the Run alive via shared_ptr, so in-flight reads finish on the
-// unlinked-but-open handle.
+// memtable → immutable (sealing) memtable → runs (min/max fence, then
+// bloom, then binary search of the in-memory per-run index). Run files
+// are read through a per-run handle outside the store mutex; compaction
+// unlinks victim files but readers hold the Run alive via shared_ptr,
+// so in-flight reads finish on the unlinked-but-open handle.
+//
+// Flush and compaction never perform file I/O under mu_: a flush seals
+// the memtable into imm_ (still probed by readers), writes the SST with
+// mu_ released, then republishes the run and clears imm_ under mu_
+// again. Compaction likewise snapshots its victims under mu_, merges
+// them unlocked, and swaps the run list under mu_. flush_mu_ serializes
+// concurrent flushers; mu_.AssertNotHeld() in the writers turns the
+// "no I/O under the memtable lock" rule into a debug abort.
 //
 // Crash recovery: scan SSTs (verifying every record's cid — tamper
 // evidence, like LogChunkStore), then replay WALs oldest-first with the
@@ -42,16 +50,16 @@
 #ifndef FORKBASE_KVSTORE_LSM_CHUNK_STORE_H_
 #define FORKBASE_KVSTORE_LSM_CHUNK_STORE_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "chunk/chunk_store.h"
 #include "kvstore/bloom.h"
+#include "util/mutex.h"
 
 namespace fb {
 
@@ -92,7 +100,7 @@ class LsmChunkStore : public ChunkStore {
   ChunkStoreStats stats() const override;
 
   // Seals the current memtable into an SST now (tests / shutdown).
-  Status Flush();
+  Status Flush() EXCLUDES(mu_, flush_mu_);
 
   LsmChunkStoreBackendStats backend_stats() const;
 
@@ -115,7 +123,9 @@ class LsmChunkStore : public ChunkStore {
     uint64_t seq = 0;
     std::string path;
     std::FILE* file = nullptr;
-    mutable std::mutex read_mu;
+    // Innermost (leaf) rank: held only for a seek+read pair, never
+    // while any store lock is wanted.
+    mutable Mutex read_mu{kRankStoreLeaf, "sst-read"};
     ~Run() {
       if (file != nullptr) std::fclose(file);
     }
@@ -133,27 +143,41 @@ class LsmChunkStore : public ChunkStore {
   // AdmissionChunkCache type behind block_cache_.
   LsmChunkStore(std::string dir, LsmChunkStoreOptions options);
 
-  Status Recover();
-  Status ReplayWal(const std::string& path, bool forgive_torn_tail);
+  Status Recover() EXCLUDES(mu_, flush_mu_);
+  // Scans SSTs, replays WALs and re-logs the memtable; the trailing
+  // over-threshold flush happens in Recover() with mu_ released.
+  Status RecoverLocked() REQUIRES(mu_);
+  Status ReplayWal(const std::string& path, bool forgive_torn_tail)
+      REQUIRES(mu_);
   // Builds a Run by scanning an SST file, verifying every cid.
   Result<RunPtr> LoadRun(const std::string& path, uint64_t seq, size_t tier);
 
   // Group-commit plumbing (LogChunkStore's combiner discipline).
-  Status EnqueueAndWait(const PendingAppend* entries, size_t n);
-  Status CommitGroup(const std::vector<PendingAppend>& group);
-  Status SyncWal();
+  Status EnqueueAndWait(const PendingAppend* entries, size_t n)
+      EXCLUDES(gc_mu_);
+  Status CommitGroup(const std::vector<PendingAppend>& group)
+      EXCLUDES(mu_, gc_mu_, flush_mu_);
+  // Appends the staged records to the WAL, syncs per policy, publishes
+  // them into the memtable.
+  Status CommitStaged(Bytes* buf,
+                      std::vector<std::pair<Hash, const Chunk*>>* staged)
+      REQUIRES(mu_);
+  Status SyncWal() REQUIRES(mu_);
 
-  // Caller holds mu_. True when some memtable or run holds `cid`.
-  bool ContainsLocked(const Hash& cid) const;
-  // Caller holds mu_. Seals the memtable into a tier-0 SST, rotates the
-  // WAL, then compacts size-tiered until every tier < fanout runs.
-  Status FlushLocked();
-  Status MaybeCompactLocked();
-  // Writes `entries`' records (fetched through `read`) into a new SST
-  // at `tier` and returns its loaded Run.
+  // True when a memtable (live or sealing) or run holds `cid`.
+  bool ContainsLocked(const Hash& cid) const REQUIRES(mu_);
+  // Seals the memtable into a tier-0 SST, rotates the WAL, then
+  // compacts size-tiered until every tier < fanout runs. File I/O runs
+  // with mu_ released; flush_mu_ serializes concurrent flushers.
+  Status FlushAndCompact() EXCLUDES(mu_, flush_mu_);
+  Status CompactUntilStable() REQUIRES(flush_mu_) EXCLUDES(mu_);
+  // Writes `sorted_chunks`' records into a new SST at `tier` and
+  // returns its loaded Run. Pure file I/O: must not run under mu_.
   Result<RunPtr> WriteSst(
-      std::vector<std::pair<Hash, const Chunk*>> sorted_chunks, size_t tier);
-  Result<RunPtr> MergeRuns(const std::vector<RunPtr>& victims, size_t tier);
+      std::vector<std::pair<Hash, const Chunk*>> sorted_chunks, size_t tier)
+      EXCLUDES(mu_);
+  Result<RunPtr> MergeRuns(const std::vector<RunPtr>& victims, size_t tier)
+      EXCLUDES(mu_);
 
   std::string WalPath(uint64_t seq) const;
   std::string SstPath(uint64_t seq, size_t tier) const;
@@ -161,29 +185,39 @@ class LsmChunkStore : public ChunkStore {
   const std::string dir_;
   const LsmChunkStoreOptions options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Hash, Chunk, HashHasher> memtable_;
-  size_t memtable_logical_bytes_ = 0;
-  std::vector<RunPtr> runs_;  // newest first
-  uint64_t next_seq_ = 0;     // shared by WALs and SSTs
-  std::FILE* wal_ = nullptr;
-  uint64_t wal_seq_ = 0;
-  std::string wal_path_;
+  // Serializes flush + compaction (the slow writers). Acquired before
+  // mu_, never the other way around.
+  Mutex flush_mu_{kRankStoreCombiner, "lsm-flush"};
+
+  mutable Mutex mu_{kRankStore, "lsm-chunk-store"};
+  std::unordered_map<Hash, Chunk, HashHasher> memtable_ GUARDED_BY(mu_);
+  size_t memtable_logical_bytes_ GUARDED_BY(mu_) = 0;
+  // The sealing memtable: populated at flush start, drained once its SST
+  // is durable. Readers probe it under mu_; the flusher iterates it with
+  // mu_ released, which is safe because it is mutated only at the two
+  // lock-protected edges (seal, republish) and flush_mu_ admits one
+  // flusher at a time.
+  std::unordered_map<Hash, Chunk, HashHasher> imm_ GUARDED_BY(mu_);
+  std::vector<RunPtr> runs_ GUARDED_BY(mu_);  // newest first
+  std::atomic<uint64_t> next_seq_{0};         // shared by WALs and SSTs
+  std::FILE* wal_ GUARDED_BY(mu_) = nullptr;
+  uint64_t wal_seq_ GUARDED_BY(mu_) = 0;
+  std::string wal_path_ GUARDED_BY(mu_);
 
   // Group-commit queue; gc_mu_ never held across file I/O.
-  std::mutex gc_mu_;
-  std::condition_variable gc_cv_;
-  std::vector<PendingAppend> gc_queue_;
-  uint64_t gc_enqueued_ = 0;
-  uint64_t gc_durable_ = 0;
-  bool gc_combiner_active_ = false;
-  Status gc_error_;
+  Mutex gc_mu_{kRankStoreCombiner, "lsm-gc"};
+  CondVar gc_cv_;
+  std::vector<PendingAppend> gc_queue_ GUARDED_BY(gc_mu_);
+  uint64_t gc_enqueued_ GUARDED_BY(gc_mu_) = 0;
+  uint64_t gc_durable_ GUARDED_BY(gc_mu_) = 0;
+  bool gc_combiner_active_ GUARDED_BY(gc_mu_) = false;
+  Status gc_error_ GUARDED_BY(gc_mu_);
 
   std::unique_ptr<AdmissionChunkCache> block_cache_;
 
   AtomicChunkStoreStats stats_;
-  mutable std::mutex backend_stats_mu_;
-  LsmChunkStoreBackendStats backend_stats_;
+  mutable Mutex backend_stats_mu_{kRankStoreLeaf, "lsm-backend-stats"};
+  LsmChunkStoreBackendStats backend_stats_ GUARDED_BY(backend_stats_mu_);
   mutable std::atomic<uint64_t> bloom_skips_{0};
 };
 

@@ -17,7 +17,12 @@ Result<std::unique_ptr<RemoteService>> RemoteService::Connect(
   if (options.pool_size == 0) options.pool_size = 1;
   std::unique_ptr<RemoteService> service(
       new RemoteService(endpoint, options));
-  service->pool_.resize(options.pool_size);
+  {
+    // Single-threaded here (nothing else can see `service` yet), but the
+    // annotations want the lock and it is uncontended.
+    MutexLock lock(service->pool_mu_);
+    service->pool_.resize(options.pool_size);
+  }
   // The handshake both validates the endpoint (first connection opens
   // here) and fetches the server's chunking parameters.
   FB_ASSIGN_OR_RETURN(Bytes hello,
@@ -30,16 +35,16 @@ Result<std::unique_ptr<RemoteService>> RemoteService::Connect(
 RemoteService::~RemoteService() {
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     conns.swap(all_conns_);
     pool_.clear();
   }
   for (auto& c : conns) {
     {
-      std::lock_guard<std::mutex> lock(c->out_mu);
+      MutexLock lock(c->out_mu);
       c->writer_stop = true;
     }
-    c->out_cv.notify_all();
+    c->out_cv.SignalAll();
     c->sock.Shutdown();
   }
   for (auto& c : conns) {
@@ -72,10 +77,10 @@ RemoteService::GetConnection() {
       std::hash<std::thread::id>{}(std::this_thread::get_id()) %
       options_.pool_size;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     std::shared_ptr<Connection>& c = pool_[slot];
     if (c != nullptr) {
-      std::lock_guard<std::mutex> plock(c->pending_mu);
+      MutexLock plock(c->pending_mu);
       if (c->alive) return c;
     }
   }
@@ -85,7 +90,7 @@ RemoteService::GetConnection() {
   FB_ASSIGN_OR_RETURN(std::shared_ptr<Connection> fresh, OpenConnection());
   std::shared_ptr<Connection> evicted;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     evicted = std::move(pool_[slot]);
     pool_[slot] = fresh;
     all_conns_.push_back(fresh);
@@ -93,7 +98,7 @@ RemoteService::GetConnection() {
   if (evicted != nullptr) {
     bool evicted_alive;
     {
-      std::lock_guard<std::mutex> plock(evicted->pending_mu);
+      MutexLock plock(evicted->pending_mu);
       evicted_alive = evicted->alive;
     }
     // A live evictee is a concurrent reconnect's fresh connection: its
@@ -112,7 +117,7 @@ RemoteService::GetConnection() {
 void RemoteService::FailPending(Connection* conn, const Status& why) {
   std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> drained;
   {
-    std::lock_guard<std::mutex> lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     conn->alive = false;
     drained.swap(conn->pending);
   }
@@ -142,7 +147,7 @@ void RemoteService::ReaderLoop(Connection* conn) {
     }
     std::function<void(Status, Frame&&)> on_done;
     {
-      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       auto it = conn->pending.find(frame.request_id);
       if (it != conn->pending.end()) {
         on_done = std::move(it->second);
@@ -159,20 +164,21 @@ void RemoteService::WriterLoop(Connection* conn) {
   // While a send is on the wire, new frames pile into outbuf — the
   // deeper the pipeline, the more frames each syscall carries.
   Bytes batch;
-  std::unique_lock<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   for (;;) {
-    conn->out_cv.wait(
-        lock, [&] { return conn->writer_stop || !conn->outbuf.empty(); });
+    while (!conn->writer_stop && conn->outbuf.empty()) {
+      conn->out_cv.Wait(conn->out_mu);
+    }
     if (conn->outbuf.empty()) {
       if (conn->writer_stop) return;
       continue;
     }
     batch.clear();
     batch.swap(conn->outbuf);
-    lock.unlock();
+    lock.Unlock();
     Status sent;
     {
-      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      MutexLock wlock(conn->write_mu);
       sent = conn->sock.SendAll(batch.data(), batch.size());
     }
     if (!sent.ok()) {
@@ -180,12 +186,12 @@ void RemoteService::WriterLoop(Connection* conn) {
       // (queued-but-unsent ones included — they registered in pending
       // before queuing). From here on queued bytes are just dropped.
       conn->sock.Shutdown();
-      lock.lock();
+      lock.Lock();
       conn->write_failed = true;
       conn->outbuf.clear();
       continue;
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -199,7 +205,7 @@ Status RemoteService::SendRequest(
     // Register before sending so a fast reply cannot race the
     // registration; bail if the reader declared the connection dead in
     // between (the callback would never fire).
-    std::lock_guard<std::mutex> lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     if (!conn->alive) return Status::IOError("connection lost");
     conn->pending.emplace(id, std::move(on_done));
   }
@@ -207,16 +213,16 @@ Status RemoteService::SendRequest(
     // Hand the frame to the writer. If the writer already failed, the
     // reader's drain owns the callback (registration above happened
     // while the connection was still alive), so report OK either way.
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     if (!conn->write_failed) {
       EncodeFrame(type, id, payload, &conn->outbuf);
-      conn->out_cv.notify_one();
+      conn->out_cv.Signal();
     }
     return Status::OK();
   }
   Status sent;
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    MutexLock lock(conn->write_mu);
     sent = SendFrame(&conn->sock, type, id, payload);
   }
   if (!sent.ok()) {
@@ -227,7 +233,7 @@ Status RemoteService::SendRequest(
     conn->sock.Shutdown();
     bool reclaimed = false;
     {
-      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       reclaimed = conn->pending.erase(id) > 0;
     }
     if (!reclaimed) return Status::OK();

@@ -22,11 +22,9 @@
 #define FORKBASE_RPC_REMOTE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +34,7 @@
 #include "chunk/chunk_cache.h"
 #include "rpc/frame.h"
 #include "rpc/socket.h"
+#include "util/mutex.h"
 
 namespace fb {
 namespace rpc {
@@ -131,22 +130,30 @@ class RemoteService : public ForkBaseService {
   // pipelined Submits append encoded frames to outbuf and the writer
   // ships whatever has accumulated in one SendAll — a deep pipeline
   // costs a fraction of a syscall per request on the way out.
+  // The three per-connection locks share one (innermost) rank: they are
+  // never held together — write_mu covers only the SendAll/SendFrame
+  // syscall, pending_mu only the id-map touch, out_mu only the writer
+  // queue — and the rank checker enforces exactly that.
   struct Connection {
     Socket sock;
-    std::mutex write_mu;  // serializes bytes onto the socket
-    std::mutex pending_mu;
-    bool alive = true;  // guarded by pending_mu
+    Mutex write_mu{kRankRemoteConn,
+                   "remote-write"};  // serializes bytes onto the socket
+    Mutex pending_mu{kRankRemoteConn, "remote-pending"};
+    bool alive GUARDED_BY(pending_mu) = true;
     // request id -> completion; invoked by the reader thread (or by the
     // drain when the connection dies).
-    std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> pending;
+    std::unordered_map<uint64_t, std::function<void(Status, Frame&&)>> pending
+        GUARDED_BY(pending_mu);
     std::thread reader;
 
     // --- writer state (guarded by out_mu) ---
-    std::mutex out_mu;
-    std::condition_variable out_cv;
-    Bytes outbuf;              // encoded frames awaiting the writer
-    bool write_failed = false; // writer hit a transport error
-    bool writer_stop = false;
+    Mutex out_mu{kRankRemoteConn, "remote-out"};
+    CondVar out_cv;
+    // encoded frames awaiting the writer
+    Bytes outbuf GUARDED_BY(out_mu);
+    // writer hit a transport error
+    bool write_failed GUARDED_BY(out_mu) = false;
+    bool writer_stop GUARDED_BY(out_mu) = false;
     std::thread writer;
   };
 
@@ -184,11 +191,14 @@ class RemoteService : public ForkBaseService {
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> connections_opened_{0};
 
-  std::mutex pool_mu_;
-  std::vector<std::shared_ptr<Connection>> pool_;  // fixed pool_size slots
+  // Acquired before any per-connection lock (GetConnection checks slot
+  // liveness under pool_mu_ then pending_mu).
+  Mutex pool_mu_{kRankRemoteClient, "remote-pool"};
+  // fixed pool_size slots
+  std::vector<std::shared_ptr<Connection>> pool_ GUARDED_BY(pool_mu_);
   // Every connection ever opened, so the destructor can join all reader
   // threads (replaced slots included).
-  std::vector<std::shared_ptr<Connection>> all_conns_;
+  std::vector<std::shared_ptr<Connection>> all_conns_ GUARDED_BY(pool_mu_);
 };
 
 }  // namespace rpc

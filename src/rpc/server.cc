@@ -94,9 +94,9 @@ void ForkBaseServer::Stop() {
   WakeLoop();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
   }
-  queue_cv_.notify_all();
+  queue_cv_.SignalAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -158,7 +158,7 @@ void ForkBaseServer::EventLoop() {
       if (events[i].events & EPOLLOUT) {
         bool alive;
         {
-          std::lock_guard<std::mutex> lock(conn->mu);
+          MutexLock lock(conn->mu);
           alive = conn->closing ? false : FlushLocked(conn.get());
         }
         if (!alive) {
@@ -178,7 +178,7 @@ void ForkBaseServer::EventLoop() {
   // Teardown: every connection is shut down and dropped here, on the
   // loop, so no other thread ever touches the registry.
   for (auto& [id, conn] : conns_) {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->closing = true;
     conn->sock.Shutdown();
   }
@@ -304,14 +304,14 @@ void ForkBaseServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   }
   bool queued = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (queue_.size() < options_.max_queued_requests) {
       queue_.push_back(WorkItem{conn, std::move(frame)});
       queued = true;
     }
   }
   if (queued) {
-    queue_cv_.notify_one();
+    queue_cv_.Signal();
     return;
   }
   // Backpressure: the dispatch queue is full. Park the frame, stop
@@ -320,7 +320,7 @@ void ForkBaseServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   conn->stalled = true;
   conn->pending_frame = std::move(frame);
   stall_count_.fetch_add(1, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   if (!conn->closing) {
     conn->read_off = true;
     RearmLocked(conn.get());
@@ -336,18 +336,18 @@ void ForkBaseServer::RetryStalled() {
   for (auto& conn : stalled) {
     bool queued = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (queue_.size() < options_.max_queued_requests) {
         queue_.push_back(WorkItem{conn, std::move(conn->pending_frame)});
         queued = true;
       }
     }
     if (!queued) return;  // still full; everyone stays parked
-    queue_cv_.notify_one();
+    queue_cv_.Signal();
     conn->stalled = false;
     stall_count_.fetch_sub(1, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (!conn->closing) {
         conn->read_off = false;
         RearmLocked(conn.get());
@@ -364,7 +364,7 @@ void ForkBaseServer::ReapClosing() {
   for (auto& [id, conn] : conns_) {
     bool closing;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       closing = conn->closing;
     }
     if (closing) dead.push_back(conn);
@@ -376,7 +376,7 @@ void ForkBaseServer::CloseConn(const std::shared_ptr<Conn>& conn) {
   if (conn->reaped) return;
   conn->reaped = true;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->closing = true;
   }
   ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
@@ -393,7 +393,7 @@ void ForkBaseServer::CloseConn(const std::shared_ptr<Conn>& conn) {
 
 void ForkBaseServer::CloseConnAfterFlush(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (!conn->closing) FlushLocked(conn.get());
   }
   CloseConn(conn);
@@ -473,7 +473,7 @@ bool ForkBaseServer::FlushLocked(Conn* conn) {
 
 void ForkBaseServer::QueueWrite(const std::shared_ptr<Conn>& conn,
                                 Bytes wire) {
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   if (conn->closing) return;  // dead connection; the reply has no reader
   conn->outq_bytes += wire.size();
   conn->outq.push_back(std::move(wire));
@@ -488,7 +488,7 @@ void ForkBaseServer::QueueWrite(const std::shared_ptr<Conn>& conn,
 }
 
 void ForkBaseServer::FlushConn(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   if (conn->closing || conn->outq.empty()) return;
   FlushLocked(conn.get());
 }
@@ -558,9 +558,8 @@ void ForkBaseServer::WorkerLoop() {
   batch.reserve(kWorkerBatch);
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [&] { return stopping_.load() || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_.load() && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) {
         if (stopping_.load()) return;
         continue;

@@ -33,10 +33,8 @@
 #define FORKBASE_RPC_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -45,6 +43,7 @@
 #include "api/db.h"
 #include "rpc/frame.h"
 #include "rpc/socket.h"
+#include "util/mutex.h"
 
 namespace fb {
 namespace rpc {
@@ -122,13 +121,14 @@ class ForkBaseServer {
     bool reaped = false;  // deregistered and erased from the registry
 
     // --- shared with workers (guarded by mu) ---
-    std::mutex mu;
-    std::deque<Bytes> outq;  // encoded response frames
-    size_t outq_bytes = 0;
-    size_t front_sent = 0;   // bytes of outq.front() already on the wire
-    bool want_write = false; // EPOLLOUT armed
-    bool read_off = false;   // EPOLLIN disarmed (backpressure)
-    bool closing = false;    // deregistered (or aborting); drop writes
+    Mutex mu{kRankServerConn, "server-conn"};
+    std::deque<Bytes> outq GUARDED_BY(mu);  // encoded response frames
+    size_t outq_bytes GUARDED_BY(mu) = 0;
+    // bytes of outq.front() already on the wire
+    size_t front_sent GUARDED_BY(mu) = 0;
+    bool want_write GUARDED_BY(mu) = false;  // EPOLLOUT armed
+    bool read_off GUARDED_BY(mu) = false;    // EPOLLIN disarmed (backpressure)
+    bool closing GUARDED_BY(mu) = false;     // deregistered; drop writes
   };
 
   struct WorkItem {
@@ -177,14 +177,13 @@ class ForkBaseServer {
   void QueueControl(const std::shared_ptr<Conn>& conn, uint64_t request_id,
                     const Status& s, Slice body);
   // Non-blocking scatter-gather flush of the output queue; arms
-  // EPOLLOUT when the socket fills. Caller holds conn->mu. Returns
-  // false when the connection was aborted by a send failure.
-  bool FlushLocked(Conn* conn);
-  // Re-applies the epoll interest mask. Caller holds conn->mu.
-  void RearmLocked(Conn* conn);
-  // Marks the connection dead and unblocks the loop to reap it. Caller
-  // holds conn->mu.
-  void AbortLocked(Conn* conn);
+  // EPOLLOUT when the socket fills. Returns false when the connection
+  // was aborted by a send failure.
+  bool FlushLocked(Conn* conn) REQUIRES(conn->mu);
+  // Re-applies the epoll interest mask.
+  void RearmLocked(Conn* conn) REQUIRES(conn->mu);
+  // Marks the connection dead and unblocks the loop to reap it.
+  void AbortLocked(Conn* conn) REQUIRES(conn->mu);
 
   ForkBase* engine_;
   ServerOptions options_;
@@ -198,9 +197,11 @@ class ForkBaseServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  // work arrived / stopping
-  std::deque<WorkItem> queue_;
+  // Outermost rank: workers take queue_mu_, release it, and only then
+  // touch connection locks or the engine.
+  Mutex queue_mu_{kRankService, "server-queue"};
+  CondVar queue_cv_;  // work arrived / stopping
+  std::deque<WorkItem> queue_ GUARDED_BY(queue_mu_);
 
   // Event-loop-thread-only connection registry (Stop() goes through the
   // loop: it wakes it and lets it tear everything down itself).

@@ -1,0 +1,59 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to the capability attributes under clang (where
+// -Wthread-safety turns the locking comments that used to live in this
+// codebase into compile errors) and to nothing everywhere else, so GCC
+// builds are unaffected. The vocabulary follows the canonical
+// Abseil/Chromium spelling:
+//
+//   CAPABILITY("mutex")      a class whose instances can be held
+//   SCOPED_CAPABILITY        an RAII holder (MutexLock)
+//   GUARDED_BY(mu)           field readable/writable only under mu
+//   PT_GUARDED_BY(mu)        pointee guarded by mu (pointer itself free)
+//   REQUIRES(mu)             function must be entered with mu held
+//   REQUIRES_SHARED(mu)      ... with at least a reader hold
+//   ACQUIRE(mu) / RELEASE(mu)   function takes / drops mu
+//   ACQUIRE_SHARED / RELEASE_SHARED / RELEASE_GENERIC
+//   TRY_ACQUIRE(ok, mu)      conditional acquisition, `ok` on success
+//   EXCLUDES(mu)             function must be entered with mu NOT held
+//   ASSERT_CAPABILITY(mu)    runtime assertion that mu is held
+//   RETURN_CAPABILITY(mu)    accessor returning a reference to mu
+//   NO_THREAD_SAFETY_ANALYSIS  opt a function out (dynamic lock sets)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FB_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) FB_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY FB_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) FB_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) FB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) FB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  FB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  FB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) FB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  FB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  FB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  FB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  FB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  FB_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) FB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) FB_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  FB_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) FB_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FB_THREAD_ANNOTATION(no_thread_safety_analysis)

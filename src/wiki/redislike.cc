@@ -4,7 +4,7 @@ namespace fb {
 
 uint64_t RedisLikeStore::RPush(const std::string& key,
                                const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = lists_.find(key);
   if (it == lists_.end()) {
     bytes_ += key.size();
@@ -17,7 +17,7 @@ uint64_t RedisLikeStore::RPush(const std::string& key,
 
 Status RedisLikeStore::LIndex(const std::string& key, int64_t index,
                               std::string* value) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = lists_.find(key);
   if (it == lists_.end()) return Status::NotFound("list '" + key + "'");
   const auto& list = it->second;
@@ -31,18 +31,18 @@ Status RedisLikeStore::LIndex(const std::string& key, int64_t index,
 }
 
 uint64_t RedisLikeStore::LLen(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = lists_.find(key);
   return it == lists_.end() ? 0 : it->second.size();
 }
 
 size_t RedisLikeStore::NumKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return lists_.size();
 }
 
 uint64_t RedisLikeStore::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return bytes_;
 }
 

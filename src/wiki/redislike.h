@@ -11,10 +11,10 @@
 #define FORKBASE_WIKI_REDISLIKE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fb {
@@ -36,9 +36,11 @@ class RedisLikeStore {
   uint64_t MemoryBytes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::string>> lists_;
-  uint64_t bytes_ = 0;
+  // Reader/writer split: the fig13/14 read mixes are LIndex-heavy, so
+  // lookups share the lock and only RPush serializes.
+  mutable SharedMutex mu_{kRankStore, "redislike"};
+  std::map<std::string, std::vector<std::string>> lists_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fb

@@ -1,0 +1,47 @@
+// EXPECTED-TO-FAIL thread-safety TU: a negative control for the
+// -Wthread-safety wall. Excluded from the normal test glob
+// (CMakeLists.txt REMOVE_ITEMs it); scripts/check-thread-safety.sh
+// compiles it with clang and FORKBASE_EXPECT_TSA_FAIL defined and
+// asserts the analysis DOES warn — proving the annotations are live,
+// not silently expanding to nothing.
+//
+// Each violation below is a pattern the wall must catch:
+//   1. reading a GUARDED_BY field with no lock held
+//   2. writing a GUARDED_BY field under the WRONG lock
+//   3. calling a REQUIRES(mu) function without holding mu
+//
+// Without FORKBASE_EXPECT_TSA_FAIL the TU is empty, so a stray build
+// that does pick it up links cleanly and runs nothing.
+
+#ifdef FORKBASE_EXPECT_TSA_FAIL
+
+#include "util/mutex.h"
+
+namespace fb {
+namespace tsa_expect_fail {
+
+class Guarded {
+ public:
+  int ReadWithoutLock() { return value_; }  // expected: -Wthread-safety
+
+  void WriteUnderWrongLock() {
+    MutexLock lock(other_mu_);
+    value_ = 42;  // expected: -Wthread-safety
+  }
+
+  void CallRequiresWithoutLock() {
+    BumpLocked();  // expected: -Wthread-safety
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  Mutex mu_{kRankStore, "tsa-fail"};
+  Mutex other_mu_{kRankCache, "tsa-fail-other"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tsa_expect_fail
+}  // namespace fb
+
+#endif  // FORKBASE_EXPECT_TSA_FAIL
