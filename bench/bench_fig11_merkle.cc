@@ -29,13 +29,18 @@ Result<LatencyRecorder> CommitLatencies(LedgerBackend* ledger,
   return result.commit_latency;
 }
 
-void PrintCdf(const char* name, LatencyRecorder* rec) {
+void PrintCdf(const char* name, LatencyRecorder* rec, bench::BenchJson* json) {
   std::string line(name);
   line.resize(16, ' ');
+  json->Row().Str("structure", name);
   for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), " %9.3f", rec->Percentile(p) / 1e3);
+    const double ms = rec->Percentile(p) / 1e3;
+    std::snprintf(buf, sizeof(buf), " %9.3f", ms);
     line += buf;
+    char key[16];
+    std::snprintf(key, sizeof(key), "p%g_ms", p);
+    json->Num(key, ms);
   }
   bench::Row("%s", line.c_str());
 }
@@ -46,6 +51,8 @@ void PrintCdf(const char* name, LatencyRecorder* rec) {
 int main(int argc, char** argv) {
   const double scale = fb::bench::ScaleArg(argc, argv, 0.5);
   const uint64_t updates = static_cast<uint64_t>(40000 * scale);
+  fb::bench::BenchJson json(argc, argv, "fig11_merkle");
+  json.Config("scale", scale).Config("updates", static_cast<double>(updates));
 
   fb::bench::Header(
       "Figure 11: commit latency CDF by Merkle structure (ms at "
@@ -63,7 +70,7 @@ int main(int argc, char** argv) {
     const std::string label =
         nb >= 1000000 ? "Rocksdb_1M" : nb >= 1000 ? "Rocksdb_1K"
                                                   : "Rocksdb_10";
-    fb::PrintCdf(label.c_str(), &*lat);
+    fb::PrintCdf(label.c_str(), &*lat, &json);
   }
   {
     fb::KvLedgerOptions opts;
@@ -71,13 +78,13 @@ int main(int argc, char** argv) {
     fb::KvLedger ledger(std::make_unique<fb::LsmAdapter>(), opts);
     auto lat = fb::CommitLatencies(&ledger, updates);
     fb::bench::Check(lat.status(), "trie run");
-    fb::PrintCdf("Rocksdb_trie", &*lat);
+    fb::PrintCdf("Rocksdb_trie", &*lat, &json);
   }
   {
     fb::ForkBaseLedger ledger;
     auto lat = fb::CommitLatencies(&ledger, updates);
     fb::bench::Check(lat.status(), "forkbase run");
-    fb::PrintCdf("ForkBase", &*lat);
+    fb::PrintCdf("ForkBase", &*lat, &json);
   }
   fb::bench::Row("(%llu updates per structure)",
                  static_cast<unsigned long long>(updates));

@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
   // Paper: medium-size chain of 12000 blocks.
   const uint64_t blocks = std::max<uint64_t>(
       20, static_cast<uint64_t>(12000 * scale));
+  fb::bench::BenchJson json(argc, argv, "fig12_scans");
+  json.Config("scale", scale).Config("blocks", static_cast<double>(blocks));
 
   for (uint64_t key_exp : {uint64_t{10}, uint64_t{16}}) {
     const uint64_t num_keys = std::max<uint64_t>(
@@ -65,10 +67,16 @@ int main(int argc, char** argv) {
                                            fb::MakeKey(s, 12, "acct"), 1u << 30);
           fb::bench::Check(history.status(), "state scan");
         }
+        const double ms = t.ElapsedMillis();
         fb::bench::Row("%10s %8llu %12llu %14.3f", name,
                        static_cast<unsigned long long>(key_exp),
-                       static_cast<unsigned long long>(limit),
-                       t.ElapsedMillis());
+                       static_cast<unsigned long long>(limit), ms);
+        json.Row()
+            .Str("scan", "state")
+            .Str("backend", name)
+            .Num("key_exp", static_cast<double>(key_exp))
+            .Num("states", static_cast<double>(limit))
+            .Num("latency_ms", ms);
       }
 
       // (b) block scan: latency vs block number scanned.
@@ -81,10 +89,16 @@ int main(int argc, char** argv) {
         fb::Timer t;
         auto state = ledger->BlockScan("kvstore", blk);
         fb::bench::Check(state.status(), "block scan");
+        const double ms = t.ElapsedMillis();
         fb::bench::Row("%10s %8llu %12llu %14.3f", name,
                        static_cast<unsigned long long>(key_exp),
-                       static_cast<unsigned long long>(blk),
-                       t.ElapsedMillis());
+                       static_cast<unsigned long long>(blk), ms);
+        json.Row()
+            .Str("scan", "block")
+            .Str("backend", name)
+            .Num("key_exp", static_cast<double>(key_exp))
+            .Num("block", static_cast<double>(blk))
+            .Num("latency_ms", ms);
       }
     }
   }

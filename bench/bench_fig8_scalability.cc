@@ -27,6 +27,8 @@
 #include "chunk/peer_resolver.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
+#include "replication/group.h"
+#include "replication/replicated_store.h"
 #include "rpc/remote_service.h"
 #include "rpc/server.h"
 #include "util/random.h"
@@ -344,6 +346,105 @@ BatchedPeerFetchResult RunBatchedPeerFetchPhase(size_t blob_bytes) {
   return r;
 }
 
+// The replication phase: the quorum-ack tax. The same put stream runs
+// against (a) a single-copy engine and (b) the leader of a 3-member
+// replica group under DurabilityPolicy::kQuorum, where every commit
+// blocks until a majority (leader + 1 follower) holds it. The gap is
+// the price of synchronous 2-of-3 durability over loopback sockets.
+struct ReplicatedPutResult {
+  double single_put_kops = 0;
+  double quorum_put_kops = 0;
+  uint64_t records_shipped = 0;
+  uint64_t quorum_commits = 0;
+};
+
+ReplicatedPutResult RunReplicatedPutPhase(int ops) {
+  ReplicatedPutResult r;
+  Rng rng(37);
+  const std::string value = rng.String(256);
+
+  {
+    ForkBase db;
+    Timer t;
+    for (int i = 0; i < ops; ++i) {
+      bench::Check(
+          db.Put(MakeKey(i, 10, "rr"), Value::OfString(value)).status(),
+          "Put");
+    }
+    r.single_put_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+
+  struct Member {
+    MemChunkStore* raw = nullptr;
+    std::unique_ptr<PeerChunkResolver> resolver =
+        std::make_unique<PeerChunkResolver>();
+    repl::ReplicatingChunkStore* rstore = nullptr;
+    std::unique_ptr<ForkBase> engine;
+    std::unique_ptr<rpc::ForkBaseServer> server;
+    std::unique_ptr<repl::ReplicaGroup> group;
+    ~Member() {
+      if (server != nullptr) server->Stop();
+      if (group != nullptr) group->Stop();
+    }
+  };
+  Member members[3];
+  for (Member& m : members) {
+    auto local = std::make_unique<MemChunkStore>();
+    m.raw = local.get();
+    auto wrapped = std::make_unique<repl::ReplicatingChunkStore>(
+        std::make_unique<ServletChunkStore>(std::move(local),
+                                            m.resolver.get()));
+    m.rstore = wrapped.get();
+    DBOptions dbo;
+    dbo.durability = DurabilityPolicy::kQuorum;
+    m.engine = std::make_unique<ForkBase>(dbo, std::move(wrapped));
+    rpc::ServerOptions so;
+    so.local_chunk_store = m.raw;
+    so.peer_count = 2;
+    auto server = rpc::ForkBaseServer::Start(m.engine.get(), so);
+    bench::Check(server.status(), "replica server start");
+    m.server = std::move(*server);
+  }
+  std::vector<std::string> endpoints;
+  for (const Member& m : members) endpoints.push_back(m.server->endpoint());
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<std::string> peers;
+    for (size_t j = 0; j < 3; ++j) {
+      if (j != i) peers.push_back(endpoints[j]);
+    }
+    members[i].resolver->SetPeers(peers);
+    repl::ReplicaGroupOptions ro;
+    ro.members = endpoints;
+    ro.self = endpoints[i];
+    ro.heartbeat_ms = 10;
+    ro.election_timeout_ms = 60000;
+    members[i].group = std::make_unique<repl::ReplicaGroup>(
+        members[i].engine.get(), members[i].rstore, ro);
+    bench::Check(members[i].group->Start(), "replica group start");
+    members[i].server->set_replication(members[i].group.get());
+  }
+  // Quorum commits block until a majority acks; wait for the followers
+  // to register before the timer starts.
+  while (members[0].group->Snapshot().follower_count < 2) {
+    std::this_thread::yield();
+  }
+  {
+    Timer t;
+    for (int i = 0; i < ops; ++i) {
+      bench::Check(members[0]
+                       .engine->Put(MakeKey(i, 10, "rr"),
+                                    Value::OfString(value))
+                       .status(),
+                   "quorum Put");
+    }
+    r.quorum_put_kops = ops / t.ElapsedSeconds() / 1e3;
+  }
+  const repl::ReplicaGroupStats stats = members[0].group->stats();
+  r.records_shipped = stats.records_shipped;
+  r.quorum_commits = stats.quorum_commits;
+  return r;
+}
+
 }  // namespace
 }  // namespace fb
 
@@ -520,6 +621,24 @@ int main(int argc, char** argv) {
         .Num("diff_ms", r.diff_ms)
         .Num("peer_chunks_fetched", static_cast<double>(r.chunks_fetched))
         .Num("peer_round_trips", static_cast<double>(r.round_trips));
+  }
+  {
+    // The quorum-ack tax: one put stream, single-copy vs a 3-member
+    // replica group where every commit waits for a majority.
+    const fb::ReplicatedPutResult r = fb::RunReplicatedPutPhase(rpc_ops);
+    fb::bench::Row("%-14s %14.1f single-copy  %10.1f quorum kop/s  "
+                   "(%.1fx tax, %llu records shipped)",
+                   "replicated_put", r.single_put_kops, r.quorum_put_kops,
+                   r.single_put_kops / r.quorum_put_kops,
+                   static_cast<unsigned long long>(r.records_shipped));
+    json.Row()
+        .Str("phase", "replication")
+        .Str("transport", "replicated_put")
+        .Num("single_put_kops", r.single_put_kops)
+        .Num("quorum_put_kops", r.quorum_put_kops)
+        .Num("quorum_tax", r.single_put_kops / r.quorum_put_kops)
+        .Num("records_shipped", static_cast<double>(r.records_shipped))
+        .Num("quorum_commits", static_cast<double>(r.quorum_commits));
   }
   return 0;
 }

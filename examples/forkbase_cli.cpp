@@ -41,6 +41,8 @@
 #include <iostream>
 
 #include "api/service.h"
+#include "replication/log.h"
+#include "rpc/frame.h"
 #include "rpc/remote_service.h"
 #include "util/cli.h"
 
@@ -61,6 +63,7 @@ fb::MergePolicy PolicyByName(const std::string& name) {
 
 int main(int argc, char** argv) {
   std::unique_ptr<fb::ForkBaseService> db;
+  fb::rpc::RemoteService* remote_svc = nullptr;
   if (argc > 2 && std::strcmp(argv[1], "--connect") == 0) {
     auto remote = fb::rpc::RemoteService::Connect(argv[2]);
     if (!remote.ok()) {
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
                    remote.status().ToString().c_str());
       return 1;
     }
+    remote_svc = remote->get();
     db = std::move(*remote);
     std::printf("connected to forkbased at %s\n", argv[2]);
   } else if (argc > 1) {
@@ -207,6 +211,35 @@ int main(int argc, char** argv) {
       } else {
         std::printf("merged -> %s\n", outcome->uid.ToShortHex().c_str());
       }
+    } else if (cmd == "status") {
+      // Replication standing of the connected server (scriptable: the
+      // failover smoke polls this for registration and promotion).
+      if (remote_svc == nullptr) {
+        std::printf("status: embedded store (no server)\n");
+        continue;
+      }
+      fb::Bytes req;
+      fb::repl::EncodeStatusRequest(false, "", 0, &req);
+      auto resp =
+          remote_svc->Call(fb::rpc::FrameType::kReplStatus, fb::Slice(req));
+      if (!resp.ok()) {
+        Print(resp.status());
+        continue;
+      }
+      fb::repl::GroupStatus st;
+      const fb::Status ds = fb::repl::DecodeStatus(fb::Slice(*resp), &st);
+      if (!ds.ok()) {
+        Print(ds);
+        continue;
+      }
+      std::printf(
+          "role=%s epoch=%llu leader=%s log_end=%llu acked=%llu "
+          "followers=%llu\n",
+          st.role == 0 ? "leader" : "follower",
+          static_cast<unsigned long long>(st.epoch), st.leader.c_str(),
+          static_cast<unsigned long long>(st.log_end),
+          static_cast<unsigned long long>(st.acked),
+          static_cast<unsigned long long>(st.follower_count));
     } else if (cmd == "keys") {
       auto keys = db->ListKeys();
       if (!keys.ok()) {

@@ -10,6 +10,7 @@
 // Usage:
 //   forkbased [--listen <host:port|unix:/path>] [--dir <data-dir>]
 //             [--workers <n>] [--peers <ep1,ep2,...>]
+//             [--group <ep1,ep2,...>] [--replicate-from <ep>]
 //
 //   --listen   endpoint to serve (default 127.0.0.1:8087; ":0" picks an
 //              ephemeral port, printed on stdout)
@@ -23,6 +24,17 @@
 //              so version-addressed commands and server-side traversals
 //              of trees whose chunks landed on another shard work on
 //              any servlet, with no client-side retries.
+//   --group    comma-separated endpoints of ALL members of this shard's
+//              replication group, identically ordered on every member;
+//              --listen must appear in the list, the first entry is the
+//              initial leader. Implies quorum durability (a Put returns
+//              only once a majority of members holds it) and failover
+//              (followers elect a new leader when the leader dies).
+//              Group members double as chunk peers automatically.
+//   --replicate-from
+//              run as a STATIC follower of the given leader: apply its
+//              shipped log, serve reads, never promote. A lightweight
+//              read replica / live backup, without group semantics.
 //
 // Runs until SIGINT/SIGTERM, then shuts the transport down cleanly
 // (which also snapshots branch state when --dir is set).
@@ -38,6 +50,8 @@
 #include "api/db.h"
 #include "chunk/peer_resolver.h"
 #include "cluster/cluster.h"
+#include "replication/group.h"
+#include "replication/replicated_store.h"
 #include "rpc/server.h"
 
 namespace {
@@ -88,42 +102,84 @@ int main(int argc, char** argv) {
   std::vector<std::string> peers;
   if (const char* v = ArgValue(argc, argv, "--peers")) peers = SplitCommas(v);
 
+  // Replication: --group (full leader/follower group, quorum
+  // durability, failover) or --replicate-from (static follower).
+  std::vector<std::string> group;
+  std::string replicate_from;
+  if (const char* v = ArgValue(argc, argv, "--group")) group = SplitCommas(v);
+  if (const char* v = ArgValue(argc, argv, "--replicate-from")) {
+    replicate_from = v;
+  }
+  if (!group.empty() && !replicate_from.empty()) {
+    std::fprintf(stderr, "--group and --replicate-from are exclusive\n");
+    return 1;
+  }
+  const bool replicated = !group.empty() || !replicate_from.empty();
+  if (!group.empty()) {
+    bool self_listed = false;
+    for (const auto& m : group) self_listed |= (m == listen);
+    if (!self_listed) {
+      std::fprintf(stderr, "--group must include --listen (%s)\n",
+                   listen.c_str());
+      return 1;
+    }
+    // Group members double as chunk peers: a follower bootstrapped by
+    // snapshot pulls the chunks behind it from the leader on demand.
+    for (const auto& m : group) {
+      if (m != listen) peers.push_back(m);
+    }
+  }
+  if (!replicate_from.empty()) peers.push_back(replicate_from);
+
   // With peers, the engine's store becomes a peer-resolving view over
   // the physical local store: local -> LRU cache -> peer fetch. The
   // server answers kChunkPeerGet from the RAW local store (never the
-  // view), so peers asking each other can never recurse.
+  // view), so peers asking each other can never recurse. Replicated,
+  // one more layer goes on top: the ReplicatingChunkStore that feeds
+  // fresh chunks into the shipped log while this member leads.
   std::unique_ptr<fb::PeerChunkResolver> resolver;
   if (!peers.empty()) {
     resolver = std::make_unique<fb::PeerChunkResolver>(peers);
   }
   fb::ChunkStore* raw_local = nullptr;
+  fb::repl::ReplicatingChunkStore* repl_store = nullptr;
+
+  fb::DBOptions dbo;
+  if (!group.empty()) dbo.durability = fb::DurabilityPolicy::kQuorum;
+
+  auto wrap_stack = [&](std::unique_ptr<fb::ChunkStore> base)
+      -> std::unique_ptr<fb::ChunkStore> {
+    raw_local = base.get();
+    std::unique_ptr<fb::ChunkStore> view = std::move(base);
+    if (resolver != nullptr) {
+      view = std::make_unique<fb::ServletChunkStore>(std::move(view),
+                                                     resolver.get());
+    }
+    if (replicated) {
+      auto wrapped =
+          std::make_unique<fb::repl::ReplicatingChunkStore>(std::move(view));
+      repl_store = wrapped.get();
+      view = std::move(wrapped);
+    }
+    return view;
+  };
 
   std::unique_ptr<fb::ForkBase> engine;
   if (!dir.empty()) {
     fb::ForkBase::StoreWrapper wrap;
-    if (resolver != nullptr) {
-      wrap = [&](std::unique_ptr<fb::ChunkStore> base)
-          -> std::unique_ptr<fb::ChunkStore> {
-        raw_local = base.get();
-        return std::make_unique<fb::ServletChunkStore>(std::move(base),
-                                                       resolver.get());
-      };
-    }
-    auto opened = fb::ForkBase::OpenPersistent(dir, {}, wrap);
+    if (resolver != nullptr || replicated) wrap = wrap_stack;
+    auto opened = fb::ForkBase::OpenPersistent(dir, dbo, wrap);
     if (!opened.ok()) {
       std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
                    opened.status().ToString().c_str());
       return 1;
     }
     engine = std::move(*opened);
-  } else if (resolver != nullptr) {
-    auto local = std::make_unique<fb::MemChunkStore>();
-    raw_local = local.get();
+  } else if (resolver != nullptr || replicated) {
     engine = std::make_unique<fb::ForkBase>(
-        fb::DBOptions{}, std::make_unique<fb::ServletChunkStore>(
-                             std::move(local), resolver.get()));
+        dbo, wrap_stack(std::make_unique<fb::MemChunkStore>()));
   } else {
-    engine = std::make_unique<fb::ForkBase>();
+    engine = std::make_unique<fb::ForkBase>(dbo);
   }
 
   options.local_chunk_store = raw_local;  // null when no peers: engine store
@@ -133,10 +189,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
     return 1;
   }
+
+  std::unique_ptr<fb::repl::ReplicaGroup> repl_group;
+  if (replicated) {
+    fb::repl::ReplicaGroupOptions ro;
+    ro.self = listen;
+    if (!group.empty()) {
+      ro.members = group;
+    } else {
+      // Static follower: the source leads, we never promote.
+      ro.members = {replicate_from, listen};
+      ro.auto_promote = false;
+    }
+    repl_group = std::make_unique<fb::repl::ReplicaGroup>(
+        engine.get(), repl_store, std::move(ro));
+    const fb::Status rs = repl_group->Start();
+    if (!rs.ok()) {
+      std::fprintf(stderr, "replication: %s\n", rs.ToString().c_str());
+      return 1;
+    }
+    (*server)->set_replication(repl_group.get());
+  }
+
   std::printf("forkbased serving %s on %s (%zu workers, %zu peers)\n",
               dir.empty() ? "in-memory store" : dir.c_str(),
               (*server)->endpoint().c_str(), options.num_workers,
               peers.size());
+  if (repl_group != nullptr) {
+    std::printf("replication: %s of %zu-member group, epoch %llu\n",
+                fb::repl::RoleName(repl_group->role()),
+                repl_group->members().size(),
+                static_cast<unsigned long long>(repl_group->epoch()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStop);
@@ -149,6 +233,7 @@ int main(int argc, char** argv) {
 
   std::printf("forkbased: shutting down\n");
   (*server)->Stop();
+  if (repl_group != nullptr) repl_group->Stop();
   const auto stats = (*server)->stats();
   std::printf("served %llu requests over %llu connections (%llu protocol "
               "errors)\n",

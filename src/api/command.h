@@ -74,6 +74,29 @@ inline constexpr uint8_t kMaxCommandOp =
 
 const char* CommandOpToString(CommandOp op);
 
+// Whether the op moves branch state (or stores new chunks through the
+// engine). Replicated followers bounce these to the leader; everything
+// else — reads, diffs, history — is served from any replica.
+constexpr bool CommandMutates(CommandOp op) {
+  switch (op) {
+    case CommandOp::kPut:
+    case CommandOp::kPutGuarded:
+    case CommandOp::kPutByBase:
+    case CommandOp::kPutMany:
+    case CommandOp::kPutBlob:
+    case CommandOp::kFork:
+    case CommandOp::kForkFromUid:
+    case CommandOp::kRename:
+    case CommandOp::kRemove:
+    case CommandOp::kMerge:
+    case CommandOp::kMergeWithUid:
+    case CommandOp::kMergeUids:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Server-side conflict resolution policy carried by merge commands.
 // Custom ConflictResolver callables cannot travel in an envelope; the
 // built-in strategies of Section 4.5.2 are selected by enum instead.

@@ -389,6 +389,7 @@ Result<Hash> ForkBase::Put(const std::string& key, const std::string& branch,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid));
   NoteBranchMutations(1);
+  FB_RETURN_NOT_OK(CommitBarrier());
   return uid;
 }
 
@@ -405,6 +406,7 @@ Result<Hash> ForkBase::PutGuarded(const std::string& key,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.SetHead(key, branch, uid, &guard_uid));
   NoteBranchMutations(1);
+  FB_RETURN_NOT_OK(CommitBarrier());
   return uid;
 }
 
@@ -462,6 +464,7 @@ Result<std::vector<Hash>> ForkBase::PutMany(
   FB_RETURN_NOT_OK(store_->PutBatch(metas));
   FB_RETURN_NOT_OK(branches_.SetHeads(keys, branch, uids));
   NoteBranchMutations(uids.size());
+  FB_RETURN_NOT_OK(CommitBarrier());
   return uids;
 }
 
@@ -478,6 +481,7 @@ Result<Hash> ForkBase::PutByBase(const std::string& key, const Hash& base_uid,
                       CommitObject(key, value, std::move(bases), context));
   FB_RETURN_NOT_OK(branches_.AddUntagged(key, uid, base_uid));
   NoteBranchMutations(1);
+  FB_RETURN_NOT_OK(CommitBarrier());
   return uid;
 }
 
@@ -507,7 +511,7 @@ Status ForkBase::Fork(const std::string& key, const std::string& ref_branch,
                       const std::string& new_branch) {
   FB_RETURN_NOT_OK(branches_.Fork(key, ref_branch, new_branch));
   NoteBranchMutations(1);
-  return Status::OK();
+  return CommitBarrier();
 }
 
 Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
@@ -519,21 +523,21 @@ Status ForkBase::ForkFromUid(const std::string& key, const Hash& ref_uid,
   }
   FB_RETURN_NOT_OK(branches_.CreateBranchAt(key, ref_uid, new_branch));
   NoteBranchMutations(1);
-  return Status::OK();
+  return CommitBarrier();
 }
 
 Status ForkBase::Rename(const std::string& key, const std::string& tgt_branch,
                         const std::string& new_branch) {
   FB_RETURN_NOT_OK(branches_.Rename(key, tgt_branch, new_branch));
   NoteBranchMutations(1);
-  return Status::OK();
+  return CommitBarrier();
 }
 
 Status ForkBase::Remove(const std::string& key,
                         const std::string& tgt_branch) {
   FB_RETURN_NOT_OK(branches_.Remove(key, tgt_branch));
   NoteBranchMutations(1);
-  return Status::OK();
+  return CommitBarrier();
 }
 
 // ---------------------------------------------------------------------------
@@ -723,6 +727,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeWithUid(
   if (!outcome.clean()) return outcome;
   FB_RETURN_NOT_OK(branches_.SetHead(key, tgt_branch, outcome.uid));
   NoteBranchMutations(1);
+  FB_RETURN_NOT_OK(CommitBarrier());
   return outcome;
 }
 
@@ -742,6 +747,7 @@ Result<ForkBase::MergeOutcome> ForkBase::MergeUids(
   }
   FB_RETURN_NOT_OK(branches_.ReplaceUntagged(key, uids, acc));
   NoteBranchMutations(1);
+  FB_RETURN_NOT_OK(CommitBarrier());
   outcome.uid = acc;
   return outcome;
 }
@@ -757,11 +763,34 @@ Result<Bytes> ForkBase::ExportBranchState() const {
 Status ForkBase::ImportBranchState(Slice data) {
   // Verify every head still resolves to a valid object in the store
   // (tamper-evident restore).
-  return branches_.ImportState(data, [this](const Hash& head) -> Status {
-    FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
-    (void)obj;
-    return Status::OK();
-  });
+  FB_RETURN_NOT_OK(
+      branches_.ImportState(data, [this](const Hash& head) -> Status {
+        FB_ASSIGN_OR_RETURN(FObject obj, FObject::Load(*store_, head));
+        (void)obj;
+        return Status::OK();
+      }));
+  return CommitBarrier();
+}
+
+Status ForkBase::ApplyBranchMutation(const BranchMutation& m) {
+  switch (m.kind) {
+    case BranchMutation::Kind::kSetHead:
+      return branches_.SetHead(m.key, m.branch, m.head);
+    case BranchMutation::Kind::kRemoveBranch:
+      return branches_.Remove(m.key, m.branch);
+    case BranchMutation::Kind::kRenameBranch:
+      return branches_.Rename(m.key, m.branch, m.new_branch);
+    case BranchMutation::Kind::kAddUntagged:
+      return branches_.AddUntagged(m.key, m.head, m.base);
+    case BranchMutation::Kind::kReplaceUntagged:
+      return branches_.ReplaceUntagged(m.key, m.old_heads, m.head);
+    case BranchMutation::Kind::kImportAll:
+      // Unverified install: the record carries the leader's exported view
+      // verbatim, and chunks it references stream lazily through the
+      // peer-fetch path — verifying here would force-fetch all of them.
+      return branches_.ImportState(Slice(m.state));
+  }
+  return Status::InvalidArgument("unknown branch mutation kind");
 }
 
 Result<std::vector<KeyDiff>> ForkBase::DiffSortedVersions(

@@ -86,6 +86,19 @@ struct DBOptions {
   uint64_t hot_head_cache_bytes = 8ull << 20;
 };
 
+// Engine-side half of the replication contract (src/replication/ owns
+// the other half). Under DurabilityPolicy::kQuorum the engine calls
+// WaitCommitDurable after every successful branch mutation, and the hook
+// blocks until the log records that mutation produced are acked by a
+// majority of the replica group (or fails with Unavailable on timeout /
+// leadership loss — the local commit stands either way, it is the
+// durability promise that failed).
+class ReplicationCommitHook {
+ public:
+  virtual ~ReplicationCommitHook() = default;
+  virtual Status WaitCommitDurable() = 0;
+};
+
 // The product of GetValue (M1 + materialization): the head object plus —
 // when the type materializes (primitives and Blob) — its decoded value
 // bytes. Map/Set/List readouts carry only the object; callers fall back
@@ -294,6 +307,26 @@ class ForkBase {
   Result<Bytes> ExportBranchState() const;
   Status ImportBranchState(Slice data);
 
+  // --- Replication attach points -----------------------------------------
+  //
+  // A ReplicaGroup (src/replication/group.h) installs itself as the
+  // branch-table mutation observer (to capture the log) and as the
+  // commit hook (to block quorum commits). Attach before concurrent use;
+  // both may be nullptr to detach.
+
+  void AttachReplication(BranchMutationObserver* observer,
+                         ReplicationCommitHook* hook) {
+    branches_.set_mutation_observer(observer);
+    commit_hook_.store(hook, std::memory_order_release);
+  }
+
+  // Re-applies a replicated branch mutation verbatim (guards were
+  // validated on the leader). The follower-side apply path: it moves
+  // branch tables and fires head-observer invalidations but never the
+  // quorum barrier, and the attached mutation observer ignores it by
+  // role. kImportAll records route through ImportBranchState.
+  Status ApplyBranchMutation(const BranchMutation& m);
+
   // Writes a branch-state snapshot now (atomically: tmp file + rename).
   // No-op unless branch persistence is enabled (OpenPersistent does so).
   Status PersistBranchState() EXCLUDES(snapshot_mu_);
@@ -314,6 +347,17 @@ class ForkBase {
   // Counts successful branch mutations and snapshots on the configured
   // cadence (no-op when branch persistence is disabled).
   void NoteBranchMutations(uint64_t n);
+
+  // Blocks until the records of this thread's just-committed mutation are
+  // quorum-durable. No-op unless durability is kQuorum and a commit hook
+  // is attached.
+  Status CommitBarrier() {
+    if (options_.durability != DurabilityPolicy::kQuorum) return Status::OK();
+    ReplicationCommitHook* hook =
+        commit_hook_.load(std::memory_order_acquire);
+    if (hook == nullptr) return Status::OK();
+    return hook->WaitCommitDurable();
+  }
 
   // Creates hot_cache_ per options and registers it as the branch
   // tables' head observer (no-op when the budget is 0).
@@ -342,6 +386,9 @@ class ForkBase {
   std::string branch_snapshot_path_;  // empty => disabled
   std::atomic<uint64_t> mutations_since_snapshot_{0};
   Mutex snapshot_mu_{kRankSnapshot, "branch-snapshot"};
+
+  // Quorum-durability hook (nullptr when not replicating).
+  std::atomic<ReplicationCommitHook*> commit_hook_{nullptr};
 };
 
 }  // namespace fb

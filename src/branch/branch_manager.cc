@@ -80,6 +80,7 @@ Status BranchManager::SetHead(const std::string& key,
   {
     MutexLock lock(stripe.mu);
     s = stripe.tables[key].SetHead(branch, head, guard);
+    if (s.ok()) NotifySetHead(key, branch, head);
   }
   if (s.ok()) NotifyHead(key, branch);
   return s;
@@ -104,6 +105,7 @@ Status BranchManager::Fork(const std::string& key,
                            const std::string& new_branch) {
   Stripe& stripe = StripeOf(key);
   Status s;
+  Hash forked_head;
   {
     MutexLock lock(stripe.mu);
     auto it = stripe.tables.find(key);
@@ -113,8 +115,10 @@ Status BranchManager::Fork(const std::string& key,
       if (it->second.HasBranch(new_branch)) {
         return Status::AlreadyExists("branch '" + new_branch + "'");
       }
+      forked_head = head;
       return it->second.SetHead(new_branch, head);
     }();
+    if (s.ok()) NotifySetHead(key, new_branch, forked_head);
   }
   if (s.ok()) NotifyHead(key, new_branch);
   return s;
@@ -131,6 +135,7 @@ Status BranchManager::CreateBranchAt(const std::string& key, const Hash& uid,
       return Status::AlreadyExists("branch '" + new_branch + "'");
     }
     s = table.SetHead(new_branch, uid);
+    if (s.ok()) NotifySetHead(key, new_branch, uid);
   }
   if (s.ok()) NotifyHead(key, new_branch);
   return s;
@@ -146,6 +151,14 @@ Status BranchManager::Rename(const std::string& key,
     auto it = stripe.tables.find(key);
     if (it == stripe.tables.end()) return KeyNotFound(key);
     s = it->second.RenameBranch(tgt_branch, new_branch);
+    if (s.ok()) {
+      BranchMutation m;
+      m.kind = BranchMutation::Kind::kRenameBranch;
+      m.key = key;
+      m.branch = tgt_branch;
+      m.new_branch = new_branch;
+      NotifyMutation(std::move(m));
+    }
   }
   if (s.ok()) {
     NotifyHead(key, tgt_branch);  // disappeared
@@ -163,6 +176,13 @@ Status BranchManager::Remove(const std::string& key,
     auto it = stripe.tables.find(key);
     if (it == stripe.tables.end()) return KeyNotFound(key);
     s = it->second.RemoveBranch(tgt_branch);
+    if (s.ok()) {
+      BranchMutation m;
+      m.kind = BranchMutation::Kind::kRemoveBranch;
+      m.key = key;
+      m.branch = tgt_branch;
+      NotifyMutation(std::move(m));
+    }
   }
   if (s.ok()) NotifyHead(key, tgt_branch);
   return s;
@@ -178,6 +198,12 @@ Status BranchManager::AddUntagged(const std::string& key, const Hash& uid,
   {
     MutexLock lock(stripe.mu);
     stripe.tables[key].AddUntagged(uid, base);
+    BranchMutation m;
+    m.kind = BranchMutation::Kind::kAddUntagged;
+    m.key = key;
+    m.head = uid;
+    m.base = base;
+    NotifyMutation(std::move(m));
   }
   NotifyHead(key, std::string());
   return Status::OK();
@@ -190,6 +216,12 @@ Status BranchManager::ReplaceUntagged(const std::string& key,
   {
     MutexLock lock(stripe.mu);
     stripe.tables[key].ReplaceUntagged(old_heads, merged);
+    BranchMutation m;
+    m.kind = BranchMutation::Kind::kReplaceUntagged;
+    m.key = key;
+    m.head = merged;
+    m.old_heads = old_heads;
+    NotifyMutation(std::move(m));
   }
   NotifyHead(key, std::string());
   return Status::OK();
@@ -270,6 +302,7 @@ Status BranchManager::SetHeads(const std::vector<std::string>& keys,
     for (size_t i : by_stripe[s]) {
       s_all = stripe.tables[keys[i]].SetHead(branch, heads[i]);
       if (!s_all.ok()) break;
+      NotifySetHead(keys[i], branch, heads[i]);
     }
   }
   // One notification per key, after all stripes are released. An error
@@ -354,9 +387,28 @@ Status BranchManager::ImportState(Slice data, const HeadVerifier& verify,
   // and swap the contents.
   {
     AllStripesLock locks(stripes_);
-    for (const auto& stripe : stripes_) stripe->tables.clear();
-    for (auto& [key, table] : restored) {
-      stripes_[StripeIndex(key)]->tables[key] = std::move(table);
+    // Serialize the installed view for the mutation record BEFORE the
+    // tables are moved out of `restored` (same encoding as ExportState;
+    // std::map iteration is already globally sorted). Skipped when no
+    // observer is attached.
+    if (mutation_observer_ != nullptr) {
+      BranchMutation m;
+      m.kind = BranchMutation::Kind::kImportAll;
+      PutVarint64(&m.state, restored.size());
+      for (const auto& [key, table] : restored) {
+        PutLengthPrefixed(&m.state, Slice(key));
+        table.SerializeTo(&m.state);
+      }
+      for (const auto& stripe : stripes_) stripe->tables.clear();
+      for (auto& [key, table] : restored) {
+        stripes_[StripeIndex(key)]->tables[key] = std::move(table);
+      }
+      NotifyMutation(std::move(m));
+    } else {
+      for (const auto& stripe : stripes_) stripe->tables.clear();
+      for (auto& [key, table] : restored) {
+        stripes_[StripeIndex(key)]->tables[key] = std::move(table);
+      }
     }
   }
   NotifyAll();

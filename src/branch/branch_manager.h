@@ -48,6 +48,40 @@ class HeadObserver {
   virtual void OnAllHeadsChange() = 0;
 };
 
+// A single committed branch-table mutation, expressed so a replica can
+// re-apply it verbatim: guards and existence checks have already been
+// validated on the origin, so application is unconditional.
+struct BranchMutation {
+  enum class Kind : uint8_t {
+    kSetHead = 0,          // key/branch -> head (creates branch on demand)
+    kRemoveBranch = 1,     // key/branch removed
+    kRenameBranch = 2,     // key: branch -> new_branch
+    kAddUntagged = 3,      // key: untagged head (uid) added with base
+    kReplaceUntagged = 4,  // key: old_heads collapsed into head
+    kImportAll = 5,        // whole branch view replaced; state = exported bytes
+  };
+  Kind kind = Kind::kSetHead;
+  std::string key;
+  std::string branch;          // kSetHead/kRemove target; kRename old name
+  std::string new_branch;      // kRename new name
+  Hash head;                   // new head / untagged uid / merged uid
+  Hash base;                   // kAddUntagged base snapshot
+  std::vector<Hash> old_heads; // kReplaceUntagged victims
+  Bytes state;                 // kImportAll: the installed view, exported
+};
+
+// Notified at every successful branch-table mutation, fired INSIDE the
+// owning stripe lock (all stripes for kImportAll) so per-key delivery
+// order is exactly commit order — the property a replication log needs
+// and the one the out-of-lock HeadObserver cannot give. Implementations
+// must be quick, must not call back into the manager, and may only
+// acquire locks ranked above kRankBranchStripe (e.g. kRankReplLog).
+class BranchMutationObserver {
+ public:
+  virtual ~BranchMutationObserver() = default;
+  virtual void OnBranchMutation(const BranchMutation& m) = 0;
+};
+
 class BranchManager {
  public:
   static constexpr size_t kDefaultStripes = 16;
@@ -148,6 +182,13 @@ class BranchManager {
   // use; the observer must outlive the manager. nullptr detaches.
   void set_head_observer(HeadObserver* observer) { observer_ = observer; }
 
+  // Installs the (single) mutation observer (see BranchMutationObserver
+  // for the in-lock delivery contract). Must be called before concurrent
+  // use; the observer must outlive the manager. nullptr detaches.
+  void set_mutation_observer(BranchMutationObserver* observer) {
+    mutation_observer_ = observer;
+  }
+
  private:
   // Observers fire with the stripe lock released — the documented
   // contract (an observer may call back into head resolution). The
@@ -159,6 +200,25 @@ class BranchManager {
   void NotifyAll() const {
     for (const auto& stripe : stripes_) stripe->mu.AssertNotHeld();
     if (observer_ != nullptr) observer_->OnAllHeadsChange();
+  }
+
+  // In-lock mutation notification (callers hold the owning stripe's mu;
+  // the observer contract, not the analysis, enforces that).
+  void NotifyMutation(BranchMutation m) const {
+    if (mutation_observer_ != nullptr) {
+      mutation_observer_->OnBranchMutation(m);
+    }
+  }
+  void NotifySetHead(const std::string& key, const std::string& branch,
+                     const Hash& head) const {
+    if (mutation_observer_ != nullptr) {
+      BranchMutation m;
+      m.kind = BranchMutation::Kind::kSetHead;
+      m.key = key;
+      m.branch = branch;
+      m.head = head;
+      mutation_observer_->OnBranchMutation(m);
+    }
   }
 
   struct Stripe {
@@ -180,6 +240,7 @@ class BranchManager {
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
   HeadObserver* observer_ = nullptr;
+  BranchMutationObserver* mutation_observer_ = nullptr;
 };
 
 }  // namespace fb

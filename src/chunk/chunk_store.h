@@ -294,7 +294,12 @@ class MemChunkStore : public ChunkStore {
 //              amortized over all concurrently-committing writers.
 //  * kAlways — fsync after every individual record (strictest; defeats
 //              group-commit amortization by design).
-enum class DurabilityPolicy { kNone, kBatch, kAlways };
+//  * kQuorum — local behavior of kBatch, plus the engine-level commit
+//              barrier: a ForkBase mutation does not return until a
+//              majority of the replication group has acked the log
+//              records it produced (see src/replication/). Stores treat
+//              it exactly as kBatch; the quorum wait lives above them.
+enum class DurabilityPolicy { kNone, kBatch, kAlways, kQuorum };
 
 struct LogStoreOptions {
   uint64_t segment_size = 64ull << 20;

@@ -73,12 +73,28 @@ PeerChunkResolver::PeerChunkResolver(std::vector<std::string> peers,
 PeerChunkResolver::~PeerChunkResolver() = default;
 
 void PeerChunkResolver::SetPeers(std::vector<std::string> peers) {
+  MutexLock lock(peers_mu_);
   std::vector<std::shared_ptr<Peer>> fresh;
   fresh.reserve(peers.size());
   for (auto& ep : peers) {
-    if (!ep.empty()) fresh.push_back(std::make_shared<Peer>(std::move(ep)));
+    if (ep.empty()) continue;
+    // Incremental: an endpoint already in the set keeps its Peer object
+    // — pooled connections and backoff health included — so growing the
+    // set by one does not reconnect the world. Only genuinely new
+    // endpoints start cold, and endpoints absent from the new list are
+    // dropped (in-flight fetches holding their shared_ptr finish
+    // unharmed).
+    std::shared_ptr<Peer> carried;
+    for (const auto& existing : peers_) {
+      if (existing->endpoint == ep) {
+        carried = existing;
+        break;
+      }
+    }
+    fresh.push_back(carried != nullptr
+                        ? std::move(carried)
+                        : std::make_shared<Peer>(std::move(ep)));
   }
-  MutexLock lock(peers_mu_);
   peers_.swap(fresh);
 }
 

@@ -67,11 +67,12 @@ class PeerChunkResolver {
   PeerChunkResolver(const PeerChunkResolver&) = delete;
   PeerChunkResolver& operator=(const PeerChunkResolver&) = delete;
 
-  // Replaces the peer set (drops existing connections and health
-  // history). Late binding for deployments whose endpoints are not known
-  // at construction time (ephemeral ports: two servers must start before
-  // either knows the other's address). Not meant to race in-flight
-  // fetches.
+  // Replaces the peer set incrementally: endpoints already present keep
+  // their pooled connections and backoff health, new endpoints start
+  // cold, and endpoints missing from the new list are dropped (fetches
+  // that already snapshotted them finish unharmed). Safe to call while
+  // fetches are in flight — membership changes (a replica joining its
+  // group) must not reconnect the world.
   void SetPeers(std::vector<std::string> peers);
 
   size_t num_peers() const;

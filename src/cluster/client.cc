@@ -156,6 +156,23 @@ ClusterClient::ClusterClient(
         std::make_unique<PeerChunkResolver>(std::move(peer_endpoints), po);
     cluster_->AttachPeerResolver(peer_resolver_.get());
   }
+  replicas_.resize(n_shards_);
+  {
+    MutexLock lock(redirect_mu_);
+    redirect_.resize(n_shards_);
+  }
+  for (size_t i = 0; i < n_shards_ && i < options_.read_replicas.size();
+       ++i) {
+    for (const auto& ep : options_.read_replicas[i]) {
+      if (ep.empty()) continue;
+      rpc::RemoteServiceOptions ro;
+      ro.pool_size = options_.remote_pool_size;
+      auto conn = rpc::RemoteService::Connect(ep, ro);
+      // An unreachable replica is skipped, not fatal: the primary
+      // still serves everything.
+      if (conn.ok()) replicas_[i].push_back(std::move(conn).value());
+    }
+  }
   // Worker threads start lazily on the first Submit(): a synchronous-only
   // client never pays for them.
 }
@@ -234,7 +251,7 @@ Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
     version_dispatches_.fetch_add(1, std::memory_order_relaxed);
   }
   // Remote servlet: the real socket transport IS the round-trip.
-  if (remotes_[idx] != nullptr) return remotes_[idx]->Execute(cmd);
+  if (remotes_[idx] != nullptr) return ExecuteRemote(idx, cmd);
 
   ForkBase* servlet = cluster_->servlet(idx);
   if (!options_.wire_roundtrip) return ApplyCommand(servlet, cmd);
@@ -247,6 +264,56 @@ Reply ClusterClient::ExecuteOn(size_t idx, const Command& cmd) {
   Result<Reply> returned = Reply::Parse(Slice(reply.Serialize()));
   if (!returned.ok()) return Reply::FromStatus(returned.status());
   return std::move(*returned);
+}
+
+Reply ClusterClient::ExecuteRemote(size_t idx, const Command& cmd) {
+  // Version-addressed reads spread across the shard's replication
+  // group: a caught-up follower serves them from its own branch view
+  // and store (chunk misses peer-fetch server-side).
+  if (VersionAddressed(cmd.op) && idx < replicas_.size() &&
+      !replicas_[idx].empty()) {
+    const size_t fanout = replicas_[idx].size() + 1;  // + primary
+    const size_t pick =
+        replica_rr_.fetch_add(1, std::memory_order_relaxed) % fanout;
+    if (pick > 0) {
+      replica_reads_.fetch_add(1, std::memory_order_relaxed);
+      return replicas_[idx][pick - 1]->Execute(cmd);
+    }
+  }
+  std::shared_ptr<rpc::RemoteService> redirected;
+  {
+    MutexLock lock(redirect_mu_);
+    if (idx < redirect_.size()) redirected = redirect_[idx];
+  }
+  rpc::RemoteService* primary =
+      redirected != nullptr ? redirected.get() : remotes_[idx].get();
+  Reply reply = primary->Execute(cmd);
+  // Leader re-discovery: ONLY on an explicit not-leader bounce. A
+  // transport error is never retried elsewhere — the sent command may
+  // have committed on the old primary.
+  if (reply.code == StatusCode::kUnavailable) {
+    static constexpr char kTag[] = "leader=";
+    const size_t pos = reply.message.find(kTag);
+    if (pos != std::string::npos) {
+      const std::string ep = reply.message.substr(pos + sizeof(kTag) - 1);
+      if (!ep.empty() && ep != primary->endpoint()) {
+        rpc::RemoteServiceOptions ro;
+        ro.pool_size = options_.remote_pool_size;
+        auto fresh = rpc::RemoteService::Connect(ep, ro);
+        if (fresh.ok()) {
+          std::shared_ptr<rpc::RemoteService> next = std::move(fresh).value();
+          {
+            MutexLock lock(redirect_mu_);
+            if (redirect_.size() <= idx) redirect_.resize(idx + 1);
+            redirect_[idx] = next;
+          }
+          leader_redirects_.fetch_add(1, std::memory_order_relaxed);
+          return next->Execute(cmd);
+        }
+      }
+    }
+  }
+  return reply;
 }
 
 // True for commands addressed by version rather than key: any shard

@@ -70,6 +70,13 @@ struct ClusterClientOptions {
   std::vector<std::string> endpoints;
   // Connection pool size per remote endpoint.
   size_t remote_pool_size = 2;
+  // Per-shard replica endpoints (read_replicas[i] belongs to shard i of
+  // `endpoints`): the other members of that shard's replication group.
+  // Version-addressed reads round-robin across primary + replicas
+  // (every replica serves them locally); mutating commands always go to
+  // the primary, and a "not leader" bounce re-points the primary at the
+  // leader the reply named. Unreachable replicas are skipped.
+  std::vector<std::vector<std::string>> read_replicas;
 };
 
 // The client's view of chunk storage, used to materialize handles and
@@ -159,6 +166,18 @@ class ClusterClient : public ForkBaseService {
   };
   RouteStats route_stats() const;
 
+  // Replica routing accounting (test surface).
+  struct ReplicaStats {
+    uint64_t replica_reads = 0;     // version-addressed reads a replica served
+    uint64_t leader_redirects = 0;  // primaries swapped after a not-leader reply
+  };
+  ReplicaStats replica_stats() const {
+    ReplicaStats s;
+    s.replica_reads = replica_reads_.load(std::memory_order_relaxed);
+    s.leader_redirects = leader_redirects_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct Pending {
     Command cmd;
@@ -183,6 +202,11 @@ class ClusterClient : public ForkBaseService {
   // Executes on servlet `idx`: over the socket for a remote servlet,
   // round-tripping through the wire format in-process otherwise.
   Reply ExecuteOn(size_t idx, const Command& cmd);
+  // The remote half of ExecuteOn: replica round-robin for
+  // version-addressed reads, leader re-discovery on a "not leader"
+  // reply (never after a transport error — a sent Put may have
+  // committed server-side).
+  Reply ExecuteRemote(size_t idx, const Command& cmd);
   Reply ExecuteFanOut(const Command& cmd);
   Reply ExecutePutMany(const Command& cmd);
   // The servlet index a command routes to; false for fan-out commands.
@@ -197,6 +221,13 @@ class ClusterClient : public ForkBaseService {
   Cluster* cluster_;  // null for an all-remote client
   ClusterClientOptions options_;
   std::vector<std::unique_ptr<rpc::RemoteService>> remotes_;  // per shard
+  // Replica connections per shard (lazily opened from read_replicas).
+  std::vector<std::vector<std::shared_ptr<rpc::RemoteService>>> replicas_;
+  // A not-leader bounce re-points shard i here; the original primary
+  // connection stays alive (other threads may be mid-call on it).
+  mutable Mutex redirect_mu_{kRankService, "client-redirect"};
+  std::vector<std::shared_ptr<rpc::RemoteService>> redirect_
+      GUARDED_BY(redirect_mu_);
   size_t n_shards_;
   std::vector<size_t> in_process_;    // shard indices served by cluster_
   std::vector<size_t> peer_capable_;  // remote shards advertising peer fetch
@@ -215,6 +246,9 @@ class ClusterClient : public ForkBaseService {
   std::atomic<uint64_t> max_group_{0};
   mutable std::atomic<uint64_t> version_commands_{0};  // counted in RouteOf
   std::atomic<uint64_t> version_dispatches_{0};
+  std::atomic<uint64_t> replica_rr_{0};
+  std::atomic<uint64_t> replica_reads_{0};
+  std::atomic<uint64_t> leader_redirects_{0};
 };
 
 }  // namespace fb

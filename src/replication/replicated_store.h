@@ -1,0 +1,97 @@
+// ReplicatingChunkStore: the write-path chunk capture of the replication
+// subsystem (successor of the retired standalone k-copy
+// chunk/replicated_store.* — replication now has exactly one path, the
+// leader's shipped log).
+//
+// A forwarding ChunkStore wrapper: every chunk that is NEW to the
+// underlying store is reported to the attached sink (the ReplicaGroup,
+// which appends a kChunk record to the replication log while it is
+// leader). Chunks are immutable and content-addressed, so a duplicate
+// report — possible when two threads race the freshness pre-check — is
+// harmless: the follower's Put dedups on cid.
+//
+// Reads forward untouched, so the wrapper composes with the servlet
+// stack: engine -> ReplicatingChunkStore -> ServletChunkStore (cache +
+// peer resolution) -> physical store.
+
+#ifndef FORKBASE_REPLICATION_REPLICATED_STORE_H_
+#define FORKBASE_REPLICATION_REPLICATED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+
+namespace fb {
+namespace repl {
+
+// Receiver of newly stored chunks (implemented by ReplicaGroup).
+class ChunkReplicationSink {
+ public:
+  virtual ~ChunkReplicationSink() = default;
+  virtual void OnChunkStored(const Hash& cid, const Chunk& chunk) = 0;
+};
+
+class ReplicatingChunkStore : public ChunkStore {
+ public:
+  explicit ReplicatingChunkStore(std::unique_ptr<ChunkStore> base)
+      : owned_base_(std::move(base)), base_(owned_base_.get()) {}
+  explicit ReplicatingChunkStore(ChunkStore* base) : base_(base) {}
+
+  // Attaches/detaches the sink. May be called after construction (the
+  // group is built once endpoints are known); seqcst-atomic, so a Put
+  // racing the attach either reports or predates the group — both fine,
+  // the group snapshots its base state when it starts.
+  void set_sink(ChunkReplicationSink* sink) { sink_.store(sink); }
+
+  ChunkStore* base() const { return base_; }
+
+  using ChunkStore::Put;
+  Status Put(const Hash& cid, const Chunk& chunk) override {
+    const bool fresh = !base_->Contains(cid);
+    FB_RETURN_NOT_OK(base_->Put(cid, chunk));
+    if (fresh) {
+      if (ChunkReplicationSink* sink = sink_.load()) {
+        sink->OnChunkStored(cid, chunk);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status PutBatch(const ChunkBatch& batch) override {
+    std::vector<bool> fresh(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      fresh[i] = !base_->Contains(batch[i].first);
+    }
+    FB_RETURN_NOT_OK(base_->PutBatch(batch));
+    if (ChunkReplicationSink* sink = sink_.load()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (fresh[i]) sink->OnChunkStored(batch[i].first, batch[i].second);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Get(const Hash& cid, Chunk* chunk) const override {
+    return base_->Get(cid, chunk);
+  }
+  bool Contains(const Hash& cid) const override {
+    return base_->Contains(cid);
+  }
+  Status GetBatch(const std::vector<Hash>& cids,
+                  std::vector<Chunk>* chunks) const override {
+    return base_->GetBatch(cids, chunks);
+  }
+  ChunkStoreStats stats() const override { return base_->stats(); }
+
+ private:
+  std::unique_ptr<ChunkStore> owned_base_;
+  ChunkStore* base_;
+  std::atomic<ChunkReplicationSink*> sink_{nullptr};
+};
+
+}  // namespace repl
+}  // namespace fb
+
+#endif  // FORKBASE_REPLICATION_REPLICATED_STORE_H_

@@ -237,11 +237,26 @@ Status DecodeTreeConfig(Slice body, TreeConfig* out) {
 }
 
 void EncodeHello(const TreeConfig& config, uint64_t peer_count, Bytes* out) {
+  EncodeHello(config, peer_count, HelloReplInfo{}, out);
+}
+
+void EncodeHello(const TreeConfig& config, uint64_t peer_count,
+                 const HelloReplInfo& repl, Bytes* out) {
   EncodeTreeConfig(config, out);
   PutVarint64(out, peer_count);
+  out->push_back(repl.has_group ? 1 : 0);
+  out->push_back(repl.role);
+  PutFixed64(out, repl.epoch);
+  PutLengthPrefixed(out, Slice(repl.leader));
 }
 
 Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count) {
+  HelloReplInfo ignored;
+  return DecodeHello(body, config, peer_count, &ignored);
+}
+
+Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count,
+                   HelloReplInfo* repl) {
   ByteReader r(body);
   uint64_t leaf = 0, index = 0, window = 0, alpha = 0;
   FB_RETURN_NOT_OK(r.ReadVarint64(&leaf));
@@ -249,9 +264,21 @@ Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count) {
   FB_RETURN_NOT_OK(r.ReadVarint64(&window));
   FB_RETURN_NOT_OK(r.ReadVarint64(&alpha));
   *peer_count = 0;
+  *repl = HelloReplInfo{};
   if (!r.AtEnd()) {
     // Peer-fetch-era server; older ones stop at the TreeConfig.
     FB_RETURN_NOT_OK(r.ReadVarint64(peer_count));
+  }
+  if (!r.AtEnd()) {
+    // Replication-era server; older ones stop at the peer count.
+    Slice flags;
+    FB_RETURN_NOT_OK(r.ReadRaw(2, &flags));
+    repl->has_group = flags.data()[0] != 0;
+    repl->role = static_cast<uint8_t>(flags.data()[1]);
+    FB_RETURN_NOT_OK(r.ReadFixed64(&repl->epoch));
+    Slice leader;
+    FB_RETURN_NOT_OK(r.ReadLengthPrefixed(&leader));
+    repl->leader = leader.ToString();
     if (!r.AtEnd()) return Status::Corruption("trailing bytes in hello");
   }
   config->leaf_pattern_bits = static_cast<int>(leaf);

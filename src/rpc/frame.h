@@ -54,9 +54,16 @@ enum class FrameType : uint8_t {
                             // misses. Same LOCAL-store-only rule.
   kChunkGetBatch = 11,      // payload: cid list; multi-cid kChunkGet against
                             // the engine's (possibly peer-resolving) store
+  kReplAppend = 12,    // payload: repl::EncodeAppend — leader ships log
+                       // records; resp: kControlResp with ack body
+  kReplSnapshot = 13,  // payload: repl::EncodeSnapshot — full branch-state
+                       // bootstrap; resp: kControlResp with ack body
+  kReplStatus = 14,    // payload: repl::EncodeStatusRequest — probe or
+                       // follower registration; resp: kControlResp with
+                       // repl::GroupStatus body
 };
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kChunkGetBatch);
+    static_cast<uint8_t>(FrameType::kReplStatus);
 
 // Hard cap on one frame's payload. Large values ship as chunk batches
 // well below this; anything bigger is a corrupt or hostile length prefix.
@@ -136,6 +143,23 @@ void EncodeTreeConfig(const TreeConfig& config, Bytes* out);
 Status DecodeTreeConfig(Slice body, TreeConfig* out);
 void EncodeHello(const TreeConfig& config, uint64_t peer_count, Bytes* out);
 Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count);
+
+// Replication tail of the hello body (since the replication extension):
+// [u8 has_group][u8 role][fixed64 epoch][LP leader_endpoint]. A client
+// uses it to learn whether the server is a replica-group member, its
+// role, and where the leader is (leader re-discovery after failover).
+// Decoding tolerates a body without the tail (older server) and reports
+// has_group=false.
+struct HelloReplInfo {
+  bool has_group = false;
+  uint8_t role = 0;  // repl::Role when has_group
+  uint64_t epoch = 0;
+  std::string leader;  // leader endpoint hint ("" when unknown)
+};
+void EncodeHello(const TreeConfig& config, uint64_t peer_count,
+                 const HelloReplInfo& repl, Bytes* out);
+Status DecodeHello(Slice body, TreeConfig* config, uint64_t* peer_count,
+                   HelloReplInfo* repl);
 
 // kStoreStats response body: counter snapshot of the server's store.
 void EncodeStoreStats(const ChunkStoreStats& stats, Bytes* out);

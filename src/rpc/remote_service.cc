@@ -28,7 +28,8 @@ Result<std::unique_ptr<RemoteService>> RemoteService::Connect(
   FB_ASSIGN_OR_RETURN(Bytes hello,
                       service->CallControl(FrameType::kHello, Slice()));
   FB_RETURN_NOT_OK(DecodeHello(Slice(hello), &service->tree_config_,
-                               &service->server_peer_count_));
+                               &service->server_peer_count_,
+                               &service->server_repl_));
   return service;
 }
 

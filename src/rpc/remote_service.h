@@ -109,12 +109,23 @@ class RemoteService : public ForkBaseService {
                         std::vector<Chunk>* chunks,
                         std::vector<bool>* present);
 
+  // Sync non-command round trip: ships `payload` under `type` and
+  // returns the kControlResp body on OK. The transport the replication
+  // subsystem ships its kReplAppend / kReplSnapshot / kReplStatus
+  // payloads over.
+  Result<Bytes> Call(FrameType type, Slice payload) {
+    return CallControl(type, payload);
+  }
+
   ChunkStore* store() const override { return &chunk_view_; }
   const TreeConfig& tree_config() const override { return tree_config_; }
   const std::string& endpoint() const { return endpoint_; }
   // From the kHello handshake: how many peer servlets the server can
   // resolve chunk misses from (0 = peer fetch disabled over there).
   uint64_t server_peer_count() const { return server_peer_count_; }
+  // From the kHello handshake: the server's replication standing
+  // (has_group=false against a non-replicated server).
+  const HelloReplInfo& server_repl_info() const { return server_repl_; }
 
   // Connections established over the lifetime (1 + reconnects + pool
   // growth); test surface for reconnect behavior.
@@ -184,6 +195,7 @@ class RemoteService : public ForkBaseService {
   const RemoteServiceOptions options_;
   TreeConfig tree_config_;
   uint64_t server_peer_count_ = 0;
+  HelloReplInfo server_repl_;
   // Declared after options_: the member-init order guarantee that lets
   // the cache size come from the already-initialized options.
   mutable RemoteChunkStore chunk_view_{this, options_.chunk_cache_bytes};

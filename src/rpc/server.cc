@@ -15,6 +15,7 @@
 
 #include "api/command.h"
 #include "api/service.h"
+#include "replication/group.h"
 #include "util/codec.h"
 
 namespace fb {
@@ -599,8 +600,20 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
   switch (item.frame.type) {
     case FrameType::kCommand: {
       Result<Command> cmd = Command::Parse(payload);
-      const Reply reply = cmd.ok() ? ApplyCommand(engine_, *cmd)
-                                   : Reply::FromStatus(cmd.status());
+      Reply reply = cmd.ok() ? Reply() : Reply::FromStatus(cmd.status());
+      if (cmd.ok()) {
+        repl::ReplicaGroup* g =
+            replication_.load(std::memory_order_acquire);
+        if (g != nullptr && g->role() == repl::Role::kFollower &&
+            CommandMutates(cmd->op)) {
+          // Followers serve reads locally; writes go to the leader. The
+          // hint lets the client swap its primary without a re-probe.
+          reply = Reply::FromStatus(Status::Unavailable(
+              "not leader; leader=" + g->leader_endpoint()));
+        } else {
+          reply = ApplyCommand(engine_, *cmd);
+        }
+      }
       const Bytes body = reply.Serialize();
       Bytes wire;
       wire.reserve(kFrameHeaderSize + body.size());
@@ -712,7 +725,16 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
     }
     case FrameType::kHello: {
       Bytes body;
-      EncodeHello(engine_->tree_config(), options_.peer_count, &body);
+      HelloReplInfo info;
+      if (repl::ReplicaGroup* g =
+              replication_.load(std::memory_order_acquire)) {
+        const repl::GroupStatus st = g->Snapshot();
+        info.has_group = true;
+        info.role = st.role;
+        info.epoch = st.epoch;
+        info.leader = st.leader;
+      }
+      EncodeHello(engine_->tree_config(), options_.peer_count, info, &body);
       QueueControl(conn, id, Status::OK(), Slice(body));
       return;
     }
@@ -728,6 +750,28 @@ void ForkBaseServer::Dispatch(const WorkItem& item) {
       // the op works regardless of which path a frame took.
       ServePeerGet(conn, item.frame);
       return;
+    case FrameType::kReplAppend:
+    case FrameType::kReplSnapshot:
+    case FrameType::kReplStatus: {
+      repl::ReplicaGroup* g = replication_.load(std::memory_order_acquire);
+      if (g == nullptr) {
+        QueueControl(conn, id,
+                     Status::InvalidArgument("replication not enabled"),
+                     Slice());
+        return;
+      }
+      Bytes body;
+      Status s;
+      if (item.frame.type == FrameType::kReplAppend) {
+        s = g->HandleAppend(payload, &body);
+      } else if (item.frame.type == FrameType::kReplSnapshot) {
+        s = g->HandleSnapshot(payload, &body);
+      } else {
+        s = g->HandleStatus(payload, &body);
+      }
+      QueueControl(conn, id, s, Slice(body));
+      return;
+    }
     case FrameType::kReply:
     case FrameType::kControlResp:
       // Filtered on the event loop (HandleFrame) before dispatch.

@@ -46,6 +46,10 @@
 #include "util/mutex.h"
 
 namespace fb {
+namespace repl {
+class ReplicaGroup;
+}  // namespace repl
+
 namespace rpc {
 
 struct ServerOptions {
@@ -90,6 +94,16 @@ class ForkBaseServer {
 
   // The resolved listen endpoint (real port when ":0" was requested).
   const std::string& endpoint() const { return endpoint_; }
+
+  // Late-binds the replication group (null detaches). Late because the
+  // group needs this server's resolved endpoint (":0" listens) before
+  // it can exist; the server then routes kReplAppend / kReplSnapshot /
+  // kReplStatus to it, advertises its standing in the kHello response,
+  // and bounces mutating commands while the group is a follower. The
+  // group must outlive the server or be detached before destruction.
+  void set_replication(repl::ReplicaGroup* group) {
+    replication_.store(group, std::memory_order_release);
+  }
 
   // Stops accepting, tears down every connection, drains the worker
   // pool and joins all threads. Idempotent; called by the destructor.
@@ -189,6 +203,7 @@ class ForkBaseServer {
   ServerOptions options_;
   std::string endpoint_;
   Listener listener_;
+  std::atomic<repl::ReplicaGroup*> replication_{nullptr};
 
   int epfd_ = -1;
   int wakefd_ = -1;

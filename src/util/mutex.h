@@ -27,6 +27,7 @@
 // (NDEBUG) all checking compiles away and the wrappers forward
 // straight to std::mutex / std::shared_mutex.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -45,7 +46,10 @@ enum LockRank : int {
   kRankService = 100,        // rpc server dispatch queue, client workers
   kRankServerConn = 150,     // per-connection server state
   kRankSnapshot = 200,       // ForkBase branch-snapshot serialization
+  kRankReplApply = 250,      // replication follower apply serialization
   kRankBranchStripe = 300,   // BranchManager stripes (same-rank walk)
+  kRankReplLog = 340,        // replication log (appended under a stripe)
+  kRankReplState = 360,      // replication group role/membership/acks
   kRankStoreCombiner = 400,  // group-commit combiner queues
   kRankStore = 500,          // store shards / log index / LSM memtable
   kRankCache = 600,          // chunk / block / hot-head caches
@@ -322,6 +326,30 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+  // Timed wait; returns false on timeout (spurious wakeups possible, so
+  // callers re-check their predicate either way).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    const auto verdict =
+        cv_.wait_for(adopted, std::chrono::milliseconds(timeout_ms));
+    adopted.release();
+    return verdict == std::cv_status::no_timeout;
+  }
+  // Timed predicate wait against an absolute deadline; returns the
+  // predicate's value at exit (true = condition met, false = deadline).
+  template <typename Pred>
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline,
+                 Pred pred) REQUIRES(mu) {
+    while (!pred()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return pred();
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+      WaitFor(mu, ms > 0 ? ms : 1);
+    }
+    return true;
   }
   void Signal() { cv_.notify_one(); }
   void SignalAll() { cv_.notify_all(); }

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <set>
 #include <thread>
@@ -27,9 +28,12 @@
 #include "api/db.h"
 #include "chunk/chunk.h"
 #include "chunk/chunk_store.h"
+#include "chunk/peer_resolver.h"
 #include "cluster/client.h"
 #include "cluster/cluster.h"
 #include "kvstore/lsm_chunk_store.h"
+#include "replication/group.h"
+#include "replication/replicated_store.h"
 #include "rpc/remote_service.h"
 #include "rpc/server.h"
 #include "util/random.h"
@@ -634,6 +638,128 @@ TEST(ConcurrencyTest, RemoteServiceSubmitStress) {
   const auto sstats = (*server)->stats();
   EXPECT_EQ(sstats.protocol_errors, 0u);
   EXPECT_GE(sstats.requests, uint64_t{kThreads * kOpsPerThread});
+}
+
+// Quorum replication under concurrent commits: a 3-member replica group
+// over loopback, many writer threads on the leader with
+// DurabilityPolicy::kQuorum, so every Put crosses the observer (inside
+// the branch stripes), the replication log, the per-follower sender
+// threads, the quorum barrier and the followers' apply path at once —
+// the lock ladder's full replication slice, under TSan when enabled.
+// After the threads quiesce the three branch tables must be
+// byte-identical.
+TEST(ConcurrencyTest, ReplicaGroupQuorumCommitStress) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPutsPerWriter = 25;
+
+  struct Node {
+    MemChunkStore* raw = nullptr;
+    std::unique_ptr<PeerChunkResolver> resolver;
+    repl::ReplicatingChunkStore* rstore = nullptr;
+    std::unique_ptr<ForkBase> engine;
+    std::unique_ptr<rpc::ForkBaseServer> server;
+    std::unique_ptr<repl::ReplicaGroup> group;
+    ~Node() {
+      if (server != nullptr) server->Stop();
+      if (group != nullptr) group->Stop();
+    }
+  };
+  Node nodes[3];
+  for (Node& n : nodes) {
+    auto local = std::make_unique<MemChunkStore>();
+    n.raw = local.get();
+    n.resolver = std::make_unique<PeerChunkResolver>();
+    auto servlet = std::make_unique<ServletChunkStore>(std::move(local),
+                                                       n.resolver.get());
+    auto wrapped =
+        std::make_unique<repl::ReplicatingChunkStore>(std::move(servlet));
+    n.rstore = wrapped.get();
+    DBOptions dbo;
+    dbo.tree.leaf_pattern_bits = 7;
+    dbo.tree.index_pattern_bits = 3;
+    dbo.durability = DurabilityPolicy::kQuorum;
+    n.engine = std::make_unique<ForkBase>(dbo, std::move(wrapped));
+    rpc::ServerOptions so;
+    so.listen = "127.0.0.1:0";
+    so.local_chunk_store = n.raw;
+    so.peer_count = 2;
+    auto server = rpc::ForkBaseServer::Start(n.engine.get(), so);
+    ASSERT_TRUE(server.ok());
+    n.server = std::move(*server);
+  }
+  std::vector<std::string> members;
+  for (const Node& n : nodes) members.push_back(n.server->endpoint());
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<std::string> peers;
+    for (size_t j = 0; j < 3; ++j) {
+      if (j != i) peers.push_back(members[j]);
+    }
+    nodes[i].resolver->SetPeers(peers);
+    repl::ReplicaGroupOptions ro;
+    ro.members = members;
+    ro.self = members[i];
+    ro.heartbeat_ms = 10;
+    ro.election_timeout_ms = 60000;  // no elections behind the test's back
+    nodes[i].group = std::make_unique<repl::ReplicaGroup>(
+        nodes[i].engine.get(), nodes[i].rstore, ro);
+    ASSERT_TRUE(nodes[i].group->Start().ok());
+    nodes[i].server->set_replication(nodes[i].group.get());
+  }
+  // Quorum writes block until a majority acks, so wait for both
+  // followers to register before the hammering starts.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (nodes[0].group->Snapshot().follower_count < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "followers never registered";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Writers overlap on a shared key ("hot") and write private keys, so
+  // both the colliding and the disjoint stripe paths replicate.
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = 0; i < kPutsPerWriter; ++i) {
+        const std::string v =
+            "w" + std::to_string(t) + "-" + std::to_string(i);
+        if (!nodes[0].engine->Put("hot", "master", Value::OfString(v)).ok() ||
+            !nodes[0]
+                 .engine
+                 ->Put("key-" + std::to_string(t), "master",
+                       Value::OfString(v))
+                 .ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const auto stats = nodes[0].group->stats();
+  EXPECT_GE(stats.quorum_commits, uint64_t{kWriters * kPutsPerWriter * 2});
+  EXPECT_EQ(stats.quorum_timeouts, 0u);
+
+  // Followers converge to the leader's exact branch tables.
+  const uint64_t end = nodes[0].group->durable_offset();
+  for (size_t i = 1; i < 3; ++i) {
+    while (nodes[i].group->durable_offset() < end) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "follower " << i << " never caught up";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  auto leader_state = nodes[0].engine->ExportBranchState();
+  ASSERT_TRUE(leader_state.ok());
+  for (size_t i = 1; i < 3; ++i) {
+    auto state = nodes[i].engine->ExportBranchState();
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, *leader_state);
+    EXPECT_EQ(nodes[i].group->stats().apply_errors, 0u);
+    auto head = nodes[i].engine->Get("hot", "master");
+    EXPECT_TRUE(head.ok());
+  }
 }
 
 }  // namespace

@@ -6,7 +6,6 @@
 
 #include "api/access_control.h"
 #include "api/type_ops.h"
-#include "chunk/replicated_store.h"
 #include "util/random.h"
 
 namespace fb {
@@ -168,111 +167,6 @@ TEST_F(AccessControlTest, MostSpecificRuleWins) {
   EXPECT_EQ(acl_.Effective("u", "doc", "draft"), Permission::kWrite);
   EXPECT_EQ(acl_.Effective("u", "doc", kDefaultBranch), Permission::kRead);
   EXPECT_EQ(acl_.Effective("u", "other", "x"), Permission::kAdmin);
-}
-
-// ---------------------------------------------------------------------------
-// Replication
-// ---------------------------------------------------------------------------
-
-TEST(ReplicationTest, KCopiesPlaced) {
-  ReplicatedChunkStore store(5, 3);
-  Rng rng(1);
-  for (int i = 0; i < 100; ++i) {
-    Chunk c(ChunkType::kBlob, rng.BytesOf(100));
-    ASSERT_TRUE(store.Put(c.ComputeCid(), c).ok());
-  }
-  // Total stored chunks across instances = 3 copies each.
-  EXPECT_EQ(store.stats().chunks, 300u);
-}
-
-TEST(ReplicationTest, ReadsSurviveReplicaFailures) {
-  ReplicatedChunkStore store(5, 3);
-  Chunk c(ChunkType::kBlob, ToBytes("replicated data"));
-  const Hash cid = c.ComputeCid();
-  ASSERT_TRUE(store.Put(cid, c).ok());
-
-  const auto replicas = store.ReplicasOf(cid);
-  ASSERT_EQ(replicas.size(), 3u);
-  // Take down k-1 replicas: still readable.
-  store.SetInstanceDown(replicas[0], true);
-  store.SetInstanceDown(replicas[1], true);
-  Chunk got;
-  EXPECT_TRUE(store.Get(cid, &got).ok());
-  // Take down the last: unreadable.
-  store.SetInstanceDown(replicas[2], true);
-  EXPECT_FALSE(store.Get(cid, &got).ok());
-  // Recovery restores access.
-  store.SetInstanceDown(replicas[2], false);
-  EXPECT_TRUE(store.Get(cid, &got).ok());
-  EXPECT_EQ(got.payload().ToString(), "replicated data");
-}
-
-TEST(ReplicationTest, RepairRestoresReplicationFactor) {
-  ReplicatedChunkStore store(4, 2);
-  Chunk c(ChunkType::kBlob, ToBytes("heal me"));
-  const Hash cid = c.ComputeCid();
-  const auto replicas = store.ReplicasOf(cid);
-
-  // One replica is down during the write, so only 1 copy lands.
-  store.SetInstanceDown(replicas[1], true);
-  ASSERT_TRUE(store.Put(cid, c).ok());
-  EXPECT_FALSE(store.instance(replicas[1])->Contains(cid));
-
-  // It comes back; anti-entropy repair re-replicates.
-  store.SetInstanceDown(replicas[1], false);
-  ASSERT_TRUE(store.Repair().ok());
-  EXPECT_TRUE(store.instance(replicas[1])->Contains(cid));
-
-  // Now the original copy's instance can fail and reads still work.
-  store.SetInstanceDown(replicas[0], true);
-  Chunk got;
-  EXPECT_TRUE(store.Get(cid, &got).ok());
-}
-
-TEST(ReplicationTest, ReplicationOneDegradesToPartitioning) {
-  ReplicatedChunkStore store(4, 1);
-  Chunk c(ChunkType::kBlob, ToBytes("single"));
-  const Hash cid = c.ComputeCid();
-  ASSERT_TRUE(store.Put(cid, c).ok());
-  EXPECT_EQ(store.stats().chunks, 1u);
-  store.SetInstanceDown(store.ReplicasOf(cid)[0], true);
-  Chunk got;
-  EXPECT_FALSE(store.Get(cid, &got).ok());
-}
-
-TEST(ReplicationTest, DedupHoldsPerReplica) {
-  ReplicatedChunkStore store(3, 3);
-  Chunk c(ChunkType::kBlob, ToBytes("dup"));
-  const Hash cid = c.ComputeCid();
-  ASSERT_TRUE(store.Put(cid, c).ok());
-  ASSERT_TRUE(store.Put(cid, c).ok());
-  ASSERT_TRUE(store.Put(cid, c).ok());
-  // "There are only k copies of any chunk in the storage."
-  EXPECT_EQ(store.stats().chunks, 3u);
-  EXPECT_EQ(store.stats().dedup_hits, 6u);
-}
-
-// The engine runs unchanged over a replicated pool.
-TEST(ReplicationTest, EngineOverReplicatedPool) {
-  ReplicatedChunkStore pool(4, 2);
-  ForkBase db(DBOptions{}, static_cast<ChunkStore*>(&pool));
-  Rng rng(3);
-  auto blob = db.CreateBlob(Slice(rng.BytesOf(20000)));
-  ASSERT_TRUE(blob.ok());
-  ASSERT_TRUE(db.Put("data", blob->ToValue()).ok());
-
-  // Any single instance may fail; all objects stay readable.
-  for (size_t down = 0; down < 4; ++down) {
-    pool.SetInstanceDown(down, true);
-    auto obj = db.Get("data");
-    ASSERT_TRUE(obj.ok()) << "instance " << down;
-    auto handle = db.GetBlob(*obj);
-    ASSERT_TRUE(handle.ok());
-    auto content = handle->ReadAll();
-    ASSERT_TRUE(content.ok()) << "instance " << down;
-    EXPECT_EQ(content->size(), 20000u);
-    pool.SetInstanceDown(down, false);
-  }
 }
 
 }  // namespace
